@@ -1,0 +1,228 @@
+//===- bench/BenchUtil.h - shared benchmark driver --------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Every figure/table binary uses the same drivers:
+//
+//   * runThroughput<STM>: spawn T worker threads over a freshly built
+//     workload, run the per-thread operation loop for a fixed duration,
+//     and report committed transactions per second (Figures 2, 5, 7, 9,
+//     10, 12, 13);
+//   * runTimed<STM>: spawn T workers over a fixed amount of work and
+//     report wall-clock completion time (Figures 4, 8, 11; the STAMP
+//     suite of Figure 3).
+//
+// Binaries emit two things: google-benchmark output (each series point
+// registered as one benchmark) and, at the end, a paper-style CSV block
+// "figure,benchmark,stm,threads,metric,value" that EXPERIMENTS.md and
+// plotting scripts consume.
+//
+// Environment knobs:
+//   REPRO_MAX_THREADS  thread sweep upper bound (default 8)
+//   REPRO_BENCH_MS     duration per throughput point in ms (default 150)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCHUTIL_H
+#define BENCH_BENCHUTIL_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bench {
+
+inline unsigned maxThreads() {
+  if (const char *Env = std::getenv("REPRO_MAX_THREADS"))
+    return std::max(1, std::atoi(Env));
+  return 8;
+}
+
+inline uint64_t benchMillis() {
+  if (const char *Env = std::getenv("REPRO_BENCH_MS"))
+    return std::max(1, std::atoi(Env));
+  return 150;
+}
+
+/// The thread counts the paper sweeps (1..8 by default).
+inline std::vector<unsigned> threadSweep() {
+  std::vector<unsigned> Sweep;
+  for (unsigned T = 1; T <= maxThreads(); ++T)
+    Sweep.push_back(T);
+  return Sweep;
+}
+
+/// STAMP-style sweep {1, 2, 4, 8}.
+inline std::vector<unsigned> powerOfTwoSweep() {
+  std::vector<unsigned> Sweep;
+  for (unsigned T = 1; T <= maxThreads(); T *= 2)
+    Sweep.push_back(T);
+  return Sweep;
+}
+
+/// Reusable sense-reversing spin barrier for phase-structured workloads
+/// (kmeans iterations, genome's pipeline phases).
+class SpinBarrier {
+public:
+  explicit SpinBarrier(unsigned Parties) : Parties(Parties) {}
+
+  /// Blocks until all parties arrive. Returns true for exactly one
+  /// caller per round (the "serial" thread).
+  bool arriveAndWait() {
+    unsigned MySense = Sense.load(std::memory_order_acquire);
+    unsigned Arrived = Count.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (Arrived == Parties) {
+      Count.store(0, std::memory_order_relaxed);
+      Sense.store(MySense + 1, std::memory_order_release);
+      return true;
+    }
+    unsigned SpinStep = 0;
+    while (Sense.load(std::memory_order_acquire) == MySense)
+      repro::spinWait(SpinStep);
+    return false;
+  }
+
+private:
+  unsigned Parties;
+  std::atomic<unsigned> Count{0};
+  std::atomic<unsigned> Sense{0};
+};
+
+/// Result of one measured series point.
+struct RunResult {
+  double Value = 0; ///< tx/s for throughput runs, seconds for timed runs
+  repro::TxStats Stats;
+};
+
+/// Collected CSV rows, printed once at the end of each binary.
+class Report {
+public:
+  static Report &instance() {
+    static Report R;
+    return R;
+  }
+
+  void add(const std::string &Figure, const std::string &Benchmark,
+           const std::string &Stm, unsigned Threads,
+           const std::string &Metric, double Value) {
+    char Line[256];
+    std::snprintf(Line, sizeof(Line), "%s,%s,%s,%u,%s,%.6g",
+                  Figure.c_str(), Benchmark.c_str(), Stm.c_str(), Threads,
+                  Metric.c_str(), Value);
+    Rows.push_back(Line);
+  }
+
+  void print(const char *Figure, const char *Description) {
+    std::printf("\n# figure: %s\n# %s\n", Figure, Description);
+    std::printf("# benchmark,stm,threads,metric,value\n");
+    for (const std::string &Row : Rows)
+      std::printf("%s\n", Row.c_str());
+    std::fflush(stdout);
+  }
+
+private:
+  std::vector<std::string> Rows;
+};
+
+/// Duration-based throughput driver.
+///
+/// \param Setup    builds the shared workload after globalInit; returns
+///                 any context object (owned by the driver).
+/// \param Op       per-thread loop body: Op(Context&, Tx&, Rng&) runs one
+///                 complete transaction (or operation).
+template <typename STM, typename SetupFn, typename OpFn>
+RunResult runThroughput(const stm::StmConfig &Config, unsigned Threads,
+                        SetupFn &&Setup, OpFn &&Op) {
+  STM::globalInit(Config);
+  RunResult Result;
+  {
+    auto Context = Setup();
+    std::atomic<bool> Stop{false};
+    std::atomic<bool> Go{false};
+    std::vector<uint64_t> Ops(Threads, 0);
+    std::vector<repro::TxStats> Stats(Threads);
+    std::vector<std::thread> Workers;
+    for (unsigned I = 0; I < Threads; ++I) {
+      Workers.emplace_back([&, I] {
+        stm::ThreadScope<STM> Scope;
+        auto &Tx = Scope.tx();
+        repro::Xorshift Rng(I * 7727 + 13);
+        unsigned GoSpin = 0;
+        while (!Go.load(std::memory_order_acquire))
+          repro::spinWait(GoSpin);
+        uint64_t Count = 0;
+        while (!Stop.load(std::memory_order_relaxed)) {
+          Op(*Context, Tx, Rng);
+          ++Count;
+        }
+        Ops[I] = Count;
+        Stats[I] = Tx.stats();
+      });
+    }
+    repro::Stopwatch Watch;
+    Go.store(true, std::memory_order_release);
+    uint64_t Millis = benchMillis();
+    std::this_thread::sleep_for(std::chrono::milliseconds(Millis));
+    Stop.store(true, std::memory_order_relaxed);
+    for (std::thread &W : Workers)
+      W.join();
+    double Seconds = Watch.elapsedSeconds();
+    uint64_t Total = 0;
+    for (unsigned I = 0; I < Threads; ++I) {
+      Total += Ops[I];
+      Result.Stats += Stats[I];
+    }
+    Result.Value = static_cast<double>(Total) / Seconds;
+  }
+  STM::globalShutdown();
+  return Result;
+}
+
+/// Fixed-work timing driver: Work(Context&, Tx&, ThreadId) must return
+/// when the shared work pool is exhausted. Result.Value is seconds.
+template <typename STM, typename SetupFn, typename WorkFn>
+RunResult runTimed(const stm::StmConfig &Config, unsigned Threads,
+                   SetupFn &&Setup, WorkFn &&Work) {
+  STM::globalInit(Config);
+  RunResult Result;
+  {
+    auto Context = Setup();
+    std::atomic<bool> Go{false};
+    std::vector<repro::TxStats> Stats(Threads);
+    std::vector<std::thread> Workers;
+    for (unsigned I = 0; I < Threads; ++I) {
+      Workers.emplace_back([&, I] {
+        stm::ThreadScope<STM> Scope;
+        auto &Tx = Scope.tx();
+        unsigned GoSpin = 0;
+        while (!Go.load(std::memory_order_acquire))
+          repro::spinWait(GoSpin);
+        Work(*Context, Tx, I);
+        Stats[I] = Tx.stats();
+      });
+    }
+    repro::Stopwatch Watch;
+    Go.store(true, std::memory_order_release);
+    for (std::thread &W : Workers)
+      W.join();
+    Result.Value = Watch.elapsedSeconds();
+    for (unsigned I = 0; I < Threads; ++I)
+      Result.Stats += Stats[I];
+  }
+  STM::globalShutdown();
+  return Result;
+}
+
+} // namespace bench
+
+#endif // BENCH_BENCHUTIL_H

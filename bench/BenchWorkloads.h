@@ -1,0 +1,288 @@
+//===- bench/BenchWorkloads.h - workload adapters for benches ---*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Thin adapters binding each workload to the BenchUtil drivers so the
+// figure binaries stay one-screen long.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCHWORKLOADS_H
+#define BENCH_BENCHWORKLOADS_H
+
+#include "bench/BenchUtil.h"
+#include "workloads/leetm/LeeRouter.h"
+#include "workloads/rbtree/RbTree.h"
+#include "workloads/stamp/Stamp.h"
+#include "workloads/stmbench7/Bench7.h"
+
+namespace bench {
+
+//===----------------------------------------------------------------------===//
+// Red-black tree microbenchmark (paper: range 16384, 20 % updates)
+//===----------------------------------------------------------------------===//
+
+struct RbTreeParams {
+  uint64_t Range = 16384;
+  unsigned UpdatePercent = 20;
+};
+
+/// Throughput of the red-black tree microbenchmark on \p STM.
+template <typename STM>
+RunResult rbTreeThroughput(const stm::StmConfig &Config, unsigned Threads,
+                           const RbTreeParams &Params = RbTreeParams()) {
+  using Tree = workloads::RbTree<STM>;
+  return runThroughput<STM>(
+      Config, Threads,
+      [&] {
+        auto Tree_ = std::make_unique<Tree>();
+        stm::ThreadScope<STM> Scope;
+        auto &Tx = Scope.tx();
+        for (uint64_t K = 0; K < Params.Range; K += 2)
+          stm::atomically(Tx,
+                          [&](auto &T) { Tree_->insert(T, K, K); });
+        return Tree_;
+      },
+      [Params](Tree &T, typename STM::Tx &Tx, repro::Xorshift &Rng) {
+        uint64_t Key = Rng.nextBounded(Params.Range);
+        unsigned P = static_cast<unsigned>(Rng.nextBounded(100));
+        if (P < Params.UpdatePercent / 2)
+          stm::atomically(Tx, [&](auto &X) { T.insert(X, Key, Key); });
+        else if (P < Params.UpdatePercent)
+          stm::atomically(Tx, [&](auto &X) { T.remove(X, Key); });
+        else
+          stm::atomically(Tx, [&](auto &X) { T.lookup(X, Key); });
+      });
+}
+
+//===----------------------------------------------------------------------===//
+// STMBench7-lite
+//===----------------------------------------------------------------------===//
+
+/// Throughput of one STMBench7-lite workload on \p STM.
+template <typename STM>
+RunResult bench7Throughput(const stm::StmConfig &Config, unsigned Threads,
+                           workloads::sb7::Workload7 Workload) {
+  using B7 = workloads::sb7::Bench7<STM>;
+  return runThroughput<STM>(
+      Config, Threads,
+      [] { return std::make_unique<B7>(); },
+      [Workload](B7 &B, typename STM::Tx &Tx, repro::Xorshift &Rng) {
+        B.runOperation(Tx, Rng, Workload);
+      });
+}
+
+//===----------------------------------------------------------------------===//
+// Lee-TM (fixed work: route every net; Value = seconds)
+//===----------------------------------------------------------------------===//
+
+template <typename STM>
+RunResult leeTimed(const stm::StmConfig &Config, unsigned Threads,
+                   workloads::lee::Board Board, double Scale = 1.0,
+                   unsigned IrregularPercent = 0) {
+  using Router = workloads::lee::LeeRouter<STM>;
+  struct Ctx {
+    std::unique_ptr<Router> R;
+  };
+  unsigned W = 0, H = 0;
+  auto Jobs = workloads::lee::generateBoard(Board, W, H, Scale);
+  return runTimed<STM>(
+      Config, Threads,
+      [&] {
+        auto C = std::make_unique<Ctx>();
+        C->R = std::make_unique<Router>(W, H, Jobs, IrregularPercent);
+        return C;
+      },
+      [](Ctx &C, typename STM::Tx &Tx, unsigned Tid) {
+        C.R->work(Tx, Tid + 1);
+      });
+}
+
+//===----------------------------------------------------------------------===//
+// STAMP-lite: every workload as a fixed-work run (Value = seconds)
+//===----------------------------------------------------------------------===//
+
+template <typename STM>
+RunResult stampBayes(const stm::StmConfig &Config, unsigned Threads) {
+  using App = workloads::stamp::Bayes<STM>;
+  workloads::stamp::BayesConfig Cfg;
+  Cfg.ProposalsPerThread = 600 / Threads + 1;
+  return runTimed<STM>(
+      Config, Threads, [&] { return std::make_unique<App>(Cfg); },
+      [](App &A, typename STM::Tx &Tx, unsigned Tid) {
+        A.work(Tx, Tid + 1);
+      });
+}
+
+template <typename STM>
+RunResult stampGenome(const stm::StmConfig &Config, unsigned Threads) {
+  using App = workloads::stamp::Genome<STM>;
+  workloads::stamp::GenomeConfig Cfg;
+  Cfg.GenomeLength = 2048;
+  struct Ctx {
+    explicit Ctx(const workloads::stamp::GenomeConfig &C, unsigned Parties)
+        : A(C), Barrier(Parties) {}
+    App A;
+    SpinBarrier Barrier;
+  };
+  return runTimed<STM>(
+      Config, Threads,
+      [&] { return std::make_unique<Ctx>(Cfg, Threads); },
+      [](Ctx &C, typename STM::Tx &Tx, unsigned) {
+        C.A.dedupWorker(Tx);
+        if (C.Barrier.arriveAndWait())
+          C.A.buildSegmentArray(); // sequential inter-phase step
+        C.Barrier.arriveAndWait();
+        C.A.indexWorker(Tx);
+        if (C.Barrier.arriveAndWait())
+          C.A.resetClaims();
+        C.Barrier.arriveAndWait();
+        C.A.linkWorker(Tx);
+      });
+}
+
+template <typename STM>
+RunResult stampIntruder(const stm::StmConfig &Config, unsigned Threads) {
+  using App = workloads::stamp::Intruder<STM>;
+  workloads::stamp::IntruderConfig Cfg;
+  Cfg.Flows = 384;
+  return runTimed<STM>(
+      Config, Threads, [&] { return std::make_unique<App>(Cfg); },
+      [](App &A, typename STM::Tx &Tx, unsigned) { A.work(Tx); });
+}
+
+template <typename STM>
+RunResult stampKMeans(const stm::StmConfig &Config, unsigned Threads,
+                      bool HighContention) {
+  using App = workloads::stamp::KMeans<STM>;
+  workloads::stamp::KMeansConfig Cfg;
+  Cfg.Points = 1024;
+  Cfg.Clusters = HighContention ? 4 : 16;
+  Cfg.Iterations = 4;
+  struct Ctx {
+    std::unique_ptr<App> A;
+    std::atomic<unsigned> Arrived{0};
+    std::atomic<unsigned> Iteration{0};
+  };
+  unsigned NumThreads = Threads;
+  unsigned Iterations = Cfg.Iterations;
+  return runTimed<STM>(
+      Config, Threads,
+      [&] {
+        auto C = std::make_unique<Ctx>();
+        C->A = std::make_unique<App>(Cfg);
+        return C;
+      },
+      [NumThreads, Iterations](Ctx &C, typename STM::Tx &Tx, unsigned Tid) {
+        unsigned N = C.A->pointCount();
+        unsigned Chunk = (N + NumThreads - 1) / NumThreads;
+        for (unsigned Iter = 0; Iter < Iterations; ++Iter) {
+          unsigned Begin = Tid * Chunk;
+          unsigned End = std::min(N, Begin + Chunk);
+          if (Begin < End)
+            C.A->assignChunk(Tx, Begin, End);
+          // Sense-reversing-free barrier: last thread of the iteration
+          // folds the accumulators and releases the others.
+          unsigned Arrived = C.Arrived.fetch_add(1) + 1;
+          if (Arrived == NumThreads * (Iter + 1)) {
+            C.A->finishIteration();
+            C.Iteration.fetch_add(1);
+          } else {
+            unsigned IterSpin = 0;
+            while (C.Iteration.load() <= Iter)
+              repro::spinWait(IterSpin);
+          }
+        }
+      });
+}
+
+template <typename STM>
+RunResult stampLabyrinth(const stm::StmConfig &Config, unsigned Threads) {
+  using Router = workloads::stamp::Labyrinth<STM>;
+  workloads::stamp::LabyrinthConfig Cfg;
+  auto Jobs = workloads::stamp::labyrinthJobs(Cfg);
+  return runTimed<STM>(
+      Config, Threads,
+      [&] {
+        return std::make_unique<Router>(Cfg.Width, Cfg.Height, Jobs);
+      },
+      [](Router &R, typename STM::Tx &Tx, unsigned Tid) {
+        R.work(Tx, Tid + 1);
+      });
+}
+
+template <typename STM>
+RunResult stampSsca2(const stm::StmConfig &Config, unsigned Threads) {
+  using App = workloads::stamp::Ssca2<STM>;
+  workloads::stamp::Ssca2Config Cfg;
+  Cfg.VerticesLog2 = 11;
+  return runTimed<STM>(
+      Config, Threads, [&] { return std::make_unique<App>(Cfg); },
+      [](App &A, typename STM::Tx &Tx, unsigned) { A.work(Tx); });
+}
+
+template <typename STM>
+RunResult stampVacation(const stm::StmConfig &Config, unsigned Threads,
+                        bool HighContention) {
+  using App = workloads::stamp::Vacation<STM>;
+  workloads::stamp::VacationConfig Cfg = HighContention
+                                             ? workloads::stamp::vacationHigh()
+                                             : workloads::stamp::vacationLow();
+  unsigned OpsPerThread = 3000 / Threads + 1;
+  return runTimed<STM>(
+      Config, Threads, [&] { return std::make_unique<App>(Cfg); },
+      [OpsPerThread](App &A, typename STM::Tx &Tx, unsigned Tid) {
+        repro::Xorshift Rng(Tid * 97 + 11);
+        for (unsigned I = 0; I < OpsPerThread; ++I)
+          A.clientOp(Tx, Rng);
+      });
+}
+
+template <typename STM>
+RunResult stampYada(const stm::StmConfig &Config, unsigned Threads) {
+  using App = workloads::stamp::Yada<STM>;
+  workloads::stamp::YadaConfig Cfg;
+  Cfg.GridCells = 10;
+  return runTimed<STM>(
+      Config, Threads, [&] { return std::make_unique<App>(Cfg); },
+      [](App &A, typename STM::Tx &Tx, unsigned) { A.work(Tx); });
+}
+
+/// Dispatch table over the ten STAMP workload names of Figure 3.
+template <typename STM>
+RunResult runStampWorkload(const std::string &Name,
+                           const stm::StmConfig &Config, unsigned Threads) {
+  if (Name == "bayes")
+    return stampBayes<STM>(Config, Threads);
+  if (Name == "genome")
+    return stampGenome<STM>(Config, Threads);
+  if (Name == "intruder")
+    return stampIntruder<STM>(Config, Threads);
+  if (Name == "kmeans-high")
+    return stampKMeans<STM>(Config, Threads, true);
+  if (Name == "kmeans-low")
+    return stampKMeans<STM>(Config, Threads, false);
+  if (Name == "labyrinth")
+    return stampLabyrinth<STM>(Config, Threads);
+  if (Name == "ssca2")
+    return stampSsca2<STM>(Config, Threads);
+  if (Name == "vacation-high")
+    return stampVacation<STM>(Config, Threads, true);
+  if (Name == "vacation-low")
+    return stampVacation<STM>(Config, Threads, false);
+  if (Name == "yada")
+    return stampYada<STM>(Config, Threads);
+  std::fprintf(stderr, "unknown STAMP workload: %s\n", Name.c_str());
+  std::abort();
+}
+
+inline const std::vector<std::string> &stampWorkloads() {
+  static const std::vector<std::string> Names = {
+      "bayes",  "genome",   "intruder",      "kmeans-high", "kmeans-low",
+      "labyrinth", "ssca2", "vacation-high", "vacation-low", "yada"};
+  return Names;
+}
+
+} // namespace bench
+
+#endif // BENCH_BENCHWORKLOADS_H

@@ -1,0 +1,40 @@
+//===- bench/bench_extra_extension.cpp - extra ablation ----------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Extra ablation (called out in DESIGN.md, not a paper figure):
+// timestamp extension on/off in SwissTM. Without extension a read of a
+// too-new version always aborts (TL2-style); with extension the
+// transaction revalidates and continues. Expected shape: extension
+// matters most for long transactions (STMBench7), little for the
+// red-black tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+using workloads::sb7::Workload7;
+
+static void sweep(bool Extension, const char *Name) {
+  stm::StmConfig Config;
+  Config.EnableExtension = Extension;
+  for (unsigned Threads : threadSweep()) {
+    double B7 = bench7Throughput<stm::SwissTm>(Config, Threads,
+                                               Workload7::ReadWrite)
+                    .Value;
+    Report::instance().add("extra-extension", "stmbench7-read-write", Name,
+                           Threads, "tx_per_s", B7);
+    double Rb = rbTreeThroughput<stm::SwissTm>(Config, Threads).Value;
+    Report::instance().add("extra-extension", "rbtree", Name, Threads,
+                           "tx_per_s", Rb);
+  }
+}
+
+int main() {
+  sweep(true, "extension-on");
+  sweep(false, "extension-off");
+  Report::instance().print(
+      "extra", "timestamp extension on/off (SwissTM)");
+  return 0;
+}

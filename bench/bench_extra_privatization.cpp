@@ -1,0 +1,40 @@
+//===- bench/bench_extra_privatization.cpp - extra ablation ------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Section 6 of the paper predicts that quiescence-based privatization
+// safety "would probably significantly impact performance". This bench
+// measures that prediction with our implementation of exactly that
+// mechanism: SwissTM with PrivatizationSafe on vs off, on the
+// red-black tree (short transactions; frequent quiescence waits) and
+// STMBench7-lite read-write (long readers block committers for longer).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+using workloads::sb7::Workload7;
+
+static void sweep(bool Safe, const char *Name) {
+  stm::StmConfig Config;
+  Config.PrivatizationSafe = Safe;
+  for (unsigned Threads : threadSweep()) {
+    double Rb = rbTreeThroughput<stm::SwissTm>(Config, Threads).Value;
+    Report::instance().add("extra-privatization", "rbtree", Name, Threads,
+                           "tx_per_s", Rb);
+    double B7 = bench7Throughput<stm::SwissTm>(Config, Threads,
+                                               Workload7::ReadWrite)
+                    .Value;
+    Report::instance().add("extra-privatization", "stmbench7-read-write",
+                           Name, Threads, "tx_per_s", B7);
+  }
+}
+
+int main() {
+  sweep(false, "unsafe-default");
+  sweep(true, "privatization-safe");
+  Report::instance().print(
+      "extra", "quiescence privatization safety cost (SwissTM)");
+  return 0;
+}

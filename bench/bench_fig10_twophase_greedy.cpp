@@ -1,0 +1,33 @@
+//===- bench/bench_fig10_twophase_greedy.cpp - Figure 10 --------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 10: the two-phase contention manager vs plain Greedy, both in
+// SwissTM, on the red-black tree microbenchmark. Paper shape: Greedy's
+// shared timestamp counter becomes a cache hot spot for short
+// transactions; the two-phase manager, which skips the counter for
+// short transactions, is faster and scales better.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+
+static void sweep(stm::CmKind Cm, const char *Name) {
+  stm::StmConfig Config;
+  Config.Cm = Cm;
+  for (unsigned Threads : threadSweep()) {
+    RunResult R = rbTreeThroughput<stm::SwissTm>(Config, Threads);
+    Report::instance().add("fig10", "rbtree", Name, Threads, "tx_per_s",
+                           R.Value);
+  }
+}
+
+int main() {
+  sweep(stm::CmKind::TwoPhase, "two-phase");
+  sweep(stm::CmKind::Greedy, "greedy");
+  Report::instance().print(
+      "10", "two-phase vs Greedy CM (SwissTM), red-black tree");
+  return 0;
+}

@@ -1,0 +1,34 @@
+//===- bench/bench_fig11_backoff.cpp - Figure 11 -----------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 11: randomized linear back-off after rollback, on vs off, in
+// SwissTM on STAMP's intruder (whose shared packet queue is a memory
+// hot spot). Paper shape: without back-off the benchmark stops scaling
+// at high thread counts; back-off restores it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+
+static void sweep(bool Backoff, const char *Name) {
+  stm::StmConfig Config;
+  Config.EnableRollbackBackoff = Backoff;
+  for (unsigned Threads : threadSweep()) {
+    RunResult R = stampIntruder<stm::SwissTm>(Config, Threads);
+    Report::instance().add("fig11", "intruder", Name, Threads, "seconds",
+                           R.Value);
+    Report::instance().add("fig11", "intruder", Name, Threads,
+                           "abort_ratio", R.Stats.abortRatio());
+  }
+}
+
+int main() {
+  sweep(true, "linear-backoff");
+  sweep(false, "no-backoff");
+  Report::instance().print(
+      "11", "rollback back-off on/off (SwissTM), STAMP intruder");
+  return 0;
+}

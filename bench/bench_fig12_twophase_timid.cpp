@@ -1,0 +1,36 @@
+//===- bench/bench_fig12_twophase_timid.cpp - Figure 12 ---------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 12: speedup (minus 1) of the two-phase contention manager over
+// the timid one, both in SwissTM, on the three STMBench7 workloads.
+// Paper shape: up to ~16% in the write-dominated workload, little
+// effect in the read-dominated one (few write/write conflicts there).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+using workloads::sb7::Workload7;
+
+int main() {
+  for (Workload7 W : {Workload7::ReadDominated, Workload7::ReadWrite,
+                      Workload7::WriteDominated}) {
+    for (unsigned Threads : threadSweep()) {
+      stm::StmConfig TwoPhase;
+      TwoPhase.Cm = stm::CmKind::TwoPhase;
+      double TP =
+          bench7Throughput<stm::SwissTm>(TwoPhase, Threads, W).Value;
+      stm::StmConfig Timid;
+      Timid.Cm = stm::CmKind::Timid;
+      double TI = bench7Throughput<stm::SwissTm>(Timid, Threads, W).Value;
+      Report::instance().add("fig12", workloads::sb7::workload7Name(W),
+                             "two-phase-vs-timid", Threads,
+                             "speedup_minus_1", TP / TI - 1.0);
+    }
+  }
+  Report::instance().print(
+      "12", "two-phase vs timid CM speedup (SwissTM), STMBench7");
+  return 0;
+}

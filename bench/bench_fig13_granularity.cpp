@@ -1,0 +1,117 @@
+//===- bench/bench_fig13_granularity.cpp - Figure 13 + Table 2 --------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Lock-granularity sensitivity of SwissTM at the top thread count:
+//   Figure 13: for each granularity 2^2..2^8 bytes, the average speedup
+//   (minus 1) against all other granularities across all benchmarks;
+//   Table 2:  per-benchmark relative speedups of 2^4 vs 2^2, 2^4 vs 2^6
+//   and 2^2 vs 2^6.
+//
+// Throughput-style benchmarks contribute tx/s; timed benchmarks
+// contribute 1/seconds, so "bigger is better" uniformly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+#include <cmath>
+#include <map>
+
+using namespace bench;
+using workloads::sb7::Workload7;
+
+namespace {
+
+/// Benchmark-score functor: returns a bigger-is-better score of
+/// SwissTM at the given granularity.
+using ScoreFn = std::function<double(unsigned GranLog2, unsigned Threads)>;
+
+std::vector<std::pair<std::string, ScoreFn>> benchmarkSet() {
+  std::vector<std::pair<std::string, ScoreFn>> Set;
+  for (const std::string &W : stampWorkloads())
+    Set.push_back({W, [W](unsigned G, unsigned T) {
+                     stm::StmConfig C;
+                     C.GranularityLog2 = G;
+                     return 1.0 /
+                            runStampWorkload<stm::SwissTm>(W, C, T).Value;
+                   }});
+  Set.push_back({"red-black tree", [](unsigned G, unsigned T) {
+                   stm::StmConfig C;
+                   C.GranularityLog2 = G;
+                   return rbTreeThroughput<stm::SwissTm>(C, T).Value;
+                 }});
+  Set.push_back({"Lee-TM memory", [](unsigned G, unsigned T) {
+                   stm::StmConfig C;
+                   C.GranularityLog2 = G;
+                   return 1.0 / leeTimed<stm::SwissTm>(
+                                    C, T, workloads::lee::Board::Memory, 0.6)
+                                    .Value;
+                 }});
+  Set.push_back({"Lee-TM main", [](unsigned G, unsigned T) {
+                   stm::StmConfig C;
+                   C.GranularityLog2 = G;
+                   return 1.0 / leeTimed<stm::SwissTm>(
+                                    C, T, workloads::lee::Board::Main, 0.5)
+                                    .Value;
+                 }});
+  for (auto [W, Name] : {std::pair{Workload7::ReadDominated, "STMBench7 read"},
+                         std::pair{Workload7::ReadWrite, "STMBench7 read-write"},
+                         std::pair{Workload7::WriteDominated,
+                                   "STMBench7 write"}})
+    Set.push_back({Name, [W](unsigned G, unsigned T) {
+                     stm::StmConfig C;
+                     C.GranularityLog2 = G;
+                     return bench7Throughput<stm::SwissTm>(C, T, W).Value;
+                   }});
+  return Set;
+}
+
+} // namespace
+
+int main() {
+  const unsigned Threads = maxThreads();
+  const std::vector<unsigned> Grans = {2, 3, 4, 5, 6, 7, 8};
+  auto Set = benchmarkSet();
+
+  // Score every (benchmark, granularity) cell once.
+  std::map<std::string, std::map<unsigned, double>> Score;
+  for (auto &[Name, Fn] : Set)
+    for (unsigned G : Grans)
+      Score[Name][G] = Fn(G, Threads);
+
+  // Figure 13: average speedup (minus 1) of each granularity against
+  // all others, averaged over benchmarks.
+  for (unsigned G : Grans) {
+    double Sum = 0;
+    unsigned N = 0;
+    for (auto &[Name, PerGran] : Score) {
+      for (unsigned Other : Grans) {
+        if (Other == G)
+          continue;
+        Sum += PerGran.at(G) / PerGran.at(Other) - 1.0;
+        ++N;
+      }
+    }
+    Report::instance().add("fig13", "average", "swisstm", Threads,
+                           "avg_speedup_minus_1_g" + std::to_string(G),
+                           Sum / N);
+  }
+
+  // Table 2: the paper's three pairwise columns per benchmark.
+  for (auto &[Name, PerGran] : Score) {
+    Report::instance().add("table2", Name, "swisstm", Threads,
+                           "g16_vs_g4_minus_1",
+                           PerGran.at(4) / PerGran.at(2) - 1.0);
+    Report::instance().add("table2", Name, "swisstm", Threads,
+                           "g16_vs_g64_minus_1",
+                           PerGran.at(4) / PerGran.at(6) - 1.0);
+    Report::instance().add("table2", Name, "swisstm", Threads,
+                           "g4_vs_g64_minus_1",
+                           PerGran.at(2) / PerGran.at(6) - 1.0);
+  }
+
+  Report::instance().print(
+      "13+table2", "lock granularity sweep 2^2..2^8 bytes (SwissTM)");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- bench/bench_fig3_stamp.cpp - Figure 3 -------------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 3: speedup of SwissTM over TL2 (top) and over TinySTM (bottom)
+// on the ten STAMP workloads for 1, 2, 4 and 8 threads. Reported value
+// is (time_baseline / time_swisstm) - 1, the paper's "Speedup - 1".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+
+int main() {
+  stm::StmConfig Config;
+  for (const std::string &Workload : stampWorkloads()) {
+    for (unsigned Threads : powerOfTwoSweep()) {
+      double Swiss =
+          runStampWorkload<stm::SwissTm>(Workload, Config, Threads).Value;
+      double Tl2 =
+          runStampWorkload<stm::Tl2>(Workload, Config, Threads).Value;
+      double Tiny =
+          runStampWorkload<stm::TinyStm>(Workload, Config, Threads).Value;
+      Report::instance().add("fig3-top", Workload, "swisstm-vs-tl2",
+                             Threads, "speedup_minus_1",
+                             Tl2 / Swiss - 1.0);
+      Report::instance().add("fig3-bottom", Workload, "swisstm-vs-tinystm",
+                             Threads, "speedup_minus_1",
+                             Tiny / Swiss - 1.0);
+      Report::instance().add("fig3-raw", Workload, "swisstm", Threads,
+                             "seconds", Swiss);
+      Report::instance().add("fig3-raw", Workload, "tl2", Threads,
+                             "seconds", Tl2);
+      Report::instance().add("fig3-raw", Workload, "tinystm", Threads,
+                             "seconds", Tiny);
+    }
+  }
+  Report::instance().print(
+      "3", "STAMP: SwissTM speedup over TL2 and TinySTM");
+  return 0;
+}

@@ -1,0 +1,38 @@
+//===- bench/bench_fig4_leetm.cpp - Figure 4 --------------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 4: Lee-TM execution time on the memory (top) and main (bottom)
+// boards for SwissTM, TinySTM and RSTM, threads 1..8. (The paper could
+// not run TL2 on Lee-TM; our port can, so TL2 is reported as an extra
+// series.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+using workloads::lee::Board;
+
+template <typename STM> static void sweep(Board B) {
+  stm::StmConfig Config;
+  for (unsigned Threads : threadSweep()) {
+    RunResult R = leeTimed<STM>(Config, Threads, B, /*Scale=*/0.8);
+    Report::instance().add("fig4", workloads::lee::boardName(B),
+                           STM::name(), Threads, "seconds", R.Value);
+    Report::instance().add("fig4", workloads::lee::boardName(B),
+                           STM::name(), Threads, "abort_ratio",
+                           R.Stats.abortRatio());
+  }
+}
+
+int main() {
+  for (Board B : {Board::Memory, Board::Main}) {
+    sweep<stm::SwissTm>(B);
+    sweep<stm::TinyStm>(B);
+    sweep<stm::Rstm>(B);
+    sweep<stm::Tl2>(B); // extra series, see header comment
+  }
+  Report::instance().print("4", "Lee-TM execution time, memory + main");
+  return 0;
+}

@@ -1,0 +1,35 @@
+//===- bench/bench_fig5_rbtree.cpp - Figure 5 -------------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 5: red-black tree microbenchmark throughput (range 16384, 20 %
+// updates) for the four STMs, threads 1..8. The paper's observations:
+// RSTM is far slower (per-access overhead), SwissTM pays its two-lock
+// overhead at one thread but overtakes TL2/TinySTM beyond ~4 threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+
+template <typename STM> static void sweep() {
+  stm::StmConfig Config;
+  for (unsigned Threads : threadSweep()) {
+    RunResult R = rbTreeThroughput<STM>(Config, Threads);
+    Report::instance().add("fig5", "rbtree", STM::name(), Threads,
+                           "tx_per_s", R.Value);
+    Report::instance().add("fig5", "rbtree", STM::name(), Threads,
+                           "abort_ratio", R.Stats.abortRatio());
+  }
+}
+
+int main() {
+  sweep<stm::SwissTm>();
+  sweep<stm::Tl2>();
+  sweep<stm::TinyStm>();
+  sweep<stm::Rstm>();
+  Report::instance().print(
+      "5", "red-black tree throughput, range 16384, 20% updates");
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench/bench_fig7_eager_lazy.cpp - Figure 7 ---------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 7: pure eager vs pure lazy conflict detection on the
+// read-dominated STMBench7 workload: TinySTM (eager), RSTM eager, RSTM
+// lazy, TL2 (lazy). Paper shape: eager beats lazy, with the RSTM pair
+// isolating the acquire policy from the rest of the implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+using workloads::sb7::Workload7;
+
+int main() {
+  for (unsigned Threads : threadSweep()) {
+    stm::StmConfig EagerCfg;
+    EagerCfg.Cm = stm::CmKind::Polka;
+    EagerCfg.RstmEagerAcquire = true;
+    RunResult Eager = bench7Throughput<stm::Rstm>(EagerCfg, Threads,
+                                                  Workload7::ReadDominated);
+    Report::instance().add("fig7", "read-dominated", "rstm-eager", Threads,
+                           "tx_per_s", Eager.Value);
+
+    stm::StmConfig LazyCfg = EagerCfg;
+    LazyCfg.RstmEagerAcquire = false;
+    RunResult Lazy = bench7Throughput<stm::Rstm>(LazyCfg, Threads,
+                                                 Workload7::ReadDominated);
+    Report::instance().add("fig7", "read-dominated", "rstm-lazy", Threads,
+                           "tx_per_s", Lazy.Value);
+
+    stm::StmConfig Default;
+    RunResult Tiny = bench7Throughput<stm::TinyStm>(Default, Threads,
+                                                    Workload7::ReadDominated);
+    Report::instance().add("fig7", "read-dominated", "tinystm-eager",
+                           Threads, "tx_per_s", Tiny.Value);
+
+    RunResult Tl2 = bench7Throughput<stm::Tl2>(Default, Threads,
+                                               Workload7::ReadDominated);
+    Report::instance().add("fig7", "read-dominated", "tl2-lazy", Threads,
+                           "tx_per_s", Tl2.Value);
+  }
+  Report::instance().print(
+      "7", "eager vs lazy conflict detection, STMBench7 read-dominated");
+  return 0;
+}

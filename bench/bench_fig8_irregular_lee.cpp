@@ -1,0 +1,42 @@
+//===- bench/bench_fig8_irregular_lee.cpp - Figure 8 ------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 8: the "irregular" Lee-TM experiment (memory board). Every
+// transaction reads a shared object Oc; a fraction R in {0, 5, 20} % of
+// transactions also updates it, creating read/write conflicts with all
+// concurrent routing transactions. Paper shape: SwissTM degrades only
+// slightly as R grows (lazy r/w detection lets readers slide past the
+// writer), while TinySTM (eager r/w: readers abort on a locked Oc)
+// degrades sharply and stops scaling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+
+template <typename STM> static void sweep(unsigned R) {
+  stm::StmConfig Config;
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "memory-R%u", R);
+  for (unsigned Threads : threadSweep()) {
+    RunResult Run = leeTimed<STM>(Config, Threads,
+                                  workloads::lee::Board::Memory,
+                                  /*Scale=*/0.7, /*IrregularPercent=*/R);
+    Report::instance().add("fig8", Name, STM::name(), Threads, "seconds",
+                           Run.Value);
+    Report::instance().add("fig8", Name, STM::name(), Threads,
+                           "abort_ratio", Run.Stats.abortRatio());
+  }
+}
+
+int main() {
+  for (unsigned R : {0u, 5u, 20u}) {
+    sweep<stm::SwissTm>(R);
+    sweep<stm::TinyStm>(R);
+  }
+  Report::instance().print(
+      "8", "irregular Lee-TM: SwissTM vs TinySTM, R in {0,5,20}%");
+  return 0;
+}

@@ -1,0 +1,36 @@
+//===- bench/bench_fig9_polka_greedy.cpp - Figure 9 --------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Figure 9: Polka vs Greedy contention management in RSTM on the
+// read-dominated STMBench7 workload. Paper shape: Greedy beats Polka on
+// this large-scale benchmark (the reverse of the small-benchmark
+// folklore) because Greedy's age priority protects long transactions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+using workloads::sb7::Workload7;
+
+static void sweep(stm::CmKind Cm, const char *Name) {
+  stm::StmConfig Config;
+  Config.Cm = Cm;
+  for (unsigned Threads : threadSweep()) {
+    RunResult R = bench7Throughput<stm::Rstm>(Config, Threads,
+                                              Workload7::ReadDominated);
+    Report::instance().add("fig9", "read-dominated", Name, Threads,
+                           "tx_per_s", R.Value);
+    Report::instance().add("fig9", "read-dominated", Name, Threads,
+                           "abort_ratio", R.Stats.abortRatio());
+  }
+}
+
+int main() {
+  sweep(stm::CmKind::Greedy, "rstm-greedy");
+  sweep(stm::CmKind::Polka, "rstm-polka");
+  Report::instance().print(
+      "9", "Polka vs Greedy (RSTM), STMBench7 read-dominated");
+  return 0;
+}

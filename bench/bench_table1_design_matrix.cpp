@@ -1,0 +1,77 @@
+//===- bench/bench_table1_design_matrix.cpp - Table 1 ------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Table 1: effectiveness of STM design-choice combinations on mixed
+// workloads. Each row of the paper's table maps to a concrete
+// configuration here; the printed score is throughput on the STMBench7
+// read-write workload at the top thread count (the "mixed workload"
+// regime the table summarizes), plus the red-black tree as the
+// short-transaction sanity check.
+//
+//   lazy  invisible any        -> RSTM lazy/invisible/timid
+//   eager visible   any        -> RSTM eager/visible/timid
+//   eager invisible Polka      -> RSTM eager/invisible/Polka
+//   eager invisible timid      -> TinySTM (native eager+invisible+timid)
+//   eager invisible Greedy     -> RSTM eager/invisible/Greedy
+//   mixed invisible timid      -> SwissTM with timid CM
+//   mixed invisible Greedy     -> SwissTM with Greedy CM
+//   mixed invisible two-phase  -> SwissTM (the paper's design)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+using workloads::sb7::Workload7;
+
+namespace {
+
+template <typename STM>
+void row(const char *Name, const stm::StmConfig &Config) {
+  unsigned Threads = maxThreads();
+  double Mixed =
+      bench7Throughput<STM>(Config, Threads, Workload7::ReadWrite).Value;
+  double Short = rbTreeThroughput<STM>(Config, Threads).Value;
+  Report::instance().add("table1", "stmbench7-read-write", Name, Threads,
+                         "tx_per_s", Mixed);
+  Report::instance().add("table1", "rbtree", Name, Threads, "tx_per_s",
+                         Short);
+}
+
+} // namespace
+
+int main() {
+  stm::StmConfig C;
+
+  C.Cm = stm::CmKind::Timid;
+  C.RstmEagerAcquire = false;
+  C.RstmVisibleReads = false;
+  row<stm::Rstm>("lazy-invisible-timid", C);
+
+  C.RstmEagerAcquire = true;
+  C.RstmVisibleReads = true;
+  row<stm::Rstm>("eager-visible-timid", C);
+
+  C.RstmVisibleReads = false;
+  C.Cm = stm::CmKind::Polka;
+  row<stm::Rstm>("eager-invisible-polka", C);
+
+  stm::StmConfig Default;
+  row<stm::TinyStm>("eager-invisible-timid", Default);
+
+  C.Cm = stm::CmKind::Greedy;
+  row<stm::Rstm>("eager-invisible-greedy", C);
+
+  stm::StmConfig Swiss;
+  Swiss.Cm = stm::CmKind::Timid;
+  row<stm::SwissTm>("mixed-invisible-timid", Swiss);
+  Swiss.Cm = stm::CmKind::Greedy;
+  row<stm::SwissTm>("mixed-invisible-greedy", Swiss);
+  Swiss.Cm = stm::CmKind::TwoPhase;
+  row<stm::SwissTm>("mixed-invisible-two-phase", Swiss);
+
+  Report::instance().print(
+      "table1", "design-choice matrix: acquire x reads x CM");
+  return 0;
+}

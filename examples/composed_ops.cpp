@@ -1,0 +1,143 @@
+//===- examples/composed_ops.cpp - composing transactional operations -------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The paper's opening argument for TM is *composability* (Harris et
+// al., PPoPP'05): operations written as transactions compose into
+// bigger atomic operations without knowing each other's locking
+// discipline. This example composes two independently written
+// transactional structures -- a red-black tree "catalog" and a hash-map
+// "inventory" -- into one atomic "purchase" operation through flat
+// nesting, something impossible to get right with the structures' own
+// fine-grained locks.
+//
+// Build & run:  ./build/examples/composed_ops
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "workloads/containers/TxHashMap.h"
+#include "workloads/rbtree/RbTree.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using Stm = stm::SwissTm;
+
+namespace {
+
+constexpr uint64_t NumItems = 128;
+constexpr uint64_t InitialStock = 50;
+
+struct Shop {
+  workloads::RbTree<Stm> Catalog;      // item id -> price
+  workloads::TxHashMap<Stm> Inventory; // item id -> stock count
+  alignas(64) stm::Word Revenue = 0;
+};
+
+/// Library operation A (written against the tree alone).
+bool lookupPrice(Stm::Tx &Tx, Shop &S, uint64_t Item, uint64_t *Price) {
+  bool Found = false;
+  bool *FoundPtr = &Found;
+  stm::atomically(Tx, [&, FoundPtr](Stm::Tx &T) {
+    *FoundPtr = S.Catalog.lookup(T, Item, Price);
+  });
+  return Found;
+}
+
+/// Library operation B (written against the map alone).
+bool takeOneFromStock(Stm::Tx &Tx, Shop &S, uint64_t Item) {
+  bool Taken = false;
+  bool *TakenPtr = &Taken;
+  stm::atomically(Tx, [&, TakenPtr](Stm::Tx &T) {
+    stm::Word Stock = 0;
+    if (!S.Inventory.lookup(T, Item, &Stock) || Stock == 0) {
+      *TakenPtr = false;
+      return;
+    }
+    S.Inventory.update(T, Item, Stock - 1);
+    *TakenPtr = true;
+  });
+  return Taken;
+}
+
+/// The composition: price lookup + stock decrement + revenue update as
+/// ONE atomic step. The inner atomically() calls flatten into this
+/// transaction, so either everything happens or nothing does.
+bool purchase(Stm::Tx &Tx, Shop &S, uint64_t Item) {
+  bool Ok = false;
+  bool *OkPtr = &Ok;
+  stm::atomically(Tx, [&, OkPtr](Stm::Tx &T) {
+    *OkPtr = false;
+    uint64_t Price = 0;
+    if (!lookupPrice(T, S, Item, &Price)) // composes: flat nesting
+      return;
+    if (!takeOneFromStock(T, S, Item)) // composes too
+      return;
+    T.store(&S.Revenue, T.load(&S.Revenue) + Price);
+    *OkPtr = true;
+  });
+  return Ok;
+}
+
+} // namespace
+
+int main() {
+  stm::GlobalInit<Stm> Guard;
+  Shop S;
+  {
+    stm::ThreadScope<Stm> Scope;
+    auto &Tx = Scope.tx();
+    for (uint64_t I = 0; I < NumItems; ++I)
+      stm::atomically(Tx, [&](Stm::Tx &T) {
+        S.Catalog.insert(T, I, 10 + I % 7);
+        S.Inventory.insert(T, I, InitialStock);
+      });
+  }
+
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> Purchases{0};
+  for (unsigned Id = 0; Id < 4; ++Id) {
+    Threads.emplace_back([&S, &Purchases, Id] {
+      stm::ThreadScope<Stm> Scope;
+      auto &Tx = Scope.tx();
+      repro::Xorshift Rng(Id + 5);
+      uint64_t Mine = 0;
+      for (int I = 0; I < 5000; ++I)
+        Mine += purchase(Tx, S, Rng.nextBounded(NumItems));
+      Purchases.fetch_add(Mine);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Invariant: revenue equals the sum of prices of all sold units,
+  // which equals initial stock minus remaining stock, priced per item.
+  uint64_t ExpectedRevenue = 0, Sold = 0;
+  {
+    stm::ThreadScope<Stm> Scope;
+    auto &Tx = Scope.tx();
+    uint64_t *ERPtr = &ExpectedRevenue, *SoldPtr = &Sold;
+    stm::atomically(Tx, [&, ERPtr, SoldPtr](Stm::Tx &T) {
+      *ERPtr = 0;
+      *SoldPtr = 0;
+      for (uint64_t I = 0; I < NumItems; ++I) {
+        uint64_t Price = 0;
+        stm::Word Stock = 0;
+        S.Catalog.lookup(T, I, &Price);
+        S.Inventory.lookup(T, I, &Stock);
+        *SoldPtr += InitialStock - Stock;
+        *ERPtr += (InitialStock - Stock) * Price;
+      }
+    });
+  }
+  bool Ok = ExpectedRevenue == S.Revenue && Sold == Purchases.load();
+  std::printf("purchases=%llu sold-units=%llu revenue=%llu expected=%llu "
+              "-> %s\n",
+              (unsigned long long)Purchases.load(),
+              (unsigned long long)Sold, (unsigned long long)S.Revenue,
+              (unsigned long long)ExpectedRevenue, Ok ? "OK" : "BROKEN");
+  return Ok ? 0 : 1;
+}

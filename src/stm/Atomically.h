@@ -1,0 +1,137 @@
+//===- stm/Atomically.h - transaction boundary harness ----------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Like the C STM libraries this repository models, aborts restart the
+// transaction with longjmp back to the setjmp captured at the boundary.
+// Consequence (documented in the README): a transaction body must not
+// hold objects with non-trivial destructors across transactional
+// operations, because an abort will not run them.
+//
+// Nesting is flattened ("closed nesting ... no clear advantage",
+// Section 6): an inner atomically() merges into the enclosing
+// transaction, and an inner abort restarts the outermost boundary.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_ATOMICALLY_H
+#define STM_ATOMICALLY_H
+
+#include "stm/Word.h"
+
+#include <csetjmp>
+#include <type_traits>
+#include <utility>
+
+namespace stm {
+
+/// Runs \p Body as one transaction on descriptor \p Tx, retrying on
+/// abort until it commits. \p Body receives the descriptor and performs
+/// accesses through Tx.load / Tx.store / loadField / storeField.
+///
+/// noinline is load-bearing: setjmp must live in this function's own
+/// frame, not the caller's. If the call were inlined, the caller's
+/// locals modified between setjmp and an abort's longjmp would be
+/// clobbered on restart (C11 7.13.2.1p3); keeping the frame separate
+/// means only Tx and Body -- both unmodified -- live with the setjmp.
+template <typename TxT, typename Fn>
+__attribute__((noinline)) void atomically(TxT &Tx, Fn &&Body) {
+  if (Tx.inTransaction()) {
+    Body(Tx); // flat nesting: run inside the enclosing transaction
+    return;
+  }
+  // Returns 0 when first armed; rollback() longjmps back here with 1 and
+  // execution falls through into onStart() for the retry.
+  setjmp(Tx.jumpEnv());
+  Tx.onStart();
+  Body(Tx);
+  Tx.commit();
+}
+
+/// Transactionally reads a POD field of any size/alignment by loading
+/// the containing word(s). \p Field must point into transactional memory.
+template <typename T, typename TxT> T loadField(TxT &Tx, const T *Field) {
+  static_assert(std::is_trivially_copyable_v<T>, "need a POD field");
+  if constexpr (sizeof(T) == sizeof(Word)) {
+    if (isWordAligned(Field))
+      return fromWord<T>(
+          Tx.load(reinterpret_cast<const Word *>(Field)));
+  }
+  // Slow path: gather from containing words.
+  unsigned char Bytes[sizeof(T)];
+  const unsigned char *Src = reinterpret_cast<const unsigned char *>(Field);
+  for (std::size_t I = 0; I < sizeof(T);) {
+    const Word *Cell = alignToWord(Src + I);
+    std::size_t Offset =
+        (Src + I) - reinterpret_cast<const unsigned char *>(Cell);
+    std::size_t Chunk = WordSize - Offset;
+    if (Chunk > sizeof(T) - I)
+      Chunk = sizeof(T) - I;
+    Word W = Tx.load(Cell);
+    std::memcpy(Bytes + I, reinterpret_cast<unsigned char *>(&W) + Offset,
+                Chunk);
+    I += Chunk;
+  }
+  T Value;
+  std::memcpy(&Value, Bytes, sizeof(T));
+  return Value;
+}
+
+/// Transactionally writes a POD field of any size/alignment by
+/// read-modify-writing the containing word(s).
+template <typename T, typename TxT>
+void storeField(TxT &Tx, T *Field, T Value) {
+  static_assert(std::is_trivially_copyable_v<T>, "need a POD field");
+  if constexpr (sizeof(T) == sizeof(Word)) {
+    if (isWordAligned(Field)) {
+      Tx.store(reinterpret_cast<Word *>(Field), toWord(Value));
+      return;
+    }
+  }
+  const unsigned char *Src = reinterpret_cast<const unsigned char *>(&Value);
+  unsigned char *Dst = reinterpret_cast<unsigned char *>(Field);
+  for (std::size_t I = 0; I < sizeof(T);) {
+    Word *Cell = alignToWord(Dst + I);
+    std::size_t Offset = (Dst + I) - reinterpret_cast<unsigned char *>(Cell);
+    std::size_t Chunk = WordSize - Offset;
+    if (Chunk > sizeof(T) - I)
+      Chunk = sizeof(T) - I;
+    Word W = Tx.load(Cell);
+    std::memcpy(reinterpret_cast<unsigned char *>(&W) + Offset, Src + I,
+                Chunk);
+    Tx.store(Cell, W);
+    I += Chunk;
+  }
+}
+
+/// Transactionally loads a pointer field.
+template <typename T, typename TxT>
+T *loadPtr(TxT &Tx, T *const *Field) {
+  return reinterpret_cast<T *>(
+      Tx.load(reinterpret_cast<const Word *>(Field)));
+}
+
+/// Transactionally stores a pointer field.
+template <typename T, typename TxT>
+void storePtr(TxT &Tx, T **Field, T *Value) {
+  Tx.store(reinterpret_cast<Word *>(Field),
+           reinterpret_cast<Word>(Value));
+}
+
+/// RAII helper: initializes an STM's global state on construction and
+/// tears it down on destruction.
+template <typename STM> class GlobalInit {
+public:
+  GlobalInit() { STM::globalInit({}); }
+  explicit GlobalInit(const struct StmConfig &Config) {
+    STM::globalInit(Config);
+  }
+  ~GlobalInit() { STM::globalShutdown(); }
+
+  GlobalInit(const GlobalInit &) = delete;
+  GlobalInit &operator=(const GlobalInit &) = delete;
+};
+
+} // namespace stm
+
+#endif // STM_ATOMICALLY_H

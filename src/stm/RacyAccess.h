@@ -1,0 +1,34 @@
+//===- stm/RacyAccess.h - version-guarded data accesses ---------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STM data accesses race by design: an invisible reader may load a word
+// while a committing writer stores it, and correctness comes from the
+// read-lock version re-check, not from happens-before. These helpers
+// perform those accesses as relaxed atomics so the races are defined
+// behaviour, with the required ordering supplied by the lock words.
+// The commit protocols additionally assume TSO-like store ordering
+// (x86); see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_RACYACCESS_H
+#define STM_RACYACCESS_H
+
+#include "stm/Word.h"
+
+namespace stm {
+
+/// Relaxed-atomic load of a (possibly concurrently written) data word.
+inline Word racyLoad(const Word *Addr) {
+  return __atomic_load_n(Addr, __ATOMIC_RELAXED);
+}
+
+/// Relaxed-atomic store of a data word during commit write-back.
+inline void racyStore(Word *Addr, Word Value) {
+  __atomic_store_n(Addr, Value, __ATOMIC_RELAXED);
+}
+
+} // namespace stm
+
+#endif // STM_RACYACCESS_H

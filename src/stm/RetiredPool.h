@@ -1,0 +1,81 @@
+//===- stm/RetiredPool.h - process-wide retired-block pool ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// When a transactional thread shuts down it may still hold retired
+// blocks whose quiescence horizon has not passed (other threads can be
+// mid-transaction). Those blocks are handed to this global pool and
+// released once safe, or at the latest at STM global shutdown.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_RETIREDPOOL_H
+#define STM_RETIREDPOOL_H
+
+#include "support/ThreadRegistry.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+namespace stm {
+
+/// Thread-safe pool of (block, retire-timestamp) pairs.
+class RetiredPool {
+public:
+  /// Singleton shared by all STMs in the process.
+  static RetiredPool &instance() {
+    static RetiredPool Pool;
+    return Pool;
+  }
+
+  void add(void *Ptr, uint64_t RetireTs) {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Blocks.push_back(Block{Ptr, RetireTs});
+  }
+
+  /// Frees every block older than the current quiescence horizon.
+  std::size_t collect() {
+    uint64_t Horizon = repro::ThreadRegistry::minActiveStart();
+    std::lock_guard<std::mutex> Guard(Lock);
+    std::size_t Released = 0;
+    std::deque<Block> Keep;
+    for (const Block &B : Blocks) {
+      if (B.RetireTs < Horizon) {
+        std::free(B.Ptr);
+        ++Released;
+      } else {
+        Keep.push_back(B);
+      }
+    }
+    Blocks.swap(Keep);
+    return Released;
+  }
+
+  /// Frees everything. Only safe when no transaction can be in flight.
+  void releaseAll() {
+    std::lock_guard<std::mutex> Guard(Lock);
+    for (const Block &B : Blocks)
+      std::free(B.Ptr);
+    Blocks.clear();
+  }
+
+  std::size_t size() {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Blocks.size();
+  }
+
+private:
+  struct Block {
+    void *Ptr;
+    uint64_t RetireTs;
+  };
+
+  std::mutex Lock;
+  std::deque<Block> Blocks;
+};
+
+} // namespace stm
+
+#endif // STM_RETIREDPOOL_H

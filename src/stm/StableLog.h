@@ -1,0 +1,105 @@
+//===- stm/StableLog.h - pointer-stable append-only log --------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// SwissTM's write lock stores a *pointer* to the owner's write-log entry
+// (Section 3.3), and TinySTM's encounter-time lock does the same, so log
+// entries must never move once created. StableLog allocates in fixed
+// chunks: growth never relocates existing entries, and clear() retains
+// the chunks so steady-state transactions allocate nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_STABLELOG_H
+#define STM_STABLELOG_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace stm {
+
+/// Append-only container with stable element addresses and O(1) clear.
+template <typename T, std::size_t ChunkSize = 256> class StableLog {
+public:
+  /// Appends a value and returns a pointer that stays valid until the
+  /// log is destroyed (clear() recycles slots but not addresses handed
+  /// out before the clear — callers must not retain entries across
+  /// transactions).
+  T *push(const T &Value) {
+    T *Slot = allocate();
+    *Slot = Value;
+    return Slot;
+  }
+
+  /// Appends a default-constructed value.
+  T *pushDefault() {
+    T *Slot = allocate();
+    *Slot = T();
+    return Slot;
+  }
+
+  /// Removes the most recently pushed entry (used when a lock CAS loses
+  /// the race and the speculative entry must be withdrawn).
+  void popBack() {
+    assert(Count > 0 && "popBack on empty log");
+    --Count;
+  }
+
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Discards all entries; keeps chunk storage for reuse.
+  void clear() { Count = 0; }
+
+  /// Element access by insertion index.
+  T &operator[](std::size_t I) {
+    assert(I < Count && "log index out of range");
+    return Chunks[I / ChunkSize][I % ChunkSize];
+  }
+
+  const T &operator[](std::size_t I) const {
+    assert(I < Count && "log index out of range");
+    return Chunks[I / ChunkSize][I % ChunkSize];
+  }
+
+  /// Minimal forward iteration support.
+  template <typename Fn> void forEach(Fn &&Visit) {
+    for (std::size_t I = 0; I < Count; ++I)
+      Visit((*this)[I]);
+  }
+
+  template <typename Fn> void forEachReverse(Fn &&Visit) {
+    for (std::size_t I = Count; I > 0; --I)
+      Visit((*this)[I - 1]);
+  }
+
+private:
+  T *allocate() {
+    std::size_t Chunk = Count / ChunkSize;
+    if (Chunk == Chunks.size())
+      Chunks.push_back(std::make_unique<T[]>(ChunkSize).release());
+    T *Slot = &Chunks[Chunk][Count % ChunkSize];
+    ++Count;
+    return Slot;
+  }
+
+public:
+  StableLog() = default;
+  StableLog(const StableLog &) = delete;
+  StableLog &operator=(const StableLog &) = delete;
+
+  ~StableLog() {
+    for (T *Chunk : Chunks)
+      delete[] Chunk;
+  }
+
+private:
+  std::vector<T *> Chunks;
+  std::size_t Count = 0;
+};
+
+} // namespace stm
+
+#endif // STM_STABLELOG_H

@@ -1,0 +1,22 @@
+//===- stm/Stm.h - umbrella header for the STM library ----------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Pulls in the public API: the four STMs (SwissTm, Tl2, TinyStm, Rstm),
+// the atomically() boundary, typed field accessors, per-thread scopes
+// and the global configuration. See README.md for a quickstart.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_STM_H
+#define STM_STM_H
+
+#include "stm/Atomically.h"
+#include "stm/Config.h"
+#include "stm/ThreadScope.h"
+#include "stm/rstm/Rstm.h"
+#include "stm/swisstm/SwissTm.h"
+#include "stm/tinystm/TinyStm.h"
+#include "stm/tl2/Tl2.h"
+
+#endif // STM_STM_H

@@ -1,0 +1,39 @@
+//===- stm/ThreadScope.h - per-thread STM attachment ------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_THREADSCOPE_H
+#define STM_THREADSCOPE_H
+
+#include "support/ThreadRegistry.h"
+
+namespace stm {
+
+/// RAII attachment of the current thread to an STM: claims a registry
+/// slot, constructs the descriptor, and on destruction drains retired
+/// memory and returns the slot. Create exactly one per worker thread.
+template <typename STM> class ThreadScope {
+public:
+  ThreadScope()
+      : Slot(repro::ThreadRegistry::acquireSlot()), Descriptor(Slot) {}
+
+  ~ThreadScope() {
+    Descriptor.threadShutdown();
+    repro::ThreadRegistry::releaseSlot(Slot);
+  }
+
+  ThreadScope(const ThreadScope &) = delete;
+  ThreadScope &operator=(const ThreadScope &) = delete;
+
+  typename STM::Tx &tx() { return Descriptor; }
+
+private:
+  unsigned Slot;
+  typename STM::Tx Descriptor;
+};
+
+} // namespace stm
+
+#endif // STM_THREADSCOPE_H

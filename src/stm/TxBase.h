@@ -1,0 +1,114 @@
+//===- stm/TxBase.h - shared transaction-descriptor state -------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// State common to all four STM descriptors: the setjmp environment used
+// for abort-restart, flat-nesting depth, per-thread statistics, the
+// transactional allocator, the kill flag used by aggressive contention
+// managers, and the successive-abort counter feeding back-off.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_TXBASE_H
+#define STM_TXBASE_H
+
+#include "stm/RetiredPool.h"
+#include "stm/TxMemory.h"
+#include "stm/Word.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/ThreadRegistry.h"
+
+#include <atomic>
+#include <csetjmp>
+#include <cstdint>
+
+namespace stm {
+
+/// Non-template base of every transaction descriptor.
+class TxBase {
+public:
+  explicit TxBase(unsigned Slot)
+      : Slot(Slot), Rng(0x5bd1e995u * (Slot + 1)) {}
+
+  TxBase(const TxBase &) = delete;
+  TxBase &operator=(const TxBase &) = delete;
+
+  /// setjmp target armed by stm::atomically.
+  std::jmp_buf &jumpEnv() { return Env; }
+
+  /// True while a transaction (at any nesting depth) is executing.
+  bool inTransaction() const { return Depth > 0; }
+
+  repro::TxStats &stats() { return Stats; }
+  const repro::TxStats &stats() const { return Stats; }
+
+  unsigned threadSlot() const { return Slot; }
+
+  /// Transactional allocation: rolled back if the transaction aborts.
+  void *txMalloc(std::size_t Size) { return Mem.txMalloc(Size); }
+
+  /// Transactional free: performed only if the transaction commits, and
+  /// physically released only after all concurrent transactions finish.
+  void txFree(void *Ptr) { Mem.txFree(Ptr); }
+
+  /// Requests this descriptor's current transaction to abort; checked
+  /// cooperatively at every transactional operation.
+  void requestKill() { KillFlag.store(true, std::memory_order_release); }
+
+  bool killRequested() const {
+    return KillFlag.load(std::memory_order_relaxed);
+  }
+
+protected:
+  /// Resets per-attempt base state. Called from each STM's onStart.
+  void baseStart() {
+    Depth = 1;
+    KillFlag.store(false, std::memory_order_relaxed);
+  }
+
+  /// Bookkeeping shared by all commit paths.
+  void baseCommit(uint64_t CommitTs) {
+    ++Stats.Commits;
+    SuccessiveAborts = 0;
+    FreshStart = true;
+    Depth = 0;
+    Mem.onCommit(CommitTs);
+    repro::ThreadRegistry::publishIdle(Slot);
+  }
+
+  /// Bookkeeping shared by all abort paths (does not longjmp).
+  void baseAbort() {
+    ++Stats.Aborts;
+    ++SuccessiveAborts;
+    FreshStart = false;
+    Depth = 0;
+    Mem.onAbort();
+    repro::ThreadRegistry::publishIdle(Slot);
+  }
+
+  /// Thread-shutdown hook: drains unreclaimed retired blocks into the
+  /// global pool so other threads' in-flight transactions stay safe.
+  void baseShutdown() {
+    Mem.collect();
+    Mem.drainTo([](void *Ptr, uint64_t Ts) {
+      RetiredPool::instance().add(Ptr, Ts);
+    });
+  }
+
+  std::jmp_buf Env;
+  unsigned Depth = 0;
+  unsigned Slot;
+  /// False when this attempt is a restart of an aborted transaction; the
+  /// two-phase manager keeps its Greedy timestamp across restarts.
+  bool FreshStart = true;
+  unsigned SuccessiveAborts = 0;
+  std::atomic<bool> KillFlag{false};
+  repro::TxStats Stats;
+  TxMemory Mem;
+  repro::Xorshift Rng;
+};
+
+} // namespace stm
+
+#endif // STM_TXBASE_H

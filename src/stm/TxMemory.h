@@ -1,0 +1,120 @@
+//===- stm/TxMemory.h - transactional malloc/free ---------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Dynamic-structure benchmarks (red-black tree, vacation, genome, ...)
+// allocate and free inside transactions. The contract implemented here:
+//
+//   * txMalloc: allocation is immediate; if the transaction aborts the
+//     block is returned to the allocator (it was never visible).
+//   * txFree: the free is deferred to commit; if the transaction aborts
+//     the block stays live.
+//   * After commit, a freed block is *retired*, not released: invisible
+//     readers in doomed transactions may still dereference it. A block
+//     retired at commit timestamp T is handed back to malloc only once
+//     every in-flight transaction started after T (quiescence via
+//     ThreadRegistry::minActiveStart).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_TXMEMORY_H
+#define STM_TXMEMORY_H
+
+#include "support/ThreadRegistry.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+namespace stm {
+
+/// Per-thread transactional allocator. Owned by one descriptor; not
+/// thread-safe (it never needs to be).
+class TxMemory {
+public:
+  ~TxMemory() { releaseAll(); }
+
+  /// Allocates \p Size bytes inside the current transaction.
+  void *txMalloc(std::size_t Size) {
+    void *Ptr = std::malloc(Size);
+    Allocs.push_back(Ptr);
+    return Ptr;
+  }
+
+  /// Schedules \p Ptr to be freed if the current transaction commits.
+  void txFree(void *Ptr) {
+    if (Ptr != nullptr)
+      Frees.push_back(Ptr);
+  }
+
+  /// Commit hook: deferred frees become retired blocks stamped with the
+  /// committing transaction's timestamp; speculative allocations become
+  /// permanent.
+  void onCommit(uint64_t CommitTs) {
+    for (void *Ptr : Frees)
+      Retired.push_back(Block{Ptr, CommitTs});
+    Frees.clear();
+    Allocs.clear();
+    if (Retired.size() >= CollectThreshold)
+      collect();
+  }
+
+  /// Abort hook: speculative allocations are rolled back; deferred frees
+  /// are forgotten.
+  void onAbort() {
+    for (void *Ptr : Allocs)
+      std::free(Ptr);
+    Allocs.clear();
+    Frees.clear();
+  }
+
+  /// Releases every retired block whose retirement timestamp precedes
+  /// all in-flight transactions. Returns the number of blocks released.
+  std::size_t collect() {
+    uint64_t Horizon = repro::ThreadRegistry::minActiveStart();
+    std::size_t Released = 0;
+    while (!Retired.empty() && Retired.front().RetireTs < Horizon) {
+      std::free(Retired.front().Ptr);
+      Retired.pop_front();
+      ++Released;
+    }
+    return Released;
+  }
+
+  /// Unconditionally releases all retired blocks. Only safe once no
+  /// transaction can be in flight (thread shutdown / tests).
+  void releaseAll() {
+    for (const Block &B : Retired)
+      std::free(B.Ptr);
+    Retired.clear();
+    onAbort(); // also drop any speculative state
+  }
+
+  std::size_t retiredCount() const { return Retired.size(); }
+
+  /// Hands every still-retired block to \p Sink (a callable taking
+  /// (void *Ptr, uint64_t RetireTs)). Used at thread shutdown to move
+  /// blocks into the process-global retired pool.
+  template <typename Fn> void drainTo(Fn &&Sink) {
+    for (const Block &B : Retired)
+      Sink(B.Ptr, B.RetireTs);
+    Retired.clear();
+  }
+
+private:
+  struct Block {
+    void *Ptr;
+    uint64_t RetireTs;
+  };
+
+  static constexpr std::size_t CollectThreshold = 1024;
+
+  std::vector<void *> Allocs;
+  std::vector<void *> Frees;
+  std::deque<Block> Retired;
+};
+
+} // namespace stm
+
+#endif // STM_TXMEMORY_H

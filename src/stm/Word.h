@@ -1,0 +1,64 @@
+//===- stm/Word.h - transactional word type and helpers --------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// All four STMs in this repository are word-based: the unit of
+// transactional access is one machine word ("memory word m" in the
+// paper). This header defines the word type and the address arithmetic
+// shared by every lock-table and log implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_WORD_H
+#define STM_WORD_H
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace stm {
+
+/// One transactional memory word. 64-bit on every platform we target.
+using Word = uintptr_t;
+
+inline constexpr unsigned WordSizeLog2 = 3;
+inline constexpr unsigned WordSize = 1u << WordSizeLog2; // 8 bytes
+
+static_assert(sizeof(Word) == WordSize, "this port assumes 64-bit words");
+
+/// Rounds \p Addr down to its containing word boundary.
+inline Word *alignToWord(void *Addr) {
+  return reinterpret_cast<Word *>(reinterpret_cast<uintptr_t>(Addr) &
+                                  ~static_cast<uintptr_t>(WordSize - 1));
+}
+
+inline const Word *alignToWord(const void *Addr) {
+  return alignToWord(const_cast<void *>(Addr));
+}
+
+/// True if \p Addr is word-aligned.
+inline bool isWordAligned(const void *Addr) {
+  return (reinterpret_cast<uintptr_t>(Addr) & (WordSize - 1)) == 0;
+}
+
+/// Reinterprets a word-sized trivially copyable value as a Word.
+template <typename T> Word toWord(T Value) {
+  static_assert(std::is_trivially_copyable_v<T>, "need a POD value");
+  static_assert(sizeof(T) <= sizeof(Word), "value wider than a word");
+  Word W = 0;
+  std::memcpy(&W, &Value, sizeof(T));
+  return W;
+}
+
+/// Inverse of toWord.
+template <typename T> T fromWord(Word W) {
+  static_assert(std::is_trivially_copyable_v<T>, "need a POD value");
+  static_assert(sizeof(T) <= sizeof(Word), "value wider than a word");
+  T Value;
+  std::memcpy(&Value, &W, sizeof(T));
+  return Value;
+}
+
+} // namespace stm
+
+#endif // STM_WORD_H

@@ -1,0 +1,117 @@
+//===- stm/WriteMap.h - address -> write-log index lookup ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Lazy-acquire STMs (TL2, RSTM-lazy) buffer writes until commit, so every
+// transactional read must first check the transaction's own write set
+// ("read-after-write"). This open-addressing map plus a one-word Bloom
+// filter makes the common miss case a single AND + branch, mirroring
+// TL2's design.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_WRITEMAP_H
+#define STM_WRITEMAP_H
+
+#include "stm/Word.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace stm {
+
+/// Maps word addresses to 32-bit payloads (typically write-log indices).
+class WriteMap {
+public:
+  WriteMap() { rehash(InitialSlotsLog2); }
+
+  /// Removes all entries; keeps capacity. Empty slots are identified by
+  /// a null key, so zero-fill is the correct reset.
+  void clear() {
+    if (Count != 0)
+      std::memset(Slots.data(), 0, Slots.size() * sizeof(Slot));
+    Count = 0;
+    Bloom = 0;
+  }
+
+  bool empty() const { return Count == 0; }
+  std::size_t size() const { return Count; }
+
+  /// One-word Bloom test: definitely-absent fast path.
+  bool mayContain(const Word *Addr) const {
+    return (Bloom & bloomBit(Addr)) != 0;
+  }
+
+  /// Inserts or overwrites the payload for \p Addr.
+  void insert(const Word *Addr, uint32_t Payload) {
+    if ((Count + 1) * 4 >= Slots.size() * 3)
+      rehash(SlotsLog2 + 1);
+    Bloom |= bloomBit(Addr);
+    Slot *S = findSlot(Addr);
+    if (S->Key == nullptr)
+      ++Count;
+    S->Key = Addr;
+    S->Payload = Payload;
+  }
+
+  /// Returns the payload for \p Addr, or ~0u if absent.
+  uint32_t lookup(const Word *Addr) const {
+    if (!mayContain(Addr))
+      return ~0u;
+    const Slot *S = findSlot(Addr);
+    return S->Key == nullptr ? ~0u : S->Payload;
+  }
+
+private:
+  struct Slot {
+    const Word *Key;
+    uint32_t Payload;
+  };
+
+  static uint64_t hashAddr(const Word *Addr) {
+    uint64_t H = reinterpret_cast<uintptr_t>(Addr) >> WordSizeLog2;
+    H *= 0x9e3779b97f4a7c15ull;
+    return H ^ (H >> 32);
+  }
+
+  static uint64_t bloomBit(const Word *Addr) {
+    return uint64_t(1) << (hashAddr(Addr) & 63);
+  }
+
+  Slot *findSlot(const Word *Addr) const {
+    uint64_t Mask = (uint64_t(1) << SlotsLog2) - 1;
+    uint64_t I = hashAddr(Addr) & Mask;
+    while (true) {
+      Slot *S = const_cast<Slot *>(&Slots[I]);
+      if (S->Key == Addr || S->Key == nullptr)
+        return S;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  void rehash(unsigned NewLog2) {
+    std::vector<Slot> Old = std::move(Slots);
+    SlotsLog2 = NewLog2;
+    Slots.assign(std::size_t(1) << SlotsLog2, Slot{nullptr, 0});
+    Count = 0;
+    for (const Slot &S : Old)
+      if (S.Key != nullptr) {
+        Slot *N = findSlot(S.Key);
+        *N = S;
+        ++Count;
+      }
+  }
+
+  static constexpr unsigned InitialSlotsLog2 = 6;
+
+  std::vector<Slot> Slots;
+  unsigned SlotsLog2 = InitialSlotsLog2;
+  std::size_t Count = 0;
+  uint64_t Bloom = 0;
+};
+
+} // namespace stm
+
+#endif // STM_WRITEMAP_H

@@ -1,0 +1,327 @@
+//===- stm/rstm/Rstm.cpp - RSTM-like baseline ------------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/rstm/Rstm.h"
+
+#include "support/Backoff.h"
+
+using namespace stm;
+using namespace stm::rstm;
+
+static RstmGlobals GlobalState;
+
+RstmGlobals &stm::rstm::rstmGlobals() { return GlobalState; }
+
+void Rstm::globalInit(const StmConfig &Config) {
+  GlobalState.Config = Config;
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  GlobalState.CommitCounter.reset();
+  GlobalState.GreedyTs.reset();
+}
+
+void Rstm::globalShutdown() {
+  RetiredPool::instance().releaseAll();
+  GlobalState.Table.destroy();
+}
+
+RstmTx::RstmTx(unsigned Slot) : TxBase(Slot) {
+  GlobalState.Descriptors[Slot].store(this, std::memory_order_release);
+}
+
+RstmTx::~RstmTx() {
+  GlobalState.Descriptors[Slot].store(nullptr, std::memory_order_release);
+}
+
+static constexpr uint64_t CmInfinity = ~0ull;
+static constexpr unsigned PolkaMaxAttempts = 8;
+
+void RstmTx::cmStart() {
+  switch (GlobalState.Config.Cm) {
+  case CmKind::Greedy:
+    if (FreshStart)
+      CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
+                 std::memory_order_relaxed);
+    break;
+  case CmKind::Serializer:
+    CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
+               std::memory_order_relaxed);
+    break;
+  case CmKind::TwoPhase: // not meaningful for RSTM; treated as Polka
+  case CmKind::Polka:
+  case CmKind::Timid:
+    CmTs.store(CmInfinity, std::memory_order_relaxed);
+    break;
+  }
+}
+
+void RstmTx::onStart() {
+  baseStart();
+  ReadLog.clear();
+  VisibleReads.clear();
+  WriteLog.clear();
+  Acquired.clear();
+  WSetMap.clear();
+  AccessCount = 0;
+  PubPriority.store(0, std::memory_order_relaxed);
+  LastValidation = GlobalState.CommitCounter.load();
+  repro::ThreadRegistry::publishStart(Slot, LastValidation);
+  cmStart();
+}
+
+bool RstmTx::cmResolve(RstmTx *Victim, unsigned &Attempts) {
+  ++Attempts;
+  if (Victim == nullptr || Victim == this)
+    return false;
+  switch (GlobalState.Config.Cm) {
+  case CmKind::Timid:
+    return true; // abort self
+
+  case CmKind::Greedy:
+  case CmKind::Serializer: {
+    uint64_t MyTs = CmTs.load(std::memory_order_relaxed);
+    uint64_t VictimTs = Victim->cmTimestamp();
+    if (VictimTs < MyTs)
+      return true; // older transaction wins
+    Victim->requestKill();
+    return false;
+  }
+
+  case CmKind::TwoPhase:
+  case CmKind::Polka: {
+    uint64_t MyPrio = PubPriority.load(std::memory_order_relaxed);
+    uint64_t VictimPrio = Victim->polkaPriority();
+    if (MyPrio < VictimPrio && Attempts <= PolkaMaxAttempts) {
+      repro::randomExponentialBackoff(Rng, Attempts);
+      return false; // wait and retry
+    }
+    Victim->requestKill();
+    return false;
+  }
+  }
+  return true;
+}
+
+void RstmTx::maybeValidate() {
+  if (GlobalState.Config.RstmVisibleReads)
+    return; // visible readers are protected by their reader bits
+  uint64_t Counter = GlobalState.CommitCounter.load();
+  if (Counter == LastValidation)
+    return; // commit-counter heuristic: nothing committed, still valid
+  if (!validate())
+    rollback();
+  LastValidation = Counter;
+  repro::ThreadRegistry::publishStart(Slot, LastValidation);
+}
+
+bool RstmTx::validate() {
+  for (const ReadEntry &R : ReadLog) {
+    Word Cur = R.Rec->Owner.load(std::memory_order_acquire);
+    if (Cur == R.Seen)
+      continue;
+    if (orecIsOwned(Cur) && orecOwner(Cur) == this) {
+      // We acquired this stripe after reading it: valid iff nothing
+      // committed in between, i.e. the pre-acquisition version matches
+      // what we read.
+      bool Ok = false;
+      for (const AcquiredOrec &A : Acquired) {
+        if (A.Rec == R.Rec) {
+          Ok = A.OldValue == R.Seen;
+          break;
+        }
+      }
+      if (Ok)
+        continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+Word RstmTx::load(const Word *Addr) {
+  checkKill();
+  ++Stats.Reads;
+  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+
+  // Read-after-write from the redo log.
+  if (!WriteLog.empty()) {
+    uint32_t Idx = WSetMap.lookup(Addr);
+    if (Idx != ~0u)
+      return WriteLog[Idx].Value;
+  }
+
+  Orec &Rec = GlobalState.Table.entryFor(Addr);
+
+  if (GlobalState.Config.RstmVisibleReads) {
+    uint64_t MyBit = uint64_t(1) << Slot;
+    bool Held =
+        (Rec.Readers.load(std::memory_order_relaxed) & MyBit) != 0;
+    if (!Held) {
+      while (true) {
+        Rec.Readers.fetch_or(MyBit, std::memory_order_acq_rel);
+        Word V = Rec.Owner.load(std::memory_order_acquire);
+        if (!orecIsCommitting(V) || orecOwner(V) == this)
+          break;
+        // A writer is in write-back: retreat and wait for it to finish.
+        Rec.Readers.fetch_and(~MyBit, std::memory_order_acq_rel);
+        unsigned SpinStep = 0;
+        while (orecIsCommitting(
+            Rec.Owner.load(std::memory_order_acquire))) {
+          checkKill();
+          repro::spinWait(SpinStep);
+        }
+      }
+      VisibleReads.push_back(&Rec);
+    }
+    // With the reader bit held, no writer can reach write-back, so the
+    // memory word is stable and consistent.
+    return racyLoad(Addr);
+  }
+
+  // Invisible read: consistent (orec, value, orec) snapshot; an owned
+  // but not-yet-committing stripe still holds the old (committed)
+  // values in memory, so it may be read -- this mirrors RSTM's reads
+  // of an object's old clone.
+  Word V1 = Rec.Owner.load(std::memory_order_acquire);
+  Word Value;
+  unsigned SpinStep = 0;
+  while (true) {
+    if (orecIsCommitting(V1) && orecOwner(V1) != this) {
+      checkKill();
+      repro::spinWait(SpinStep);
+      V1 = Rec.Owner.load(std::memory_order_acquire);
+      continue;
+    }
+    Value = racyLoad(Addr);
+    Word V2 = Rec.Owner.load(std::memory_order_acquire);
+    if (V1 == V2)
+      break;
+    V1 = V2;
+  }
+
+  ReadLog.push_back(ReadEntry{&Rec, V1});
+  maybeValidate();
+  return Value;
+}
+
+void RstmTx::store(Word *Addr, Word Value) {
+  checkKill();
+  ++Stats.Writes;
+  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+
+  uint32_t Idx = WSetMap.lookup(Addr);
+  if (Idx != ~0u) {
+    WriteLog[Idx].Value = Value;
+    return;
+  }
+  WSetMap.insert(Addr, static_cast<uint32_t>(WriteLog.size()));
+  WriteLog.push_back(WriteEntry{Addr, Value});
+
+  if (GlobalState.Config.RstmEagerAcquire)
+    acquireOrec(GlobalState.Table.entryFor(Addr));
+}
+
+void RstmTx::acquireOrec(Orec &Rec) {
+  Word Mine = reinterpret_cast<Word>(this) | 1;
+  unsigned Attempts = 0;
+  while (true) {
+    Word V = Rec.Owner.load(std::memory_order_acquire);
+    if (orecIsOwned(V)) {
+      if (orecOwner(V) == this)
+        return; // stripe already ours (another word, or re-acquire)
+      if (cmResolve(orecOwner(V), Attempts))
+        rollback();
+      checkKill();
+      repro::spinWait(Attempts);
+      continue;
+    }
+    if (Rec.Owner.compare_exchange_weak(V, Mine, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      Acquired.push_back(AcquiredOrec{&Rec, V});
+      break;
+    }
+  }
+  resolveVisibleReaders(Rec);
+  maybeValidate();
+}
+
+void RstmTx::resolveVisibleReaders(Orec &Rec) {
+  if (!GlobalState.Config.RstmVisibleReads)
+    return;
+  uint64_t MyBit = uint64_t(1) << Slot;
+  unsigned Attempts = 0;
+  while (true) {
+    uint64_t Bits = Rec.Readers.load(std::memory_order_acquire) & ~MyBit;
+    if (Bits == 0)
+      return;
+    unsigned VictimSlot = static_cast<unsigned>(__builtin_ctzll(Bits));
+    RstmTx *Victim =
+        GlobalState.Descriptors[VictimSlot].load(std::memory_order_acquire);
+    if (cmResolve(Victim, Attempts))
+      rollback();
+    checkKill();
+    repro::spinWait(Attempts);
+  }
+}
+
+void RstmTx::commit() {
+  assert(Depth > 0 && "commit outside a transaction");
+  checkKill();
+
+  uint64_t MyBit = uint64_t(1) << Slot;
+  auto ClearReaderBits = [&] {
+    for (Orec *Rec : VisibleReads)
+      Rec->Readers.fetch_and(~MyBit, std::memory_order_acq_rel);
+  };
+
+  if (WriteLog.empty()) {
+    ClearReaderBits();
+    ++Stats.ReadOnlyCommits;
+    baseCommit(GlobalState.CommitCounter.load());
+    return;
+  }
+
+  // Lazy acquire: take every stripe now (duplicates collapse inside
+  // acquireOrec via the owner==this check).
+  if (!GlobalState.Config.RstmEagerAcquire)
+    for (const WriteEntry &W : WriteLog)
+      acquireOrec(GlobalState.Table.entryFor(W.Addr));
+
+  uint64_t Ts = GlobalState.CommitCounter.incrementAndGet();
+  if (!GlobalState.Config.RstmVisibleReads &&
+      Ts != LastValidation + 1 && !validate())
+    rollback();
+
+  // Enter write-back: flag every owned stripe as committing, then make
+  // sure no visible reader still depends on the old values.
+  Word Committing = reinterpret_cast<Word>(this) | 3;
+  for (const AcquiredOrec &A : Acquired)
+    A.Rec->Owner.store(Committing, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (const AcquiredOrec &A : Acquired)
+    resolveVisibleReaders(*A.Rec);
+
+  for (const WriteEntry &W : WriteLog)
+    racyStore(W.Addr, W.Value);
+
+  Word Release = orecMake(Ts);
+  for (const AcquiredOrec &A : Acquired)
+    A.Rec->Owner.store(Release, std::memory_order_release);
+
+  ClearReaderBits();
+  baseCommit(Ts);
+}
+
+void RstmTx::rollback() {
+  for (const AcquiredOrec &A : Acquired)
+    A.Rec->Owner.store(A.OldValue, std::memory_order_release);
+  uint64_t MyBit = uint64_t(1) << Slot;
+  for (Orec *Rec : VisibleReads)
+    Rec->Readers.fetch_and(~MyBit, std::memory_order_acq_rel);
+  baseAbort();
+  if (GlobalState.Config.EnableRollbackBackoff)
+    repro::randomLinearBackoff(Rng, SuccessiveAborts);
+  std::longjmp(Env, 1);
+}

@@ -1,0 +1,170 @@
+//===- stm/rstm/Rstm.h - RSTM-like baseline ---------------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// RSTM (Marathe et al., TRANSACT 2006; version 3) is the paper's
+// obstruction-free, object-based baseline. This reimplementation keeps
+// the properties the paper's comparisons rest on while using the shared
+// stripe-based word API (the paper itself notes RSTM's object API kept
+// it out of STAMP; our port removes that gate and we note it in
+// EXPERIMENTS.md):
+//
+//  * four algorithm variants: eager/lazy acquire x visible/invisible
+//    reads (StmConfig::RstmEagerAcquire / RstmVisibleReads);
+//  * invisible reads validated with the *global commit counter
+//    heuristic*: whenever the counter moved since the last check the
+//    whole read set is re-validated, so long transactions pay O(read
+//    set) repeatedly -- the overhead visible throughout Section 4;
+//  * visible reads registered in a per-stripe reader bitmap that
+//    writers must clear through the contention manager;
+//  * pluggable contention managers: Polka (RSTM's usual default),
+//    Greedy, Serializer and Timid, selected by StmConfig::Cm;
+//  * per-stripe ownership records; owners can be aborted (killed) by
+//    higher-priority attackers, emulating RSTM's status-word stealing.
+//
+// Ownership record encoding (Owner word):
+//   version << 2             free
+//   descriptor | 1           owned (memory still holds the old values)
+//   descriptor | 3           owner committing (write-back in progress)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_RSTM_RSTM_H
+#define STM_RSTM_RSTM_H
+
+#include "stm/Clock.h"
+#include "stm/Config.h"
+#include "stm/LockTable.h"
+#include "stm/RacyAccess.h"
+#include "stm/TxBase.h"
+#include "stm/WriteMap.h"
+#include "support/Platform.h"
+
+#include <atomic>
+#include <vector>
+
+namespace stm::rstm {
+
+class RstmTx;
+
+/// Per-stripe ownership record plus visible-reader bitmap.
+struct Orec {
+  std::atomic<Word> Owner{0};
+  std::atomic<uint64_t> Readers{0};
+};
+
+inline bool orecIsOwned(Word V) { return (V & 1) != 0; }
+inline bool orecIsCommitting(Word V) { return (V & 2) != 0; }
+inline uint64_t orecVersion(Word V) { return V >> 2; }
+inline Word orecMake(uint64_t Version) {
+  return static_cast<Word>(Version << 2);
+}
+inline RstmTx *orecOwner(Word V) {
+  return reinterpret_cast<RstmTx *>(V & ~static_cast<Word>(3));
+}
+
+struct RstmGlobals {
+  LockTable<Orec> Table;
+  GlobalClock CommitCounter; ///< bumped by every update commit
+  GlobalClock GreedyTs;
+  StmConfig Config;
+  /// Registry slot -> descriptor, for reader-bit resolution.
+  std::atomic<RstmTx *> Descriptors[repro::MaxThreads] = {};
+};
+
+RstmGlobals &rstmGlobals();
+
+/// RSTM-like transaction descriptor.
+class RstmTx : public TxBase {
+public:
+  explicit RstmTx(unsigned Slot);
+  ~RstmTx();
+
+  void onStart();
+  Word load(const Word *Addr);
+  void store(Word *Addr, Word Value);
+  void commit();
+  [[noreturn]] void restart() { rollback(); }
+
+  void threadShutdown() { baseShutdown(); }
+
+  /// Polka priority: number of accesses in the current attempt.
+  uint64_t polkaPriority() const {
+    return PubPriority.load(std::memory_order_relaxed);
+  }
+  uint64_t cmTimestamp() const {
+    return CmTs.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct WriteEntry {
+    Word *Addr;
+    Word Value;
+  };
+  struct AcquiredOrec {
+    Orec *Rec;
+    Word OldValue; ///< orec word before acquisition (free, version<<2)
+  };
+  struct ReadEntry {
+    Orec *Rec;
+    Word Seen;
+  };
+
+  [[noreturn]] void rollback();
+  void checkKill() {
+    if (killRequested())
+      rollback();
+  }
+
+  /// Re-validates the read set iff the global commit counter moved
+  /// since the last check (RSTM's heuristic). Aborts on failure.
+  void maybeValidate();
+  bool validate();
+
+  /// Acquires \p Rec for writing, resolving owner and visible-reader
+  /// conflicts through the contention manager. Aborts (longjmps) if the
+  /// manager rules against us.
+  void acquireOrec(Orec &Rec);
+
+  /// Waits until all visible readers other than us have left \p Rec,
+  /// killing them per the contention manager.
+  void resolveVisibleReaders(Orec &Rec);
+
+  /// Contention decision against \p Victim; returns true if the caller
+  /// must abort itself, false if it may retry (after the victim was
+  /// killed or a back-off wait).
+  bool cmResolve(RstmTx *Victim, unsigned &Attempts);
+
+  void cmStart();
+
+  uint64_t LastValidation = 0;
+  std::atomic<uint64_t> CmTs{~0ull};
+  std::atomic<uint64_t> PubPriority{0};
+  uint64_t AccessCount = 0;
+
+  std::vector<ReadEntry> ReadLog;
+  std::vector<Orec *> VisibleReads;
+  std::vector<WriteEntry> WriteLog;
+  std::vector<AcquiredOrec> Acquired;
+  WriteMap WSetMap;
+};
+
+/// STM facade.
+class Rstm {
+public:
+  using Tx = RstmTx;
+
+  static constexpr const char *name() { return "rstm"; }
+
+  static void globalInit(const StmConfig &Config);
+  static void globalShutdown();
+  static RstmGlobals &globals() { return rstmGlobals(); }
+};
+
+} // namespace stm::rstm
+
+namespace stm {
+using Rstm = rstm::Rstm;
+} // namespace stm
+
+#endif // STM_RSTM_RSTM_H

@@ -1,0 +1,360 @@
+//===- stm/swisstm/SwissTm.cpp - the SwissTM algorithm --------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009). Implements Algorithm 1
+// (the STM) and Algorithm 2 (the two-phase contention manager) plus the
+// contention-manager variants used by the Section 5 ablations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/swisstm/SwissTm.h"
+
+using namespace stm;
+using namespace stm::swiss;
+
+static SwissGlobals GlobalState;
+
+SwissGlobals &stm::swiss::swissGlobals() { return GlobalState; }
+
+void SwissTm::globalInit(const StmConfig &Config) {
+  GlobalState.Config = Config;
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  GlobalState.CommitTs.reset();
+  GlobalState.GreedyTs.reset();
+}
+
+void SwissTm::globalShutdown() {
+  RetiredPool::instance().releaseAll();
+  GlobalState.Table.destroy();
+}
+
+//===----------------------------------------------------------------------===//
+// Transaction lifecycle
+//===----------------------------------------------------------------------===//
+
+void SwissTx::onStart() {
+  baseStart();
+  ReadLog.clear();
+  WriteLog.clear();
+  WordLog.clear();
+  WordWriteCount = 0;
+  AccessCount = 0;
+  PubPriority.store(0, std::memory_order_relaxed);
+  ValidTs = GlobalState.CommitTs.load(); // Algorithm 1, line 2
+  repro::ThreadRegistry::publishStart(Slot, ValidTs);
+  cmStart(); // Algorithm 1, line 3
+}
+
+Word SwissTx::load(const Word *Addr) {
+  checkKill();
+  ++Stats.Reads;
+  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+  LockPair &Locks = GlobalState.Table.entryFor(Addr);
+
+  // Read-after-write: if we own the stripe's w-lock, return the buffered
+  // value (Algorithm 1, line 6). Reading a word of an owned stripe that
+  // was never buffered is safe directly from memory: we hold the w-lock,
+  // so no other transaction can commit into this stripe.
+  Word WL = Locks.WLock.load(std::memory_order_acquire);
+  if (WL != 0) {
+    auto *Entry = reinterpret_cast<StripeWrite *>(WL);
+    if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+      for (WordWrite *W = Entry->Head; W; W = W->Next)
+        if (W->Addr == Addr)
+          return W->Value;
+      return racyLoad(Addr);
+    }
+  }
+
+  // Consistent (r-lock, value, r-lock) snapshot; spin while a writer is
+  // committing this stripe (Algorithm 1, lines 8-15).
+  Word RV = Locks.RLock.load(std::memory_order_acquire);
+  Word Value;
+  unsigned SpinStep = 0;
+  while (true) {
+    if (rlockIsLocked(RV)) {
+      checkKill();
+      repro::spinWait(SpinStep);
+      RV = Locks.RLock.load(std::memory_order_acquire);
+      continue;
+    }
+    Value = racyLoad(Addr);
+    Word RV2 = Locks.RLock.load(std::memory_order_acquire);
+    if (RV == RV2)
+      break;
+    RV = RV2;
+  }
+
+  ReadLog.push_back(ReadEntry{&Locks, RV}); // line 16
+  if (rlockVersion(RV) > ValidTs && !extend())
+    rollback(); // line 17
+  return Value;
+}
+
+void SwissTx::store(Word *Addr, Word Value) {
+  checkKill();
+  ++Stats.Writes;
+  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+  LockPair &Locks = GlobalState.Table.entryFor(Addr);
+
+  StripeWrite *Mine = nullptr;
+  unsigned Attempts = 0;
+  while (true) {
+    Word WL = Locks.WLock.load(std::memory_order_acquire);
+    if (WL != 0) {
+      auto *Entry = reinterpret_cast<StripeWrite *>(WL);
+      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+        // Already own the stripe (Algorithm 1, lines 21-23).
+        if (Mine != nullptr)
+          WriteLog.popBack(); // withdraw the unused speculative entry
+        addWordWrite(Entry, Addr, Value);
+        return;
+      }
+      // Write/write conflict, detected eagerly (Algorithm 1, line 26).
+      if (cmShouldAbort(Entry->Owner.load(std::memory_order_relaxed),
+                        Attempts))
+        rollback();
+      checkKill();
+      repro::spinWait(Attempts);
+      continue;
+    }
+    if (Mine == nullptr) {
+      Mine = WriteLog.pushDefault();
+      Mine->Owner.store(this, std::memory_order_relaxed);
+      Mine->Locks = &Locks;
+      Mine->Head = nullptr;
+    }
+    Word Expected = 0;
+    if (Locks.WLock.compare_exchange_weak(
+            Expected, reinterpret_cast<Word>(Mine),
+            std::memory_order_acq_rel, std::memory_order_acquire))
+      break; // acquired (Algorithm 1, line 29)
+  }
+
+  // Opacity check after acquisition (Algorithm 1, lines 31-32). The
+  // r-lock cannot be locked here: only the w-lock owner locks it.
+  Mine->RVersion = Locks.RLock.load(std::memory_order_acquire);
+  assert(!rlockIsLocked(Mine->RVersion) &&
+         "r-lock locked while w-lock was free");
+  if (rlockVersion(Mine->RVersion) > ValidTs && !extend())
+    rollback();
+
+  addWordWrite(Mine, Addr, Value);
+  cmOnWrite(); // Algorithm 1, line 33
+}
+
+void SwissTx::addWordWrite(StripeWrite *Entry, Word *Addr, Word Value) {
+  for (WordWrite *W = Entry->Head; W; W = W->Next) {
+    if (W->Addr == Addr) {
+      W->Value = Value; // Algorithm 1, line 22
+      return;
+    }
+  }
+  WordWrite *W = WordLog.pushDefault();
+  W->Addr = Addr;
+  W->Value = Value;
+  W->Next = Entry->Head;
+  Entry->Head = W;
+  ++WordWriteCount;
+}
+
+void SwissTx::commit() {
+  assert(Depth > 0 && "commit outside a transaction");
+  checkKill();
+
+  // Read-only fast path (Algorithm 1, line 35).
+  if (WriteLog.empty()) {
+    ++Stats.ReadOnlyCommits;
+    baseCommit(GlobalState.CommitTs.load());
+    return;
+  }
+
+  // Lock the r-locks of every stripe we wrote (Algorithm 1, line 36;
+  // the pseudo-code's "read-log" there is the paper's known typo for
+  // the write log -- the text says "locations T has written to").
+  WriteLog.forEach([](StripeWrite &E) {
+    E.Locks->RLock.exchange(RLockLocked, std::memory_order_acq_rel);
+  });
+  // Order the r-lock stores before the data write-back below on
+  // non-TSO hardware.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  uint64_t Ts = GlobalState.CommitTs.incrementAndGet(); // line 37
+  if (Ts > ValidTs + 1 && !validate()) {
+    // Failed commit-time validation: restore r-locks, roll back
+    // (Algorithm 1, lines 38-41).
+    WriteLog.forEach([](StripeWrite &E) {
+      E.Locks->RLock.store(E.RVersion, std::memory_order_release);
+    });
+    rollback();
+  }
+
+  // Write back and release (Algorithm 1, lines 42-45).
+  WriteLog.forEach([Ts](StripeWrite &E) {
+    for (WordWrite *W = E.Head; W; W = W->Next)
+      racyStore(W->Addr, W->Value);
+    E.Locks->RLock.store(rlockMake(Ts), std::memory_order_release);
+    E.Locks->WLock.store(0, std::memory_order_release);
+  });
+
+  baseCommit(Ts);
+
+  // Optional quiescence for privatization safety (Section 6): wait
+  // until every in-flight transaction has validated at or past our
+  // commit timestamp. A transaction validated at >= Ts cannot hold a
+  // stale path to anything this commit made private (its extension
+  // would have failed on the cells we overwrote).
+  if (GlobalState.Config.PrivatizationSafe) {
+    unsigned SpinStep = 0;
+    while (repro::ThreadRegistry::minActiveStart() < Ts)
+      repro::spinWait(SpinStep);
+  }
+}
+
+void SwissTx::rollback() {
+  // Release all write locks (Algorithm 1, lines 47-48). The last log
+  // entry may be speculative (pushed for a CAS that never succeeded
+  // before the abort), so only release locks that actually point at
+  // our entry -- blindly storing 0 would steal another owner's lock.
+  WriteLog.forEach([](StripeWrite &E) {
+    if (E.Locks != nullptr &&
+        E.Locks->WLock.load(std::memory_order_relaxed) ==
+            reinterpret_cast<Word>(&E))
+      E.Locks->WLock.store(0, std::memory_order_release);
+  });
+  baseAbort();
+  cmOnRollback(); // Algorithm 1, line 49
+  std::longjmp(Env, 1);
+}
+
+bool SwissTx::validate() {
+  // Algorithm 1, lines 50-53.
+  for (const ReadEntry &R : ReadLog) {
+    Word Cur = R.Locks->RLock.load(std::memory_order_acquire);
+    if (Cur == R.RValue)
+      continue;
+    if (rlockIsLocked(Cur)) {
+      // is-locked-by(r-lock, tx): the r-lock carries no owner, so check
+      // the paired w-lock, which only the locking committer can hold.
+      Word WL = R.Locks->WLock.load(std::memory_order_acquire);
+      if (WL != 0 && reinterpret_cast<StripeWrite *>(WL)->Owner.load(
+                         std::memory_order_relaxed) == this)
+        continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SwissTx::extend() {
+  // Algorithm 1, lines 54-57. Disabled extension (TL2-style behaviour)
+  // is one of the ablation knobs.
+  if (!GlobalState.Config.EnableExtension) {
+    ++Stats.FailedExtensions;
+    return false;
+  }
+  uint64_t Ts = GlobalState.CommitTs.load();
+  if (validate()) {
+    ValidTs = Ts;
+    repro::ThreadRegistry::publishStart(Slot, ValidTs);
+    ++Stats.Extensions;
+    return true;
+  }
+  ++Stats.FailedExtensions;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Contention management (Algorithm 2 and ablation variants)
+//===----------------------------------------------------------------------===//
+
+static constexpr uint64_t CmInfinity = ~0ull;
+static constexpr unsigned PolkaMaxAttempts = 8;
+
+void SwissTx::cmStart() {
+  switch (GlobalState.Config.Cm) {
+  case CmKind::TwoPhase:
+    // Algorithm 2, cm-start: a restart keeps its Greedy timestamp.
+    if (FreshStart)
+      CmTs.store(CmInfinity, std::memory_order_relaxed);
+    break;
+  case CmKind::Timid:
+    CmTs.store(CmInfinity, std::memory_order_relaxed);
+    break;
+  case CmKind::Greedy:
+    // Greedy: unique timestamp at first start, kept across restarts;
+    // every transaction pays the shared-counter increment (the cost
+    // Figure 10 highlights).
+    if (FreshStart)
+      CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
+                 std::memory_order_relaxed);
+    break;
+  case CmKind::Serializer:
+    // Serializer: fresh timestamp on every (re)start, so no starvation
+    // protection.
+    CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
+               std::memory_order_relaxed);
+    break;
+  case CmKind::Polka:
+    CmTs.store(CmInfinity, std::memory_order_relaxed);
+    break;
+  }
+}
+
+void SwissTx::cmOnWrite() {
+  if (GlobalState.Config.Cm != CmKind::TwoPhase)
+    return;
+  // Algorithm 2, cm-on-write: on the Wn-th buffered write, enter the
+  // second (Greedy) phase.
+  if (CmTs.load(std::memory_order_relaxed) == CmInfinity &&
+      WordWriteCount >= GlobalState.Config.WnThreshold)
+    CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
+               std::memory_order_relaxed);
+}
+
+bool SwissTx::cmShouldAbort(SwissTx *Owner, unsigned &Attempts) {
+  ++Attempts;
+  switch (GlobalState.Config.Cm) {
+  case CmKind::Timid:
+    return true; // always abort the attacker
+
+  case CmKind::TwoPhase:
+  case CmKind::Greedy:
+  case CmKind::Serializer: {
+    // Algorithm 2, cm-should-abort.
+    uint64_t MyTs = CmTs.load(std::memory_order_relaxed);
+    if (MyTs == CmInfinity)
+      return true; // first phase: abort self immediately
+    if (Owner == nullptr)
+      return false; // owner raced away; retry the CAS
+    uint64_t OwnerTs = Owner->cmTimestamp();
+    if (OwnerTs < MyTs)
+      return true; // older transaction wins; abort self
+    Owner->requestKill(); // abort(lock-owner)
+    return false;         // and retry until the lock is released
+  }
+
+  case CmKind::Polka: {
+    // Polka: wait with exponential back-off while the victim has higher
+    // priority; once we out-prioritize it (or patience runs out), abort
+    // the victim.
+    if (Owner == nullptr)
+      return false;
+    uint64_t MyPrio = PubPriority.load(std::memory_order_relaxed);
+    uint64_t OwnerPrio = Owner->polkaPriority();
+    if (MyPrio < OwnerPrio && Attempts <= PolkaMaxAttempts) {
+      repro::randomExponentialBackoff(Rng, Attempts);
+      return false;
+    }
+    Owner->requestKill();
+    return false;
+  }
+  }
+  return true;
+}
+
+void SwissTx::cmOnRollback() {
+  // Algorithm 2, cm-on-rollback: randomized linear back-off in the
+  // number of successive aborts (ablated in Figure 11).
+  if (GlobalState.Config.EnableRollbackBackoff)
+    repro::randomLinearBackoff(Rng, SuccessiveAborts);
+}

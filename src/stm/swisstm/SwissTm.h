@@ -1,0 +1,190 @@
+//===- stm/swisstm/SwissTm.h - the SwissTM algorithm ------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction ("Stretching Transactional Memory",
+// Dragojević, Guerraoui, Kapałka, PLDI 2009).
+//
+// SwissTM (Section 3) is a lock- and word-based STM with:
+//  * eager write/write conflict detection: the write lock (w-lock) of a
+//    stripe is acquired at the first write,
+//  * lazy read/write conflict detection: reads are invisible, and the
+//    read lock (r-lock) is taken only while the writer commits,
+//  * time-based validation with timestamp extension (commit-ts),
+//  * a redo log (write-back at commit),
+//  * the two-phase contention manager of Algorithm 2 with randomized
+//    linear back-off after rollback.
+//
+// Every memory stripe maps to a pair of locks (Figure 1):
+//   w-lock: 0 when free, otherwise a pointer to the owner's stripe
+//           write-log entry;
+//   r-lock: version << 1 when free (version = commit-ts of the last
+//           writer), the value 1 while a writer commits the stripe.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_SWISSTM_SWISSTM_H
+#define STM_SWISSTM_SWISSTM_H
+
+#include "stm/Clock.h"
+#include "stm/Config.h"
+#include "stm/LockTable.h"
+#include "stm/RacyAccess.h"
+#include "stm/StableLog.h"
+#include "stm/TxBase.h"
+#include "support/Backoff.h"
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+namespace stm::swiss {
+
+class SwissTx;
+
+/// One buffered word write, chained per stripe.
+struct WordWrite {
+  Word *Addr = nullptr;
+  Word Value = 0;
+  WordWrite *Next = nullptr;
+};
+
+struct LockPair;
+
+/// Per-stripe entry in a transaction's write log. The stripe's w-lock
+/// points at this entry while the transaction owns the stripe.
+struct StripeWrite {
+  std::atomic<SwissTx *> Owner{nullptr};
+  LockPair *Locks = nullptr;
+  WordWrite *Head = nullptr;
+  Word RVersion = 0; ///< r-lock value observed when the stripe was acquired
+
+  StripeWrite() = default;
+  StripeWrite(const StripeWrite &O)
+      : Owner(O.Owner.load(std::memory_order_relaxed)), Locks(O.Locks),
+        Head(O.Head), RVersion(O.RVersion) {}
+  StripeWrite &operator=(const StripeWrite &O) {
+    Owner.store(O.Owner.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    Locks = O.Locks;
+    Head = O.Head;
+    RVersion = O.RVersion;
+    return *this;
+  }
+};
+
+/// The (r-lock, w-lock) pair mapped to each 2^G-byte stripe.
+struct LockPair {
+  std::atomic<Word> WLock{0}; ///< 0 = free, else StripeWrite*
+  std::atomic<Word> RLock{0}; ///< version<<1 = free, 1 = locked
+};
+
+/// r-lock encoding helpers.
+inline constexpr Word RLockLocked = 1;
+inline bool rlockIsLocked(Word V) { return (V & 1) != 0; }
+inline uint64_t rlockVersion(Word V) { return V >> 1; }
+inline Word rlockMake(uint64_t Version) {
+  return static_cast<Word>(Version << 1);
+}
+
+/// Global state of the SwissTM instance.
+struct SwissGlobals {
+  LockTable<LockPair> Table;
+  GlobalClock CommitTs; ///< "commit-ts" of Algorithm 1
+  GlobalClock GreedyTs; ///< "greedy-ts" of Algorithm 2
+  StmConfig Config;
+};
+
+/// Returns the process-wide SwissTM globals.
+SwissGlobals &swissGlobals();
+
+/// One read-log entry: the stripe's lock pair and the version observed.
+struct ReadEntry {
+  LockPair *Locks;
+  Word RValue; ///< r-lock word as read (version<<1, never locked)
+};
+
+/// SwissTM transaction descriptor: one per thread.
+class SwissTx : public TxBase {
+public:
+  explicit SwissTx(unsigned Slot) : TxBase(Slot) {}
+
+  /// Begins (or restarts) a transaction attempt. Algorithm 1, start().
+  void onStart();
+
+  /// Transactional read of one word. Algorithm 1, read-word().
+  Word load(const Word *Addr);
+
+  /// Transactional write of one word. Algorithm 1, write-word().
+  void store(Word *Addr, Word Value);
+
+  /// Commits the transaction. Algorithm 1, commit(). On validation
+  /// failure the transaction rolls back and restarts via longjmp.
+  void commit();
+
+  /// Programmatic retry: aborts and restarts the current transaction.
+  [[noreturn]] void restart() { rollback(); }
+
+  /// Priority visible to Polka attackers (number of accesses so far).
+  uint64_t polkaPriority() const {
+    return PubPriority.load(std::memory_order_relaxed);
+  }
+
+  /// Contention-manager timestamp; UINT64_MAX while in the first phase.
+  uint64_t cmTimestamp() const {
+    return CmTs.load(std::memory_order_relaxed);
+  }
+
+  /// Thread-shutdown hook (drains retired memory).
+  void threadShutdown() { baseShutdown(); }
+
+private:
+  friend class SwissTestPeer;
+
+  [[noreturn]] void rollback();
+  bool validate();
+  bool extend();
+  void checkKill() {
+    if (killRequested())
+      rollback();
+  }
+
+  /// Finds/extends the buffered write of \p Addr in stripe entry \p E.
+  void addWordWrite(StripeWrite *E, Word *Addr, Word Value);
+
+  // Contention manager hooks (Algorithm 2 plus the variants swept by the
+  // Section 5 ablations).
+  void cmStart();
+  void cmOnWrite();
+  bool cmShouldAbort(SwissTx *Owner, unsigned &Attempts);
+  void cmOnRollback();
+
+  uint64_t ValidTs = 0; ///< tx.valid-ts
+  std::atomic<uint64_t> CmTs{~0ull}; ///< tx.cm-ts (infinity = first phase)
+  std::atomic<uint64_t> PubPriority{0}; ///< Polka priority (accesses)
+  uint64_t AccessCount = 0;
+  unsigned WordWriteCount = 0;
+
+  std::vector<ReadEntry> ReadLog;
+  StableLog<StripeWrite> WriteLog;
+  StableLog<WordWrite> WordLog;
+};
+
+/// STM facade used by the templated benchmarks and tests.
+class SwissTm {
+public:
+  using Tx = SwissTx;
+
+  static constexpr const char *name() { return "swisstm"; }
+
+  static void globalInit(const StmConfig &Config);
+  static void globalShutdown();
+  static SwissGlobals &globals() { return swissGlobals(); }
+};
+
+} // namespace stm::swiss
+
+namespace stm {
+using SwissTm = swiss::SwissTm;
+} // namespace stm
+
+#endif // STM_SWISSTM_SWISSTM_H

@@ -1,0 +1,186 @@
+//===- stm/tinystm/TinyStm.cpp - TinySTM baseline --------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/tinystm/TinyStm.h"
+
+#include "support/Platform.h"
+
+using namespace stm;
+using namespace stm::tiny;
+
+static TinyGlobals GlobalState;
+
+TinyGlobals &stm::tiny::tinyGlobals() { return GlobalState; }
+
+void TinyStm::globalInit(const StmConfig &Config) {
+  GlobalState.Config = Config;
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  GlobalState.Clock.reset();
+}
+
+void TinyStm::globalShutdown() {
+  RetiredPool::instance().releaseAll();
+  GlobalState.Table.destroy();
+}
+
+void TinyTx::onStart() {
+  baseStart();
+  ReadLog.clear();
+  WriteLog.clear();
+  WordLog.clear();
+  ValidTs = GlobalState.Clock.load();
+  repro::ThreadRegistry::publishStart(Slot, ValidTs);
+}
+
+Word TinyTx::load(const Word *Addr) {
+  ++Stats.Reads;
+  VLock &Lock = GlobalState.Table.entryFor(Addr);
+
+  Word V = Lock.L.load(std::memory_order_acquire);
+  while (true) {
+    if (vlockIsLocked(V)) {
+      StripeWrite *Entry = vlockEntry(V);
+      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+        // Read-after-write through the encounter-time lock.
+        for (WordWrite *W = Entry->Head; W; W = W->Next)
+          if (W->Addr == Addr)
+            return W->Value;
+        return racyLoad(Addr);
+      }
+      // Encounter-time read/write conflict: the timid policy aborts the
+      // reader immediately. This is precisely the early-abort behaviour
+      // the paper contrasts with SwissTM's lazy read/write detection.
+      rollback();
+    }
+    Word Value = racyLoad(Addr);
+    Word V2 = Lock.L.load(std::memory_order_acquire);
+    if (V == V2) {
+      ReadLog.push_back(ReadEntry{&Lock, V});
+      if (vlockVersion(V) > ValidTs && !extend())
+        rollback();
+      return Value;
+    }
+    V = V2;
+  }
+}
+
+void TinyTx::store(Word *Addr, Word Value) {
+  ++Stats.Writes;
+  VLock &Lock = GlobalState.Table.entryFor(Addr);
+
+  StripeWrite *Mine = nullptr;
+  while (true) {
+    Word V = Lock.L.load(std::memory_order_acquire);
+    if (vlockIsLocked(V)) {
+      StripeWrite *Entry = vlockEntry(V);
+      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+        if (Mine != nullptr)
+          WriteLog.popBack();
+        addWordWrite(Entry, Addr, Value);
+        return;
+      }
+      // Write/write conflict: timid, abort self.
+      rollback();
+    }
+    if (Mine == nullptr) {
+      Mine = WriteLog.pushDefault();
+      Mine->Owner.store(this, std::memory_order_relaxed);
+      Mine->Lock = &Lock;
+      Mine->Head = nullptr;
+    }
+    Mine->OldValue = V;
+    Word Locked = reinterpret_cast<Word>(Mine) | 1;
+    if (Lock.L.compare_exchange_weak(V, Locked, std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      break;
+  }
+
+  if (vlockVersion(Mine->OldValue) > ValidTs && !extend())
+    rollback();
+  addWordWrite(Mine, Addr, Value);
+}
+
+void TinyTx::addWordWrite(StripeWrite *Entry, Word *Addr, Word Value) {
+  for (WordWrite *W = Entry->Head; W; W = W->Next) {
+    if (W->Addr == Addr) {
+      W->Value = Value;
+      return;
+    }
+  }
+  WordWrite *W = WordLog.pushDefault();
+  W->Addr = Addr;
+  W->Value = Value;
+  W->Next = Entry->Head;
+  Entry->Head = W;
+}
+
+void TinyTx::commit() {
+  assert(Depth > 0 && "commit outside a transaction");
+
+  if (WriteLog.empty()) {
+    ++Stats.ReadOnlyCommits;
+    baseCommit(GlobalState.Clock.load());
+    return;
+  }
+
+  uint64_t Ts = GlobalState.Clock.incrementAndGet();
+  if (Ts > ValidTs + 1 && !validate())
+    rollback();
+
+  // Write back and release each stripe with the commit timestamp.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  Word Release = vlockMake(Ts);
+  WriteLog.forEach([Release](StripeWrite &E) {
+    for (WordWrite *W = E.Head; W; W = W->Next)
+      racyStore(W->Addr, W->Value);
+    E.Lock->L.store(Release, std::memory_order_release);
+  });
+
+  baseCommit(Ts);
+}
+
+void TinyTx::rollback() {
+  // Release owned stripes back to their pre-acquisition versions. The
+  // last entry may be speculative (its CAS never succeeded before the
+  // abort), so only touch locks that actually point at our entry.
+  WriteLog.forEach([](StripeWrite &E) {
+    if (E.Lock != nullptr &&
+        E.Lock->L.load(std::memory_order_relaxed) ==
+            (reinterpret_cast<Word>(&E) | 1))
+      E.Lock->L.store(E.OldValue, std::memory_order_release);
+  });
+  baseAbort();
+  std::longjmp(Env, 1);
+}
+
+bool TinyTx::validate() {
+  for (const ReadEntry &R : ReadLog) {
+    Word Cur = R.Lock->L.load(std::memory_order_acquire);
+    if (Cur == R.Seen)
+      continue;
+    if (vlockIsLocked(Cur) &&
+        vlockEntry(Cur)->Owner.load(std::memory_order_relaxed) == this)
+      continue; // stripe we read and then acquired ourselves
+    return false;
+  }
+  return true;
+}
+
+bool TinyTx::extend() {
+  if (!GlobalState.Config.EnableExtension) {
+    ++Stats.FailedExtensions;
+    return false;
+  }
+  uint64_t Ts = GlobalState.Clock.load();
+  if (validate()) {
+    ValidTs = Ts;
+    repro::ThreadRegistry::publishStart(Slot, ValidTs);
+    ++Stats.Extensions;
+    return true;
+  }
+  ++Stats.FailedExtensions;
+  return false;
+}

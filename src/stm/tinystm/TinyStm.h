@@ -1,0 +1,140 @@
+//===- stm/tinystm/TinyStm.h - TinySTM baseline -----------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Reimplementation of TinySTM (Felber/Fetzer/Riegel, PPoPP 2008) in its
+// published default configuration: encounter-time locking (eager
+// acquire) with write-back redo logging, LSA-style time-based validation
+// *with* timestamp extension, and the timid contention manager. The
+// behaviour the paper critiques -- a reader that hits a location locked
+// by another transaction aborts immediately, so read/write conflicts are
+// resolved very early by aborting readers -- falls out of the single
+// versioned lock per stripe:
+//
+//   version << 1        when free,
+//   StripeWrite* | 1    while a writer owns the stripe (from first
+//                       write until its commit or abort).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_TINYSTM_TINYSTM_H
+#define STM_TINYSTM_TINYSTM_H
+
+#include "stm/Clock.h"
+#include "stm/Config.h"
+#include "stm/LockTable.h"
+#include "stm/RacyAccess.h"
+#include "stm/StableLog.h"
+#include "stm/TxBase.h"
+
+#include <atomic>
+#include <vector>
+
+namespace stm::tiny {
+
+class TinyTx;
+
+/// One buffered word write, chained per stripe (same shape as SwissTM's
+/// so encounter-time read-after-write is a pointer chase).
+struct WordWrite {
+  Word *Addr = nullptr;
+  Word Value = 0;
+  WordWrite *Next = nullptr;
+};
+
+struct VLock;
+
+/// Per-stripe entry of a transaction's write log; the stripe lock points
+/// here while owned.
+struct StripeWrite {
+  std::atomic<TinyTx *> Owner{nullptr};
+  VLock *Lock = nullptr;
+  WordWrite *Head = nullptr;
+  Word OldValue = 0; ///< lock word (version) observed at acquisition
+
+  StripeWrite() = default;
+  StripeWrite(const StripeWrite &O)
+      : Owner(O.Owner.load(std::memory_order_relaxed)), Lock(O.Lock),
+        Head(O.Head), OldValue(O.OldValue) {}
+  StripeWrite &operator=(const StripeWrite &O) {
+    Owner.store(O.Owner.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    Lock = O.Lock;
+    Head = O.Head;
+    OldValue = O.OldValue;
+    return *this;
+  }
+};
+
+struct VLock {
+  std::atomic<Word> L{0};
+};
+
+inline bool vlockIsLocked(Word V) { return (V & 1) != 0; }
+inline uint64_t vlockVersion(Word V) { return V >> 1; }
+inline Word vlockMake(uint64_t Version) {
+  return static_cast<Word>(Version << 1);
+}
+inline StripeWrite *vlockEntry(Word V) {
+  return reinterpret_cast<StripeWrite *>(V & ~static_cast<Word>(1));
+}
+
+struct TinyGlobals {
+  LockTable<VLock> Table;
+  GlobalClock Clock;
+  StmConfig Config;
+};
+
+TinyGlobals &tinyGlobals();
+
+/// One read-log entry.
+struct ReadEntry {
+  VLock *Lock;
+  Word Seen; ///< lock word as read (free, version<<1)
+};
+
+/// TinySTM transaction descriptor.
+class TinyTx : public TxBase {
+public:
+  explicit TinyTx(unsigned Slot) : TxBase(Slot) {}
+
+  void onStart();
+  Word load(const Word *Addr);
+  void store(Word *Addr, Word Value);
+  void commit();
+  [[noreturn]] void restart() { rollback(); }
+
+  void threadShutdown() { baseShutdown(); }
+
+private:
+  [[noreturn]] void rollback();
+  bool validate();
+  bool extend();
+  void addWordWrite(StripeWrite *Entry, Word *Addr, Word Value);
+
+  uint64_t ValidTs = 0;
+
+  std::vector<ReadEntry> ReadLog;
+  StableLog<StripeWrite> WriteLog;
+  StableLog<WordWrite> WordLog;
+};
+
+/// STM facade.
+class TinyStm {
+public:
+  using Tx = TinyTx;
+
+  static constexpr const char *name() { return "tinystm"; }
+
+  static void globalInit(const StmConfig &Config);
+  static void globalShutdown();
+  static TinyGlobals &globals() { return tinyGlobals(); }
+};
+
+} // namespace stm::tiny
+
+namespace stm {
+using TinyStm = tiny::TinyStm;
+} // namespace stm
+
+#endif // STM_TINYSTM_TINYSTM_H

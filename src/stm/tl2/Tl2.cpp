@@ -1,0 +1,159 @@
+//===- stm/tl2/Tl2.cpp - TL2 baseline -------------------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/tl2/Tl2.h"
+
+#include "support/Platform.h"
+
+using namespace stm;
+using namespace stm::tl2;
+
+static Tl2Globals GlobalState;
+
+Tl2Globals &stm::tl2::tl2Globals() { return GlobalState; }
+
+void Tl2::globalInit(const StmConfig &Config) {
+  GlobalState.Config = Config;
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  GlobalState.Clock.reset();
+}
+
+void Tl2::globalShutdown() {
+  RetiredPool::instance().releaseAll();
+  GlobalState.Table.destroy();
+}
+
+void Tl2Tx::onStart() {
+  baseStart();
+  ReadLog.clear();
+  WriteLog.clear();
+  AcquiredLocks.clear();
+  WSetMap.clear();
+  ReadVersion = GlobalState.Clock.load();
+  repro::ThreadRegistry::publishStart(Slot, ReadVersion);
+}
+
+Word Tl2Tx::load(const Word *Addr) {
+  ++Stats.Reads;
+
+  // Read-after-write from the redo log.
+  if (!WriteLog.empty()) {
+    uint32_t Idx = WSetMap.lookup(Addr);
+    if (Idx != ~0u)
+      return WriteLog[Idx].Value;
+  }
+
+  VLock &Lock = GlobalState.Table.entryFor(Addr);
+  Word V1 = Lock.L.load(std::memory_order_acquire);
+  Word Value = racyLoad(Addr);
+  Word V2 = Lock.L.load(std::memory_order_acquire);
+
+  // TL2 post-read check: the lock must be free, unchanged across the
+  // data read, and no newer than the transaction's read version. Any
+  // violation aborts -- TL2 has no extension mechanism.
+  if (vlockIsLocked(V1) || V1 != V2 || vlockVersion(V1) > ReadVersion)
+    rollback();
+
+  ReadLog.push_back(&Lock);
+  return Value;
+}
+
+void Tl2Tx::store(Word *Addr, Word Value) {
+  ++Stats.Writes;
+  // Lazy acquire: just buffer the write.
+  uint32_t Idx = WSetMap.lookup(Addr);
+  if (Idx != ~0u) {
+    WriteLog[Idx].Value = Value;
+    return;
+  }
+  WSetMap.insert(Addr, static_cast<uint32_t>(WriteLog.size()));
+  WriteLog.push_back(WriteEntry{Addr, Value});
+}
+
+bool Tl2Tx::acquireWriteSet() {
+  Word Self = reinterpret_cast<Word>(this) | 1;
+  for (const WriteEntry &W : WriteLog) {
+    VLock &Lock = GlobalState.Table.entryFor(W.Addr);
+    unsigned Spins = 0;
+    while (true) {
+      Word V = Lock.L.load(std::memory_order_acquire);
+      if (V == Self)
+        break; // another word of an already-acquired stripe
+      if (!vlockIsLocked(V)) {
+        if (Lock.L.compare_exchange_weak(V, Self,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          AcquiredLocks.push_back(Acquired{&Lock, V});
+          break;
+        }
+        continue;
+      }
+      // Locked by another committer: timid policy with a short bounded
+      // spin, then abort self.
+      if (++Spins > AcquireSpinLimit)
+        return false;
+      repro::cpuRelax();
+    }
+  }
+  return true;
+}
+
+bool Tl2Tx::validateReadSet() {
+  Word Self = reinterpret_cast<Word>(this) | 1;
+  for (VLock *Lock : ReadLog) {
+    Word V = Lock->L.load(std::memory_order_acquire);
+    if (V == Self)
+      continue; // stripe we both read and locked for writing
+    if (vlockIsLocked(V) || vlockVersion(V) > ReadVersion)
+      return false;
+  }
+  return true;
+}
+
+void Tl2Tx::commit() {
+  assert(Depth > 0 && "commit outside a transaction");
+
+  if (WriteLog.empty()) {
+    // Read-only transactions validated each read in place; commit is a
+    // no-op (TL2's read-only fast path).
+    ++Stats.ReadOnlyCommits;
+    baseCommit(GlobalState.Clock.load());
+    return;
+  }
+
+  if (!acquireWriteSet())
+    rollbackReleasing();
+
+  // Order lock acquisition before the data write-back for readers.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  uint64_t WriteVersion = GlobalState.Clock.incrementAndGet();
+
+  // GV4: when no concurrent commit interleaved, the read set cannot
+  // have changed and validation can be skipped.
+  if (WriteVersion != ReadVersion + 1 && !validateReadSet())
+    rollbackReleasing();
+
+  for (const WriteEntry &W : WriteLog)
+    racyStore(W.Addr, W.Value);
+
+  Word Release = vlockMake(WriteVersion);
+  for (const Acquired &A : AcquiredLocks)
+    A.Lock->L.store(Release, std::memory_order_release);
+
+  baseCommit(WriteVersion);
+}
+
+void Tl2Tx::rollback() {
+  baseAbort();
+  std::longjmp(Env, 1);
+}
+
+void Tl2Tx::rollbackReleasing() {
+  for (const Acquired &A : AcquiredLocks)
+    A.Lock->L.store(A.OldValue, std::memory_order_release);
+  rollback();
+}

@@ -1,0 +1,111 @@
+//===- stm/tl2/Tl2.h - TL2 baseline (Dice/Shalev/Shavit) --------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Reimplementation of Transactional Locking II (DISC 2006), the paper's
+// lazy-acquire baseline: commit-time locking, invisible reads against a
+// global version clock (GV4-style), write-back redo logging, and the
+// timid contention policy (abort the attacker, no waiting). TL2 has no
+// timestamp extension -- reading a location newer than the transaction's
+// read version aborts immediately, which is one of the behaviours the
+// paper contrasts with SwissTM.
+//
+// Versioned lock word per stripe:
+//   version << 1          when free,
+//   descriptor-ptr | 1    while locked at commit time.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_TL2_TL2_H
+#define STM_TL2_TL2_H
+
+#include "stm/Clock.h"
+#include "stm/Config.h"
+#include "stm/LockTable.h"
+#include "stm/RacyAccess.h"
+#include "stm/TxBase.h"
+#include "stm/WriteMap.h"
+
+#include <atomic>
+#include <vector>
+
+namespace stm::tl2 {
+
+/// One versioned write-lock per stripe.
+struct VLock {
+  std::atomic<Word> L{0};
+};
+
+inline bool vlockIsLocked(Word V) { return (V & 1) != 0; }
+inline uint64_t vlockVersion(Word V) { return V >> 1; }
+inline Word vlockMake(uint64_t Version) {
+  return static_cast<Word>(Version << 1);
+}
+
+struct Tl2Globals {
+  LockTable<VLock> Table;
+  GlobalClock Clock;
+  StmConfig Config;
+};
+
+Tl2Globals &tl2Globals();
+
+/// TL2 transaction descriptor.
+class Tl2Tx : public TxBase {
+public:
+  explicit Tl2Tx(unsigned Slot) : TxBase(Slot) {}
+
+  void onStart();
+  Word load(const Word *Addr);
+  void store(Word *Addr, Word Value);
+  void commit();
+  [[noreturn]] void restart() { rollback(); }
+
+  void threadShutdown() { baseShutdown(); }
+
+private:
+  struct WriteEntry {
+    Word *Addr;
+    Word Value;
+  };
+
+  struct Acquired {
+    VLock *Lock;
+    Word OldValue;
+  };
+
+  [[noreturn]] void rollback();
+  [[noreturn]] void rollbackReleasing();
+  bool acquireWriteSet();
+  bool validateReadSet();
+
+  /// Number of CAS attempts per lock before giving up and aborting.
+  static constexpr unsigned AcquireSpinLimit = 32;
+
+  uint64_t ReadVersion = 0; ///< "rv" -- clock sample at start
+
+  std::vector<VLock *> ReadLog;
+  std::vector<WriteEntry> WriteLog;
+  std::vector<Acquired> AcquiredLocks;
+  WriteMap WSetMap;
+};
+
+/// STM facade.
+class Tl2 {
+public:
+  using Tx = Tl2Tx;
+
+  static constexpr const char *name() { return "tl2"; }
+
+  static void globalInit(const StmConfig &Config);
+  static void globalShutdown();
+  static Tl2Globals &globals() { return tl2Globals(); }
+};
+
+} // namespace stm::tl2
+
+namespace stm {
+using Tl2 = tl2::Tl2;
+} // namespace stm
+
+#endif // STM_TL2_TL2_H

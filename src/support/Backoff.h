@@ -1,0 +1,61 @@
+//===- support/Backoff.h - spin-wait and back-off policies ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// SwissTM delays a transaction after rollback for a period proportional to
+// its number of successive aborts (Section 3.2, cm-on-rollback); Polka uses
+// exponential back-off between conflict retries (Section 2.1). Both spin
+// policies live here so every contention manager shares one implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_BACKOFF_H
+#define SUPPORT_BACKOFF_H
+
+#include "support/Platform.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+#include <sched.h>
+
+namespace repro {
+
+/// Busy-spins for roughly \p Iterations pause slots.
+inline void spinFor(uint64_t Iterations) {
+  for (uint64_t I = 0; I < Iterations; ++I)
+    cpuRelax();
+}
+
+/// One step of a wait loop: PAUSE normally, but yield the CPU every 64
+/// steps so waits make progress on oversubscribed (or single-core)
+/// hosts, where the partner we wait for needs our time slice to run.
+inline void spinWait(unsigned &Step) {
+  if ((++Step & 63) == 0)
+    sched_yield();
+  else
+    cpuRelax();
+}
+
+/// Randomized linear back-off: waits a uniformly random number of pause
+/// slots in [0, SuccessiveAborts * Unit). Used by SwissTM's
+/// cm-on-rollback (Algorithm 2, line 11).
+inline void randomLinearBackoff(Xorshift &Rng, unsigned SuccessiveAborts,
+                                uint64_t Unit = 64) {
+  if (SuccessiveAborts == 0)
+    return;
+  spinFor(Rng.nextBounded(SuccessiveAborts * Unit + 1));
+}
+
+/// Randomized (capped) exponential back-off used by Polka while the
+/// attacker waits for the victim: attempt K waits a random period in
+/// [0, Unit * 2^min(K, Cap)).
+inline void randomExponentialBackoff(Xorshift &Rng, unsigned Attempt,
+                                     uint64_t Unit = 16, unsigned Cap = 10) {
+  unsigned Shift = Attempt < Cap ? Attempt : Cap;
+  spinFor(Rng.nextBounded((Unit << Shift) + 1));
+}
+
+} // namespace repro
+
+#endif // SUPPORT_BACKOFF_H

@@ -1,0 +1,28 @@
+//===- support/Padded.h - cache-line padded wrapper -------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_PADDED_H
+#define SUPPORT_PADDED_H
+
+#include "support/Platform.h"
+
+namespace repro {
+
+/// Wraps a value in its own cache line so that arrays of per-thread state
+/// do not false-share. The wrapped value is accessed through \c value().
+template <typename T> struct alignas(CacheLineSize) Padded {
+  T Value{};
+
+  T &value() { return Value; }
+  const T &value() const { return Value; }
+};
+
+static_assert(sizeof(Padded<char>) == CacheLineSize,
+              "padding must round a small payload up to one cache line");
+
+} // namespace repro
+
+#endif // SUPPORT_PADDED_H

@@ -1,0 +1,41 @@
+//===- support/Platform.h - low-level platform primitives ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction ("Stretching Transactional Memory",
+// PLDI 2009). Platform constants and tiny helpers shared by every module.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_PLATFORM_H
+#define SUPPORT_PLATFORM_H
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace repro {
+
+/// Size of a cache line on every platform we target. Used for padding
+/// shared counters so unrelated hot words do not false-share.
+inline constexpr std::size_t CacheLineSize = 64;
+
+/// Maximum number of concurrently registered transactional threads.
+/// Visible-reader bitmaps (RSTM) use one bit per slot, so this is capped
+/// at the word width.
+inline constexpr unsigned MaxThreads = 64;
+
+/// Pause the CPU briefly inside a spin loop (PAUSE on x86, no-op
+/// elsewhere). Reduces the cost of busy-waiting on hyperthreads.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+} // namespace repro
+
+#endif // SUPPORT_PLATFORM_H

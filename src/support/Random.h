@@ -1,0 +1,79 @@
+//===- support/Random.h - fast seedable PRNG ---------------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Benchmarks and back-off logic need a very cheap thread-local generator;
+// std::mt19937_64 is too heavy for per-access decisions, so we use
+// xorshift128+ (Vigna). Deterministic given a seed, which keeps workload
+// generation reproducible across runs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_RANDOM_H
+#define SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace repro {
+
+/// xorshift128+ pseudo-random generator. Not cryptographic; period 2^128-1.
+class Xorshift {
+public:
+  explicit Xorshift(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using splitmix64 so that
+  /// similar seeds still yield uncorrelated streams.
+  void reseed(uint64_t Seed) {
+    S0 = splitmix(Seed);
+    S1 = splitmix(Seed);
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] (inclusive).
+  uint64_t nextRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBounded(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool nextPercent(unsigned Percent) { return nextBounded(100) < Percent; }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+private:
+  static uint64_t splitmix(uint64_t &State) {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t S0 = 0;
+  uint64_t S1 = 0;
+};
+
+} // namespace repro
+
+#endif // SUPPORT_RANDOM_H

@@ -1,0 +1,48 @@
+//===- support/Stats.h - per-thread transaction statistics -----*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STATS_H
+#define SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace repro {
+
+/// Counters collected by every STM descriptor. Plain (non-atomic) because
+/// each instance is owned by exactly one thread; aggregation happens after
+/// the measured region.
+struct TxStats {
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t Extensions = 0;      ///< successful valid-ts extensions
+  uint64_t FailedExtensions = 0;
+  uint64_t ReadOnlyCommits = 0;
+
+  void reset() { *this = TxStats(); }
+
+  TxStats &operator+=(const TxStats &O) {
+    Commits += O.Commits;
+    Aborts += O.Aborts;
+    Reads += O.Reads;
+    Writes += O.Writes;
+    Extensions += O.Extensions;
+    FailedExtensions += O.FailedExtensions;
+    ReadOnlyCommits += O.ReadOnlyCommits;
+    return *this;
+  }
+
+  /// Fraction of started transactions that aborted; in [0, 1].
+  double abortRatio() const {
+    uint64_t Started = Commits + Aborts;
+    return Started == 0 ? 0.0 : static_cast<double>(Aborts) / Started;
+  }
+};
+
+} // namespace repro
+
+#endif // SUPPORT_STATS_H

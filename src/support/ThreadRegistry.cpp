@@ -1,0 +1,61 @@
+//===- support/ThreadRegistry.cpp - global thread slot registry ----------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadRegistry.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace repro;
+
+Padded<std::atomic<uint64_t>> ThreadRegistry::ActiveSince[MaxThreads];
+std::atomic<uint64_t> ThreadRegistry::SlotMask{0};
+
+unsigned ThreadRegistry::acquireSlot() {
+  uint64_t Mask = SlotMask.load(std::memory_order_relaxed);
+  while (true) {
+    if (Mask == ~0ull) {
+      std::fprintf(stderr,
+                   "ThreadRegistry: more than %u transactional threads\n",
+                   MaxThreads);
+      std::abort();
+    }
+    unsigned Slot = static_cast<unsigned>(__builtin_ctzll(~Mask));
+    if (SlotMask.compare_exchange_weak(Mask, Mask | (1ull << Slot),
+                                       std::memory_order_acq_rel)) {
+      ActiveSince[Slot].value().store(IdleTimestamp,
+                                      std::memory_order_release);
+      return Slot;
+    }
+  }
+}
+
+void ThreadRegistry::releaseSlot(unsigned Slot) {
+  assert(Slot < MaxThreads && "slot out of range");
+  assert(ActiveSince[Slot].value().load(std::memory_order_acquire) ==
+             IdleTimestamp &&
+         "releasing a slot with a transaction in flight");
+  SlotMask.fetch_and(~(1ull << Slot), std::memory_order_acq_rel);
+}
+
+uint64_t ThreadRegistry::minActiveStart() {
+  uint64_t Min = IdleTimestamp;
+  uint64_t Mask = SlotMask.load(std::memory_order_acquire);
+  while (Mask != 0) {
+    unsigned Slot = static_cast<unsigned>(__builtin_ctzll(Mask));
+    Mask &= Mask - 1;
+    uint64_t Ts = ActiveSince[Slot].value().load(std::memory_order_acquire);
+    if (Ts < Min)
+      Min = Ts;
+  }
+  return Min;
+}
+
+unsigned ThreadRegistry::highWaterMark() {
+  uint64_t Mask = SlotMask.load(std::memory_order_acquire);
+  return Mask == 0 ? 0u : 64u - static_cast<unsigned>(__builtin_clzll(Mask));
+}

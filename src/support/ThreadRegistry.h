@@ -1,0 +1,70 @@
+//===- support/ThreadRegistry.h - global thread slot registry ---*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Every transactional thread occupies one global slot. The registry serves
+// two purposes:
+//   1. it hands out dense thread ids (RSTM's visible-reader bitmaps need
+//      one bit per thread), and
+//   2. it publishes, per slot, the timestamp at which the slot's current
+//      transaction started. The quiescence-based memory reclaimer
+//      (stm/TxMemory.h) frees a retired block only once every active
+//      transaction started after the block was retired, which makes
+//      invisible readers safe against use-after-free.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_THREADREGISTRY_H
+#define SUPPORT_THREADREGISTRY_H
+
+#include "support/Padded.h"
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace repro {
+
+/// Sentinel published while a slot has no transaction in flight.
+inline constexpr uint64_t IdleTimestamp = ~0ull;
+
+/// Process-wide registry of transactional threads. All members are
+/// static; the registry exists for the lifetime of the process and is
+/// reset only by tests.
+class ThreadRegistry {
+public:
+  /// Claims a fresh slot and returns its dense id. Aborts if more than
+  /// MaxThreads threads register simultaneously.
+  static unsigned acquireSlot();
+
+  /// Returns a previously acquired slot to the free pool. The slot must
+  /// be idle (no in-flight transaction).
+  static void releaseSlot(unsigned Slot);
+
+  /// Publishes that \p Slot started a transaction whose reads are valid
+  /// as of \p StartTs. Called on every transaction (re)start.
+  static void publishStart(unsigned Slot, uint64_t StartTs) {
+    ActiveSince[Slot].value().store(StartTs, std::memory_order_release);
+  }
+
+  /// Publishes that \p Slot has no transaction in flight.
+  static void publishIdle(unsigned Slot) {
+    ActiveSince[Slot].value().store(IdleTimestamp, std::memory_order_release);
+  }
+
+  /// Returns the smallest start timestamp over all slots that currently
+  /// have a transaction in flight, or IdleTimestamp if none do. Memory
+  /// retired at timestamp T is reclaimable once minActiveStart() > T.
+  static uint64_t minActiveStart();
+
+  /// Number of slots ever claimed concurrently (high-water mark).
+  static unsigned highWaterMark();
+
+private:
+  static Padded<std::atomic<uint64_t>> ActiveSince[MaxThreads];
+  static std::atomic<uint64_t> SlotMask; // bit set = slot in use (<=64 slots)
+};
+
+} // namespace repro
+
+#endif // SUPPORT_THREADREGISTRY_H

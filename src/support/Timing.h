@@ -1,0 +1,40 @@
+//===- support/Timing.h - monotonic clocks and stopwatches ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TIMING_H
+#define SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace repro {
+
+/// Returns monotonic time in nanoseconds.
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple stopwatch over the monotonic clock.
+class Stopwatch {
+public:
+  Stopwatch() : Start(nowNanos()) {}
+
+  void reset() { Start = nowNanos(); }
+
+  uint64_t elapsedNanos() const { return nowNanos() - Start; }
+  double elapsedSeconds() const { return elapsedNanos() * 1e-9; }
+  double elapsedMillis() const { return elapsedNanos() * 1e-6; }
+
+private:
+  uint64_t Start;
+};
+
+} // namespace repro
+
+#endif // SUPPORT_TIMING_H

@@ -1,0 +1,96 @@
+//===- workloads/containers/TxHashMap.h - transactional hash map -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Fixed-bucket chained hash map over TxList. Serves as the index
+// structure of STMBench7-lite and as the segment/gene table of the
+// STAMP-lite applications (genome, intruder, vacation's reservations).
+// The bucket array is fixed at construction, so concurrent transactions
+// only conflict within one bucket chain.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_CONTAINERS_TXHASHMAP_H
+#define WORKLOADS_CONTAINERS_TXHASHMAP_H
+
+#include "workloads/containers/TxList.h"
+
+#include <memory>
+
+namespace workloads {
+
+/// Transactional hash map from uint64 keys to word-sized values.
+template <typename STM> class TxHashMap {
+public:
+  using Tx = typename STM::Tx;
+
+  explicit TxHashMap(unsigned BucketsLog2 = 10)
+      : Mask((uint64_t(1) << BucketsLog2) - 1),
+        Buckets(std::make_unique<TxList<STM>[]>(Mask + 1)) {}
+
+  bool insert(Tx &T, uint64_t Key, stm::Word Value) {
+    return bucket(Key).insert(T, Key, Value);
+  }
+
+  bool remove(Tx &T, uint64_t Key) { return bucket(Key).remove(T, Key); }
+
+  bool lookup(Tx &T, uint64_t Key, stm::Word *Value = nullptr) {
+    return bucket(Key).lookup(T, Key, Value);
+  }
+
+  bool contains(Tx &T, uint64_t Key) { return lookup(T, Key); }
+
+  bool update(Tx &T, uint64_t Key, stm::Word Value) {
+    return bucket(Key).update(T, Key, Value);
+  }
+
+  /// Transactionally visits every entry (bucket order).
+  template <typename Fn> void forEach(Tx &T, Fn &&Visit) {
+    for (uint64_t B = 0; B <= Mask; ++B)
+      Buckets[B].forEach(T, [&](uint64_t K, stm::Word V,
+                                typename TxList<STM>::Node *) {
+        Visit(K, V);
+      });
+  }
+
+  /// Transactional entry count (reads every bucket).
+  uint64_t size(Tx &T) {
+    uint64_t N = 0;
+    for (uint64_t B = 0; B <= Mask; ++B)
+      N += Buckets[B].size(T);
+    return N;
+  }
+
+  /// Non-transactional iteration (quiesced use only).
+  template <typename Fn> void forEachRaw(Fn &&Visit) const {
+    for (uint64_t B = 0; B <= Mask; ++B)
+      Buckets[B].forEachRaw(Visit);
+  }
+
+  /// Non-transactional entry count (quiesced use only).
+  uint64_t sizeRaw() const {
+    uint64_t N = 0;
+    for (uint64_t B = 0; B <= Mask; ++B)
+      N += Buckets[B].sizeRaw();
+    return N;
+  }
+
+  uint64_t bucketCount() const { return Mask + 1; }
+
+private:
+  static uint64_t hash(uint64_t Key) {
+    Key ^= Key >> 33;
+    Key *= 0xff51afd7ed558ccdull;
+    Key ^= Key >> 33;
+    return Key;
+  }
+
+  TxList<STM> &bucket(uint64_t Key) { return Buckets[hash(Key) & Mask]; }
+
+  uint64_t Mask;
+  std::unique_ptr<TxList<STM>[]> Buckets;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_CONTAINERS_TXHASHMAP_H

@@ -1,0 +1,170 @@
+//===- workloads/containers/TxList.h - transactional linked list -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Singly-linked sorted list of (key, value) pairs accessed through the
+// word-based STM API. Used as the bucket structure of TxHashMap, by the
+// STMBench7-lite object graph, and directly by tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_CONTAINERS_TXLIST_H
+#define WORKLOADS_CONTAINERS_TXLIST_H
+
+#include "stm/Stm.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace workloads {
+
+/// Sorted transactional list; keys unique.
+template <typename STM> class TxList {
+public:
+  using Tx = typename STM::Tx;
+
+  struct Node {
+    stm::Word Key;
+    stm::Word Value;
+    stm::Word Next; // Node*
+  };
+
+  TxList() : HeadCell(0) {}
+
+  ~TxList() {
+    Node *N = headRaw();
+    while (N != nullptr) {
+      Node *Next = reinterpret_cast<Node *>(N->Next);
+      std::free(N);
+      N = Next;
+    }
+  }
+
+  TxList(const TxList &) = delete;
+  TxList &operator=(const TxList &) = delete;
+
+  /// Inserts (\p Key, \p Value) keeping the list sorted; returns false
+  /// if the key is already present.
+  bool insert(Tx &T, uint64_t Key, stm::Word Value) {
+    stm::Word *Link = &HeadCell;
+    Node *Cur = next(T, Link);
+    while (Cur != nullptr && T.load(&Cur->Key) < Key) {
+      Link = &Cur->Next;
+      Cur = next(T, Link);
+    }
+    if (Cur != nullptr && T.load(&Cur->Key) == Key)
+      return false;
+    auto *N = static_cast<Node *>(T.txMalloc(sizeof(Node)));
+    T.store(&N->Key, Key);
+    T.store(&N->Value, Value);
+    T.store(&N->Next, reinterpret_cast<stm::Word>(Cur));
+    T.store(Link, reinterpret_cast<stm::Word>(N));
+    return true;
+  }
+
+  /// Removes \p Key; returns false if absent.
+  bool remove(Tx &T, uint64_t Key) {
+    stm::Word *Link = &HeadCell;
+    Node *Cur = next(T, Link);
+    while (Cur != nullptr && T.load(&Cur->Key) < Key) {
+      Link = &Cur->Next;
+      Cur = next(T, Link);
+    }
+    if (Cur == nullptr || T.load(&Cur->Key) != Key)
+      return false;
+    T.store(Link, T.load(&Cur->Next));
+    T.txFree(Cur);
+    return true;
+  }
+
+  /// Looks up \p Key; fills \p Value when found.
+  bool lookup(Tx &T, uint64_t Key, stm::Word *Value = nullptr) {
+    Node *Cur = next(T, &HeadCell);
+    while (Cur != nullptr) {
+      uint64_t K = T.load(&Cur->Key);
+      if (K == Key) {
+        if (Value != nullptr)
+          *Value = T.load(&Cur->Value);
+        return true;
+      }
+      if (K > Key)
+        return false;
+      Cur = next(T, &Cur->Next);
+    }
+    return false;
+  }
+
+  /// Overwrites the value of \p Key; returns false if absent.
+  bool update(Tx &T, uint64_t Key, stm::Word Value) {
+    Node *Cur = next(T, &HeadCell);
+    while (Cur != nullptr) {
+      uint64_t K = T.load(&Cur->Key);
+      if (K == Key) {
+        T.store(&Cur->Value, Value);
+        return true;
+      }
+      if (K > Key)
+        return false;
+      Cur = next(T, &Cur->Next);
+    }
+    return false;
+  }
+
+  /// Transactionally visits every (key, value); \p Visit may perform
+  /// further transactional work.
+  template <typename Fn> void forEach(Tx &T, Fn &&Visit) {
+    Node *Cur = next(T, &HeadCell);
+    while (Cur != nullptr) {
+      Visit(T.load(&Cur->Key), T.load(&Cur->Value), Cur);
+      Cur = next(T, &Cur->Next);
+    }
+  }
+
+  /// Transactional length.
+  uint64_t size(Tx &T) {
+    uint64_t N = 0;
+    forEach(T, [&N](uint64_t, stm::Word, Node *) { ++N; });
+    return N;
+  }
+
+  /// Non-transactional length (quiesced use only).
+  uint64_t sizeRaw() const {
+    uint64_t N = 0;
+    for (Node *Cur = headRaw(); Cur != nullptr;
+         Cur = reinterpret_cast<Node *>(Cur->Next))
+      ++N;
+    return N;
+  }
+
+  /// Non-transactional iteration (quiesced use only).
+  template <typename Fn> void forEachRaw(Fn &&Visit) const {
+    for (Node *Cur = headRaw(); Cur != nullptr;
+         Cur = reinterpret_cast<Node *>(Cur->Next))
+      Visit(static_cast<uint64_t>(Cur->Key), Cur->Value);
+  }
+
+  /// Non-transactional sortedness/uniqueness check (quiesced use only).
+  bool verifySorted() const {
+    Node *Cur = headRaw();
+    while (Cur != nullptr) {
+      Node *Next = reinterpret_cast<Node *>(Cur->Next);
+      if (Next != nullptr && Next->Key <= Cur->Key)
+        return false;
+      Cur = Next;
+    }
+    return true;
+  }
+
+private:
+  Node *headRaw() const { return reinterpret_cast<Node *>(HeadCell); }
+
+  Node *next(Tx &T, stm::Word *Link) {
+    return reinterpret_cast<Node *>(T.load(Link));
+  }
+
+  alignas(64) stm::Word HeadCell;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_CONTAINERS_TXLIST_H

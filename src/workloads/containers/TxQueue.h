@@ -1,0 +1,101 @@
+//===- workloads/containers/TxQueue.h - transactional FIFO queue -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Linked FIFO queue: enqueue at tail, dequeue at head, both as part of a
+// surrounding transaction. The head cell is the "memory hot spot" the
+// paper's Figure 11 exercises through the STAMP intruder benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_CONTAINERS_TXQUEUE_H
+#define WORKLOADS_CONTAINERS_TXQUEUE_H
+
+#include "stm/Stm.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace workloads {
+
+/// Transactional FIFO of word-sized items.
+template <typename STM> class TxQueue {
+public:
+  using Tx = typename STM::Tx;
+
+  struct Node {
+    stm::Word Item;
+    stm::Word Next; // Node*
+  };
+
+  TxQueue() : HeadCell(0), TailCell(0) {}
+
+  ~TxQueue() {
+    Node *N = reinterpret_cast<Node *>(HeadCell);
+    while (N != nullptr) {
+      Node *Next = reinterpret_cast<Node *>(N->Next);
+      std::free(N);
+      N = Next;
+    }
+  }
+
+  TxQueue(const TxQueue &) = delete;
+  TxQueue &operator=(const TxQueue &) = delete;
+
+  /// Appends \p Item.
+  void enqueue(Tx &T, stm::Word Item) {
+    auto *N = static_cast<Node *>(T.txMalloc(sizeof(Node)));
+    T.store(&N->Item, Item);
+    T.store(&N->Next, 0);
+    Node *Tail = reinterpret_cast<Node *>(T.load(&TailCell));
+    if (Tail == nullptr)
+      T.store(&HeadCell, reinterpret_cast<stm::Word>(N));
+    else
+      T.store(&Tail->Next, reinterpret_cast<stm::Word>(N));
+    T.store(&TailCell, reinterpret_cast<stm::Word>(N));
+  }
+
+  /// Removes the oldest item into \p Item; returns false when empty.
+  bool dequeue(Tx &T, stm::Word *Item) {
+    Node *Head = reinterpret_cast<Node *>(T.load(&HeadCell));
+    if (Head == nullptr)
+      return false;
+    *Item = T.load(&Head->Item);
+    stm::Word Next = T.load(&Head->Next);
+    T.store(&HeadCell, Next);
+    if (Next == 0)
+      T.store(&TailCell, 0);
+    T.txFree(Head);
+    return true;
+  }
+
+  bool isEmpty(Tx &T) { return T.load(&HeadCell) == 0; }
+
+  /// Transactional length (walks the chain).
+  uint64_t size(Tx &T) {
+    uint64_t N = 0;
+    Node *Cur = reinterpret_cast<Node *>(T.load(&HeadCell));
+    while (Cur != nullptr) {
+      ++N;
+      Cur = reinterpret_cast<Node *>(T.load(&Cur->Next));
+    }
+    return N;
+  }
+
+  /// Non-transactional length (quiesced use only).
+  uint64_t sizeRaw() const {
+    uint64_t N = 0;
+    for (Node *Cur = reinterpret_cast<Node *>(HeadCell); Cur != nullptr;
+         Cur = reinterpret_cast<Node *>(Cur->Next))
+      ++N;
+    return N;
+  }
+
+private:
+  alignas(64) stm::Word HeadCell;
+  alignas(64) stm::Word TailCell;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_CONTAINERS_TXQUEUE_H

@@ -1,0 +1,73 @@
+//===- workloads/leetm/LeeBoards.cpp - synthetic Lee-TM boards ------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Deterministic generators standing in for the original Lee-TM input
+// boards:
+//   memory -- a regular, bus-like layout: rows of short parallel
+//             connections, the highly regular access pattern of the
+//             paper's "memory" circuit board;
+//   main   -- a larger board with random mixed-length connections, the
+//             paper's "main" board character.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/leetm/LeeRouter.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+
+using namespace workloads::lee;
+
+static std::vector<RouteJob> memoryBoard(unsigned W, unsigned H) {
+  // Bus-like rows: on every fourth row, short horizontal nets laid out
+  // side by side, like address/data lines of a memory array.
+  std::vector<RouteJob> Jobs;
+  uint64_t Net = 1;
+  const unsigned Span = 10;
+  for (unsigned Y = 1; Y + 1 < H; Y += 4) {
+    for (unsigned X = 1; X + Span + 1 < W; X += Span + 3) {
+      Jobs.push_back(RouteJob{X, Y, X + Span, Y, Net++});
+    }
+  }
+  return Jobs;
+}
+
+static std::vector<RouteJob> mainBoard(unsigned W, unsigned H) {
+  // Random mixed-length pairs; seeded, so every run sees the same board.
+  repro::Xorshift Rng(0x1ee7b0a2d);
+  std::vector<RouteJob> Jobs;
+  uint64_t Net = 1;
+  const unsigned NumNets = W * H / 96;
+  for (unsigned I = 0; I < NumNets; ++I) {
+    unsigned SX = 1 + static_cast<unsigned>(Rng.nextBounded(W - 2));
+    unsigned SY = 1 + static_cast<unsigned>(Rng.nextBounded(H - 2));
+    // Mix of short and long nets (1/4 long).
+    unsigned MaxLen = (I % 4 == 0) ? W / 2 : W / 8;
+    unsigned DX = static_cast<unsigned>(Rng.nextBounded(2 * MaxLen + 1));
+    unsigned DY = static_cast<unsigned>(Rng.nextBounded(2 * MaxLen + 1));
+    int TX = static_cast<int>(SX) + static_cast<int>(DX) - static_cast<int>(MaxLen);
+    int TY = static_cast<int>(SY) + static_cast<int>(DY) - static_cast<int>(MaxLen);
+    TX = std::clamp(TX, 1, static_cast<int>(W) - 2);
+    TY = std::clamp(TY, 1, static_cast<int>(H) - 2);
+    if (static_cast<unsigned>(TX) == SX && static_cast<unsigned>(TY) == SY)
+      continue;
+    Jobs.push_back(RouteJob{SX, SY, static_cast<unsigned>(TX),
+                            static_cast<unsigned>(TY), Net++});
+  }
+  return Jobs;
+}
+
+std::vector<RouteJob> workloads::lee::generateBoard(Board B, unsigned &Width,
+                                                    unsigned &Height,
+                                                    double Scale) {
+  if (B == Board::Memory) {
+    Width = std::max(32u, static_cast<unsigned>(96 * Scale));
+    Height = std::max(32u, static_cast<unsigned>(96 * Scale));
+    return memoryBoard(Width, Height);
+  }
+  Width = std::max(48u, static_cast<unsigned>(160 * Scale));
+  Height = std::max(48u, static_cast<unsigned>(160 * Scale));
+  return mainBoard(Width, Height);
+}

@@ -1,0 +1,385 @@
+//===- workloads/rbtree/RbTree.h - transactional red-black tree -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The classic STM microbenchmark (Section 2.2, Figure 5): a red-black
+// tree whose insert / remove / lookup operations each run as one short
+// transaction. The implementation follows CLRS with a shared sentinel
+// NIL node (as in the STAMP/RSTM trees); every field access goes through
+// the word-based STM API, so the tree is correct under any of the four
+// STMs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_RBTREE_RBTREE_H
+#define WORKLOADS_RBTREE_RBTREE_H
+
+#include "stm/Stm.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+
+namespace workloads {
+
+/// Transactional red-black tree mapping uint64 keys to uint64 values.
+template <typename STM> class RbTree {
+public:
+  using Tx = typename STM::Tx;
+
+  enum Color : stm::Word { Red = 0, Black = 1 };
+
+  struct Node {
+    stm::Word Key;
+    stm::Word Value;
+    stm::Word Col;
+    stm::Word Left;   // Node*
+    stm::Word Right;  // Node*
+    stm::Word Parent; // Node*
+  };
+
+  RbTree() {
+    Nil = static_cast<Node *>(std::malloc(sizeof(Node)));
+    Nil->Key = 0;
+    Nil->Value = 0;
+    Nil->Col = Black;
+    Nil->Left = reinterpret_cast<stm::Word>(Nil);
+    Nil->Right = reinterpret_cast<stm::Word>(Nil);
+    Nil->Parent = reinterpret_cast<stm::Word>(Nil);
+    RootCell = reinterpret_cast<stm::Word>(Nil);
+  }
+
+  ~RbTree() {
+    destroySubtree(rootRaw());
+    std::free(Nil);
+  }
+
+  RbTree(const RbTree &) = delete;
+  RbTree &operator=(const RbTree &) = delete;
+
+  /// Transactionally inserts (\p Key, \p Value); returns false if the
+  /// key was already present.
+  bool insert(Tx &T, uint64_t Key, uint64_t Value) {
+    Node *Y = Nil;
+    Node *X = root(T);
+    while (X != Nil) {
+      Y = X;
+      uint64_t XK = key(T, X);
+      if (Key == XK)
+        return false;
+      X = Key < XK ? left(T, X) : right(T, X);
+    }
+    auto *Z = static_cast<Node *>(T.txMalloc(sizeof(Node)));
+    // Freshly allocated: initialize transactionally so an abort that
+    // frees Z never exposes garbage (writes are buffered anyway).
+    T.store(&Z->Key, Key);
+    T.store(&Z->Value, Value);
+    T.store(&Z->Col, Red);
+    T.store(&Z->Left, asWord(Nil));
+    T.store(&Z->Right, asWord(Nil));
+    T.store(&Z->Parent, asWord(Y));
+    if (Y == Nil)
+      setRoot(T, Z);
+    else if (Key < key(T, Y))
+      T.store(&Y->Left, asWord(Z));
+    else
+      T.store(&Y->Right, asWord(Z));
+    insertFixup(T, Z);
+    return true;
+  }
+
+  /// Transactionally removes \p Key; returns false if absent.
+  bool remove(Tx &T, uint64_t Key) {
+    Node *Z = findNode(T, Key);
+    if (Z == nullptr)
+      return false;
+
+    // CLRS delete with sentinel parent tracking.
+    Node *Y = (left(T, Z) == Nil || right(T, Z) == Nil)
+                  ? Z
+                  : minimum(T, right(T, Z));
+    Node *X = left(T, Y) != Nil ? left(T, Y) : right(T, Y);
+    Node *YParent = parent(T, Y);
+    T.store(&X->Parent, asWord(YParent)); // may write the sentinel
+    if (YParent == Nil)
+      setRoot(T, X);
+    else if (Y == left(T, YParent))
+      T.store(&YParent->Left, asWord(X));
+    else
+      T.store(&YParent->Right, asWord(X));
+    if (Y != Z) {
+      T.store(&Z->Key, key(T, Y));
+      T.store(&Z->Value, T.load(&Y->Value));
+    }
+    if (color(T, Y) == Black)
+      deleteFixup(T, X);
+    T.txFree(Y);
+    return true;
+  }
+
+  /// Transactionally looks up \p Key; returns true and fills \p Value
+  /// when present.
+  bool lookup(Tx &T, uint64_t Key, uint64_t *Value = nullptr) {
+    Node *N = findNode(T, Key);
+    if (N == nullptr)
+      return false;
+    if (Value != nullptr)
+      *Value = T.load(&N->Value);
+    return true;
+  }
+
+  /// Transactionally updates the value of \p Key if present.
+  bool update(Tx &T, uint64_t Key, uint64_t Value) {
+    Node *N = findNode(T, Key);
+    if (N == nullptr)
+      return false;
+    T.store(&N->Value, Value);
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Non-transactional inspection (single-threaded / quiesced use only)
+  //===--------------------------------------------------------------===//
+
+  /// Number of keys in the tree.
+  std::size_t size() const { return countSubtree(rootRaw()); }
+
+  /// Checks every red-black tree invariant; returns false on any
+  /// violation. Call only while no transaction is in flight.
+  bool verify() const {
+    Node *Root = rootRaw();
+    if (Root == Nil)
+      return true;
+    if (Root->Col != Black)
+      return false;
+    return blackHeight(Root, 0, ~0ull) >= 0;
+  }
+
+private:
+  static stm::Word asWord(Node *N) { return reinterpret_cast<stm::Word>(N); }
+
+  Node *root(Tx &T) const {
+    return reinterpret_cast<Node *>(
+        T.load(const_cast<stm::Word *>(&RootCell)));
+  }
+  void setRoot(Tx &T, Node *N) { T.store(&RootCell, asWord(N)); }
+  Node *rootRaw() const { return reinterpret_cast<Node *>(RootCell); }
+
+  Node *left(Tx &T, Node *N) const {
+    return reinterpret_cast<Node *>(T.load(&N->Left));
+  }
+  Node *right(Tx &T, Node *N) const {
+    return reinterpret_cast<Node *>(T.load(&N->Right));
+  }
+  Node *parent(Tx &T, Node *N) const {
+    return reinterpret_cast<Node *>(T.load(&N->Parent));
+  }
+  uint64_t key(Tx &T, Node *N) const { return T.load(&N->Key); }
+  stm::Word color(Tx &T, Node *N) const { return T.load(&N->Col); }
+
+  Node *findNode(Tx &T, uint64_t Key) {
+    Node *X = root(T);
+    while (X != Nil) {
+      uint64_t XK = key(T, X);
+      if (Key == XK)
+        return X;
+      X = Key < XK ? left(T, X) : right(T, X);
+    }
+    return nullptr;
+  }
+
+  Node *minimum(Tx &T, Node *X) {
+    while (left(T, X) != Nil)
+      X = left(T, X);
+    return X;
+  }
+
+  void rotateLeft(Tx &T, Node *X) {
+    Node *Y = right(T, X);
+    Node *YL = left(T, Y);
+    T.store(&X->Right, asWord(YL));
+    if (YL != Nil)
+      T.store(&YL->Parent, asWord(X));
+    Node *XP = parent(T, X);
+    T.store(&Y->Parent, asWord(XP));
+    if (XP == Nil)
+      setRoot(T, Y);
+    else if (X == left(T, XP))
+      T.store(&XP->Left, asWord(Y));
+    else
+      T.store(&XP->Right, asWord(Y));
+    T.store(&Y->Left, asWord(X));
+    T.store(&X->Parent, asWord(Y));
+  }
+
+  void rotateRight(Tx &T, Node *X) {
+    Node *Y = left(T, X);
+    Node *YR = right(T, Y);
+    T.store(&X->Left, asWord(YR));
+    if (YR != Nil)
+      T.store(&YR->Parent, asWord(X));
+    Node *XP = parent(T, X);
+    T.store(&Y->Parent, asWord(XP));
+    if (XP == Nil)
+      setRoot(T, Y);
+    else if (X == right(T, XP))
+      T.store(&XP->Right, asWord(Y));
+    else
+      T.store(&XP->Left, asWord(Y));
+    T.store(&Y->Right, asWord(X));
+    T.store(&X->Parent, asWord(Y));
+  }
+
+  void insertFixup(Tx &T, Node *Z) {
+    while (color(T, parent(T, Z)) == Red) {
+      Node *ZP = parent(T, Z);
+      Node *ZPP = parent(T, ZP);
+      if (ZP == left(T, ZPP)) {
+        Node *Uncle = right(T, ZPP);
+        if (color(T, Uncle) == Red) {
+          T.store(&ZP->Col, Black);
+          T.store(&Uncle->Col, Black);
+          T.store(&ZPP->Col, Red);
+          Z = ZPP;
+        } else {
+          if (Z == right(T, ZP)) {
+            Z = ZP;
+            rotateLeft(T, Z);
+            ZP = parent(T, Z);
+            ZPP = parent(T, ZP);
+          }
+          T.store(&ZP->Col, Black);
+          T.store(&ZPP->Col, Red);
+          rotateRight(T, ZPP);
+        }
+      } else {
+        Node *Uncle = left(T, ZPP);
+        if (color(T, Uncle) == Red) {
+          T.store(&ZP->Col, Black);
+          T.store(&Uncle->Col, Black);
+          T.store(&ZPP->Col, Red);
+          Z = ZPP;
+        } else {
+          if (Z == left(T, ZP)) {
+            Z = ZP;
+            rotateRight(T, Z);
+            ZP = parent(T, Z);
+            ZPP = parent(T, ZP);
+          }
+          T.store(&ZP->Col, Black);
+          T.store(&ZPP->Col, Red);
+          rotateLeft(T, ZPP);
+        }
+      }
+    }
+    T.store(&root(T)->Col, Black);
+  }
+
+  void deleteFixup(Tx &T, Node *X) {
+    while (X != root(T) && color(T, X) == Black) {
+      Node *XP = parent(T, X);
+      if (X == left(T, XP)) {
+        Node *W = right(T, XP);
+        if (color(T, W) == Red) {
+          T.store(&W->Col, Black);
+          T.store(&XP->Col, Red);
+          rotateLeft(T, XP);
+          XP = parent(T, X);
+          W = right(T, XP);
+        }
+        if (color(T, left(T, W)) == Black &&
+            color(T, right(T, W)) == Black) {
+          T.store(&W->Col, Red);
+          X = XP;
+        } else {
+          if (color(T, right(T, W)) == Black) {
+            T.store(&left(T, W)->Col, Black);
+            T.store(&W->Col, Red);
+            rotateRight(T, W);
+            XP = parent(T, X);
+            W = right(T, XP);
+          }
+          T.store(&W->Col, color(T, XP));
+          T.store(&XP->Col, Black);
+          T.store(&right(T, W)->Col, Black);
+          rotateLeft(T, XP);
+          X = root(T);
+        }
+      } else {
+        Node *W = left(T, XP);
+        if (color(T, W) == Red) {
+          T.store(&W->Col, Black);
+          T.store(&XP->Col, Red);
+          rotateRight(T, XP);
+          XP = parent(T, X);
+          W = left(T, XP);
+        }
+        if (color(T, right(T, W)) == Black &&
+            color(T, left(T, W)) == Black) {
+          T.store(&W->Col, Red);
+          X = XP;
+        } else {
+          if (color(T, left(T, W)) == Black) {
+            T.store(&right(T, W)->Col, Black);
+            T.store(&W->Col, Red);
+            rotateLeft(T, W);
+            XP = parent(T, X);
+            W = left(T, XP);
+          }
+          T.store(&W->Col, color(T, XP));
+          T.store(&XP->Col, Black);
+          T.store(&left(T, W)->Col, Black);
+          rotateRight(T, XP);
+          X = root(T);
+        }
+      }
+    }
+    T.store(&X->Col, Black);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Non-transactional helpers
+  //===--------------------------------------------------------------===//
+
+  void destroySubtree(Node *N) {
+    if (N == Nil)
+      return;
+    destroySubtree(reinterpret_cast<Node *>(N->Left));
+    destroySubtree(reinterpret_cast<Node *>(N->Right));
+    std::free(N);
+  }
+
+  std::size_t countSubtree(Node *N) const {
+    if (N == Nil)
+      return 0;
+    return 1 + countSubtree(reinterpret_cast<Node *>(N->Left)) +
+           countSubtree(reinterpret_cast<Node *>(N->Right));
+  }
+
+  /// Returns the black height of \p N's subtree or -1 on violation of
+  /// red-red, black-height or BST-order constraints.
+  int blackHeight(Node *N, uint64_t Min, uint64_t Max) const {
+    if (N == Nil)
+      return 1;
+    uint64_t K = N->Key;
+    if (K < Min || K > Max)
+      return -1;
+    auto *L = reinterpret_cast<Node *>(N->Left);
+    auto *R = reinterpret_cast<Node *>(N->Right);
+    if (N->Col == Red &&
+        (L->Col == Red || R->Col == Red))
+      return -1;
+    int LH = blackHeight(L, Min, K == 0 ? 0 : K - 1);
+    int RH = blackHeight(R, K + 1, Max);
+    if (LH < 0 || RH < 0 || LH != RH)
+      return -1;
+    return LH + (N->Col == Black ? 1 : 0);
+  }
+
+  Node *Nil;
+  alignas(64) stm::Word RootCell;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_RBTREE_RBTREE_H

@@ -1,0 +1,272 @@
+//===- workloads/stamp/Bayes.h - STAMP bayes --------------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's bayes learns a Bayesian-network structure from data by
+// parallel hill climbing. This reimplementation keeps that shape
+// (documented in DESIGN.md): threads propose edge insertions/removals
+// on a shared DAG; the score delta (log-likelihood with a BIC penalty)
+// is computed against a snapshot of the target's parent set, and the
+// apply transaction revalidates the snapshot, re-checks acyclicity by a
+// transactional reachability walk, and commits the edge.
+//
+// Data is sampled from a seeded ground-truth DAG, so tests can check
+// that learning strictly improves the global score and never breaks
+// acyclicity or the parent cap.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_BAYES_H
+#define WORKLOADS_STAMP_BAYES_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace workloads::stamp {
+
+struct BayesConfig {
+  unsigned Vars = 12;      ///< <= 32 (parent/child sets are bitmasks)
+  unsigned Records = 2048;
+  unsigned MaxParents = 4;
+  unsigned ProposalsPerThread = 400;
+};
+
+template <typename STM> class Bayes {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  explicit Bayes(const BayesConfig &Config, uint64_t Seed = 0xbae5ull)
+      : Cfg(Config), ParentMask(Config.Vars, 0), ChildMask(Config.Vars, 0) {
+    generate(Seed);
+  }
+
+  Bayes(const Bayes &) = delete;
+  Bayes &operator=(const Bayes &) = delete;
+
+  /// Worker: runs Cfg.ProposalsPerThread hill-climbing proposals.
+  /// Returns the number of accepted structure changes.
+  uint64_t work(Tx &T, unsigned ThreadSeed) {
+    repro::Xorshift Rng(ThreadSeed * 2654435761u + 99);
+    uint64_t Accepted = 0;
+    for (unsigned P = 0; P < Cfg.ProposalsPerThread; ++P) {
+      unsigned From = static_cast<unsigned>(Rng.nextBounded(Cfg.Vars));
+      unsigned To = static_cast<unsigned>(Rng.nextBounded(Cfg.Vars));
+      if (From == To)
+        continue;
+      Accepted += propose(T, From, To);
+    }
+    return Accepted;
+  }
+
+  /// One proposal: try to add (or, if present, remove) From -> To when
+  /// it improves the BIC score.
+  bool propose(Tx &T, unsigned From, unsigned To) {
+    // Snapshot the target's parent set.
+    uint64_t Snapshot = 0;
+    uint64_t *SnapshotPtr = &Snapshot;
+    stm::atomically(T, [&, SnapshotPtr](Tx &X) {
+      *SnapshotPtr = X.load(&ParentMask[To]);
+    });
+
+    bool Present = (Snapshot >> From) & 1;
+    uint64_t NewMask = Present ? (Snapshot & ~(uint64_t(1) << From))
+                               : (Snapshot | (uint64_t(1) << From));
+    if (!Present && popcount(NewMask) > Cfg.MaxParents)
+      return false;
+
+    // Expensive score evaluation outside any transaction.
+    double Delta = scoreFamily(To, NewMask) - scoreFamily(To, Snapshot);
+    if (Delta <= 1e-9)
+      return false;
+
+    // Apply: revalidate the snapshot and acyclicity, then commit.
+    bool Applied = false;
+    bool *AppliedPtr = &Applied;
+    stm::atomically(T, [&, AppliedPtr](Tx &X) {
+      *AppliedPtr = false;
+      if (X.load(&ParentMask[To]) != Snapshot)
+        return; // concurrent change: drop the stale proposal
+      if (!Present && reaches(X, To, From))
+        return; // would close a cycle
+      X.store(&ParentMask[To], NewMask);
+      uint64_t Children = X.load(&ChildMask[From]);
+      if (Present)
+        X.store(&ChildMask[From], Children & ~(uint64_t(1) << To));
+      else
+        X.store(&ChildMask[From], Children | (uint64_t(1) << To));
+      *AppliedPtr = true;
+    });
+    return Applied;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Scores and validation
+  //===--------------------------------------------------------------===//
+
+  /// BIC score of the whole current structure (quiesced use only).
+  double totalScore() const {
+    double S = 0;
+    for (unsigned V = 0; V < Cfg.Vars; ++V)
+      S += scoreFamily(V, ParentMask[V]);
+    return S;
+  }
+
+  /// Score of the empty structure.
+  double emptyScore() const {
+    double S = 0;
+    for (unsigned V = 0; V < Cfg.Vars; ++V)
+      S += scoreFamily(V, 0);
+    return S;
+  }
+
+  /// Quiesced acyclicity check of the learned graph.
+  bool acyclic() const {
+    std::vector<unsigned> State(Cfg.Vars, 0); // 0 new, 1 open, 2 done
+    for (unsigned V = 0; V < Cfg.Vars; ++V)
+      if (State[V] == 0 && !dfs(V, State))
+        return false;
+    return true;
+  }
+
+  /// Quiesced parent-cap check.
+  bool parentCapRespected() const {
+    for (unsigned V = 0; V < Cfg.Vars; ++V)
+      if (popcount(ParentMask[V]) > Cfg.MaxParents)
+        return false;
+    return true;
+  }
+
+  /// Quiesced consistency: ChildMask must be the transpose of
+  /// ParentMask.
+  bool masksConsistent() const {
+    for (unsigned A = 0; A < Cfg.Vars; ++A)
+      for (unsigned B = 0; B < Cfg.Vars; ++B) {
+        bool Parent = (ParentMask[B] >> A) & 1;
+        bool Child = (ChildMask[A] >> B) & 1;
+        if (Parent != Child)
+          return false;
+      }
+    return true;
+  }
+
+  unsigned varCount() const { return Cfg.Vars; }
+  uint64_t edgeCount() const {
+    uint64_t N = 0;
+    for (unsigned V = 0; V < Cfg.Vars; ++V)
+      N += popcount(ParentMask[V]);
+    return N;
+  }
+
+private:
+  static unsigned popcount(uint64_t X) {
+    return static_cast<unsigned>(__builtin_popcountll(X));
+  }
+
+  /// Transactional reachability: can \p Src reach \p Dst via child
+  /// links? (Bitmask BFS; the graph has <= 32 nodes.)
+  bool reaches(Tx &X, unsigned Src, unsigned Dst) {
+    uint64_t Frontier = uint64_t(1) << Src;
+    uint64_t Visited = Frontier;
+    while (Frontier != 0) {
+      uint64_t Next = 0;
+      uint64_t F = Frontier;
+      while (F != 0) {
+        unsigned V = static_cast<unsigned>(__builtin_ctzll(F));
+        F &= F - 1;
+        Next |= X.load(&ChildMask[V]);
+      }
+      if ((Next >> Dst) & 1)
+        return true;
+      Frontier = Next & ~Visited;
+      Visited |= Next;
+    }
+    return false;
+  }
+
+  bool dfs(unsigned V, std::vector<unsigned> &State) const {
+    State[V] = 1;
+    uint64_t Children = ChildMask[V];
+    while (Children != 0) {
+      unsigned C = static_cast<unsigned>(__builtin_ctzll(Children));
+      Children &= Children - 1;
+      if (State[C] == 1)
+        return false;
+      if (State[C] == 0 && !dfs(C, State))
+        return false;
+    }
+    State[V] = 2;
+    return true;
+  }
+
+  /// BIC family score of variable \p V with parent set \p Mask,
+  /// computed from the (immutable) data.
+  double scoreFamily(unsigned V, uint64_t Mask) const {
+    unsigned NumParents = popcount(Mask);
+    unsigned Configs = 1u << NumParents;
+    // counts[config][value]
+    std::vector<uint32_t> Counts(Configs * 2, 0);
+    for (const uint32_t &Row : Data) {
+      unsigned Config = 0, Bit = 0;
+      uint64_t M = Mask;
+      while (M != 0) {
+        unsigned P = static_cast<unsigned>(__builtin_ctzll(M));
+        M &= M - 1;
+        Config |= ((Row >> P) & 1) << Bit;
+        ++Bit;
+      }
+      ++Counts[Config * 2 + ((Row >> V) & 1)];
+    }
+    double LogLik = 0;
+    for (unsigned C = 0; C < Configs; ++C) {
+      uint32_t N0 = Counts[C * 2], N1 = Counts[C * 2 + 1];
+      uint32_t N = N0 + N1;
+      if (N0 > 0)
+        LogLik += N0 * std::log(static_cast<double>(N0) / N);
+      if (N1 > 0)
+        LogLik += N1 * std::log(static_cast<double>(N1) / N);
+    }
+    double Penalty = 0.5 * std::log(static_cast<double>(Data.size())) *
+                     static_cast<double>(Configs);
+    return LogLik - Penalty;
+  }
+
+  void generate(uint64_t Seed) {
+    repro::Xorshift Rng(Seed);
+    // Ground-truth DAG on the natural order: edge i -> j (i < j) with
+    // probability 25%, capped parents.
+    std::vector<uint64_t> TruthParents(Cfg.Vars, 0);
+    for (unsigned J = 1; J < Cfg.Vars; ++J)
+      for (unsigned I = 0; I < J; ++I)
+        if (popcount(TruthParents[J]) < Cfg.MaxParents &&
+            Rng.nextPercent(25))
+          TruthParents[J] |= uint64_t(1) << I;
+    // Sample records: noisy-OR of parents.
+    Data.reserve(Cfg.Records);
+    for (unsigned R = 0; R < Cfg.Records; ++R) {
+      uint32_t Row = 0;
+      for (unsigned V = 0; V < Cfg.Vars; ++V) {
+        uint64_t Pa = TruthParents[V] & Row; // parents precede V
+        bool AnyParentOn = Pa != 0;
+        unsigned POn = AnyParentOn ? 85 : 15;
+        if (Rng.nextPercent(POn))
+          Row |= uint32_t(1) << V;
+      }
+      Data.push_back(Row);
+    }
+  }
+
+  BayesConfig Cfg;
+  std::vector<uint32_t> Data; ///< one bitmask row per record (immutable)
+  // Transactional structure state.
+  std::vector<Word> ParentMask;
+  std::vector<Word> ChildMask;
+};
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_BAYES_H

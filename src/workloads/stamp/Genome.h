@@ -1,0 +1,262 @@
+//===- workloads/stamp/Genome.h - STAMP genome ------------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's genome: gene sequencing by segment overlap. A synthetic genome
+// (alphabet of 8 symbols) is cut into every substring of length S; the
+// segment pool contains duplicates. The pipeline:
+//
+//   Phase 1 (parallel): deduplicate segments into a transactional hash
+//            set.
+//   Phase 2 (parallel): index unique segments by their (S-1)-prefix and
+//            transactionally link each segment to its overlap successor.
+//   Phase 3 (sequential): walk the chain from the unique head segment
+//            and rebuild the genome.
+//
+// The generator enforces that every (S-1)-mer of the genome is unique,
+// so the reconstruction is exact and testable: rebuilt == original.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_GENOME_H
+#define WORKLOADS_STAMP_GENOME_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "workloads/containers/TxHashMap.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace workloads::stamp {
+
+struct GenomeConfig {
+  unsigned GenomeLength = 1024;
+  unsigned SegmentLength = 16; ///< <= 21 so a segment packs into 63 bits
+  unsigned DuplicationFactor = 3;
+};
+
+template <typename STM> class Genome {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  /// One unique segment in the overlap graph.
+  struct Segment {
+    Word Packed;  ///< 3 bits per symbol
+    Word Next;    ///< Segment* (overlap successor)
+    Word HasPred; ///< some segment links to this one
+  };
+
+  explicit Genome(const GenomeConfig &Config, uint64_t Seed = 0x6e0337ull)
+      : Cfg(Config), Dedup(12), PrefixIndex(12), NextPool(0), NextLink(0) {
+    generate(Seed);
+  }
+
+  Genome(const Genome &) = delete;
+  Genome &operator=(const Genome &) = delete;
+
+  const std::string &original() const { return Truth; }
+  std::size_t poolSize() const { return Pool.size(); }
+  std::size_t uniqueCount() const { return Segments.size(); }
+
+  /// Phase 1 worker: claim pool entries and insert them into the
+  /// dedup set. Returns how many inserts were fresh.
+  uint64_t dedupWorker(Tx &T) {
+    uint64_t Fresh = 0;
+    while (true) {
+      std::size_t Idx = NextPool.fetch_add(1, std::memory_order_relaxed);
+      if (Idx >= Pool.size())
+        break;
+      uint64_t Key = Pool[Idx];
+      bool Inserted = false;
+      bool *InsertedPtr = &Inserted;
+      stm::atomically(T, [&, InsertedPtr](Tx &X) {
+        *InsertedPtr = Dedup.insert(X, Key, Key);
+      });
+      Fresh += Inserted;
+    }
+    return Fresh;
+  }
+
+  /// Between phases: materialize the unique-segment array from the
+  /// dedup set (quiesced, sequential).
+  void buildSegmentArray() {
+    Segments.clear();
+    Dedup.forEachRaw([this](uint64_t Key, Word) {
+      Segments.push_back(Segment{Key, 0, 0});
+    });
+  }
+
+  /// Phase 2a worker: index unique segments by (S-1)-prefix.
+  void indexWorker(Tx &T) {
+    while (true) {
+      std::size_t Idx = NextLink.fetch_add(1, std::memory_order_relaxed);
+      if (Idx >= Segments.size())
+        break;
+      Segment *S = &Segments[Idx];
+      uint64_t Prefix = prefixOf(S->Packed);
+      stm::atomically(T, [&](Tx &X) {
+        PrefixIndex.insert(X, Prefix, reinterpret_cast<Word>(S));
+      });
+    }
+  }
+
+  /// Resets the claim counter between phases 2a and 2b.
+  void resetClaims() { NextLink.store(0, std::memory_order_relaxed); }
+
+  /// Phase 2b worker: link each segment to the segment whose prefix
+  /// matches its suffix.
+  void linkWorker(Tx &T) {
+    while (true) {
+      std::size_t Idx = NextLink.fetch_add(1, std::memory_order_relaxed);
+      if (Idx >= Segments.size())
+        break;
+      Segment *S = &Segments[Idx];
+      uint64_t Suffix = suffixOf(S->Packed);
+      stm::atomically(T, [&](Tx &X) {
+        Word Val = 0;
+        if (!PrefixIndex.lookup(X, Suffix, &Val))
+          return; // tail segment: no successor
+        auto *Succ = reinterpret_cast<Segment *>(Val);
+        X.store(&S->Next, Val);
+        X.store(&Succ->HasPred, 1);
+      });
+    }
+  }
+
+  /// Phase 3 (sequential, quiesced): rebuild the genome from the chain.
+  std::string reconstruct() const {
+    const Segment *Head = nullptr;
+    for (const Segment &S : Segments)
+      if (S.HasPred == 0) {
+        if (Head != nullptr)
+          return {}; // more than one head: linking failed
+        Head = &S;
+      }
+    if (Head == nullptr)
+      return {};
+    std::string Out = unpack(Head->Packed);
+    std::size_t Steps = 0;
+    for (const Segment *S = reinterpret_cast<const Segment *>(Head->Next);
+         S != nullptr; S = reinterpret_cast<const Segment *>(S->Next)) {
+      Out.push_back(lastSymbol(S->Packed));
+      if (++Steps > Segments.size())
+        return {}; // cycle: corrupted links
+    }
+    return Out;
+  }
+
+private:
+  static constexpr unsigned BitsPerSymbol = 3;
+  static constexpr char Alphabet[9] = "acgtwskm";
+
+  // Packing places symbol 0 in the lowest bits (see pack), so the
+  // (S-1)-symbol *prefix* is the low bits and the *suffix* drops the
+  // first symbol by shifting.
+  uint64_t prefixOf(uint64_t Packed) const {
+    return Packed &
+           ((uint64_t(1) << ((Cfg.SegmentLength - 1) * BitsPerSymbol)) - 1);
+  }
+
+  uint64_t suffixOf(uint64_t Packed) const {
+    return Packed >> BitsPerSymbol;
+  }
+
+  char lastSymbol(uint64_t Packed) const {
+    unsigned Shift = (Cfg.SegmentLength - 1) * BitsPerSymbol;
+    return Alphabet[(Packed >> Shift) & 7];
+  }
+
+  uint64_t pack(const char *S) const {
+    uint64_t P = 0;
+    for (unsigned I = 0; I < Cfg.SegmentLength; ++I) {
+      uint64_t Sym = 0;
+      for (unsigned A = 0; A < 8; ++A)
+        if (Alphabet[A] == S[I])
+          Sym = A;
+      P |= Sym << (I * BitsPerSymbol);
+    }
+    return P;
+  }
+
+  std::string unpack(uint64_t Packed) const {
+    std::string Out;
+    for (unsigned I = 0; I < Cfg.SegmentLength; ++I)
+      Out.push_back(Alphabet[(Packed >> (I * BitsPerSymbol)) & 7]);
+    return Out;
+  }
+
+  void generate(uint64_t Seed) {
+    repro::Xorshift Rng(Seed);
+    unsigned K = Cfg.SegmentLength - 1;
+    // Build a genome whose every K-mer is unique (greedy with retry).
+    std::vector<uint64_t> Seen;
+    auto kmerSeen = [&Seen](uint64_t Kmer) {
+      for (uint64_t S : Seen)
+        if (S == Kmer)
+          return true;
+      return false;
+    };
+    Truth.clear();
+    while (Truth.size() < Cfg.GenomeLength) {
+      bool Placed = false;
+      for (int Attempt = 0; Attempt < 16 && !Placed; ++Attempt) {
+        char C = Alphabet[Rng.nextBounded(8)];
+        Truth.push_back(C);
+        if (Truth.size() < K) {
+          Placed = true;
+          break;
+        }
+        uint64_t Kmer = 0;
+        for (unsigned I = 0; I < K; ++I) {
+          char Sym = Truth[Truth.size() - K + I];
+          uint64_t Code = 0;
+          for (unsigned A = 0; A < 8; ++A)
+            if (Alphabet[A] == Sym)
+              Code = A;
+          Kmer |= Code << (I * BitsPerSymbol);
+        }
+        if (kmerSeen(Kmer)) {
+          Truth.pop_back();
+          continue;
+        }
+        Seen.push_back(Kmer);
+        Placed = true;
+      }
+      if (!Placed) {
+        // Dead end (astronomically unlikely at this scale): restart.
+        Truth.clear();
+        Seen.clear();
+      }
+    }
+    // Segment pool: every substring of length S, duplicated and
+    // shuffled.
+    std::vector<uint64_t> Uniques;
+    for (std::size_t I = 0; I + Cfg.SegmentLength <= Truth.size(); ++I)
+      Uniques.push_back(pack(Truth.data() + I));
+    for (uint64_t U : Uniques)
+      for (unsigned D = 0; D < Cfg.DuplicationFactor; ++D)
+        Pool.push_back(U);
+    for (std::size_t I = Pool.size(); I > 1; --I)
+      std::swap(Pool[I - 1], Pool[Rng.nextBounded(I)]);
+    Segments.reserve(Uniques.size());
+  }
+
+  GenomeConfig Cfg;
+  std::string Truth;
+  std::vector<uint64_t> Pool; ///< packed segments incl. duplicates
+  std::vector<Segment> Segments;
+  TxHashMap<STM> Dedup;
+  TxHashMap<STM> PrefixIndex;
+  std::atomic<std::size_t> NextPool;
+  std::atomic<std::size_t> NextLink;
+};
+
+template <typename STM> constexpr char Genome<STM>::Alphabet[9];
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_GENOME_H

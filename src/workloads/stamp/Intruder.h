@@ -1,0 +1,188 @@
+//===- workloads/stamp/Intruder.h - STAMP intruder --------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's intruder: network intrusion detection in three stages.
+// Packet fragments of many flows arrive interleaved in one shared queue
+// (the "memory hot spot" of Figure 11); workers transactionally
+//
+//   1. capture: dequeue a fragment,
+//   2. reassemble: file it in the flow table; when a flow completes,
+//      claim it,
+//
+// and then scan the assembled payload for attack signatures outside any
+// transaction. A known fraction of flows carries a planted signature,
+// so detection counts are exactly checkable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_INTRUDER_H
+#define WORKLOADS_STAMP_INTRUDER_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "workloads/containers/TxHashMap.h"
+#include "workloads/containers/TxQueue.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace workloads::stamp {
+
+struct IntruderConfig {
+  unsigned Flows = 256;
+  unsigned MaxFragsPerFlow = 6;
+  unsigned PayloadChunk = 24;   ///< bytes per fragment
+  unsigned AttackPercent = 10; ///< flows carrying a signature
+};
+
+template <typename STM> class Intruder {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  struct Fragment {
+    uint32_t FlowId;
+    uint32_t FragIdx;
+    uint32_t NumFrags;
+    std::string Payload;
+  };
+
+  /// Per-flow reassembly state, allocated transactionally on first
+  /// fragment.
+  struct FlowState {
+    Word Received;
+    Word NumFrags;
+    Word Frags[8]; // Fragment*
+  };
+
+  explicit Intruder(const IntruderConfig &Config, uint64_t Seed = 0x1917ull)
+      : Cfg(Config), FlowTable(10), Assembled(0), Detected(0) {
+    generate(Seed);
+    // Load the shared queue (single-threaded bootstrap).
+    stm::ThreadScope<STM> Scope;
+    Tx &T = Scope.tx();
+    for (Fragment &F : Fragments)
+      stm::atomically(T, [&](Tx &X) {
+        Queue.enqueue(X, reinterpret_cast<Word>(&F));
+      });
+  }
+
+  Intruder(const Intruder &) = delete;
+  Intruder &operator=(const Intruder &) = delete;
+
+  unsigned flowCount() const { return Cfg.Flows; }
+  unsigned plantedAttacks() const { return Planted; }
+  uint64_t assembledCount() const { return Assembled.load(); }
+  uint64_t detectedCount() const { return Detected.load(); }
+
+  /// Worker loop: processes fragments until the queue drains. Returns
+  /// the number of flows this thread fully assembled.
+  uint64_t work(Tx &T) {
+    uint64_t MyFlows = 0;
+    while (true) {
+      // Stage 1: capture.
+      Fragment *Frag = nullptr;
+      Fragment **FragPtr = &Frag;
+      stm::atomically(T, [&, FragPtr](Tx &X) {
+        Word Item = 0;
+        *FragPtr = Queue.dequeue(X, &Item)
+                       ? reinterpret_cast<Fragment *>(Item)
+                       : nullptr;
+      });
+      if (Frag == nullptr)
+        break;
+
+      // Stage 2: reassembly; claims the flow when complete.
+      FlowState *Complete = nullptr;
+      FlowState **CompletePtr = &Complete;
+      stm::atomically(T, [&, CompletePtr](Tx &X) {
+        *CompletePtr = nullptr;
+        Word Val = 0;
+        FlowState *FS;
+        if (FlowTable.lookup(X, Frag->FlowId, &Val)) {
+          FS = reinterpret_cast<FlowState *>(Val);
+        } else {
+          FS = static_cast<FlowState *>(X.txMalloc(sizeof(FlowState)));
+          X.store(&FS->Received, 0);
+          X.store(&FS->NumFrags, Frag->NumFrags);
+          for (unsigned I = 0; I < 8; ++I)
+            X.store(&FS->Frags[I], 0);
+          FlowTable.insert(X, Frag->FlowId, reinterpret_cast<Word>(FS));
+        }
+        X.store(&FS->Frags[Frag->FragIdx], reinterpret_cast<Word>(Frag));
+        Word Received = X.load(&FS->Received) + 1;
+        X.store(&FS->Received, Received);
+        if (Received == X.load(&FS->NumFrags)) {
+          FlowTable.remove(X, Frag->FlowId);
+          *CompletePtr = FS; // claimed by this thread
+        }
+      });
+
+      // Stage 3: detection, outside any transaction (the flow is now
+      // thread-private).
+      if (Complete != nullptr) {
+        ++MyFlows;
+        Assembled.fetch_add(1, std::memory_order_relaxed);
+        std::string Payload;
+        uint64_t N = Complete->NumFrags;
+        for (uint64_t I = 0; I < N; ++I)
+          Payload +=
+              reinterpret_cast<Fragment *>(Complete->Frags[I])->Payload;
+        if (Payload.find(Signature) != std::string::npos)
+          Detected.fetch_add(1, std::memory_order_relaxed);
+        // Doomed concurrent transactions may still hold the table's old
+        // pointer to this state: release through quiescent reclamation.
+        stm::atomically(T, [&](Tx &X) { X.txFree(Complete); });
+      }
+    }
+    return MyFlows;
+  }
+
+  /// Non-transactional: true when the flow table is empty (all flows
+  /// fully assembled).
+  bool tableDrained() const { return FlowTable.sizeRaw() == 0; }
+
+private:
+  void generate(uint64_t Seed) {
+    repro::Xorshift Rng(Seed);
+    static const char Chars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    for (uint32_t Flow = 0; Flow < Cfg.Flows; ++Flow) {
+      unsigned NumFrags =
+          2 + static_cast<unsigned>(Rng.nextBounded(Cfg.MaxFragsPerFlow - 1));
+      bool Attack = Rng.nextPercent(Cfg.AttackPercent);
+      Planted += Attack;
+      std::string Payload;
+      for (unsigned I = 0; I < NumFrags * Cfg.PayloadChunk; ++I)
+        Payload.push_back(Chars[Rng.nextBounded(sizeof(Chars) - 1)]);
+      if (Attack) {
+        std::size_t Pos =
+            Rng.nextBounded(Payload.size() - Signature.size());
+        Payload.replace(Pos, Signature.size(), Signature);
+      }
+      for (unsigned I = 0; I < NumFrags; ++I)
+        Fragments.push_back(
+            Fragment{Flow, I, NumFrags,
+                     Payload.substr(std::size_t(I) * Cfg.PayloadChunk,
+                                    Cfg.PayloadChunk)});
+    }
+    // Shuffle fragments so flows interleave in the queue.
+    for (std::size_t I = Fragments.size(); I > 1; --I)
+      std::swap(Fragments[I - 1], Fragments[Rng.nextBounded(I)]);
+  }
+
+  IntruderConfig Cfg;
+  unsigned Planted = 0;
+  const std::string Signature = "x!attack!x";
+  std::vector<Fragment> Fragments;
+  TxQueue<STM> Queue;
+  TxHashMap<STM> FlowTable;
+  std::atomic<uint64_t> Assembled;
+  std::atomic<uint64_t> Detected;
+};
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_INTRUDER_H

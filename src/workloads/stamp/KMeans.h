@@ -1,0 +1,174 @@
+//===- workloads/stamp/KMeans.h - STAMP kmeans ------------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's kmeans: iterative K-means clustering where each thread assigns
+// a chunk of points to the nearest center (thread-private reads) and
+// transactionally accumulates the per-cluster coordinate sums and
+// membership counts -- the contended step. STAMP's high/low contention
+// variants differ in the number of clusters (fewer clusters => hotter
+// accumulators); kmeans-high uses K=4, kmeans-low K=16 here.
+//
+// Input is a seeded synthetic mixture of K well-separated Gaussians, so
+// correctness is testable: converged centers must land near the true
+// ones and memberships must sum to N.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_KMEANS_H
+#define WORKLOADS_STAMP_KMEANS_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace workloads::stamp {
+
+struct KMeansConfig {
+  unsigned Points = 2048;
+  unsigned Dims = 4;
+  unsigned Clusters = 4; // 4 = high contention, 16 = low contention
+  unsigned Iterations = 8;
+  double Spread = 0.05; ///< intra-cluster noise vs unit cluster spacing
+};
+
+/// One K-means instance. Usage per iteration:
+///   1. every thread: assignChunk(tx, begin, end)   (transactional)
+///   2. one thread:   finishIteration()             (sequential)
+/// and finally centersNearTruth() / membershipTotal() for validation.
+template <typename STM> class KMeans {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  explicit KMeans(const KMeansConfig &Config, uint64_t Seed = 0x6b6d65616e73ull)
+      : Cfg(Config) {
+    generate(Seed);
+    // Initial centers: first point of each true cluster, slightly off.
+    Centers.assign(static_cast<std::size_t>(Cfg.Clusters) * Cfg.Dims, 0.0);
+    for (unsigned C = 0; C < Cfg.Clusters; ++C)
+      for (unsigned D = 0; D < Cfg.Dims; ++D)
+        Centers[C * Cfg.Dims + D] = Truth[C * Cfg.Dims + D] + 0.3;
+    SumCells.assign(Centers.size(), 0);
+    CountCells.assign(Cfg.Clusters, 0);
+  }
+
+  unsigned pointCount() const { return Cfg.Points; }
+  unsigned clusterCount() const { return Cfg.Clusters; }
+
+  /// Phase 1 (parallel): assign points [Begin, End) to their nearest
+  /// center and transactionally add them into the accumulator cells.
+  void assignChunk(Tx &T, unsigned Begin, unsigned End) {
+    for (unsigned P = Begin; P < End; ++P) {
+      unsigned Best = nearestCenter(&Data[P * Cfg.Dims]);
+      Membership[P] = Best;
+      stm::atomically(T, [&](Tx &X) {
+        for (unsigned D = 0; D < Cfg.Dims; ++D) {
+          double Cur = stm::fromWord<double>(
+              X.load(&SumCells[Best * Cfg.Dims + D]));
+          X.store(&SumCells[Best * Cfg.Dims + D],
+                  stm::toWord(Cur + Data[P * Cfg.Dims + D]));
+        }
+        X.store(&CountCells[Best], X.load(&CountCells[Best]) + 1);
+      });
+    }
+  }
+
+  /// Phase 2 (sequential): fold the accumulators into new centers.
+  void finishIteration() {
+    for (unsigned C = 0; C < Cfg.Clusters; ++C) {
+      uint64_t N = CountCells[C];
+      if (N == 0)
+        continue;
+      for (unsigned D = 0; D < Cfg.Dims; ++D) {
+        double Sum = stm::fromWord<double>(SumCells[C * Cfg.Dims + D]);
+        Centers[C * Cfg.Dims + D] = Sum / static_cast<double>(N);
+      }
+    }
+    std::fill(SumCells.begin(), SumCells.end(), 0);
+    std::fill(CountCells.begin(), CountCells.end(), 0);
+  }
+
+  /// Validation: sum of per-cluster memberships must equal N. Call
+  /// between assignChunk completion and finishIteration.
+  uint64_t membershipTotal() const {
+    uint64_t N = 0;
+    for (uint64_t C : CountCells)
+      N += C;
+    return N;
+  }
+
+  /// Validation: every converged center is within \p Tol of some true
+  /// cluster mean (clusters are unit-spaced, noise is Cfg.Spread).
+  bool centersNearTruth(double Tol = 0.2) const {
+    for (unsigned C = 0; C < Cfg.Clusters; ++C) {
+      double BestDist = 1e100;
+      for (unsigned G = 0; G < Cfg.Clusters; ++G) {
+        double Dist = 0;
+        for (unsigned D = 0; D < Cfg.Dims; ++D) {
+          double Diff =
+              Centers[C * Cfg.Dims + D] - Truth[G * Cfg.Dims + D];
+          Dist += Diff * Diff;
+        }
+        BestDist = std::min(BestDist, Dist);
+      }
+      if (std::sqrt(BestDist) > Tol)
+        return false;
+    }
+    return true;
+  }
+
+  const std::vector<double> &centers() const { return Centers; }
+
+private:
+  unsigned nearestCenter(const double *Point) const {
+    unsigned Best = 0;
+    double BestDist = 1e100;
+    for (unsigned C = 0; C < Cfg.Clusters; ++C) {
+      double Dist = 0;
+      for (unsigned D = 0; D < Cfg.Dims; ++D) {
+        double Diff = Point[D] - Centers[C * Cfg.Dims + D];
+        Dist += Diff * Diff;
+      }
+      if (Dist < BestDist) {
+        BestDist = Dist;
+        Best = C;
+      }
+    }
+    return Best;
+  }
+
+  void generate(uint64_t Seed) {
+    repro::Xorshift Rng(Seed);
+    Truth.assign(static_cast<std::size_t>(Cfg.Clusters) * Cfg.Dims, 0.0);
+    for (unsigned C = 0; C < Cfg.Clusters; ++C)
+      for (unsigned D = 0; D < Cfg.Dims; ++D)
+        Truth[C * Cfg.Dims + D] =
+            static_cast<double>((C >> (D % 4)) & 1 ? C + 1 : -(double)C - 1);
+    Data.assign(static_cast<std::size_t>(Cfg.Points) * Cfg.Dims, 0.0);
+    Membership.assign(Cfg.Points, 0);
+    for (unsigned P = 0; P < Cfg.Points; ++P) {
+      unsigned C = P % Cfg.Clusters;
+      for (unsigned D = 0; D < Cfg.Dims; ++D)
+        Data[P * Cfg.Dims + D] =
+            Truth[C * Cfg.Dims + D] +
+            (Rng.nextDouble() - 0.5) * 2.0 * Cfg.Spread;
+    }
+  }
+
+  KMeansConfig Cfg;
+  std::vector<double> Truth;   ///< generating cluster means
+  std::vector<double> Data;    ///< points, row-major
+  std::vector<double> Centers; ///< current centers (sequential phase)
+  std::vector<unsigned> Membership;
+  // Transactional accumulators (doubles bit-cast into words).
+  std::vector<Word> SumCells;
+  std::vector<Word> CountCells;
+};
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_KMEANS_H

@@ -1,0 +1,51 @@
+//===- workloads/stamp/Labyrinth.h - STAMP labyrinth ------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's labyrinth uses the same routing algorithm as Lee-TM (the paper
+// notes this explicitly in Section 2.2); the difference is the input: a
+// dense random maze rather than a real circuit board. This adapter
+// reuses the transactional Lee router with a labyrinth-style random
+// board generator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_LABYRINTH_H
+#define WORKLOADS_STAMP_LABYRINTH_H
+
+#include "support/Random.h"
+#include "workloads/leetm/LeeRouter.h"
+
+namespace workloads::stamp {
+
+struct LabyrinthConfig {
+  unsigned Width = 64;
+  unsigned Height = 64;
+  unsigned Paths = 48;
+};
+
+/// Generates the deterministic labyrinth job list: random endpoint
+/// pairs across the whole grid (denser and more crossing-prone than the
+/// Lee-TM boards).
+inline std::vector<lee::RouteJob>
+labyrinthJobs(const LabyrinthConfig &Cfg, uint64_t Seed = 0x1ab1ull) {
+  repro::Xorshift Rng(Seed);
+  std::vector<lee::RouteJob> Jobs;
+  for (unsigned I = 0; I < Cfg.Paths; ++I) {
+    unsigned SX = 1 + static_cast<unsigned>(Rng.nextBounded(Cfg.Width - 2));
+    unsigned SY = 1 + static_cast<unsigned>(Rng.nextBounded(Cfg.Height - 2));
+    unsigned TX = 1 + static_cast<unsigned>(Rng.nextBounded(Cfg.Width - 2));
+    unsigned TY = 1 + static_cast<unsigned>(Rng.nextBounded(Cfg.Height - 2));
+    if (SX == TX && SY == TY)
+      continue;
+    Jobs.push_back(lee::RouteJob{SX, SY, TX, TY, I + 1});
+  }
+  return Jobs;
+}
+
+/// The labyrinth workload is LeeRouter over labyrinthJobs.
+template <typename STM> using Labyrinth = lee::LeeRouter<STM>;
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_LABYRINTH_H

@@ -1,0 +1,159 @@
+//===- workloads/stamp/Ssca2.h - STAMP ssca2 --------------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's ssca2 (Scalable Synthetic Compact Applications 2, kernel 1):
+// parallel construction of a large sparse graph. Threads take edges from
+// a pre-generated R-MAT-style list and insert them into per-vertex
+// adjacency lists inside small transactions. Transactions are tiny and
+// contention is low -- the paper's results show ssca2 as the workload
+// where STM choice matters least.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_SSCA2_H
+#define WORKLOADS_STAMP_SSCA2_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace workloads::stamp {
+
+struct Ssca2Config {
+  unsigned VerticesLog2 = 10;
+  unsigned EdgeFactor = 4; ///< edges = EdgeFactor * vertices
+};
+
+template <typename STM> class Ssca2 {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  struct AdjNode {
+    Word To;
+    Word Weight;
+    Word Next; // AdjNode*
+  };
+
+  explicit Ssca2(const Ssca2Config &Config, uint64_t Seed = 0x55ca2ull)
+      : Cfg(Config), NumVertices(1u << Config.VerticesLog2),
+        Heads(NumVertices, 0), Degrees(NumVertices, 0), NextEdge(0) {
+    generateEdges(Seed);
+  }
+
+  ~Ssca2() {
+    for (Word Head : Heads) {
+      auto *N = reinterpret_cast<AdjNode *>(Head);
+      while (N != nullptr) {
+        auto *Next = reinterpret_cast<AdjNode *>(N->Next);
+        std::free(N);
+        N = Next;
+      }
+    }
+  }
+
+  Ssca2(const Ssca2 &) = delete;
+  Ssca2 &operator=(const Ssca2 &) = delete;
+
+  uint64_t edgeCount() const { return Edges.size() / 2; }
+  unsigned vertexCount() const { return NumVertices; }
+
+  /// Worker loop: claims edges and inserts them until the list is
+  /// exhausted. Returns the number of insertions this thread performed.
+  uint64_t work(Tx &T) {
+    uint64_t Inserted = 0;
+    while (true) {
+      std::size_t Idx =
+          NextEdge.fetch_add(2, std::memory_order_relaxed);
+      if (Idx + 1 >= Edges.size())
+        break;
+      insertEdge(T, Edges[Idx], Edges[Idx + 1]);
+      ++Inserted;
+    }
+    return Inserted;
+  }
+
+  /// Inserts the directed edge (From -> To) as one transaction.
+  void insertEdge(Tx &T, uint32_t From, uint32_t To) {
+    stm::atomically(T, [&](Tx &X) {
+      auto *N = static_cast<AdjNode *>(X.txMalloc(sizeof(AdjNode)));
+      X.store(&N->To, To);
+      X.store(&N->Weight, (uint64_t(From) * 31 + To) % 97);
+      X.store(&N->Next, X.load(&Heads[From]));
+      X.store(&Heads[From], reinterpret_cast<Word>(N));
+      X.store(&Degrees[From], X.load(&Degrees[From]) + 1);
+    });
+  }
+
+  //===--------------------------------------------------------------===//
+  // Non-transactional validation (quiesced use only)
+  //===--------------------------------------------------------------===//
+
+  /// Sum of all vertex degrees; must equal the number of directed edges
+  /// inserted.
+  uint64_t totalDegree() const {
+    uint64_t N = 0;
+    for (Word D : Degrees)
+      N += D;
+    return N;
+  }
+
+  /// Degree counters must agree with the physical list lengths.
+  bool degreesConsistent() const {
+    for (unsigned V = 0; V < NumVertices; ++V) {
+      uint64_t Len = 0;
+      for (auto *N = reinterpret_cast<AdjNode *>(Heads[V]); N != nullptr;
+           N = reinterpret_cast<AdjNode *>(N->Next))
+        ++Len;
+      if (Len != Degrees[V])
+        return false;
+    }
+    return true;
+  }
+
+  /// True if the adjacency of \p From contains \p To.
+  bool hasEdge(uint32_t From, uint32_t To) const {
+    for (auto *N = reinterpret_cast<AdjNode *>(Heads[From]); N != nullptr;
+         N = reinterpret_cast<AdjNode *>(N->Next))
+      if (N->To == To)
+        return true;
+    return false;
+  }
+
+  const std::vector<uint32_t> &edgeList() const { return Edges; }
+
+private:
+  void generateEdges(uint64_t Seed) {
+    // R-MAT-flavoured skew: quadrant probabilities 0.45/0.25/0.15/0.15.
+    repro::Xorshift Rng(Seed);
+    uint64_t NumEdges = uint64_t(Cfg.EdgeFactor) * NumVertices;
+    Edges.reserve(NumEdges * 2);
+    for (uint64_t E = 0; E < NumEdges; ++E) {
+      uint32_t From = 0, To = 0;
+      for (unsigned Bit = Cfg.VerticesLog2; Bit-- > 0;) {
+        unsigned R = static_cast<unsigned>(Rng.nextBounded(100));
+        unsigned Quad = R < 45 ? 0 : R < 70 ? 1 : R < 85 ? 2 : 3;
+        From |= (Quad >> 1) << Bit;
+        To |= (Quad & 1) << Bit;
+      }
+      Edges.push_back(From);
+      Edges.push_back(To);
+    }
+  }
+
+  Ssca2Config Cfg;
+  unsigned NumVertices;
+  std::vector<uint32_t> Edges; ///< flat (from, to) pairs
+  std::vector<Word> Heads;     ///< per-vertex adjacency heads
+  std::vector<Word> Degrees;
+  std::atomic<std::size_t> NextEdge;
+};
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_SSCA2_H

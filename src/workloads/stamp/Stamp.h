@@ -1,0 +1,21 @@
+//===- workloads/stamp/Stamp.h - STAMP-lite umbrella ------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009). Pulls in all eight
+// STAMP-lite applications (ten workloads with the kmeans and vacation
+// high/low-contention variants), the suite behind Figure 3.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_STAMP_H
+#define WORKLOADS_STAMP_STAMP_H
+
+#include "workloads/stamp/Bayes.h"
+#include "workloads/stamp/Genome.h"
+#include "workloads/stamp/Intruder.h"
+#include "workloads/stamp/KMeans.h"
+#include "workloads/stamp/Labyrinth.h"
+#include "workloads/stamp/Ssca2.h"
+#include "workloads/stamp/Vacation.h"
+#include "workloads/stamp/Yada.h"
+
+#endif // WORKLOADS_STAMP_STAMP_H

@@ -1,0 +1,290 @@
+//===- workloads/stamp/Vacation.h - STAMP vacation --------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's vacation: an in-memory travel reservation system. Three
+// resource tables (cars, rooms, flights) and a customer table, all
+// transactional red-black trees. Client transactions:
+//
+//   * MakeReservation: query up to Q random resources across the three
+//     tables, reserve the cheapest available one for a customer;
+//   * DeleteCustomer: cancel a customer and release every reservation;
+//   * UpdateTables: add/remove resources or change prices.
+//
+// STAMP's high/low contention variants differ in how much of the table
+// each query may touch and the mix of operation types; here
+// vacation-high queries a wide id range with more updates, vacation-low
+// a narrow range with mostly reservations.
+//
+// Invariant checked by tests: for every resource,
+//   free seats + booked seats == initial capacity,
+// and every booking is owned by exactly one live customer.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_VACATION_H
+#define WORKLOADS_STAMP_VACATION_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "workloads/rbtree/RbTree.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace workloads::stamp {
+
+struct VacationConfig {
+  unsigned Relations = 256;   ///< resources per table and customers
+  unsigned QueriesPerTx = 4;  ///< resources examined per reservation
+  unsigned QueryRangePct = 90; ///< % of table a tx may touch (high) / 60 (low)
+  unsigned UpdateRatePct = 30; ///< table-update transactions (high) / 10 (low)
+};
+
+/// High/low contention presets per STAMP's run recipes.
+inline VacationConfig vacationHigh() {
+  return VacationConfig{256, 4, 90, 30};
+}
+inline VacationConfig vacationLow() {
+  return VacationConfig{256, 4, 60, 10};
+}
+
+template <typename STM> class Vacation {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  enum Table { Cars = 0, Rooms = 1, Flights = 2, NumTables = 3 };
+
+  /// Packed resource state stored as the tree value: free and booked
+  /// counts plus price.
+  struct Resource {
+    Word Free;
+    Word Booked;
+    Word Price;
+  };
+
+  explicit Vacation(const VacationConfig &Config) : Cfg(Config) {
+    repro::Xorshift Rng(0xaca710);
+    stm::ThreadScope<STM> Scope;
+    Tx &T = Scope.tx();
+    for (unsigned Tab = 0; Tab < NumTables; ++Tab) {
+      for (unsigned Id = 0; Id < Cfg.Relations; ++Id) {
+        auto *R = static_cast<Resource *>(std::malloc(sizeof(Resource)));
+        R->Free = InitialCapacity;
+        R->Booked = 0;
+        R->Price = 50 + Rng.nextBounded(450);
+        InitialResources.push_back(R);
+        stm::atomically(T, [&](Tx &X) {
+          Tables[Tab].insert(X, Id, reinterpret_cast<uint64_t>(R));
+        });
+      }
+    }
+    // Customer table: value = packed booking count per table is held in
+    // dedicated counters; a customer is just a booking vector.
+    for (unsigned Id = 0; Id < Cfg.Relations; ++Id) {
+      auto *C = newCustomer();
+      stm::atomically(T, [&](Tx &X) {
+        Customers.insert(X, Id, reinterpret_cast<uint64_t>(C));
+      });
+    }
+  }
+
+  ~Vacation() {
+    for (Resource *R : InitialResources)
+      std::free(R);
+    for (void *C : AllCustomers)
+      std::free(C);
+  }
+
+  Vacation(const Vacation &) = delete;
+  Vacation &operator=(const Vacation &) = delete;
+
+  static constexpr uint64_t InitialCapacity = 100;
+
+  /// A customer's bookings: one slot per table holding the booked
+  /// resource id + 1 (0 = no booking).
+  struct Customer {
+    Word Booking[NumTables];
+  };
+
+  /// Runs one client transaction; returns true if it made a change.
+  bool clientOp(Tx &T, repro::Xorshift &Rng) {
+    unsigned R = static_cast<unsigned>(Rng.nextBounded(100));
+    if (R < Cfg.UpdateRatePct)
+      return opUpdateTables(T, Rng);
+    if (R < Cfg.UpdateRatePct + 5)
+      return opDeleteCustomer(T, Rng);
+    return opMakeReservation(T, Rng);
+  }
+
+  /// Reserve the cheapest available resource of a random table for a
+  /// random customer.
+  bool opMakeReservation(Tx &T, repro::Xorshift &Rng) {
+    unsigned Tab = static_cast<unsigned>(Rng.nextBounded(NumTables));
+    uint64_t CustId = randomId(Rng);
+    bool Changed = false;
+    bool *ChangedPtr = &Changed;
+    // Pre-draw query ids outside the transaction body so a retry uses
+    // the same ids (no RNG state mutation inside the body).
+    uint64_t Ids[16];
+    unsigned NumQ = Cfg.QueriesPerTx < 16 ? Cfg.QueriesPerTx : 16;
+    for (unsigned I = 0; I < NumQ; ++I)
+      Ids[I] = randomId(Rng);
+    stm::atomically(T, [&, ChangedPtr](Tx &X) {
+      *ChangedPtr = false;
+      Resource *Best = nullptr;
+      uint64_t BestId = 0, BestPrice = ~0ull;
+      for (unsigned I = 0; I < NumQ; ++I) {
+        uint64_t Val = 0;
+        if (!Tables[Tab].lookup(X, Ids[I], &Val))
+          continue;
+        auto *Res = reinterpret_cast<Resource *>(Val);
+        uint64_t Free = X.load(&Res->Free);
+        uint64_t Price = X.load(&Res->Price);
+        if (Free > 0 && Price < BestPrice) {
+          Best = Res;
+          BestId = Ids[I];
+          BestPrice = Price;
+        }
+      }
+      if (Best == nullptr)
+        return;
+      uint64_t CustVal = 0;
+      if (!Customers.lookup(X, CustId, &CustVal))
+        return;
+      auto *Cust = reinterpret_cast<Customer *>(CustVal);
+      if (X.load(&Cust->Booking[Tab]) != 0)
+        return; // already holds a booking in this table
+      X.store(&Best->Free, X.load(&Best->Free) - 1);
+      X.store(&Best->Booked, X.load(&Best->Booked) + 1);
+      X.store(&Cust->Booking[Tab], BestId + 1);
+      *ChangedPtr = true;
+    });
+    return Changed;
+  }
+
+  /// Cancels a random customer's bookings (customer stays, bookings
+  /// released) -- the shape of STAMP's delete-customer.
+  bool opDeleteCustomer(Tx &T, repro::Xorshift &Rng) {
+    uint64_t CustId = randomId(Rng);
+    bool Changed = false;
+    bool *ChangedPtr = &Changed;
+    stm::atomically(T, [&, ChangedPtr](Tx &X) {
+      *ChangedPtr = false;
+      uint64_t CustVal = 0;
+      if (!Customers.lookup(X, CustId, &CustVal))
+        return;
+      auto *Cust = reinterpret_cast<Customer *>(CustVal);
+      for (unsigned Tab = 0; Tab < NumTables; ++Tab) {
+        uint64_t B = X.load(&Cust->Booking[Tab]);
+        if (B == 0)
+          continue;
+        uint64_t Val = 0;
+        if (Tables[Tab].lookup(X, B - 1, &Val)) {
+          auto *Res = reinterpret_cast<Resource *>(Val);
+          X.store(&Res->Free, X.load(&Res->Free) + 1);
+          X.store(&Res->Booked, X.load(&Res->Booked) - 1);
+        }
+        X.store(&Cust->Booking[Tab], 0);
+        *ChangedPtr = true;
+      }
+    });
+    return Changed;
+  }
+
+  /// Price updates on a random sample of resources (STAMP's
+  /// update-tables).
+  bool opUpdateTables(Tx &T, repro::Xorshift &Rng) {
+    unsigned Tab = static_cast<unsigned>(Rng.nextBounded(NumTables));
+    uint64_t Ids[8];
+    unsigned NumQ = Cfg.QueriesPerTx < 8 ? Cfg.QueriesPerTx : 8;
+    for (unsigned I = 0; I < NumQ; ++I)
+      Ids[I] = randomId(Rng);
+    uint64_t NewPrice = 50 + Rng.nextBounded(450);
+    bool Changed = false;
+    bool *ChangedPtr = &Changed;
+    stm::atomically(T, [&, ChangedPtr](Tx &X) {
+      *ChangedPtr = false;
+      for (unsigned I = 0; I < NumQ; ++I) {
+        uint64_t Val = 0;
+        if (!Tables[Tab].lookup(X, Ids[I], &Val))
+          continue;
+        auto *Res = reinterpret_cast<Resource *>(Val);
+        X.store(&Res->Price, NewPrice);
+        *ChangedPtr = true;
+      }
+    });
+    return Changed;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Non-transactional validation (quiesced use only)
+  //===--------------------------------------------------------------===//
+
+  /// Capacity conservation: free + booked == initial for every
+  /// resource, and booked equals the number of customers holding it.
+  bool verify() {
+    std::vector<uint64_t> BookedByCustomers(
+        static_cast<std::size_t>(NumTables) * Cfg.Relations, 0);
+    stm::ThreadScope<STM> Scope;
+    Tx &T = Scope.tx();
+    bool Ok = true;
+    bool *OkPtr = &Ok;
+    stm::atomically(T, [&, OkPtr](Tx &X) {
+      *OkPtr = true;
+      for (unsigned Id = 0; Id < Cfg.Relations; ++Id) {
+        uint64_t CustVal = 0;
+        if (!Customers.lookup(X, Id, &CustVal))
+          continue;
+        auto *Cust = reinterpret_cast<Customer *>(CustVal);
+        for (unsigned Tab = 0; Tab < NumTables; ++Tab) {
+          uint64_t B = X.load(&Cust->Booking[Tab]);
+          if (B != 0)
+            ++BookedByCustomers[Tab * Cfg.Relations + (B - 1)];
+        }
+      }
+      for (unsigned Tab = 0; Tab < NumTables && *OkPtr; ++Tab) {
+        for (unsigned Id = 0; Id < Cfg.Relations; ++Id) {
+          uint64_t Val = 0;
+          if (!Tables[Tab].lookup(X, Id, &Val))
+            continue;
+          auto *Res = reinterpret_cast<Resource *>(Val);
+          uint64_t Free = X.load(&Res->Free);
+          uint64_t Booked = X.load(&Res->Booked);
+          if (Free + Booked != InitialCapacity ||
+              Booked != BookedByCustomers[Tab * Cfg.Relations + Id]) {
+            *OkPtr = false;
+            break;
+          }
+        }
+      }
+    });
+    return Ok;
+  }
+
+private:
+  uint64_t randomId(repro::Xorshift &Rng) {
+    uint64_t Range =
+        std::max<uint64_t>(1, uint64_t(Cfg.Relations) * Cfg.QueryRangePct / 100);
+    return Rng.nextBounded(Range);
+  }
+
+  Customer *newCustomer() {
+    auto *C = static_cast<Customer *>(std::malloc(sizeof(Customer)));
+    for (unsigned Tab = 0; Tab < NumTables; ++Tab)
+      C->Booking[Tab] = 0;
+    AllCustomers.push_back(C);
+    return C;
+  }
+
+  VacationConfig Cfg;
+  workloads::RbTree<STM> Tables[NumTables];
+  workloads::RbTree<STM> Customers;
+  std::vector<Resource *> InitialResources;
+  std::vector<void *> AllCustomers;
+};
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_VACATION_H

@@ -1,0 +1,487 @@
+//===- workloads/stamp/Yada.h - STAMP yada (mesh refinement) ----*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// STAMP's yada refines a Delaunay mesh with Ruppert's algorithm. This
+// reimplementation keeps the transactional character -- a shared
+// work-list of bad triangles, refinement transactions that rewrite a
+// small neighbourhood (cavity) of the mesh, conflicts between
+// neighbouring cavities -- using Rivara longest-edge bisection, which is
+// exactly checkable (substitution documented in DESIGN.md):
+//
+//   * the initial mesh is a grid of right isosceles triangles with
+//     integer coordinates; hypotenuse midpoints stay exact under
+//     repeated halving, so area conservation is an equality, not an
+//     epsilon test;
+//   * a triangle is "bad" while its doubled area exceeds a threshold
+//     (smaller near the domain centre, mimicking refinement around a
+//     feature);
+//   * splitting a triangle requires its hypotenuse neighbour to share
+//     that hypotenuse; otherwise the neighbour is refined first
+//     (Rivara propagation), creating the inter-transaction conflicts.
+//
+// Triangles and points live in pre-sized pools with atomic bump
+// allocation: an aborted transaction leaks its slot (harmless) instead
+// of racing the allocator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STAMP_YADA_H
+#define WORKLOADS_STAMP_YADA_H
+
+#include "stm/Stm.h"
+#include "workloads/containers/TxQueue.h"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace workloads::stamp {
+
+struct YadaConfig {
+  unsigned GridCells = 8;   ///< initial mesh = GridCells^2 squares
+  unsigned CoordShift = 10; ///< grid step = 2^CoordShift (exact halving)
+  unsigned Levels = 3;      ///< refinement levels forced at the centre
+};
+
+template <typename STM> class Yada {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  struct Point {
+    int64_t X;
+    int64_t Y;
+  };
+
+  /// Mesh triangle. Vertices (immutable after publication) are point
+  /// ids; neighbour links and liveness are transactional. Edge i joins
+  /// V[i] and V[(i+1)%3]; the neighbour across it is N[i].
+  struct Tri {
+    uint32_t V[3];
+    Word N[3]; // Tri*
+    Word Alive;
+  };
+
+  explicit Yada(const YadaConfig &Config) : Cfg(Config) {
+    buildInitialMesh();
+  }
+
+  Yada(const Yada &) = delete;
+  Yada &operator=(const Yada &) = delete;
+
+  /// A unit of refinement work: Forced entries are conformity splits
+  /// demanded by Rivara propagation and split regardless of quality.
+  struct WorkItem {
+    Tri *Target;
+    bool Forced;
+  };
+
+  /// Worker loop: refines until no bad triangles remain. Returns the
+  /// number of splits performed by this thread.
+  uint64_t work(Tx &T) {
+    uint64_t Splits = 0;
+    std::vector<WorkItem> Local;
+    while (true) {
+      WorkItem Item{nullptr, false};
+      if (!Local.empty()) {
+        Item = Local.back();
+        Local.pop_back();
+      } else {
+        WorkItem *ItemPtr = &Item;
+        stm::atomically(T, [&, ItemPtr](Tx &X) {
+          Word Raw = 0;
+          ItemPtr->Target = WorkQueue.dequeue(X, &Raw)
+                                ? reinterpret_cast<Tri *>(Raw)
+                                : nullptr;
+        });
+        if (Item.Target == nullptr)
+          break; // queue drained; our local list is empty too
+      }
+      Splits += refineStep(T, Item, Local);
+    }
+    return Splits;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Non-transactional validation (quiesced use only)
+  //===--------------------------------------------------------------===//
+
+  /// Total doubled area of live triangles; must always equal the domain.
+  int64_t liveArea2() const {
+    int64_t Sum = 0;
+    uint32_t N = TriCount.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I < N; ++I)
+      if (TriPool[I].Alive)
+        Sum += area2(&TriPool[I]);
+    return Sum;
+  }
+
+  int64_t domainArea2() const {
+    int64_t Side = int64_t(Cfg.GridCells) << Cfg.CoordShift;
+    return 2 * Side * Side;
+  }
+
+  /// No live triangle may still be bad.
+  bool allGood() const {
+    uint32_t N = TriCount.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I < N; ++I)
+      if (TriPool[I].Alive && isBad(&TriPool[I]))
+        return false;
+    return true;
+  }
+
+  /// Neighbour links among live triangles must be symmetric and share
+  /// the claimed edge's endpoints.
+  bool conforming() const {
+    uint32_t N = TriCount.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I < N; ++I) {
+      const Tri *A = &TriPool[I];
+      if (!A->Alive)
+        continue;
+      for (unsigned E = 0; E < 3; ++E) {
+        const Tri *B = reinterpret_cast<const Tri *>(A->N[E]);
+        if (B == nullptr)
+          continue;
+        if (!B->Alive)
+          return false; // dangling link to a dead triangle
+        if (edgeIndexOf(B, A->V[E], A->V[(E + 1) % 3]) < 0)
+          return false; // edge endpoints disagree
+        bool BackLink = false;
+        for (unsigned F = 0; F < 3; ++F)
+          BackLink |= reinterpret_cast<const Tri *>(B->N[F]) == A;
+        if (!BackLink)
+          return false;
+      }
+    }
+    return true;
+  }
+
+  uint64_t liveTriangles() const {
+    uint64_t Live = 0;
+    uint32_t N = TriCount.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I < N; ++I)
+      Live += TriPool[I].Alive != 0;
+    return Live;
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Geometry (coordinates are immutable: safe outside transactions)
+  //===--------------------------------------------------------------===//
+
+  int64_t edgeLen2(const Tri *T, unsigned E) const {
+    const Point &A = Points[T->V[E]];
+    const Point &B = Points[T->V[(E + 1) % 3]];
+    int64_t DX = A.X - B.X, DY = A.Y - B.Y;
+    return DX * DX + DY * DY;
+  }
+
+  /// Index of the strictly longest edge (unique for right isosceles
+  /// triangles: the hypotenuse).
+  unsigned longestEdge(const Tri *T) const {
+    unsigned Best = 0;
+    int64_t BestLen = edgeLen2(T, 0);
+    for (unsigned E = 1; E < 3; ++E) {
+      int64_t Len = edgeLen2(T, E);
+      if (Len > BestLen) {
+        BestLen = Len;
+        Best = E;
+      }
+    }
+    return Best;
+  }
+
+  int64_t area2(const Tri *T) const {
+    const Point &A = Points[T->V[0]];
+    const Point &B = Points[T->V[1]];
+    const Point &C = Points[T->V[2]];
+    int64_t Cross =
+        (B.X - A.X) * (C.Y - A.Y) - (B.Y - A.Y) * (C.X - A.X);
+    return Cross < 0 ? -Cross : Cross;
+  }
+
+  /// Refinement criterion: area threshold shrinks near the domain
+  /// centre (feature refinement), so work is spatially non-uniform.
+  bool isBad(const Tri *T) const {
+    int64_t Side = int64_t(Cfg.GridCells) << Cfg.CoordShift;
+    const Point &A = Points[T->V[0]];
+    int64_t CX = A.X - Side / 2, CY = A.Y - Side / 2;
+    int64_t Dist2 = CX * CX + CY * CY;
+    int64_t CellArea2 = (int64_t(1) << (2 * Cfg.CoordShift));
+    // Within the central quarter: force Cfg.Levels halvings; outside:
+    // one halving.
+    int64_t Threshold = Dist2 * 16 < Side * Side
+                            ? CellArea2 >> Cfg.Levels
+                            : CellArea2 >> 1;
+    return area2(T) > Threshold;
+  }
+
+  /// Which edge of \p T joins points \p P and \p Q (either order);
+  /// -1 when none does.
+  static int edgeIndexOf(const Tri *T, uint32_t P, uint32_t Q) {
+    for (unsigned E = 0; E < 3; ++E) {
+      uint32_t A = T->V[E], B = T->V[(E + 1) % 3];
+      if ((A == P && B == Q) || (A == Q && B == P))
+        return static_cast<int>(E);
+    }
+    return -1;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Pools
+  //===--------------------------------------------------------------===//
+
+  uint32_t newPoint(int64_t X, int64_t Y) {
+    uint32_t Id = PointCount.fetch_add(1, std::memory_order_acq_rel);
+    assert(Id < Points.size() && "point pool exhausted (abort storm?)");
+    Points[Id] = Point{X, Y};
+    return Id;
+  }
+
+  Tri *newTri() {
+    uint32_t Id = TriCount.fetch_add(1, std::memory_order_acq_rel);
+    assert(Id < TriPool.size() && "triangle pool exhausted (abort storm?)");
+    return &TriPool[Id];
+  }
+
+  //===--------------------------------------------------------------===//
+  // Refinement
+  //===--------------------------------------------------------------===//
+
+  /// One refinement step on \p Item. Newly created or requeued
+  /// triangles go to \p Local. Returns 1 when a split happened.
+  uint64_t refineStep(Tx &T, WorkItem Item, std::vector<WorkItem> &Local) {
+    // Stale check and compatibility probe run inside the transaction;
+    // the result arrays are filled by the committed attempt only.
+    Tri *Bad = Item.Target;
+    Tri *Created[4];
+    WorkItem Requeue[2];
+    unsigned NumCreatedV = 0, NumRequeueV = 0;
+    unsigned *NumCreated = &NumCreatedV, *NumRequeue = &NumRequeueV;
+    bool DidSplitV = false;
+    bool *DidSplit = &DidSplitV;
+
+    stm::atomically(T, [&](Tx &X) {
+      *NumCreated = 0;
+      *NumRequeue = 0;
+      *DidSplit = false;
+      if (X.load(&Bad->Alive) == 0)
+        return; // split by somebody else meanwhile
+      if (!Item.Forced && !isBad(Bad))
+        return;
+      unsigned E = longestEdge(Bad);
+      Tri *Nbr = reinterpret_cast<Tri *>(X.load(&Bad->N[E]));
+      if (Nbr != nullptr) {
+        int NbrEdge =
+            edgeIndexOf(Nbr, Bad->V[E], Bad->V[(E + 1) % 3]);
+        if (static_cast<unsigned>(NbrEdge) != longestEdge(Nbr)) {
+          // Rivara propagation: the neighbour must be split first (a
+          // *forced* conformity split, regardless of its quality).
+          // Push ourselves below the neighbour so the LIFO local list
+          // handles the neighbour before retrying us.
+          Requeue[(*NumRequeue)++] = WorkItem{Bad, Item.Forced};
+          Requeue[(*NumRequeue)++] = WorkItem{Nbr, true};
+          return;
+        }
+        splitPair(X, Bad, E, Nbr, static_cast<unsigned>(NbrEdge),
+                  Created, NumCreated);
+      } else {
+        splitBoundary(X, Bad, E, Created, NumCreated);
+      }
+      *DidSplit = true;
+    });
+
+    for (unsigned I = 0; I < NumRequeueV; ++I)
+      Local.push_back(Requeue[I]);
+    for (unsigned I = 0; I < NumCreatedV; ++I)
+      if (isBad(Created[I]))
+        Local.push_back(WorkItem{Created[I], false});
+    return DidSplitV ? 1 : 0;
+  }
+
+  /// Replaces, in \p W, the neighbour link pointing to \p Old by \p New.
+  void replaceNeighbor(Tx &X, Tri *W, Tri *Old, Tri *New) {
+    if (W == nullptr)
+      return;
+    for (unsigned E = 0; E < 3; ++E) {
+      if (reinterpret_cast<Tri *>(X.load(&W->N[E])) == Old) {
+        X.store(&W->N[E], reinterpret_cast<Word>(New));
+        return;
+      }
+    }
+  }
+
+  /// Splits \p T whose longest edge E lies on the boundary.
+  void splitBoundary(Tx &X, Tri *T, unsigned E, Tri *Created[4],
+                     unsigned *NumCreated) {
+    uint32_t A = T->V[E], B = T->V[(E + 1) % 3], C = T->V[(E + 2) % 3];
+    Tri *NbrBC = reinterpret_cast<Tri *>(X.load(&T->N[(E + 1) % 3]));
+    Tri *NbrCA = reinterpret_cast<Tri *>(X.load(&T->N[(E + 2) % 3]));
+    uint32_t M = newPoint((Points[A].X + Points[B].X) / 2,
+                          (Points[A].Y + Points[B].Y) / 2);
+    Tri *T1 = makeTri(X, A, M, C, /*NAB=*/nullptr, /*NBC=*/nullptr, NbrCA);
+    Tri *T2 = makeTri(X, M, B, C, /*NAB=*/nullptr, NbrBC, T1);
+    X.store(&T1->N[1], reinterpret_cast<Word>(T2)); // (M,C) <-> T2
+    replaceNeighbor(X, NbrBC, T, T2);
+    replaceNeighbor(X, NbrCA, T, T1);
+    X.store(&T->Alive, 0);
+    Created[(*NumCreated)++] = T1;
+    Created[(*NumCreated)++] = T2;
+  }
+
+  /// Splits the compatible pair \p T (edge E) and \p U (edge F) across
+  /// their shared longest edge.
+  void splitPair(Tx &X, Tri *T, unsigned E, Tri *U, unsigned F,
+                 Tri *Created[4], unsigned *NumCreated) {
+    uint32_t A = T->V[E], B = T->V[(E + 1) % 3], C = T->V[(E + 2) % 3];
+    uint32_t D = U->V[(F + 2) % 3];
+    Tri *TNbrBC = reinterpret_cast<Tri *>(X.load(&T->N[(E + 1) % 3]));
+    Tri *TNbrCA = reinterpret_cast<Tri *>(X.load(&T->N[(E + 2) % 3]));
+    // U's edge F joins the same points; determine U's outer neighbours
+    // relative to (A, B) orientation.
+    bool SameDir = U->V[F] == A;
+    Tri *UNbrNextOfF = reinterpret_cast<Tri *>(X.load(&U->N[(F + 1) % 3]));
+    Tri *UNbrPrevOfF = reinterpret_cast<Tri *>(X.load(&U->N[(F + 2) % 3]));
+    // Edge (F+1) of U joins (U->V[F+1], D); edge (F+2) joins (D, U->V[F]).
+    Tri *UNbrBD = SameDir ? UNbrNextOfF : UNbrPrevOfF; // touches B
+    Tri *UNbrDA = SameDir ? UNbrPrevOfF : UNbrNextOfF; // touches A
+
+    uint32_t M = newPoint((Points[A].X + Points[B].X) / 2,
+                          (Points[A].Y + Points[B].Y) / 2);
+
+    Tri *T1 = makeTri(X, A, M, C, nullptr, nullptr, TNbrCA);
+    Tri *T2 = makeTri(X, M, B, C, nullptr, TNbrBC, nullptr);
+    Tri *U1 = makeTri(X, M, A, D, nullptr, UNbrDA, nullptr);
+    Tri *U2 = makeTri(X, B, M, D, nullptr, nullptr, UNbrBD);
+
+    // Internal adjacencies.
+    X.store(&T1->N[0], reinterpret_cast<Word>(U1)); // (A,M)
+    X.store(&T1->N[1], reinterpret_cast<Word>(T2)); // (M,C)
+    X.store(&T2->N[0], reinterpret_cast<Word>(U2)); // (M,B)
+    X.store(&T2->N[2], reinterpret_cast<Word>(T1)); // (C,M)
+    X.store(&U1->N[0], reinterpret_cast<Word>(T1)); // (M,A)
+    X.store(&U1->N[2], reinterpret_cast<Word>(U2)); // (D,M)
+    X.store(&U2->N[0], reinterpret_cast<Word>(T2)); // (B,M)
+    X.store(&U2->N[1], reinterpret_cast<Word>(U1)); // (M,D)
+
+    replaceNeighbor(X, TNbrBC, T, T2);
+    replaceNeighbor(X, TNbrCA, T, T1);
+    replaceNeighbor(X, UNbrBD, U, U2);
+    replaceNeighbor(X, UNbrDA, U, U1);
+
+    X.store(&T->Alive, 0);
+    X.store(&U->Alive, 0);
+    Created[(*NumCreated)++] = T1;
+    Created[(*NumCreated)++] = T2;
+    Created[(*NumCreated)++] = U1;
+    Created[(*NumCreated)++] = U2;
+  }
+
+  /// Allocates and publishes a live triangle (A, B, C) with the given
+  /// neighbours across (A,B), (B,C), (C,A).
+  Tri *makeTri(Tx &X, uint32_t A, uint32_t B, uint32_t C, Tri *NAB,
+               Tri *NBC, Tri *NCA) {
+    Tri *T = newTri();
+    T->V[0] = A;
+    T->V[1] = B;
+    T->V[2] = C;
+    X.store(&T->N[0], reinterpret_cast<Word>(NAB));
+    X.store(&T->N[1], reinterpret_cast<Word>(NBC));
+    X.store(&T->N[2], reinterpret_cast<Word>(NCA));
+    X.store(&T->Alive, 1);
+    return T;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Initial mesh
+  //===--------------------------------------------------------------===//
+
+  void buildInitialMesh() {
+    unsigned N = Cfg.GridCells;
+    int64_t Step = int64_t(1) << Cfg.CoordShift;
+    // Generous pools: every split adds <= 4 triangles and 1 point, and
+    // aborted attempts leak their slots, so budget well beyond the
+    // refinement-depth bound.
+    std::size_t MaxTris = std::size_t(2) * N * N
+                          << (Cfg.Levels + 6);
+    TriPool.assign(MaxTris, Tri{});
+    Points.assign(MaxTris, Point{});
+    PointCount.store(0, std::memory_order_relaxed);
+    TriCount.store(0, std::memory_order_relaxed);
+
+    // Grid points.
+    std::vector<uint32_t> Grid((N + 1) * (N + 1));
+    for (unsigned Y = 0; Y <= N; ++Y)
+      for (unsigned X = 0; X <= N; ++X)
+        Grid[Y * (N + 1) + X] = newPoint(X * Step, Y * Step);
+
+    // Two right isosceles triangles per cell; the diagonal runs from
+    // (x, y) to (x+1, y+1). Lower triangle: (x,y) (x+1,y) (x+1,y+1);
+    // upper: (x,y) (x+1,y+1) (x,y+1). Hypotenuse = the diagonal.
+    std::vector<Tri *> Lower(N * N), Upper(N * N);
+    stm::ThreadScope<STM> Scope;
+    Tx &T = Scope.tx();
+    stm::atomically(T, [&](Tx &X) {
+      for (unsigned Y = 0; Y < N; ++Y) {
+        for (unsigned Cx = 0; Cx < N; ++Cx) {
+          uint32_t P00 = Grid[Y * (N + 1) + Cx];
+          uint32_t P10 = Grid[Y * (N + 1) + Cx + 1];
+          uint32_t P11 = Grid[(Y + 1) * (N + 1) + Cx + 1];
+          uint32_t P01 = Grid[(Y + 1) * (N + 1) + Cx];
+          Lower[Y * N + Cx] = makeTri(X, P00, P10, P11, nullptr, nullptr,
+                                      nullptr);
+          Upper[Y * N + Cx] = makeTri(X, P11, P01, P00, nullptr, nullptr,
+                                      nullptr);
+        }
+      }
+      // Wire neighbours.
+      for (unsigned Y = 0; Y < N; ++Y) {
+        for (unsigned Cx = 0; Cx < N; ++Cx) {
+          Tri *L = Lower[Y * N + Cx];
+          Tri *Up = Upper[Y * N + Cx];
+          // Diagonal (P11, P00): edge 2 of L, edge 2 of Up.
+          X.store(&L->N[2], reinterpret_cast<Word>(Up));
+          X.store(&Up->N[2], reinterpret_cast<Word>(L));
+          // L edge 0 = bottom (P00, P10): neighbour is Upper of cell
+          // below.
+          if (Y > 0)
+            X.store(&L->N[0],
+                    reinterpret_cast<Word>(Upper[(Y - 1) * N + Cx]));
+          // L edge 1 = right (P10, P11): Upper of cell to the right.
+          if (Cx + 1 < N)
+            X.store(&L->N[1],
+                    reinterpret_cast<Word>(Upper[Y * N + Cx + 1]));
+          // Up edge 0 = top (P11, P01): Lower of cell above.
+          if (Y + 1 < N)
+            X.store(&Up->N[0],
+                    reinterpret_cast<Word>(Lower[(Y + 1) * N + Cx]));
+          // Up edge 1 = left (P01, P00): Lower of cell to the left.
+          if (Cx > 0)
+            X.store(&Up->N[1],
+                    reinterpret_cast<Word>(Lower[Y * N + Cx - 1]));
+        }
+      }
+      // Seed the work queue with the initially bad triangles.
+      for (Tri *Candidate : Lower)
+        if (isBad(Candidate))
+          WorkQueue.enqueue(X, reinterpret_cast<Word>(Candidate));
+      for (Tri *Candidate : Upper)
+        if (isBad(Candidate))
+          WorkQueue.enqueue(X, reinterpret_cast<Word>(Candidate));
+    });
+  }
+
+  YadaConfig Cfg;
+  std::vector<Point> Points;
+  std::vector<Tri> TriPool;
+  std::atomic<uint32_t> PointCount{0};
+  std::atomic<uint32_t> TriCount{0};
+  TxQueue<STM> WorkQueue;
+};
+
+} // namespace workloads::stamp
+
+#endif // WORKLOADS_STAMP_YADA_H

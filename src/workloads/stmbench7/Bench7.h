@@ -1,0 +1,591 @@
+//===- workloads/stmbench7/Bench7.h - STMBench7-lite ------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// A faithful-in-shape, scaled-down reimplementation of STMBench7
+// (Guerraoui/Kapałka/Vitek, EuroSys 2007), the paper's primary
+// evaluation workload (Figures 2, 7, 9, 12): a large, non-uniform
+// object graph
+//
+//   Module -> complex-assembly tree (depth D, branching B)
+//          -> base assemblies -> shared composite parts
+//          -> per-composite ring of atomic parts + document,
+//
+// with id indices over atomic and composite parts, and an operation mix
+// spanning four orders of magnitude in transaction length: single-part
+// lookups, neighbourhood traversals, whole-graph traversals, document
+// reads/writes and structural modifications. The three paper workloads
+// select the fraction of read-only operations: read-dominated 90 %,
+// read-write 60 %, write-dominated 10 %.
+//
+// The graph is built non-transactionally before threads start; all
+// operations afterwards are single transactions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_STMBENCH7_BENCH7_H
+#define WORKLOADS_STMBENCH7_BENCH7_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "workloads/containers/TxHashMap.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <vector>
+
+namespace workloads::sb7 {
+
+/// Scale parameters (defaults are the repository's "lite" scale; the
+/// original benchmark is ~10x bigger in every dimension).
+struct Bench7Config {
+  unsigned AssemblyDepth = 4;     ///< levels of complex assemblies
+  unsigned AssemblyBranch = 3;    ///< fan-out per complex assembly
+  unsigned ComponentsPerBase = 3; ///< composite parts per base assembly
+  unsigned CompositeLibrary = 60; ///< shared composite parts in total
+  unsigned AtomicsPerComposite = 20;
+  unsigned DocumentWords = 16;
+  unsigned IndexBucketsLog2 = 10;
+};
+
+/// Operation categories, used for workload statistics.
+enum class Op7 {
+  ReadAtomic,     ///< index lookup + field reads
+  ShortTraversal, ///< base assembly neighbourhood walk
+  LongTraversal,  ///< whole assembly tree + part rings (huge read set)
+  ReadDocument,
+  QueryRecent, ///< sample of index lookups filtered by build date
+  UpdateAtomic,
+  ShortUpdate, ///< neighbourhood walk with writes
+  LongUpdate,  ///< whole-tree walk updating build dates
+  UpdateDocument,
+  StructuralAdd,    ///< add an atomic part to a ring
+  StructuralRemove, ///< remove an atomic part from a ring
+  OpCount
+};
+
+inline constexpr unsigned NumOps = static_cast<unsigned>(Op7::OpCount);
+
+/// The three paper workloads (fraction of read-only operations).
+enum class Workload7 { ReadDominated = 90, ReadWrite = 60, WriteDominated = 10 };
+
+inline const char *workload7Name(Workload7 W) {
+  switch (W) {
+  case Workload7::ReadDominated:
+    return "read-dominated";
+  case Workload7::ReadWrite:
+    return "read-write";
+  case Workload7::WriteDominated:
+    return "write-dominated";
+  }
+  return "unknown";
+}
+
+template <typename STM> class Bench7 {
+public:
+  using Tx = typename STM::Tx;
+  using Word = stm::Word;
+
+  /// Atomic part: ring node inside one composite part.
+  struct AtomicPart {
+    Word Id;
+    Word X;
+    Word Y;
+    Word BuildDate;
+    Word Next;  // AtomicPart*
+    Word Prev;  // AtomicPart*
+    Word Cross; // AtomicPart* (chord to the composite's root part)
+    Word Owner; // CompositePart*
+  };
+
+  struct Document {
+    Word Id;
+    Word SizeWords;
+    Word Text; // Word* array
+  };
+
+  struct CompositePart {
+    Word Id;
+    Word BuildDate;
+    Word RootPart;  // AtomicPart*
+    Word Doc;       // Document*
+    Word PartCount; // ring length including root
+  };
+
+  struct BaseAssembly {
+    Word Id;
+    Word BuildDate;
+    Word CompCount;
+    Word Components[8]; // CompositePart*
+  };
+
+  struct ComplexAssembly {
+    Word Id;
+    Word BuildDate;
+    Word Level; // distance from leaves; 1 == children are bases
+    Word SubCount;
+    Word Subs[8]; // ComplexAssembly* or BaseAssembly* at Level 1
+  };
+
+  explicit Bench7(const Bench7Config &Config = Bench7Config())
+      : Cfg(Config), AtomicIndex(Config.IndexBucketsLog2),
+        CompositeIndex(8) {
+    build();
+  }
+
+  ~Bench7() {
+    for (CompositePart *C : Composites) {
+      // Free the ring.
+      auto *Root = reinterpret_cast<AtomicPart *>(C->RootPart);
+      AtomicPart *P = Root;
+      do {
+        AtomicPart *Next = reinterpret_cast<AtomicPart *>(P->Next);
+        std::free(P);
+        P = Next;
+      } while (P != Root);
+      auto *D = reinterpret_cast<Document *>(C->Doc);
+      std::free(reinterpret_cast<void *>(D->Text));
+      std::free(D);
+      std::free(C);
+    }
+    for (BaseAssembly *B : Bases)
+      std::free(B);
+    for (ComplexAssembly *A : Complexes)
+      std::free(A);
+  }
+
+  Bench7(const Bench7 &) = delete;
+  Bench7 &operator=(const Bench7 &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Operation dispatch
+  //===--------------------------------------------------------------===//
+
+  /// Picks an operation according to \p Workload's read-only percentage
+  /// and runs it as one transaction. Returns the operation kind.
+  Op7 runOperation(Tx &T, repro::Xorshift &Rng, Workload7 Workload) {
+    bool ReadOnly =
+        Rng.nextPercent(static_cast<unsigned>(Workload));
+    Op7 Kind = ReadOnly ? pickReadOp(Rng) : pickWriteOp(Rng);
+    runOp(T, Rng, Kind);
+    return Kind;
+  }
+
+  /// Runs one specific operation as a transaction.
+  void runOp(Tx &T, repro::Xorshift &Rng, Op7 Kind) {
+    switch (Kind) {
+    case Op7::ReadAtomic:
+      stm::atomically(T, [&](Tx &X) { opReadAtomic(X, Rng); });
+      break;
+    case Op7::ShortTraversal:
+      stm::atomically(T, [&](Tx &X) { opShortTraversal(X, Rng, false); });
+      break;
+    case Op7::LongTraversal:
+      stm::atomically(T, [&](Tx &X) { opLongTraversal(X, false); });
+      break;
+    case Op7::ReadDocument:
+      stm::atomically(T, [&](Tx &X) { opDocument(X, Rng, false); });
+      break;
+    case Op7::QueryRecent:
+      stm::atomically(T, [&](Tx &X) { opQueryRecent(X, Rng); });
+      break;
+    case Op7::UpdateAtomic:
+      stm::atomically(T, [&](Tx &X) { opUpdateAtomic(X, Rng); });
+      break;
+    case Op7::ShortUpdate:
+      stm::atomically(T, [&](Tx &X) { opShortTraversal(X, Rng, true); });
+      break;
+    case Op7::LongUpdate:
+      stm::atomically(T, [&](Tx &X) { opLongTraversal(X, true); });
+      break;
+    case Op7::UpdateDocument:
+      stm::atomically(T, [&](Tx &X) { opDocument(X, Rng, true); });
+      break;
+    case Op7::StructuralAdd:
+      stm::atomically(T, [&](Tx &X) { opStructuralAdd(X, Rng); });
+      break;
+    case Op7::StructuralRemove:
+      stm::atomically(T, [&](Tx &X) { opStructuralRemove(X, Rng); });
+      break;
+    case Op7::OpCount:
+      break;
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Non-transactional validation (quiesced use only)
+  //===--------------------------------------------------------------===//
+
+  /// Structural invariants: every composite's ring is consistent
+  /// (Next/Prev inverse, length == PartCount, root reachable) and every
+  /// ring member is indexed.
+  bool verify() {
+    uint64_t TotalParts = 0;
+    for (CompositePart *C : Composites) {
+      auto *Root = reinterpret_cast<AtomicPart *>(C->RootPart);
+      uint64_t Count = 0;
+      AtomicPart *P = Root;
+      do {
+        auto *Next = reinterpret_cast<AtomicPart *>(P->Next);
+        if (reinterpret_cast<AtomicPart *>(Next->Prev) != P)
+          return false; // broken ring
+        if (reinterpret_cast<CompositePart *>(P->Owner) != C)
+          return false;
+        if (reinterpret_cast<AtomicPart *>(P->Cross) != Root)
+          return false;
+        ++Count;
+        P = Next;
+        if (Count > 1000000)
+          return false; // cycle without root: corrupted
+      } while (P != Root);
+      if (Count != C->PartCount)
+        return false;
+      TotalParts += Count;
+    }
+    return TotalParts == AtomicIndex.sizeRaw();
+  }
+
+  uint64_t totalAtomicParts() const {
+    uint64_t N = 0;
+    for (CompositePart *C : Composites)
+      N += C->PartCount;
+    return N;
+  }
+
+  unsigned compositeCount() const {
+    return static_cast<unsigned>(Composites.size());
+  }
+  unsigned baseAssemblyCount() const {
+    return static_cast<unsigned>(Bases.size());
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Operations
+  //===--------------------------------------------------------------===//
+
+  AtomicPart *randomAtomic(Tx &T, repro::Xorshift &Rng) {
+    // Ids are dense at build time; structural ops add/remove at the high
+    // end, so retry a few times on misses.
+    uint64_t IdBound = __atomic_load_n(&NextAtomicId, __ATOMIC_RELAXED);
+    for (int Tries = 0; Tries < 8; ++Tries) {
+      uint64_t Id = Rng.nextBounded(IdBound);
+      Word Val = 0;
+      if (AtomicIndex.lookup(T, Id, &Val))
+        return reinterpret_cast<AtomicPart *>(Val);
+    }
+    return nullptr;
+  }
+
+  CompositePart *randomComposite(repro::Xorshift &Rng) {
+    return Composites[Rng.nextBounded(Composites.size())];
+  }
+
+  BaseAssembly *randomBase(repro::Xorshift &Rng) {
+    return Bases[Rng.nextBounded(Bases.size())];
+  }
+
+  void opReadAtomic(Tx &T, repro::Xorshift &Rng) {
+    AtomicPart *P = randomAtomic(T, Rng);
+    if (P == nullptr)
+      return;
+    Word Sum = T.load(&P->X) + T.load(&P->Y) + T.load(&P->BuildDate);
+    (void)Sum;
+  }
+
+  /// Base-assembly neighbourhood: visit each component's ring.
+  void opShortTraversal(Tx &T, repro::Xorshift &Rng, bool Update) {
+    BaseAssembly *B = randomBase(Rng);
+    uint64_t NComp = T.load(&B->CompCount);
+    for (uint64_t I = 0; I < NComp; ++I) {
+      auto *C = reinterpret_cast<CompositePart *>(T.load(&B->Components[I]));
+      traverseRing(T, C, Update);
+    }
+    if (Update)
+      T.store(&B->BuildDate, T.load(&B->BuildDate) + 1);
+  }
+
+  void traverseRing(Tx &T, CompositePart *C, bool Update) {
+    auto *Root = reinterpret_cast<AtomicPart *>(T.load(&C->RootPart));
+    AtomicPart *P = Root;
+    do {
+      if (Update) {
+        Word X = T.load(&P->X);
+        T.store(&P->X, T.load(&P->Y));
+        T.store(&P->Y, X);
+      } else {
+        (void)T.load(&P->X);
+      }
+      P = reinterpret_cast<AtomicPart *>(T.load(&P->Next));
+    } while (P != Root);
+  }
+
+  /// Whole-tree traversal: the paper's long transaction. Read variant
+  /// touches every atomic part once; update variant also bumps every
+  /// assembly and part build date.
+  uint64_t opLongTraversal(Tx &T, bool Update) {
+    return traverseComplex(T, DesignRoot, Update);
+  }
+
+  uint64_t traverseComplex(Tx &T, ComplexAssembly *A, bool Update) {
+    uint64_t Count = 0;
+    uint64_t Level = T.load(&A->Level);
+    uint64_t NSub = T.load(&A->SubCount);
+    for (uint64_t I = 0; I < NSub; ++I) {
+      Word Sub = T.load(&A->Subs[I]);
+      if (Level == 1) {
+        auto *B = reinterpret_cast<BaseAssembly *>(Sub);
+        uint64_t NComp = T.load(&B->CompCount);
+        for (uint64_t J = 0; J < NComp; ++J) {
+          auto *C =
+              reinterpret_cast<CompositePart *>(T.load(&B->Components[J]));
+          Count += T.load(&C->PartCount);
+          auto *Root = reinterpret_cast<AtomicPart *>(T.load(&C->RootPart));
+          (void)T.load(&Root->BuildDate);
+          if (Update)
+            T.store(&Root->BuildDate, T.load(&Root->BuildDate) + 1);
+        }
+        if (Update)
+          T.store(&B->BuildDate, T.load(&B->BuildDate) + 1);
+      } else {
+        Count +=
+            traverseComplex(T, reinterpret_cast<ComplexAssembly *>(Sub),
+                            Update);
+      }
+    }
+    if (Update)
+      T.store(&A->BuildDate, T.load(&A->BuildDate) + 1);
+    return Count;
+  }
+
+  void opDocument(Tx &T, repro::Xorshift &Rng, bool Update) {
+    CompositePart *C = randomComposite(Rng);
+    auto *D = reinterpret_cast<Document *>(T.load(&C->Doc));
+    auto *Text = reinterpret_cast<Word *>(T.load(&D->Text));
+    uint64_t N = T.load(&D->SizeWords);
+    if (Update) {
+      uint64_t I = Rng.nextBounded(N);
+      T.store(&Text[I], T.load(&Text[I]) + 1);
+    } else {
+      Word Sum = 0;
+      for (uint64_t I = 0; I < N; ++I)
+        Sum += T.load(&Text[I]);
+      (void)Sum;
+    }
+  }
+
+  void opQueryRecent(Tx &T, repro::Xorshift &Rng) {
+    unsigned Hits = 0;
+    for (int I = 0; I < 10; ++I) {
+      AtomicPart *P = randomAtomic(T, Rng);
+      if (P != nullptr && T.load(&P->BuildDate) > 100)
+        ++Hits;
+    }
+    (void)Hits;
+  }
+
+  void opUpdateAtomic(Tx &T, repro::Xorshift &Rng) {
+    AtomicPart *P = randomAtomic(T, Rng);
+    if (P == nullptr)
+      return;
+    Word X = T.load(&P->X);
+    T.store(&P->X, T.load(&P->Y));
+    T.store(&P->Y, X);
+    T.store(&P->BuildDate, T.load(&P->BuildDate) + 1);
+  }
+
+  /// Adds a fresh atomic part right after the root of a random
+  /// composite's ring.
+  void opStructuralAdd(Tx &T, repro::Xorshift &Rng) {
+    CompositePart *C = randomComposite(Rng);
+    auto *Root = reinterpret_cast<AtomicPart *>(T.load(&C->RootPart));
+    auto *NextP = reinterpret_cast<AtomicPart *>(T.load(&Root->Next));
+    auto *P = static_cast<AtomicPart *>(T.txMalloc(sizeof(AtomicPart)));
+    uint64_t Id =
+        __atomic_fetch_add(&NextAtomicId, 1, __ATOMIC_RELAXED);
+    T.store(&P->Id, Id);
+    T.store(&P->X, Id);
+    T.store(&P->Y, Id + 1);
+    T.store(&P->BuildDate, 0);
+    T.store(&P->Owner, reinterpret_cast<Word>(C));
+    T.store(&P->Cross, reinterpret_cast<Word>(Root));
+    T.store(&P->Next, reinterpret_cast<Word>(NextP));
+    T.store(&P->Prev, reinterpret_cast<Word>(Root));
+    T.store(&Root->Next, reinterpret_cast<Word>(P));
+    T.store(&NextP->Prev, reinterpret_cast<Word>(P));
+    T.store(&C->PartCount, T.load(&C->PartCount) + 1);
+    AtomicIndex.insert(T, Id, reinterpret_cast<Word>(P));
+  }
+
+  /// Removes the part after the root (never the root) when the ring has
+  /// spare parts.
+  void opStructuralRemove(Tx &T, repro::Xorshift &Rng) {
+    CompositePart *C = randomComposite(Rng);
+    if (T.load(&C->PartCount) <= 2)
+      return;
+    auto *Root = reinterpret_cast<AtomicPart *>(T.load(&C->RootPart));
+    auto *P = reinterpret_cast<AtomicPart *>(T.load(&Root->Next));
+    if (P == Root)
+      return;
+    auto *NextP = reinterpret_cast<AtomicPart *>(T.load(&P->Next));
+    T.store(&Root->Next, reinterpret_cast<Word>(NextP));
+    T.store(&NextP->Prev, reinterpret_cast<Word>(Root));
+    T.store(&C->PartCount, T.load(&C->PartCount) - 1);
+    AtomicIndex.remove(T, T.load(&P->Id));
+    T.txFree(P);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Operation mix
+  //===--------------------------------------------------------------===//
+
+  static Op7 pickReadOp(repro::Xorshift &Rng) {
+    // Weights follow STMBench7's spirit: mostly short operations, a
+    // small fraction of whole-graph traversals.
+    unsigned R = static_cast<unsigned>(Rng.nextBounded(100));
+    if (R < 40)
+      return Op7::ReadAtomic;
+    if (R < 70)
+      return Op7::ShortTraversal;
+    if (R < 85)
+      return Op7::ReadDocument;
+    if (R < 95)
+      return Op7::QueryRecent;
+    return Op7::LongTraversal;
+  }
+
+  static Op7 pickWriteOp(repro::Xorshift &Rng) {
+    unsigned R = static_cast<unsigned>(Rng.nextBounded(100));
+    if (R < 40)
+      return Op7::UpdateAtomic;
+    if (R < 65)
+      return Op7::ShortUpdate;
+    if (R < 75)
+      return Op7::UpdateDocument;
+    if (R < 85)
+      return Op7::StructuralAdd;
+    if (R < 95)
+      return Op7::StructuralRemove;
+    return Op7::LongUpdate;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Non-transactional construction
+  //===--------------------------------------------------------------===//
+
+  void build() {
+    repro::Xorshift Rng(0xb7b7b7b7);
+    // Composite library with atomic-part rings and documents.
+    for (unsigned I = 0; I < Cfg.CompositeLibrary; ++I)
+      Composites.push_back(buildComposite(Rng));
+    // Assembly tree.
+    DesignRoot = buildComplex(Cfg.AssemblyDepth, Rng);
+    // The index insertions above happened non-transactionally: populate
+    // the transactional indices through a bootstrap transaction-free
+    // path (direct list surgery is not exposed, so run one thread).
+    populateIndices();
+  }
+
+  CompositePart *buildComposite(repro::Xorshift &Rng) {
+    auto *C = static_cast<CompositePart *>(std::malloc(sizeof(CompositePart)));
+    C->Id = NextCompositeId++;
+    C->BuildDate = Rng.nextBounded(200);
+    C->PartCount = Cfg.AtomicsPerComposite;
+
+    auto *D = static_cast<Document *>(std::malloc(sizeof(Document)));
+    D->Id = C->Id;
+    D->SizeWords = Cfg.DocumentWords;
+    auto *Text =
+        static_cast<Word *>(std::malloc(Cfg.DocumentWords * sizeof(Word)));
+    for (unsigned I = 0; I < Cfg.DocumentWords; ++I)
+      Text[I] = Rng.next();
+    D->Text = reinterpret_cast<Word>(Text);
+    C->Doc = reinterpret_cast<Word>(D);
+
+    // Build the ring.
+    std::vector<AtomicPart *> Parts;
+    for (unsigned I = 0; I < Cfg.AtomicsPerComposite; ++I) {
+      auto *P = static_cast<AtomicPart *>(std::malloc(sizeof(AtomicPart)));
+      P->Id = NextAtomicId++;
+      P->X = Rng.nextBounded(1000);
+      P->Y = Rng.nextBounded(1000);
+      P->BuildDate = Rng.nextBounded(200);
+      P->Owner = reinterpret_cast<Word>(C);
+      Parts.push_back(P);
+    }
+    unsigned N = static_cast<unsigned>(Parts.size());
+    for (unsigned I = 0; I < N; ++I) {
+      Parts[I]->Next = reinterpret_cast<Word>(Parts[(I + 1) % N]);
+      Parts[I]->Prev = reinterpret_cast<Word>(Parts[(I + N - 1) % N]);
+      Parts[I]->Cross = reinterpret_cast<Word>(Parts[0]);
+    }
+    C->RootPart = reinterpret_cast<Word>(Parts[0]);
+    return C;
+  }
+
+  ComplexAssembly *buildComplex(unsigned Level, repro::Xorshift &Rng) {
+    auto *A =
+        static_cast<ComplexAssembly *>(std::malloc(sizeof(ComplexAssembly)));
+    A->Id = NextAssemblyId++;
+    A->BuildDate = Rng.nextBounded(200);
+    A->Level = Level;
+    A->SubCount = Cfg.AssemblyBranch;
+    assert(Cfg.AssemblyBranch <= 8 && "branching capped at 8");
+    for (unsigned I = 0; I < Cfg.AssemblyBranch; ++I) {
+      if (Level == 1)
+        A->Subs[I] = reinterpret_cast<Word>(buildBase(Rng));
+      else
+        A->Subs[I] = reinterpret_cast<Word>(buildComplex(Level - 1, Rng));
+    }
+    Complexes.push_back(A);
+    return A;
+  }
+
+  BaseAssembly *buildBase(repro::Xorshift &Rng) {
+    auto *B = static_cast<BaseAssembly *>(std::malloc(sizeof(BaseAssembly)));
+    B->Id = NextAssemblyId++;
+    B->BuildDate = Rng.nextBounded(200);
+    B->CompCount = Cfg.ComponentsPerBase;
+    assert(Cfg.ComponentsPerBase <= 8 && "components capped at 8");
+    for (unsigned I = 0; I < Cfg.ComponentsPerBase; ++I)
+      B->Components[I] = reinterpret_cast<Word>(
+          Composites[Rng.nextBounded(Composites.size())]);
+    Bases.push_back(B);
+    return B;
+  }
+
+  void populateIndices();
+
+  Bench7Config Cfg;
+  ComplexAssembly *DesignRoot = nullptr;
+  std::vector<CompositePart *> Composites;
+  std::vector<BaseAssembly *> Bases;
+  std::vector<ComplexAssembly *> Complexes;
+  TxHashMap<STM> AtomicIndex;
+  TxHashMap<STM> CompositeIndex;
+  uint64_t NextAtomicId = 0;
+  uint64_t NextCompositeId = 0;
+  uint64_t NextAssemblyId = 0;
+};
+
+template <typename STM> void Bench7<STM>::populateIndices() {
+  // Runs before any worker thread exists; a private scope keeps the
+  // transactional index API usable for the bootstrap.
+  stm::ThreadScope<STM> Scope;
+  Tx &T = Scope.tx();
+  for (CompositePart *C : Composites) {
+    stm::atomically(T, [&](Tx &X) {
+      CompositeIndex.insert(X, C->Id, reinterpret_cast<Word>(C));
+      auto *Root = reinterpret_cast<AtomicPart *>(C->RootPart);
+      AtomicPart *P = Root;
+      do {
+        AtomicIndex.insert(X, P->Id, reinterpret_cast<Word>(P));
+        P = reinterpret_cast<AtomicPart *>(P->Next);
+      } while (P != Root);
+    });
+  }
+}
+
+} // namespace workloads::sb7
+
+#endif // WORKLOADS_STMBENCH7_BENCH7_H

@@ -1,0 +1,156 @@
+//===- tests/AtomicallyTest.cpp - boundary-layer tests ---------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Tests for the transaction-boundary layer itself: field accessors on
+// awkward sizes and alignments, flat-nesting abort semantics (an inner
+// abort restarts the outermost transaction), and re-initialization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace stm;
+using repro_test::runThreads;
+
+namespace {
+
+template <typename STM> class AtomicallyTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    STM::globalInit(Config);
+  }
+  void TearDown() override { STM::globalShutdown(); }
+};
+
+TYPED_TEST_SUITE(AtomicallyTest, repro_test::AllStms);
+
+TYPED_TEST(AtomicallyTest, UnalignedFieldSpansTwoWords) {
+  // A 4-byte field placed to straddle a word boundary exercises the
+  // multi-word gather/scatter path.
+  struct Packed {
+    char Pad[6];
+    uint32_t Straddler; // bytes 6..9: crosses the 8-byte boundary
+    char Tail[6];
+  };
+  alignas(8) static Packed P;
+  std::memset(&P, 0xab, sizeof(P));
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    atomically(Tx, [&](auto &T) {
+      storeField(T, &P.Straddler, uint32_t{0xdeadbeef});
+    });
+    uint32_t Seen = 0;
+    uint32_t *SeenPtr = &Seen;
+    atomically(Tx, [&, SeenPtr](auto &T) {
+      *SeenPtr = loadField(T, &P.Straddler);
+    });
+    EXPECT_EQ(Seen, 0xdeadbeefu);
+  });
+  EXPECT_EQ(P.Straddler, 0xdeadbeefu);
+  // Neighbouring bytes untouched.
+  for (char C : P.Pad)
+    EXPECT_EQ(static_cast<unsigned char>(C), 0xab);
+  for (char C : P.Tail)
+    EXPECT_EQ(static_cast<unsigned char>(C), 0xab);
+}
+
+TYPED_TEST(AtomicallyTest, LargeStructFieldRoundTrip) {
+  struct Big {
+    uint64_t A, B, C;
+  };
+  struct Holder {
+    Big Value;
+  };
+  alignas(8) static Holder H;
+  std::memset(&H, 0, sizeof(H));
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    atomically(Tx, [&](auto &T) {
+      storeField(T, &H.Value, Big{1, 2, 3});
+    });
+    Big Seen{};
+    Big *SeenPtr = &Seen;
+    atomically(Tx, [&, SeenPtr](auto &T) {
+      *SeenPtr = loadField(T, &H.Value);
+    });
+    EXPECT_EQ(Seen.A, 1u);
+    EXPECT_EQ(Seen.B, 2u);
+    EXPECT_EQ(Seen.C, 3u);
+  });
+}
+
+TYPED_TEST(AtomicallyTest, InnerAbortRestartsOuterTransaction) {
+  alignas(64) static Word A, B;
+  A = B = 0;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    int OuterRuns = 0;
+    int *OuterPtr = &OuterRuns;
+    atomically(Tx, [&, OuterPtr](auto &T) {
+      ++*OuterPtr;
+      T.store(&A, static_cast<Word>(*OuterPtr));
+      atomically(Tx, [&, OuterPtr](auto &Inner) {
+        Inner.store(&B, 99);
+        if (*OuterPtr < 2)
+          Inner.restart(); // must re-run the OUTER body
+      });
+    });
+    EXPECT_EQ(OuterRuns, 2) << "flat nesting: inner abort restarts outer";
+  });
+  EXPECT_EQ(A, 2u);
+  EXPECT_EQ(B, 99u);
+}
+
+TYPED_TEST(AtomicallyTest, GlobalReInitGivesCleanState) {
+  alignas(8) static Word Cell;
+  Cell = 0;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    atomically(Tx, [&](auto &T) { T.store(&Cell, 5); });
+  });
+  // Tear down and bring the STM back up: transactions must work again.
+  TypeParam::globalShutdown();
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 15;
+  Config.GranularityLog2 = 6;
+  TypeParam::globalInit(Config);
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    atomically(Tx, [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
+  });
+  EXPECT_EQ(Cell, 6u);
+  // TearDown will shut down again; re-init so it has something to tear
+  // down symmetric with SetUp.
+}
+
+TYPED_TEST(AtomicallyTest, SequentialThreadScopesReuseSlots) {
+  alignas(8) static Word Cell;
+  Cell = 0;
+  for (int Round = 0; Round < 4; ++Round)
+    runThreads<TypeParam>(2, [&](unsigned, auto &Tx) {
+      for (int I = 0; I < 50; ++I)
+        atomically(Tx, [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
+    });
+  EXPECT_EQ(Cell, 4u * 2u * 50u);
+  EXPECT_LE(repro::ThreadRegistry::highWaterMark(), 8u)
+      << "slots must be recycled across rounds";
+}
+
+TYPED_TEST(AtomicallyTest, StatsAccumulateAcrossTransactions) {
+  alignas(8) static Word Cell;
+  Cell = 0;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (int I = 0; I < 10; ++I)
+      atomically(Tx, [&](auto &T) { T.store(&Cell, I); });
+    for (int I = 0; I < 5; ++I)
+      atomically(Tx, [&](auto &T) { (void)T.load(&Cell); });
+    EXPECT_EQ(Tx.stats().Commits, 15u);
+    EXPECT_EQ(Tx.stats().ReadOnlyCommits, 5u);
+    EXPECT_GE(Tx.stats().Writes, 10u);
+    EXPECT_GE(Tx.stats().Reads, 5u);
+  });
+}
+
+} // namespace

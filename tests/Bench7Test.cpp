@@ -1,0 +1,108 @@
+//===- tests/Bench7Test.cpp - STMBench7-lite tests -------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+#include "workloads/stmbench7/Bench7.h"
+
+#include <gtest/gtest.h>
+
+using namespace stm;
+using namespace workloads::sb7;
+using repro_test::runThreads;
+
+namespace {
+
+Bench7Config smallConfig() {
+  Bench7Config Cfg;
+  Cfg.AssemblyDepth = 3;
+  Cfg.AssemblyBranch = 2;
+  Cfg.CompositeLibrary = 12;
+  Cfg.AtomicsPerComposite = 8;
+  return Cfg;
+}
+
+template <typename STM> class Bench7Test : public ::testing::Test {
+protected:
+  void SetUp() override {
+    StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    STM::globalInit(Config);
+  }
+  void TearDown() override { STM::globalShutdown(); }
+};
+
+TYPED_TEST_SUITE(Bench7Test, repro_test::AllStms);
+
+TYPED_TEST(Bench7Test, BuildSatisfiesInvariants) {
+  Bench7<TypeParam> B(smallConfig());
+  EXPECT_EQ(B.compositeCount(), 12u);
+  EXPECT_EQ(B.baseAssemblyCount(), 8u); // branch^depth = 2^3 leaves
+  EXPECT_EQ(B.totalAtomicParts(), 12u * 8u);
+  EXPECT_TRUE(B.verify());
+}
+
+TYPED_TEST(Bench7Test, EveryOperationRunsAndPreservesInvariants) {
+  Bench7<TypeParam> B(smallConfig());
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    repro::Xorshift Rng(5);
+    for (unsigned K = 0; K < NumOps; ++K)
+      for (int Rep = 0; Rep < 5; ++Rep)
+        B.runOp(Tx, Rng, static_cast<Op7>(K));
+  });
+  EXPECT_TRUE(B.verify());
+}
+
+TYPED_TEST(Bench7Test, StructuralAddGrowsRingAndIndex) {
+  Bench7<TypeParam> B(smallConfig());
+  uint64_t Before = B.totalAtomicParts();
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    repro::Xorshift Rng(9);
+    for (int I = 0; I < 10; ++I)
+      B.runOp(Tx, Rng, Op7::StructuralAdd);
+  });
+  EXPECT_EQ(B.totalAtomicParts(), Before + 10);
+  EXPECT_TRUE(B.verify());
+}
+
+TYPED_TEST(Bench7Test, StructuralRemoveShrinksRingAndIndex) {
+  Bench7<TypeParam> B(smallConfig());
+  uint64_t Before = B.totalAtomicParts();
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    repro::Xorshift Rng(11);
+    for (int I = 0; I < 10; ++I)
+      B.runOp(Tx, Rng, Op7::StructuralRemove);
+  });
+  EXPECT_LT(B.totalAtomicParts(), Before);
+  EXPECT_TRUE(B.verify());
+}
+
+TYPED_TEST(Bench7Test, MixedWorkloadsConcurrent) {
+  Bench7<TypeParam> B(smallConfig());
+  for (Workload7 W : {Workload7::ReadDominated, Workload7::ReadWrite,
+                      Workload7::WriteDominated}) {
+    runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+      repro::Xorshift Rng(Id * 131 + static_cast<unsigned>(W));
+      for (int I = 0; I < 150; ++I)
+        B.runOperation(Tx, Rng, W);
+    });
+    ASSERT_TRUE(B.verify()) << "invariants broken after "
+                            << workload7Name(W);
+  }
+}
+
+TYPED_TEST(Bench7Test, LongTraversalCountsAllParts) {
+  Bench7<TypeParam> B(smallConfig());
+  // A long update traversal touches every base assembly; afterwards the
+  // structure is still consistent and the count is stable.
+  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+    repro::Xorshift Rng(Id + 77);
+    for (int I = 0; I < 5; ++I)
+      B.runOp(Tx, Rng, Op7::LongUpdate);
+  });
+  EXPECT_TRUE(B.verify());
+}
+
+} // namespace

@@ -1,0 +1,323 @@
+//===- tests/CmTest.cpp - contention-manager behaviour tests ---------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Pins down Algorithm 2 and the CM variants: the two-phase promotion at
+// the Wn-th write, timestamp retention across restarts (the Greedy
+// no-starvation property), timid self-abort, kill-flag mechanics, and
+// that every CM still produces correct results under contention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace stm;
+using repro_test::runThreads;
+
+namespace {
+
+StmConfig configWith(CmKind Cm) {
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 16;
+  Config.Cm = Cm;
+  return Config;
+}
+
+//===----------------------------------------------------------------------===//
+// Two-phase promotion (Algorithm 2)
+//===----------------------------------------------------------------------===//
+
+TEST(TwoPhaseCmTest, PromotionHappensAtWnThWrite) {
+  StmConfig Config = configWith(CmKind::TwoPhase);
+  Config.WnThreshold = 10;
+  SwissTm::globalInit(Config);
+  {
+    ThreadScope<SwissTm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(64) std::vector<Word> Cells(64, 0);
+    atomically(Tx, [&](auto &T) {
+      for (unsigned I = 0; I < 9; ++I)
+        T.store(&Cells[I * 4], I); // distinct stripes
+      EXPECT_EQ(Tx.cmTimestamp(), ~0ull)
+          << "still first phase before the Wn-th write";
+      T.store(&Cells[9 * 4], 9);
+      EXPECT_NE(Tx.cmTimestamp(), ~0ull)
+          << "Wn-th write must enter the Greedy phase";
+    });
+  }
+  SwissTm::globalShutdown();
+}
+
+TEST(TwoPhaseCmTest, ShortTransactionsNeverTouchGreedyCounter) {
+  StmConfig Config = configWith(CmKind::TwoPhase);
+  SwissTm::globalInit(Config);
+  {
+    ThreadScope<SwissTm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(8) Word Cell = 0;
+    for (int I = 0; I < 50; ++I)
+      atomically(Tx, [&](auto &T) { T.store(&Cell, I); });
+    EXPECT_EQ(swiss::swissGlobals().GreedyTs.load(), 0u)
+        << "short transactions must not increment greedy-ts";
+  }
+  SwissTm::globalShutdown();
+}
+
+TEST(TwoPhaseCmTest, RepeatedWritesToSameWordDoNotPromote) {
+  StmConfig Config = configWith(CmKind::TwoPhase);
+  Config.WnThreshold = 5;
+  SwissTm::globalInit(Config);
+  {
+    ThreadScope<SwissTm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(8) Word Cell = 0;
+    atomically(Tx, [&](auto &T) {
+      for (unsigned I = 0; I < 20; ++I)
+        T.store(&Cell, I); // same word: one write-log entry
+      EXPECT_EQ(Tx.cmTimestamp(), ~0ull);
+    });
+  }
+  SwissTm::globalShutdown();
+}
+
+TEST(TwoPhaseCmTest, TimestampKeptAcrossRestart) {
+  // cm-start only resets cm-ts on a *fresh* start; a restarted
+  // transaction keeps its (older = stronger) timestamp. That is what
+  // rules out starvation of long transactions.
+  StmConfig Config = configWith(CmKind::TwoPhase);
+  Config.WnThreshold = 2;
+  SwissTm::globalInit(Config);
+  {
+    ThreadScope<SwissTm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(64) Word Cells[16] = {};
+    uint64_t FirstTs = 0, RestartTs = 0;
+    uint64_t *FirstPtr = &FirstTs, *RestartPtr = &RestartTs;
+    bool Retried = false;
+    bool *RetriedPtr = &Retried;
+    atomically(Tx, [&, FirstPtr, RestartPtr, RetriedPtr](auto &T) {
+      T.store(&Cells[0], 1);
+      T.store(&Cells[8], 2); // second write -> promotion
+      if (!*RetriedPtr) {
+        *FirstPtr = Tx.cmTimestamp();
+        *RetriedPtr = true;
+        T.restart();
+      }
+      *RestartPtr = Tx.cmTimestamp();
+    });
+    EXPECT_NE(FirstTs, ~0ull);
+    EXPECT_EQ(FirstTs, RestartTs) << "restart must keep the Greedy ts";
+  }
+  SwissTm::globalShutdown();
+}
+
+TEST(GreedyCmTest, EveryTransactionTakesTimestamp) {
+  StmConfig Config = configWith(CmKind::Greedy);
+  SwissTm::globalInit(Config);
+  {
+    ThreadScope<SwissTm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(8) Word Cell = 0;
+    for (int I = 0; I < 7; ++I)
+      atomically(Tx, [&](auto &T) { T.store(&Cell, I); });
+    EXPECT_EQ(swiss::swissGlobals().GreedyTs.load(), 7u)
+        << "plain Greedy pays the shared counter on every tx";
+  }
+  SwissTm::globalShutdown();
+}
+
+TEST(SerializerCmTest, FreshTimestampEveryRestart) {
+  StmConfig Config = configWith(CmKind::Serializer);
+  SwissTm::globalInit(Config);
+  {
+    ThreadScope<SwissTm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(8) Word Cell = 0;
+    uint64_t First = 0, Second = 0;
+    uint64_t *FirstPtr = &First, *SecondPtr = &Second;
+    bool Retried = false;
+    bool *RetriedPtr = &Retried;
+    atomically(Tx, [&, FirstPtr, SecondPtr, RetriedPtr](auto &T) {
+      T.store(&Cell, 1);
+      if (!*RetriedPtr) {
+        *FirstPtr = Tx.cmTimestamp();
+        *RetriedPtr = true;
+        T.restart();
+      }
+      *SecondPtr = Tx.cmTimestamp();
+    });
+    EXPECT_NE(First, Second)
+        << "Serializer renews the timestamp on restart";
+  }
+  SwissTm::globalShutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Kill-flag mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(KillFlagTest, KilledTransactionRestartsAndSucceeds) {
+  StmConfig Config = configWith(CmKind::TwoPhase);
+  SwissTm::globalInit(Config);
+  {
+    ThreadScope<SwissTm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(8) Word Cell = 0;
+    bool Killed = false;
+    bool *KilledPtr = &Killed;
+    atomically(Tx, [&, KilledPtr](auto &T) {
+      if (!*KilledPtr) {
+        *KilledPtr = true;
+        Tx.requestKill(); // simulate an attacker's abort(victim)
+      }
+      T.store(&Cell, T.load(&Cell) + 1);
+    });
+    EXPECT_EQ(Cell, 1u);
+    EXPECT_GE(Tx.stats().Aborts, 1u);
+  }
+  SwissTm::globalShutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// All CM variants stay correct under contention (value-parameterized)
+//===----------------------------------------------------------------------===//
+
+class SwissCmSweep : public ::testing::TestWithParam<CmKind> {};
+
+TEST_P(SwissCmSweep, ContendedCountersStayExact) {
+  SwissTm::globalInit(configWith(GetParam()));
+  {
+    alignas(8) static Word Counter;
+    Counter = 0;
+    runThreads<SwissTm>(4, [&](unsigned, auto &Tx) {
+      for (int I = 0; I < 1500; ++I)
+        atomically(Tx,
+                   [&](auto &T) { T.store(&Counter, T.load(&Counter) + 1); });
+    });
+    EXPECT_EQ(Counter, 4u * 1500u);
+  }
+  SwissTm::globalShutdown();
+}
+
+TEST_P(SwissCmSweep, LongWriterMakesProgressAgainstShortWriters) {
+  // A long transaction updates 32 stripes while short transactions
+  // hammer two of them. Under every CM the long transaction must
+  // eventually commit (bounded test time enforces it).
+  SwissTm::globalInit(configWith(GetParam()));
+  {
+    struct alignas(64) Cell {
+      Word V = 0;
+    };
+    static Cell Cells[32];
+    for (auto &C : Cells)
+      C.V = 0;
+    std::atomic<bool> LongDone{false};
+    runThreads<SwissTm>(3, [&](unsigned Id, auto &Tx) {
+      if (Id == 0) {
+        atomically(Tx, [&](auto &T) {
+          for (auto &C : Cells)
+            T.store(&C.V, T.load(&C.V) + 1);
+        });
+        LongDone.store(true);
+      } else {
+        // Bounded, so the long transaction is guaranteed a quiet tail
+        // even under the starvation-prone timid policy.
+        repro::Xorshift Rng(Id);
+        for (int I = 0; I < 100000 && !LongDone.load(); ++I) {
+          unsigned C = Rng.nextBounded(2);
+          atomically(Tx, [&, C](auto &T) {
+            T.store(&Cells[C].V, T.load(&Cells[C].V) + 1);
+          });
+        }
+      }
+    });
+    EXPECT_TRUE(LongDone.load());
+  }
+  SwissTm::globalShutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCms, SwissCmSweep,
+                         ::testing::Values(CmKind::TwoPhase, CmKind::Timid,
+                                           CmKind::Greedy,
+                                           CmKind::Serializer,
+                                           CmKind::Polka),
+                         [](const auto &Info) {
+                           return std::string(cmKindName(Info.param)) ==
+                                          "two-phase"
+                                      ? std::string("TwoPhase")
+                                      : std::string(cmKindName(Info.param));
+                         });
+
+//===----------------------------------------------------------------------===//
+// RSTM variant sweep: all four acquire/visibility combinations stay
+// correct under contention.
+//===----------------------------------------------------------------------===//
+
+struct RstmVariant {
+  bool Eager;
+  bool Visible;
+  CmKind Cm;
+};
+
+class RstmVariantSweep : public ::testing::TestWithParam<RstmVariant> {};
+
+TEST_P(RstmVariantSweep, BankInvariantHolds) {
+  RstmVariant V = GetParam();
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 16;
+  Config.RstmEagerAcquire = V.Eager;
+  Config.RstmVisibleReads = V.Visible;
+  Config.Cm = V.Cm;
+  Rstm::globalInit(Config);
+  {
+    struct alignas(8) Account {
+      Word Balance;
+    };
+    static std::vector<Account> Bank;
+    Bank.assign(32, Account{100});
+    runThreads<Rstm>(4, [&](unsigned Id, auto &Tx) {
+      repro::Xorshift Rng(Id * 3 + 1);
+      for (int I = 0; I < 800; ++I) {
+        unsigned From = Rng.nextBounded(32), To = Rng.nextBounded(32);
+        atomically(Tx, [&](auto &T) {
+          Word B = T.load(&Bank[From].Balance);
+          if (B == 0)
+            return;
+          T.store(&Bank[From].Balance, B - 1);
+          T.store(&Bank[To].Balance, T.load(&Bank[To].Balance) + 1);
+        });
+      }
+    });
+    uint64_t Total = 0;
+    for (const Account &A : Bank)
+      Total += A.Balance;
+    EXPECT_EQ(Total, 32u * 100u);
+  }
+  Rstm::globalShutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, RstmVariantSweep,
+    ::testing::Values(RstmVariant{true, false, CmKind::Polka},
+                      RstmVariant{true, true, CmKind::Polka},
+                      RstmVariant{false, false, CmKind::Polka},
+                      RstmVariant{false, true, CmKind::Polka},
+                      RstmVariant{true, false, CmKind::Timid},
+                      RstmVariant{true, false, CmKind::Greedy},
+                      RstmVariant{true, false, CmKind::Serializer},
+                      RstmVariant{false, false, CmKind::Timid}),
+    [](const auto &Info) {
+      std::string Name = Info.param.Eager ? "Eager" : "Lazy";
+      Name += Info.param.Visible ? "Visible" : "Invisible";
+      Name += cmKindName(Info.param.Cm);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

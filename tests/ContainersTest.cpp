@@ -1,0 +1,288 @@
+//===- tests/ContainersTest.cpp - transactional container tests ----------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+#include "workloads/containers/TxHashMap.h"
+#include "workloads/containers/TxList.h"
+#include "workloads/containers/TxQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace stm;
+using namespace workloads;
+using repro_test::runThreads;
+
+namespace {
+
+template <typename STM> class ContainersTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    STM::globalInit(Config);
+  }
+  void TearDown() override { STM::globalShutdown(); }
+};
+
+TYPED_TEST_SUITE(ContainersTest, repro_test::AllStms);
+
+TYPED_TEST(ContainersTest, ListInsertLookupRemove) {
+  TxList<TypeParam> List;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    bool Ok = false;
+    bool *OkPtr = &Ok;
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = List.insert(T, 5, 50); });
+    EXPECT_TRUE(Ok);
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = List.insert(T, 5, 99); });
+    EXPECT_FALSE(Ok);
+    Word Val = 0;
+    Word *ValPtr = &Val;
+    atomically(Tx, [&, OkPtr, ValPtr](auto &T) {
+      *OkPtr = List.lookup(T, 5, ValPtr);
+    });
+    EXPECT_TRUE(Ok);
+    EXPECT_EQ(Val, 50u);
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = List.remove(T, 5); });
+    EXPECT_TRUE(Ok);
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = List.lookup(T, 5); });
+    EXPECT_FALSE(Ok);
+  });
+  EXPECT_EQ(List.sizeRaw(), 0u);
+}
+
+TYPED_TEST(ContainersTest, ListStaysSortedUnderRandomOps) {
+  TxList<TypeParam> List;
+  std::set<uint64_t> Model;
+  repro::Xorshift Rng(31);
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (int I = 0; I < 1500; ++I) {
+      uint64_t Key = Rng.nextBounded(64);
+      if (Rng.nextPercent(50)) {
+        bool Got = false;
+        bool *GotPtr = &Got;
+        atomically(Tx, [&, GotPtr, Key](auto &T) {
+          *GotPtr = List.insert(T, Key, Key);
+        });
+        ASSERT_EQ(Got, Model.insert(Key).second);
+      } else {
+        bool Got = false;
+        bool *GotPtr = &Got;
+        atomically(Tx,
+                   [&, GotPtr, Key](auto &T) { *GotPtr = List.remove(T, Key); });
+        ASSERT_EQ(Got, Model.erase(Key) > 0);
+      }
+    }
+  });
+  EXPECT_TRUE(List.verifySorted());
+  EXPECT_EQ(List.sizeRaw(), Model.size());
+}
+
+TYPED_TEST(ContainersTest, ListUpdateChangesValue) {
+  TxList<TypeParam> List;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    atomically(Tx, [&](auto &T) { List.insert(T, 1, 10); });
+    bool Ok = false;
+    bool *OkPtr = &Ok;
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = List.update(T, 1, 20); });
+    EXPECT_TRUE(Ok);
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = List.update(T, 2, 20); });
+    EXPECT_FALSE(Ok);
+    Word Val = 0;
+    Word *ValPtr = &Val;
+    atomically(Tx,
+               [&, ValPtr](auto &T) { List.lookup(T, 1, ValPtr); });
+    EXPECT_EQ(Val, 20u);
+  });
+}
+
+TYPED_TEST(ContainersTest, ConcurrentListInsertDisjoint) {
+  TxList<TypeParam> List;
+  constexpr unsigned Threads = 4, PerThread = 200;
+  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+    for (unsigned K = 0; K < PerThread; ++K)
+      atomically(Tx, [&](auto &T) {
+        List.insert(T, uint64_t(Id) * PerThread + K, K);
+      });
+  });
+  EXPECT_EQ(List.sizeRaw(), Threads * PerThread);
+  EXPECT_TRUE(List.verifySorted());
+}
+
+TYPED_TEST(ContainersTest, HashMapMatchesStdMap) {
+  TxHashMap<TypeParam> Map(6);
+  std::map<uint64_t, uint64_t> Model;
+  repro::Xorshift Rng(77);
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (int I = 0; I < 2000; ++I) {
+      uint64_t Key = Rng.nextBounded(512);
+      unsigned Kind = static_cast<unsigned>(Rng.nextBounded(3));
+      bool Got = false;
+      bool *GotPtr = &Got;
+      if (Kind == 0) {
+        atomically(Tx, [&, GotPtr, Key](auto &T) {
+          *GotPtr = Map.insert(T, Key, Key * 3);
+        });
+        ASSERT_EQ(Got, Model.emplace(Key, Key * 3).second);
+      } else if (Kind == 1) {
+        atomically(Tx,
+                   [&, GotPtr, Key](auto &T) { *GotPtr = Map.remove(T, Key); });
+        ASSERT_EQ(Got, Model.erase(Key) > 0);
+      } else {
+        Word Val = 0;
+        Word *ValPtr = &Val;
+        atomically(Tx, [&, GotPtr, ValPtr, Key](auto &T) {
+          *GotPtr = Map.lookup(T, Key, ValPtr);
+        });
+        auto It = Model.find(Key);
+        ASSERT_EQ(Got, It != Model.end());
+        if (Got)
+          ASSERT_EQ(Val, It->second);
+      }
+    }
+  });
+  EXPECT_EQ(Map.sizeRaw(), Model.size());
+}
+
+TYPED_TEST(ContainersTest, HashMapConcurrentDisjointInserts) {
+  TxHashMap<TypeParam> Map(8);
+  constexpr unsigned Threads = 4, PerThread = 300;
+  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+    for (unsigned K = 0; K < PerThread; ++K)
+      atomically(Tx, [&](auto &T) {
+        Map.insert(T, uint64_t(Id) * PerThread + K, Id);
+      });
+  });
+  EXPECT_EQ(Map.sizeRaw(), Threads * PerThread);
+}
+
+TYPED_TEST(ContainersTest, HashMapConcurrentSameKeysOneWinnerEach) {
+  TxHashMap<TypeParam> Map(4);
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Keys = 100;
+  std::atomic<uint64_t> Wins{0};
+  runThreads<TypeParam>(Threads, [&](unsigned, auto &Tx) {
+    uint64_t MyWins = 0;
+    for (unsigned K = 0; K < Keys; ++K) {
+      bool Got = false;
+      bool *GotPtr = &Got;
+      atomically(Tx, [&, GotPtr, K](auto &T) {
+        *GotPtr = Map.insert(T, K, K);
+      });
+      MyWins += Got;
+    }
+    Wins.fetch_add(MyWins);
+  });
+  EXPECT_EQ(Wins.load(), Keys) << "each key must be inserted exactly once";
+  EXPECT_EQ(Map.sizeRaw(), Keys);
+}
+
+TYPED_TEST(ContainersTest, QueueFifoOrder) {
+  TxQueue<TypeParam> Queue;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (Word I = 1; I <= 10; ++I)
+      atomically(Tx, [&](auto &T) { Queue.enqueue(T, I); });
+    for (Word I = 1; I <= 10; ++I) {
+      Word Item = 0;
+      bool Ok = false;
+      Word *ItemPtr = &Item;
+      bool *OkPtr = &Ok;
+      atomically(Tx, [&, ItemPtr, OkPtr](auto &T) {
+        *OkPtr = Queue.dequeue(T, ItemPtr);
+      });
+      ASSERT_TRUE(Ok);
+      ASSERT_EQ(Item, I);
+    }
+    bool Ok = true;
+    bool *OkPtr = &Ok;
+    Word Item;
+    Word *ItemPtr = &Item;
+    atomically(Tx, [&, OkPtr, ItemPtr](auto &T) {
+      *OkPtr = Queue.dequeue(T, ItemPtr);
+    });
+    EXPECT_FALSE(Ok) << "queue must be empty";
+  });
+  EXPECT_EQ(Queue.sizeRaw(), 0u);
+}
+
+TYPED_TEST(ContainersTest, QueueConcurrentDrainExactlyOnce) {
+  TxQueue<TypeParam> Queue;
+  constexpr unsigned Items = 600;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (Word I = 0; I < Items; ++I)
+      atomically(Tx, [&](auto &T) { Queue.enqueue(T, I + 1); });
+  });
+  std::atomic<uint64_t> Sum{0}, Count{0};
+  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+    uint64_t MySum = 0, MyCount = 0;
+    while (true) {
+      Word Item = 0;
+      bool Ok = false;
+      Word *ItemPtr = &Item;
+      bool *OkPtr = &Ok;
+      atomically(Tx, [&, ItemPtr, OkPtr](auto &T) {
+        *OkPtr = Queue.dequeue(T, ItemPtr);
+      });
+      if (!Ok)
+        break;
+      MySum += Item;
+      ++MyCount;
+    }
+    Sum.fetch_add(MySum);
+    Count.fetch_add(MyCount);
+  });
+  EXPECT_EQ(Count.load(), Items);
+  EXPECT_EQ(Sum.load(), uint64_t(Items) * (Items + 1) / 2);
+}
+
+TYPED_TEST(ContainersTest, QueueInterleavedProducersConsumers) {
+  TxQueue<TypeParam> Queue;
+  constexpr unsigned PerProducer = 300;
+  std::atomic<uint64_t> Consumed{0};
+  std::atomic<unsigned> ProducersDone{0};
+  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+    if (Id < 2) {
+      for (Word I = 0; I < PerProducer; ++I)
+        atomically(Tx, [&](auto &T) { Queue.enqueue(T, I + 1); });
+      ProducersDone.fetch_add(1);
+    } else {
+      while (true) {
+        Word Item = 0;
+        bool Ok = false;
+        Word *ItemPtr = &Item;
+        bool *OkPtr = &Ok;
+        atomically(Tx, [&, ItemPtr, OkPtr](auto &T) {
+          *OkPtr = Queue.dequeue(T, ItemPtr);
+        });
+        if (Ok) {
+          Consumed.fetch_add(1);
+        } else if (ProducersDone.load() == 2) {
+          break;
+        }
+      }
+    }
+  });
+  // Drain any leftovers.
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    while (true) {
+      Word Item = 0;
+      bool Ok = false;
+      Word *ItemPtr = &Item;
+      bool *OkPtr = &Ok;
+      atomically(Tx, [&, ItemPtr, OkPtr](auto &T) {
+        *OkPtr = Queue.dequeue(T, ItemPtr);
+      });
+      if (!Ok)
+        break;
+      Consumed.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(Consumed.load(), 2u * PerProducer);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/RbTreeTest.cpp - red-black tree workload tests ---------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Property-style validation of the transactional red-black tree: random
+// operation sequences are mirrored against std::set and the tree's
+// structural invariants (BST order, red-red, black height) are checked
+// after every batch, single-threaded and under concurrency, across all
+// four STMs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+#include "workloads/rbtree/RbTree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace stm;
+using namespace workloads;
+using repro_test::runThreads;
+
+namespace {
+
+template <typename STM> class RbTreeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    STM::globalInit(Config);
+  }
+  void TearDown() override { STM::globalShutdown(); }
+};
+
+TYPED_TEST_SUITE(RbTreeTest, repro_test::AllStms);
+
+TYPED_TEST(RbTreeTest, InsertLookupRemoveSingle) {
+  RbTree<TypeParam> Tree;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    bool Ok = false;
+    bool *OkPtr = &Ok;
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = Tree.insert(T, 10, 100); });
+    EXPECT_TRUE(Ok);
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = Tree.insert(T, 10, 200); });
+    EXPECT_FALSE(Ok) << "duplicate insert must fail";
+    uint64_t Value = 0;
+    uint64_t *ValuePtr = &Value;
+    atomically(Tx, [&, OkPtr, ValuePtr](auto &T) {
+      *OkPtr = Tree.lookup(T, 10, ValuePtr);
+    });
+    EXPECT_TRUE(Ok);
+    EXPECT_EQ(Value, 100u);
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = Tree.remove(T, 10); });
+    EXPECT_TRUE(Ok);
+    atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = Tree.lookup(T, 10); });
+    EXPECT_FALSE(Ok);
+  });
+  EXPECT_EQ(Tree.size(), 0u);
+  EXPECT_TRUE(Tree.verify());
+}
+
+TYPED_TEST(RbTreeTest, AscendingInsertionStaysBalancedish) {
+  RbTree<TypeParam> Tree;
+  constexpr unsigned N = 512;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (unsigned I = 0; I < N; ++I)
+      atomically(Tx, [&](auto &T) { Tree.insert(T, I, I); });
+  });
+  EXPECT_EQ(Tree.size(), N);
+  EXPECT_TRUE(Tree.verify());
+}
+
+TYPED_TEST(RbTreeTest, RandomOpsMatchStdSet) {
+  RbTree<TypeParam> Tree;
+  std::set<uint64_t> Model;
+  repro::Xorshift Rng(12345);
+  constexpr unsigned Ops = 4000;
+  constexpr uint64_t Range = 256;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (unsigned I = 0; I < Ops; ++I) {
+      uint64_t Key = Rng.nextBounded(Range);
+      unsigned Kind = static_cast<unsigned>(Rng.nextBounded(3));
+      bool Got = false;
+      bool *GotPtr = &Got;
+      switch (Kind) {
+      case 0: {
+        atomically(Tx, [&, GotPtr](auto &T) {
+          *GotPtr = Tree.insert(T, Key, Key * 2);
+        });
+        bool Expected = Model.insert(Key).second;
+        ASSERT_EQ(Got, Expected) << "insert mismatch at op " << I;
+        break;
+      }
+      case 1: {
+        atomically(Tx,
+                   [&, GotPtr](auto &T) { *GotPtr = Tree.remove(T, Key); });
+        bool Expected = Model.erase(Key) > 0;
+        ASSERT_EQ(Got, Expected) << "remove mismatch at op " << I;
+        break;
+      }
+      default: {
+        atomically(Tx,
+                   [&, GotPtr](auto &T) { *GotPtr = Tree.lookup(T, Key); });
+        ASSERT_EQ(Got, Model.count(Key) == 1) << "lookup mismatch at " << I;
+        break;
+      }
+      }
+      if (I % 512 == 0)
+        ASSERT_TRUE(Tree.verify()) << "invariant broken at op " << I;
+    }
+  });
+  EXPECT_EQ(Tree.size(), Model.size());
+  EXPECT_TRUE(Tree.verify());
+}
+
+TYPED_TEST(RbTreeTest, ConcurrentMixedOpsKeepInvariants) {
+  RbTree<TypeParam> Tree;
+  constexpr unsigned Threads = 4;
+  constexpr unsigned OpsPerThread = 1500;
+  constexpr uint64_t Range = 512;
+  // Pre-populate half the range.
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (uint64_t K = 0; K < Range; K += 2)
+      atomically(Tx, [&](auto &T) { Tree.insert(T, K, K); });
+  });
+  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+    repro::Xorshift Rng(Id * 7919 + 13);
+    for (unsigned I = 0; I < OpsPerThread; ++I) {
+      uint64_t Key = Rng.nextBounded(Range);
+      unsigned Pct = static_cast<unsigned>(Rng.nextBounded(100));
+      if (Pct < 10)
+        atomically(Tx, [&](auto &T) { Tree.insert(T, Key, Key); });
+      else if (Pct < 20)
+        atomically(Tx, [&](auto &T) { Tree.remove(T, Key); });
+      else
+        atomically(Tx, [&](auto &T) { Tree.lookup(T, Key); });
+    }
+  });
+  EXPECT_TRUE(Tree.verify());
+}
+
+TYPED_TEST(RbTreeTest, ConcurrentInsertersProduceExactSet) {
+  RbTree<TypeParam> Tree;
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t PerThread = 300;
+  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+    for (uint64_t K = 0; K < PerThread; ++K) {
+      uint64_t Key = Id * PerThread + K;
+      atomically(Tx, [&](auto &T) { Tree.insert(T, Key, Key + 1); });
+    }
+  });
+  EXPECT_EQ(Tree.size(), Threads * PerThread);
+  EXPECT_TRUE(Tree.verify());
+  // Every key present with its value.
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (uint64_t Key = 0; Key < Threads * PerThread; ++Key) {
+      uint64_t Value = 0;
+      bool Found = false;
+      bool *FoundPtr = &Found;
+      uint64_t *ValuePtr = &Value;
+      atomically(Tx, [&, FoundPtr, ValuePtr](auto &T) {
+        *FoundPtr = Tree.lookup(T, Key, ValuePtr);
+      });
+      ASSERT_TRUE(Found) << "missing key " << Key;
+      ASSERT_EQ(Value, Key + 1);
+    }
+  });
+}
+
+TYPED_TEST(RbTreeTest, ConcurrentDisjointRemovals) {
+  RbTree<TypeParam> Tree;
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t Keys = 800;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (uint64_t K = 0; K < Keys; ++K)
+      atomically(Tx, [&](auto &T) { Tree.insert(T, K, K); });
+  });
+  std::atomic<uint64_t> Removed{0};
+  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+    uint64_t Count = 0;
+    for (uint64_t K = Id; K < Keys; K += Threads) {
+      bool Got = false;
+      bool *GotPtr = &Got;
+      atomically(Tx, [&, GotPtr, K](auto &T) { *GotPtr = Tree.remove(T, K); });
+      Count += Got;
+    }
+    Removed.fetch_add(Count);
+  });
+  EXPECT_EQ(Removed.load(), Keys);
+  EXPECT_EQ(Tree.size(), 0u);
+  EXPECT_TRUE(Tree.verify());
+}
+
+} // namespace

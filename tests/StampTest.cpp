@@ -1,0 +1,270 @@
+//===- tests/StampTest.cpp - STAMP-lite application tests ------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Each STAMP-lite application is validated end-to-end under every STM:
+// genome must reconstruct the exact input sequence, intruder must find
+// exactly the planted attacks, kmeans must converge near the generating
+// means, vacation must conserve resource capacity, ssca2 must build a
+// consistent graph, yada must keep the mesh conforming with exact area
+// conservation, and bayes must improve the score on an acyclic graph.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+#include "workloads/stamp/Stamp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace stm;
+using namespace workloads::stamp;
+using repro_test::runThreads;
+
+namespace {
+
+template <typename STM> class StampTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    STM::globalInit(Config);
+  }
+  void TearDown() override { STM::globalShutdown(); }
+};
+
+TYPED_TEST_SUITE(StampTest, repro_test::AllStms);
+
+//===----------------------------------------------------------------------===//
+// genome
+//===----------------------------------------------------------------------===//
+
+TYPED_TEST(StampTest, GenomeReconstructsExactSequence) {
+  GenomeConfig Cfg;
+  Cfg.GenomeLength = 300;
+  Cfg.SegmentLength = 12;
+  Genome<TypeParam> G(Cfg);
+  std::atomic<uint64_t> Fresh{0};
+  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+    Fresh.fetch_add(G.dedupWorker(Tx));
+  });
+  EXPECT_EQ(Fresh.load(), Cfg.GenomeLength - Cfg.SegmentLength + 1);
+  G.buildSegmentArray();
+  EXPECT_EQ(G.uniqueCount(), Cfg.GenomeLength - Cfg.SegmentLength + 1);
+  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) { G.indexWorker(Tx); });
+  G.resetClaims();
+  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) { G.linkWorker(Tx); });
+  EXPECT_EQ(G.reconstruct(), G.original());
+}
+
+TYPED_TEST(StampTest, GenomeSingleThreadMatchesMultiThread) {
+  GenomeConfig Cfg;
+  Cfg.GenomeLength = 200;
+  Cfg.SegmentLength = 10;
+  Genome<TypeParam> G(Cfg);
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) { G.dedupWorker(Tx); });
+  G.buildSegmentArray();
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) { G.indexWorker(Tx); });
+  G.resetClaims();
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) { G.linkWorker(Tx); });
+  EXPECT_EQ(G.reconstruct(), G.original());
+}
+
+//===----------------------------------------------------------------------===//
+// intruder
+//===----------------------------------------------------------------------===//
+
+TYPED_TEST(StampTest, IntruderDetectsExactlyPlantedAttacks) {
+  IntruderConfig Cfg;
+  Cfg.Flows = 120;
+  Intruder<TypeParam> App(Cfg);
+  std::atomic<uint64_t> MyFlows{0};
+  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+    MyFlows.fetch_add(App.work(Tx));
+  });
+  EXPECT_EQ(App.assembledCount(), Cfg.Flows);
+  EXPECT_EQ(MyFlows.load(), Cfg.Flows);
+  EXPECT_EQ(App.detectedCount(), App.plantedAttacks());
+  EXPECT_TRUE(App.tableDrained());
+}
+
+//===----------------------------------------------------------------------===//
+// kmeans
+//===----------------------------------------------------------------------===//
+
+template <typename STM>
+void runKMeans(KMeans<STM> &App, unsigned Threads) {
+  for (unsigned Iter = 0; Iter < 6; ++Iter) {
+    runThreads<STM>(Threads, [&](unsigned Id, auto &Tx) {
+      unsigned Chunk = (App.pointCount() + Threads - 1) / Threads;
+      unsigned Begin = Id * Chunk;
+      unsigned End = std::min(App.pointCount(), Begin + Chunk);
+      App.assignChunk(Tx, Begin, End);
+    });
+    ASSERT_EQ(App.membershipTotal(), App.pointCount());
+    App.finishIteration();
+  }
+}
+
+TYPED_TEST(StampTest, KMeansHighContentionConverges) {
+  KMeansConfig Cfg;
+  Cfg.Points = 512;
+  Cfg.Clusters = 4;
+  KMeans<TypeParam> App(Cfg);
+  runKMeans(App, 4);
+  EXPECT_TRUE(App.centersNearTruth());
+}
+
+TYPED_TEST(StampTest, KMeansLowContentionConverges) {
+  KMeansConfig Cfg;
+  Cfg.Points = 512;
+  Cfg.Clusters = 16;
+  KMeans<TypeParam> App(Cfg);
+  runKMeans(App, 4);
+  EXPECT_TRUE(App.centersNearTruth());
+}
+
+//===----------------------------------------------------------------------===//
+// ssca2
+//===----------------------------------------------------------------------===//
+
+TYPED_TEST(StampTest, Ssca2DegreesMatchInsertions) {
+  Ssca2Config Cfg;
+  Cfg.VerticesLog2 = 8;
+  Cfg.EdgeFactor = 4;
+  Ssca2<TypeParam> App(Cfg);
+  std::atomic<uint64_t> Inserted{0};
+  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+    Inserted.fetch_add(App.work(Tx));
+  });
+  EXPECT_EQ(Inserted.load(), App.edgeCount());
+  EXPECT_EQ(App.totalDegree(), App.edgeCount());
+  EXPECT_TRUE(App.degreesConsistent());
+}
+
+TYPED_TEST(StampTest, Ssca2EveryEdgePresent) {
+  Ssca2Config Cfg;
+  Cfg.VerticesLog2 = 6;
+  Cfg.EdgeFactor = 2;
+  Ssca2<TypeParam> App(Cfg);
+  runThreads<TypeParam>(2, [&](unsigned, auto &Tx) { App.work(Tx); });
+  const auto &Edges = App.edgeList();
+  for (std::size_t I = 0; I + 1 < Edges.size(); I += 2)
+    ASSERT_TRUE(App.hasEdge(Edges[I], Edges[I + 1]))
+        << "missing edge " << Edges[I] << "->" << Edges[I + 1];
+}
+
+//===----------------------------------------------------------------------===//
+// vacation
+//===----------------------------------------------------------------------===//
+
+TYPED_TEST(StampTest, VacationHighPreservesCapacity) {
+  VacationConfig Cfg = vacationHigh();
+  Cfg.Relations = 64;
+  Vacation<TypeParam> App(Cfg);
+  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+    repro::Xorshift Rng(Id * 31 + 5);
+    for (int I = 0; I < 400; ++I)
+      App.clientOp(Tx, Rng);
+  });
+  EXPECT_TRUE(App.verify());
+}
+
+TYPED_TEST(StampTest, VacationLowPreservesCapacity) {
+  VacationConfig Cfg = vacationLow();
+  Cfg.Relations = 64;
+  Vacation<TypeParam> App(Cfg);
+  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+    repro::Xorshift Rng(Id * 17 + 3);
+    for (int I = 0; I < 400; ++I)
+      App.clientOp(Tx, Rng);
+  });
+  EXPECT_TRUE(App.verify());
+}
+
+TYPED_TEST(StampTest, VacationReservationsActuallyHappen) {
+  VacationConfig Cfg = vacationLow();
+  Cfg.Relations = 32;
+  Vacation<TypeParam> App(Cfg);
+  std::atomic<uint64_t> Changes{0};
+  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+    repro::Xorshift Rng(Id + 1);
+    uint64_t Mine = 0;
+    for (int I = 0; I < 200; ++I)
+      Mine += App.opMakeReservation(Tx, Rng);
+    Changes.fetch_add(Mine);
+  });
+  EXPECT_GT(Changes.load(), 0u);
+  EXPECT_TRUE(App.verify());
+}
+
+//===----------------------------------------------------------------------===//
+// yada
+//===----------------------------------------------------------------------===//
+
+TYPED_TEST(StampTest, YadaRefinesToAllGoodSingleThread) {
+  YadaConfig Cfg;
+  Cfg.GridCells = 6;
+  Yada<TypeParam> App(Cfg);
+  EXPECT_EQ(App.liveArea2(), App.domainArea2());
+  uint64_t Splits = 0;
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    Splits = App.work(Tx);
+  });
+  EXPECT_GT(Splits, 0u);
+  EXPECT_TRUE(App.allGood());
+  EXPECT_TRUE(App.conforming());
+  EXPECT_EQ(App.liveArea2(), App.domainArea2());
+}
+
+TYPED_TEST(StampTest, YadaConcurrentRefinementKeepsMeshExact) {
+  YadaConfig Cfg;
+  Cfg.GridCells = 8;
+  Yada<TypeParam> App(Cfg);
+  std::atomic<uint64_t> Splits{0};
+  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+    Splits.fetch_add(App.work(Tx));
+  });
+  EXPECT_GT(Splits.load(), 0u);
+  EXPECT_TRUE(App.allGood());
+  EXPECT_TRUE(App.conforming());
+  EXPECT_EQ(App.liveArea2(), App.domainArea2());
+}
+
+//===----------------------------------------------------------------------===//
+// bayes
+//===----------------------------------------------------------------------===//
+
+TYPED_TEST(StampTest, BayesImprovesScoreAndStaysAcyclic) {
+  BayesConfig Cfg;
+  Cfg.Vars = 10;
+  Cfg.Records = 512;
+  Cfg.ProposalsPerThread = 150;
+  Bayes<TypeParam> App(Cfg);
+  double Empty = App.emptyScore();
+  std::atomic<uint64_t> Accepted{0};
+  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+    Accepted.fetch_add(App.work(Tx, Id + 1));
+  });
+  EXPECT_GT(Accepted.load(), 0u);
+  EXPECT_GT(App.totalScore(), Empty);
+  EXPECT_TRUE(App.acyclic());
+  EXPECT_TRUE(App.parentCapRespected());
+  EXPECT_TRUE(App.masksConsistent());
+}
+
+TYPED_TEST(StampTest, BayesEdgeCountBounded) {
+  BayesConfig Cfg;
+  Cfg.Vars = 8;
+  Cfg.Records = 256;
+  Cfg.ProposalsPerThread = 100;
+  Bayes<TypeParam> App(Cfg);
+  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+    App.work(Tx, Id + 9);
+  });
+  EXPECT_LE(App.edgeCount(), uint64_t(Cfg.Vars) * Cfg.MaxParents);
+  EXPECT_TRUE(App.acyclic());
+}
+
+} // namespace

@@ -1,0 +1,320 @@
+//===- tests/StmUnitTest.cpp - STM substrate unit tests --------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Unit tests for the shared STM substrate: the lock-table mapping of
+// Figure 1, global clocks, pointer-stable logs, the lazy-write-set map,
+// transactional memory management and the word/field helpers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Clock.h"
+#include "stm/LockTable.h"
+#include "stm/RetiredPool.h"
+#include "stm/StableLog.h"
+#include "stm/TxMemory.h"
+#include "stm/Word.h"
+#include "stm/WriteMap.h"
+#include "stm/swisstm/SwissTm.h"
+#include "stm/tinystm/TinyStm.h"
+#include "stm/tl2/Tl2.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace stm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Word helpers
+//===----------------------------------------------------------------------===//
+
+TEST(WordTest, AlignmentHelpers) {
+  alignas(8) unsigned char Buf[16] = {};
+  EXPECT_TRUE(isWordAligned(Buf));
+  EXPECT_FALSE(isWordAligned(Buf + 1));
+  EXPECT_EQ(alignToWord(Buf + 3), reinterpret_cast<Word *>(Buf));
+  EXPECT_EQ(alignToWord(Buf + 8), reinterpret_cast<Word *>(Buf + 8));
+}
+
+TEST(WordTest, ToFromWordRoundTrip) {
+  EXPECT_EQ(fromWord<double>(toWord(2.5)), 2.5);
+  EXPECT_EQ(fromWord<int32_t>(toWord(int32_t{-7})), -7);
+  EXPECT_EQ(fromWord<uint8_t>(toWord(uint8_t{255})), 255);
+  float F = 1.25f;
+  EXPECT_EQ(fromWord<float>(toWord(F)), F);
+}
+
+//===----------------------------------------------------------------------===//
+// Lock table (Figure 1)
+//===----------------------------------------------------------------------===//
+
+struct DummyEntry {
+  std::uint64_t Tag = 0;
+};
+
+class LockTableGranularity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LockTableGranularity, StripeNeighborsShareEntry) {
+  unsigned Gran = GetParam();
+  LockTable<DummyEntry> Table;
+  Table.init(/*SizeLog2=*/10, Gran);
+  alignas(4096) static unsigned char Arena[8192];
+  uint64_t Stripe = uint64_t(1) << Gran;
+  // All bytes inside one stripe map to the same entry...
+  for (uint64_t Base = 0; Base + Stripe <= sizeof(Arena); Base += Stripe) {
+    uint64_t First = Table.indexFor(Arena + Base);
+    for (uint64_t Off = 1; Off < Stripe; ++Off)
+      ASSERT_EQ(Table.indexFor(Arena + Base + Off), First);
+  }
+  // ...and adjacent stripes map to different entries (no collision for
+  // adjacent addresses while the table is big enough).
+  for (uint64_t Base = 0; Base + 2 * Stripe <= sizeof(Arena); Base += Stripe)
+    ASSERT_NE(Table.indexFor(Arena + Base),
+              Table.indexFor(Arena + Base + Stripe));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGranularities, LockTableGranularity,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(LockTableTest, IndexStaysInRange) {
+  LockTable<DummyEntry> Table;
+  Table.init(6, 4);
+  repro::Xorshift Rng(3);
+  for (int I = 0; I < 10000; ++I) {
+    auto Addr = reinterpret_cast<const void *>(Rng.next());
+    EXPECT_LT(Table.indexFor(Addr), Table.size());
+  }
+}
+
+TEST(LockTableTest, SizeAndStripeBytes) {
+  LockTable<DummyEntry> Table;
+  Table.init(8, 5);
+  EXPECT_EQ(Table.size(), 256u);
+  EXPECT_EQ(Table.stripeBytes(), 32u);
+  EXPECT_TRUE(Table.isInitialized());
+  Table.destroy();
+  EXPECT_FALSE(Table.isInitialized());
+}
+
+//===----------------------------------------------------------------------===//
+// Clocks
+//===----------------------------------------------------------------------===//
+
+TEST(ClockTest, IncrementAndGetIsSequential) {
+  GlobalClock Clock;
+  EXPECT_EQ(Clock.load(), 0u);
+  EXPECT_EQ(Clock.incrementAndGet(), 1u);
+  EXPECT_EQ(Clock.incrementAndGet(), 2u);
+  EXPECT_EQ(Clock.load(), 2u);
+  Clock.reset();
+  EXPECT_EQ(Clock.load(), 0u);
+}
+
+TEST(ClockTest, ConcurrentIncrementsAreUnique) {
+  GlobalClock Clock;
+  constexpr unsigned Threads = 8, PerThread = 2000;
+  std::vector<std::vector<uint64_t>> Seen(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([&, I] {
+      for (unsigned K = 0; K < PerThread; ++K)
+        Seen[I].push_back(Clock.incrementAndGet());
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::set<uint64_t> All;
+  for (auto &V : Seen)
+    All.insert(V.begin(), V.end());
+  EXPECT_EQ(All.size(), Threads * PerThread);
+  EXPECT_EQ(*All.rbegin(), Threads * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// StableLog
+//===----------------------------------------------------------------------===//
+
+TEST(StableLogTest, AddressesStableAcrossGrowth) {
+  StableLog<int, 4> Log; // tiny chunks force many allocations
+  std::vector<int *> Ptrs;
+  for (int I = 0; I < 100; ++I)
+    Ptrs.push_back(Log.push(I));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(*Ptrs[I], I) << "entry moved during growth";
+  EXPECT_EQ(Log.size(), 100u);
+}
+
+TEST(StableLogTest, ClearKeepsCapacityAndResets) {
+  StableLog<int, 8> Log;
+  for (int I = 0; I < 20; ++I)
+    Log.push(I);
+  Log.clear();
+  EXPECT_TRUE(Log.empty());
+  int *P = Log.push(42);
+  EXPECT_EQ(*P, 42);
+  EXPECT_EQ(Log.size(), 1u);
+}
+
+TEST(StableLogTest, PopBackWithdrawsLastEntry) {
+  StableLog<int, 8> Log;
+  Log.push(1);
+  Log.push(2);
+  Log.popBack();
+  EXPECT_EQ(Log.size(), 1u);
+  EXPECT_EQ(Log[0], 1);
+}
+
+TEST(StableLogTest, ForEachVisitsInsertionOrder) {
+  StableLog<int, 4> Log;
+  for (int I = 0; I < 10; ++I)
+    Log.push(I);
+  int Expect = 0;
+  Log.forEach([&](int V) { EXPECT_EQ(V, Expect++); });
+  EXPECT_EQ(Expect, 10);
+  Log.forEachReverse([&](int V) { EXPECT_EQ(V, --Expect); });
+}
+
+//===----------------------------------------------------------------------===//
+// WriteMap
+//===----------------------------------------------------------------------===//
+
+TEST(WriteMapTest, InsertLookupOverwrite) {
+  WriteMap Map;
+  alignas(8) Word Cells[8] = {};
+  EXPECT_EQ(Map.lookup(&Cells[0]), ~0u);
+  Map.insert(&Cells[0], 7);
+  EXPECT_EQ(Map.lookup(&Cells[0]), 7u);
+  Map.insert(&Cells[0], 9);
+  EXPECT_EQ(Map.lookup(&Cells[0]), 9u);
+  EXPECT_EQ(Map.size(), 1u);
+}
+
+TEST(WriteMapTest, ClearThenReuse) {
+  // Regression test: clear() must reset slots to the empty (null-key)
+  // state; a bad fill pattern once made every post-clear lookup spin.
+  WriteMap Map;
+  alignas(8) Word Cells[4] = {};
+  Map.insert(&Cells[0], 1);
+  Map.clear();
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.lookup(&Cells[0]), ~0u);
+  Map.insert(&Cells[1], 2); // must terminate and work after clear
+  EXPECT_EQ(Map.lookup(&Cells[1]), 2u);
+  EXPECT_EQ(Map.lookup(&Cells[0]), ~0u);
+}
+
+TEST(WriteMapTest, GrowsPastInitialCapacity) {
+  WriteMap Map;
+  std::vector<Word> Cells(4096, 0);
+  for (uint32_t I = 0; I < 4096; ++I)
+    Map.insert(&Cells[I], I);
+  EXPECT_EQ(Map.size(), 4096u);
+  for (uint32_t I = 0; I < 4096; ++I)
+    ASSERT_EQ(Map.lookup(&Cells[I]), I);
+}
+
+TEST(WriteMapTest, BloomNegativeFastPath) {
+  WriteMap Map;
+  alignas(8) Word A = 0;
+  EXPECT_FALSE(Map.mayContain(&A));
+  Map.insert(&A, 1);
+  EXPECT_TRUE(Map.mayContain(&A));
+}
+
+//===----------------------------------------------------------------------===//
+// TxMemory + RetiredPool (quiescence-based reclamation)
+//===----------------------------------------------------------------------===//
+
+TEST(TxMemoryTest, AbortFreesAllocations) {
+  TxMemory Mem;
+  void *P = Mem.txMalloc(64);
+  EXPECT_NE(P, nullptr);
+  Mem.onAbort(); // must free P (checked under ASan); no crash here
+}
+
+TEST(TxMemoryTest, CommitRetiresFreesAndHonorsHorizon) {
+  unsigned Slot = repro::ThreadRegistry::acquireSlot();
+  TxMemory Mem;
+  void *P = std::malloc(32);
+  Mem.txFree(P);
+  // A transaction "older" than the retirement blocks reclamation.
+  repro::ThreadRegistry::publishStart(Slot, 5);
+  Mem.onCommit(/*CommitTs=*/10);
+  EXPECT_EQ(Mem.retiredCount(), 1u);
+  EXPECT_EQ(Mem.collect(), 0u) << "active tx at ts 5 blocks block@10";
+  // Once the old transaction finishes and a newer one starts, the
+  // horizon passes the retirement timestamp.
+  repro::ThreadRegistry::publishStart(Slot, 11);
+  EXPECT_EQ(Mem.collect(), 1u);
+  EXPECT_EQ(Mem.retiredCount(), 0u);
+  repro::ThreadRegistry::publishIdle(Slot);
+  repro::ThreadRegistry::releaseSlot(Slot);
+}
+
+TEST(TxMemoryTest, AbortForgetsDeferredFrees) {
+  TxMemory Mem;
+  void *P = std::malloc(16);
+  Mem.txFree(P);
+  Mem.onAbort();
+  EXPECT_EQ(Mem.retiredCount(), 0u) << "aborted tx must not free";
+  std::free(P); // still ours
+}
+
+TEST(RetiredPoolTest, CollectRespectsHorizon) {
+  unsigned Slot = repro::ThreadRegistry::acquireSlot();
+  RetiredPool &Pool = RetiredPool::instance();
+  Pool.releaseAll();
+  Pool.add(std::malloc(8), /*RetireTs=*/100);
+  repro::ThreadRegistry::publishStart(Slot, 50);
+  EXPECT_EQ(Pool.collect(), 0u);
+  EXPECT_EQ(Pool.size(), 1u);
+  repro::ThreadRegistry::publishStart(Slot, 200);
+  EXPECT_EQ(Pool.collect(), 1u);
+  EXPECT_EQ(Pool.size(), 0u);
+  repro::ThreadRegistry::publishIdle(Slot);
+  repro::ThreadRegistry::releaseSlot(Slot);
+}
+
+//===----------------------------------------------------------------------===//
+// Lock-word encodings
+//===----------------------------------------------------------------------===//
+
+TEST(SwissLockTest, RLockEncoding) {
+  using namespace stm::swiss;
+  EXPECT_FALSE(rlockIsLocked(rlockMake(0)));
+  EXPECT_FALSE(rlockIsLocked(rlockMake(123456)));
+  EXPECT_TRUE(rlockIsLocked(RLockLocked));
+  EXPECT_EQ(rlockVersion(rlockMake(987)), 987u);
+}
+
+TEST(Tl2LockTest, VersionedLockEncoding) {
+  using namespace stm::tl2;
+  EXPECT_FALSE(vlockIsLocked(vlockMake(0)));
+  EXPECT_FALSE(vlockIsLocked(vlockMake(42)));
+  EXPECT_EQ(vlockVersion(vlockMake(42)), 42u);
+  alignas(8) int Dummy;
+  Word Locked = reinterpret_cast<Word>(&Dummy) | 1;
+  EXPECT_TRUE(vlockIsLocked(Locked));
+}
+
+TEST(TinyLockTest, EntryPointerRoundTrip) {
+  using namespace stm::tiny;
+  alignas(8) StripeWrite Entry;
+  Word Locked = reinterpret_cast<Word>(&Entry) | 1;
+  EXPECT_TRUE(vlockIsLocked(Locked));
+  EXPECT_EQ(vlockEntry(Locked), &Entry);
+}
+
+TEST(ConfigTest, CmKindNamesStable) {
+  EXPECT_STREQ(cmKindName(CmKind::TwoPhase), "two-phase");
+  EXPECT_STREQ(cmKindName(CmKind::Timid), "timid");
+  EXPECT_STREQ(cmKindName(CmKind::Greedy), "greedy");
+  EXPECT_STREQ(cmKindName(CmKind::Serializer), "serializer");
+  EXPECT_STREQ(cmKindName(CmKind::Polka), "polka");
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+//===- tests/SupportTest.cpp - support-library unit tests ------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Backoff.h"
+#include "support/Padded.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/ThreadRegistry.h"
+#include "support/Timing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace repro;
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xorshift A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Xorshift A(1), B(2);
+  unsigned Same = 0;
+  for (int I = 0; I < 1000; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5u);
+}
+
+TEST(RandomTest, BoundedStaysInBounds) {
+  Xorshift Rng(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(Rng.nextBounded(17), 17u);
+}
+
+TEST(RandomTest, RangeInclusive) {
+  Xorshift Rng(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t V = Rng.nextRange(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, PercentZeroAndHundred) {
+  Xorshift Rng(11);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Rng.nextPercent(0));
+    EXPECT_TRUE(Rng.nextPercent(100));
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Xorshift Rng(13);
+  for (int I = 0; I < 10000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, RoughlyUniformPercent) {
+  Xorshift Rng(17);
+  unsigned Hits = 0;
+  const unsigned N = 100000;
+  for (unsigned I = 0; I < N; ++I)
+    Hits += Rng.nextPercent(30);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.30, 0.02);
+}
+
+TEST(PaddedTest, OneCacheLineEach) {
+  Padded<uint64_t> Arr[4];
+  auto Base = reinterpret_cast<uintptr_t>(&Arr[0]);
+  auto Next = reinterpret_cast<uintptr_t>(&Arr[1]);
+  EXPECT_EQ(Next - Base, CacheLineSize);
+}
+
+TEST(StatsTest, AccumulateAndRatio) {
+  TxStats A, B;
+  A.Commits = 10;
+  A.Aborts = 5;
+  B.Commits = 20;
+  B.Aborts = 5;
+  A += B;
+  EXPECT_EQ(A.Commits, 30u);
+  EXPECT_EQ(A.Aborts, 10u);
+  EXPECT_DOUBLE_EQ(A.abortRatio(), 0.25);
+}
+
+TEST(StatsTest, EmptyRatioIsZero) {
+  TxStats S;
+  EXPECT_DOUBLE_EQ(S.abortRatio(), 0.0);
+}
+
+TEST(TimingTest, StopwatchMonotone) {
+  Stopwatch W;
+  spinFor(1000);
+  uint64_t T1 = W.elapsedNanos();
+  spinFor(1000);
+  uint64_t T2 = W.elapsedNanos();
+  EXPECT_GE(T2, T1);
+  W.reset();
+  EXPECT_LE(W.elapsedNanos(), T2);
+}
+
+TEST(BackoffTest, ZeroAbortsNoWait) {
+  Xorshift Rng(1);
+  randomLinearBackoff(Rng, 0); // must not hang or crash
+}
+
+TEST(BackoffTest, ExponentialCapRespected) {
+  Xorshift Rng(2);
+  // Attempts far above the cap must still terminate quickly.
+  randomExponentialBackoff(Rng, 1000, /*Unit=*/1, /*Cap=*/4);
+}
+
+TEST(ThreadRegistryTest, SlotsAreDense) {
+  unsigned A = ThreadRegistry::acquireSlot();
+  unsigned B = ThreadRegistry::acquireSlot();
+  EXPECT_NE(A, B);
+  ThreadRegistry::releaseSlot(B);
+  unsigned C = ThreadRegistry::acquireSlot();
+  EXPECT_EQ(B, C); // lowest free slot is reused
+  ThreadRegistry::releaseSlot(C);
+  ThreadRegistry::releaseSlot(A);
+}
+
+TEST(ThreadRegistryTest, MinActiveStartTracksOldest) {
+  unsigned A = ThreadRegistry::acquireSlot();
+  unsigned B = ThreadRegistry::acquireSlot();
+  EXPECT_EQ(ThreadRegistry::minActiveStart(), IdleTimestamp);
+  ThreadRegistry::publishStart(A, 100);
+  ThreadRegistry::publishStart(B, 50);
+  EXPECT_EQ(ThreadRegistry::minActiveStart(), 50u);
+  ThreadRegistry::publishIdle(B);
+  EXPECT_EQ(ThreadRegistry::minActiveStart(), 100u);
+  ThreadRegistry::publishIdle(A);
+  EXPECT_EQ(ThreadRegistry::minActiveStart(), IdleTimestamp);
+  ThreadRegistry::releaseSlot(A);
+  ThreadRegistry::releaseSlot(B);
+}
+
+TEST(ThreadRegistryTest, ConcurrentAcquireUnique) {
+  constexpr unsigned N = 16;
+  std::vector<std::thread> Threads;
+  std::vector<unsigned> Slots(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] { Slots[I] = ThreadRegistry::acquireSlot(); });
+  for (auto &T : Threads)
+    T.join();
+  std::set<unsigned> Unique(Slots.begin(), Slots.end());
+  EXPECT_EQ(Unique.size(), N);
+  for (unsigned S : Slots)
+    ThreadRegistry::releaseSlot(S);
+}

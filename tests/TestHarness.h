@@ -1,0 +1,40 @@
+//===- tests/TestHarness.h - shared helpers for STM tests ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TESTS_TESTHARNESS_H
+#define TESTS_TESTHARNESS_H
+
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace repro_test {
+
+/// Spawns \p NumThreads workers, each attached to \p STM via a
+/// ThreadScope, runs \p Work(threadIndex, descriptor) and joins.
+template <typename STM, typename Fn>
+void runThreads(unsigned NumThreads, Fn &&Work) {
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&Work, I] {
+      stm::ThreadScope<STM> Scope;
+      Work(I, Scope.tx());
+    });
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+/// The STM types every behavioural test suite is instantiated over.
+using AllStms =
+    ::testing::Types<stm::SwissTm, stm::Tl2, stm::TinyStm, stm::Rstm>;
+
+} // namespace repro_test
+
+#endif // TESTS_TESTHARNESS_H
