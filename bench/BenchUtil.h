@@ -20,6 +20,10 @@
 // Environment knobs:
 //   REPRO_MAX_THREADS  thread sweep upper bound (default 8)
 //   REPRO_BENCH_MS     duration per throughput point in ms (default 150)
+//   STM_BENCH_SMOKE    when 1, clamp every sweep to 2 threads and a few
+//                      ms per throughput point, so each binary finishes
+//                      in about a second. CI runs every bench once in
+//                      this mode to catch bench bitrot.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,7 +35,9 @@
 #include "support/Stats.h"
 #include "support/Timing.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -42,13 +48,23 @@
 
 namespace bench {
 
+/// True when STM_BENCH_SMOKE=1: quick mode for CI bitrot checks.
+inline bool smokeMode() {
+  const char *Env = std::getenv("STM_BENCH_SMOKE");
+  return Env != nullptr && Env[0] == '1';
+}
+
 inline unsigned maxThreads() {
+  if (smokeMode())
+    return 2;
   if (const char *Env = std::getenv("REPRO_MAX_THREADS"))
     return std::max(1, std::atoi(Env));
   return 8;
 }
 
 inline uint64_t benchMillis() {
+  if (smokeMode())
+    return 5;
   if (const char *Env = std::getenv("REPRO_BENCH_MS"))
     return std::max(1, std::atoi(Env));
   return 150;

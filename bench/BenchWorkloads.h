@@ -16,6 +16,12 @@
 #include "workloads/stamp/Stamp.h"
 #include "workloads/stmbench7/Bench7.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace bench {
 
 //===----------------------------------------------------------------------===//

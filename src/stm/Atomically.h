@@ -20,6 +20,8 @@
 #include "stm/Word.h"
 
 #include <csetjmp>
+#include <cstddef>
+#include <cstring>
 #include <type_traits>
 #include <utility>
 

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <csetjmp>
+#include <cstddef>
 #include <cstdint>
 
 namespace stm {

@@ -41,6 +41,7 @@
 #include "support/Platform.h"
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 namespace stm::rstm {

@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 namespace stm::swiss {

@@ -161,9 +161,16 @@ bool TinyTx::validate() {
     Word Cur = R.Lock->L.load(std::memory_order_acquire);
     if (Cur == R.Seen)
       continue;
-    if (vlockIsLocked(Cur) &&
-        vlockEntry(Cur)->Owner.load(std::memory_order_relaxed) == this)
-      continue; // stripe we read and then acquired ourselves
+    if (vlockIsLocked(Cur)) {
+      // Stripe we read and then acquired ourselves: valid only if no
+      // other transaction committed into it between our read and our
+      // acquisition, i.e. the version observed when the lock was taken
+      // is still the version we read.
+      StripeWrite *Entry = vlockEntry(Cur);
+      if (Entry->Owner.load(std::memory_order_relaxed) == this &&
+          Entry->OldValue == R.Seen)
+        continue;
+    }
     return false;
   }
   return true;

@@ -28,6 +28,7 @@
 #include "stm/TxBase.h"
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 namespace stm::tiny {

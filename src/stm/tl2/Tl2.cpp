@@ -105,8 +105,21 @@ bool Tl2Tx::validateReadSet() {
   Word Self = reinterpret_cast<Word>(this) | 1;
   for (VLock *Lock : ReadLog) {
     Word V = Lock->L.load(std::memory_order_acquire);
-    if (V == Self)
-      continue; // stripe we both read and locked for writing
+    if (V == Self) {
+      // Stripe we both read and locked for writing: the lock word now
+      // carries our descriptor, so validate against the version
+      // observed when the lock was acquired. A commit that interleaved
+      // between our read and our acquisition bumped it past
+      // ReadVersion and must fail validation.
+      for (const Acquired &A : AcquiredLocks) {
+        if (A.Lock == Lock) {
+          if (vlockVersion(A.OldValue) > ReadVersion)
+            return false;
+          break;
+        }
+      }
+      continue;
+    }
     if (vlockIsLocked(V) || vlockVersion(V) > ReadVersion)
       return false;
   }

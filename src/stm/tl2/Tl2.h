@@ -27,6 +27,7 @@
 #include "stm/WriteMap.h"
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 namespace stm::tl2 {

@@ -15,6 +15,7 @@
 
 #include "workloads/containers/TxList.h"
 
+#include <cstdint>
 #include <memory>
 
 namespace workloads {

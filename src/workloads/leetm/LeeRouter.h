@@ -27,6 +27,7 @@
 #include "support/Random.h"
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

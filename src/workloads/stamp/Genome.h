@@ -26,6 +26,7 @@
 #include "workloads/containers/TxHashMap.h"
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

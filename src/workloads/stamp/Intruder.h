@@ -25,6 +25,7 @@
 #include "workloads/containers/TxQueue.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>

@@ -21,7 +21,9 @@
 #include "stm/Stm.h"
 #include "support/Random.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

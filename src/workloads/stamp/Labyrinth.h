@@ -16,6 +16,9 @@
 #include "support/Random.h"
 #include "workloads/leetm/LeeRouter.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace workloads::stamp {
 
 struct LabyrinthConfig {

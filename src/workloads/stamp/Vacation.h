@@ -29,6 +29,8 @@
 #include "support/Random.h"
 #include "workloads/rbtree/RbTree.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

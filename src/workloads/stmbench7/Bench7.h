@@ -31,6 +31,7 @@
 #include "workloads/containers/TxHashMap.h"
 
 #include <cassert>
+#include <cstdint>
 #include <cstdlib>
 #include <vector>
 

@@ -141,8 +141,9 @@ TYPED_TEST(ContainersTest, HashMapMatchesStdMap) {
         });
         auto It = Model.find(Key);
         ASSERT_EQ(Got, It != Model.end());
-        if (Got)
+        if (Got) {
           ASSERT_EQ(Val, It->second);
+        }
       }
     }
   });

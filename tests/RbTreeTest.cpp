@@ -106,8 +106,9 @@ TYPED_TEST(RbTreeTest, RandomOpsMatchStdSet) {
         break;
       }
       }
-      if (I % 512 == 0)
+      if (I % 512 == 0) {
         ASSERT_TRUE(Tree.verify()) << "invariant broken at op " << I;
+      }
     }
   });
   EXPECT_EQ(Tree.size(), Model.size());
