@@ -172,7 +172,7 @@ RunResult runThroughput(const stm::StmConfig &Config, unsigned Threads,
       Workers.emplace_back([&, I] {
         stm::ThreadScope<STM> Scope;
         auto &Tx = Scope.tx();
-        repro::Xorshift Rng(I * 7727 + 13);
+        repro::Xorshift Rng(repro::testSeed(I * 7727 + 13));
         unsigned GoSpin = 0;
         while (!Go.load(std::memory_order_acquire))
           repro::spinWait(GoSpin);

@@ -238,7 +238,7 @@ RunResult stampVacation(const stm::StmConfig &Config, unsigned Threads,
   return runTimed<STM>(
       Config, Threads, [&] { return std::make_unique<App>(Cfg); },
       [OpsPerThread](App &A, typename STM::Tx &Tx, unsigned Tid) {
-        repro::Xorshift Rng(Tid * 97 + 11);
+        repro::Xorshift Rng(repro::testSeed(Tid * 97 + 11));
         for (unsigned I = 0; I < OpsPerThread; ++I)
           A.clientOp(Tx, Rng);
       });

@@ -1,0 +1,128 @@
+//===- stm/EpochManager.cpp - epoch-based descriptor reclamation ----------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/EpochManager.h"
+
+#include "support/ThreadRegistry.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+using namespace stm;
+
+std::atomic<uint64_t> EpochManager::GlobalEpoch{1};
+repro::Padded<std::atomic<uint64_t>> EpochManager::Epochs[repro::MaxThreads];
+
+namespace {
+
+/// Limbo length at which retire() triggers a collection, bounding the
+/// list under sustained thread churn.
+constexpr std::size_t CollectThreshold = 32;
+
+struct LimboEntry {
+  void *Ptr;
+  EpochManager::Deleter Del;
+  uint64_t RetireEpoch;
+};
+
+/// The limbo list proper. Meyers singleton so entries still parked at
+/// process exit are destroyed during static teardown (no transaction can
+/// be in flight by then) instead of leaking.
+struct LimboList {
+  std::mutex Lock;
+  std::deque<LimboEntry> Entries;
+  /// Size at which the next retire() triggers a collection. Doubled by a
+  /// collection that frees nothing, so a pinned long-running transaction
+  /// does not turn every thread exit into a futile O(limbo) scan.
+  std::size_t CollectTrigger = CollectThreshold;
+
+  ~LimboList() {
+    for (const LimboEntry &E : Entries)
+      E.Del(E.Ptr);
+  }
+};
+
+LimboList &limbo() {
+  static LimboList List;
+  return List;
+}
+
+} // namespace
+
+uint64_t EpochManager::minPinnedEpoch() {
+  // Pairs with the fence in pin(): any pin this scan misses was
+  // published after the scan, and that transaction's loads then see
+  // every unlink that preceded this point.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  uint64_t Min = ~0ull;
+  uint64_t Mask = repro::ThreadRegistry::activeMask();
+  while (Mask != 0) {
+    unsigned Slot = static_cast<unsigned>(__builtin_ctzll(Mask));
+    Mask &= Mask - 1;
+    uint64_t E = Epochs[Slot].value().load(std::memory_order_acquire);
+    if (E != Quiescent && E < Min)
+      Min = E;
+  }
+  return Min;
+}
+
+void EpochManager::retire(void *Ptr, Deleter Del) {
+  // Advance the epoch first: every later pin publishes a strictly larger
+  // value, so this entry's grace period completes as soon as the
+  // transactions currently pinned have finished.
+  uint64_t Epoch = GlobalEpoch.fetch_add(1, std::memory_order_seq_cst);
+  bool Overflowing;
+  {
+    std::lock_guard<std::mutex> Guard(limbo().Lock);
+    limbo().Entries.push_back(LimboEntry{Ptr, Del, Epoch});
+    Overflowing = limbo().Entries.size() >= limbo().CollectTrigger;
+  }
+  if (Overflowing)
+    collect();
+}
+
+std::size_t EpochManager::collect() {
+  std::vector<LimboEntry> Free;
+  {
+    std::lock_guard<std::mutex> Guard(limbo().Lock);
+    uint64_t Horizon = minPinnedEpoch();
+    std::deque<LimboEntry> Keep;
+    for (const LimboEntry &E : limbo().Entries) {
+      if (E.RetireEpoch < Horizon)
+        Free.push_back(E);
+      else
+        Keep.push_back(E);
+    }
+    limbo().Entries.swap(Keep);
+    limbo().CollectTrigger =
+        Free.empty() ? std::max(CollectThreshold, limbo().Entries.size() * 2)
+                     : CollectThreshold;
+  }
+  // Deleters run outside the lock: a descriptor destructor may be
+  // arbitrary user-ish code and must not re-enter the limbo mutex.
+  for (const LimboEntry &E : Free)
+    E.Del(E.Ptr);
+  return Free.size();
+}
+
+std::size_t EpochManager::releaseAll() {
+  std::deque<LimboEntry> All;
+  {
+    std::lock_guard<std::mutex> Guard(limbo().Lock);
+    All.swap(limbo().Entries);
+    limbo().CollectTrigger = CollectThreshold;
+  }
+  for (const LimboEntry &E : All)
+    E.Del(E.Ptr);
+  return All.size();
+}
+
+std::size_t EpochManager::limboSize() {
+  std::lock_guard<std::mutex> Guard(limbo().Lock);
+  return limbo().Entries.size();
+}

@@ -7,6 +7,12 @@
 // mid-transaction). Those blocks are handed to this global pool and
 // released once safe, or at the latest at STM global shutdown.
 //
+// Division of labour with stm/EpochManager.h: this pool reclaims
+// transactionally freed *data* blocks by commit-timestamp quiescence
+// (ThreadRegistry::minActiveStart), while the EpochManager reclaims
+// exited threads' *descriptors* (and their write logs) by epoch grace
+// periods.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_RETIREDPOOL_H

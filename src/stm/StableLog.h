@@ -8,6 +8,13 @@
 // chunks: growth never relocates existing entries, and clear() retains
 // the chunks so steady-state transactions allocate nothing.
 //
+// Lifetime: a concurrent transaction that observed a stripe lock word
+// may dereference an entry (its atomic Owner field) even after the
+// owning transaction released the lock. The chunks are therefore only
+// freed with the owning descriptor, whose destruction ThreadScope
+// defers through stm/EpochManager.h until every transaction that could
+// hold such a pointer has quiesced.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_STABLELOG_H

@@ -7,31 +7,44 @@
 #ifndef STM_THREADSCOPE_H
 #define STM_THREADSCOPE_H
 
+#include "stm/EpochManager.h"
 #include "support/ThreadRegistry.h"
 
 namespace stm {
 
 /// RAII attachment of the current thread to an STM: claims a registry
-/// slot, constructs the descriptor, and on destruction drains retired
-/// memory and returns the slot. Create exactly one per worker thread.
+/// slot and constructs the descriptor. Create exactly one per worker
+/// thread.
+///
+/// The descriptor is heap-allocated and NOT destroyed when the scope
+/// dies: a concurrent transaction that observed a stripe lock word may
+/// still dereference the descriptor's write-log entries (or, for RSTM,
+/// the descriptor itself) after this thread has exited. Destruction
+/// therefore runs threadShutdown() — which unlinks the descriptor from
+/// all globally visible state and drains its retired memory — and then
+/// parks the descriptor on the EpochManager's limbo list, where it is
+/// destroyed only after every transaction that could have observed it
+/// has finished (grace period).
 template <typename STM> class ThreadScope {
 public:
   ThreadScope()
-      : Slot(repro::ThreadRegistry::acquireSlot()), Descriptor(Slot) {}
+      : Slot(repro::ThreadRegistry::acquireSlot()),
+        Descriptor(new typename STM::Tx(Slot)) {}
 
   ~ThreadScope() {
-    Descriptor.threadShutdown();
+    Descriptor->threadShutdown();
+    EpochManager::retireObject(Descriptor);
     repro::ThreadRegistry::releaseSlot(Slot);
   }
 
   ThreadScope(const ThreadScope &) = delete;
   ThreadScope &operator=(const ThreadScope &) = delete;
 
-  typename STM::Tx &tx() { return Descriptor; }
+  typename STM::Tx &tx() { return *Descriptor; }
 
 private:
   unsigned Slot;
-  typename STM::Tx Descriptor;
+  typename STM::Tx *Descriptor;
 };
 
 } // namespace stm

@@ -12,6 +12,7 @@
 #ifndef STM_TXBASE_H
 #define STM_TXBASE_H
 
+#include "stm/EpochManager.h"
 #include "stm/RetiredPool.h"
 #include "stm/TxMemory.h"
 #include "stm/Word.h"
@@ -61,9 +62,20 @@ public:
     return KillFlag.load(std::memory_order_relaxed);
   }
 
+  /// Thread-exit hook, called by ThreadScope before the descriptor is
+  /// retired to the EpochManager: drains unreclaimed retired blocks into
+  /// the global pool so other threads' in-flight transactions stay safe.
+  /// A backend that publishes extra global pointers to its descriptor
+  /// (RSTM's slot table) shadows this to unlink them first.
+  void threadShutdown() { baseShutdown(); }
+
 protected:
   /// Resets per-attempt base state. Called from each STM's onStart.
+  /// Pins the reclamation epoch before the attempt reads any lock word,
+  /// so descriptors reachable through stripe locks stay alive for the
+  /// whole attempt (see EpochManager.h).
   void baseStart() {
+    EpochManager::pin(Slot);
     Depth = 1;
     KillFlag.store(false, std::memory_order_relaxed);
   }
@@ -76,6 +88,7 @@ protected:
     Depth = 0;
     Mem.onCommit(CommitTs);
     repro::ThreadRegistry::publishIdle(Slot);
+    EpochManager::unpin(Slot);
   }
 
   /// Bookkeeping shared by all abort paths (does not longjmp).
@@ -86,10 +99,10 @@ protected:
     Depth = 0;
     Mem.onAbort();
     repro::ThreadRegistry::publishIdle(Slot);
+    EpochManager::unpin(Slot);
   }
 
-  /// Thread-shutdown hook: drains unreclaimed retired blocks into the
-  /// global pool so other threads' in-flight transactions stay safe.
+  /// Shared tail of threadShutdown().
   void baseShutdown() {
     Mem.collect();
     Mem.drainTo([](void *Ptr, uint64_t Ts) {
@@ -109,6 +122,15 @@ protected:
   TxMemory Mem;
   repro::Xorshift Rng;
 };
+
+/// Shared tail of every backend's globalShutdown(): drains the
+/// process-wide reclamation pools — safe because no transaction can be
+/// in flight at global shutdown — and releases the lock table.
+template <typename TableT> void globalTeardown(TableT &Table) {
+  EpochManager::releaseAll();
+  RetiredPool::instance().releaseAll();
+  Table.destroy();
+}
 
 } // namespace stm
 

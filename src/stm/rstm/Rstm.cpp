@@ -22,17 +22,20 @@ void Rstm::globalInit(const StmConfig &Config) {
   GlobalState.GreedyTs.reset();
 }
 
-void Rstm::globalShutdown() {
-  RetiredPool::instance().releaseAll();
-  GlobalState.Table.destroy();
-}
+void Rstm::globalShutdown() { globalTeardown(GlobalState.Table); }
 
 RstmTx::RstmTx(unsigned Slot) : TxBase(Slot) {
   GlobalState.Descriptors[Slot].store(this, std::memory_order_release);
 }
 
 RstmTx::~RstmTx() {
-  GlobalState.Descriptors[Slot].store(nullptr, std::memory_order_release);
+  // Normally a no-op: ThreadScope runs threadShutdown() (which
+  // unpublishes) before retiring, and the slot may meanwhile carry a
+  // successor. The CAS keeps constructor/destructor symmetry for
+  // descriptors constructed without a ThreadScope.
+  RstmTx *Self = this;
+  GlobalState.Descriptors[Slot].compare_exchange_strong(
+      Self, nullptr, std::memory_order_acq_rel);
 }
 
 static constexpr uint64_t CmInfinity = ~0ull;

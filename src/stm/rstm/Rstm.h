@@ -87,7 +87,16 @@ public:
   void commit();
   [[noreturn]] void restart() { rollback(); }
 
-  void threadShutdown() { baseShutdown(); }
+  /// Shadows TxBase::threadShutdown: unpublishes this descriptor from
+  /// the slot table before it is retired, so no new reader can pick the
+  /// pointer up while it waits out its grace period in limbo. CAS
+  /// because a recycled slot may already publish a successor descriptor.
+  void threadShutdown() {
+    RstmTx *Self = this;
+    rstmGlobals().Descriptors[Slot].compare_exchange_strong(
+        Self, nullptr, std::memory_order_acq_rel);
+    baseShutdown();
+  }
 
   /// Polka priority: number of accesses in the current attempt.
   uint64_t polkaPriority() const {

@@ -22,10 +22,7 @@ void SwissTm::globalInit(const StmConfig &Config) {
   GlobalState.GreedyTs.reset();
 }
 
-void SwissTm::globalShutdown() {
-  RetiredPool::instance().releaseAll();
-  GlobalState.Table.destroy();
-}
+void SwissTm::globalShutdown() { globalTeardown(GlobalState.Table); }
 
 //===----------------------------------------------------------------------===//
 // Transaction lifecycle

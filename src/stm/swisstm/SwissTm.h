@@ -135,9 +135,6 @@ public:
     return CmTs.load(std::memory_order_relaxed);
   }
 
-  /// Thread-shutdown hook (drains retired memory).
-  void threadShutdown() { baseShutdown(); }
-
 private:
   friend class SwissTestPeer;
 

@@ -21,10 +21,7 @@ void TinyStm::globalInit(const StmConfig &Config) {
   GlobalState.Clock.reset();
 }
 
-void TinyStm::globalShutdown() {
-  RetiredPool::instance().releaseAll();
-  GlobalState.Table.destroy();
-}
+void TinyStm::globalShutdown() { globalTeardown(GlobalState.Table); }
 
 void TinyTx::onStart() {
   baseStart();

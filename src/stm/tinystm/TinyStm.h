@@ -105,8 +105,6 @@ public:
   void commit();
   [[noreturn]] void restart() { rollback(); }
 
-  void threadShutdown() { baseShutdown(); }
-
 private:
   [[noreturn]] void rollback();
   bool validate();

@@ -21,10 +21,7 @@ void Tl2::globalInit(const StmConfig &Config) {
   GlobalState.Clock.reset();
 }
 
-void Tl2::globalShutdown() {
-  RetiredPool::instance().releaseAll();
-  GlobalState.Table.destroy();
-}
+void Tl2::globalShutdown() { globalTeardown(GlobalState.Table); }
 
 void Tl2Tx::onStart() {
   baseStart();

@@ -62,8 +62,6 @@ public:
   void commit();
   [[noreturn]] void restart() { rollback(); }
 
-  void threadShutdown() { baseShutdown(); }
-
 private:
   struct WriteEntry {
     Word *Addr;

@@ -44,7 +44,7 @@ void ThreadRegistry::releaseSlot(unsigned Slot) {
 
 uint64_t ThreadRegistry::minActiveStart() {
   uint64_t Min = IdleTimestamp;
-  uint64_t Mask = SlotMask.load(std::memory_order_acquire);
+  uint64_t Mask = activeMask();
   while (Mask != 0) {
     unsigned Slot = static_cast<unsigned>(__builtin_ctzll(Mask));
     Mask &= Mask - 1;

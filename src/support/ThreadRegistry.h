@@ -57,6 +57,13 @@ public:
   /// retired at timestamp T is reclaimable once minActiveStart() > T.
   static uint64_t minActiveStart();
 
+  /// Bitmask of currently registered slots (bit i set = slot i in use).
+  /// Scanned by the reclaimers (stm/TxMemory.h, stm/EpochManager.h) so
+  /// they only inspect slots that can hold an in-flight transaction.
+  static uint64_t activeMask() {
+    return SlotMask.load(std::memory_order_acquire);
+  }
+
   /// Number of slots ever claimed concurrently (high-water mark).
   static unsigned highWaterMark();
 

@@ -47,7 +47,7 @@ TYPED_TEST(Bench7Test, BuildSatisfiesInvariants) {
 TYPED_TEST(Bench7Test, EveryOperationRunsAndPreservesInvariants) {
   Bench7<TypeParam> B(smallConfig());
   runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
-    repro::Xorshift Rng(5);
+    repro::Xorshift Rng(repro::testSeed(5));
     for (unsigned K = 0; K < NumOps; ++K)
       for (int Rep = 0; Rep < 5; ++Rep)
         B.runOp(Tx, Rng, static_cast<Op7>(K));
@@ -59,7 +59,7 @@ TYPED_TEST(Bench7Test, StructuralAddGrowsRingAndIndex) {
   Bench7<TypeParam> B(smallConfig());
   uint64_t Before = B.totalAtomicParts();
   runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
-    repro::Xorshift Rng(9);
+    repro::Xorshift Rng(repro::testSeed(9));
     for (int I = 0; I < 10; ++I)
       B.runOp(Tx, Rng, Op7::StructuralAdd);
   });
@@ -71,7 +71,7 @@ TYPED_TEST(Bench7Test, StructuralRemoveShrinksRingAndIndex) {
   Bench7<TypeParam> B(smallConfig());
   uint64_t Before = B.totalAtomicParts();
   runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
-    repro::Xorshift Rng(11);
+    repro::Xorshift Rng(repro::testSeed(11));
     for (int I = 0; I < 10; ++I)
       B.runOp(Tx, Rng, Op7::StructuralRemove);
   });
@@ -84,7 +84,7 @@ TYPED_TEST(Bench7Test, MixedWorkloadsConcurrent) {
   for (Workload7 W : {Workload7::ReadDominated, Workload7::ReadWrite,
                       Workload7::WriteDominated}) {
     runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
-      repro::Xorshift Rng(Id * 131 + static_cast<unsigned>(W));
+      repro::Xorshift Rng(repro::testSeed(Id * 131 + static_cast<unsigned>(W)));
       for (int I = 0; I < 150; ++I)
         B.runOperation(Tx, Rng, W);
     });
@@ -98,7 +98,7 @@ TYPED_TEST(Bench7Test, LongTraversalCountsAllParts) {
   // A long update traversal touches every base assembly; afterwards the
   // structure is still consistent and the count is stable.
   runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id + 77);
+    repro::Xorshift Rng(repro::testSeed(Id + 77));
     for (int I = 0; I < 5; ++I)
       B.runOp(Tx, Rng, Op7::LongUpdate);
   });

@@ -226,7 +226,7 @@ TEST_P(SwissCmSweep, LongWriterMakesProgressAgainstShortWriters) {
       } else {
         // Bounded, so the long transaction is guaranteed a quiet tail
         // even under the starvation-prone timid policy.
-        repro::Xorshift Rng(Id);
+        repro::Xorshift Rng(repro::testSeed(Id));
         for (int I = 0; I < 100000 && !LongDone.load(); ++I) {
           unsigned C = Rng.nextBounded(2);
           atomically(Tx, [&, C](auto &T) {
@@ -280,7 +280,7 @@ TEST_P(RstmVariantSweep, BankInvariantHolds) {
     static std::vector<Account> Bank;
     Bank.assign(32, Account{100});
     runThreads<Rstm>(4, [&](unsigned Id, auto &Tx) {
-      repro::Xorshift Rng(Id * 3 + 1);
+      repro::Xorshift Rng(repro::testSeed(Id * 3 + 1));
       for (int I = 0; I < 800; ++I) {
         unsigned From = Rng.nextBounded(32), To = Rng.nextBounded(32);
         atomically(Tx, [&](auto &T) {

@@ -59,7 +59,7 @@ TYPED_TEST(ContainersTest, ListInsertLookupRemove) {
 TYPED_TEST(ContainersTest, ListStaysSortedUnderRandomOps) {
   TxList<TypeParam> List;
   std::set<uint64_t> Model;
-  repro::Xorshift Rng(31);
+  repro::Xorshift Rng(repro::testSeed(31));
   runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
     for (int I = 0; I < 1500; ++I) {
       uint64_t Key = Rng.nextBounded(64);
@@ -117,7 +117,7 @@ TYPED_TEST(ContainersTest, ConcurrentListInsertDisjoint) {
 TYPED_TEST(ContainersTest, HashMapMatchesStdMap) {
   TxHashMap<TypeParam> Map(6);
   std::map<uint64_t, uint64_t> Model;
-  repro::Xorshift Rng(77);
+  repro::Xorshift Rng(repro::testSeed(77));
   runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
     for (int I = 0; I < 2000; ++I) {
       uint64_t Key = Rng.nextBounded(512);

@@ -32,7 +32,7 @@ template <typename STM> void bankAtGranularity(unsigned Gran) {
     static std::vector<Word> Bank;
     Bank.assign(64, 100);
     runThreads<STM>(4, [&](unsigned Id, auto &Tx) {
-      repro::Xorshift Rng(Id * 5 + 1);
+      repro::Xorshift Rng(repro::testSeed(Id * 5 + 1));
       for (int I = 0; I < 600; ++I) {
         unsigned From = Rng.nextBounded(64), To = Rng.nextBounded(64);
         atomically(Tx, [&](auto &T) {
@@ -73,7 +73,7 @@ TEST_P(GranularitySweep, RbTreeInvariantsAtCoarseStripes) {
   {
     workloads::RbTree<SwissTm> Tree;
     runThreads<SwissTm>(4, [&](unsigned Id, auto &Tx) {
-      repro::Xorshift Rng(Id * 11 + 2);
+      repro::Xorshift Rng(repro::testSeed(Id * 11 + 2));
       for (int I = 0; I < 400; ++I) {
         uint64_t Key = Rng.nextBounded(128);
         unsigned P = static_cast<unsigned>(Rng.nextBounded(3));
@@ -101,7 +101,7 @@ TEST_P(GranularitySweep, TinyLockTableStressesCollisions) {
     static std::vector<Word> Cells;
     Cells.assign(256, 0);
     runThreads<SwissTm>(4, [&](unsigned Id, auto &Tx) {
-      repro::Xorshift Rng(Id + 1);
+      repro::Xorshift Rng(repro::testSeed(Id + 1));
       for (int I = 0; I < 500; ++I) {
         unsigned A = Rng.nextBounded(256);
         atomically(Tx, [&, A](auto &T) {

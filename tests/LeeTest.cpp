@@ -88,7 +88,7 @@ TYPED_TEST(LeeTest, MainBoardConcurrentRoutesAreValid) {
   std::vector<uint64_t> RoutedNets;
   runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
     typename LeeRouter<TypeParam>::Scratch Local(W, H);
-    repro::Xorshift Rng(Id + 3);
+    repro::Xorshift Rng(repro::testSeed(Id + 3));
     // Reimplement the claim loop locally so we can record net ids.
     for (std::size_t I = Id; I < Jobs.size(); I += 4) {
       if (Router.routeOne(Tx, Jobs[I], Local, Rng)) {

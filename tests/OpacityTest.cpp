@@ -45,7 +45,7 @@ TYPED_TEST(OpacityTest, ThreeWayInvariantNeverBroken) {
   Cells[2].V = 0;
   std::atomic<bool> Violation{false};
   runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id * 23 + 7);
+    repro::Xorshift Rng(repro::testSeed(Id * 23 + 7));
     for (int I = 0; I < 3000; ++I) {
       if (Id % 2 == 0) {
         unsigned From = Rng.nextBounded(3), To = Rng.nextBounded(3);
@@ -115,7 +115,7 @@ TYPED_TEST(OpacityTest, LongReaderWithConcurrentWritersStaysConsistent) {
   Data.assign(N, 0);
   std::atomic<bool> Violation{false};
   runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id * 3 + 11);
+    repro::Xorshift Rng(repro::testSeed(Id * 3 + 11));
     if (Id == 0) {
       for (int Scan = 0; Scan < 40; ++Scan) {
         int64_t Sum = 0;

@@ -74,7 +74,7 @@ TYPED_TEST(RbTreeTest, AscendingInsertionStaysBalancedish) {
 TYPED_TEST(RbTreeTest, RandomOpsMatchStdSet) {
   RbTree<TypeParam> Tree;
   std::set<uint64_t> Model;
-  repro::Xorshift Rng(12345);
+  repro::Xorshift Rng(repro::testSeed(12345));
   constexpr unsigned Ops = 4000;
   constexpr uint64_t Range = 256;
   runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
@@ -126,7 +126,7 @@ TYPED_TEST(RbTreeTest, ConcurrentMixedOpsKeepInvariants) {
       atomically(Tx, [&](auto &T) { Tree.insert(T, K, K); });
   });
   runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id * 7919 + 13);
+    repro::Xorshift Rng(repro::testSeed(Id * 7919 + 13));
     for (unsigned I = 0; I < OpsPerThread; ++I) {
       uint64_t Key = Rng.nextBounded(Range);
       unsigned Pct = static_cast<unsigned>(Rng.nextBounded(100));

@@ -164,7 +164,7 @@ TYPED_TEST(StampTest, VacationHighPreservesCapacity) {
   Cfg.Relations = 64;
   Vacation<TypeParam> App(Cfg);
   runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id * 31 + 5);
+    repro::Xorshift Rng(repro::testSeed(Id * 31 + 5));
     for (int I = 0; I < 400; ++I)
       App.clientOp(Tx, Rng);
   });
@@ -176,7 +176,7 @@ TYPED_TEST(StampTest, VacationLowPreservesCapacity) {
   Cfg.Relations = 64;
   Vacation<TypeParam> App(Cfg);
   runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id * 17 + 3);
+    repro::Xorshift Rng(repro::testSeed(Id * 17 + 3));
     for (int I = 0; I < 400; ++I)
       App.clientOp(Tx, Rng);
   });
@@ -189,7 +189,7 @@ TYPED_TEST(StampTest, VacationReservationsActuallyHappen) {
   Vacation<TypeParam> App(Cfg);
   std::atomic<uint64_t> Changes{0};
   runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id + 1);
+    repro::Xorshift Rng(repro::testSeed(Id + 1));
     uint64_t Mine = 0;
     for (int I = 0; I < 200; ++I)
       Mine += App.opMakeReservation(Tx, Rng);

@@ -290,7 +290,7 @@ TYPED_TEST(StmApiTest, BankTransferPreservesTotal) {
   };
   std::vector<Account> Bank(Accounts, Account{Initial});
   runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id + 1);
+    repro::Xorshift Rng(repro::testSeed(Id + 1));
     for (unsigned I = 0; I < Transfers; ++I) {
       unsigned From = Rng.nextBounded(Accounts);
       unsigned To = Rng.nextBounded(Accounts);
@@ -322,7 +322,7 @@ TYPED_TEST(StmApiTest, OpacityInvariantNeverObservedBroken) {
   std::atomic<bool> Violation{false};
   std::atomic<bool> Stop{false};
   runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
-    repro::Xorshift Rng(Id + 17);
+    repro::Xorshift Rng(repro::testSeed(Id + 17));
     for (unsigned I = 0; I < 4000 && !Stop.load(); ++I) {
       if (Id % 2 == 0) {
         atomically(Tx, [&](auto &T) {

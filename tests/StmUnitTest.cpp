@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestHarness.h"
+
 #include "stm/Clock.h"
 #include "stm/LockTable.h"
 #include "stm/RetiredPool.h"
@@ -84,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(AllGranularities, LockTableGranularity,
 TEST(LockTableTest, IndexStaysInRange) {
   LockTable<DummyEntry> Table;
   Table.init(6, 4);
-  repro::Xorshift Rng(3);
+  repro::Xorshift Rng(repro::testSeed(3));
   for (int I = 0; I < 10000; ++I) {
     auto Addr = reinterpret_cast<const void *>(Rng.next());
     EXPECT_LT(Table.indexFor(Addr), Table.size());

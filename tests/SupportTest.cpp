@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestHarness.h"
+
 #include "support/Backoff.h"
 #include "support/Padded.h"
 #include "support/Random.h"
@@ -79,6 +81,20 @@ TEST(RandomTest, RoughlyUniformPercent) {
   EXPECT_NEAR(static_cast<double>(Hits) / N, 0.30, 0.02);
 }
 
+TEST(TestSeedTest, BaseIsStableWithinProcess) {
+  EXPECT_EQ(testSeedBase(), testSeedBase());
+  EXPECT_EQ(testSeed(7), testSeed(7));
+}
+
+TEST(TestSeedTest, StreamsAreDecorrelated) {
+  EXPECT_NE(testSeed(0), testSeed(1));
+  Xorshift A(testSeed(0)), B(testSeed(1));
+  unsigned Same = 0;
+  for (int I = 0; I < 1000; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5u);
+}
+
 TEST(PaddedTest, OneCacheLineEach) {
   Padded<uint64_t> Arr[4];
   auto Base = reinterpret_cast<uintptr_t>(&Arr[0]);
@@ -129,6 +145,8 @@ TEST(ThreadRegistryTest, SlotsAreDense) {
   unsigned A = ThreadRegistry::acquireSlot();
   unsigned B = ThreadRegistry::acquireSlot();
   EXPECT_NE(A, B);
+  EXPECT_NE(ThreadRegistry::activeMask() & (1ull << A), 0u);
+  EXPECT_NE(ThreadRegistry::activeMask() & (1ull << B), 0u);
   ThreadRegistry::releaseSlot(B);
   unsigned C = ThreadRegistry::acquireSlot();
   EXPECT_EQ(B, C); // lowest free slot is reused

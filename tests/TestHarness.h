@@ -8,13 +8,31 @@
 #define TESTS_TESTHARNESS_H
 
 #include "stm/Stm.h"
+#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <thread>
 #include <vector>
 
 namespace repro_test {
+
+/// Prints the active RNG base seed alongside every test failure, so a
+/// flaky run can be replayed exactly with STM_TEST_SEED=<seed>.
+class SeedReporter : public ::testing::EmptyTestEventListener {
+  void OnTestPartResult(const ::testing::TestPartResult &Result) override {
+    if (Result.failed())
+      std::fprintf(
+          stderr, "note: rerun with STM_TEST_SEED=%llu to reproduce\n",
+          static_cast<unsigned long long>(repro::testSeedBase()));
+  }
+};
+
+inline const bool SeedReporterInstalled = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+  return true;
+}();
 
 /// Spawns \p NumThreads workers, each attached to \p STM via a
 /// ThreadScope, runs \p Work(threadIndex, descriptor) and joins.

@@ -1,0 +1,223 @@
+//===- tests/ThreadChurnTest.cpp - thread-churn stress tests --------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Regression tests for the descriptor-lifetime race: an invisible reader
+// that observed a stripe lock word can dereference the owner's write-log
+// entry (or, for RSTM, its descriptor) after the owning thread exited.
+// Production systems churn threads (pools, request handlers), so these
+// tests repeatedly spawn and join short-lived transactional threads
+// against long-lived readers, across all four backends. They must pass
+// under ThreadSanitizer with no StableLog/descriptor suppression — the
+// epoch-based reclamation of stm/EpochManager.h is what makes that hold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include "stm/EpochManager.h"
+#include "workloads/containers/TxHashMap.h"
+#include "workloads/rbtree/RbTree.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace stm;
+using namespace workloads;
+using repro_test::runThreads;
+
+namespace {
+
+template <typename STM> class ThreadChurnTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    STM::globalInit(Config);
+  }
+  void TearDown() override { STM::globalShutdown(); }
+};
+
+TYPED_TEST_SUITE(ThreadChurnTest, repro_test::AllStms);
+
+/// Short-lived writer waves mutate an rbtree and a hash map in lockstep
+/// (both or neither, inside one transaction) while long-lived readers
+/// continuously take consistent snapshots of both structures. Writer
+/// descriptors retire mid-read, which is exactly the window where the
+/// unreclaimed-descriptor race used to fire.
+TYPED_TEST(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
+  RbTree<TypeParam> Tree;
+  TxHashMap<TypeParam> Map(/*BucketsLog2=*/6);
+  constexpr uint64_t Range = 256;
+  constexpr unsigned Readers = 2;
+  constexpr unsigned Rounds = 10;
+  constexpr unsigned WritersPerRound = 4;
+  constexpr unsigned OpsPerWriter = 64;
+
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (uint64_t K = 0; K < Range; K += 2)
+      atomically(Tx, [&](auto &T) {
+        Tree.insert(T, K, K);
+        Map.insert(T, K, K);
+      });
+  });
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Mismatches{0};
+  std::atomic<uint64_t> ReadTxs{0};
+  std::vector<std::thread> ReaderThreads;
+  for (unsigned R = 0; R < Readers; ++R)
+    ReaderThreads.emplace_back([&, R] {
+      ThreadScope<TypeParam> Scope;
+      auto &Tx = Scope.tx();
+      repro::Xorshift Rng(repro::testSeed(1000 + R));
+      uint64_t Local = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        uint64_t Key = Rng.nextBounded(Range);
+        bool InTree = false, InMap = false;
+        bool *TreePtr = &InTree, *MapPtr = &InMap;
+        atomically(Tx, [&, TreePtr, MapPtr, Key](auto &T) {
+          *TreePtr = Tree.lookup(T, Key);
+          *MapPtr = Map.contains(T, Key);
+        });
+        // Writers keep the two structures in lockstep within one
+        // transaction, so any committed snapshot agrees.
+        if (InTree != InMap)
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+        ++Local;
+      }
+      ReadTxs.fetch_add(Local, std::memory_order_relaxed);
+    });
+
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    std::vector<std::thread> Writers;
+    for (unsigned W = 0; W < WritersPerRound; ++W)
+      Writers.emplace_back([&, Round, W] {
+        ThreadScope<TypeParam> Scope;
+        auto &Tx = Scope.tx();
+        repro::Xorshift Rng(repro::testSeed(Round * 131 + W));
+        for (unsigned I = 0; I < OpsPerWriter; ++I) {
+          uint64_t Key = Rng.nextBounded(Range);
+          if (Rng.nextPercent(50))
+            atomically(Tx, [&, Key](auto &T) {
+              if (Tree.insert(T, Key, Key))
+                Map.insert(T, Key, Key);
+            });
+          else
+            atomically(Tx, [&, Key](auto &T) {
+              if (Tree.remove(T, Key))
+                Map.remove(T, Key);
+            });
+        }
+      });
+    // Joining here retires four descriptors per round while the readers
+    // are mid-transaction — the race window under test.
+    for (std::thread &W : Writers)
+      W.join();
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &R : ReaderThreads)
+    R.join();
+
+  EXPECT_EQ(Mismatches.load(), 0u);
+  EXPECT_GT(ReadTxs.load(), 0u);
+  EXPECT_TRUE(Tree.verify());
+  EXPECT_EQ(Tree.size(), Map.sizeRaw());
+}
+
+/// Rapid sequential churn: every worker lives for exactly one
+/// transaction, so registry slots and their epoch entries recycle
+/// constantly while a long-lived reader keeps pinning epochs.
+TYPED_TEST(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
+  TxHashMap<TypeParam> Map(/*BucketsLog2=*/4);
+  constexpr uint64_t Keys = 64;
+  constexpr unsigned Churns = 96;
+
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    for (uint64_t K = 0; K < Keys; ++K)
+      atomically(Tx, [&](auto &T) { Map.insert(T, K, 0); });
+  });
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> BadSums{0};
+  std::thread Reader([&] {
+    ThreadScope<TypeParam> Scope;
+    auto &Tx = Scope.tx();
+    repro::Xorshift Rng(repro::testSeed(4242));
+    while (!Stop.load(std::memory_order_relaxed)) {
+      uint64_t Key = Rng.nextBounded(Keys);
+      bool Found = false;
+      bool *FoundPtr = &Found;
+      atomically(Tx, [&, FoundPtr, Key](auto &T) {
+        *FoundPtr = Map.contains(T, Key);
+      });
+      // Keys are only ever updated in place, never removed.
+      if (!Found)
+        BadSums.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (unsigned I = 0; I < Churns; ++I)
+    std::thread([&, I] {
+      ThreadScope<TypeParam> Scope;
+      auto &Tx = Scope.tx();
+      uint64_t Key = I % Keys;
+      atomically(Tx, [&, Key](auto &T) {
+        Word V = 0;
+        Map.lookup(T, Key, &V);
+        Map.update(T, Key, V + 1);
+      });
+    }).join();
+
+  Stop.store(true, std::memory_order_relaxed);
+  Reader.join();
+
+  EXPECT_EQ(BadSums.load(), 0u);
+  EXPECT_EQ(Map.sizeRaw(), Keys);
+  // Every one-shot increment committed exactly once.
+  uint64_t Sum = 0;
+  Map.forEachRaw([&](uint64_t, Word V) { Sum += V; });
+  EXPECT_EQ(Sum, Churns);
+}
+
+/// Concurrent churn: many short-lived writer threads run at once while
+/// readers churn too, maximizing pressure on slot reuse and on the
+/// limbo list's opportunistic collection.
+TYPED_TEST(ThreadChurnTest, ConcurrentChurnersStayConsistent) {
+  RbTree<TypeParam> Tree;
+  constexpr uint64_t PerThread = 24;
+  constexpr unsigned Waves = 6;
+  constexpr unsigned ThreadsPerWave = 6;
+
+  for (unsigned Wave = 0; Wave < Waves; ++Wave) {
+    std::vector<std::thread> Churners;
+    for (unsigned C = 0; C < ThreadsPerWave; ++C)
+      Churners.emplace_back([&, Wave, C] {
+        ThreadScope<TypeParam> Scope;
+        auto &Tx = Scope.tx();
+        uint64_t Base = (Wave * ThreadsPerWave + C) * PerThread;
+        for (uint64_t K = 0; K < PerThread; ++K)
+          atomically(Tx, [&, K](auto &T) { Tree.insert(T, Base + K, K); });
+        // Immediately read back through a fresh transaction so reads
+        // overlap other churners' commits and exits.
+        for (uint64_t K = 0; K < PerThread; ++K) {
+          bool Found = false;
+          bool *FoundPtr = &Found;
+          atomically(Tx, [&, FoundPtr, K](auto &T) {
+            *FoundPtr = Tree.lookup(T, Base + K);
+          });
+          EXPECT_TRUE(Found) << "lost key " << Base + K;
+        }
+      });
+    for (std::thread &C : Churners)
+      C.join();
+  }
+
+  EXPECT_EQ(Tree.size(), uint64_t(Waves) * ThreadsPerWave * PerThread);
+  EXPECT_TRUE(Tree.verify());
+}
+
+} // namespace
