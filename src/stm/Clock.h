@@ -1,43 +1,15 @@
-//===- stm/Clock.h - global version clocks ----------------------*- C++ -*-===//
+//===- stm/Clock.h - global version clocks (forwarding) ---------*- C++ -*-===//
 //
 // Part of the SwissTM reproduction (PLDI 2009).
 //
-// The time-based validation scheme of SwissTM, TL2 and TinySTM rests on a
-// single global counter ("commit-ts" in Algorithm 1) incremented by every
-// updating transaction at commit. SwissTM's second contention-management
-// phase uses a second counter ("greedy-ts").
+// GlobalClock moved into the shared policy core; this forwarding header
+// keeps existing includes working.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_CLOCK_H
 #define STM_CLOCK_H
 
-#include "support/Platform.h"
-
-#include <atomic>
-#include <cstdint>
-
-namespace stm {
-
-/// A monotonically increasing global counter on its own cache line.
-class alignas(repro::CacheLineSize) GlobalClock {
-public:
-  /// Resets to zero (tests and global re-init only).
-  void reset() { Value.store(0, std::memory_order_relaxed); }
-
-  /// Current value.
-  uint64_t load() const { return Value.load(std::memory_order_acquire); }
-
-  /// Atomically increments and returns the new value
-  /// ("increment&get" in Algorithm 1, line 37).
-  uint64_t incrementAndGet() {
-    return Value.fetch_add(1, std::memory_order_acq_rel) + 1;
-  }
-
-private:
-  std::atomic<uint64_t> Value{0};
-};
-
-} // namespace stm
+#include "stm/core/Clock.h"
 
 #endif // STM_CLOCK_H

@@ -1,73 +1,16 @@
-//===- stm/LockTable.h - address-to-lock mapping (paper Fig. 1) -*- C++ -*-===//
+//===- stm/LockTable.h - address-to-lock mapping (forwarding) ---*- C++ -*-===//
 //
 // Part of the SwissTM reproduction (PLDI 2009).
 //
-// Maps every transactional address to a lock-table entry: the byte
-// address is shifted right by the granularity exponent (so a stripe of
-// 2^G consecutive bytes shares one entry) and masked by the table size.
-// Distinct stripes may collide on one entry ("false conflicts"); the
-// paper observes this is harmless in practice, and Figure 13 sweeps G.
+// The lock table moved into the shared policy core (cache-line-padded
+// entries, lazily committed storage, hardened bounds); this forwarding
+// header keeps existing includes working.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_LOCKTABLE_H
 #define STM_LOCKTABLE_H
 
-#include "stm/Config.h"
-
-#include <cassert>
-#include <cstdint>
-#include <memory>
-
-namespace stm {
-
-/// Fixed-size hash table of lock entries, one instance per STM.
-/// \tparam EntryT per-stripe metadata (e.g. SwissTM's read/write lock
-/// pair); must be default-constructible to an "unlocked" state and
-/// provide reset() for re-initialization.
-template <typename EntryT> class LockTable {
-public:
-  /// (Re)allocates the table. Any previous contents are discarded, so
-  /// this must only run while no transaction is live.
-  void init(unsigned SizeLog2, unsigned GranLog2) {
-    assert(SizeLog2 >= 4 && SizeLog2 <= 28 && "unreasonable table size");
-    assert(GranLog2 >= 2 && GranLog2 <= 12 && "unreasonable granularity");
-    SizeMask = (uint64_t(1) << SizeLog2) - 1;
-    GranularityLog2 = GranLog2;
-    Entries = std::make_unique<EntryT[]>(SizeMask + 1);
-  }
-
-  void destroy() {
-    Entries.reset();
-    SizeMask = 0;
-  }
-
-  bool isInitialized() const { return Entries != nullptr; }
-
-  /// Number of entries.
-  uint64_t size() const { return SizeMask + 1; }
-
-  /// Bytes of memory that share one entry.
-  uint64_t stripeBytes() const { return uint64_t(1) << GranularityLog2; }
-
-  /// Index computation of Figure 1: shift the address right by the
-  /// granularity exponent, mask by table size.
-  uint64_t indexFor(const void *Addr) const {
-    return (reinterpret_cast<uintptr_t>(Addr) >> GranularityLog2) & SizeMask;
-  }
-
-  /// Returns the entry covering \p Addr.
-  EntryT &entryFor(const void *Addr) {
-    assert(Entries && "lock table used before init");
-    return Entries[indexFor(Addr)];
-  }
-
-private:
-  std::unique_ptr<EntryT[]> Entries;
-  uint64_t SizeMask = 0;
-  unsigned GranularityLog2 = 4;
-};
-
-} // namespace stm
+#include "stm/core/LockTable.h"
 
 #endif // STM_LOCKTABLE_H

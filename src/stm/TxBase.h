@@ -76,6 +76,7 @@ protected:
   /// whole attempt (see EpochManager.h).
   void baseStart() {
     EpochManager::pin(Slot);
+    ++Stats.Starts;
     Depth = 1;
     KillFlag.store(false, std::memory_order_relaxed);
   }

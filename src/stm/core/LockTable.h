@@ -1,0 +1,133 @@
+//===- stm/core/LockTable.h - address-to-lock mapping (Fig. 1) --*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Maps every transactional address to a lock-table entry: the byte
+// address is shifted right by the granularity exponent (so a stripe of
+// 2^G consecutive bytes shares one entry) and masked by the table size.
+// Distinct stripes may collide on one entry ("false conflicts"); the
+// paper observes this is harmless in practice, and Figure 13 sweeps G.
+//
+// Two properties distinguish this from a plain array:
+//
+//  * every entry sits on its own cache line. Stripes that are adjacent
+//    in memory are adjacent in the table, so without padding a writer
+//    bumping one stripe's lock word invalidates the line holding its
+//    neighbours' lock words in every reader's cache — false sharing on
+//    exactly the hottest addresses (the fig5 rbtree root area).
+//  * storage comes from calloc, not value-initializing new[]. The
+//    kernel hands out lazily-committed zero pages, so a 2^28-entry
+//    table costs address space, not memory, until stripes are touched —
+//    and init() is O(1) instead of writing out the whole table. Entry
+//    types must therefore be valid in the all-zero-bytes state (their
+//    "unlocked" state) — true of every backend's atomic lock words.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_CORE_LOCKTABLE_H
+#define STM_CORE_LOCKTABLE_H
+
+#include "support/Platform.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+namespace stm::core {
+
+/// Rounds one per-stripe entry up to a full cache line so adjacent
+/// stripes never share a line.
+template <typename EntryT> struct alignas(repro::CacheLineSize) PaddedEntry {
+  EntryT Entry;
+};
+
+/// Fixed-size hash table of lock entries, one instance per STM.
+/// \tparam EntryT per-stripe metadata (e.g. SwissTM's read/write lock
+/// pair); its all-zero-bytes state must be the "unlocked" state.
+template <typename EntryT> class LockTable {
+public:
+  /// Bounds enforced by init() in every build mode. 2^28 entries is
+  /// 16 GiB of (lazily committed) address space; 2^4 is the smallest
+  /// table where the masked index still exercises the hash.
+  static constexpr unsigned MinSizeLog2 = 4;
+  static constexpr unsigned MaxSizeLog2 = 28;
+  static constexpr unsigned MinGranularityLog2 = 2;
+  static constexpr unsigned MaxGranularityLog2 = 12;
+
+  /// (Re)allocates the table. Any previous contents are discarded, so
+  /// this must only run while no transaction is live. Out-of-range
+  /// parameters abort in all build modes: a table sized by an
+  /// uninitialized or corrupted config must not come up, Release build
+  /// or not.
+  void init(unsigned SizeLog2, unsigned GranLog2) {
+    static_assert(std::is_trivially_destructible_v<EntryT>,
+                  "entries are freed without running destructors");
+    if (SizeLog2 < MinSizeLog2 || SizeLog2 > MaxSizeLog2 ||
+        GranLog2 < MinGranularityLog2 || GranLog2 > MaxGranularityLog2) {
+      std::fprintf(stderr,
+                   "stm: LockTable::init(%u, %u) out of range "
+                   "(size log2 %u..%u, granularity log2 %u..%u)\n",
+                   SizeLog2, GranLog2, MinSizeLog2, MaxSizeLog2,
+                   MinGranularityLog2, MaxGranularityLog2);
+      std::abort();
+    }
+    destroy();
+    SizeMask = (uint64_t(1) << SizeLog2) - 1;
+    GranularityLog2 = GranLog2;
+    // One spare entry of slack lets us align the base up to a cache
+    // line; calloc keeps untouched pages unbacked.
+    Raw = std::calloc(SizeMask + 2, sizeof(PaddedEntry<EntryT>));
+    if (Raw == nullptr) {
+      std::fprintf(stderr, "stm: lock table allocation failed (2^%u)\n",
+                   SizeLog2);
+      std::abort();
+    }
+    uintptr_t Base = reinterpret_cast<uintptr_t>(Raw);
+    Base = (Base + repro::CacheLineSize - 1) &
+           ~uintptr_t(repro::CacheLineSize - 1);
+    Entries = reinterpret_cast<PaddedEntry<EntryT> *>(Base);
+  }
+
+  void destroy() {
+    std::free(Raw);
+    Raw = nullptr;
+    Entries = nullptr;
+    SizeMask = 0;
+  }
+
+  bool isInitialized() const { return Entries != nullptr; }
+
+  /// Number of entries.
+  uint64_t size() const { return SizeMask + 1; }
+
+  /// Bytes of memory that share one entry.
+  uint64_t stripeBytes() const { return uint64_t(1) << GranularityLog2; }
+
+  /// Index computation of Figure 1: shift the address right by the
+  /// granularity exponent, mask by table size.
+  uint64_t indexFor(const void *Addr) const {
+    return (reinterpret_cast<uintptr_t>(Addr) >> GranularityLog2) & SizeMask;
+  }
+
+  /// Returns the entry covering \p Addr.
+  EntryT &entryFor(const void *Addr) {
+    assert(Entries && "lock table used before init");
+    return Entries[indexFor(Addr)].Entry;
+  }
+
+private:
+  PaddedEntry<EntryT> *Entries = nullptr;
+  void *Raw = nullptr;
+  uint64_t SizeMask = 0;
+  unsigned GranularityLog2 = 4;
+};
+
+} // namespace stm::core
+
+namespace stm {
+using core::LockTable;
+} // namespace stm
+
+#endif // STM_CORE_LOCKTABLE_H

@@ -1,0 +1,82 @@
+//===- stm/core/Validation.h - time-based validation mixin ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The time-based validation scheme (Algorithm 1, lines 50-57) was
+// hand-rolled in each backend: a transaction remembers the global clock
+// value it is known valid at ("valid-ts"), and when a read observes a
+// newer version it either aborts (TL2) or tries to *extend* — revalidate
+// the whole read set against the current clock and, on success, adopt
+// the new clock value as its valid-ts (SwissTM, TinySTM). RSTM's
+// commit-counter heuristic is the same shape with a different clock.
+//
+// TimeValidation is a CRTP mixin holding the valid-ts and implementing
+// the begin/extend bookkeeping (stats, ThreadRegistry publication for
+// quiescence). The derived descriptor supplies the one genuinely
+// algorithm-specific piece: validateReadSet(), the per-entry read-log
+// check.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_CORE_VALIDATION_H
+#define STM_CORE_VALIDATION_H
+
+#include "stm/core/Clock.h"
+#include "support/ThreadRegistry.h"
+
+#include <cstdint>
+
+namespace stm::core {
+
+/// CRTP mixin: valid-ts tracking with counted validation and optional
+/// timestamp extension. Derived must provide
+///   bool validateReadSet();   // revalidate the entire read log
+/// and inherit TxBase (for stats() and threadSlot()).
+template <typename Derived> class TimeValidation {
+public:
+  /// The timestamp this transaction is known valid at.
+  uint64_t validTs() const { return ValidTs; }
+
+protected:
+  /// Samples \p Clock at transaction begin and publishes the snapshot
+  /// for quiescence (Algorithm 1, line 2).
+  void beginEpoch(const GlobalClock &Clock) {
+    ValidTs = Clock.load();
+    repro::ThreadRegistry::publishStart(derived().threadSlot(), ValidTs);
+  }
+
+  /// Runs the derived read-set validation, counted.
+  bool revalidate() {
+    ++derived().stats().Validations;
+    return derived().validateReadSet();
+  }
+
+  /// Timestamp extension (Algorithm 1, lines 54-57): revalidates against
+  /// the current clock and on success adopts it as the new valid-ts.
+  /// With \p EnableExtension off (TL2-style behaviour, one of the
+  /// ablation knobs) the extension always fails.
+  bool extendEpoch(const GlobalClock &Clock, bool EnableExtension) {
+    if (!EnableExtension) {
+      ++derived().stats().FailedExtensions;
+      return false;
+    }
+    uint64_t Ts = Clock.load();
+    if (revalidate()) {
+      ValidTs = Ts;
+      repro::ThreadRegistry::publishStart(derived().threadSlot(), ValidTs);
+      ++derived().stats().Extensions;
+      return true;
+    }
+    ++derived().stats().FailedExtensions;
+    return false;
+  }
+
+  uint64_t ValidTs = 0;
+
+private:
+  Derived &derived() { return static_cast<Derived &>(*this); }
+};
+
+} // namespace stm::core
+
+#endif // STM_CORE_VALIDATION_H

@@ -1,0 +1,57 @@
+//===- stm/core/VersionedLock.h - version-in-word lock encoding -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Every backend encodes a stripe's version number and its lock state in
+// one machine word: the low bit(s) tag the lock state, the remaining
+// bits carry the version (the commit timestamp of the last writer) or a
+// descriptor pointer. The tag width is the only difference between the
+// backends' encodings:
+//
+//   SwissTM r-lock   1 tag bit   version<<1 free, 1 locked
+//   TL2 / TinySTM    1 tag bit   version<<1 free, descriptor|1 locked
+//   RSTM orec        2 tag bits  version<<2 free, descriptor|1 owned,
+//                                descriptor|3 owner committing
+//
+// VersionedLockOps centralizes the shifts and masks so a backend states
+// its tag width once instead of hand-rolling three helpers.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_CORE_VERSIONEDLOCK_H
+#define STM_CORE_VERSIONEDLOCK_H
+
+#include "stm/Word.h"
+
+#include <cstdint>
+
+namespace stm::core {
+
+/// Encoding helpers for a versioned lock word with \p TagBits low tag
+/// bits. Bit 0 is always the "locked/owned" bit; what the other tag bits
+/// mean (RSTM's "committing") is backend-specific.
+template <unsigned TagBits> struct VersionedLockOps {
+  static_assert(TagBits >= 1 && TagBits < 8, "unreasonable tag width");
+
+  static constexpr Word TagMask = (Word(1) << TagBits) - 1;
+
+  /// True when the word carries a descriptor pointer, not a version.
+  static bool isLocked(Word V) { return (V & 1) != 0; }
+
+  /// The version of a free lock word.
+  static uint64_t version(Word V) { return V >> TagBits; }
+
+  /// A free lock word carrying \p Version.
+  static Word make(uint64_t Version) {
+    return static_cast<Word>(Version << TagBits);
+  }
+
+  /// The descriptor pointer of a locked word, tag bits stripped.
+  template <typename T> static T *pointer(Word V) {
+    return reinterpret_cast<T *>(V & ~TagMask);
+  }
+};
+
+} // namespace stm::core
+
+#endif // STM_CORE_VERSIONEDLOCK_H

@@ -1,6 +1,7 @@
 //===- stm/rstm/Rstm.cpp - RSTM-like baseline ------------------------------===//
 //
-// Part of the SwissTM reproduction (PLDI 2009).
+// Part of the SwissTM reproduction (PLDI 2009). The contention managers
+// live in stm/core/ContentionManager.h, instantiated in AsPolka mode.
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,28 +39,6 @@ RstmTx::~RstmTx() {
       Self, nullptr, std::memory_order_acq_rel);
 }
 
-static constexpr uint64_t CmInfinity = ~0ull;
-static constexpr unsigned PolkaMaxAttempts = 8;
-
-void RstmTx::cmStart() {
-  switch (GlobalState.Config.Cm) {
-  case CmKind::Greedy:
-    if (FreshStart)
-      CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
-                 std::memory_order_relaxed);
-    break;
-  case CmKind::Serializer:
-    CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
-               std::memory_order_relaxed);
-    break;
-  case CmKind::TwoPhase: // not meaningful for RSTM; treated as Polka
-  case CmKind::Polka:
-  case CmKind::Timid:
-    CmTs.store(CmInfinity, std::memory_order_relaxed);
-    break;
-  }
-}
-
 void RstmTx::onStart() {
   baseStart();
   ReadLog.clear();
@@ -67,59 +46,23 @@ void RstmTx::onStart() {
   WriteLog.clear();
   Acquired.clear();
   WSetMap.clear();
-  AccessCount = 0;
-  PubPriority.store(0, std::memory_order_relaxed);
-  LastValidation = GlobalState.CommitCounter.load();
-  repro::ThreadRegistry::publishStart(Slot, LastValidation);
-  cmStart();
-}
-
-bool RstmTx::cmResolve(RstmTx *Victim, unsigned &Attempts) {
-  ++Attempts;
-  if (Victim == nullptr || Victim == this)
-    return false;
-  switch (GlobalState.Config.Cm) {
-  case CmKind::Timid:
-    return true; // abort self
-
-  case CmKind::Greedy:
-  case CmKind::Serializer: {
-    uint64_t MyTs = CmTs.load(std::memory_order_relaxed);
-    uint64_t VictimTs = Victim->cmTimestamp();
-    if (VictimTs < MyTs)
-      return true; // older transaction wins
-    Victim->requestKill();
-    return false;
-  }
-
-  case CmKind::TwoPhase:
-  case CmKind::Polka: {
-    uint64_t MyPrio = PubPriority.load(std::memory_order_relaxed);
-    uint64_t VictimPrio = Victim->polkaPriority();
-    if (MyPrio < VictimPrio && Attempts <= PolkaMaxAttempts) {
-      repro::randomExponentialBackoff(Rng, Attempts);
-      return false; // wait and retry
-    }
-    Victim->requestKill();
-    return false;
-  }
-  }
-  return true;
+  beginEpoch(GlobalState.CommitCounter);
+  Cm.onStart(GlobalState.Config, GlobalState.GreedyTs, FreshStart);
 }
 
 void RstmTx::maybeValidate() {
   if (GlobalState.Config.RstmVisibleReads)
     return; // visible readers are protected by their reader bits
   uint64_t Counter = GlobalState.CommitCounter.load();
-  if (Counter == LastValidation)
+  if (Counter == ValidTs)
     return; // commit-counter heuristic: nothing committed, still valid
-  if (!validate())
+  if (!revalidate())
     rollback();
-  LastValidation = Counter;
-  repro::ThreadRegistry::publishStart(Slot, LastValidation);
+  ValidTs = Counter;
+  repro::ThreadRegistry::publishStart(Slot, ValidTs);
 }
 
-bool RstmTx::validate() {
+bool RstmTx::validateReadSet() {
   for (const ReadEntry &R : ReadLog) {
     Word Cur = R.Rec->Owner.load(std::memory_order_acquire);
     if (Cur == R.Seen)
@@ -146,7 +89,7 @@ bool RstmTx::validate() {
 Word RstmTx::load(const Word *Addr) {
   checkKill();
   ++Stats.Reads;
-  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+  Cm.noteAccess();
 
   // Read-after-write from the redo log.
   if (!WriteLog.empty()) {
@@ -212,7 +155,7 @@ Word RstmTx::load(const Word *Addr) {
 void RstmTx::store(Word *Addr, Word Value) {
   checkKill();
   ++Stats.Writes;
-  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+  Cm.noteAccess();
 
   uint32_t Idx = WSetMap.lookup(Addr);
   if (Idx != ~0u) {
@@ -234,7 +177,8 @@ void RstmTx::acquireOrec(Orec &Rec) {
     if (orecIsOwned(V)) {
       if (orecOwner(V) == this)
         return; // stripe already ours (another word, or re-acquire)
-      if (cmResolve(orecOwner(V), Attempts))
+      if (Cm.shouldAbort(GlobalState.Config, orecOwner(V), this, Attempts,
+                         Rng))
         rollback();
       checkKill();
       repro::spinWait(Attempts);
@@ -262,7 +206,7 @@ void RstmTx::resolveVisibleReaders(Orec &Rec) {
     unsigned VictimSlot = static_cast<unsigned>(__builtin_ctzll(Bits));
     RstmTx *Victim =
         GlobalState.Descriptors[VictimSlot].load(std::memory_order_acquire);
-    if (cmResolve(Victim, Attempts))
+    if (Cm.shouldAbort(GlobalState.Config, Victim, this, Attempts, Rng))
       rollback();
     checkKill();
     repro::spinWait(Attempts);
@@ -293,8 +237,8 @@ void RstmTx::commit() {
       acquireOrec(GlobalState.Table.entryFor(W.Addr));
 
   uint64_t Ts = GlobalState.CommitCounter.incrementAndGet();
-  if (!GlobalState.Config.RstmVisibleReads &&
-      Ts != LastValidation + 1 && !validate())
+  if (!GlobalState.Config.RstmVisibleReads && Ts != ValidTs + 1 &&
+      !revalidate())
     rollback();
 
   // Enter write-back: flag every owned stripe as committing, then make
@@ -324,7 +268,6 @@ void RstmTx::rollback() {
   for (Orec *Rec : VisibleReads)
     Rec->Readers.fetch_and(~MyBit, std::memory_order_acq_rel);
   baseAbort();
-  if (GlobalState.Config.EnableRollbackBackoff)
-    repro::randomLinearBackoff(Rng, SuccessiveAborts);
+  Cm.onRollback(GlobalState.Config, Rng, SuccessiveAborts);
   std::longjmp(Env, 1);
 }

@@ -17,12 +17,13 @@
 //    set) repeatedly -- the overhead visible throughout Section 4;
 //  * visible reads registered in a per-stripe reader bitmap that
 //    writers must clear through the contention manager;
-//  * pluggable contention managers: Polka (RSTM's usual default),
-//    Greedy, Serializer and Timid, selected by StmConfig::Cm;
+//  * pluggable contention managers from core::ContentionManager in
+//    AsPolka mode (Polka — RSTM's usual default — Greedy, Serializer
+//    and Timid, selected by StmConfig::Cm);
 //  * per-stripe ownership records; owners can be aborted (killed) by
 //    higher-priority attackers, emulating RSTM's status-word stealing.
 //
-// Ownership record encoding (Owner word):
+// Ownership record encoding (Owner word, two tag bits):
 //   version << 2             free
 //   descriptor | 1           owned (memory still holds the old values)
 //   descriptor | 3           owner committing (write-back in progress)
@@ -32,12 +33,15 @@
 #ifndef STM_RSTM_RSTM_H
 #define STM_RSTM_RSTM_H
 
-#include "stm/Clock.h"
 #include "stm/Config.h"
-#include "stm/LockTable.h"
 #include "stm/RacyAccess.h"
 #include "stm/TxBase.h"
 #include "stm/WriteMap.h"
+#include "stm/core/Clock.h"
+#include "stm/core/ContentionManager.h"
+#include "stm/core/LockTable.h"
+#include "stm/core/Validation.h"
+#include "stm/core/VersionedLock.h"
 #include "support/Platform.h"
 
 #include <atomic>
@@ -54,18 +58,16 @@ struct Orec {
   std::atomic<uint64_t> Readers{0};
 };
 
-inline bool orecIsOwned(Word V) { return (V & 1) != 0; }
+/// Orec encoding: two tag bits (see core/VersionedLock.h).
+using OrecOps = core::VersionedLockOps<2>;
+inline bool orecIsOwned(Word V) { return OrecOps::isLocked(V); }
 inline bool orecIsCommitting(Word V) { return (V & 2) != 0; }
-inline uint64_t orecVersion(Word V) { return V >> 2; }
-inline Word orecMake(uint64_t Version) {
-  return static_cast<Word>(Version << 2);
-}
-inline RstmTx *orecOwner(Word V) {
-  return reinterpret_cast<RstmTx *>(V & ~static_cast<Word>(3));
-}
+inline uint64_t orecVersion(Word V) { return OrecOps::version(V); }
+inline Word orecMake(uint64_t Version) { return OrecOps::make(Version); }
+inline RstmTx *orecOwner(Word V) { return OrecOps::pointer<RstmTx>(V); }
 
 struct RstmGlobals {
-  LockTable<Orec> Table;
+  core::LockTable<Orec> Table;
   GlobalClock CommitCounter; ///< bumped by every update commit
   GlobalClock GreedyTs;
   StmConfig Config;
@@ -76,7 +78,7 @@ struct RstmGlobals {
 RstmGlobals &rstmGlobals();
 
 /// RSTM-like transaction descriptor.
-class RstmTx : public TxBase {
+class RstmTx : public TxBase, public core::TimeValidation<RstmTx> {
 public:
   explicit RstmTx(unsigned Slot);
   ~RstmTx();
@@ -98,15 +100,18 @@ public:
     baseShutdown();
   }
 
-  /// Polka priority: number of accesses in the current attempt.
-  uint64_t polkaPriority() const {
-    return PubPriority.load(std::memory_order_relaxed);
-  }
-  uint64_t cmTimestamp() const {
-    return CmTs.load(std::memory_order_relaxed);
+  /// Contention-manager state, readable by concurrent attackers.
+  const core::ContentionManager<core::TwoPhaseMode::AsPolka> &cm() const {
+    return Cm;
   }
 
+  /// Polka priority: number of accesses in the current attempt.
+  uint64_t polkaPriority() const { return Cm.priority(); }
+  uint64_t cmTimestamp() const { return Cm.timestamp(); }
+
 private:
+  friend class core::TimeValidation<RstmTx>;
+
   struct WriteEntry {
     Word *Addr;
     Word Value;
@@ -129,7 +134,7 @@ private:
   /// Re-validates the read set iff the global commit counter moved
   /// since the last check (RSTM's heuristic). Aborts on failure.
   void maybeValidate();
-  bool validate();
+  bool validateReadSet();
 
   /// Acquires \p Rec for writing, resolving owner and visible-reader
   /// conflicts through the contention manager. Aborts (longjmps) if the
@@ -140,17 +145,7 @@ private:
   /// killing them per the contention manager.
   void resolveVisibleReaders(Orec &Rec);
 
-  /// Contention decision against \p Victim; returns true if the caller
-  /// must abort itself, false if it may retry (after the victim was
-  /// killed or a back-off wait).
-  bool cmResolve(RstmTx *Victim, unsigned &Attempts);
-
-  void cmStart();
-
-  uint64_t LastValidation = 0;
-  std::atomic<uint64_t> CmTs{~0ull};
-  std::atomic<uint64_t> PubPriority{0};
-  uint64_t AccessCount = 0;
+  core::ContentionManager<core::TwoPhaseMode::AsPolka> Cm;
 
   std::vector<ReadEntry> ReadLog;
   std::vector<Orec *> VisibleReads;

@@ -1,8 +1,8 @@
 //===- stm/swisstm/SwissTm.cpp - the SwissTM algorithm --------------------===//
 //
 // Part of the SwissTM reproduction (PLDI 2009). Implements Algorithm 1
-// (the STM) and Algorithm 2 (the two-phase contention manager) plus the
-// contention-manager variants used by the Section 5 ablations.
+// (the STM); Algorithm 2 (the two-phase contention manager) lives in
+// stm/core/ContentionManager.h, instantiated here in Native mode.
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,17 +34,15 @@ void SwissTx::onStart() {
   WriteLog.clear();
   WordLog.clear();
   WordWriteCount = 0;
-  AccessCount = 0;
-  PubPriority.store(0, std::memory_order_relaxed);
-  ValidTs = GlobalState.CommitTs.load(); // Algorithm 1, line 2
-  repro::ThreadRegistry::publishStart(Slot, ValidTs);
-  cmStart(); // Algorithm 1, line 3
+  beginEpoch(GlobalState.CommitTs); // Algorithm 1, line 2
+  Cm.onStart(GlobalState.Config, GlobalState.GreedyTs,
+             FreshStart); // Algorithm 1, line 3
 }
 
 Word SwissTx::load(const Word *Addr) {
   checkKill();
   ++Stats.Reads;
-  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+  Cm.noteAccess();
   LockPair &Locks = GlobalState.Table.entryFor(Addr);
 
   // Read-after-write: if we own the stripe's w-lock, return the buffered
@@ -82,7 +80,8 @@ Word SwissTx::load(const Word *Addr) {
   }
 
   ReadLog.push_back(ReadEntry{&Locks, RV}); // line 16
-  if (rlockVersion(RV) > ValidTs && !extend())
+  if (rlockVersion(RV) > ValidTs &&
+      !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension))
     rollback(); // line 17
   return Value;
 }
@@ -90,7 +89,7 @@ Word SwissTx::load(const Word *Addr) {
 void SwissTx::store(Word *Addr, Word Value) {
   checkKill();
   ++Stats.Writes;
-  PubPriority.store(++AccessCount, std::memory_order_relaxed);
+  Cm.noteAccess();
   LockPair &Locks = GlobalState.Table.entryFor(Addr);
 
   StripeWrite *Mine = nullptr;
@@ -107,8 +106,9 @@ void SwissTx::store(Word *Addr, Word Value) {
         return;
       }
       // Write/write conflict, detected eagerly (Algorithm 1, line 26).
-      if (cmShouldAbort(Entry->Owner.load(std::memory_order_relaxed),
-                        Attempts))
+      if (Cm.shouldAbort(GlobalState.Config,
+                         Entry->Owner.load(std::memory_order_relaxed),
+                         this, Attempts, Rng))
         rollback();
       checkKill();
       repro::spinWait(Attempts);
@@ -132,11 +132,13 @@ void SwissTx::store(Word *Addr, Word Value) {
   Mine->RVersion = Locks.RLock.load(std::memory_order_acquire);
   assert(!rlockIsLocked(Mine->RVersion) &&
          "r-lock locked while w-lock was free");
-  if (rlockVersion(Mine->RVersion) > ValidTs && !extend())
+  if (rlockVersion(Mine->RVersion) > ValidTs &&
+      !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension))
     rollback();
 
   addWordWrite(Mine, Addr, Value);
-  cmOnWrite(); // Algorithm 1, line 33
+  Cm.onWrite(GlobalState.Config, GlobalState.GreedyTs,
+             WordWriteCount); // Algorithm 1, line 33
 }
 
 void SwissTx::addWordWrite(StripeWrite *Entry, Word *Addr, Word Value) {
@@ -176,7 +178,7 @@ void SwissTx::commit() {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
   uint64_t Ts = GlobalState.CommitTs.incrementAndGet(); // line 37
-  if (Ts > ValidTs + 1 && !validate()) {
+  if (Ts > ValidTs + 1 && !revalidate()) {
     // Failed commit-time validation: restore r-locks, roll back
     // (Algorithm 1, lines 38-41).
     WriteLog.forEach([](StripeWrite &E) {
@@ -219,11 +221,12 @@ void SwissTx::rollback() {
       E.Locks->WLock.store(0, std::memory_order_release);
   });
   baseAbort();
-  cmOnRollback(); // Algorithm 1, line 49
+  Cm.onRollback(GlobalState.Config, Rng,
+                SuccessiveAborts); // Algorithm 1, line 49
   std::longjmp(Env, 1);
 }
 
-bool SwissTx::validate() {
+bool SwissTx::validateReadSet() {
   // Algorithm 1, lines 50-53.
   for (const ReadEntry &R : ReadLog) {
     Word Cur = R.Locks->RLock.load(std::memory_order_acquire);
@@ -240,118 +243,4 @@ bool SwissTx::validate() {
     return false;
   }
   return true;
-}
-
-bool SwissTx::extend() {
-  // Algorithm 1, lines 54-57. Disabled extension (TL2-style behaviour)
-  // is one of the ablation knobs.
-  if (!GlobalState.Config.EnableExtension) {
-    ++Stats.FailedExtensions;
-    return false;
-  }
-  uint64_t Ts = GlobalState.CommitTs.load();
-  if (validate()) {
-    ValidTs = Ts;
-    repro::ThreadRegistry::publishStart(Slot, ValidTs);
-    ++Stats.Extensions;
-    return true;
-  }
-  ++Stats.FailedExtensions;
-  return false;
-}
-
-//===----------------------------------------------------------------------===//
-// Contention management (Algorithm 2 and ablation variants)
-//===----------------------------------------------------------------------===//
-
-static constexpr uint64_t CmInfinity = ~0ull;
-static constexpr unsigned PolkaMaxAttempts = 8;
-
-void SwissTx::cmStart() {
-  switch (GlobalState.Config.Cm) {
-  case CmKind::TwoPhase:
-    // Algorithm 2, cm-start: a restart keeps its Greedy timestamp.
-    if (FreshStart)
-      CmTs.store(CmInfinity, std::memory_order_relaxed);
-    break;
-  case CmKind::Timid:
-    CmTs.store(CmInfinity, std::memory_order_relaxed);
-    break;
-  case CmKind::Greedy:
-    // Greedy: unique timestamp at first start, kept across restarts;
-    // every transaction pays the shared-counter increment (the cost
-    // Figure 10 highlights).
-    if (FreshStart)
-      CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
-                 std::memory_order_relaxed);
-    break;
-  case CmKind::Serializer:
-    // Serializer: fresh timestamp on every (re)start, so no starvation
-    // protection.
-    CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
-               std::memory_order_relaxed);
-    break;
-  case CmKind::Polka:
-    CmTs.store(CmInfinity, std::memory_order_relaxed);
-    break;
-  }
-}
-
-void SwissTx::cmOnWrite() {
-  if (GlobalState.Config.Cm != CmKind::TwoPhase)
-    return;
-  // Algorithm 2, cm-on-write: on the Wn-th buffered write, enter the
-  // second (Greedy) phase.
-  if (CmTs.load(std::memory_order_relaxed) == CmInfinity &&
-      WordWriteCount >= GlobalState.Config.WnThreshold)
-    CmTs.store(GlobalState.GreedyTs.incrementAndGet(),
-               std::memory_order_relaxed);
-}
-
-bool SwissTx::cmShouldAbort(SwissTx *Owner, unsigned &Attempts) {
-  ++Attempts;
-  switch (GlobalState.Config.Cm) {
-  case CmKind::Timid:
-    return true; // always abort the attacker
-
-  case CmKind::TwoPhase:
-  case CmKind::Greedy:
-  case CmKind::Serializer: {
-    // Algorithm 2, cm-should-abort.
-    uint64_t MyTs = CmTs.load(std::memory_order_relaxed);
-    if (MyTs == CmInfinity)
-      return true; // first phase: abort self immediately
-    if (Owner == nullptr)
-      return false; // owner raced away; retry the CAS
-    uint64_t OwnerTs = Owner->cmTimestamp();
-    if (OwnerTs < MyTs)
-      return true; // older transaction wins; abort self
-    Owner->requestKill(); // abort(lock-owner)
-    return false;         // and retry until the lock is released
-  }
-
-  case CmKind::Polka: {
-    // Polka: wait with exponential back-off while the victim has higher
-    // priority; once we out-prioritize it (or patience runs out), abort
-    // the victim.
-    if (Owner == nullptr)
-      return false;
-    uint64_t MyPrio = PubPriority.load(std::memory_order_relaxed);
-    uint64_t OwnerPrio = Owner->polkaPriority();
-    if (MyPrio < OwnerPrio && Attempts <= PolkaMaxAttempts) {
-      repro::randomExponentialBackoff(Rng, Attempts);
-      return false;
-    }
-    Owner->requestKill();
-    return false;
-  }
-  }
-  return true;
-}
-
-void SwissTx::cmOnRollback() {
-  // Algorithm 2, cm-on-rollback: randomized linear back-off in the
-  // number of successive aborts (ablated in Figure 11).
-  if (GlobalState.Config.EnableRollbackBackoff)
-    repro::randomLinearBackoff(Rng, SuccessiveAborts);
 }

@@ -13,6 +13,11 @@
 //  * the two-phase contention manager of Algorithm 2 with randomized
 //    linear back-off after rollback.
 //
+// Built from the shared policy core: the lock table and clocks come
+// from stm/core, the valid-ts/extension loop from core::TimeValidation,
+// and the whole contention manager from core::ContentionManager in its
+// Native two-phase mode. What remains here is Algorithm 1 itself.
+//
 // Every memory stripe maps to a pair of locks (Figure 1):
 //   w-lock: 0 when free, otherwise a pointer to the owner's stripe
 //           write-log entry;
@@ -24,12 +29,15 @@
 #ifndef STM_SWISSTM_SWISSTM_H
 #define STM_SWISSTM_SWISSTM_H
 
-#include "stm/Clock.h"
 #include "stm/Config.h"
-#include "stm/LockTable.h"
 #include "stm/RacyAccess.h"
 #include "stm/StableLog.h"
 #include "stm/TxBase.h"
+#include "stm/core/Clock.h"
+#include "stm/core/ContentionManager.h"
+#include "stm/core/LockTable.h"
+#include "stm/core/Validation.h"
+#include "stm/core/VersionedLock.h"
 #include "support/Backoff.h"
 #include "support/Platform.h"
 
@@ -79,17 +87,16 @@ struct LockPair {
   std::atomic<Word> RLock{0}; ///< version<<1 = free, 1 = locked
 };
 
-/// r-lock encoding helpers.
+/// r-lock encoding: one tag bit (see core/VersionedLock.h).
+using RLockOps = core::VersionedLockOps<1>;
 inline constexpr Word RLockLocked = 1;
-inline bool rlockIsLocked(Word V) { return (V & 1) != 0; }
-inline uint64_t rlockVersion(Word V) { return V >> 1; }
-inline Word rlockMake(uint64_t Version) {
-  return static_cast<Word>(Version << 1);
-}
+inline bool rlockIsLocked(Word V) { return RLockOps::isLocked(V); }
+inline uint64_t rlockVersion(Word V) { return RLockOps::version(V); }
+inline Word rlockMake(uint64_t Version) { return RLockOps::make(Version); }
 
 /// Global state of the SwissTM instance.
 struct SwissGlobals {
-  LockTable<LockPair> Table;
+  core::LockTable<LockPair> Table;
   GlobalClock CommitTs; ///< "commit-ts" of Algorithm 1
   GlobalClock GreedyTs; ///< "greedy-ts" of Algorithm 2
   StmConfig Config;
@@ -105,7 +112,7 @@ struct ReadEntry {
 };
 
 /// SwissTM transaction descriptor: one per thread.
-class SwissTx : public TxBase {
+class SwissTx : public TxBase, public core::TimeValidation<SwissTx> {
 public:
   explicit SwissTx(unsigned Slot) : TxBase(Slot) {}
 
@@ -125,22 +132,22 @@ public:
   /// Programmatic retry: aborts and restarts the current transaction.
   [[noreturn]] void restart() { rollback(); }
 
-  /// Priority visible to Polka attackers (number of accesses so far).
-  uint64_t polkaPriority() const {
-    return PubPriority.load(std::memory_order_relaxed);
+  /// Contention-manager state, readable by concurrent attackers.
+  const core::ContentionManager<core::TwoPhaseMode::Native> &cm() const {
+    return Cm;
   }
+
+  /// Priority visible to Polka attackers (number of accesses so far).
+  uint64_t polkaPriority() const { return Cm.priority(); }
 
   /// Contention-manager timestamp; UINT64_MAX while in the first phase.
-  uint64_t cmTimestamp() const {
-    return CmTs.load(std::memory_order_relaxed);
-  }
+  uint64_t cmTimestamp() const { return Cm.timestamp(); }
 
 private:
-  friend class SwissTestPeer;
+  friend class core::TimeValidation<SwissTx>;
 
   [[noreturn]] void rollback();
-  bool validate();
-  bool extend();
+  bool validateReadSet();
   void checkKill() {
     if (killRequested())
       rollback();
@@ -149,17 +156,7 @@ private:
   /// Finds/extends the buffered write of \p Addr in stripe entry \p E.
   void addWordWrite(StripeWrite *E, Word *Addr, Word Value);
 
-  // Contention manager hooks (Algorithm 2 plus the variants swept by the
-  // Section 5 ablations).
-  void cmStart();
-  void cmOnWrite();
-  bool cmShouldAbort(SwissTx *Owner, unsigned &Attempts);
-  void cmOnRollback();
-
-  uint64_t ValidTs = 0; ///< tx.valid-ts
-  std::atomic<uint64_t> CmTs{~0ull}; ///< tx.cm-ts (infinity = first phase)
-  std::atomic<uint64_t> PubPriority{0}; ///< Polka priority (accesses)
-  uint64_t AccessCount = 0;
+  core::ContentionManager<core::TwoPhaseMode::Native> Cm;
   unsigned WordWriteCount = 0;
 
   std::vector<ReadEntry> ReadLog;

@@ -28,8 +28,7 @@ void TinyTx::onStart() {
   ReadLog.clear();
   WriteLog.clear();
   WordLog.clear();
-  ValidTs = GlobalState.Clock.load();
-  repro::ThreadRegistry::publishStart(Slot, ValidTs);
+  beginEpoch(GlobalState.Clock);
 }
 
 Word TinyTx::load(const Word *Addr) {
@@ -56,7 +55,9 @@ Word TinyTx::load(const Word *Addr) {
     Word V2 = Lock.L.load(std::memory_order_acquire);
     if (V == V2) {
       ReadLog.push_back(ReadEntry{&Lock, V});
-      if (vlockVersion(V) > ValidTs && !extend())
+      if (vlockVersion(V) > ValidTs &&
+          !extendEpoch(GlobalState.Clock,
+                       GlobalState.Config.EnableExtension))
         rollback();
       return Value;
     }
@@ -95,7 +96,8 @@ void TinyTx::store(Word *Addr, Word Value) {
       break;
   }
 
-  if (vlockVersion(Mine->OldValue) > ValidTs && !extend())
+  if (vlockVersion(Mine->OldValue) > ValidTs &&
+      !extendEpoch(GlobalState.Clock, GlobalState.Config.EnableExtension))
     rollback();
   addWordWrite(Mine, Addr, Value);
 }
@@ -124,7 +126,7 @@ void TinyTx::commit() {
   }
 
   uint64_t Ts = GlobalState.Clock.incrementAndGet();
-  if (Ts > ValidTs + 1 && !validate())
+  if (Ts > ValidTs + 1 && !revalidate())
     rollback();
 
   // Write back and release each stripe with the commit timestamp.
@@ -153,7 +155,7 @@ void TinyTx::rollback() {
   std::longjmp(Env, 1);
 }
 
-bool TinyTx::validate() {
+bool TinyTx::validateReadSet() {
   for (const ReadEntry &R : ReadLog) {
     Word Cur = R.Lock->L.load(std::memory_order_acquire);
     if (Cur == R.Seen)
@@ -171,20 +173,4 @@ bool TinyTx::validate() {
     return false;
   }
   return true;
-}
-
-bool TinyTx::extend() {
-  if (!GlobalState.Config.EnableExtension) {
-    ++Stats.FailedExtensions;
-    return false;
-  }
-  uint64_t Ts = GlobalState.Clock.load();
-  if (validate()) {
-    ValidTs = Ts;
-    repro::ThreadRegistry::publishStart(Slot, ValidTs);
-    ++Stats.Extensions;
-    return true;
-  }
-  ++Stats.FailedExtensions;
-  return false;
 }

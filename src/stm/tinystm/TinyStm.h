@@ -15,17 +15,23 @@
 //   StripeWrite* | 1    while a writer owns the stripe (from first
 //                       write until its commit or abort).
 //
+// Built from the shared policy core: lock table and clock from
+// stm/core, the valid-ts/extension loop from core::TimeValidation. No
+// contention manager: timid is "abort self", which needs no state.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_TINYSTM_TINYSTM_H
 #define STM_TINYSTM_TINYSTM_H
 
-#include "stm/Clock.h"
 #include "stm/Config.h"
-#include "stm/LockTable.h"
 #include "stm/RacyAccess.h"
 #include "stm/StableLog.h"
 #include "stm/TxBase.h"
+#include "stm/core/Clock.h"
+#include "stm/core/LockTable.h"
+#include "stm/core/Validation.h"
+#include "stm/core/VersionedLock.h"
 
 #include <atomic>
 #include <cstdint>
@@ -71,17 +77,17 @@ struct VLock {
   std::atomic<Word> L{0};
 };
 
-inline bool vlockIsLocked(Word V) { return (V & 1) != 0; }
-inline uint64_t vlockVersion(Word V) { return V >> 1; }
-inline Word vlockMake(uint64_t Version) {
-  return static_cast<Word>(Version << 1);
-}
+/// Lock encoding: one tag bit (see core/VersionedLock.h).
+using VLockOps = core::VersionedLockOps<1>;
+inline bool vlockIsLocked(Word V) { return VLockOps::isLocked(V); }
+inline uint64_t vlockVersion(Word V) { return VLockOps::version(V); }
+inline Word vlockMake(uint64_t Version) { return VLockOps::make(Version); }
 inline StripeWrite *vlockEntry(Word V) {
-  return reinterpret_cast<StripeWrite *>(V & ~static_cast<Word>(1));
+  return VLockOps::pointer<StripeWrite>(V);
 }
 
 struct TinyGlobals {
-  LockTable<VLock> Table;
+  core::LockTable<VLock> Table;
   GlobalClock Clock;
   StmConfig Config;
 };
@@ -95,7 +101,7 @@ struct ReadEntry {
 };
 
 /// TinySTM transaction descriptor.
-class TinyTx : public TxBase {
+class TinyTx : public TxBase, public core::TimeValidation<TinyTx> {
 public:
   explicit TinyTx(unsigned Slot) : TxBase(Slot) {}
 
@@ -106,12 +112,11 @@ public:
   [[noreturn]] void restart() { rollback(); }
 
 private:
-  [[noreturn]] void rollback();
-  bool validate();
-  bool extend();
-  void addWordWrite(StripeWrite *Entry, Word *Addr, Word Value);
+  friend class core::TimeValidation<TinyTx>;
 
-  uint64_t ValidTs = 0;
+  [[noreturn]] void rollback();
+  bool validateReadSet();
+  void addWordWrite(StripeWrite *Entry, Word *Addr, Word Value);
 
   std::vector<ReadEntry> ReadLog;
   StableLog<StripeWrite> WriteLog;

@@ -29,8 +29,7 @@ void Tl2Tx::onStart() {
   WriteLog.clear();
   AcquiredLocks.clear();
   WSetMap.clear();
-  ReadVersion = GlobalState.Clock.load();
-  repro::ThreadRegistry::publishStart(Slot, ReadVersion);
+  beginEpoch(GlobalState.Clock); // "rv" -- clock sample at start
 }
 
 Word Tl2Tx::load(const Word *Addr) {
@@ -51,7 +50,7 @@ Word Tl2Tx::load(const Word *Addr) {
   // TL2 post-read check: the lock must be free, unchanged across the
   // data read, and no newer than the transaction's read version. Any
   // violation aborts -- TL2 has no extension mechanism.
-  if (vlockIsLocked(V1) || V1 != V2 || vlockVersion(V1) > ReadVersion)
+  if (vlockIsLocked(V1) || V1 != V2 || vlockVersion(V1) > ValidTs)
     rollback();
 
   ReadLog.push_back(&Lock);
@@ -107,17 +106,17 @@ bool Tl2Tx::validateReadSet() {
       // carries our descriptor, so validate against the version
       // observed when the lock was acquired. A commit that interleaved
       // between our read and our acquisition bumped it past
-      // ReadVersion and must fail validation.
+      // the read version and must fail validation.
       for (const Acquired &A : AcquiredLocks) {
         if (A.Lock == Lock) {
-          if (vlockVersion(A.OldValue) > ReadVersion)
+          if (vlockVersion(A.OldValue) > ValidTs)
             return false;
           break;
         }
       }
       continue;
     }
-    if (vlockIsLocked(V) || vlockVersion(V) > ReadVersion)
+    if (vlockIsLocked(V) || vlockVersion(V) > ValidTs)
       return false;
   }
   return true;
@@ -144,7 +143,7 @@ void Tl2Tx::commit() {
 
   // GV4: when no concurrent commit interleaved, the read set cannot
   // have changed and validation can be skipped.
-  if (WriteVersion != ReadVersion + 1 && !validateReadSet())
+  if (WriteVersion != ValidTs + 1 && !revalidate())
     rollbackReleasing();
 
   for (const WriteEntry &W : WriteLog)

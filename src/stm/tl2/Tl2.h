@@ -10,6 +10,10 @@
 // read version aborts immediately, which is one of the behaviours the
 // paper contrasts with SwissTM.
 //
+// Built from the shared policy core: lock table and clock from
+// stm/core; core::TimeValidation tracks the read version ("rv") and
+// counts validations, with extension permanently unused.
+//
 // Versioned lock word per stripe:
 //   version << 1          when free,
 //   descriptor-ptr | 1    while locked at commit time.
@@ -19,12 +23,14 @@
 #ifndef STM_TL2_TL2_H
 #define STM_TL2_TL2_H
 
-#include "stm/Clock.h"
 #include "stm/Config.h"
-#include "stm/LockTable.h"
 #include "stm/RacyAccess.h"
 #include "stm/TxBase.h"
 #include "stm/WriteMap.h"
+#include "stm/core/Clock.h"
+#include "stm/core/LockTable.h"
+#include "stm/core/Validation.h"
+#include "stm/core/VersionedLock.h"
 
 #include <atomic>
 #include <cstdint>
@@ -37,14 +43,14 @@ struct VLock {
   std::atomic<Word> L{0};
 };
 
-inline bool vlockIsLocked(Word V) { return (V & 1) != 0; }
-inline uint64_t vlockVersion(Word V) { return V >> 1; }
-inline Word vlockMake(uint64_t Version) {
-  return static_cast<Word>(Version << 1);
-}
+/// Lock encoding: one tag bit (see core/VersionedLock.h).
+using VLockOps = core::VersionedLockOps<1>;
+inline bool vlockIsLocked(Word V) { return VLockOps::isLocked(V); }
+inline uint64_t vlockVersion(Word V) { return VLockOps::version(V); }
+inline Word vlockMake(uint64_t Version) { return VLockOps::make(Version); }
 
 struct Tl2Globals {
-  LockTable<VLock> Table;
+  core::LockTable<VLock> Table;
   GlobalClock Clock;
   StmConfig Config;
 };
@@ -52,7 +58,7 @@ struct Tl2Globals {
 Tl2Globals &tl2Globals();
 
 /// TL2 transaction descriptor.
-class Tl2Tx : public TxBase {
+class Tl2Tx : public TxBase, public core::TimeValidation<Tl2Tx> {
 public:
   explicit Tl2Tx(unsigned Slot) : TxBase(Slot) {}
 
@@ -63,6 +69,8 @@ public:
   [[noreturn]] void restart() { rollback(); }
 
 private:
+  friend class core::TimeValidation<Tl2Tx>;
+
   struct WriteEntry {
     Word *Addr;
     Word Value;
@@ -80,8 +88,6 @@ private:
 
   /// Number of CAS attempts per lock before giving up and aborting.
   static constexpr unsigned AcquireSpinLimit = 32;
-
-  uint64_t ReadVersion = 0; ///< "rv" -- clock sample at start
 
   std::vector<VLock *> ReadLog;
   std::vector<WriteEntry> WriteLog;

@@ -15,10 +15,12 @@ namespace repro {
 /// each instance is owned by exactly one thread; aggregation happens after
 /// the measured region.
 struct TxStats {
+  uint64_t Starts = 0; ///< attempts begun; == Commits + Aborts at rest
   uint64_t Commits = 0;
   uint64_t Aborts = 0;
-  uint64_t Reads = 0;
+  uint64_t Reads = 0;  ///< one per load(), including read-after-write hits
   uint64_t Writes = 0;
+  uint64_t Validations = 0;     ///< whole-read-set validation passes
   uint64_t Extensions = 0;      ///< successful valid-ts extensions
   uint64_t FailedExtensions = 0;
   uint64_t ReadOnlyCommits = 0;
@@ -26,10 +28,12 @@ struct TxStats {
   void reset() { *this = TxStats(); }
 
   TxStats &operator+=(const TxStats &O) {
+    Starts += O.Starts;
     Commits += O.Commits;
     Aborts += O.Aborts;
     Reads += O.Reads;
     Writes += O.Writes;
+    Validations += O.Validations;
     Extensions += O.Extensions;
     FailedExtensions += O.FailedExtensions;
     ReadOnlyCommits += O.ReadOnlyCommits;

@@ -1,0 +1,166 @@
+//===- tests/ConfigMatrixTest.cpp - config boundary sweeps -----------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The paper sweeps lock-table geometry (Figure 13); these tests pin the
+// supported envelope down at its corners: the smallest and largest
+// lock table (LockTableSizeLog2 4 and 28) crossed with the finest and
+// coarsest granularity (GranularityLog2 2 and 12), on every backend.
+// The 2^4-entry table drowns in false conflicts and the 2^12-byte
+// stripes serialize almost everything — correctness must hold anyway.
+// The 2^28-entry corner doubles as a regression test for the lock
+// table's lazily-committed storage: with padded 64-byte entries that
+// is 16 GiB of address space, which must not become 16 GiB of memory.
+//
+// Out-of-range geometry must die in *every* build mode — a table sized
+// from a corrupted config coming up half-valid in a Release build is
+// how silent data corruption starts — so LockTable::init enforces its
+// bounds itself and the death tests below run the Release binary too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include "stm/core/LockTable.h"
+
+#include <atomic>
+#include <cstdint>
+
+using namespace stm;
+using repro_test::runThreads;
+
+namespace {
+
+// Sanitizers pay real (shadow) memory for the table's lazily-committed
+// address space, so the large corner shrinks under them: the product
+// still sweeps the same code paths, just with a 2^24-entry ceiling.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define STM_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define STM_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+
+inline unsigned maxSweepSizeLog2() {
+#ifdef STM_TEST_UNDER_SANITIZER
+  return 24;
+#else
+  return core::LockTable<int>::MaxSizeLog2;
+#endif
+}
+
+/// Balanced-transfer workload: two threads move value between cells of
+/// a small array inside transactions while a third scans for a torn
+/// sum. Cheap enough to run at every corner of the matrix.
+template <typename STM> void runCornerWorkload() {
+  constexpr unsigned Cells = 16;
+  constexpr uint64_t Total = 1600;
+  static std::vector<Word> Data;
+  Data.assign(Cells, 0);
+  Data[0] = Total;
+  std::atomic<bool> Violation{false};
+
+  runThreads<STM>(3, [&](unsigned Id, auto &Tx) {
+    repro::Xorshift Rng(repro::testSeed(Id * 7 + 1));
+    for (int I = 0; I < 400; ++I) {
+      if (Id < 2) {
+        unsigned From = Rng.nextBounded(Cells), To = Rng.nextBounded(Cells);
+        atomically(Tx, [&, From, To](auto &T) {
+          Word B = T.load(&Data[From]);
+          if (B == 0)
+            return;
+          T.store(&Data[From], B - 1);
+          T.store(&Data[To], T.load(&Data[To]) + 1);
+        });
+      } else {
+        atomically(Tx, [&](auto &T) {
+          uint64_t Sum = 0;
+          for (unsigned C = 0; C < Cells; ++C)
+            Sum += T.load(&Data[C]);
+          if (Sum != Total)
+            Violation.store(true);
+        });
+      }
+    }
+  });
+
+  EXPECT_FALSE(Violation.load()) << STM::name() << ": torn sum";
+  uint64_t Sum = 0;
+  for (Word W : Data)
+    Sum += W;
+  EXPECT_EQ(Sum, Total) << STM::name() << ": lost transfer";
+}
+
+template <typename STM> class ConfigMatrixTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(ConfigMatrixTest, repro_test::AllStms);
+
+TYPED_TEST(ConfigMatrixTest, BoundaryGeometryCorners) {
+  using Table = core::LockTable<int>;
+  for (unsigned SizeLog2 : {Table::MinSizeLog2, maxSweepSizeLog2()}) {
+    for (unsigned GranLog2 :
+         {Table::MinGranularityLog2, Table::MaxGranularityLog2}) {
+      SCOPED_TRACE(::testing::Message() << "SizeLog2=" << SizeLog2
+                                        << " GranLog2=" << GranLog2);
+      StmConfig Config;
+      Config.LockTableSizeLog2 = SizeLog2;
+      Config.GranularityLog2 = GranLog2;
+      TypeParam::globalInit(Config);
+      runCornerWorkload<TypeParam>();
+      TypeParam::globalShutdown();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Death tests: out-of-range geometry must abort in every build mode.
+//===----------------------------------------------------------------------===//
+
+template <typename STM> class ConfigMatrixDeathTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(ConfigMatrixDeathTest, repro_test::AllStms);
+
+TYPED_TEST(ConfigMatrixDeathTest, RejectsOutOfRangeGeometry) {
+  StmConfig TooSmall;
+  TooSmall.LockTableSizeLog2 = 3;
+  EXPECT_DEATH(TypeParam::globalInit(TooSmall), "out of range");
+
+  StmConfig TooBig;
+  TooBig.LockTableSizeLog2 = 29;
+  EXPECT_DEATH(TypeParam::globalInit(TooBig), "out of range");
+
+  StmConfig TooFine;
+  TooFine.GranularityLog2 = 1;
+  EXPECT_DEATH(TypeParam::globalInit(TooFine), "out of range");
+
+  StmConfig TooCoarse;
+  TooCoarse.GranularityLog2 = 13;
+  EXPECT_DEATH(TypeParam::globalInit(TooCoarse), "out of range");
+}
+
+TEST(LockTableDeathTest, InitEnforcesBoundsDirectly) {
+  core::LockTable<int> Table;
+  EXPECT_DEATH(Table.init(0, 4), "out of range");
+  EXPECT_DEATH(Table.init(64, 4), "out of range");
+  EXPECT_DEATH(Table.init(20, 0), "out of range");
+  EXPECT_DEATH(Table.init(20, 32), "out of range");
+}
+
+/// The padded entries are the false-sharing fix: adjacent stripes must
+/// land on different cache lines.
+TEST(LockTableTest, AdjacentStripesDoNotShareCacheLines) {
+  core::LockTable<int> Table;
+  Table.init(/*SizeLog2=*/10, /*GranLog2=*/4);
+  alignas(64) static unsigned char Arena[1024];
+  int *E0 = &Table.entryFor(Arena);
+  int *E1 = &Table.entryFor(Arena + 16);
+  ASSERT_NE(E0, E1);
+  EXPECT_GE(std::abs(reinterpret_cast<intptr_t>(E1) -
+                     reinterpret_cast<intptr_t>(E0)),
+            intptr_t(repro::CacheLineSize));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(E0) % repro::CacheLineSize, 0u);
+  Table.destroy();
+}
+
+} // namespace

@@ -1,0 +1,345 @@
+//===- tests/HistoryCheckTest.cpp - randomized opacity checking ------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The paper's safety property is opacity (Section 3.1): every
+// transaction — committed or aborted — observes a state produced by some
+// prefix of a serialization of the committed transactions. The
+// structure-invariant tests elsewhere check consequences of opacity;
+// this suite checks the property itself, offline, against recorded
+// histories:
+//
+//  * every transaction reads a designated sequencer word first and every
+//    update transaction also writes it a unique value, so the read-from
+//    chain on the sequencer totally orders all committed updates;
+//  * every transaction then snapshots a small shared word array (reads
+//    recorded in order), and updaters write unique values into it;
+//  * the offline checker replays the sequencer chain, verifying that it
+//    is a permutation of the committed updates and that each one's
+//    snapshot equals the replayed state it serialized after. Read-only
+//    and aborted attempts are then checked against the replay state
+//    keyed by the sequencer value they observed — for aborted attempts
+//    the recorded read prefix must be consistent too, which is exactly
+//    the part of opacity serializability checks miss.
+//
+// Any torn snapshot, dirty read, lost update or write-skew the STM lets
+// through surfaces as a checker failure naming the attempt. Runs are
+// seeded via repro::testSeed (replay with STM_TEST_SEED=<seed>) and the
+// whole suite runs under TSan in CI; STM_STRESS=<n> scales it up for
+// the nightly stress label.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include <gtest/gtest-spi.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+using namespace stm;
+using repro_test::runThreads;
+using repro_test::stressScale;
+
+namespace {
+
+constexpr unsigned NumWords = 6;
+
+/// The shared transactional state: one sequencer word plus a small
+/// array, on separate stripes.
+struct SharedState {
+  alignas(64) Word Seq;
+  alignas(64) Word Words[NumWords];
+};
+
+/// One recorded transaction attempt (committed or aborted).
+struct Attempt {
+  uint64_t SeqSeen = 0;
+  bool SeqValid = false; ///< the sequencer read completed
+  bool Committed = false;
+  uint64_t SeqWritten = 0; ///< nonzero iff this attempt wrote (updater)
+  std::vector<std::pair<unsigned, uint64_t>> Reads;  ///< (word, value)
+  std::vector<std::pair<unsigned, uint64_t>> Writes; ///< (word, value)
+};
+
+/// Unique value for thread \p Tid, attempt \p AttemptIdx, op \p Op.
+/// Never zero, never collides across threads/attempts/ops.
+uint64_t uniqueValue(unsigned Tid, uint64_t AttemptIdx, unsigned Op) {
+  return (uint64_t(Tid + 1) << 48) | (AttemptIdx << 8) | (Op + 1);
+}
+
+/// Offline opacity check of the merged history (see file comment).
+void checkHistory(const std::vector<Attempt> &History, const char *StmName) {
+  // Index committed updates by the sequencer value they read and wrote.
+  std::map<uint64_t, const Attempt *> BySeqSeen;
+  uint64_t CommittedUpdates = 0;
+  for (const Attempt &A : History) {
+    if (!A.Committed || A.SeqWritten == 0)
+      continue;
+    ++CommittedUpdates;
+    ASSERT_TRUE(A.SeqValid) << StmName << ": update committed without "
+                            << "completing its sequencer read";
+    ASSERT_TRUE(BySeqSeen.emplace(A.SeqSeen, &A).second)
+        << StmName << ": two committed updates both read sequencer value "
+        << A.SeqSeen << " — lost update";
+  }
+
+  // Replay the sequencer chain from the initial state, checking each
+  // update's snapshot against the state it serialized after, and
+  // remember every state the chain passes through, keyed by the
+  // sequencer value that identifies it.
+  std::vector<uint64_t> State(NumWords, 0);
+  std::map<uint64_t, std::vector<uint64_t>> StateAtSeq;
+  uint64_t CurSeq = 0;
+  uint64_t Replayed = 0;
+  StateAtSeq.emplace(CurSeq, State);
+  for (auto It = BySeqSeen.find(CurSeq); It != BySeqSeen.end();
+       It = BySeqSeen.find(CurSeq)) {
+    const Attempt &A = *It->second;
+    for (const auto &[W, V] : A.Reads)
+      EXPECT_EQ(V, State[W])
+          << StmName << ": committed update serialized at sequencer "
+          << A.SeqSeen << " read word " << W << " inconsistently";
+    for (const auto &[W, V] : A.Writes)
+      State[W] = V;
+    CurSeq = A.SeqWritten;
+    StateAtSeq.emplace(CurSeq, State);
+    ++Replayed;
+  }
+  EXPECT_EQ(Replayed, CommittedUpdates)
+      << StmName << ": sequencer chain does not serialize all committed "
+      << "updates — broken read-from chain";
+
+  // Read-only and aborted attempts: the sequencer value read places the
+  // attempt in the serial order; all its reads must match that state.
+  for (const Attempt &A : History) {
+    if (!A.SeqValid || (A.Committed && A.SeqWritten != 0))
+      continue;
+    auto It = StateAtSeq.find(A.SeqSeen);
+    if (It == StateAtSeq.end()) {
+      ADD_FAILURE() << StmName << ": attempt observed sequencer value "
+                    << A.SeqSeen
+                    << " that no committed update wrote — dirty read";
+      continue;
+    }
+    for (const auto &[W, V] : A.Reads)
+      EXPECT_EQ(V, It->second[W])
+          << StmName << ": "
+          << (A.Committed ? "read-only transaction" : "aborted attempt")
+          << " at sequencer " << A.SeqSeen << " read word " << W
+          << " inconsistently — non-opaque snapshot";
+  }
+}
+
+template <typename STM>
+void runHistoryCheck(const StmConfig &Config, unsigned Threads,
+                     unsigned TxPerThread, unsigned UpdatePercent,
+                     uint64_t SeedSalt, bool RequireAborts = false) {
+  static SharedState S;
+  S.Seq = 0;
+  for (Word &W : S.Words)
+    W = 0;
+
+  STM::globalInit(Config);
+  {
+    std::vector<std::vector<Attempt>> PerThread(Threads);
+    runThreads<STM>(Threads, [&](unsigned Tid, auto &Tx) {
+      repro::Xorshift Rng(repro::testSeed(SeedSalt * 100 + Tid));
+      std::vector<Attempt> &Hist = PerThread[Tid];
+      unsigned Order[NumWords];
+      for (unsigned I = 0; I < NumWords; ++I)
+        Order[I] = I;
+      for (unsigned TxI = 0; TxI < TxPerThread; ++TxI) {
+        bool Update = Rng.nextPercent(UpdatePercent);
+        atomically(Tx, [&](auto &T) {
+          // One record per attempt: commit()-time aborts rerun the body,
+          // so earlier records stay behind as aborted prefixes.
+          Hist.emplace_back();
+          Attempt &A = Hist.back();
+          uint64_t AttemptIdx = Hist.size() - 1;
+
+          A.SeqSeen = T.load(&S.Seq);
+          A.SeqValid = true;
+
+          // Full snapshot in random order (no reads after writes, so
+          // recorded reads never hit the transaction's own redo log).
+          // Randomized yields force interleavings mid-transaction even
+          // on few-core machines — without them the attempts mostly
+          // serialize and the checker has nothing interesting to check.
+          for (unsigned I = NumWords - 1; I > 0; --I)
+            std::swap(Order[I], Order[Rng.nextBounded(I + 1)]);
+          for (unsigned I = 0; I < NumWords; ++I) {
+            unsigned W = Order[I];
+            if (Rng.nextPercent(8))
+              std::this_thread::yield();
+            A.Reads.emplace_back(W, T.load(&S.Words[W]));
+          }
+
+          if (Update) {
+            unsigned Writes = 1 + unsigned(Rng.nextBounded(3));
+            for (unsigned Op = 0; Op < Writes; ++Op) {
+              unsigned W = unsigned(Rng.nextBounded(NumWords));
+              uint64_t V = uniqueValue(Tid, AttemptIdx, Op);
+              if (Rng.nextPercent(8))
+                std::this_thread::yield();
+              T.store(&S.Words[W], V);
+              // Same-word writes overwrite: keep only the last record.
+              for (auto &Rec : A.Writes)
+                if (Rec.first == W)
+                  Rec.second = 0;
+              A.Writes.emplace_back(W, V);
+            }
+            A.Writes.erase(std::remove_if(A.Writes.begin(), A.Writes.end(),
+                                          [](const auto &R) {
+                                            return R.second == 0;
+                                          }),
+                           A.Writes.end());
+            A.SeqWritten = uniqueValue(Tid, AttemptIdx, 0xFE);
+            T.store(&S.Seq, A.SeqWritten);
+          }
+        });
+        Hist.back().Committed = true;
+      }
+    });
+
+    std::vector<Attempt> History;
+    for (auto &H : PerThread)
+      for (Attempt &A : H)
+        History.push_back(std::move(A));
+    if (RequireAborts)
+      EXPECT_GT(History.size(), uint64_t(Threads) * TxPerThread)
+          << STM::name() << ": run produced no aborted attempts — the "
+          << "checker exercised no contention";
+    checkHistory(History, STM::name());
+  }
+  STM::globalShutdown();
+}
+
+StmConfig smallTable() {
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 16;
+  return Config;
+}
+
+template <typename STM> class HistoryCheckTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(HistoryCheckTest, repro_test::AllStms);
+
+/// Default configuration of each backend, mixed readers and updaters.
+TYPED_TEST(HistoryCheckTest, RandomizedHistoryIsOpaque) {
+  runHistoryCheck<TypeParam>(smallTable(), 4, 1500 * stressScale(),
+                             /*UpdatePercent=*/50, /*SeedSalt=*/1,
+                             /*RequireAborts=*/true);
+}
+
+/// Read-dominated: long stretches between sequencer bumps exercise the
+/// extension/revalidation paths instead of the conflict paths.
+TYPED_TEST(HistoryCheckTest, ReadMostlyHistoryIsOpaque) {
+  runHistoryCheck<TypeParam>(smallTable(), 4, 1200 * stressScale(),
+                             /*UpdatePercent=*/10, /*SeedSalt=*/2);
+}
+
+/// A tiny lock table forces false conflicts between unrelated stripes;
+/// opacity must survive aliasing.
+TYPED_TEST(HistoryCheckTest, FalseConflictsStayOpaque) {
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 4;
+  runHistoryCheck<TypeParam>(Config, 4, 800 * stressScale(),
+                             /*UpdatePercent=*/50, /*SeedSalt=*/3);
+}
+
+/// SwissTM with timestamp extension disabled behaves like TL2 on reads;
+/// the history must stay opaque, just with more aborts.
+TEST(HistoryCheckConfigTest, SwissTmWithoutExtension) {
+  StmConfig Config = smallTable();
+  Config.EnableExtension = false;
+  runHistoryCheck<SwissTm>(Config, 4, 1200 * stressScale(), 50, 4);
+}
+
+/// RSTM's other design-matrix cells: lazy acquire and visible reads.
+TEST(HistoryCheckConfigTest, RstmLazyAcquire) {
+  StmConfig Config = smallTable();
+  Config.RstmEagerAcquire = false;
+  runHistoryCheck<Rstm>(Config, 4, 1200 * stressScale(), 50, 5);
+}
+
+TEST(HistoryCheckConfigTest, RstmVisibleReads) {
+  StmConfig Config = smallTable();
+  Config.RstmVisibleReads = true;
+  // Smaller than the invisible-read cases: every updater must clear
+  // every reader's bit through the CM, which on few-core machines makes
+  // each conflict orders of magnitude more expensive.
+  runHistoryCheck<Rstm>(Config, 2, 400 * stressScale(), 50, 6);
+}
+
+/// The checker itself must reject a non-opaque history: synthesize a
+/// torn snapshot and make sure it trips.
+TEST(HistoryCheckerSelfTest, DetectsTornSnapshot) {
+  std::vector<Attempt> History;
+
+  Attempt Update;
+  Update.SeqSeen = 0;
+  Update.SeqValid = true;
+  Update.Committed = true;
+  Update.SeqWritten = uniqueValue(0, 0, 0xFE);
+  for (unsigned W = 0; W < NumWords; ++W)
+    Update.Reads.emplace_back(W, 0);
+  Update.Writes.emplace_back(0, uniqueValue(0, 0, 0));
+  Update.Writes.emplace_back(1, uniqueValue(0, 0, 1));
+  History.push_back(Update);
+
+  // A reader that saw word 0 after the update but word 1 before it:
+  // consistent with no serialization point.
+  Attempt Torn;
+  Torn.SeqSeen = Update.SeqWritten;
+  Torn.SeqValid = true;
+  Torn.Committed = true;
+  Torn.Reads.emplace_back(0, uniqueValue(0, 0, 0));
+  Torn.Reads.emplace_back(1, 0);
+  History.push_back(Torn);
+
+  EXPECT_NONFATAL_FAILURE(checkHistory(History, "synthetic"),
+                          "non-opaque snapshot");
+}
+
+TEST(HistoryCheckerSelfTest, DetectsDirtyRead) {
+  std::vector<Attempt> History;
+  Attempt Dirty;
+  Dirty.SeqSeen = uniqueValue(7, 3, 0xFE); // nobody committed this
+  Dirty.SeqValid = true;
+  Dirty.Committed = true;
+  History.push_back(Dirty);
+  EXPECT_NONFATAL_FAILURE(checkHistory(History, "synthetic"),
+                          "dirty read");
+}
+
+TEST(HistoryCheckerSelfTest, DetectsLostUpdate) {
+  std::vector<Attempt> History;
+  for (int I = 0; I < 2; ++I) {
+    Attempt A;
+    A.SeqSeen = 0; // both serialized after the initial state
+    A.SeqValid = true;
+    A.Committed = true;
+    A.SeqWritten = uniqueValue(I, 0, 0xFE);
+    History.push_back(A);
+  }
+  bool Caught = false;
+  // The duplicate-SeqSeen assertion is fatal; run in a scoped trap.
+  {
+    ::testing::TestPartResultArray Failures;
+    ::testing::ScopedFakeTestPartResultReporter Reporter(
+        ::testing::ScopedFakeTestPartResultReporter::
+            INTERCEPT_ONLY_CURRENT_THREAD,
+        &Failures);
+    checkHistory(History, "synthetic");
+    for (int I = 0; I < Failures.size(); ++I)
+      if (std::string(Failures.GetTestPartResult(I).message())
+              .find("lost update") != std::string::npos)
+        Caught = true;
+  }
+  EXPECT_TRUE(Caught);
+}
+
+} // namespace

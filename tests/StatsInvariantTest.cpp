@@ -1,0 +1,185 @@
+//===- tests/StatsInvariantTest.cpp - per-backend stats accounting ---------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The figures are plotted from TxStats, so accounting drift is silent
+// data corruption for the reproduction: a backend that double-counts
+// read-after-write reads or loses an abort skews every derived ratio.
+// These invariants hold on every backend and pin the counters down
+// during refactors of the shared core:
+//
+//   * Starts == Commits + Aborts at every quiescent point;
+//   * every counter is monotone non-decreasing over a descriptor's life;
+//   * read-after-write reads count exactly once per load() call;
+//   * ReadOnlyCommits counts exactly the transactions with no writes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include <atomic>
+#include <vector>
+
+using namespace stm;
+using repro_test::runThreads;
+
+namespace {
+
+template <typename STM> class StatsInvariantTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    STM::globalInit(Config);
+  }
+  void TearDown() override { STM::globalShutdown(); }
+};
+
+TYPED_TEST_SUITE(StatsInvariantTest, repro_test::AllStms);
+
+/// Contended increments: every attempt either commits or aborts, never
+/// both, never neither — Starts must balance exactly, per thread and in
+/// aggregate.
+TYPED_TEST(StatsInvariantTest, StartsEqualCommitsPlusAborts) {
+  alignas(64) static Word Counter;
+  Counter = 0;
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Iters = 2000;
+  std::vector<repro::TxStats> Stats(Threads);
+
+  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+    for (unsigned I = 0; I < Iters; ++I)
+      atomically(Tx,
+                 [&](auto &T) { T.store(&Counter, T.load(&Counter) + 1); });
+    Stats[Id] = Tx.stats();
+  });
+
+  repro::TxStats Total;
+  for (unsigned I = 0; I < Threads; ++I) {
+    EXPECT_EQ(Stats[I].Starts, Stats[I].Commits + Stats[I].Aborts)
+        << TypeParam::name() << " thread " << I;
+    EXPECT_EQ(Stats[I].Commits, Iters) << TypeParam::name() << " thread "
+                                       << I;
+    Total += Stats[I];
+  }
+  EXPECT_EQ(Counter, uint64_t(Threads) * Iters);
+  EXPECT_EQ(Total.Starts, Total.Commits + Total.Aborts);
+}
+
+/// Counters only ever go up: snapshot a descriptor's stats between
+/// batches of contended work and check monotonicity field by field,
+/// plus the balance invariant at each quiescent-enough point (the
+/// descriptor itself is between transactions when sampled).
+TYPED_TEST(StatsInvariantTest, CountersMonotoneAcrossBatches) {
+  alignas(64) static Word Cells[4];
+  for (Word &W : Cells)
+    W = 0;
+  std::atomic<bool> Monotone{true};
+  std::atomic<bool> Balanced{true};
+
+  runThreads<TypeParam>(3, [&](unsigned Id, auto &Tx) {
+    repro::Xorshift Rng(repro::testSeed(Id + 40));
+    repro::TxStats Prev = Tx.stats();
+    for (unsigned Batch = 0; Batch < 20; ++Batch) {
+      for (unsigned I = 0; I < 100; ++I) {
+        unsigned A = Rng.nextBounded(4), B = Rng.nextBounded(4);
+        atomically(Tx, [&, A, B](auto &T) {
+          Word V = T.load(&Cells[A]);
+          if (Rng.nextPercent(60))
+            T.store(&Cells[B], V + 1);
+          else
+            (void)T.load(&Cells[B]);
+        });
+      }
+      const repro::TxStats &Cur = Tx.stats();
+      if (Cur.Starts < Prev.Starts || Cur.Commits < Prev.Commits ||
+          Cur.Aborts < Prev.Aborts || Cur.Reads < Prev.Reads ||
+          Cur.Writes < Prev.Writes ||
+          Cur.Validations < Prev.Validations ||
+          Cur.Extensions < Prev.Extensions ||
+          Cur.FailedExtensions < Prev.FailedExtensions ||
+          Cur.ReadOnlyCommits < Prev.ReadOnlyCommits)
+        Monotone.store(false);
+      if (Cur.Starts != Cur.Commits + Cur.Aborts)
+        Balanced.store(false);
+      if (Cur.ReadOnlyCommits > Cur.Commits)
+        Balanced.store(false);
+      Prev = Cur;
+    }
+  });
+
+  EXPECT_TRUE(Monotone.load()) << TypeParam::name()
+                               << ": a counter decreased";
+  EXPECT_TRUE(Balanced.load()) << TypeParam::name()
+                               << ": Starts != Commits + Aborts mid-run";
+}
+
+/// Uncontended single thread: counts are exact. Read-after-write hits
+/// served from the write log (or the owned stripe) must count once per
+/// load() — not zero (the read happened) and not twice.
+TYPED_TEST(StatsInvariantTest, ReadAfterWriteReadsCountOnce) {
+  alignas(64) static Word X, Y;
+  X = Y = 0;
+
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    repro::TxStats Before = Tx.stats();
+    atomically(Tx, [&](auto &T) {
+      T.store(&X, 7); // X now in the write set
+      for (int I = 0; I < 5; ++I)
+        EXPECT_EQ(T.load(&X), 7u); // read-after-write hits
+      for (int I = 0; I < 3; ++I)
+        (void)T.load(&Y); // plain reads
+      T.store(&X, 8);
+    });
+    const repro::TxStats &After = Tx.stats();
+    EXPECT_EQ(After.Reads - Before.Reads, 8u)
+        << TypeParam::name() << ": RAW reads double- or under-counted";
+    EXPECT_EQ(After.Writes - Before.Writes, 2u);
+    EXPECT_EQ(After.Starts - Before.Starts, 1u);
+    EXPECT_EQ(After.Commits - Before.Commits, 1u);
+    EXPECT_EQ(After.Aborts - Before.Aborts, 0u);
+  });
+  EXPECT_EQ(X, 8u);
+}
+
+/// Read-only commits are tallied separately and never exceed commits.
+TYPED_TEST(StatsInvariantTest, ReadOnlyCommitsAreExact) {
+  alignas(64) static Word X;
+  X = 41;
+
+  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+    repro::TxStats Before = Tx.stats();
+    for (int I = 0; I < 6; ++I)
+      atomically(Tx, [&](auto &T) { (void)T.load(&X); });
+    for (int I = 0; I < 2; ++I)
+      atomically(Tx, [&](auto &T) { T.store(&X, T.load(&X) + 1); });
+    const repro::TxStats &After = Tx.stats();
+    EXPECT_EQ(After.ReadOnlyCommits - Before.ReadOnlyCommits, 6u)
+        << TypeParam::name();
+    EXPECT_EQ(After.Commits - Before.Commits, 8u) << TypeParam::name();
+  });
+  EXPECT_EQ(X, 43u);
+}
+
+/// The paper's derived metric: abortRatio stays in [0, 1] and matches
+/// the raw counters it is computed from.
+TYPED_TEST(StatsInvariantTest, AbortRatioConsistent) {
+  alignas(64) static Word Hot;
+  Hot = 0;
+  std::vector<repro::TxStats> Stats(4);
+  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+    for (int I = 0; I < 500; ++I)
+      atomically(Tx, [&](auto &T) { T.store(&Hot, T.load(&Hot) + 1); });
+    Stats[Id] = Tx.stats();
+  });
+  repro::TxStats Total;
+  for (const auto &S : Stats)
+    Total += S;
+  double Ratio = Total.abortRatio();
+  EXPECT_GE(Ratio, 0.0);
+  EXPECT_LE(Ratio, 1.0);
+  EXPECT_DOUBLE_EQ(Ratio, double(Total.Aborts) /
+                              double(Total.Commits + Total.Aborts));
+}
+
+} // namespace

@@ -13,10 +13,27 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 namespace repro_test {
+
+/// Iteration multiplier for the long ("stress"-labelled) test modes:
+/// STM_STRESS=<n> scales the randomized suites up by n. Unset or 1 is
+/// the quick mode every normal ctest run uses; the nightly CI job runs
+/// the stress label with STM_STRESS=10.
+inline unsigned stressScale() {
+  static const unsigned Scale = [] {
+    if (const char *Env = std::getenv("STM_STRESS")) {
+      int V = std::atoi(Env);
+      if (V > 1)
+        return unsigned(V);
+    }
+    return 1u;
+  }();
+  return Scale;
+}
 
 /// Prints the active RNG base seed alongside every test failure, so a
 /// flaky run can be replayed exactly with STM_TEST_SEED=<seed>.

@@ -53,7 +53,7 @@ TYPED_TEST(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
   TxHashMap<TypeParam> Map(/*BucketsLog2=*/6);
   constexpr uint64_t Range = 256;
   constexpr unsigned Readers = 2;
-  constexpr unsigned Rounds = 10;
+  const unsigned Rounds = 10 * repro_test::stressScale();
   constexpr unsigned WritersPerRound = 4;
   constexpr unsigned OpsPerWriter = 64;
 
@@ -134,7 +134,7 @@ TYPED_TEST(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
 TYPED_TEST(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
   TxHashMap<TypeParam> Map(/*BucketsLog2=*/4);
   constexpr uint64_t Keys = 64;
-  constexpr unsigned Churns = 96;
+  const unsigned Churns = 96 * repro_test::stressScale();
 
   runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
     for (uint64_t K = 0; K < Keys; ++K)
@@ -189,7 +189,7 @@ TYPED_TEST(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
 TYPED_TEST(ThreadChurnTest, ConcurrentChurnersStayConsistent) {
   RbTree<TypeParam> Tree;
   constexpr uint64_t PerThread = 24;
-  constexpr unsigned Waves = 6;
+  const unsigned Waves = 6 * repro_test::stressScale();
   constexpr unsigned ThreadsPerWave = 6;
 
   for (unsigned Wave = 0; Wave < Waves; ++Wave) {
