@@ -48,6 +48,15 @@
 
 namespace bench {
 
+/// Binds \p Config to one runtime backend: the bench grids sweep
+/// stm::StmRuntime rows by value instead of instantiating one template
+/// per backend (see stm/runtime/StmRuntime.h).
+inline stm::StmConfig rtConfig(stm::rt::BackendKind Kind,
+                               stm::StmConfig Config = stm::StmConfig()) {
+  Config.Backend = Kind;
+  return Config;
+}
+
 /// True when STM_BENCH_SMOKE=1: quick mode for CI bitrot checks.
 inline bool smokeMode() {
   const char *Env = std::getenv("STM_BENCH_SMOKE");

@@ -1,0 +1,141 @@
+//===- bench/bench_extra_adaptive.cpp - adaptive runtime ablation ----------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Two experiments for the type-erased runtime layer:
+//
+//  1. Phase-shifting workload: the run alternates every PhaseMs between
+//     a read-dominated red-black-tree phase (5 % updates — the regime
+//     where cheap lazy TL2 wins) and a high-contention shared-counter
+//     phase whose transactions yield between load and store to model a
+//     long conflict window (the regime where SwissTM's eager w/w
+//     detection + two-phase CM wins). Each fixed backend is compared
+//     against AdaptiveRuntime, whose windowed abort-rate policy should
+//     track the phase: escalating to SwissTM in the counter phase and
+//     de-escalating to TL2 in the tree phase. mode_switches reports how
+//     often it moved.
+//
+//  2. Dispatch overhead: fig5's rbtree point at 1 and 4 threads, the
+//     templated SwissTm facade vs the runtime dispatching to the same
+//     backend. runtime_over_templated is the throughput ratio; the
+//     acceptance bar is >= 0.95 (within 5 %).
+//
+// Results land in bench/results/BENCH_extra_adaptive.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchWorkloads.h"
+
+using namespace bench;
+
+namespace {
+
+/// Milliseconds per phase; several shifts fit in one measured point.
+constexpr uint64_t PhaseMs = 25;
+
+/// Key range of the tree phase (fig5's configuration).
+constexpr uint64_t PhaseRange = 16384;
+
+struct PhaseWorkload {
+  explicit PhaseWorkload(uint64_t Range) : Range(Range) {}
+
+  workloads::RbTree<stm::StmRuntime> Tree;
+  alignas(64) stm::Word Counter = 0;
+  uint64_t Range;
+  repro::Stopwatch Clock;
+
+  bool inCounterPhase() const {
+    return (static_cast<uint64_t>(Clock.elapsedMillis()) / PhaseMs) % 2 == 1;
+  }
+};
+
+/// One operation of the phase-shifting workload.
+void phaseOp(PhaseWorkload &W, stm::rt::TxHandle &Tx, repro::Xorshift &Rng) {
+  if (W.inCounterPhase()) {
+    stm::atomically(Tx, [&](auto &T) {
+      stm::Word V = T.load(&W.Counter);
+      std::this_thread::yield(); // widen the conflict window
+      T.store(&W.Counter, V + 1);
+    });
+    return;
+  }
+  uint64_t Key = Rng.nextBounded(W.Range);
+  unsigned P = static_cast<unsigned>(Rng.nextBounded(100));
+  if (P < 3)
+    stm::atomically(Tx, [&](auto &T) { W.Tree.insert(T, Key, Key); });
+  else if (P < 5)
+    stm::atomically(Tx, [&](auto &T) { W.Tree.remove(T, Key); });
+  else
+    stm::atomically(Tx, [&](auto &T) { W.Tree.lookup(T, Key); });
+}
+
+RunResult phaseShiftRun(const stm::StmConfig &Config, unsigned Threads) {
+  return runThroughput<stm::StmRuntime>(
+      Config, Threads,
+      [] {
+        auto W = std::make_unique<PhaseWorkload>(PhaseRange);
+        stm::ThreadScope<stm::StmRuntime> Scope;
+        auto &Tx = Scope.tx();
+        for (uint64_t K = 0; K < PhaseRange; K += 2)
+          stm::atomically(Tx, [&](auto &T) { W->Tree.insert(T, K, K); });
+        W->Clock.reset();
+        return W;
+      },
+      [](PhaseWorkload &W, stm::rt::TxHandle &Tx, repro::Xorshift &Rng) {
+        phaseOp(W, Tx, Rng);
+      });
+}
+
+void sweepContender(const char *Name, const stm::StmConfig &Config) {
+  for (unsigned Threads : threadSweep()) {
+    RunResult R = phaseShiftRun(Config, Threads);
+    Report::instance().add("extra-adaptive", "phase-shift", Name, Threads,
+                           "tx_per_s", R.Value);
+    Report::instance().add("extra-adaptive", "phase-shift", Name, Threads,
+                           "abort_ratio", R.Stats.abortRatio());
+    Report::instance().add("extra-adaptive", "phase-shift", Name, Threads,
+                           "mode_switches",
+                           static_cast<double>(R.Stats.ModeSwitches));
+  }
+}
+
+/// Dispatch-overhead check: same rbtree point, templated vs runtime.
+void dispatchOverhead() {
+  for (unsigned Threads : {1u, 4u}) {
+    stm::StmConfig Config;
+    double Templated =
+        rbTreeThroughput<stm::SwissTm>(Config, Threads).Value;
+    double Runtime =
+        rbTreeThroughput<stm::StmRuntime>(
+            rtConfig(stm::rt::BackendKind::SwissTm), Threads)
+            .Value;
+    Report::instance().add("fig5-dispatch", "rbtree", "swisstm-templated",
+                           Threads, "tx_per_s", Templated);
+    Report::instance().add("fig5-dispatch", "rbtree", "swisstm-runtime",
+                           Threads, "tx_per_s", Runtime);
+    Report::instance().add("fig5-dispatch", "rbtree", "swisstm-runtime",
+                           Threads, "runtime_over_templated",
+                           Runtime / Templated);
+  }
+}
+
+} // namespace
+
+int main() {
+  for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
+    sweepContender(stm::rt::backendName(Kind), rtConfig(Kind));
+
+  stm::StmConfig Adaptive;
+  Adaptive.Backend = stm::rt::BackendKind::Tl2; // where the tree phase lands
+  Adaptive.Adaptive = true;
+  Adaptive.AdaptiveWindow = 512; // react within a 25 ms phase
+  sweepContender("adaptive", Adaptive);
+
+  dispatchOverhead();
+
+  Report::instance().print(
+      "extra-adaptive",
+      "phase-shifting workload: fixed backends vs AdaptiveRuntime, plus "
+      "runtime-dispatch overhead on fig5 rbtree");
+  return 0;
+}

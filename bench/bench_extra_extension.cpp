@@ -20,12 +20,15 @@ static void sweep(bool Extension, const char *Name) {
   stm::StmConfig Config;
   Config.EnableExtension = Extension;
   for (unsigned Threads : threadSweep()) {
-    double B7 = bench7Throughput<stm::SwissTm>(Config, Threads,
+    double B7 = bench7Throughput<stm::StmRuntime>(
+        rtConfig(stm::rt::BackendKind::SwissTm, Config), Threads,
                                                Workload7::ReadWrite)
                     .Value;
     Report::instance().add("extra-extension", "stmbench7-read-write", Name,
                            Threads, "tx_per_s", B7);
-    double Rb = rbTreeThroughput<stm::SwissTm>(Config, Threads).Value;
+    double Rb = rbTreeThroughput<stm::StmRuntime>(
+        rtConfig(stm::rt::BackendKind::SwissTm, Config), Threads)
+                    .Value;
     Report::instance().add("extra-extension", "rbtree", Name, Threads,
                            "tx_per_s", Rb);
   }

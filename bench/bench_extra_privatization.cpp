@@ -20,10 +20,13 @@ static void sweep(bool Safe, const char *Name) {
   stm::StmConfig Config;
   Config.PrivatizationSafe = Safe;
   for (unsigned Threads : threadSweep()) {
-    double Rb = rbTreeThroughput<stm::SwissTm>(Config, Threads).Value;
+    double Rb = rbTreeThroughput<stm::StmRuntime>(
+        rtConfig(stm::rt::BackendKind::SwissTm, Config), Threads)
+                    .Value;
     Report::instance().add("extra-privatization", "rbtree", Name, Threads,
                            "tx_per_s", Rb);
-    double B7 = bench7Throughput<stm::SwissTm>(Config, Threads,
+    double B7 = bench7Throughput<stm::StmRuntime>(
+        rtConfig(stm::rt::BackendKind::SwissTm, Config), Threads,
                                                Workload7::ReadWrite)
                     .Value;
     Report::instance().add("extra-privatization", "stmbench7-read-write",

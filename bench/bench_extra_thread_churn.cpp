@@ -109,18 +109,21 @@ RunResult churnThroughput(const stm::StmConfig &Config, unsigned Threads,
   return Result;
 }
 
-template <typename STM> void sweep() {
-  stm::StmConfig Config;
+void sweep(stm::rt::BackendKind Kind) {
+  stm::StmConfig Config = rtConfig(Kind);
+  const char *Name = stm::rt::backendName(Kind);
   for (unsigned Threads : threadSweep()) {
-    double Steady = rbTreeThroughput<STM>(Config, Threads).Value;
-    Report::instance().add("extra-thread-churn", "rbtree-steady",
-                           STM::name(), Threads, "tx_per_s", Steady);
+    double Steady = rbTreeThroughput<stm::StmRuntime>(Config, Threads).Value;
+    Report::instance().add("extra-thread-churn", "rbtree-steady", Name,
+                           Threads, "tx_per_s", Steady);
     uint64_t ChurnsPerSec = 0;
-    double Churned = churnThroughput<STM>(Config, Threads, &ChurnsPerSec).Value;
-    Report::instance().add("extra-thread-churn", "rbtree-churn",
-                           STM::name(), Threads, "tx_per_s", Churned);
-    Report::instance().add("extra-thread-churn", "rbtree-churn",
-                           STM::name(), Threads, "thread_churns_per_s",
+    double Churned =
+        churnThroughput<stm::StmRuntime>(Config, Threads, &ChurnsPerSec)
+            .Value;
+    Report::instance().add("extra-thread-churn", "rbtree-churn", Name,
+                           Threads, "tx_per_s", Churned);
+    Report::instance().add("extra-thread-churn", "rbtree-churn", Name,
+                           Threads, "thread_churns_per_s",
                            static_cast<double>(ChurnsPerSec));
   }
 }
@@ -128,10 +131,8 @@ template <typename STM> void sweep() {
 } // namespace
 
 int main() {
-  sweep<stm::SwissTm>();
-  sweep<stm::Tl2>();
-  sweep<stm::TinyStm>();
-  sweep<stm::Rstm>();
+  for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
+    sweep(Kind);
   Report::instance().print(
       "extra",
       "epoch-based descriptor reclamation: steady vs thread-churn rbtree");

@@ -18,7 +18,8 @@ static void sweep(stm::CmKind Cm, const char *Name) {
   stm::StmConfig Config;
   Config.Cm = Cm;
   for (unsigned Threads : threadSweep()) {
-    RunResult R = rbTreeThroughput<stm::SwissTm>(Config, Threads);
+    RunResult R = rbTreeThroughput<stm::StmRuntime>(
+        rtConfig(stm::rt::BackendKind::SwissTm, Config), Threads);
     Report::instance().add("fig10", "rbtree", Name, Threads, "tx_per_s",
                            R.Value);
   }

@@ -17,7 +17,8 @@ static void sweep(bool Backoff, const char *Name) {
   stm::StmConfig Config;
   Config.EnableRollbackBackoff = Backoff;
   for (unsigned Threads : threadSweep()) {
-    RunResult R = stampIntruder<stm::SwissTm>(Config, Threads);
+    RunResult R = stampIntruder<stm::StmRuntime>(
+        rtConfig(stm::rt::BackendKind::SwissTm, Config), Threads);
     Report::instance().add("fig11", "intruder", Name, Threads, "seconds",
                            R.Value);
     Report::instance().add("fig11", "intruder", Name, Threads,

@@ -20,11 +20,14 @@ int main() {
     for (unsigned Threads : threadSweep()) {
       stm::StmConfig TwoPhase;
       TwoPhase.Cm = stm::CmKind::TwoPhase;
-      double TP =
-          bench7Throughput<stm::SwissTm>(TwoPhase, Threads, W).Value;
+      double TP = bench7Throughput<stm::StmRuntime>(
+                      rtConfig(stm::rt::BackendKind::SwissTm, TwoPhase), Threads, W)
+                      .Value;
       stm::StmConfig Timid;
       Timid.Cm = stm::CmKind::Timid;
-      double TI = bench7Throughput<stm::SwissTm>(Timid, Threads, W).Value;
+      double TI = bench7Throughput<stm::StmRuntime>(
+                      rtConfig(stm::rt::BackendKind::SwissTm, Timid), Threads, W)
+                      .Value;
       Report::instance().add("fig12", workloads::sb7::workload7Name(W),
                              "two-phase-vs-timid", Threads,
                              "speedup_minus_1", TP / TI - 1.0);

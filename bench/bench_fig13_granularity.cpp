@@ -27,32 +27,36 @@ namespace {
 /// SwissTM at the given granularity.
 using ScoreFn = std::function<double(unsigned GranLog2, unsigned Threads)>;
 
+/// SwissTM through the runtime at granularity 2^\p GranLog2.
+stm::StmConfig swissConfig(unsigned GranLog2) {
+  stm::StmConfig C = rtConfig(stm::rt::BackendKind::SwissTm);
+  C.GranularityLog2 = GranLog2;
+  return C;
+}
+
 std::vector<std::pair<std::string, ScoreFn>> benchmarkSet() {
   std::vector<std::pair<std::string, ScoreFn>> Set;
   for (const std::string &W : stampWorkloads())
     Set.push_back({W, [W](unsigned G, unsigned T) {
-                     stm::StmConfig C;
-                     C.GranularityLog2 = G;
+                     stm::StmConfig C = swissConfig(G);
                      return 1.0 /
-                            runStampWorkload<stm::SwissTm>(W, C, T).Value;
+                            runStampWorkload<stm::StmRuntime>(W, C, T).Value;
                    }});
   Set.push_back({"red-black tree", [](unsigned G, unsigned T) {
-                   stm::StmConfig C;
-                   C.GranularityLog2 = G;
-                   return rbTreeThroughput<stm::SwissTm>(C, T).Value;
+                   return rbTreeThroughput<stm::StmRuntime>(swissConfig(G),
+                                                            T)
+                       .Value;
                  }});
   Set.push_back({"Lee-TM memory", [](unsigned G, unsigned T) {
-                   stm::StmConfig C;
-                   C.GranularityLog2 = G;
-                   return 1.0 / leeTimed<stm::SwissTm>(
-                                    C, T, workloads::lee::Board::Memory, 0.6)
+                   return 1.0 / leeTimed<stm::StmRuntime>(
+                                    swissConfig(G), T,
+                                    workloads::lee::Board::Memory, 0.6)
                                     .Value;
                  }});
   Set.push_back({"Lee-TM main", [](unsigned G, unsigned T) {
-                   stm::StmConfig C;
-                   C.GranularityLog2 = G;
-                   return 1.0 / leeTimed<stm::SwissTm>(
-                                    C, T, workloads::lee::Board::Main, 0.5)
+                   return 1.0 / leeTimed<stm::StmRuntime>(
+                                    swissConfig(G), T,
+                                    workloads::lee::Board::Main, 0.5)
                                     .Value;
                  }});
   for (auto [W, Name] : {std::pair{Workload7::ReadDominated, "STMBench7 read"},
@@ -60,9 +64,9 @@ std::vector<std::pair<std::string, ScoreFn>> benchmarkSet() {
                          std::pair{Workload7::WriteDominated,
                                    "STMBench7 write"}})
     Set.push_back({Name, [W](unsigned G, unsigned T) {
-                     stm::StmConfig C;
-                     C.GranularityLog2 = G;
-                     return bench7Throughput<stm::SwissTm>(C, T, W).Value;
+                     return bench7Throughput<stm::StmRuntime>(
+                                swissConfig(G), T, W)
+                         .Value;
                    }});
   return Set;
 }

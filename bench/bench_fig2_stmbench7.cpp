@@ -14,33 +14,31 @@
 using namespace bench;
 using workloads::sb7::Workload7;
 
-template <typename STM> static void sweep(Workload7 Workload) {
-  stm::StmConfig Config;
-  if (std::string(STM::name()) == "rstm") {
+static void sweep(stm::rt::BackendKind Kind, Workload7 Workload) {
+  stm::StmConfig Config = rtConfig(Kind);
+  if (Kind == stm::rt::BackendKind::Rstm) {
     // The paper configures RSTM with Serializer for STMBench7 (its best
     // configuration there).
     Config.Cm = stm::CmKind::Serializer;
     Config.RstmEagerAcquire = true;
     Config.RstmVisibleReads = false;
   }
+  const char *Name = stm::rt::backendName(Kind);
   for (unsigned Threads : threadSweep()) {
-    RunResult R = bench7Throughput<STM>(Config, Threads, Workload);
+    RunResult R = bench7Throughput<stm::StmRuntime>(Config, Threads, Workload);
     Report::instance().add("fig2", workloads::sb7::workload7Name(Workload),
-                           STM::name(), Threads, "tx_per_s", R.Value);
+                           Name, Threads, "tx_per_s", R.Value);
     Report::instance().add("fig2", workloads::sb7::workload7Name(Workload),
-                           STM::name(), Threads, "abort_ratio",
+                           Name, Threads, "abort_ratio",
                            R.Stats.abortRatio());
   }
 }
 
 int main() {
   for (Workload7 W : {Workload7::ReadDominated, Workload7::ReadWrite,
-                      Workload7::WriteDominated}) {
-    sweep<stm::SwissTm>(W);
-    sweep<stm::TinyStm>(W);
-    sweep<stm::Tl2>(W);
-    sweep<stm::Rstm>(W);
-  }
+                      Workload7::WriteDominated})
+    for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
+      sweep(Kind, W);
   Report::instance().print(
       "2", "STMBench7 throughput, 4 STMs x 3 workloads x threads");
   return 0;

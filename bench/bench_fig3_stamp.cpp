@@ -13,15 +13,18 @@
 using namespace bench;
 
 int main() {
-  stm::StmConfig Config;
+  using stm::rt::BackendKind;
   for (const std::string &Workload : stampWorkloads()) {
     for (unsigned Threads : powerOfTwoSweep()) {
-      double Swiss =
-          runStampWorkload<stm::SwissTm>(Workload, Config, Threads).Value;
-      double Tl2 =
-          runStampWorkload<stm::Tl2>(Workload, Config, Threads).Value;
-      double Tiny =
-          runStampWorkload<stm::TinyStm>(Workload, Config, Threads).Value;
+      double Swiss = runStampWorkload<stm::StmRuntime>(
+                         Workload, rtConfig(BackendKind::SwissTm), Threads)
+                         .Value;
+      double Tl2 = runStampWorkload<stm::StmRuntime>(
+                       Workload, rtConfig(BackendKind::Tl2), Threads)
+                       .Value;
+      double Tiny = runStampWorkload<stm::StmRuntime>(
+                        Workload, rtConfig(BackendKind::TinyStm), Threads)
+                        .Value;
       Report::instance().add("fig3-top", Workload, "swisstm-vs-tl2",
                              Threads, "speedup_minus_1",
                              Tl2 / Swiss - 1.0);

@@ -13,22 +13,20 @@
 
 using namespace bench;
 
-template <typename STM> static void sweep() {
-  stm::StmConfig Config;
+static void sweep(stm::rt::BackendKind Kind) {
+  const char *Name = stm::rt::backendName(Kind);
   for (unsigned Threads : threadSweep()) {
-    RunResult R = rbTreeThroughput<STM>(Config, Threads);
-    Report::instance().add("fig5", "rbtree", STM::name(), Threads,
-                           "tx_per_s", R.Value);
-    Report::instance().add("fig5", "rbtree", STM::name(), Threads,
-                           "abort_ratio", R.Stats.abortRatio());
+    RunResult R = rbTreeThroughput<stm::StmRuntime>(rtConfig(Kind), Threads);
+    Report::instance().add("fig5", "rbtree", Name, Threads, "tx_per_s",
+                           R.Value);
+    Report::instance().add("fig5", "rbtree", Name, Threads, "abort_ratio",
+                           R.Stats.abortRatio());
   }
 }
 
 int main() {
-  sweep<stm::SwissTm>();
-  sweep<stm::Tl2>();
-  sweep<stm::TinyStm>();
-  sweep<stm::Rstm>();
+  for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
+    sweep(Kind);
   Report::instance().print(
       "5", "red-black tree throughput, range 16384, 20% updates");
   return 0;

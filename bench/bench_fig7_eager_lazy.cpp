@@ -15,30 +15,35 @@ using namespace bench;
 using workloads::sb7::Workload7;
 
 int main() {
+  using stm::rt::BackendKind;
   for (unsigned Threads : threadSweep()) {
     stm::StmConfig EagerCfg;
     EagerCfg.Cm = stm::CmKind::Polka;
     EagerCfg.RstmEagerAcquire = true;
-    RunResult Eager = bench7Throughput<stm::Rstm>(EagerCfg, Threads,
-                                                  Workload7::ReadDominated);
+    RunResult Eager = bench7Throughput<stm::StmRuntime>(
+        rtConfig(BackendKind::Rstm, EagerCfg), Threads,
+        Workload7::ReadDominated);
     Report::instance().add("fig7", "read-dominated", "rstm-eager", Threads,
                            "tx_per_s", Eager.Value);
 
     stm::StmConfig LazyCfg = EagerCfg;
     LazyCfg.RstmEagerAcquire = false;
-    RunResult Lazy = bench7Throughput<stm::Rstm>(LazyCfg, Threads,
-                                                 Workload7::ReadDominated);
+    RunResult Lazy = bench7Throughput<stm::StmRuntime>(
+        rtConfig(BackendKind::Rstm, LazyCfg), Threads,
+        Workload7::ReadDominated);
     Report::instance().add("fig7", "read-dominated", "rstm-lazy", Threads,
                            "tx_per_s", Lazy.Value);
 
     stm::StmConfig Default;
-    RunResult Tiny = bench7Throughput<stm::TinyStm>(Default, Threads,
-                                                    Workload7::ReadDominated);
+    RunResult Tiny = bench7Throughput<stm::StmRuntime>(
+        rtConfig(BackendKind::TinyStm, Default), Threads,
+        Workload7::ReadDominated);
     Report::instance().add("fig7", "read-dominated", "tinystm-eager",
                            Threads, "tx_per_s", Tiny.Value);
 
-    RunResult Tl2 = bench7Throughput<stm::Tl2>(Default, Threads,
-                                               Workload7::ReadDominated);
+    RunResult Tl2 = bench7Throughput<stm::StmRuntime>(
+        rtConfig(BackendKind::Tl2, Default), Threads,
+        Workload7::ReadDominated);
     Report::instance().add("fig7", "read-dominated", "tl2-lazy", Threads,
                            "tx_per_s", Tl2.Value);
   }

@@ -16,26 +16,27 @@
 
 using namespace bench;
 
-template <typename STM> static void sweep(unsigned R) {
-  stm::StmConfig Config;
+static void sweep(stm::rt::BackendKind Kind, unsigned R) {
   char Name[32];
   std::snprintf(Name, sizeof(Name), "memory-R%u", R);
+  const char *Stm = stm::rt::backendName(Kind);
   for (unsigned Threads : threadSweep()) {
-    RunResult Run = leeTimed<STM>(Config, Threads,
-                                  workloads::lee::Board::Memory,
-                                  /*Scale=*/0.7, /*IrregularPercent=*/R);
-    Report::instance().add("fig8", Name, STM::name(), Threads, "seconds",
+    RunResult Run = leeTimed<stm::StmRuntime>(rtConfig(Kind), Threads,
+                                              workloads::lee::Board::Memory,
+                                              /*Scale=*/0.7,
+                                              /*IrregularPercent=*/R);
+    Report::instance().add("fig8", Name, Stm, Threads, "seconds",
                            Run.Value);
-    Report::instance().add("fig8", Name, STM::name(), Threads,
-                           "abort_ratio", Run.Stats.abortRatio());
+    Report::instance().add("fig8", Name, Stm, Threads, "abort_ratio",
+                           Run.Stats.abortRatio());
   }
 }
 
 int main() {
-  for (unsigned R : {0u, 5u, 20u}) {
-    sweep<stm::SwissTm>(R);
-    sweep<stm::TinyStm>(R);
-  }
+  for (unsigned R : {0u, 5u, 20u})
+    for (stm::rt::BackendKind Kind :
+         {stm::rt::BackendKind::SwissTm, stm::rt::BackendKind::TinyStm})
+      sweep(Kind, R);
   Report::instance().print(
       "8", "irregular Lee-TM: SwissTM vs TinySTM, R in {0,5,20}%");
   return 0;

@@ -18,8 +18,9 @@ static void sweep(stm::CmKind Cm, const char *Name) {
   stm::StmConfig Config;
   Config.Cm = Cm;
   for (unsigned Threads : threadSweep()) {
-    RunResult R = bench7Throughput<stm::Rstm>(Config, Threads,
-                                              Workload7::ReadDominated);
+    RunResult R = bench7Throughput<stm::StmRuntime>(
+        rtConfig(stm::rt::BackendKind::Rstm, Config), Threads,
+        Workload7::ReadDominated);
     Report::instance().add("fig9", "read-dominated", Name, Threads,
                            "tx_per_s", R.Value);
     Report::instance().add("fig9", "read-dominated", Name, Threads,

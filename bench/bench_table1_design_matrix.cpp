@@ -23,12 +23,14 @@ using workloads::sb7::Workload7;
 
 namespace {
 
-template <typename STM>
+using stm::rt::BackendKind;
+
 void row(const char *Name, const stm::StmConfig &Config) {
   unsigned Threads = maxThreads();
-  double Mixed =
-      bench7Throughput<STM>(Config, Threads, Workload7::ReadWrite).Value;
-  double Short = rbTreeThroughput<STM>(Config, Threads).Value;
+  double Mixed = bench7Throughput<stm::StmRuntime>(Config, Threads,
+                                                   Workload7::ReadWrite)
+                     .Value;
+  double Short = rbTreeThroughput<stm::StmRuntime>(Config, Threads).Value;
   Report::instance().add("table1", "stmbench7-read-write", Name, Threads,
                          "tx_per_s", Mixed);
   Report::instance().add("table1", "rbtree", Name, Threads, "tx_per_s",
@@ -37,50 +39,44 @@ void row(const char *Name, const stm::StmConfig &Config) {
 
 /// SwissTM's mixed acquire with the given contention manager.
 stm::StmConfig mixed(stm::CmKind Cm) {
-  stm::StmConfig C;
+  stm::StmConfig C = rtConfig(BackendKind::SwissTm);
   C.Cm = Cm;
   return C;
 }
 
 /// An RSTM variant cell: acquire x visibility x CM.
 stm::StmConfig rstmCell(bool Eager, bool Visible, stm::CmKind Cm) {
-  stm::StmConfig C;
+  stm::StmConfig C = rtConfig(BackendKind::Rstm);
   C.RstmEagerAcquire = Eager;
   C.RstmVisibleReads = Visible;
   C.Cm = Cm;
   return C;
 }
 
-/// One Table 1 cell: a backend instantiation bound to a configuration.
+/// One Table 1 cell: pure data now that the backend is part of the
+/// configuration — no per-backend template instantiation.
 struct Cell {
-  void (*Run)(const char *, const stm::StmConfig &);
   const char *Name;
   stm::StmConfig Config;
 };
 
 /// The design-choice grid, in the paper's row order.
 const Cell Table1[] = {
-    {&row<stm::Rstm>, "lazy-invisible-timid",
-     rstmCell(false, false, stm::CmKind::Timid)},
-    {&row<stm::Rstm>, "eager-visible-timid",
-     rstmCell(true, true, stm::CmKind::Timid)},
-    {&row<stm::Rstm>, "eager-invisible-polka",
-     rstmCell(true, false, stm::CmKind::Polka)},
-    {&row<stm::TinyStm>, "eager-invisible-timid", stm::StmConfig{}},
-    {&row<stm::Rstm>, "eager-invisible-greedy",
-     rstmCell(true, false, stm::CmKind::Greedy)},
-    {&row<stm::SwissTm>, "mixed-invisible-timid", mixed(stm::CmKind::Timid)},
-    {&row<stm::SwissTm>, "mixed-invisible-greedy",
-     mixed(stm::CmKind::Greedy)},
-    {&row<stm::SwissTm>, "mixed-invisible-two-phase",
-     mixed(stm::CmKind::TwoPhase)},
+    {"lazy-invisible-timid", rstmCell(false, false, stm::CmKind::Timid)},
+    {"eager-visible-timid", rstmCell(true, true, stm::CmKind::Timid)},
+    {"eager-invisible-polka", rstmCell(true, false, stm::CmKind::Polka)},
+    {"eager-invisible-timid", rtConfig(BackendKind::TinyStm)},
+    {"eager-invisible-greedy", rstmCell(true, false, stm::CmKind::Greedy)},
+    {"mixed-invisible-timid", mixed(stm::CmKind::Timid)},
+    {"mixed-invisible-greedy", mixed(stm::CmKind::Greedy)},
+    {"mixed-invisible-two-phase", mixed(stm::CmKind::TwoPhase)},
 };
 
 } // namespace
 
 int main() {
   for (const Cell &C : Table1)
-    C.Run(C.Name, C.Config);
+    row(C.Name, C.Config);
 
   Report::instance().print(
       "table1", "design-choice matrix: acquire x reads x CM");

@@ -24,7 +24,10 @@
 #include <thread>
 #include <vector>
 
-using Stm = stm::SwissTm;
+// The examples run on the type-erased runtime: pick the backend at
+// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
+// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
+using Stm = stm::StmRuntime;
 
 namespace {
 
@@ -85,7 +88,7 @@ bool purchase(Stm::Tx &Tx, Shop &S, uint64_t Item) {
 } // namespace
 
 int main() {
-  stm::GlobalInit<Stm> Guard;
+  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
   Shop S;
   {
     stm::ThreadScope<Stm> Scope;

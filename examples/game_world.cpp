@@ -23,7 +23,10 @@
 #include <thread>
 #include <vector>
 
-using Stm = stm::SwissTm;
+// The examples run on the type-erased runtime: pick the backend at
+// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
+// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
+using Stm = stm::StmRuntime;
 
 namespace {
 
@@ -82,7 +85,7 @@ int main(int argc, char **argv) {
   unsigned Ticks = argc > 1 ? std::atoi(argv[1]) : 60;
   unsigned NumThreads = argc > 2 ? std::atoi(argv[2]) : 4;
 
-  stm::GlobalInit<Stm> Guard;
+  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
   World W;
   W.CellCount.assign(GridSize * GridSize, 0);
   repro::Xorshift Rng(42);

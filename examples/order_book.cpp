@@ -25,7 +25,10 @@
 #include <thread>
 #include <vector>
 
-using Stm = stm::SwissTm;
+// The examples run on the type-erased runtime: pick the backend at
+// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
+// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
+using Stm = stm::StmRuntime;
 using Book = workloads::RbTree<Stm>;
 
 namespace {
@@ -119,7 +122,7 @@ int main(int argc, char **argv) {
   unsigned Ops = argc > 1 ? std::atoi(argv[1]) : 20000;
   unsigned NumThreads = argc > 2 ? std::atoi(argv[2]) : 4;
 
-  stm::GlobalInit<Stm> Guard;
+  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
   Market M;
   M.Traders.assign(NumTraders, Trader{100000, 1000});
   const uint64_t InitialShares = NumTraders * 1000ull;

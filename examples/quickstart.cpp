@@ -17,7 +17,10 @@
 #include <thread>
 #include <vector>
 
-using Stm = stm::SwissTm; // swap for stm::Tl2 / stm::TinyStm / stm::Rstm
+// The examples run on the type-erased runtime: pick the backend at
+// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
+// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
+using Stm = stm::StmRuntime;
 
 namespace {
 
@@ -34,7 +37,7 @@ struct alignas(8) Account {
 
 int main() {
   // 1. Initialize the STM once per process (RAII guard).
-  stm::GlobalInit<Stm> Guard;
+  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
 
   std::vector<Account> Bank(NumAccounts, Account{InitialBalance});
 

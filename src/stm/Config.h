@@ -13,6 +13,12 @@
 #ifndef STM_CONFIG_H
 #define STM_CONFIG_H
 
+#include "stm/runtime/Backend.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 namespace stm {
 
 /// Contention-management policies. TwoPhase is the paper's contribution
@@ -81,7 +87,86 @@ struct StmConfig {
 
   /// RSTM variant: visible vs invisible reads.
   bool RstmVisibleReads = false;
+
+  /// Backend the type-erased StmRuntime dispatches to (the templated
+  /// facades ignore it). With Adaptive on, this is only the *initial*
+  /// backend; the mode switcher takes over from there.
+  rt::BackendKind Backend = rt::BackendKind::SwissTm;
+
+  /// Enables the AdaptiveRuntime mode switcher: commit-side windowed
+  /// statistics drive whole-backend switches at quiescence points, the
+  /// paper's two-phase CM escalation generalized to backend selection.
+  bool Adaptive = false;
+
+  /// Commits per adaptive evaluation window. The policy only acts on a
+  /// full window, so this is also the minimum dwell between switches.
+  unsigned AdaptiveWindow = 2048;
+
+  /// Window abort rate at or above which the switcher escalates to
+  /// SwissTM (eager w/w detection + two-phase CM).
+  double AdaptiveHighAbortRate = 0.10;
+
+  /// Window abort rate at or below which the switcher de-escalates to a
+  /// cheaper fixed-policy backend chosen by workload shape.
+  double AdaptiveLowAbortRate = 0.02;
 };
+
+/// Terminates with a config diagnostic on stderr. Bad configuration
+/// must die loudly in every build mode: an env typo silently falling
+/// back to a default would invalidate whole measurement runs.
+[[noreturn]] inline void configFatal(const char *Var, const char *Value,
+                                     const char *Expected) {
+  std::fprintf(stderr,
+               "stm: invalid %s value '%s' (expected %s)\n", Var,
+               Value == nullptr ? "" : Value, Expected);
+  std::abort();
+}
+
+/// Parses a strictly numeric env value; aborts with a diagnostic when
+/// \p Value has non-digit characters or is empty.
+inline unsigned configParseUnsigned(const char *Var, const char *Value,
+                                    const char *Expected) {
+  if (Value == nullptr || *Value == '\0')
+    configFatal(Var, Value, Expected);
+  unsigned Out = 0;
+  for (const char *P = Value; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      configFatal(Var, Value, Expected);
+    unsigned Digit = unsigned(*P - '0');
+    if (Out > (~0u - Digit) / 10) // overflow would alias into range
+      configFatal(Var, Value, Expected);
+    Out = Out * 10 + Digit;
+  }
+  return Out;
+}
+
+/// Applies the runtime-selection environment to \p Config and returns
+/// it. Recognized variables, each validated with an abort() diagnostic
+/// on unknown values (range errors on the geometry die later, in
+/// LockTable::init, which owns the bounds):
+///
+///   STM_BACKEND            swisstm | tl2 | tinystm | rstm
+///   STM_ADAPTIVE           0 | 1
+///   STM_LOCK_TABLE_LOG2    log2 of lock-table entries (decimal)
+///   STM_GRANULARITY_LOG2   log2 of bytes per stripe (decimal)
+inline StmConfig configFromEnv(StmConfig Config = StmConfig()) {
+  if (const char *Env = std::getenv("STM_BACKEND")) {
+    if (!rt::parseBackendKind(Env, Config.Backend))
+      configFatal("STM_BACKEND", Env, "swisstm|tl2|tinystm|rstm");
+  }
+  if (const char *Env = std::getenv("STM_ADAPTIVE")) {
+    if (std::strcmp(Env, "0") != 0 && std::strcmp(Env, "1") != 0)
+      configFatal("STM_ADAPTIVE", Env, "0|1");
+    Config.Adaptive = Env[0] == '1';
+  }
+  if (const char *Env = std::getenv("STM_LOCK_TABLE_LOG2"))
+    Config.LockTableSizeLog2 = configParseUnsigned(
+        "STM_LOCK_TABLE_LOG2", Env, "a decimal log2 entry count");
+  if (const char *Env = std::getenv("STM_GRANULARITY_LOG2"))
+    Config.GranularityLog2 = configParseUnsigned(
+        "STM_GRANULARITY_LOG2", Env, "a decimal log2 byte count");
+  return Config;
+}
 
 } // namespace stm
 

@@ -3,8 +3,9 @@
 // Part of the SwissTM reproduction (PLDI 2009).
 //
 // Pulls in the public API: the four STMs (SwissTm, Tl2, TinyStm, Rstm),
-// the atomically() boundary, typed field accessors, per-thread scopes
-// and the global configuration. See README.md for a quickstart.
+// the type-erased runtime facades (StmRuntime, AdaptiveRuntime), the
+// atomically() boundary, typed field accessors, per-thread scopes and
+// the global configuration. See README.md for a quickstart.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +16,7 @@
 #include "stm/Config.h"
 #include "stm/ThreadScope.h"
 #include "stm/rstm/Rstm.h"
+#include "stm/runtime/StmRuntime.h"
 #include "stm/swisstm/SwissTm.h"
 #include "stm/tinystm/TinyStm.h"
 #include "stm/tl2/Tl2.h"

@@ -36,8 +36,15 @@ public:
   TxBase(const TxBase &) = delete;
   TxBase &operator=(const TxBase &) = delete;
 
-  /// setjmp target armed by stm::atomically.
-  std::jmp_buf &jumpEnv() { return Env; }
+  /// setjmp target armed by stm::atomically; rollback longjmps here.
+  std::jmp_buf &jumpEnv() { return *EnvTarget; }
+
+  /// Redirects abort-restart to a jmp_buf owned by someone else. The
+  /// type-erased runtime points every backend descriptor it wraps at the
+  /// TxHandle's single jmp_buf: the boundary arms that one buffer, and a
+  /// retry that switches backends mid-transaction (adaptive mode) still
+  /// lands on an armed target — the fresh descriptor's own Env never is.
+  void redirectJumpEnv(std::jmp_buf *Target) { EnvTarget = Target; }
 
   /// True while a transaction (at any nesting depth) is executing.
   bool inTransaction() const { return Depth > 0; }
@@ -112,6 +119,7 @@ protected:
   }
 
   std::jmp_buf Env;
+  std::jmp_buf *EnvTarget = &Env;
   unsigned Depth = 0;
   unsigned Slot;
   /// False when this attempt is a restart of an aborted transaction; the

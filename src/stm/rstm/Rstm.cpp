@@ -269,5 +269,5 @@ void RstmTx::rollback() {
     Rec->Readers.fetch_and(~MyBit, std::memory_order_acq_rel);
   baseAbort();
   Cm.onRollback(GlobalState.Config, Rng, SuccessiveAborts);
-  std::longjmp(Env, 1);
+  std::longjmp(*EnvTarget, 1);
 }

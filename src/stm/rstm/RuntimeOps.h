@@ -1,0 +1,28 @@
+//===- stm/rstm/RuntimeOps.h - RSTM runtime adapter -------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Registers the RSTM-like baseline with the type-erased runtime (see
+// stm/runtime/BackendOps.h). RetireTx goes through makeBackendOps's
+// generic thunk, which calls RstmTx::threadShutdown — the shadowing
+// overload that unpublishes the slot-table entry — because the thunk is
+// instantiated on the concrete descriptor type, not on TxBase.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_RSTM_RUNTIMEOPS_H
+#define STM_RSTM_RUNTIMEOPS_H
+
+#include "stm/rstm/Rstm.h"
+#include "stm/runtime/BackendOps.h"
+
+namespace stm::rstm {
+
+inline const rt::BackendOps &runtimeOps() {
+  static constexpr rt::BackendOps Ops = rt::makeBackendOps<Rstm>();
+  return Ops;
+}
+
+} // namespace stm::rstm
+
+#endif // STM_RSTM_RUNTIMEOPS_H

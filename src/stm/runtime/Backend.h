@@ -1,0 +1,71 @@
+//===- stm/runtime/Backend.h - runtime backend enumeration ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Names the four STM algorithms as runtime values so the backend can be
+// a configuration choice (StmConfig::Backend, STM_BACKEND env) instead
+// of a template parameter. The numeric values index the dispatch-table
+// registry in stm/runtime/StmRuntime.h; a fifth backend claims the next
+// value and registers its BackendOps there (see README, "Runtime
+// selection & adaptivity").
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_RUNTIME_BACKEND_H
+#define STM_RUNTIME_BACKEND_H
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+
+namespace stm::rt {
+
+/// The STM algorithms selectable at runtime.
+enum class BackendKind : unsigned char {
+  SwissTm = 0, ///< mixed eager/lazy, two-phase CM (the paper's design)
+  Tl2,         ///< lazy acquire, no extension, timid
+  TinyStm,     ///< eager acquire, extension, timid
+  Rstm,        ///< obstruction-free orecs, Polka-family CMs
+};
+
+inline constexpr std::size_t NumBackends = 4;
+
+/// Stable human-readable name; matches each backend's STM::name().
+inline const char *backendName(BackendKind Kind) {
+  switch (Kind) {
+  case BackendKind::SwissTm:
+    return "swisstm";
+  case BackendKind::Tl2:
+    return "tl2";
+  case BackendKind::TinyStm:
+    return "tinystm";
+  case BackendKind::Rstm:
+    return "rstm";
+  }
+  return "unknown";
+}
+
+/// All backends, in registry order — the iteration space of the
+/// data-driven bench/test grids.
+inline const std::array<BackendKind, NumBackends> &allBackendKinds() {
+  static const std::array<BackendKind, NumBackends> Kinds = {
+      BackendKind::SwissTm, BackendKind::Tl2, BackendKind::TinyStm,
+      BackendKind::Rstm};
+  return Kinds;
+}
+
+/// Parses a backend name as spelled by backendName(). Returns false on
+/// unknown names (the caller owns the diagnostic).
+inline bool parseBackendKind(const char *Name, BackendKind &Out) {
+  for (BackendKind Kind : allBackendKinds()) {
+    if (std::strcmp(Name, backendName(Kind)) == 0) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace stm::rt
+
+#endif // STM_RUNTIME_BACKEND_H

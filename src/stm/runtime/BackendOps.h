@@ -1,0 +1,99 @@
+//===- stm/runtime/BackendOps.h - per-backend dispatch table ----*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The type-erasure seam between the templated STM facades and the
+// runtime: one function-pointer table per backend, built from the
+// backend's descriptor type by makeBackendOps<STM>(). Every thunk is a
+// captureless lambda that casts the opaque descriptor back to its
+// concrete type and tail-calls the (already out-of-line) member, so the
+// runtime's per-access cost over the templated path is one indirect
+// call. Each backend directory exposes its table through a small
+// RuntimeOps.h adapter; stm/runtime/StmRuntime.cpp collects them into
+// the registry indexed by BackendKind.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_RUNTIME_BACKENDOPS_H
+#define STM_RUNTIME_BACKENDOPS_H
+
+#include "stm/Config.h"
+#include "stm/EpochManager.h"
+#include "stm/Word.h"
+#include "support/Stats.h"
+
+#include <csetjmp>
+#include <cstddef>
+
+namespace stm::rt {
+
+/// Type-erased operations of one STM backend. Field order groups the
+/// transaction-rate hot calls (Load/Store/OnStart/Commit) first.
+struct BackendOps {
+  Word (*Load)(void *Tx, const Word *Addr);
+  void (*Store)(void *Tx, Word *Addr, Word Value);
+  void (*OnStart)(void *Tx);
+  void (*Commit)(void *Tx);
+  void (*Restart)(void *Tx); ///< [[noreturn]]: aborts + longjmps
+
+  bool (*InTransaction)(const void *Tx);
+  void *(*TxMalloc)(void *Tx, std::size_t Size);
+  void (*TxFree)(void *Tx, void *Ptr);
+  const repro::TxStats *(*Stats)(const void *Tx);
+
+  void *(*CreateTx)(unsigned Slot, std::jmp_buf *EnvTarget);
+  /// Unlinks the descriptor from global state and parks it on the
+  /// EpochManager limbo list (thread exit; see ThreadScope).
+  void (*RetireTx)(void *Tx);
+
+  void (*GlobalInit)(const StmConfig &Config);
+  void (*GlobalShutdown)();
+  const char *Name;
+};
+
+/// Builds the dispatch table for \p STM (any type modelling the
+/// templated facade concept: STM::Tx, globalInit, globalShutdown,
+/// name). A fifth backend gets its table for free from this builder.
+template <typename STM> constexpr BackendOps makeBackendOps() {
+  using Tx = typename STM::Tx;
+  BackendOps Ops = {};
+  Ops.Load = [](void *T, const Word *Addr) {
+    return static_cast<Tx *>(T)->load(Addr);
+  };
+  Ops.Store = [](void *T, Word *Addr, Word Value) {
+    static_cast<Tx *>(T)->store(Addr, Value);
+  };
+  Ops.OnStart = [](void *T) { static_cast<Tx *>(T)->onStart(); };
+  Ops.Commit = [](void *T) { static_cast<Tx *>(T)->commit(); };
+  Ops.Restart = [](void *T) { static_cast<Tx *>(T)->restart(); };
+  Ops.InTransaction = [](const void *T) {
+    return static_cast<const Tx *>(T)->inTransaction();
+  };
+  Ops.TxMalloc = [](void *T, std::size_t Size) {
+    return static_cast<Tx *>(T)->txMalloc(Size);
+  };
+  Ops.TxFree = [](void *T, void *Ptr) {
+    static_cast<Tx *>(T)->txFree(Ptr);
+  };
+  Ops.Stats = [](const void *T) {
+    return &static_cast<const Tx *>(T)->stats();
+  };
+  Ops.CreateTx = [](unsigned Slot, std::jmp_buf *EnvTarget) -> void * {
+    Tx *T = new Tx(Slot);
+    T->redirectJumpEnv(EnvTarget);
+    return T;
+  };
+  Ops.RetireTx = [](void *T) {
+    Tx *Typed = static_cast<Tx *>(T);
+    Typed->threadShutdown();
+    EpochManager::retireObject(Typed);
+  };
+  Ops.GlobalInit = [](const StmConfig &Config) { STM::globalInit(Config); };
+  Ops.GlobalShutdown = []() { STM::globalShutdown(); };
+  Ops.Name = STM::name();
+  return Ops;
+}
+
+} // namespace stm::rt
+
+#endif // STM_RUNTIME_BACKENDOPS_H

@@ -1,0 +1,316 @@
+//===- stm/runtime/StmRuntime.cpp - type-erased STM runtime ---------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009). Implements the backend
+// registry, the TxHandle cold paths, and the quiescence-based switch
+// protocol described in StmRuntime.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/runtime/StmRuntime.h"
+
+#include "stm/EpochManager.h"
+#include "stm/RetiredPool.h"
+#include "stm/rstm/RuntimeOps.h"
+#include "stm/swisstm/RuntimeOps.h"
+#include "stm/tinystm/RuntimeOps.h"
+#include "stm/tl2/RuntimeOps.h"
+#include "support/Backoff.h"
+
+#include <cassert>
+
+using namespace stm;
+using namespace stm::rt;
+
+static RuntimeGlobals GlobalState;
+
+RuntimeGlobals &stm::rt::runtimeGlobals() { return GlobalState; }
+
+const BackendOps &stm::rt::backendOps(BackendKind Kind) {
+  // Registry in BackendKind order. A fifth backend adds its adapter
+  // header above and one entry here.
+  static const BackendOps *const Registry[NumBackends] = {
+      &swiss::runtimeOps(),
+      &tl2::runtimeOps(),
+      &tiny::runtimeOps(),
+      &rstm::runtimeOps(),
+  };
+  return *Registry[static_cast<std::size_t>(Kind)];
+}
+
+//===----------------------------------------------------------------------===//
+// Switch protocol
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void resetWindow(RuntimeGlobals &G) {
+  G.WindowCommits.store(0, std::memory_order_relaxed);
+  G.WindowAborts.store(0, std::memory_order_relaxed);
+  G.WindowReads.store(0, std::memory_order_relaxed);
+  G.WindowWrites.store(0, std::memory_order_relaxed);
+}
+
+/// Drains every in-flight transaction and installs \p Target as the
+/// backend of the next generation. Caller must not be inside a
+/// transaction (it would wait for its own quiescence). Returns false if
+/// a concurrent switch holds the gate.
+bool performSwitch(RuntimeGlobals &G, BackendKind Target) {
+  assert(G.BackendLive[static_cast<std::size_t>(Target)] &&
+         "switch target backend not initialized");
+  uint32_t Gen = G.CurrentGen.load(std::memory_order_acquire);
+  uint32_t Expected = Gen;
+  if (!G.TargetGen.compare_exchange_strong(Expected, Gen + 1,
+                                           std::memory_order_acq_rel))
+    return false; // another switch owns the gate
+
+  // Re-check under the gate: a racing switch may have installed Target
+  // already (two threads evaluating the same window reach the same
+  // decision). Reopen and skip the redundant drain.
+  if (Target == static_cast<BackendKind>(
+                    G.ActiveKind.load(std::memory_order_acquire))) {
+    G.TargetGen.store(Gen, std::memory_order_release);
+    return false;
+  }
+
+  // Gate closed: new attempts spin in TxHandle::startDynamic before
+  // pinning. Wait until every slot is epoch-quiescent — the grace
+  // period after which all transactional memory holds committed values
+  // only and no descriptor of the outgoing backend is referenced.
+  unsigned Spin = 0;
+  while (EpochManager::minPinnedEpoch() != ~0ull)
+    repro::spinWait(Spin);
+
+  // Quiescent point: retired blocks carry timestamps from the outgoing
+  // backend's clock, which the incoming backend's transactions cannot
+  // meaningfully compare against. Releasing them here is safe for the
+  // same reason global shutdown may: nothing is in flight.
+  RetiredPool::instance().releaseAll();
+
+  G.ActiveKind.store(static_cast<unsigned>(Target),
+                     std::memory_order_relaxed);
+  resetWindow(G);
+  G.SwitchCount.fetch_add(1, std::memory_order_relaxed);
+  // Reopen the gate; the release pairs with startDynamic's acquire so
+  // rebinding threads see the new ActiveKind.
+  G.CurrentGen.store(Gen + 1, std::memory_order_release);
+  return true;
+}
+
+/// The adaptive policy: the paper's two-phase contention-manager
+/// escalation generalized to backend selection. Run cheap and timid
+/// while conflicts are rare; once the windowed abort rate crosses the
+/// escalation threshold, move everyone to SwissTM (eager w/w detection
+/// plus the two-phase CM, the configuration the paper shows winning
+/// under contention). De-escalate only when the abort rate falls below
+/// the lower threshold — the hysteresis gap keeps the switcher from
+/// oscillating — picking the cheap backend by write mix: lazy TL2 for
+/// read-dominated windows, eager TinySTM for write-heavy ones.
+BackendKind decideBackend(const RuntimeGlobals &G, uint64_t Commits,
+                          uint64_t Aborts, uint64_t Writes) {
+  BackendKind Current =
+      static_cast<BackendKind>(G.ActiveKind.load(std::memory_order_relaxed));
+  uint64_t Attempts = Commits + Aborts;
+  double AbortRate =
+      Attempts == 0 ? 0.0
+                    : static_cast<double>(Aborts) / static_cast<double>(Attempts);
+  if (AbortRate >= G.Config.AdaptiveHighAbortRate)
+    return BackendKind::SwissTm;
+  if (AbortRate <= G.Config.AdaptiveLowAbortRate) {
+    double WritesPerCommit =
+        Commits == 0 ? 0.0
+                     : static_cast<double>(Writes) / static_cast<double>(Commits);
+    return WritesPerCommit < 1.0 ? BackendKind::Tl2 : BackendKind::TinyStm;
+  }
+  return Current;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TxHandle
+//===----------------------------------------------------------------------===//
+
+TxHandle::TxHandle(unsigned Slot) : Slot(Slot) {
+  RuntimeGlobals &G = runtimeGlobals();
+  BoundGen = G.CurrentGen.load(std::memory_order_acquire);
+  rebind(static_cast<BackendKind>(
+      G.ActiveKind.load(std::memory_order_relaxed)));
+  // Any switch racing this constructor is caught by startDynamic's
+  // generation check before the first attempt touches shared state.
+}
+
+void TxHandle::rebind(BackendKind NewKind) {
+  Kind = NewKind;
+  CurOps = &backendOps(NewKind);
+  std::size_t I = static_cast<std::size_t>(NewKind);
+  if (Inner[I] == nullptr)
+    Inner[I] = CurOps->CreateTx(Slot, &Env);
+  Cur = Inner[I];
+}
+
+void TxHandle::startDynamic() {
+  RuntimeGlobals &G = runtimeGlobals();
+  // Flush and evaluate on the attempt cadence too, not only on commits:
+  // in an abort storm commits stall, and the commit-side path would
+  // leave the policy blind in exactly the regime escalation exists for.
+  // Safe here — this thread is not yet pinned, so a switch it performs
+  // cannot wait on itself.
+  if (++AttemptsSinceFlush >= FlushInterval) {
+    flushWindow();
+    evaluatePolicy();
+  }
+  unsigned Spin = 0;
+  while (true) {
+    uint32_t Gen = G.CurrentGen.load(std::memory_order_acquire);
+    if (G.TargetGen.load(std::memory_order_acquire) != Gen) {
+      // Switch in progress: wait outside, unpinned, so the drain ends.
+      repro::spinWait(Spin);
+      continue;
+    }
+    if (Gen != BoundGen) {
+      rebind(static_cast<BackendKind>(
+          G.ActiveKind.load(std::memory_order_relaxed)));
+      BoundGen = Gen;
+    }
+    CurOps->OnStart(Cur); // pins the reclamation epoch (seq_cst fence)
+
+    // Recheck after the pin: a switcher whose quiescence scan missed
+    // the pin published its gate before that scan, so these loads see
+    // it (the pin's fence pairs with the scan's, see EpochManager.h).
+    if (G.TargetGen.load(std::memory_order_seq_cst) == Gen &&
+        G.CurrentGen.load(std::memory_order_seq_cst) == Gen)
+      return;
+
+    // Lost the race: abandon the attempt through the ordinary abort
+    // path before its first transactional access. Restart longjmps to
+    // the boundary, which re-enters onStart.
+    CurOps->Restart(Cur);
+  }
+}
+
+void TxHandle::flushWindow() {
+  repro::TxStats Now = stats();
+  RuntimeGlobals &G = runtimeGlobals();
+  G.WindowCommits.fetch_add(Now.Commits - Flushed.Commits,
+                            std::memory_order_relaxed);
+  G.WindowAborts.fetch_add(Now.Aborts - Flushed.Aborts,
+                           std::memory_order_relaxed);
+  G.WindowReads.fetch_add(Now.Reads - Flushed.Reads,
+                          std::memory_order_relaxed);
+  G.WindowWrites.fetch_add(Now.Writes - Flushed.Writes,
+                           std::memory_order_relaxed);
+  Flushed = Now;
+  CommitsSinceFlush = 0;
+  AttemptsSinceFlush = 0;
+}
+
+void TxHandle::afterCommitDynamic() {
+  if (++CommitsSinceFlush < FlushInterval)
+    return;
+  flushWindow();
+  evaluatePolicy();
+}
+
+/// Runs the adaptive policy on a full window and performs the switch it
+/// calls for. Must run outside any transaction (commit tail or
+/// pre-start), where a drain cannot wait on the caller.
+void TxHandle::evaluatePolicy() {
+  RuntimeGlobals &G = runtimeGlobals();
+  uint64_t Commits = G.WindowCommits.load(std::memory_order_relaxed);
+  uint64_t Aborts = G.WindowAborts.load(std::memory_order_relaxed);
+  if (Commits + Aborts < G.Config.AdaptiveWindow)
+    return;
+  uint64_t Writes = G.WindowWrites.load(std::memory_order_relaxed);
+  BackendKind Target = decideBackend(G, Commits, Aborts, Writes);
+  if (Target ==
+      static_cast<BackendKind>(G.ActiveKind.load(std::memory_order_relaxed))) {
+    // Window consumed with no change of regime; start the next one.
+    // Concurrent evaluators racing this reset only shorten a window.
+    resetWindow(G);
+    return;
+  }
+  if (performSwitch(G, Target)) {
+    ++HandleModeSwitches;
+  }
+}
+
+repro::TxStats TxHandle::stats() const {
+  repro::TxStats Out;
+  for (std::size_t I = 0; I < NumBackends; ++I)
+    if (Inner[I] != nullptr)
+      Out += *backendOps(static_cast<BackendKind>(I)).Stats(Inner[I]);
+  Out.ModeSwitches += HandleModeSwitches;
+  return Out;
+}
+
+void TxHandle::threadShutdown() {
+  for (std::size_t I = 0; I < NumBackends; ++I) {
+    if (Inner[I] != nullptr) {
+      backendOps(static_cast<BackendKind>(I)).RetireTx(Inner[I]);
+      Inner[I] = nullptr;
+    }
+  }
+  Cur = nullptr;
+  CurOps = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// StmRuntime facade
+//===----------------------------------------------------------------------===//
+
+const char *StmRuntime::name() {
+  RuntimeGlobals &G = runtimeGlobals();
+  return G.Config.Adaptive ? "adaptive" : backendName(G.Config.Backend);
+}
+
+void StmRuntime::globalInit(const StmConfig &Config) {
+  RuntimeGlobals &G = runtimeGlobals();
+  G.Config = Config;
+  // Adaptive mode needs every backend's globals live before the first
+  // switch; fixed mode pays for exactly one.
+  if (Config.Adaptive) {
+    for (BackendKind K : allBackendKinds()) {
+      backendOps(K).GlobalInit(Config);
+      G.BackendLive[static_cast<std::size_t>(K)] = true;
+    }
+  } else {
+    backendOps(Config.Backend).GlobalInit(Config);
+    G.BackendLive[static_cast<std::size_t>(Config.Backend)] = true;
+  }
+  G.ActiveKind.store(static_cast<unsigned>(Config.Backend),
+                     std::memory_order_relaxed);
+  G.CurrentGen.store(0, std::memory_order_relaxed);
+  G.TargetGen.store(0, std::memory_order_relaxed);
+  G.SwitchCount.store(0, std::memory_order_relaxed);
+  resetWindow(G);
+  G.Dynamic.store(Config.Adaptive, std::memory_order_release);
+}
+
+void StmRuntime::globalShutdown() {
+  RuntimeGlobals &G = runtimeGlobals();
+  G.Dynamic.store(false, std::memory_order_release);
+  for (std::size_t I = 0; I < NumBackends; ++I) {
+    if (G.BackendLive[I]) {
+      backendOps(static_cast<BackendKind>(I)).GlobalShutdown();
+      G.BackendLive[I] = false;
+    }
+  }
+}
+
+BackendKind StmRuntime::activeBackend() {
+  return static_cast<BackendKind>(
+      runtimeGlobals().ActiveKind.load(std::memory_order_acquire));
+}
+
+uint64_t StmRuntime::switchCount() {
+  return runtimeGlobals().SwitchCount.load(std::memory_order_acquire);
+}
+
+bool StmRuntime::requestSwitch(BackendKind Target) {
+  RuntimeGlobals &G = runtimeGlobals();
+  if (!G.Dynamic.load(std::memory_order_acquire))
+    return false; // fixed runtime: the gate machinery is off
+  if (Target == activeBackend())
+    return false;
+  return performSwitch(G, Target);
+}

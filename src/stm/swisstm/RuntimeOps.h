@@ -1,0 +1,26 @@
+//===- stm/swisstm/RuntimeOps.h - SwissTM runtime adapter -------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Registers SwissTM with the type-erased runtime (see
+// stm/runtime/BackendOps.h). The table is built entirely from the
+// public facade; the algorithm itself is untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_SWISSTM_RUNTIMEOPS_H
+#define STM_SWISSTM_RUNTIMEOPS_H
+
+#include "stm/runtime/BackendOps.h"
+#include "stm/swisstm/SwissTm.h"
+
+namespace stm::swiss {
+
+inline const rt::BackendOps &runtimeOps() {
+  static constexpr rt::BackendOps Ops = rt::makeBackendOps<SwissTm>();
+  return Ops;
+}
+
+} // namespace stm::swiss
+
+#endif // STM_SWISSTM_RUNTIMEOPS_H

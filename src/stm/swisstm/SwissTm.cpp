@@ -223,7 +223,7 @@ void SwissTx::rollback() {
   baseAbort();
   Cm.onRollback(GlobalState.Config, Rng,
                 SuccessiveAborts); // Algorithm 1, line 49
-  std::longjmp(Env, 1);
+  std::longjmp(*EnvTarget, 1);
 }
 
 bool SwissTx::validateReadSet() {

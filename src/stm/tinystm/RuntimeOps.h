@@ -1,0 +1,25 @@
+//===- stm/tinystm/RuntimeOps.h - TinySTM runtime adapter -------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Registers TinySTM with the type-erased runtime (see
+// stm/runtime/BackendOps.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_TINYSTM_RUNTIMEOPS_H
+#define STM_TINYSTM_RUNTIMEOPS_H
+
+#include "stm/runtime/BackendOps.h"
+#include "stm/tinystm/TinyStm.h"
+
+namespace stm::tiny {
+
+inline const rt::BackendOps &runtimeOps() {
+  static constexpr rt::BackendOps Ops = rt::makeBackendOps<TinyStm>();
+  return Ops;
+}
+
+} // namespace stm::tiny
+
+#endif // STM_TINYSTM_RUNTIMEOPS_H

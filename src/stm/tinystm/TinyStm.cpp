@@ -152,7 +152,7 @@ void TinyTx::rollback() {
       E.Lock->L.store(E.OldValue, std::memory_order_release);
   });
   baseAbort();
-  std::longjmp(Env, 1);
+  std::longjmp(*EnvTarget, 1);
 }
 
 bool TinyTx::validateReadSet() {

@@ -1,0 +1,25 @@
+//===- stm/tl2/RuntimeOps.h - TL2 runtime adapter ---------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Registers TL2 with the type-erased runtime (see
+// stm/runtime/BackendOps.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_TL2_RUNTIMEOPS_H
+#define STM_TL2_RUNTIMEOPS_H
+
+#include "stm/runtime/BackendOps.h"
+#include "stm/tl2/Tl2.h"
+
+namespace stm::tl2 {
+
+inline const rt::BackendOps &runtimeOps() {
+  static constexpr rt::BackendOps Ops = rt::makeBackendOps<Tl2>();
+  return Ops;
+}
+
+} // namespace stm::tl2
+
+#endif // STM_TL2_RUNTIMEOPS_H

@@ -158,7 +158,7 @@ void Tl2Tx::commit() {
 
 void Tl2Tx::rollback() {
   baseAbort();
-  std::longjmp(Env, 1);
+  std::longjmp(*EnvTarget, 1);
 }
 
 void Tl2Tx::rollbackReleasing() {

@@ -24,6 +24,7 @@ struct TxStats {
   uint64_t Extensions = 0;      ///< successful valid-ts extensions
   uint64_t FailedExtensions = 0;
   uint64_t ReadOnlyCommits = 0;
+  uint64_t ModeSwitches = 0; ///< adaptive backend switches this thread led
 
   void reset() { *this = TxStats(); }
 
@@ -37,6 +38,7 @@ struct TxStats {
     Extensions += O.Extensions;
     FailedExtensions += O.FailedExtensions;
     ReadOnlyCommits += O.ReadOnlyCommits;
+    ModeSwitches += O.ModeSwitches;
     return *this;
   }
 

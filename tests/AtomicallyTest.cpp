@@ -19,19 +19,11 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class AtomicallyTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class AtomicallyTest : public repro_test::RuntimeSuite {};
 
-TYPED_TEST_SUITE(AtomicallyTest, repro_test::AllStms);
-
-TYPED_TEST(AtomicallyTest, UnalignedFieldSpansTwoWords) {
+TEST_P(AtomicallyTest, UnalignedFieldSpansTwoWords) {
   // A 4-byte field placed to straddle a word boundary exercises the
   // multi-word gather/scatter path.
   struct Packed {
@@ -41,7 +33,7 @@ TYPED_TEST(AtomicallyTest, UnalignedFieldSpansTwoWords) {
   };
   alignas(8) static Packed P;
   std::memset(&P, 0xab, sizeof(P));
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       storeField(T, &P.Straddler, uint32_t{0xdeadbeef});
     });
@@ -60,7 +52,7 @@ TYPED_TEST(AtomicallyTest, UnalignedFieldSpansTwoWords) {
     EXPECT_EQ(static_cast<unsigned char>(C), 0xab);
 }
 
-TYPED_TEST(AtomicallyTest, LargeStructFieldRoundTrip) {
+TEST_P(AtomicallyTest, LargeStructFieldRoundTrip) {
   struct Big {
     uint64_t A, B, C;
   };
@@ -69,7 +61,7 @@ TYPED_TEST(AtomicallyTest, LargeStructFieldRoundTrip) {
   };
   alignas(8) static Holder H;
   std::memset(&H, 0, sizeof(H));
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       storeField(T, &H.Value, Big{1, 2, 3});
     });
@@ -84,10 +76,10 @@ TYPED_TEST(AtomicallyTest, LargeStructFieldRoundTrip) {
   });
 }
 
-TYPED_TEST(AtomicallyTest, InnerAbortRestartsOuterTransaction) {
+TEST_P(AtomicallyTest, InnerAbortRestartsOuterTransaction) {
   alignas(64) static Word A, B;
   A = B = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     int OuterRuns = 0;
     int *OuterPtr = &OuterRuns;
     atomically(Tx, [&, OuterPtr](auto &T) {
@@ -105,19 +97,19 @@ TYPED_TEST(AtomicallyTest, InnerAbortRestartsOuterTransaction) {
   EXPECT_EQ(B, 99u);
 }
 
-TYPED_TEST(AtomicallyTest, GlobalReInitGivesCleanState) {
+TEST_P(AtomicallyTest, GlobalReInitGivesCleanState) {
   alignas(8) static Word Cell;
   Cell = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) { T.store(&Cell, 5); });
   });
   // Tear down and bring the STM back up: transactions must work again.
-  TypeParam::globalShutdown();
+  repro_test::Rt::globalShutdown();
   StmConfig Config;
   Config.LockTableSizeLog2 = 15;
   Config.GranularityLog2 = 6;
-  TypeParam::globalInit(Config);
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  repro_test::Rt::globalInit(applyMode(Config));
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
   });
   EXPECT_EQ(Cell, 6u);
@@ -125,11 +117,11 @@ TYPED_TEST(AtomicallyTest, GlobalReInitGivesCleanState) {
   // down symmetric with SetUp.
 }
 
-TYPED_TEST(AtomicallyTest, SequentialThreadScopesReuseSlots) {
+TEST_P(AtomicallyTest, SequentialThreadScopesReuseSlots) {
   alignas(8) static Word Cell;
   Cell = 0;
   for (int Round = 0; Round < 4; ++Round)
-    runThreads<TypeParam>(2, [&](unsigned, auto &Tx) {
+    runThreads<repro_test::Rt>(2, [&](unsigned, auto &Tx) {
       for (int I = 0; I < 50; ++I)
         atomically(Tx, [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
     });
@@ -138,10 +130,10 @@ TYPED_TEST(AtomicallyTest, SequentialThreadScopesReuseSlots) {
       << "slots must be recycled across rounds";
 }
 
-TYPED_TEST(AtomicallyTest, StatsAccumulateAcrossTransactions) {
+TEST_P(AtomicallyTest, StatsAccumulateAcrossTransactions) {
   alignas(8) static Word Cell;
   Cell = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (int I = 0; I < 10; ++I)
       atomically(Tx, [&](auto &T) { T.store(&Cell, I); });
     for (int I = 0; I < 5; ++I)
@@ -152,5 +144,7 @@ TYPED_TEST(AtomicallyTest, StatsAccumulateAcrossTransactions) {
     EXPECT_GE(Tx.stats().Reads, 5u);
   });
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(AtomicallyTest);
 
 } // namespace

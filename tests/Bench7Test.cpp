@@ -24,29 +24,21 @@ Bench7Config smallConfig() {
   return Cfg;
 }
 
-template <typename STM> class Bench7Test : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class Bench7Test : public repro_test::RuntimeSuite {};
 
-TYPED_TEST_SUITE(Bench7Test, repro_test::AllStms);
-
-TYPED_TEST(Bench7Test, BuildSatisfiesInvariants) {
-  Bench7<TypeParam> B(smallConfig());
+TEST_P(Bench7Test, BuildSatisfiesInvariants) {
+  Bench7<repro_test::Rt> B(smallConfig());
   EXPECT_EQ(B.compositeCount(), 12u);
   EXPECT_EQ(B.baseAssemblyCount(), 8u); // branch^depth = 2^3 leaves
   EXPECT_EQ(B.totalAtomicParts(), 12u * 8u);
   EXPECT_TRUE(B.verify());
 }
 
-TYPED_TEST(Bench7Test, EveryOperationRunsAndPreservesInvariants) {
-  Bench7<TypeParam> B(smallConfig());
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+TEST_P(Bench7Test, EveryOperationRunsAndPreservesInvariants) {
+  Bench7<repro_test::Rt> B(smallConfig());
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(5));
     for (unsigned K = 0; K < NumOps; ++K)
       for (int Rep = 0; Rep < 5; ++Rep)
@@ -55,10 +47,10 @@ TYPED_TEST(Bench7Test, EveryOperationRunsAndPreservesInvariants) {
   EXPECT_TRUE(B.verify());
 }
 
-TYPED_TEST(Bench7Test, StructuralAddGrowsRingAndIndex) {
-  Bench7<TypeParam> B(smallConfig());
+TEST_P(Bench7Test, StructuralAddGrowsRingAndIndex) {
+  Bench7<repro_test::Rt> B(smallConfig());
   uint64_t Before = B.totalAtomicParts();
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(9));
     for (int I = 0; I < 10; ++I)
       B.runOp(Tx, Rng, Op7::StructuralAdd);
@@ -67,10 +59,10 @@ TYPED_TEST(Bench7Test, StructuralAddGrowsRingAndIndex) {
   EXPECT_TRUE(B.verify());
 }
 
-TYPED_TEST(Bench7Test, StructuralRemoveShrinksRingAndIndex) {
-  Bench7<TypeParam> B(smallConfig());
+TEST_P(Bench7Test, StructuralRemoveShrinksRingAndIndex) {
+  Bench7<repro_test::Rt> B(smallConfig());
   uint64_t Before = B.totalAtomicParts();
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(11));
     for (int I = 0; I < 10; ++I)
       B.runOp(Tx, Rng, Op7::StructuralRemove);
@@ -79,11 +71,11 @@ TYPED_TEST(Bench7Test, StructuralRemoveShrinksRingAndIndex) {
   EXPECT_TRUE(B.verify());
 }
 
-TYPED_TEST(Bench7Test, MixedWorkloadsConcurrent) {
-  Bench7<TypeParam> B(smallConfig());
+TEST_P(Bench7Test, MixedWorkloadsConcurrent) {
+  Bench7<repro_test::Rt> B(smallConfig());
   for (Workload7 W : {Workload7::ReadDominated, Workload7::ReadWrite,
                       Workload7::WriteDominated}) {
-    runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+    runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
       repro::Xorshift Rng(repro::testSeed(Id * 131 + static_cast<unsigned>(W)));
       for (int I = 0; I < 150; ++I)
         B.runOperation(Tx, Rng, W);
@@ -93,16 +85,18 @@ TYPED_TEST(Bench7Test, MixedWorkloadsConcurrent) {
   }
 }
 
-TYPED_TEST(Bench7Test, LongTraversalCountsAllParts) {
-  Bench7<TypeParam> B(smallConfig());
+TEST_P(Bench7Test, LongTraversalCountsAllParts) {
+  Bench7<repro_test::Rt> B(smallConfig());
   // A long update traversal touches every base assembly; afterwards the
   // structure is still consistent and the count is stable.
-  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(2, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id + 77));
     for (int I = 0; I < 5; ++I)
       B.runOp(Tx, Rng, Op7::LongUpdate);
   });
   EXPECT_TRUE(B.verify());
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(Bench7Test);
 
 } // namespace

@@ -92,11 +92,11 @@ template <typename STM> void runCornerWorkload() {
   EXPECT_EQ(Sum, Total) << STM::name() << ": lost transfer";
 }
 
-template <typename STM> class ConfigMatrixTest : public ::testing::Test {};
+/// Parameterized over the runtime backends; each corner re-inits the
+/// runtime itself, so the no-init fixture base applies.
+class ConfigMatrixTest : public repro_test::RuntimeSuiteNoInit {};
 
-TYPED_TEST_SUITE(ConfigMatrixTest, repro_test::AllStms);
-
-TYPED_TEST(ConfigMatrixTest, BoundaryGeometryCorners) {
+TEST_P(ConfigMatrixTest, BoundaryGeometryCorners) {
   using Table = core::LockTable<int>;
   for (unsigned SizeLog2 : {Table::MinSizeLog2, maxSweepSizeLog2()}) {
     for (unsigned GranLog2 :
@@ -106,37 +106,136 @@ TYPED_TEST(ConfigMatrixTest, BoundaryGeometryCorners) {
       StmConfig Config;
       Config.LockTableSizeLog2 = SizeLog2;
       Config.GranularityLog2 = GranLog2;
-      TypeParam::globalInit(Config);
-      runCornerWorkload<TypeParam>();
-      TypeParam::globalShutdown();
+      repro_test::Rt::globalInit(applyMode(Config));
+      runCornerWorkload<repro_test::Rt>();
+      repro_test::Rt::globalShutdown();
     }
   }
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(ConfigMatrixTest);
 
 //===----------------------------------------------------------------------===//
 // Death tests: out-of-range geometry must abort in every build mode.
 //===----------------------------------------------------------------------===//
 
-template <typename STM> class ConfigMatrixDeathTest : public ::testing::Test {};
+class ConfigMatrixDeathTest : public repro_test::RuntimeSuiteNoInit {};
 
-TYPED_TEST_SUITE(ConfigMatrixDeathTest, repro_test::AllStms);
-
-TYPED_TEST(ConfigMatrixDeathTest, RejectsOutOfRangeGeometry) {
+TEST_P(ConfigMatrixDeathTest, RejectsOutOfRangeGeometry) {
   StmConfig TooSmall;
   TooSmall.LockTableSizeLog2 = 3;
-  EXPECT_DEATH(TypeParam::globalInit(TooSmall), "out of range");
+  EXPECT_DEATH(repro_test::Rt::globalInit(applyMode(TooSmall)),
+               "out of range");
 
   StmConfig TooBig;
   TooBig.LockTableSizeLog2 = 29;
-  EXPECT_DEATH(TypeParam::globalInit(TooBig), "out of range");
+  EXPECT_DEATH(repro_test::Rt::globalInit(applyMode(TooBig)),
+               "out of range");
 
   StmConfig TooFine;
   TooFine.GranularityLog2 = 1;
-  EXPECT_DEATH(TypeParam::globalInit(TooFine), "out of range");
+  EXPECT_DEATH(repro_test::Rt::globalInit(applyMode(TooFine)),
+               "out of range");
 
   StmConfig TooCoarse;
   TooCoarse.GranularityLog2 = 13;
-  EXPECT_DEATH(TypeParam::globalInit(TooCoarse), "out of range");
+  EXPECT_DEATH(repro_test::Rt::globalInit(applyMode(TooCoarse)),
+               "out of range");
+}
+
+STM_INSTANTIATE_RUNTIME_SUITE(ConfigMatrixDeathTest);
+
+//===----------------------------------------------------------------------===//
+// Env parsing: unknown values must die with a diagnostic, not fall
+// back to a default (an env typo silently measuring the wrong backend
+// would invalidate a whole run). setenv happens inside EXPECT_DEATH's
+// forked child, so the parent environment stays clean.
+//===----------------------------------------------------------------------===//
+
+TEST(ConfigEnvDeathTest, RejectsUnknownBackend) {
+  EXPECT_DEATH(
+      {
+        setenv("STM_BACKEND", "swisstm2", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_BACKEND value 'swisstm2'");
+  EXPECT_DEATH(
+      {
+        setenv("STM_BACKEND", "", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_BACKEND");
+}
+
+TEST(ConfigEnvDeathTest, RejectsNonBooleanAdaptive) {
+  EXPECT_DEATH(
+      {
+        setenv("STM_ADAPTIVE", "yes", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_ADAPTIVE value 'yes'");
+}
+
+TEST(ConfigEnvDeathTest, RejectsNonNumericGeometry) {
+  EXPECT_DEATH(
+      {
+        setenv("STM_LOCK_TABLE_LOG2", "big", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_LOCK_TABLE_LOG2 value 'big'");
+  EXPECT_DEATH(
+      {
+        setenv("STM_GRANULARITY_LOG2", "-4", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_GRANULARITY_LOG2 value '-4'");
+  // Overflow must die too, not alias into the valid range (2^32+16
+  // wraps to 16 under naive decimal accumulation).
+  EXPECT_DEATH(
+      {
+        setenv("STM_LOCK_TABLE_LOG2", "4294967312", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_LOCK_TABLE_LOG2 value '4294967312'");
+}
+
+TEST(ConfigEnvDeathTest, OutOfRangeEnvGeometryDiesAtInit) {
+  // Parsing accepts any decimal; the lock table owns the range check
+  // and must still catch env-sourced geometry at init time.
+  EXPECT_DEATH(
+      {
+        setenv("STM_LOCK_TABLE_LOG2", "63", 1);
+        stm::StmRuntime::globalInit(stm::configFromEnv());
+      },
+      "out of range");
+}
+
+TEST(ConfigEnvTest, ParsesValidValues) {
+  // In-process (no fork): clears the touched variables afterwards. The
+  // parameterized suites are unaffected — runtimeModes() memoizes the
+  // env-derived mode list before any test body runs.
+  auto WithEnv = [](const char *Backend, const char *Adaptive,
+                    const char *Table, const char *Gran) {
+    setenv("STM_BACKEND", Backend, 1);
+    setenv("STM_ADAPTIVE", Adaptive, 1);
+    setenv("STM_LOCK_TABLE_LOG2", Table, 1);
+    setenv("STM_GRANULARITY_LOG2", Gran, 1);
+    StmConfig Config = stm::configFromEnv();
+    unsetenv("STM_BACKEND");
+    unsetenv("STM_ADAPTIVE");
+    unsetenv("STM_LOCK_TABLE_LOG2");
+    unsetenv("STM_GRANULARITY_LOG2");
+    return Config;
+  };
+  StmConfig Config = WithEnv("tl2", "1", "18", "6");
+  EXPECT_EQ(Config.Backend, stm::rt::BackendKind::Tl2);
+  EXPECT_TRUE(Config.Adaptive);
+  EXPECT_EQ(Config.LockTableSizeLog2, 18u);
+  EXPECT_EQ(Config.GranularityLog2, 6u);
+
+  Config = WithEnv("rstm", "0", "16", "4");
+  EXPECT_EQ(Config.Backend, stm::rt::BackendKind::Rstm);
+  EXPECT_FALSE(Config.Adaptive);
 }
 
 TEST(LockTableDeathTest, InitEnforcesBoundsDirectly) {

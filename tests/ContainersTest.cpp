@@ -20,21 +20,13 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class ContainersTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class ContainersTest : public repro_test::RuntimeSuite {};
 
-TYPED_TEST_SUITE(ContainersTest, repro_test::AllStms);
-
-TYPED_TEST(ContainersTest, ListInsertLookupRemove) {
-  TxList<TypeParam> List;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+TEST_P(ContainersTest, ListInsertLookupRemove) {
+  TxList<repro_test::Rt> List;
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     bool Ok = false;
     bool *OkPtr = &Ok;
     atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = List.insert(T, 5, 50); });
@@ -56,11 +48,11 @@ TYPED_TEST(ContainersTest, ListInsertLookupRemove) {
   EXPECT_EQ(List.sizeRaw(), 0u);
 }
 
-TYPED_TEST(ContainersTest, ListStaysSortedUnderRandomOps) {
-  TxList<TypeParam> List;
+TEST_P(ContainersTest, ListStaysSortedUnderRandomOps) {
+  TxList<repro_test::Rt> List;
   std::set<uint64_t> Model;
   repro::Xorshift Rng(repro::testSeed(31));
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (int I = 0; I < 1500; ++I) {
       uint64_t Key = Rng.nextBounded(64);
       if (Rng.nextPercent(50)) {
@@ -83,9 +75,9 @@ TYPED_TEST(ContainersTest, ListStaysSortedUnderRandomOps) {
   EXPECT_EQ(List.sizeRaw(), Model.size());
 }
 
-TYPED_TEST(ContainersTest, ListUpdateChangesValue) {
-  TxList<TypeParam> List;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+TEST_P(ContainersTest, ListUpdateChangesValue) {
+  TxList<repro_test::Rt> List;
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) { List.insert(T, 1, 10); });
     bool Ok = false;
     bool *OkPtr = &Ok;
@@ -101,10 +93,10 @@ TYPED_TEST(ContainersTest, ListUpdateChangesValue) {
   });
 }
 
-TYPED_TEST(ContainersTest, ConcurrentListInsertDisjoint) {
-  TxList<TypeParam> List;
+TEST_P(ContainersTest, ConcurrentListInsertDisjoint) {
+  TxList<repro_test::Rt> List;
   constexpr unsigned Threads = 4, PerThread = 200;
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     for (unsigned K = 0; K < PerThread; ++K)
       atomically(Tx, [&](auto &T) {
         List.insert(T, uint64_t(Id) * PerThread + K, K);
@@ -114,11 +106,11 @@ TYPED_TEST(ContainersTest, ConcurrentListInsertDisjoint) {
   EXPECT_TRUE(List.verifySorted());
 }
 
-TYPED_TEST(ContainersTest, HashMapMatchesStdMap) {
-  TxHashMap<TypeParam> Map(6);
+TEST_P(ContainersTest, HashMapMatchesStdMap) {
+  TxHashMap<repro_test::Rt> Map(6);
   std::map<uint64_t, uint64_t> Model;
   repro::Xorshift Rng(repro::testSeed(77));
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (int I = 0; I < 2000; ++I) {
       uint64_t Key = Rng.nextBounded(512);
       unsigned Kind = static_cast<unsigned>(Rng.nextBounded(3));
@@ -150,10 +142,10 @@ TYPED_TEST(ContainersTest, HashMapMatchesStdMap) {
   EXPECT_EQ(Map.sizeRaw(), Model.size());
 }
 
-TYPED_TEST(ContainersTest, HashMapConcurrentDisjointInserts) {
-  TxHashMap<TypeParam> Map(8);
+TEST_P(ContainersTest, HashMapConcurrentDisjointInserts) {
+  TxHashMap<repro_test::Rt> Map(8);
   constexpr unsigned Threads = 4, PerThread = 300;
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     for (unsigned K = 0; K < PerThread; ++K)
       atomically(Tx, [&](auto &T) {
         Map.insert(T, uint64_t(Id) * PerThread + K, Id);
@@ -162,12 +154,12 @@ TYPED_TEST(ContainersTest, HashMapConcurrentDisjointInserts) {
   EXPECT_EQ(Map.sizeRaw(), Threads * PerThread);
 }
 
-TYPED_TEST(ContainersTest, HashMapConcurrentSameKeysOneWinnerEach) {
-  TxHashMap<TypeParam> Map(4);
+TEST_P(ContainersTest, HashMapConcurrentSameKeysOneWinnerEach) {
+  TxHashMap<repro_test::Rt> Map(4);
   constexpr unsigned Threads = 4;
   constexpr unsigned Keys = 100;
   std::atomic<uint64_t> Wins{0};
-  runThreads<TypeParam>(Threads, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned, auto &Tx) {
     uint64_t MyWins = 0;
     for (unsigned K = 0; K < Keys; ++K) {
       bool Got = false;
@@ -183,9 +175,9 @@ TYPED_TEST(ContainersTest, HashMapConcurrentSameKeysOneWinnerEach) {
   EXPECT_EQ(Map.sizeRaw(), Keys);
 }
 
-TYPED_TEST(ContainersTest, QueueFifoOrder) {
-  TxQueue<TypeParam> Queue;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+TEST_P(ContainersTest, QueueFifoOrder) {
+  TxQueue<repro_test::Rt> Queue;
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (Word I = 1; I <= 10; ++I)
       atomically(Tx, [&](auto &T) { Queue.enqueue(T, I); });
     for (Word I = 1; I <= 10; ++I) {
@@ -211,15 +203,15 @@ TYPED_TEST(ContainersTest, QueueFifoOrder) {
   EXPECT_EQ(Queue.sizeRaw(), 0u);
 }
 
-TYPED_TEST(ContainersTest, QueueConcurrentDrainExactlyOnce) {
-  TxQueue<TypeParam> Queue;
+TEST_P(ContainersTest, QueueConcurrentDrainExactlyOnce) {
+  TxQueue<repro_test::Rt> Queue;
   constexpr unsigned Items = 600;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (Word I = 0; I < Items; ++I)
       atomically(Tx, [&](auto &T) { Queue.enqueue(T, I + 1); });
   });
   std::atomic<uint64_t> Sum{0}, Count{0};
-  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned, auto &Tx) {
     uint64_t MySum = 0, MyCount = 0;
     while (true) {
       Word Item = 0;
@@ -241,12 +233,12 @@ TYPED_TEST(ContainersTest, QueueConcurrentDrainExactlyOnce) {
   EXPECT_EQ(Sum.load(), uint64_t(Items) * (Items + 1) / 2);
 }
 
-TYPED_TEST(ContainersTest, QueueInterleavedProducersConsumers) {
-  TxQueue<TypeParam> Queue;
+TEST_P(ContainersTest, QueueInterleavedProducersConsumers) {
+  TxQueue<repro_test::Rt> Queue;
   constexpr unsigned PerProducer = 300;
   std::atomic<uint64_t> Consumed{0};
   std::atomic<unsigned> ProducersDone{0};
-  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
     if (Id < 2) {
       for (Word I = 0; I < PerProducer; ++I)
         atomically(Tx, [&](auto &T) { Queue.enqueue(T, I + 1); });
@@ -269,7 +261,7 @@ TYPED_TEST(ContainersTest, QueueInterleavedProducersConsumers) {
     }
   });
   // Drain any leftovers.
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     while (true) {
       Word Item = 0;
       bool Ok = false;
@@ -285,5 +277,7 @@ TYPED_TEST(ContainersTest, QueueInterleavedProducersConsumers) {
   });
   EXPECT_EQ(Consumed.load(), 2u * PerProducer);
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(ContainersTest);
 
 } // namespace

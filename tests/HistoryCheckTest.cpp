@@ -35,7 +35,10 @@
 #include <gtest/gtest-spi.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -133,10 +136,16 @@ void checkHistory(const std::vector<Attempt> &History, const char *StmName) {
   }
 }
 
+/// Runs the recorded-history workload on \p STM and feeds the merged
+/// history to the offline checker. \p Concurrent, when set, runs in its
+/// own non-transactional thread alongside the workers (it drives
+/// backend switches in the runtime tests) until the flag it receives
+/// goes true.
 template <typename STM>
-void runHistoryCheck(const StmConfig &Config, unsigned Threads,
-                     unsigned TxPerThread, unsigned UpdatePercent,
-                     uint64_t SeedSalt, bool RequireAborts = false) {
+void runHistoryCheck(
+    const StmConfig &Config, unsigned Threads, unsigned TxPerThread,
+    unsigned UpdatePercent, uint64_t SeedSalt, bool RequireAborts = false,
+    const std::function<void(std::atomic<bool> &)> &Concurrent = nullptr) {
   static SharedState S;
   S.Seq = 0;
   for (Word &W : S.Words)
@@ -144,6 +153,11 @@ void runHistoryCheck(const StmConfig &Config, unsigned Threads,
 
   STM::globalInit(Config);
   {
+    std::atomic<bool> WorkersDone{false};
+    std::thread Controller;
+    if (Concurrent)
+      Controller = std::thread([&] { Concurrent(WorkersDone); });
+
     std::vector<std::vector<Attempt>> PerThread(Threads);
     runThreads<STM>(Threads, [&](unsigned Tid, auto &Tx) {
       repro::Xorshift Rng(repro::testSeed(SeedSalt * 100 + Tid));
@@ -204,6 +218,10 @@ void runHistoryCheck(const StmConfig &Config, unsigned Threads,
       }
     });
 
+    WorkersDone.store(true, std::memory_order_release);
+    if (Controller.joinable())
+      Controller.join();
+
     std::vector<Attempt> History;
     for (auto &H : PerThread)
       for (Attempt &A : H)
@@ -223,31 +241,77 @@ StmConfig smallTable() {
   return Config;
 }
 
-template <typename STM> class HistoryCheckTest : public ::testing::Test {};
-
-TYPED_TEST_SUITE(HistoryCheckTest, repro_test::AllStms);
+/// Histories recorded *through* the runtime dispatch layer, on every
+/// backend (and the adaptive switcher under the STM_ADAPTIVE CI pass).
+class HistoryCheckTest : public repro_test::RuntimeSuiteNoInit {};
 
 /// Default configuration of each backend, mixed readers and updaters.
-TYPED_TEST(HistoryCheckTest, RandomizedHistoryIsOpaque) {
-  runHistoryCheck<TypeParam>(smallTable(), 4, 1500 * stressScale(),
-                             /*UpdatePercent=*/50, /*SeedSalt=*/1,
-                             /*RequireAborts=*/true);
+TEST_P(HistoryCheckTest, RandomizedHistoryIsOpaque) {
+  runHistoryCheck<repro_test::Rt>(applyMode(smallTable()), 4,
+                                  1500 * stressScale(),
+                                  /*UpdatePercent=*/50, /*SeedSalt=*/1,
+                                  /*RequireAborts=*/true);
 }
 
 /// Read-dominated: long stretches between sequencer bumps exercise the
 /// extension/revalidation paths instead of the conflict paths.
-TYPED_TEST(HistoryCheckTest, ReadMostlyHistoryIsOpaque) {
-  runHistoryCheck<TypeParam>(smallTable(), 4, 1200 * stressScale(),
-                             /*UpdatePercent=*/10, /*SeedSalt=*/2);
+TEST_P(HistoryCheckTest, ReadMostlyHistoryIsOpaque) {
+  runHistoryCheck<repro_test::Rt>(applyMode(smallTable()), 4,
+                                  1200 * stressScale(),
+                                  /*UpdatePercent=*/10, /*SeedSalt=*/2);
 }
 
 /// A tiny lock table forces false conflicts between unrelated stripes;
 /// opacity must survive aliasing.
-TYPED_TEST(HistoryCheckTest, FalseConflictsStayOpaque) {
+TEST_P(HistoryCheckTest, FalseConflictsStayOpaque) {
   StmConfig Config;
   Config.LockTableSizeLog2 = 4;
-  runHistoryCheck<TypeParam>(Config, 4, 800 * stressScale(),
-                             /*UpdatePercent=*/50, /*SeedSalt=*/3);
+  runHistoryCheck<repro_test::Rt>(applyMode(Config), 4, 800 * stressScale(),
+                                  /*UpdatePercent=*/50, /*SeedSalt=*/3);
+}
+
+STM_INSTANTIATE_RUNTIME_SUITE(HistoryCheckTest);
+
+//===----------------------------------------------------------------------===//
+// Runtime switch barrier: opacity must hold across backend switches.
+//===----------------------------------------------------------------------===//
+
+/// A controller thread cycles the active backend through all four kinds
+/// while the workers record their history through the dispatch layer.
+/// Every attempt therefore runs on whichever backend its generation
+/// selected, and the merged history — which spans many switch barriers
+/// — must still replay as one opaque serialization.
+TEST(HistoryCheckRuntimeTest, HistorySpanningBackendSwitchesIsOpaque) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::Tl2;
+  Config.Adaptive = true;       // arms the switch machinery...
+  Config.AdaptiveWindow = ~0u;  // ...with the policy effectively off
+  std::atomic<unsigned> Switches{0};
+  runHistoryCheck<StmRuntime>(
+      Config, 4, 1200 * stressScale(), /*UpdatePercent=*/50,
+      /*SeedSalt=*/7, /*RequireAborts=*/false,
+      [&Switches](std::atomic<bool> &Done) {
+        std::size_t Next = 0;
+        const auto &Kinds = stm::rt::allBackendKinds();
+        while (!Done.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          if (StmRuntime::requestSwitch(Kinds[Next++ % Kinds.size()]))
+            Switches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  EXPECT_GT(Switches.load(), 0u)
+      << "no backend switch crossed the recorded history";
+}
+
+/// The adaptive policy itself driving the switches: contended mixed
+/// updates with a tiny evaluation window force escalation decisions
+/// mid-history.
+TEST(HistoryCheckRuntimeTest, AdaptivePolicyHistoryIsOpaque) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::Tl2;
+  Config.AdaptiveWindow = 256;
+  runHistoryCheck<AdaptiveRuntime>(Config, 4, 1500 * stressScale(),
+                                   /*UpdatePercent=*/50, /*SeedSalt=*/8);
 }
 
 /// SwissTM with timestamp extension disabled behaves like TL2 on reads;

@@ -19,23 +19,15 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class LeeTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class LeeTest : public repro_test::RuntimeSuite {};
 
-TYPED_TEST_SUITE(LeeTest, repro_test::AllStms);
-
-TYPED_TEST(LeeTest, SingleRouteConnectsEndpoints) {
+TEST_P(LeeTest, SingleRouteConnectsEndpoints) {
   std::vector<RouteJob> Jobs = {RouteJob{1, 1, 8, 5, 1}};
-  LeeRouter<TypeParam> Router(16, 16, Jobs);
+  LeeRouter<repro_test::Rt> Router(16, 16, Jobs);
   unsigned Routed = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     Routed = Router.work(Tx, 1);
   });
   EXPECT_EQ(Routed, 1u);
@@ -44,29 +36,29 @@ TYPED_TEST(LeeTest, SingleRouteConnectsEndpoints) {
   EXPECT_GE(Router.cellsOf(1), 7u + 4u + 1u);
 }
 
-TYPED_TEST(LeeTest, BlockedRouteUsesSecondLayer) {
+TEST_P(LeeTest, BlockedRouteUsesSecondLayer) {
   // A wall on layer 0 cannot block the router: it can switch layers.
   // Build the wall by routing a vertical net first.
   std::vector<RouteJob> Jobs = {
       RouteJob{5, 0, 5, 11, 1},  // vertical wall across the board
       RouteJob{1, 5, 10, 5, 2}, // must cross the wall via layer 1
   };
-  LeeRouter<TypeParam> Router(12, 12, Jobs);
+  LeeRouter<repro_test::Rt> Router(12, 12, Jobs);
   unsigned Routed = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     Routed = Router.work(Tx, 1);
   });
   EXPECT_EQ(Routed, 2u);
   EXPECT_TRUE(Router.verify({1, 2}));
 }
 
-TYPED_TEST(LeeTest, MemoryBoardSingleThreadDeterministic) {
+TEST_P(LeeTest, MemoryBoardSingleThreadDeterministic) {
   unsigned W = 0, H = 0;
   auto Jobs = generateBoard(Board::Memory, W, H, 0.5);
   ASSERT_FALSE(Jobs.empty());
-  LeeRouter<TypeParam> Router(W, H, Jobs);
+  LeeRouter<repro_test::Rt> Router(W, H, Jobs);
   unsigned Routed = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     Routed = Router.work(Tx, 1);
   });
   // The memory board is laid out so every bus net is routable.
@@ -77,17 +69,17 @@ TYPED_TEST(LeeTest, MemoryBoardSingleThreadDeterministic) {
   EXPECT_TRUE(Router.verify(Nets));
 }
 
-TYPED_TEST(LeeTest, MainBoardConcurrentRoutesAreValid) {
+TEST_P(LeeTest, MainBoardConcurrentRoutesAreValid) {
   unsigned W = 0, H = 0;
   auto Jobs = generateBoard(Board::Main, W, H, 0.4);
   ASSERT_FALSE(Jobs.empty());
-  LeeRouter<TypeParam> Router(W, H, Jobs);
+  LeeRouter<repro_test::Rt> Router(W, H, Jobs);
   std::atomic<unsigned> Routed{0};
   // Track which nets each thread routed for validation.
   std::mutex NetsLock;
   std::vector<uint64_t> RoutedNets;
-  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
-    typename LeeRouter<TypeParam>::Scratch Local(W, H);
+  runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
+    typename LeeRouter<repro_test::Rt>::Scratch Local(W, H);
     repro::Xorshift Rng(repro::testSeed(Id + 3));
     // Reimplement the claim loop locally so we can record net ids.
     for (std::size_t I = Id; I < Jobs.size(); I += 4) {
@@ -102,11 +94,11 @@ TYPED_TEST(LeeTest, MainBoardConcurrentRoutesAreValid) {
   EXPECT_TRUE(Router.verify(RoutedNets));
 }
 
-TYPED_TEST(LeeTest, IrregularVariantUpdatesOc) {
+TEST_P(LeeTest, IrregularVariantUpdatesOc) {
   unsigned W = 0, H = 0;
   auto Jobs = generateBoard(Board::Memory, W, H, 0.4);
-  LeeRouter<TypeParam> Router(W, H, Jobs, /*IrregularPercent=*/100);
-  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+  LeeRouter<repro_test::Rt> Router(W, H, Jobs, /*IrregularPercent=*/100);
+  runThreads<repro_test::Rt>(2, [&](unsigned Id, auto &Tx) {
     Router.work(Tx, Id + 1);
   });
   // With R=100% every transaction increments Oc exactly once on its
@@ -114,18 +106,20 @@ TYPED_TEST(LeeTest, IrregularVariantUpdatesOc) {
   EXPECT_EQ(Router.ocValue(), Jobs.size());
 }
 
-TYPED_TEST(LeeTest, LabyrinthJobsRouteAndValidate) {
+TEST_P(LeeTest, LabyrinthJobsRouteAndValidate) {
   workloads::stamp::LabyrinthConfig Cfg;
   Cfg.Width = 24;
   Cfg.Height = 24;
   Cfg.Paths = 10;
   auto Jobs = workloads::stamp::labyrinthJobs(Cfg);
-  LeeRouter<TypeParam> Router(Cfg.Width, Cfg.Height, Jobs);
+  LeeRouter<repro_test::Rt> Router(Cfg.Width, Cfg.Height, Jobs);
   std::atomic<unsigned> Routed{0};
-  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(2, [&](unsigned Id, auto &Tx) {
     Routed.fetch_add(Router.work(Tx, Id + 11));
   });
   EXPECT_GT(Routed.load(), 0u);
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(LeeTest);
 
 } // namespace

@@ -23,21 +23,13 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class RbTreeTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class RbTreeTest : public repro_test::RuntimeSuite {};
 
-TYPED_TEST_SUITE(RbTreeTest, repro_test::AllStms);
-
-TYPED_TEST(RbTreeTest, InsertLookupRemoveSingle) {
-  RbTree<TypeParam> Tree;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+TEST_P(RbTreeTest, InsertLookupRemoveSingle) {
+  RbTree<repro_test::Rt> Tree;
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     bool Ok = false;
     bool *OkPtr = &Ok;
     atomically(Tx, [&, OkPtr](auto &T) { *OkPtr = Tree.insert(T, 10, 100); });
@@ -60,10 +52,10 @@ TYPED_TEST(RbTreeTest, InsertLookupRemoveSingle) {
   EXPECT_TRUE(Tree.verify());
 }
 
-TYPED_TEST(RbTreeTest, AscendingInsertionStaysBalancedish) {
-  RbTree<TypeParam> Tree;
+TEST_P(RbTreeTest, AscendingInsertionStaysBalancedish) {
+  RbTree<repro_test::Rt> Tree;
   constexpr unsigned N = 512;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (unsigned I = 0; I < N; ++I)
       atomically(Tx, [&](auto &T) { Tree.insert(T, I, I); });
   });
@@ -71,13 +63,13 @@ TYPED_TEST(RbTreeTest, AscendingInsertionStaysBalancedish) {
   EXPECT_TRUE(Tree.verify());
 }
 
-TYPED_TEST(RbTreeTest, RandomOpsMatchStdSet) {
-  RbTree<TypeParam> Tree;
+TEST_P(RbTreeTest, RandomOpsMatchStdSet) {
+  RbTree<repro_test::Rt> Tree;
   std::set<uint64_t> Model;
   repro::Xorshift Rng(repro::testSeed(12345));
   constexpr unsigned Ops = 4000;
   constexpr uint64_t Range = 256;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (unsigned I = 0; I < Ops; ++I) {
       uint64_t Key = Rng.nextBounded(Range);
       unsigned Kind = static_cast<unsigned>(Rng.nextBounded(3));
@@ -115,17 +107,17 @@ TYPED_TEST(RbTreeTest, RandomOpsMatchStdSet) {
   EXPECT_TRUE(Tree.verify());
 }
 
-TYPED_TEST(RbTreeTest, ConcurrentMixedOpsKeepInvariants) {
-  RbTree<TypeParam> Tree;
+TEST_P(RbTreeTest, ConcurrentMixedOpsKeepInvariants) {
+  RbTree<repro_test::Rt> Tree;
   constexpr unsigned Threads = 4;
   constexpr unsigned OpsPerThread = 1500;
   constexpr uint64_t Range = 512;
   // Pre-populate half the range.
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (uint64_t K = 0; K < Range; K += 2)
       atomically(Tx, [&](auto &T) { Tree.insert(T, K, K); });
   });
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id * 7919 + 13));
     for (unsigned I = 0; I < OpsPerThread; ++I) {
       uint64_t Key = Rng.nextBounded(Range);
@@ -141,11 +133,11 @@ TYPED_TEST(RbTreeTest, ConcurrentMixedOpsKeepInvariants) {
   EXPECT_TRUE(Tree.verify());
 }
 
-TYPED_TEST(RbTreeTest, ConcurrentInsertersProduceExactSet) {
-  RbTree<TypeParam> Tree;
+TEST_P(RbTreeTest, ConcurrentInsertersProduceExactSet) {
+  RbTree<repro_test::Rt> Tree;
   constexpr unsigned Threads = 4;
   constexpr uint64_t PerThread = 300;
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     for (uint64_t K = 0; K < PerThread; ++K) {
       uint64_t Key = Id * PerThread + K;
       atomically(Tx, [&](auto &T) { Tree.insert(T, Key, Key + 1); });
@@ -154,7 +146,7 @@ TYPED_TEST(RbTreeTest, ConcurrentInsertersProduceExactSet) {
   EXPECT_EQ(Tree.size(), Threads * PerThread);
   EXPECT_TRUE(Tree.verify());
   // Every key present with its value.
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (uint64_t Key = 0; Key < Threads * PerThread; ++Key) {
       uint64_t Value = 0;
       bool Found = false;
@@ -169,16 +161,16 @@ TYPED_TEST(RbTreeTest, ConcurrentInsertersProduceExactSet) {
   });
 }
 
-TYPED_TEST(RbTreeTest, ConcurrentDisjointRemovals) {
-  RbTree<TypeParam> Tree;
+TEST_P(RbTreeTest, ConcurrentDisjointRemovals) {
+  RbTree<repro_test::Rt> Tree;
   constexpr unsigned Threads = 4;
   constexpr uint64_t Keys = 800;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (uint64_t K = 0; K < Keys; ++K)
       atomically(Tx, [&](auto &T) { Tree.insert(T, K, K); });
   });
   std::atomic<uint64_t> Removed{0};
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     uint64_t Count = 0;
     for (uint64_t K = Id; K < Keys; K += Threads) {
       bool Got = false;
@@ -192,5 +184,7 @@ TYPED_TEST(RbTreeTest, ConcurrentDisjointRemovals) {
   EXPECT_EQ(Tree.size(), 0u);
   EXPECT_TRUE(Tree.verify());
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(RbTreeTest);
 
 } // namespace

@@ -1,0 +1,260 @@
+//===- tests/RuntimeTest.cpp - type-erased runtime behaviour ---------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Tests of the runtime layer itself (the behavioural suites already run
+// through it, see TestHarness.h): dispatch parity with the templated
+// path, the switch barrier, and the adaptive policy's escalation and
+// de-escalation decisions with their TxStats mode-switch accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace stm;
+using repro_test::runThreads;
+
+namespace {
+
+StmConfig smallTable() {
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 16;
+  return Config;
+}
+
+//===----------------------------------------------------------------------===//
+// Fixed-mode dispatch
+//===----------------------------------------------------------------------===//
+
+/// The runtime bound to each backend must behave exactly like the
+/// templated facade: same field-accessor semantics, same transactional
+/// allocation, same restart behaviour.
+class RuntimeDispatchTest : public repro_test::RuntimeSuite {};
+
+TEST_P(RuntimeDispatchTest, ReportsConfiguredBackendName) {
+  EXPECT_STREQ(StmRuntime::name(),
+               GetParam().Adaptive
+                   ? "adaptive"
+                   : stm::rt::backendName(GetParam().Kind));
+}
+
+TEST_P(RuntimeDispatchTest, FieldAccessorsAndTxAllocWorkThroughDispatch) {
+  struct Node {
+    uint32_t Small;
+    Word Big;
+  };
+  alignas(8) static Node N;
+  N = {7, 70};
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
+    atomically(Tx, [&](auto &T) {
+      storeField(T, &N.Small, loadField(T, &N.Small) + 1u);
+      storeField(T, &N.Big, loadField(T, &N.Big) + Word(1));
+      void *Block = T.txMalloc(64);
+      ASSERT_NE(Block, nullptr);
+      T.txFree(Block);
+    });
+  });
+  EXPECT_EQ(N.Small, 8u);
+  EXPECT_EQ(N.Big, 71u);
+}
+
+TEST_P(RuntimeDispatchTest, RestartGoesThroughDispatch) {
+  alignas(8) static Word Cell;
+  Cell = 0;
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
+    bool Retried = false;
+    bool *RetriedPtr = &Retried;
+    atomically(Tx, [&, RetriedPtr](auto &T) {
+      T.store(&Cell, T.load(&Cell) + 1);
+      if (!*RetriedPtr) {
+        *RetriedPtr = true;
+        T.restart();
+      }
+    });
+    EXPECT_GE(Tx.stats().Aborts, 1u);
+  });
+  EXPECT_EQ(Cell, 1u) << "aborted attempt's write must not survive";
+}
+
+TEST_P(RuntimeDispatchTest, FixedModeRefusesManualSwitch) {
+  if (GetParam().Adaptive)
+    GTEST_SKIP() << "switching is armed in adaptive mode";
+  EXPECT_FALSE(StmRuntime::requestSwitch(stm::rt::BackendKind::Rstm))
+      << "fixed runtime must not switch backends";
+  EXPECT_EQ(StmRuntime::switchCount(), 0u);
+}
+
+STM_INSTANTIATE_RUNTIME_SUITE(RuntimeDispatchTest);
+
+//===----------------------------------------------------------------------===//
+// Manual switch barrier
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeSwitchTest, ManualSwitchDrainsAndRebinds) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::SwissTm;
+  Config.Adaptive = true;
+  Config.AdaptiveWindow = ~0u; // manual switches only
+  StmRuntime::globalInit(Config);
+  {
+    alignas(8) static Word Cell;
+    Cell = 0;
+    constexpr unsigned Threads = 3;
+    constexpr unsigned Iters = 300;
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Workers;
+    for (unsigned I = 0; I < Threads; ++I) {
+      Workers.emplace_back([&] {
+        ThreadScope<StmRuntime> Scope;
+        auto &Tx = Scope.tx();
+        while (!Go.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        for (unsigned K = 0; K < Iters; ++K)
+          atomically(Tx, [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
+      });
+    }
+    Go.store(true, std::memory_order_release);
+    // Switch while the workers hammer the counter; the barrier must
+    // never let increments run on two backends concurrently (a lost
+    // update would show in the final count).
+    unsigned Applied = 0;
+    const stm::rt::BackendKind Cycle[] = {
+        stm::rt::BackendKind::Tl2, stm::rt::BackendKind::TinyStm,
+        stm::rt::BackendKind::Rstm, stm::rt::BackendKind::SwissTm};
+    for (unsigned K = 0; K < 8; ++K) {
+      if (StmRuntime::requestSwitch(Cycle[K % 4]))
+        ++Applied;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (std::thread &W : Workers)
+      W.join();
+    EXPECT_EQ(Cell, Word(Threads) * Iters) << "lost update across switch";
+    EXPECT_GT(Applied, 0u);
+    EXPECT_EQ(StmRuntime::switchCount(), Applied);
+  }
+  StmRuntime::globalShutdown();
+}
+
+TEST(RuntimeSwitchTest, SwitchToActiveBackendIsRejected) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::Tl2;
+  Config.Adaptive = true;
+  Config.AdaptiveWindow = ~0u;
+  StmRuntime::globalInit(Config);
+  EXPECT_EQ(StmRuntime::activeBackend(), stm::rt::BackendKind::Tl2);
+  EXPECT_FALSE(StmRuntime::requestSwitch(stm::rt::BackendKind::Tl2));
+  EXPECT_TRUE(StmRuntime::requestSwitch(stm::rt::BackendKind::Rstm));
+  EXPECT_EQ(StmRuntime::activeBackend(), stm::rt::BackendKind::Rstm);
+  EXPECT_EQ(StmRuntime::switchCount(), 1u);
+  StmRuntime::globalShutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive policy
+//===----------------------------------------------------------------------===//
+
+/// High-contention counter increments with a mid-transaction yield:
+/// every attempt overlaps another, so timid TL2 aborts constantly. The
+/// policy must escalate to SwissTM, and the switch must be visible in
+/// the aggregated TxStats mode-switch counter.
+TEST(AdaptivePolicyTest, EscalatesToSwissTmUnderContention) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::Tl2;
+  Config.AdaptiveWindow = 256;
+  // Disable de-escalation: when all but one worker have finished, the
+  // tail thread's uncontended windows would otherwise switch away from
+  // SwissTM again and make the final-state assertion racy.
+  Config.AdaptiveLowAbortRate = -1.0;
+  AdaptiveRuntime::globalInit(Config);
+  {
+    alignas(8) static Word Counter;
+    Counter = 0;
+    constexpr unsigned Threads = 4;
+    constexpr unsigned Iters = 1200;
+    repro::TxStats Total;
+    std::vector<repro::TxStats> Stats(Threads);
+    runThreads<AdaptiveRuntime>(Threads, [&](unsigned Id, auto &Tx) {
+      for (unsigned K = 0; K < Iters; ++K)
+        atomically(Tx, [&](auto &T) {
+          Word V = T.load(&Counter);
+          std::this_thread::yield(); // widen the conflict window
+          T.store(&Counter, V + 1);
+        });
+      Stats[Id] = Tx.stats();
+    });
+    for (const repro::TxStats &S : Stats)
+      Total += S;
+    EXPECT_EQ(Counter, Word(Threads) * Iters);
+    EXPECT_EQ(StmRuntime::activeBackend(), stm::rt::BackendKind::SwissTm)
+        << "contended window must escalate to SwissTM";
+    EXPECT_GE(StmRuntime::switchCount(), 1u);
+    EXPECT_GE(Total.ModeSwitches, 1u)
+        << "the switching thread must account its switch in TxStats";
+    EXPECT_EQ(Total.Starts, Total.Commits + Total.Aborts);
+  }
+  AdaptiveRuntime::globalShutdown();
+}
+
+/// Read-dominated, conflict-free windows must de-escalate from SwissTM
+/// to the cheap lazy backend (TL2).
+TEST(AdaptivePolicyTest, DeEscalatesToTl2WhenReadDominated) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::SwissTm;
+  Config.AdaptiveWindow = 256;
+  AdaptiveRuntime::globalInit(Config);
+  {
+    alignas(64) static Word Cells[8];
+    for (Word &W : Cells)
+      W = 1;
+    runThreads<AdaptiveRuntime>(2, [&](unsigned, auto &Tx) {
+      for (unsigned K = 0; K < 2000; ++K)
+        atomically(Tx, [&](auto &T) {
+          Word Sum = 0;
+          for (const Word &W : Cells)
+            Sum += T.load(&W);
+          if (Sum == 0)
+            T.store(&Cells[0], 1); // never taken; keeps reads dominant
+        });
+    });
+    EXPECT_EQ(StmRuntime::activeBackend(), stm::rt::BackendKind::Tl2)
+        << "calm read-dominated windows must de-escalate to TL2";
+    EXPECT_GE(StmRuntime::switchCount(), 1u);
+  }
+  AdaptiveRuntime::globalShutdown();
+}
+
+/// Stats aggregate across every backend a handle has used, and stay
+/// monotone through a switch.
+TEST(RuntimeStatsTest, AggregatesAcrossBackends) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::SwissTm;
+  Config.Adaptive = true;
+  Config.AdaptiveWindow = ~0u;
+  StmRuntime::globalInit(Config);
+  {
+    alignas(8) static Word Cell;
+    Cell = 0;
+    runThreads<StmRuntime>(1, [&](unsigned, auto &Tx) {
+      for (int K = 0; K < 10; ++K)
+        atomically(Tx, [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
+      repro::TxStats Before = Tx.stats();
+      EXPECT_EQ(Before.Commits, 10u);
+      ASSERT_TRUE(StmRuntime::requestSwitch(stm::rt::BackendKind::TinyStm));
+      for (int K = 0; K < 10; ++K)
+        atomically(Tx, [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
+      repro::TxStats After = Tx.stats();
+      EXPECT_EQ(After.Commits, 20u)
+          << "commits on both backends must aggregate";
+      EXPECT_GE(After.Reads, Before.Reads + 10);
+      EXPECT_EQ(After.Starts, After.Commits + After.Aborts);
+    });
+    EXPECT_EQ(Cell, 20u);
+  }
+  StmRuntime::globalShutdown();
+}
+
+} // namespace

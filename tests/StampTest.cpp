@@ -24,50 +24,42 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class StampTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
-
-TYPED_TEST_SUITE(StampTest, repro_test::AllStms);
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class StampTest : public repro_test::RuntimeSuite {};
 
 //===----------------------------------------------------------------------===//
 // genome
 //===----------------------------------------------------------------------===//
 
-TYPED_TEST(StampTest, GenomeReconstructsExactSequence) {
+TEST_P(StampTest, GenomeReconstructsExactSequence) {
   GenomeConfig Cfg;
   Cfg.GenomeLength = 300;
   Cfg.SegmentLength = 12;
-  Genome<TypeParam> G(Cfg);
+  Genome<repro_test::Rt> G(Cfg);
   std::atomic<uint64_t> Fresh{0};
-  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned, auto &Tx) {
     Fresh.fetch_add(G.dedupWorker(Tx));
   });
   EXPECT_EQ(Fresh.load(), Cfg.GenomeLength - Cfg.SegmentLength + 1);
   G.buildSegmentArray();
   EXPECT_EQ(G.uniqueCount(), Cfg.GenomeLength - Cfg.SegmentLength + 1);
-  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) { G.indexWorker(Tx); });
+  runThreads<repro_test::Rt>(4, [&](unsigned, auto &Tx) { G.indexWorker(Tx); });
   G.resetClaims();
-  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) { G.linkWorker(Tx); });
+  runThreads<repro_test::Rt>(4, [&](unsigned, auto &Tx) { G.linkWorker(Tx); });
   EXPECT_EQ(G.reconstruct(), G.original());
 }
 
-TYPED_TEST(StampTest, GenomeSingleThreadMatchesMultiThread) {
+TEST_P(StampTest, GenomeSingleThreadMatchesMultiThread) {
   GenomeConfig Cfg;
   Cfg.GenomeLength = 200;
   Cfg.SegmentLength = 10;
-  Genome<TypeParam> G(Cfg);
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) { G.dedupWorker(Tx); });
+  Genome<repro_test::Rt> G(Cfg);
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) { G.dedupWorker(Tx); });
   G.buildSegmentArray();
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) { G.indexWorker(Tx); });
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) { G.indexWorker(Tx); });
   G.resetClaims();
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) { G.linkWorker(Tx); });
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) { G.linkWorker(Tx); });
   EXPECT_EQ(G.reconstruct(), G.original());
 }
 
@@ -75,12 +67,12 @@ TYPED_TEST(StampTest, GenomeSingleThreadMatchesMultiThread) {
 // intruder
 //===----------------------------------------------------------------------===//
 
-TYPED_TEST(StampTest, IntruderDetectsExactlyPlantedAttacks) {
+TEST_P(StampTest, IntruderDetectsExactlyPlantedAttacks) {
   IntruderConfig Cfg;
   Cfg.Flows = 120;
-  Intruder<TypeParam> App(Cfg);
+  Intruder<repro_test::Rt> App(Cfg);
   std::atomic<uint64_t> MyFlows{0};
-  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned, auto &Tx) {
     MyFlows.fetch_add(App.work(Tx));
   });
   EXPECT_EQ(App.assembledCount(), Cfg.Flows);
@@ -107,20 +99,20 @@ void runKMeans(KMeans<STM> &App, unsigned Threads) {
   }
 }
 
-TYPED_TEST(StampTest, KMeansHighContentionConverges) {
+TEST_P(StampTest, KMeansHighContentionConverges) {
   KMeansConfig Cfg;
   Cfg.Points = 512;
   Cfg.Clusters = 4;
-  KMeans<TypeParam> App(Cfg);
+  KMeans<repro_test::Rt> App(Cfg);
   runKMeans(App, 4);
   EXPECT_TRUE(App.centersNearTruth());
 }
 
-TYPED_TEST(StampTest, KMeansLowContentionConverges) {
+TEST_P(StampTest, KMeansLowContentionConverges) {
   KMeansConfig Cfg;
   Cfg.Points = 512;
   Cfg.Clusters = 16;
-  KMeans<TypeParam> App(Cfg);
+  KMeans<repro_test::Rt> App(Cfg);
   runKMeans(App, 4);
   EXPECT_TRUE(App.centersNearTruth());
 }
@@ -129,13 +121,13 @@ TYPED_TEST(StampTest, KMeansLowContentionConverges) {
 // ssca2
 //===----------------------------------------------------------------------===//
 
-TYPED_TEST(StampTest, Ssca2DegreesMatchInsertions) {
+TEST_P(StampTest, Ssca2DegreesMatchInsertions) {
   Ssca2Config Cfg;
   Cfg.VerticesLog2 = 8;
   Cfg.EdgeFactor = 4;
-  Ssca2<TypeParam> App(Cfg);
+  Ssca2<repro_test::Rt> App(Cfg);
   std::atomic<uint64_t> Inserted{0};
-  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned, auto &Tx) {
     Inserted.fetch_add(App.work(Tx));
   });
   EXPECT_EQ(Inserted.load(), App.edgeCount());
@@ -143,12 +135,12 @@ TYPED_TEST(StampTest, Ssca2DegreesMatchInsertions) {
   EXPECT_TRUE(App.degreesConsistent());
 }
 
-TYPED_TEST(StampTest, Ssca2EveryEdgePresent) {
+TEST_P(StampTest, Ssca2EveryEdgePresent) {
   Ssca2Config Cfg;
   Cfg.VerticesLog2 = 6;
   Cfg.EdgeFactor = 2;
-  Ssca2<TypeParam> App(Cfg);
-  runThreads<TypeParam>(2, [&](unsigned, auto &Tx) { App.work(Tx); });
+  Ssca2<repro_test::Rt> App(Cfg);
+  runThreads<repro_test::Rt>(2, [&](unsigned, auto &Tx) { App.work(Tx); });
   const auto &Edges = App.edgeList();
   for (std::size_t I = 0; I + 1 < Edges.size(); I += 2)
     ASSERT_TRUE(App.hasEdge(Edges[I], Edges[I + 1]))
@@ -159,11 +151,11 @@ TYPED_TEST(StampTest, Ssca2EveryEdgePresent) {
 // vacation
 //===----------------------------------------------------------------------===//
 
-TYPED_TEST(StampTest, VacationHighPreservesCapacity) {
+TEST_P(StampTest, VacationHighPreservesCapacity) {
   VacationConfig Cfg = vacationHigh();
   Cfg.Relations = 64;
-  Vacation<TypeParam> App(Cfg);
-  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+  Vacation<repro_test::Rt> App(Cfg);
+  runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id * 31 + 5));
     for (int I = 0; I < 400; ++I)
       App.clientOp(Tx, Rng);
@@ -171,11 +163,11 @@ TYPED_TEST(StampTest, VacationHighPreservesCapacity) {
   EXPECT_TRUE(App.verify());
 }
 
-TYPED_TEST(StampTest, VacationLowPreservesCapacity) {
+TEST_P(StampTest, VacationLowPreservesCapacity) {
   VacationConfig Cfg = vacationLow();
   Cfg.Relations = 64;
-  Vacation<TypeParam> App(Cfg);
-  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+  Vacation<repro_test::Rt> App(Cfg);
+  runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id * 17 + 3));
     for (int I = 0; I < 400; ++I)
       App.clientOp(Tx, Rng);
@@ -183,12 +175,12 @@ TYPED_TEST(StampTest, VacationLowPreservesCapacity) {
   EXPECT_TRUE(App.verify());
 }
 
-TYPED_TEST(StampTest, VacationReservationsActuallyHappen) {
+TEST_P(StampTest, VacationReservationsActuallyHappen) {
   VacationConfig Cfg = vacationLow();
   Cfg.Relations = 32;
-  Vacation<TypeParam> App(Cfg);
+  Vacation<repro_test::Rt> App(Cfg);
   std::atomic<uint64_t> Changes{0};
-  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(2, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id + 1));
     uint64_t Mine = 0;
     for (int I = 0; I < 200; ++I)
@@ -203,13 +195,13 @@ TYPED_TEST(StampTest, VacationReservationsActuallyHappen) {
 // yada
 //===----------------------------------------------------------------------===//
 
-TYPED_TEST(StampTest, YadaRefinesToAllGoodSingleThread) {
+TEST_P(StampTest, YadaRefinesToAllGoodSingleThread) {
   YadaConfig Cfg;
   Cfg.GridCells = 6;
-  Yada<TypeParam> App(Cfg);
+  Yada<repro_test::Rt> App(Cfg);
   EXPECT_EQ(App.liveArea2(), App.domainArea2());
   uint64_t Splits = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     Splits = App.work(Tx);
   });
   EXPECT_GT(Splits, 0u);
@@ -218,12 +210,12 @@ TYPED_TEST(StampTest, YadaRefinesToAllGoodSingleThread) {
   EXPECT_EQ(App.liveArea2(), App.domainArea2());
 }
 
-TYPED_TEST(StampTest, YadaConcurrentRefinementKeepsMeshExact) {
+TEST_P(StampTest, YadaConcurrentRefinementKeepsMeshExact) {
   YadaConfig Cfg;
   Cfg.GridCells = 8;
-  Yada<TypeParam> App(Cfg);
+  Yada<repro_test::Rt> App(Cfg);
   std::atomic<uint64_t> Splits{0};
-  runThreads<TypeParam>(4, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned, auto &Tx) {
     Splits.fetch_add(App.work(Tx));
   });
   EXPECT_GT(Splits.load(), 0u);
@@ -236,15 +228,15 @@ TYPED_TEST(StampTest, YadaConcurrentRefinementKeepsMeshExact) {
 // bayes
 //===----------------------------------------------------------------------===//
 
-TYPED_TEST(StampTest, BayesImprovesScoreAndStaysAcyclic) {
+TEST_P(StampTest, BayesImprovesScoreAndStaysAcyclic) {
   BayesConfig Cfg;
   Cfg.Vars = 10;
   Cfg.Records = 512;
   Cfg.ProposalsPerThread = 150;
-  Bayes<TypeParam> App(Cfg);
+  Bayes<repro_test::Rt> App(Cfg);
   double Empty = App.emptyScore();
   std::atomic<uint64_t> Accepted{0};
-  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
     Accepted.fetch_add(App.work(Tx, Id + 1));
   });
   EXPECT_GT(Accepted.load(), 0u);
@@ -254,17 +246,19 @@ TYPED_TEST(StampTest, BayesImprovesScoreAndStaysAcyclic) {
   EXPECT_TRUE(App.masksConsistent());
 }
 
-TYPED_TEST(StampTest, BayesEdgeCountBounded) {
+TEST_P(StampTest, BayesEdgeCountBounded) {
   BayesConfig Cfg;
   Cfg.Vars = 8;
   Cfg.Records = 256;
   Cfg.ProposalsPerThread = 100;
-  Bayes<TypeParam> App(Cfg);
-  runThreads<TypeParam>(2, [&](unsigned Id, auto &Tx) {
+  Bayes<repro_test::Rt> App(Cfg);
+  runThreads<repro_test::Rt>(2, [&](unsigned Id, auto &Tx) {
     App.work(Tx, Id + 9);
   });
   EXPECT_LE(App.edgeCount(), uint64_t(Cfg.Vars) * Cfg.MaxParents);
   EXPECT_TRUE(App.acyclic());
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(StampTest);
 
 } // namespace

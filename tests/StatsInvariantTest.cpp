@@ -25,29 +25,21 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class StatsInvariantTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
-
-TYPED_TEST_SUITE(StatsInvariantTest, repro_test::AllStms);
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class StatsInvariantTest : public repro_test::RuntimeSuite {};
 
 /// Contended increments: every attempt either commits or aborts, never
 /// both, never neither — Starts must balance exactly, per thread and in
 /// aggregate.
-TYPED_TEST(StatsInvariantTest, StartsEqualCommitsPlusAborts) {
+TEST_P(StatsInvariantTest, StartsEqualCommitsPlusAborts) {
   alignas(64) static Word Counter;
   Counter = 0;
   constexpr unsigned Threads = 4;
   constexpr unsigned Iters = 2000;
   std::vector<repro::TxStats> Stats(Threads);
 
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     for (unsigned I = 0; I < Iters; ++I)
       atomically(Tx,
                  [&](auto &T) { T.store(&Counter, T.load(&Counter) + 1); });
@@ -57,8 +49,8 @@ TYPED_TEST(StatsInvariantTest, StartsEqualCommitsPlusAborts) {
   repro::TxStats Total;
   for (unsigned I = 0; I < Threads; ++I) {
     EXPECT_EQ(Stats[I].Starts, Stats[I].Commits + Stats[I].Aborts)
-        << TypeParam::name() << " thread " << I;
-    EXPECT_EQ(Stats[I].Commits, Iters) << TypeParam::name() << " thread "
+        << repro_test::Rt::name() << " thread " << I;
+    EXPECT_EQ(Stats[I].Commits, Iters) << repro_test::Rt::name() << " thread "
                                        << I;
     Total += Stats[I];
   }
@@ -70,14 +62,14 @@ TYPED_TEST(StatsInvariantTest, StartsEqualCommitsPlusAborts) {
 /// batches of contended work and check monotonicity field by field,
 /// plus the balance invariant at each quiescent-enough point (the
 /// descriptor itself is between transactions when sampled).
-TYPED_TEST(StatsInvariantTest, CountersMonotoneAcrossBatches) {
+TEST_P(StatsInvariantTest, CountersMonotoneAcrossBatches) {
   alignas(64) static Word Cells[4];
   for (Word &W : Cells)
     W = 0;
   std::atomic<bool> Monotone{true};
   std::atomic<bool> Balanced{true};
 
-  runThreads<TypeParam>(3, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(3, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id + 40));
     repro::TxStats Prev = Tx.stats();
     for (unsigned Batch = 0; Batch < 20; ++Batch) {
@@ -108,20 +100,20 @@ TYPED_TEST(StatsInvariantTest, CountersMonotoneAcrossBatches) {
     }
   });
 
-  EXPECT_TRUE(Monotone.load()) << TypeParam::name()
+  EXPECT_TRUE(Monotone.load()) << repro_test::Rt::name()
                                << ": a counter decreased";
-  EXPECT_TRUE(Balanced.load()) << TypeParam::name()
+  EXPECT_TRUE(Balanced.load()) << repro_test::Rt::name()
                                << ": Starts != Commits + Aborts mid-run";
 }
 
 /// Uncontended single thread: counts are exact. Read-after-write hits
 /// served from the write log (or the owned stripe) must count once per
 /// load() — not zero (the read happened) and not twice.
-TYPED_TEST(StatsInvariantTest, ReadAfterWriteReadsCountOnce) {
+TEST_P(StatsInvariantTest, ReadAfterWriteReadsCountOnce) {
   alignas(64) static Word X, Y;
   X = Y = 0;
 
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     repro::TxStats Before = Tx.stats();
     atomically(Tx, [&](auto &T) {
       T.store(&X, 7); // X now in the write set
@@ -133,7 +125,7 @@ TYPED_TEST(StatsInvariantTest, ReadAfterWriteReadsCountOnce) {
     });
     const repro::TxStats &After = Tx.stats();
     EXPECT_EQ(After.Reads - Before.Reads, 8u)
-        << TypeParam::name() << ": RAW reads double- or under-counted";
+        << repro_test::Rt::name() << ": RAW reads double- or under-counted";
     EXPECT_EQ(After.Writes - Before.Writes, 2u);
     EXPECT_EQ(After.Starts - Before.Starts, 1u);
     EXPECT_EQ(After.Commits - Before.Commits, 1u);
@@ -143,11 +135,11 @@ TYPED_TEST(StatsInvariantTest, ReadAfterWriteReadsCountOnce) {
 }
 
 /// Read-only commits are tallied separately and never exceed commits.
-TYPED_TEST(StatsInvariantTest, ReadOnlyCommitsAreExact) {
+TEST_P(StatsInvariantTest, ReadOnlyCommitsAreExact) {
   alignas(64) static Word X;
   X = 41;
 
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     repro::TxStats Before = Tx.stats();
     for (int I = 0; I < 6; ++I)
       atomically(Tx, [&](auto &T) { (void)T.load(&X); });
@@ -155,19 +147,19 @@ TYPED_TEST(StatsInvariantTest, ReadOnlyCommitsAreExact) {
       atomically(Tx, [&](auto &T) { T.store(&X, T.load(&X) + 1); });
     const repro::TxStats &After = Tx.stats();
     EXPECT_EQ(After.ReadOnlyCommits - Before.ReadOnlyCommits, 6u)
-        << TypeParam::name();
-    EXPECT_EQ(After.Commits - Before.Commits, 8u) << TypeParam::name();
+        << repro_test::Rt::name();
+    EXPECT_EQ(After.Commits - Before.Commits, 8u) << repro_test::Rt::name();
   });
   EXPECT_EQ(X, 43u);
 }
 
 /// The paper's derived metric: abortRatio stays in [0, 1] and matches
 /// the raw counters it is computed from.
-TYPED_TEST(StatsInvariantTest, AbortRatioConsistent) {
+TEST_P(StatsInvariantTest, AbortRatioConsistent) {
   alignas(64) static Word Hot;
   Hot = 0;
   std::vector<repro::TxStats> Stats(4);
-  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
     for (int I = 0; I < 500; ++I)
       atomically(Tx, [&](auto &T) { T.store(&Hot, T.load(&Hot) + 1); });
     Stats[Id] = Tx.stats();
@@ -181,5 +173,7 @@ TYPED_TEST(StatsInvariantTest, AbortRatioConsistent) {
   EXPECT_DOUBLE_EQ(Ratio, double(Total.Aborts) /
                               double(Total.Commits + Total.Aborts));
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(StatsInvariantTest);
 
 } // namespace

@@ -21,39 +21,31 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class StmApiTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16; // keep test processes small
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class StmApiTest : public repro_test::RuntimeSuite {};
 
-TYPED_TEST_SUITE(StmApiTest, repro_test::AllStms);
-
-TYPED_TEST(StmApiTest, CommitMakesWriteVisible) {
+TEST_P(StmApiTest, CommitMakesWriteVisible) {
   alignas(8) Word Cell = 5;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) { T.store(&Cell, 42); });
   });
   EXPECT_EQ(Cell, 42u);
 }
 
-TYPED_TEST(StmApiTest, ReadSeesPreexistingValue) {
+TEST_P(StmApiTest, ReadSeesPreexistingValue) {
   alignas(8) Word Cell = 1234;
   Word Seen = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) { Seen = T.load(&Cell); });
   });
   EXPECT_EQ(Seen, 1234u);
 }
 
-TYPED_TEST(StmApiTest, ReadAfterWriteReturnsBufferedValue) {
+TEST_P(StmApiTest, ReadAfterWriteReturnsBufferedValue) {
   alignas(8) Word Cell = 0;
   Word Inside = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       T.store(&Cell, 7);
       Inside = T.load(&Cell);
@@ -64,13 +56,13 @@ TYPED_TEST(StmApiTest, ReadAfterWriteReturnsBufferedValue) {
   EXPECT_EQ(Cell, 8u);
 }
 
-TYPED_TEST(StmApiTest, ReadUnwrittenWordOfOwnedStripe) {
+TEST_P(StmApiTest, ReadUnwrittenWordOfOwnedStripe) {
   // Two adjacent words share a stripe at default granularity; writing
   // one and reading the other exercises the owned-stripe direct-read
   // path.
   alignas(64) Word Cells[2] = {10, 20};
   Word Seen = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       T.store(&Cells[0], 11);
       Seen = T.load(&Cells[1]);
@@ -80,9 +72,9 @@ TYPED_TEST(StmApiTest, ReadUnwrittenWordOfOwnedStripe) {
   EXPECT_EQ(Cells[0], 11u);
 }
 
-TYPED_TEST(StmApiTest, ExplicitRestartRerunsBody) {
+TEST_P(StmApiTest, ExplicitRestartRerunsBody) {
   alignas(8) Word Cell = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     int Attempts = 0; // modified only between transactions via pointer
     int *AttemptsPtr = &Attempts;
     atomically(Tx, [&, AttemptsPtr](auto &T) {
@@ -96,9 +88,9 @@ TYPED_TEST(StmApiTest, ExplicitRestartRerunsBody) {
   EXPECT_EQ(Cell, 3u);
 }
 
-TYPED_TEST(StmApiTest, AbortRollsBackAllWrites) {
+TEST_P(StmApiTest, AbortRollsBackAllWrites) {
   alignas(64) Word Cells[4] = {1, 2, 3, 4};
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     bool Retried = false;
     bool *RetriedPtr = &Retried;
     atomically(Tx, [&, RetriedPtr](auto &T) {
@@ -116,10 +108,10 @@ TYPED_TEST(StmApiTest, AbortRollsBackAllWrites) {
   EXPECT_EQ(Cells[3], 4u);
 }
 
-TYPED_TEST(StmApiTest, AbortCountsInStats) {
+TEST_P(StmApiTest, AbortCountsInStats) {
   alignas(8) Word Cell = 0;
   uint64_t Aborts = 0, Commits = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     bool Retried = false;
     bool *RetriedPtr = &Retried;
     atomically(Tx, [&, RetriedPtr](auto &T) {
@@ -136,9 +128,9 @@ TYPED_TEST(StmApiTest, AbortCountsInStats) {
   EXPECT_EQ(Commits, 1u);
 }
 
-TYPED_TEST(StmApiTest, FlatNestingMergesIntoOuter) {
+TEST_P(StmApiTest, FlatNestingMergesIntoOuter) {
   alignas(64) Word A = 0, B = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       T.store(&A, 1);
       atomically(Tx, [&](auto &Inner) { Inner.store(&B, 2); });
@@ -149,7 +141,7 @@ TYPED_TEST(StmApiTest, FlatNestingMergesIntoOuter) {
   EXPECT_EQ(B, 2u);
 }
 
-TYPED_TEST(StmApiTest, TypedFieldRoundTrip) {
+TEST_P(StmApiTest, TypedFieldRoundTrip) {
   struct alignas(8) Fields {
     int32_t I32;
     uint16_t U16;
@@ -157,7 +149,7 @@ TYPED_TEST(StmApiTest, TypedFieldRoundTrip) {
     float F;
   };
   alignas(8) Fields Obj = {};
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       storeField(T, &Obj.I32, int32_t{-12345});
       storeField(T, &Obj.U16, uint16_t{777});
@@ -177,12 +169,12 @@ TYPED_TEST(StmApiTest, TypedFieldRoundTrip) {
   EXPECT_EQ(Obj.F, 1.5f);
 }
 
-TYPED_TEST(StmApiTest, PointerFieldRoundTrip) {
+TEST_P(StmApiTest, PointerFieldRoundTrip) {
   struct Node {
     Node *Next;
   };
   alignas(8) Node N1{nullptr}, N2{nullptr};
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) { storePtr(T, &N1.Next, &N2); });
     atomically(Tx, [&](auto &T) {
       Node *P = loadPtr(T, &N1.Next);
@@ -192,9 +184,9 @@ TYPED_TEST(StmApiTest, PointerFieldRoundTrip) {
   EXPECT_EQ(N1.Next, &N2);
 }
 
-TYPED_TEST(StmApiTest, TxMallocSurvivesCommit) {
+TEST_P(StmApiTest, TxMallocSurvivesCommit) {
   Word *Ptr = nullptr;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       auto *P = static_cast<Word *>(T.txMalloc(sizeof(Word)));
       *P = 0; // freshly allocated: private until commit
@@ -207,12 +199,12 @@ TYPED_TEST(StmApiTest, TxMallocSurvivesCommit) {
   std::free(Ptr);
 }
 
-TYPED_TEST(StmApiTest, TxMallocRolledBackOnAbort) {
+TEST_P(StmApiTest, TxMallocRolledBackOnAbort) {
   // The allocation in the aborted attempt must be released (checked
   // under ASan builds; here we check the committed attempt only sees
   // its own allocation).
   int Allocations = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     bool Retried = false;
     bool *RetriedPtr = &Retried;
     int *AllocPtr = &Allocations;
@@ -231,10 +223,10 @@ TYPED_TEST(StmApiTest, TxMallocRolledBackOnAbort) {
   });
 }
 
-TYPED_TEST(StmApiTest, TxFreeDeferredUntilCommit) {
+TEST_P(StmApiTest, TxFreeDeferredUntilCommit) {
   auto *Block = static_cast<Word *>(std::malloc(sizeof(Word)));
   *Block = 5;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     bool Retried = false;
     bool *RetriedPtr = &Retried;
     atomically(Tx, [&, RetriedPtr](auto &T) {
@@ -250,11 +242,11 @@ TYPED_TEST(StmApiTest, TxFreeDeferredUntilCommit) {
   SUCCEED();
 }
 
-TYPED_TEST(StmApiTest, ConcurrentCountersSumCorrectly) {
+TEST_P(StmApiTest, ConcurrentCountersSumCorrectly) {
   constexpr unsigned Threads = 4;
   constexpr unsigned Increments = 2000;
   alignas(8) Word Counter = 0;
-  runThreads<TypeParam>(Threads, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned, auto &Tx) {
     for (unsigned I = 0; I < Increments; ++I)
       atomically(Tx,
                  [&](auto &T) { T.store(&Counter, T.load(&Counter) + 1); });
@@ -262,7 +254,7 @@ TYPED_TEST(StmApiTest, ConcurrentCountersSumCorrectly) {
   EXPECT_EQ(Counter, uint64_t(Threads) * Increments);
 }
 
-TYPED_TEST(StmApiTest, DisjointCountersNoFalseSharingOfResults) {
+TEST_P(StmApiTest, DisjointCountersNoFalseSharingOfResults) {
   constexpr unsigned Threads = 4;
   constexpr unsigned Increments = 2000;
   // Spread counters over distinct stripes.
@@ -270,7 +262,7 @@ TYPED_TEST(StmApiTest, DisjointCountersNoFalseSharingOfResults) {
     Word Value = 0;
   };
   Cell Counters[Threads];
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     for (unsigned I = 0; I < Increments; ++I)
       atomically(Tx, [&](auto &T) {
         T.store(&Counters[Id].Value, T.load(&Counters[Id].Value) + 1);
@@ -280,7 +272,7 @@ TYPED_TEST(StmApiTest, DisjointCountersNoFalseSharingOfResults) {
     EXPECT_EQ(C.Value, Increments);
 }
 
-TYPED_TEST(StmApiTest, BankTransferPreservesTotal) {
+TEST_P(StmApiTest, BankTransferPreservesTotal) {
   constexpr unsigned Threads = 4;
   constexpr unsigned Accounts = 64;
   constexpr unsigned Transfers = 3000;
@@ -289,7 +281,7 @@ TYPED_TEST(StmApiTest, BankTransferPreservesTotal) {
     Word Balance;
   };
   std::vector<Account> Bank(Accounts, Account{Initial});
-  runThreads<TypeParam>(Threads, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id + 1));
     for (unsigned I = 0; I < Transfers; ++I) {
       unsigned From = Rng.nextBounded(Accounts);
@@ -309,7 +301,7 @@ TYPED_TEST(StmApiTest, BankTransferPreservesTotal) {
   EXPECT_EQ(Total, uint64_t(Accounts) * Initial);
 }
 
-TYPED_TEST(StmApiTest, OpacityInvariantNeverObservedBroken) {
+TEST_P(StmApiTest, OpacityInvariantNeverObservedBroken) {
   // Writers keep X + Y == 1000; readers assert the invariant *inside*
   // the transaction body. An STM without opacity lets a doomed
   // transaction observe X and Y from different snapshots.
@@ -321,7 +313,7 @@ TYPED_TEST(StmApiTest, OpacityInvariantNeverObservedBroken) {
   Pair P;
   std::atomic<bool> Violation{false};
   std::atomic<bool> Stop{false};
-  runThreads<TypeParam>(4, [&](unsigned Id, auto &Tx) {
+  runThreads<repro_test::Rt>(4, [&](unsigned Id, auto &Tx) {
     repro::Xorshift Rng(repro::testSeed(Id + 17));
     for (unsigned I = 0; I < 4000 && !Stop.load(); ++I) {
       if (Id % 2 == 0) {
@@ -349,10 +341,10 @@ TYPED_TEST(StmApiTest, OpacityInvariantNeverObservedBroken) {
   EXPECT_EQ(P.X + P.Y, Total);
 }
 
-TYPED_TEST(StmApiTest, ReadOnlyCommitsCounted) {
+TEST_P(StmApiTest, ReadOnlyCommitsCounted) {
   alignas(8) Word Cell = 3;
   uint64_t ReadOnly = 0;
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (int I = 0; I < 5; ++I)
       atomically(Tx, [&](auto &T) { (void)T.load(&Cell); });
     ReadOnly = Tx.stats().ReadOnlyCommits;
@@ -360,10 +352,10 @@ TYPED_TEST(StmApiTest, ReadOnlyCommitsCounted) {
   EXPECT_EQ(ReadOnly, 5u);
 }
 
-TYPED_TEST(StmApiTest, ManyStripesLargeTransaction) {
+TEST_P(StmApiTest, ManyStripesLargeTransaction) {
   constexpr unsigned N = 4096; // spans many lock-table stripes
   std::vector<Word> Data(N, 0);
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     atomically(Tx, [&](auto &T) {
       for (unsigned I = 0; I < N; ++I)
         T.store(&Data[I], I + 1);
@@ -381,12 +373,12 @@ TYPED_TEST(StmApiTest, ManyStripesLargeTransaction) {
     ASSERT_EQ(Data[I], I + 1);
 }
 
-TYPED_TEST(StmApiTest, WriterWinsOverStaleReaderEventually) {
+TEST_P(StmApiTest, WriterWinsOverStaleReaderEventually) {
   // Two threads ping-pong on the same stripe; progress for both proves
   // the contention path (w/w conflicts, kills, back-off) is live.
   alignas(8) Word Cell = 0;
   std::atomic<uint64_t> Done{0};
-  runThreads<TypeParam>(2, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(2, [&](unsigned, auto &Tx) {
     for (unsigned I = 0; I < 3000; ++I)
       atomically(Tx,
                  [&](auto &T) { T.store(&Cell, T.load(&Cell) + 1); });
@@ -395,5 +387,7 @@ TYPED_TEST(StmApiTest, WriterWinsOverStaleReaderEventually) {
   EXPECT_EQ(Done.load(), 2u);
   EXPECT_EQ(Cell, 6000u);
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(StmApiTest);
 
 } // namespace

@@ -10,13 +10,13 @@
 
 #include "TestHarness.h"
 
-#include "stm/Clock.h"
-#include "stm/LockTable.h"
 #include "stm/RetiredPool.h"
 #include "stm/StableLog.h"
 #include "stm/TxMemory.h"
 #include "stm/Word.h"
 #include "stm/WriteMap.h"
+#include "stm/core/Clock.h"
+#include "stm/core/LockTable.h"
 #include "stm/swisstm/SwissTm.h"
 #include "stm/tinystm/TinyStm.h"
 #include "stm/tl2/Tl2.h"

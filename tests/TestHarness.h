@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -66,9 +67,87 @@ void runThreads(unsigned NumThreads, Fn &&Work) {
     T.join();
 }
 
-/// The STM types every behavioural test suite is instantiated over.
+/// The STM types the remaining *typed* suites — the ones poking at
+/// backend internals (contention-manager state, lock encodings) or
+/// deliberately covering the direct templated path — instantiate over.
+/// The behavioural suites run through the type-erased runtime instead:
+/// see RuntimeSuite below.
 using AllStms =
     ::testing::Types<stm::SwissTm, stm::Tl2, stm::TinyStm, stm::Rstm>;
+
+//===----------------------------------------------------------------------===//
+// Runtime-backend parameterization
+//===----------------------------------------------------------------------===//
+
+/// One runtime configuration a parameterized suite runs under: a fixed
+/// backend, or the adaptive mode switcher seeded with one.
+struct RtMode {
+  stm::rt::BackendKind Kind;
+  bool Adaptive;
+};
+
+/// Shorthand for suite bodies: every parameterized test drives this one
+/// facade; the backend underneath is the suite parameter.
+using Rt = stm::StmRuntime;
+
+/// The modes a parameterized suite iterates over. By default all four
+/// fixed backends; the CI matrix narrows it through the environment:
+/// STM_BACKEND=<name> runs just that backend, STM_ADAPTIVE=1 runs the
+/// adaptive switcher instead (seeded with STM_BACKEND if also set).
+/// Unknown values abort with a diagnostic via stm::configFromEnv.
+inline const std::vector<RtMode> &runtimeModes() {
+  static const std::vector<RtMode> Modes = [] {
+    std::vector<RtMode> Out;
+    stm::StmConfig Env = stm::configFromEnv();
+    if (Env.Adaptive) {
+      Out.push_back(RtMode{Env.Backend, true});
+    } else if (std::getenv("STM_BACKEND") != nullptr) {
+      Out.push_back(RtMode{Env.Backend, false});
+    } else {
+      for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
+        Out.push_back(RtMode{Kind, false});
+    }
+    return Out;
+  }();
+  return Modes;
+}
+
+/// gtest name generator: RbTreeTest.Foo/swisstm, .../adaptive, ...
+inline std::string rtModeName(const ::testing::TestParamInfo<RtMode> &Info) {
+  return Info.param.Adaptive ? "adaptive"
+                             : stm::rt::backendName(Info.param.Kind);
+}
+
+/// Fixture base for suites that initialize the runtime per iteration
+/// themselves (config sweeps): provides the mode application only.
+class RuntimeSuiteNoInit : public ::testing::TestWithParam<RtMode> {
+protected:
+  /// Stamps the suite's current mode onto \p Config.
+  stm::StmConfig applyMode(stm::StmConfig Config) const {
+    Config.Backend = GetParam().Kind;
+    Config.Adaptive = GetParam().Adaptive;
+    return Config;
+  }
+};
+
+/// Fixture base for the behavioural suites: one runtime init per test,
+/// small lock table to keep four-backend test processes small.
+class RuntimeSuite : public RuntimeSuiteNoInit {
+protected:
+  stm::StmConfig config() const {
+    stm::StmConfig Config;
+    Config.LockTableSizeLog2 = 16;
+    return applyMode(Config);
+  }
+  void SetUp() override { stm::StmRuntime::globalInit(config()); }
+  void TearDown() override { stm::StmRuntime::globalShutdown(); }
+};
+
+/// Instantiates a RuntimeSuite-derived fixture over runtimeModes().
+#define STM_INSTANTIATE_RUNTIME_SUITE(Suite)                                   \
+  INSTANTIATE_TEST_SUITE_P(Rt, Suite,                                          \
+                           ::testing::ValuesIn(repro_test::runtimeModes()),    \
+                           repro_test::rtModeName)
 
 } // namespace repro_test
 

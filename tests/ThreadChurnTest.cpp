@@ -31,33 +31,25 @@ using repro_test::runThreads;
 
 namespace {
 
-template <typename STM> class ThreadChurnTest : public ::testing::Test {
-protected:
-  void SetUp() override {
-    StmConfig Config;
-    Config.LockTableSizeLog2 = 16;
-    STM::globalInit(Config);
-  }
-  void TearDown() override { STM::globalShutdown(); }
-};
-
-TYPED_TEST_SUITE(ThreadChurnTest, repro_test::AllStms);
+/// Behavioural suite: parameterized over the runtime backends
+/// (and the adaptive switcher, see TestHarness.h).
+class ThreadChurnTest : public repro_test::RuntimeSuite {};
 
 /// Short-lived writer waves mutate an rbtree and a hash map in lockstep
 /// (both or neither, inside one transaction) while long-lived readers
 /// continuously take consistent snapshots of both structures. Writer
 /// descriptors retire mid-read, which is exactly the window where the
 /// unreclaimed-descriptor race used to fire.
-TYPED_TEST(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
-  RbTree<TypeParam> Tree;
-  TxHashMap<TypeParam> Map(/*BucketsLog2=*/6);
+TEST_P(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
+  RbTree<repro_test::Rt> Tree;
+  TxHashMap<repro_test::Rt> Map(/*BucketsLog2=*/6);
   constexpr uint64_t Range = 256;
   constexpr unsigned Readers = 2;
   const unsigned Rounds = 10 * repro_test::stressScale();
   constexpr unsigned WritersPerRound = 4;
   constexpr unsigned OpsPerWriter = 64;
 
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (uint64_t K = 0; K < Range; K += 2)
       atomically(Tx, [&](auto &T) {
         Tree.insert(T, K, K);
@@ -71,7 +63,7 @@ TYPED_TEST(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
   std::vector<std::thread> ReaderThreads;
   for (unsigned R = 0; R < Readers; ++R)
     ReaderThreads.emplace_back([&, R] {
-      ThreadScope<TypeParam> Scope;
+      ThreadScope<repro_test::Rt> Scope;
       auto &Tx = Scope.tx();
       repro::Xorshift Rng(repro::testSeed(1000 + R));
       uint64_t Local = 0;
@@ -96,7 +88,7 @@ TYPED_TEST(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
     std::vector<std::thread> Writers;
     for (unsigned W = 0; W < WritersPerRound; ++W)
       Writers.emplace_back([&, Round, W] {
-        ThreadScope<TypeParam> Scope;
+        ThreadScope<repro_test::Rt> Scope;
         auto &Tx = Scope.tx();
         repro::Xorshift Rng(repro::testSeed(Round * 131 + W));
         for (unsigned I = 0; I < OpsPerWriter; ++I) {
@@ -131,12 +123,12 @@ TYPED_TEST(ThreadChurnTest, ShortLivedWritersAgainstLongLivedReaders) {
 /// Rapid sequential churn: every worker lives for exactly one
 /// transaction, so registry slots and their epoch entries recycle
 /// constantly while a long-lived reader keeps pinning epochs.
-TYPED_TEST(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
-  TxHashMap<TypeParam> Map(/*BucketsLog2=*/4);
+TEST_P(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
+  TxHashMap<repro_test::Rt> Map(/*BucketsLog2=*/4);
   constexpr uint64_t Keys = 64;
   const unsigned Churns = 96 * repro_test::stressScale();
 
-  runThreads<TypeParam>(1, [&](unsigned, auto &Tx) {
+  runThreads<repro_test::Rt>(1, [&](unsigned, auto &Tx) {
     for (uint64_t K = 0; K < Keys; ++K)
       atomically(Tx, [&](auto &T) { Map.insert(T, K, 0); });
   });
@@ -144,7 +136,7 @@ TYPED_TEST(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
   std::atomic<bool> Stop{false};
   std::atomic<uint64_t> BadSums{0};
   std::thread Reader([&] {
-    ThreadScope<TypeParam> Scope;
+    ThreadScope<repro_test::Rt> Scope;
     auto &Tx = Scope.tx();
     repro::Xorshift Rng(repro::testSeed(4242));
     while (!Stop.load(std::memory_order_relaxed)) {
@@ -162,7 +154,7 @@ TYPED_TEST(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
 
   for (unsigned I = 0; I < Churns; ++I)
     std::thread([&, I] {
-      ThreadScope<TypeParam> Scope;
+      ThreadScope<repro_test::Rt> Scope;
       auto &Tx = Scope.tx();
       uint64_t Key = I % Keys;
       atomically(Tx, [&, Key](auto &T) {
@@ -186,8 +178,8 @@ TYPED_TEST(ThreadChurnTest, OneShotThreadsRecycleSlotsUnderReader) {
 /// Concurrent churn: many short-lived writer threads run at once while
 /// readers churn too, maximizing pressure on slot reuse and on the
 /// limbo list's opportunistic collection.
-TYPED_TEST(ThreadChurnTest, ConcurrentChurnersStayConsistent) {
-  RbTree<TypeParam> Tree;
+TEST_P(ThreadChurnTest, ConcurrentChurnersStayConsistent) {
+  RbTree<repro_test::Rt> Tree;
   constexpr uint64_t PerThread = 24;
   const unsigned Waves = 6 * repro_test::stressScale();
   constexpr unsigned ThreadsPerWave = 6;
@@ -196,7 +188,7 @@ TYPED_TEST(ThreadChurnTest, ConcurrentChurnersStayConsistent) {
     std::vector<std::thread> Churners;
     for (unsigned C = 0; C < ThreadsPerWave; ++C)
       Churners.emplace_back([&, Wave, C] {
-        ThreadScope<TypeParam> Scope;
+        ThreadScope<repro_test::Rt> Scope;
         auto &Tx = Scope.tx();
         uint64_t Base = (Wave * ThreadsPerWave + C) * PerThread;
         for (uint64_t K = 0; K < PerThread; ++K)
@@ -219,5 +211,7 @@ TYPED_TEST(ThreadChurnTest, ConcurrentChurnersStayConsistent) {
   EXPECT_EQ(Tree.size(), uint64_t(Waves) * ThreadsPerWave * PerThread);
   EXPECT_TRUE(Tree.verify());
 }
+
+STM_INSTANTIATE_RUNTIME_SUITE(ThreadChurnTest);
 
 } // namespace
