@@ -57,6 +57,14 @@ inline stm::StmConfig rtConfig(stm::rt::BackendKind Kind,
   return Config;
 }
 
+/// Binds \p Config to one commit-clock policy (stm/core/Clock.h); the
+/// clock ablation grids compose this with rtConfig.
+inline stm::StmConfig clockConfig(stm::ClockKind Kind,
+                                  stm::StmConfig Config = stm::StmConfig()) {
+  Config.Clock = Kind;
+  return Config;
+}
+
 /// True when STM_BENCH_SMOKE=1: quick mode for CI bitrot checks.
 inline bool smokeMode() {
   const char *Env = std::getenv("STM_BENCH_SMOKE");

@@ -13,6 +13,7 @@
 #ifndef STM_CONFIG_H
 #define STM_CONFIG_H
 
+#include "stm/core/Clock.h"
 #include "stm/runtime/Backend.h"
 
 #include <cstdio>
@@ -82,6 +83,16 @@ struct StmConfig {
   /// default (the paper's configuration).
   bool PrivatizationSafe = false;
 
+  /// Commit-clock advance scheme (stm/core/Clock.h): how an updating
+  /// transaction obtains its commit timestamp. Gv1 (unique fetch&add,
+  /// the paper's configuration) is the default; Gv4 adopts the winner's
+  /// timestamp on CAS failure; Gv5 defers the increment entirely and
+  /// lets readers advance the counter on validation miss. Applies to
+  /// every backend's commit-ts; the greedy-ts/CM time bases always
+  /// increment (they need unique, totally ordered values). See README
+  /// "Commit-clock policies" for when each wins.
+  ClockKind Clock = ClockKind::Gv1;
+
   /// RSTM variant: eager (encounter-time) vs lazy (commit-time) acquire.
   bool RstmEagerAcquire = true;
 
@@ -146,6 +157,7 @@ inline unsigned configParseUnsigned(const char *Var, const char *Value,
 /// LockTable::init, which owns the bounds):
 ///
 ///   STM_BACKEND            swisstm | tl2 | tinystm | rstm
+///   STM_CLOCK              gv1 | gv4 | gv5
 ///   STM_ADAPTIVE           0 | 1
 ///   STM_LOCK_TABLE_LOG2    log2 of lock-table entries (decimal)
 ///   STM_GRANULARITY_LOG2   log2 of bytes per stripe (decimal)
@@ -153,6 +165,10 @@ inline StmConfig configFromEnv(StmConfig Config = StmConfig()) {
   if (const char *Env = std::getenv("STM_BACKEND")) {
     if (!rt::parseBackendKind(Env, Config.Backend))
       configFatal("STM_BACKEND", Env, "swisstm|tl2|tinystm|rstm");
+  }
+  if (const char *Env = std::getenv("STM_CLOCK")) {
+    if (!parseClockKind(Env, Config.Clock))
+      configFatal("STM_CLOCK", Env, "gv1|gv4|gv5");
   }
   if (const char *Env = std::getenv("STM_ADAPTIVE")) {
     if (std::strcmp(Env, "0") != 0 && std::strcmp(Env, "1") != 0)

@@ -39,19 +39,28 @@ public:
   bool empty() const { return Count == 0; }
   std::size_t size() const { return Count; }
 
+  /// Current slot-array capacity (tests assert rehash discipline).
+  std::size_t capacity() const { return Slots.size(); }
+
   /// One-word Bloom test: definitely-absent fast path.
   bool mayContain(const Word *Addr) const {
     return (Bloom & bloomBit(Addr)) != 0;
   }
 
-  /// Inserts or overwrites the payload for \p Addr.
+  /// Inserts or overwrites the payload for \p Addr. Probes first and
+  /// grows only on a genuine insertion: checking the load factor before
+  /// the probe counted overwrites of existing keys as new entries and
+  /// could trigger a spurious rehash of a map that was not growing.
   void insert(const Word *Addr, uint32_t Payload) {
-    if ((Count + 1) * 4 >= Slots.size() * 3)
-      rehash(SlotsLog2 + 1);
     Bloom |= bloomBit(Addr);
     Slot *S = findSlot(Addr);
-    if (S->Key == nullptr)
+    if (S->Key == nullptr) {
+      if ((Count + 1) * 4 >= Slots.size() * 3) {
+        rehash(SlotsLog2 + 1);
+        S = findSlot(Addr); // the grow moved every slot
+      }
       ++Count;
+    }
     S->Key = Addr;
     S->Payload = Payload;
   }

@@ -10,6 +10,38 @@
 // the first policy point of the shared core: a backend's Globals struct
 // declares one clock per logical time base it needs.
 //
+// The commit-time *advance scheme* is itself a policy (StmConfig::Clock /
+// STM_CLOCK), after the GV1/GV4/GV5 family of TL2 (Dice, Shalev & Shavit,
+// DISC 2006): every committing updater funnels through the clock's cache
+// line, which is the known scalability ceiling of time-based STMs, and
+// Algorithm 1 only requires a monotone commit-ts — not a contended one.
+//
+//   Gv1IncrementClock     fetch&add; every committer owns a unique, fresh
+//                         timestamp (the paper's configuration, default).
+//   Gv4PassOnFailureClock CAS; a committer that loses the race adopts the
+//                         winner's timestamp instead of retrying. Legal
+//                         because two transactions committing at the same
+//                         instant hold disjoint write locks; an adopted
+//                         (non-Owned) stamp must still validate the read
+//                         set — only a unique CAS win proves no concurrent
+//                         committer shares the timestamp.
+//   Gv5DeferredClock      commit publishes ts+1 *without* touching the
+//                         shared counter; readers advance it on validation
+//                         miss (observe/noteStaleRead). The commit path is
+//                         contention-free, at the price of mandatory
+//                         commit-time validation and occasional extra
+//                         extensions. Because the counter can lag behind
+//                         released lock versions, a GV5 stamp must also
+//                         exceed every version the commit overwrites
+//                         (MaxOverwritten below) — otherwise a stripe
+//                         could be re-released at an already-seen version
+//                         and an equality-validated reader would miss the
+//                         intervening commit (ABA on the lock word).
+//
+// The dispatch is a runtime branch on the kind installed at reset():
+// backends are compiled once and selected at runtime (stm/runtime/), so
+// the clock scheme must be a value, not a template parameter.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_CORE_CLOCK_H
@@ -19,26 +51,208 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
 
 namespace stm {
 
-/// A monotonically increasing global counter on its own cache line.
+/// The commit-clock advance schemes (see file comment).
+enum class ClockKind : unsigned char {
+  Gv1, ///< fetch&add, unique timestamps (default)
+  Gv4, ///< CAS, pass-on-failure adoption
+  Gv5  ///< deferred increment, reader-advanced
+};
+
+/// Stable human-readable name; the STM_CLOCK spelling.
+inline const char *clockKindName(ClockKind Kind) {
+  switch (Kind) {
+  case ClockKind::Gv1:
+    return "gv1";
+  case ClockKind::Gv4:
+    return "gv4";
+  case ClockKind::Gv5:
+    return "gv5";
+  }
+  return "unknown";
+}
+
+/// Parses a clock name as spelled by clockKindName(). Returns false on
+/// unknown names (the caller owns the diagnostic).
+inline bool parseClockKind(const char *Name, ClockKind &Out) {
+  for (ClockKind Kind : {ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5}) {
+    if (std::strcmp(Name, clockKindName(Kind)) == 0) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A commit timestamp plus its provenance. Owned means the timestamp is
+/// exclusively this committer's (a unique increment or a won CAS): only
+/// then may the "nothing committed in between" validation shortcut
+/// (Ts == valid-ts + 1) be applied. A shared stamp (GV4 adoption, every
+/// GV5 stamp) must always revalidate — a same-timestamp peer may have
+/// committed into the read set without moving the clock.
+struct CommitStamp {
+  uint64_t Ts;
+  bool Owned;
+};
+
+namespace core {
+
+/// CAS-max: advances \p Value to at least \p Floor and returns the
+/// resulting value. The one primitive behind every reader-side /
+/// fence-side clock advance.
+inline uint64_t clockCasMax(std::atomic<uint64_t> &Value, uint64_t Floor) {
+  uint64_t Cur = Value.load(std::memory_order_relaxed);
+  while (Cur < Floor &&
+         !Value.compare_exchange_weak(Cur, Floor,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+  }
+  return Cur > Floor ? Cur : Floor;
+}
+
+/// GV1: unconditional fetch&add. One uncontended RMW per commit; the
+/// line ping-pongs between committing cores.
+struct Gv1IncrementClock {
+  static CommitStamp commit(std::atomic<uint64_t> &Value,
+                            uint64_t /*MaxOverwritten*/) {
+    return {Value.fetch_add(1, std::memory_order_acq_rel) + 1, true};
+  }
+  static uint64_t observe(std::atomic<uint64_t> &Value, uint64_t /*Seen*/) {
+    return Value.load(std::memory_order_acquire);
+  }
+};
+
+/// GV4: one CAS attempt; the loser adopts the value that beat it (which
+/// is the concurrent winner's timestamp — the failed CAS reloads it).
+/// The clock never falls behind a released version, so reads validate
+/// exactly as under GV1. Note the adoption leans on the RMW reading the
+/// *latest* value in the modification order: formally a failed CAS is
+/// just a load, but on real (multi-copy-atomic) hardware a locked RMW
+/// observes the line's current value, so an adopted stamp is never
+/// stale — a stale adoption below the true clock could re-release a
+/// stripe at a version a concurrent reader's valid-ts already covers.
+struct Gv4PassOnFailureClock {
+  static CommitStamp commit(std::atomic<uint64_t> &Value,
+                            uint64_t /*MaxOverwritten*/) {
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    if (Value.compare_exchange_strong(Cur, Cur + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+      return {Cur + 1, true};
+    // Pass on failure: Cur was reloaded by the failed CAS and carries
+    // the winner's (or a later winner's) timestamp. Adopting it is safe
+    // because both hold their write locks while committing, so their
+    // write sets are disjoint; it is not Owned, so the caller validates.
+    return {Cur, false};
+  }
+  static uint64_t observe(std::atomic<uint64_t> &Value, uint64_t /*Seen*/) {
+    return Value.load(std::memory_order_acquire);
+  }
+};
+
+/// GV5: deferred increment. commit() only loads; the counter is dragged
+/// forward by readers that trip over a too-new version. The stamp must
+/// dominate every version the commit overwrites (see file comment), and
+/// the caller must sample it *while holding its write locks* — the
+/// quiescence-based reclamation horizon (stm/TxMemory.h) relies on the
+/// retire timestamp being a clock sample no concurrent reader's
+/// published start can have raced past unvalidated.
+struct Gv5DeferredClock {
+  static CommitStamp commit(std::atomic<uint64_t> &Value,
+                            uint64_t MaxOverwritten) {
+    uint64_t Base = Value.load(std::memory_order_acquire);
+    if (MaxOverwritten > Base)
+      Base = MaxOverwritten;
+    return {Base + 1, false};
+  }
+  static uint64_t observe(std::atomic<uint64_t> &Value, uint64_t Seen) {
+    // Drag the counter up to the version that caused the miss, then
+    // hand back the freshest value for the extension to adopt.
+    return clockCasMax(Value, Seen);
+  }
+};
+
+} // namespace core
+
+/// A monotonically increasing global counter on its own cache line,
+/// advanced by the ClockKind policy installed at reset(). Auxiliary
+/// time bases (greedy-ts, the CM timestamps) keep the GV1 default:
+/// they need unique, totally ordered values.
 class alignas(repro::CacheLineSize) GlobalClock {
 public:
-  /// Resets to zero (tests and global re-init only).
-  void reset() { Value.store(0, std::memory_order_relaxed); }
+  /// Resets to zero and installs the advance policy (globalInit and
+  /// tests only).
+  void reset(ClockKind K = ClockKind::Gv1) {
+    Value.store(0, std::memory_order_relaxed);
+    Kind = K;
+  }
+
+  ClockKind kind() const { return Kind; }
 
   /// Current value.
   uint64_t load() const { return Value.load(std::memory_order_acquire); }
 
   /// Atomically increments and returns the new value
-  /// ("increment&get" in Algorithm 1, line 37).
+  /// ("increment&get" in Algorithm 1, line 37) — the GV1 primitive,
+  /// used directly by the clocks that are not commit-ts policies.
   uint64_t incrementAndGet() {
     return Value.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
+  /// Advances the counter to at least \p Floor (CAS-max) and returns
+  /// the resulting value. GV5's reader-side advance; also used by the
+  /// privatization fence, which must not wait for a counter nobody
+  /// else will move.
+  uint64_t advanceTo(uint64_t Floor) { return core::clockCasMax(Value, Floor); }
+
+  /// Generates this commit's timestamp under the installed policy.
+  /// \p MaxOverwritten is the largest version among the lock words the
+  /// commit is about to re-release (only GV5 consumes it; GV1/GV4
+  /// callers may pass 0). Call with all write locks held.
+  CommitStamp commitStamp(uint64_t MaxOverwritten = 0) {
+    switch (Kind) {
+    case ClockKind::Gv1:
+      return core::Gv1IncrementClock::commit(Value, MaxOverwritten);
+    case ClockKind::Gv4:
+      return core::Gv4PassOnFailureClock::commit(Value, MaxOverwritten);
+    case ClockKind::Gv5:
+      return core::Gv5DeferredClock::commit(Value, MaxOverwritten);
+    }
+    return {0, false}; // unreachable
+  }
+
+  /// Samples the clock for a timestamp extension after a read observed
+  /// version \p Seen. Under GV5 the sample first drags the counter up
+  /// to Seen — a deferred stamp can exceed the counter, and extending
+  /// to a stale sample would never cover the missed version.
+  uint64_t observe(uint64_t Seen) {
+    switch (Kind) {
+    case ClockKind::Gv1:
+      return core::Gv1IncrementClock::observe(Value, Seen);
+    case ClockKind::Gv4:
+      return core::Gv4PassOnFailureClock::observe(Value, Seen);
+    case ClockKind::Gv5:
+      return core::Gv5DeferredClock::observe(Value, Seen);
+    }
+    return 0; // unreachable
+  }
+
+  /// Hook for abort-on-stale-read paths (TL2 has no extension): under
+  /// GV5 the counter must still advance past the seen version, or the
+  /// restarted attempt would sample the same stale value and livelock
+  /// on the same read.
+  void noteStaleRead(uint64_t Seen) {
+    if (Kind == ClockKind::Gv5)
+      advanceTo(Seen);
+  }
+
 private:
   std::atomic<uint64_t> Value{0};
+  ClockKind Kind = ClockKind::Gv1;
 };
 
 } // namespace stm

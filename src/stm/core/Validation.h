@@ -51,16 +51,46 @@ protected:
     return derived().validateReadSet();
   }
 
+  /// Mints this commit's timestamp under \p Clock's policy. The
+  /// max-overwritten-version scan is policy-sensitive (only a deferred
+  /// gv5 stamp must dominate the lock versions it re-releases), so
+  /// \p MaxOverwritten is a lazy callback the other policies never
+  /// invoke. Call with all write locks held.
+  template <typename MaxOldFn>
+  CommitStamp takeCommitStamp(GlobalClock &Clock,
+                              MaxOldFn &&MaxOverwritten) {
+    uint64_t MaxOld =
+        Clock.kind() == ClockKind::Gv5 ? MaxOverwritten() : 0;
+    return Clock.commitStamp(MaxOld);
+  }
+
+  /// The "nothing committed in between" shortcut: commit-time read-set
+  /// validation may be skipped only for an exclusively owned stamp that
+  /// directly follows valid-ts — a shared stamp (gv4 adoption, every
+  /// gv5 stamp) may belong to a concurrent disjoint-write-set peer
+  /// whose writes this transaction read. Every policy guarantees
+  /// Ts >= valid-ts + 1, so the equality test is exact.
+  bool mustValidateCommit(const CommitStamp &Stamp) const {
+    return !Stamp.Owned || Stamp.Ts != ValidTs + 1;
+  }
+
   /// Timestamp extension (Algorithm 1, lines 54-57): revalidates against
   /// the current clock and on success adopts it as the new valid-ts.
-  /// With \p EnableExtension off (TL2-style behaviour, one of the
-  /// ablation knobs) the extension always fails.
-  bool extendEpoch(const GlobalClock &Clock, bool EnableExtension) {
+  /// \p SeenVersion is the lock version that triggered the miss: under a
+  /// deferred clock (GV5) the sample must first drag the shared counter
+  /// up to it, or the adopted valid-ts would never cover the version
+  /// that keeps missing. With \p EnableExtension off (TL2-style
+  /// behaviour, one of the ablation knobs) the extension always fails —
+  /// but the counter still advances, so the restarted attempt begins
+  /// past the version that killed this one.
+  bool extendEpoch(GlobalClock &Clock, bool EnableExtension,
+                   uint64_t SeenVersion) {
     if (!EnableExtension) {
+      Clock.noteStaleRead(SeenVersion);
       ++derived().stats().FailedExtensions;
       return false;
     }
-    uint64_t Ts = Clock.load();
+    uint64_t Ts = Clock.observe(SeenVersion);
     if (revalidate()) {
       ValidTs = Ts;
       repro::ThreadRegistry::publishStart(derived().threadSlot(), ValidTs);

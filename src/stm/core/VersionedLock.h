@@ -24,8 +24,24 @@
 #include "stm/Word.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace stm::core {
+
+/// Terminates with a diagnostic when a clock value no longer fits the
+/// version field of a lock word. Must die loudly in every build mode:
+/// silently truncating would alias the new version onto an old one and
+/// let stale reads pass validation — the worst possible failure.
+[[noreturn]] inline void versionOverflowFatal(uint64_t Version,
+                                              unsigned TagBits) {
+  std::fprintf(stderr,
+               "stm: commit timestamp %llu exceeds the %u-bit version "
+               "field of a %u-tag-bit lock word\n",
+               static_cast<unsigned long long>(Version),
+               unsigned(8 * sizeof(Word)) - TagBits, TagBits);
+  std::abort();
+}
 
 /// Encoding helpers for a versioned lock word with \p TagBits low tag
 /// bits. Bit 0 is always the "locked/owned" bit; what the other tag bits
@@ -35,14 +51,24 @@ template <unsigned TagBits> struct VersionedLockOps {
 
   static constexpr Word TagMask = (Word(1) << TagBits) - 1;
 
+  /// Largest version the encoding can carry without aliasing into the
+  /// tag bits (2^62 for RSTM's two tag bits — a per-commit clock would
+  /// need ~146 years at 1 GHz to get there, but a corrupted or
+  /// miscomputed timestamp must not wrap silently).
+  static constexpr uint64_t MaxVersion = ~Word(0) >> TagBits;
+
   /// True when the word carries a descriptor pointer, not a version.
   static bool isLocked(Word V) { return (V & 1) != 0; }
 
   /// The version of a free lock word.
   static uint64_t version(Word V) { return V >> TagBits; }
 
-  /// A free lock word carrying \p Version.
+  /// A free lock word carrying \p Version. Aborts loudly on a version
+  /// that would alias into the tag bits (predictable branch; cost-free
+  /// next to the release store it guards).
   static Word make(uint64_t Version) {
+    if (Version > MaxVersion)
+      versionOverflowFatal(Version, TagBits);
     return static_cast<Word>(Version << TagBits);
   }
 

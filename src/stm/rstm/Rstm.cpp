@@ -19,7 +19,9 @@ RstmGlobals &stm::rstm::rstmGlobals() { return GlobalState; }
 void Rstm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
   GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
-  GlobalState.CommitCounter.reset();
+  // The commit counter advances under the configured clock policy; the
+  // greedy-ts always increments (the CM needs unique timestamps).
+  GlobalState.CommitCounter.reset(Config.Clock);
   GlobalState.GreedyTs.reset();
 }
 
@@ -54,7 +56,14 @@ void RstmTx::maybeValidate() {
   if (GlobalState.Config.RstmVisibleReads)
     return; // visible readers are protected by their reader bits
   uint64_t Counter = GlobalState.CommitCounter.load();
-  if (Counter == ValidTs)
+  // The commit-counter heuristic requires every committer to uniquely
+  // advance the counter: only then does "counter unmoved" imply
+  // "nothing committed since the last check". Under gv4 a committer can
+  // adopt an already-published value and under gv5 commits never move
+  // the counter at all, so both degrade to unconditional revalidation —
+  // RSTM's pre-heuristic behaviour, correct but O(read set) per read.
+  if (GlobalState.CommitCounter.kind() == ClockKind::Gv1 &&
+      Counter == ValidTs)
     return; // commit-counter heuristic: nothing committed, still valid
   if (!revalidate())
     rollback();
@@ -236,8 +245,24 @@ void RstmTx::commit() {
     for (const WriteEntry &W : WriteLog)
       acquireOrec(GlobalState.Table.entryFor(W.Addr));
 
-  uint64_t Ts = GlobalState.CommitCounter.incrementAndGet();
-  if (!GlobalState.Config.RstmVisibleReads && Ts != ValidTs + 1 &&
+  // Commit timestamp under the configured clock policy.
+  CommitStamp Stamp = takeCommitStamp(GlobalState.CommitCounter, [this] {
+    uint64_t MaxOverwritten = 0;
+    for (const AcquiredOrec &A : Acquired)
+      if (orecVersion(A.OldValue) > MaxOverwritten)
+        MaxOverwritten = orecVersion(A.OldValue);
+    return MaxOverwritten;
+  });
+  uint64_t Ts = Stamp.Ts;
+  // The "counter still follows my valid-ts" shortcut is gv1-only here —
+  // stronger than core::TimeValidation::mustValidateCommit. RSTM readers
+  // may take an owned-but-not-yet-committing stripe's *old* value, so a
+  // gv4 adopter sharing my valid-ts can write back a stripe I read
+  // without my adoption-time validation ever seeing a lock transition;
+  // only unique counter increments order such commits observably.
+  if (!GlobalState.Config.RstmVisibleReads &&
+      (GlobalState.CommitCounter.kind() != ClockKind::Gv1 ||
+       Ts != ValidTs + 1) &&
       !revalidate())
     rollback();
 
@@ -257,8 +282,31 @@ void RstmTx::commit() {
   for (const AcquiredOrec &A : Acquired)
     A.Rec->Owner.store(Release, std::memory_order_release);
 
+  // Under gv5 RSTM must publish its stamp itself: the other backends'
+  // readers drag a deferred counter forward on version-comparison
+  // misses, but RSTM validates by equality and never calls observe —
+  // with a forever-zero counter every transaction would publish
+  // start-ts 0 and the timestamp-quiescence reclaimers (TxMemory /
+  // RetiredPool) could never free a retired block while the thread
+  // lives. One CAS-max per update commit keeps the deferred policy's
+  // sharing semantics (same-ts commits still occur) and bounds memory.
+  if (GlobalState.CommitCounter.kind() == ClockKind::Gv5)
+    GlobalState.CommitCounter.advanceTo(Ts);
+
   ClearReaderBits();
-  baseCommit(Ts);
+
+  // Retire tag: a counter sample from *after* the release, not the
+  // stamp. Unlike the other backends, an RSTM invisible reader may take
+  // an owned-but-not-yet-committing stripe's old value — including a
+  // pointer this commit is about to unlink and txFree — so a
+  // transaction that began after our stamp was minted (its start
+  // timestamp exceeds Ts once the counter outruns a still-committing
+  // writer, routine under gv5 and a narrow increment-to-write-back
+  // window under gv1) can still hold the old pointer. Any transaction
+  // whose published start exceeds this post-release sample either began
+  // after the unlink was visible or revalidated past it (equality check
+  // fails on the released orec), so the quiescence horizon is sound.
+  baseCommit(GlobalState.CommitCounter.load());
 }
 
 void RstmTx::rollback() {

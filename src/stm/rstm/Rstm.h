@@ -14,7 +14,10 @@
 //  * invisible reads validated with the *global commit counter
 //    heuristic*: whenever the counter moved since the last check the
 //    whole read set is re-validated, so long transactions pay O(read
-//    set) repeatedly -- the overhead visible throughout Section 4;
+//    set) repeatedly -- the overhead visible throughout Section 4.
+//    The heuristic requires every committer to uniquely advance the
+//    counter, so it only applies under the gv1 clock policy; gv4/gv5
+//    (StmConfig::Clock) fall back to unconditional revalidation;
 //  * visible reads registered in a per-stripe reader bitmap that
 //    writers must clear through the contention manager;
 //  * pluggable contention managers from core::ContentionManager in

@@ -244,6 +244,12 @@ repro::TxStats TxHandle::stats() const {
 }
 
 void TxHandle::threadShutdown() {
+  // Flush the window deltas accumulated since the last FlushInterval
+  // boundary before retiring the descriptors whose stats back them:
+  // dropping the remainder made WindowCommits/WindowAborts undercount
+  // under thread churn, silently skewing the adaptive policy's input.
+  if (runtimeGlobals().Dynamic.load(std::memory_order_relaxed))
+    flushWindow();
   for (std::size_t I = 0; I < NumBackends; ++I) {
     if (Inner[I] != nullptr) {
       backendOps(static_cast<BackendKind>(I)).RetireTx(Inner[I]);

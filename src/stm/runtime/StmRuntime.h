@@ -146,9 +146,11 @@ public:
   /// Backend this handle is currently bound to.
   BackendKind boundBackend() const { return Kind; }
 
-  /// Thread-exit hook (see ThreadScope): retires every wrapped backend
-  /// descriptor to the EpochManager; the handle itself is retired by the
-  /// caller.
+  /// Thread-exit hook (see ThreadScope): flushes window deltas pending
+  /// since the last FlushInterval boundary (so the adaptive stats stay
+  /// exact under thread churn), then retires every wrapped backend
+  /// descriptor to the EpochManager; the handle itself is retired by
+  /// the caller.
   void threadShutdown();
 
 private:

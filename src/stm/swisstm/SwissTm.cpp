@@ -18,7 +18,9 @@ SwissGlobals &stm::swiss::swissGlobals() { return GlobalState; }
 void SwissTm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
   GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
-  GlobalState.CommitTs.reset();
+  // The commit-ts advances under the configured clock policy; the
+  // greedy-ts always increments (the CM needs unique timestamps).
+  GlobalState.CommitTs.reset(Config.Clock);
   GlobalState.GreedyTs.reset();
 }
 
@@ -81,7 +83,8 @@ Word SwissTx::load(const Word *Addr) {
 
   ReadLog.push_back(ReadEntry{&Locks, RV}); // line 16
   if (rlockVersion(RV) > ValidTs &&
-      !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension))
+      !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension,
+                   rlockVersion(RV)))
     rollback(); // line 17
   return Value;
 }
@@ -133,7 +136,8 @@ void SwissTx::store(Word *Addr, Word Value) {
   assert(!rlockIsLocked(Mine->RVersion) &&
          "r-lock locked while w-lock was free");
   if (rlockVersion(Mine->RVersion) > ValidTs &&
-      !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension))
+      !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension,
+                   rlockVersion(Mine->RVersion)))
     rollback();
 
   addWordWrite(Mine, Addr, Value);
@@ -177,8 +181,19 @@ void SwissTx::commit() {
   // non-TSO hardware.
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
-  uint64_t Ts = GlobalState.CommitTs.incrementAndGet(); // line 37
-  if (Ts > ValidTs + 1 && !revalidate()) {
+  // Commit timestamp under the configured clock policy (line 37); the
+  // shortcut rules live in core::TimeValidation (only an Owned stamp
+  // directly following valid-ts may skip commit validation).
+  CommitStamp Stamp = takeCommitStamp(GlobalState.CommitTs, [this] {
+    uint64_t MaxOverwritten = 0;
+    WriteLog.forEach([&MaxOverwritten](StripeWrite &E) {
+      if (rlockVersion(E.RVersion) > MaxOverwritten)
+        MaxOverwritten = rlockVersion(E.RVersion);
+    });
+    return MaxOverwritten;
+  });
+  uint64_t Ts = Stamp.Ts;
+  if (mustValidateCommit(Stamp) && !revalidate()) {
     // Failed commit-time validation: restore r-locks, roll back
     // (Algorithm 1, lines 38-41).
     WriteLog.forEach([](StripeWrite &E) {
@@ -203,6 +218,11 @@ void SwissTx::commit() {
   // stale path to anything this commit made private (its extension
   // would have failed on the cells we overwrote).
   if (GlobalState.Config.PrivatizationSafe) {
+    // Under a deferred clock the counter may still be below Ts, and
+    // in-flight readers only advance it on a validation miss they may
+    // never take: publish Ts first so fresh attempts start at or past
+    // it and the fence below terminates.
+    GlobalState.CommitTs.advanceTo(Ts);
     unsigned SpinStep = 0;
     while (repro::ThreadRegistry::minActiveStart() < Ts)
       repro::spinWait(SpinStep);

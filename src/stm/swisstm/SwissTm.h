@@ -97,8 +97,8 @@ inline Word rlockMake(uint64_t Version) { return RLockOps::make(Version); }
 /// Global state of the SwissTM instance.
 struct SwissGlobals {
   core::LockTable<LockPair> Table;
-  GlobalClock CommitTs; ///< "commit-ts" of Algorithm 1
-  GlobalClock GreedyTs; ///< "greedy-ts" of Algorithm 2
+  GlobalClock CommitTs; ///< "commit-ts" of Algorithm 1 (StmConfig::Clock)
+  GlobalClock GreedyTs; ///< "greedy-ts" of Algorithm 2 (always gv1)
   StmConfig Config;
 };
 

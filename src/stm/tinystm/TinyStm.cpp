@@ -18,7 +18,7 @@ TinyGlobals &stm::tiny::tinyGlobals() { return GlobalState; }
 void TinyStm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
   GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
-  GlobalState.Clock.reset();
+  GlobalState.Clock.reset(Config.Clock);
 }
 
 void TinyStm::globalShutdown() { globalTeardown(GlobalState.Table); }
@@ -57,7 +57,8 @@ Word TinyTx::load(const Word *Addr) {
       ReadLog.push_back(ReadEntry{&Lock, V});
       if (vlockVersion(V) > ValidTs &&
           !extendEpoch(GlobalState.Clock,
-                       GlobalState.Config.EnableExtension))
+                       GlobalState.Config.EnableExtension,
+                       vlockVersion(V)))
         rollback();
       return Value;
     }
@@ -97,7 +98,8 @@ void TinyTx::store(Word *Addr, Word Value) {
   }
 
   if (vlockVersion(Mine->OldValue) > ValidTs &&
-      !extendEpoch(GlobalState.Clock, GlobalState.Config.EnableExtension))
+      !extendEpoch(GlobalState.Clock, GlobalState.Config.EnableExtension,
+                   vlockVersion(Mine->OldValue)))
     rollback();
   addWordWrite(Mine, Addr, Value);
 }
@@ -125,8 +127,18 @@ void TinyTx::commit() {
     return;
   }
 
-  uint64_t Ts = GlobalState.Clock.incrementAndGet();
-  if (Ts > ValidTs + 1 && !revalidate())
+  // Commit timestamp under the configured clock policy; the shortcut
+  // rules live in core::TimeValidation.
+  CommitStamp Stamp = takeCommitStamp(GlobalState.Clock, [this] {
+    uint64_t MaxOverwritten = 0;
+    WriteLog.forEach([&MaxOverwritten](StripeWrite &E) {
+      if (vlockVersion(E.OldValue) > MaxOverwritten)
+        MaxOverwritten = vlockVersion(E.OldValue);
+    });
+    return MaxOverwritten;
+  });
+  uint64_t Ts = Stamp.Ts;
+  if (mustValidateCommit(Stamp) && !revalidate())
     rollback();
 
   // Write back and release each stripe with the commit timestamp.

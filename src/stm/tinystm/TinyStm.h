@@ -88,7 +88,7 @@ inline StripeWrite *vlockEntry(Word V) {
 
 struct TinyGlobals {
   core::LockTable<VLock> Table;
-  GlobalClock Clock;
+  GlobalClock Clock; ///< advances under StmConfig::Clock
   StmConfig Config;
 };
 

@@ -18,7 +18,7 @@ Tl2Globals &stm::tl2::tl2Globals() { return GlobalState; }
 void Tl2::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
   GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
-  GlobalState.Clock.reset();
+  GlobalState.Clock.reset(Config.Clock);
 }
 
 void Tl2::globalShutdown() { globalTeardown(GlobalState.Table); }
@@ -49,9 +49,16 @@ Word Tl2Tx::load(const Word *Addr) {
 
   // TL2 post-read check: the lock must be free, unchanged across the
   // data read, and no newer than the transaction's read version. Any
-  // violation aborts -- TL2 has no extension mechanism.
-  if (vlockIsLocked(V1) || V1 != V2 || vlockVersion(V1) > ValidTs)
+  // violation aborts -- TL2 has no extension mechanism. A too-new
+  // version still advances a deferred (GV5) clock before the abort, or
+  // the retry would sample the same stale read version and livelock on
+  // this very read.
+  if (vlockIsLocked(V1) || V1 != V2)
     rollback();
+  if (vlockVersion(V1) > ValidTs) {
+    GlobalState.Clock.noteStaleRead(vlockVersion(V1));
+    rollback();
+  }
 
   ReadLog.push_back(&Lock);
   return Value;
@@ -139,11 +146,17 @@ void Tl2Tx::commit() {
   // Order lock acquisition before the data write-back for readers.
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
-  uint64_t WriteVersion = GlobalState.Clock.incrementAndGet();
-
-  // GV4: when no concurrent commit interleaved, the read set cannot
-  // have changed and validation can be skipped.
-  if (WriteVersion != ValidTs + 1 && !revalidate())
+  // Commit timestamp under the configured clock policy; the shortcut
+  // rules live in core::TimeValidation.
+  CommitStamp Stamp = takeCommitStamp(GlobalState.Clock, [this] {
+    uint64_t MaxOverwritten = 0;
+    for (const Acquired &A : AcquiredLocks)
+      if (vlockVersion(A.OldValue) > MaxOverwritten)
+        MaxOverwritten = vlockVersion(A.OldValue);
+    return MaxOverwritten;
+  });
+  uint64_t WriteVersion = Stamp.Ts;
+  if (mustValidateCommit(Stamp) && !revalidate())
     rollbackReleasing();
 
   for (const WriteEntry &W : WriteLog)

@@ -4,11 +4,13 @@
 //
 // Reimplementation of Transactional Locking II (DISC 2006), the paper's
 // lazy-acquire baseline: commit-time locking, invisible reads against a
-// global version clock (GV4-style), write-back redo logging, and the
-// timid contention policy (abort the attacker, no waiting). TL2 has no
-// timestamp extension -- reading a location newer than the transaction's
-// read version aborts immediately, which is one of the behaviours the
-// paper contrasts with SwissTM.
+// global version clock, write-back redo logging, and the timid
+// contention policy (abort the attacker, no waiting). The clock's
+// advance scheme is the shared policy point StmConfig::Clock — TL2's
+// own GV1/GV4/GV5 family (see stm/core/Clock.h). TL2 has no timestamp
+// extension -- reading a location newer than the transaction's read
+// version aborts immediately (advancing a deferred clock first), which
+// is one of the behaviours the paper contrasts with SwissTM.
 //
 // Built from the shared policy core: lock table and clock from
 // stm/core; core::TimeValidation tracks the read version ("rv") and
@@ -51,7 +53,7 @@ inline Word vlockMake(uint64_t Version) { return VLockOps::make(Version); }
 
 struct Tl2Globals {
   core::LockTable<VLock> Table;
-  GlobalClock Clock;
+  GlobalClock Clock; ///< advances under StmConfig::Clock
   StmConfig Config;
 };
 

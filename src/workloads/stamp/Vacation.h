@@ -234,7 +234,14 @@ public:
     bool Ok = true;
     bool *OkPtr = &Ok;
     stm::atomically(T, [&, OkPtr](Tx &X) {
+      // Reset all body-mutated state: an aborted attempt reruns the
+      // body, and counts carried over from the torn attempt would
+      // report a phantom capacity violation. (Under the gv1 clock the
+      // post-join verify transaction never aborts, which long masked
+      // this; a deferred gv5 clock aborts the first attempt whenever
+      // the final worker commits outran the counter.)
       *OkPtr = true;
+      std::fill(BookedByCustomers.begin(), BookedByCustomers.end(), 0);
       for (unsigned Id = 0; Id < Cfg.Relations; ++Id) {
         uint64_t CustVal = 0;
         if (!Customers.lookup(X, Id, &CustVal))

@@ -25,6 +25,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 
 using namespace stm;
 using repro_test::runThreads;
@@ -165,6 +167,40 @@ TEST(ConfigEnvDeathTest, RejectsUnknownBackend) {
         stm::configFromEnv();
       },
       "invalid STM_BACKEND");
+}
+
+TEST(ConfigEnvDeathTest, RejectsUnknownClock) {
+  EXPECT_DEATH(
+      {
+        setenv("STM_CLOCK", "gv2", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_CLOCK value 'gv2' \\(expected gv1\\|gv4\\|gv5\\)");
+  EXPECT_DEATH(
+      {
+        setenv("STM_CLOCK", "GV4", 1); // case-sensitive, like STM_BACKEND
+        stm::configFromEnv();
+      },
+      "invalid STM_CLOCK value 'GV4'");
+}
+
+TEST(ConfigEnvTest, ParsesEveryClockKind) {
+  // Mutates the live environment, so restore whatever the CI clock leg
+  // exported (repro_test::envClockKind() caches its first read and is
+  // unaffected either way).
+  const char *Old = getenv("STM_CLOCK");
+  const std::string Saved = Old == nullptr ? "" : Old;
+  for (stm::ClockKind Kind :
+       {stm::ClockKind::Gv1, stm::ClockKind::Gv4, stm::ClockKind::Gv5}) {
+    setenv("STM_CLOCK", stm::clockKindName(Kind), 1);
+    EXPECT_EQ(stm::configFromEnv().Clock, Kind);
+  }
+  if (Old == nullptr) {
+    unsetenv("STM_CLOCK");
+    EXPECT_EQ(stm::configFromEnv().Clock, stm::ClockKind::Gv1);
+  } else {
+    setenv("STM_CLOCK", Saved.c_str(), 1);
+  }
 }
 
 TEST(ConfigEnvDeathTest, RejectsNonBooleanAdaptive) {

@@ -270,6 +270,43 @@ TEST_P(HistoryCheckTest, FalseConflictsStayOpaque) {
                                   /*UpdatePercent=*/50, /*SeedSalt=*/3);
 }
 
+/// Every commit-clock policy must replay as an opaque history. GV5 is
+/// the aliasing case the checker exists for: two concurrent updaters
+/// with disjoint write sets legally commit with the *same* timestamp
+/// (the counter only moves when a reader misses), so any unsound
+/// validation shortcut or per-stripe version reuse surfaces here as a
+/// torn snapshot or lost update. GV4 exercises timestamp adoption: a
+/// committer that loses the clock CAS shares the winner's stamp and
+/// must still validate.
+TEST_P(HistoryCheckTest, EveryClockPolicyStaysOpaque) {
+  unsigned Salt = 20;
+  for (ClockKind Kind :
+       {ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5}) {
+    SCOPED_TRACE(clockKindName(Kind));
+    StmConfig Config = applyMode(smallTable());
+    Config.Clock = Kind;
+    runHistoryCheck<repro_test::Rt>(Config, 4, 800 * stressScale(),
+                                    /*UpdatePercent=*/50,
+                                    /*SeedSalt=*/Salt++);
+  }
+}
+
+/// Read-mostly sweep per clock: long stretches between sequencer bumps
+/// drive the extension/revalidation paths, which under GV5 include the
+/// reader-side counter advance (observe) — the mechanism that replaces
+/// the committer's increment.
+TEST_P(HistoryCheckTest, ReadMostlyEveryClockPolicyStaysOpaque) {
+  unsigned Salt = 30;
+  for (ClockKind Kind : {ClockKind::Gv4, ClockKind::Gv5}) {
+    SCOPED_TRACE(clockKindName(Kind));
+    StmConfig Config = applyMode(smallTable());
+    Config.Clock = Kind;
+    runHistoryCheck<repro_test::Rt>(Config, 4, 700 * stressScale(),
+                                    /*UpdatePercent=*/10,
+                                    /*SeedSalt=*/Salt++);
+  }
+}
+
 STM_INSTANTIATE_RUNTIME_SUITE(HistoryCheckTest);
 
 //===----------------------------------------------------------------------===//
@@ -314,6 +351,59 @@ TEST(HistoryCheckRuntimeTest, AdaptivePolicyHistoryIsOpaque) {
                                    /*UpdatePercent=*/50, /*SeedSalt=*/8);
 }
 
+/// Switch-crossing histories under every clock policy: the controller
+/// cycles the active backend through all four kinds while workers
+/// record, so every barrier crosses timestamps minted by one clock
+/// instance into a generation validated against another. Each backend's
+/// clock is independent state — the merged history must still replay as
+/// one opaque serialization under gv1's unique stamps, gv4's adopted
+/// ones, and gv5's deferred, reader-advanced ones.
+TEST(HistoryCheckRuntimeTest, SwitchCrossingHistoryOpaqueUnderEveryClock) {
+  unsigned Salt = 40;
+  for (ClockKind Kind :
+       {ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5}) {
+    SCOPED_TRACE(clockKindName(Kind));
+    StmConfig Config = smallTable();
+    Config.Backend = stm::rt::BackendKind::Tl2;
+    Config.Clock = Kind;
+    Config.Adaptive = true;      // arms the switch machinery...
+    Config.AdaptiveWindow = ~0u; // ...with the policy effectively off
+    std::atomic<unsigned> Switches{0};
+    runHistoryCheck<StmRuntime>(
+        Config, 4, 800 * stressScale(), /*UpdatePercent=*/50,
+        /*SeedSalt=*/Salt++, /*RequireAborts=*/false,
+        [&Switches](std::atomic<bool> &Done) {
+          std::size_t Next = 0;
+          const auto &Kinds = stm::rt::allBackendKinds();
+          while (!Done.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            if (StmRuntime::requestSwitch(Kinds[Next++ % Kinds.size()]))
+              Switches.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    EXPECT_GT(Switches.load(), 0u)
+        << clockKindName(Kind)
+        << ": no backend switch crossed the recorded history";
+  }
+}
+
+/// The adaptive policy driving switches while commits share (gv4) or
+/// defer (gv5) their timestamps — escalation decisions ride on the
+/// windowed stats the clock policies must not skew.
+TEST(HistoryCheckRuntimeTest, AdaptivePolicyHistoryOpaqueUnderGv4AndGv5) {
+  unsigned Salt = 50;
+  for (ClockKind Kind : {ClockKind::Gv4, ClockKind::Gv5}) {
+    SCOPED_TRACE(clockKindName(Kind));
+    StmConfig Config = smallTable();
+    Config.Backend = stm::rt::BackendKind::Tl2;
+    Config.Clock = Kind;
+    Config.AdaptiveWindow = 256;
+    runHistoryCheck<AdaptiveRuntime>(Config, 4, 800 * stressScale(),
+                                     /*UpdatePercent=*/50,
+                                     /*SeedSalt=*/Salt++);
+  }
+}
+
 /// SwissTM with timestamp extension disabled behaves like TL2 on reads;
 /// the history must stay opaque, just with more aborts.
 TEST(HistoryCheckConfigTest, SwissTmWithoutExtension) {
@@ -337,6 +427,89 @@ TEST(HistoryCheckConfigTest, RstmVisibleReads) {
   // each conflict orders of magnitude more expensive.
   runHistoryCheck<Rstm>(Config, 2, 400 * stressScale(), 50, 6);
 }
+
+//===----------------------------------------------------------------------===//
+// Clock-policy write skew: the sequencer histories above order all
+// updates through one word, so every updater conflicts on its stripe
+// and two committers never run with *disjoint* write sets — yet
+// disjoint committers are exactly who may share a timestamp under
+// gv4 adoption and gv5 deferral. This test manufactures the classic
+// write-skew pair (T0 reads Y writes X, T1 reads X writes Y, yields
+// widening the overlap) and asserts the non-serializable outcome never
+// commits: any unsound "nothing committed in between" shortcut on a
+// shared timestamp lets both transactions miss each other and produce
+// X == 1 && Y == 1 from X == Y == 0.
+//===----------------------------------------------------------------------===//
+
+class ClockPolicyWriteSkewTest
+    : public ::testing::TestWithParam<ClockKind> {};
+
+TEST_P(ClockPolicyWriteSkewTest, DisjointCommittersNeverWriteSkew) {
+  struct alignas(64) Cell {
+    Word W;
+  };
+  static Cell X, Y;
+  constexpr unsigned Threads = 2;
+
+  for (stm::rt::BackendKind Backend : stm::rt::allBackendKinds()) {
+    SCOPED_TRACE(stm::rt::backendName(Backend));
+    StmConfig Config = smallTable();
+    Config.Backend = Backend;
+    Config.Clock = GetParam();
+    StmRuntime::globalInit(Config);
+    {
+      const unsigned Rounds = 400 * stressScale();
+      std::atomic<unsigned> Arrivals{0};
+      std::atomic<unsigned> SkewRounds{0};
+      auto Barrier = [&Arrivals](unsigned Target) {
+        Arrivals.fetch_add(1, std::memory_order_acq_rel);
+        while (Arrivals.load(std::memory_order_acquire) < Target)
+          std::this_thread::yield();
+      };
+      runThreads<StmRuntime>(Threads, [&](unsigned Tid, auto &Tx) {
+        for (unsigned R = 0; R < Rounds; ++R) {
+          // Phase 1: quiescent reset (every transaction of the previous
+          // round has committed or aborted at the barrier).
+          Barrier(R * 3 * Threads + Threads);
+          if (Tid == 0)
+            X.W = Y.W = 0;
+          Barrier(R * 3 * Threads + 2 * Threads);
+          // Phase 2: the skew pair, overlap widened by a yield between
+          // the read and the (disjoint) write.
+          atomically(Tx, [&](auto &T) {
+            if (Tid == 0) {
+              Word SeenY = T.load(&Y.W);
+              std::this_thread::yield();
+              T.store(&X.W, SeenY + 1);
+            } else {
+              Word SeenX = T.load(&X.W);
+              std::this_thread::yield();
+              T.store(&Y.W, SeenX + 1);
+            }
+          });
+          Barrier(R * 3 * Threads + 3 * Threads);
+          // Phase 3: check. Serializable outcomes are (1,2) and (2,1);
+          // (1,1) means both committers missed each other's write.
+          if (Tid == 0 && X.W == 1 && Y.W == 1)
+            SkewRounds.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      EXPECT_EQ(SkewRounds.load(), 0u)
+          << stm::rt::backendName(Backend) << "/"
+          << clockKindName(GetParam())
+          << ": write skew committed — a shared commit timestamp "
+          << "skipped validation";
+    }
+    StmRuntime::globalShutdown();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClocks, ClockPolicyWriteSkewTest,
+                         ::testing::Values(ClockKind::Gv1, ClockKind::Gv4,
+                                           ClockKind::Gv5),
+                         [](const ::testing::TestParamInfo<ClockKind> &I) {
+                           return clockKindName(I.param);
+                         });
 
 /// The checker itself must reject a non-opaque history: synthesize a
 /// torn snapshot and make sure it trips.

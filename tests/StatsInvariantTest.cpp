@@ -176,4 +176,52 @@ TEST_P(StatsInvariantTest, AbortRatioConsistent) {
 
 STM_INSTANTIATE_RUNTIME_SUITE(StatsInvariantTest);
 
+/// The adaptive policy's input: WindowCommits/WindowAborts must account
+/// for every attempt exactly, including the remainder a thread has
+/// accumulated since its last FlushInterval boundary when it exits.
+/// Regression test for a churn bug where those pending deltas were
+/// dropped at thread shutdown: per-thread iteration counts deliberately
+/// avoid multiples of the flush interval, and several churn generations
+/// make the lost remainders add up if the final flush is missing.
+TEST(AdaptiveWindowStatsTest, ThreadChurnKeepsWindowAggregatesExact) {
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 16;
+  Config.Backend = stm::rt::BackendKind::Tl2;
+  Config.Adaptive = true;
+  Config.AdaptiveWindow = ~0u; // accumulate only: the policy never acts
+
+  constexpr unsigned Generations = 5;
+  constexpr unsigned Threads = 3;
+  constexpr unsigned Iters = 37; // != 0 mod FlushInterval(32)
+  // One cache line (and thus one stripe) per thread: disjoint write
+  // sets, so the expected counts are conflict-free and exact.
+  struct alignas(64) PaddedCell {
+    Word W;
+  };
+  static PaddedCell Cells[Threads];
+
+  StmRuntime::globalInit(Config);
+  for (PaddedCell &C : Cells)
+    C.W = 0;
+  for (unsigned Gen = 0; Gen < Generations; ++Gen) {
+    // Each generation spawns fresh threads (fresh TxHandles) and joins
+    // them, so every handle exits with 37 % 32 = 5 unflushed commits.
+    runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
+      for (unsigned I = 0; I < Iters; ++I)
+        atomically(Tx, [&, Id](auto &T) {
+          T.store(&Cells[Id].W, T.load(&Cells[Id].W) + 1);
+        });
+    });
+  }
+
+  stm::rt::RuntimeGlobals &G = stm::rt::runtimeGlobals();
+  EXPECT_EQ(G.WindowCommits.load(), uint64_t(Generations) * Threads * Iters)
+      << "thread exit dropped window commit remainders";
+  EXPECT_EQ(G.WindowAborts.load(), 0u);
+  EXPECT_EQ(G.WindowWrites.load(), uint64_t(Generations) * Threads * Iters);
+  for (unsigned Id = 0; Id < Threads; ++Id)
+    EXPECT_EQ(Cells[Id].W, uint64_t(Generations) * Iters);
+  StmRuntime::globalShutdown();
+}
+
 } // namespace

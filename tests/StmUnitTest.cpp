@@ -17,6 +17,8 @@
 #include "stm/WriteMap.h"
 #include "stm/core/Clock.h"
 #include "stm/core/LockTable.h"
+#include "stm/core/VersionedLock.h"
+#include "stm/rstm/Rstm.h"
 #include "stm/swisstm/SwissTm.h"
 #include "stm/tinystm/TinyStm.h"
 #include "stm/tl2/Tl2.h"
@@ -115,6 +117,140 @@ TEST(ClockTest, IncrementAndGetIsSequential) {
   EXPECT_EQ(Clock.load(), 2u);
   Clock.reset();
   EXPECT_EQ(Clock.load(), 0u);
+}
+
+TEST(ClockTest, ClockKindNamesAndParseRoundTrip) {
+  EXPECT_STREQ(clockKindName(ClockKind::Gv1), "gv1");
+  EXPECT_STREQ(clockKindName(ClockKind::Gv4), "gv4");
+  EXPECT_STREQ(clockKindName(ClockKind::Gv5), "gv5");
+  for (ClockKind Kind : {ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5}) {
+    ClockKind Out = ClockKind::Gv1;
+    EXPECT_TRUE(parseClockKind(clockKindName(Kind), Out));
+    EXPECT_EQ(Out, Kind);
+  }
+  ClockKind Out = ClockKind::Gv1;
+  EXPECT_FALSE(parseClockKind("gv2", Out));
+  EXPECT_FALSE(parseClockKind("", Out));
+}
+
+TEST(ClockTest, Gv1StampsAreUniqueFreshAndOwned) {
+  GlobalClock Clock;
+  Clock.reset(ClockKind::Gv1);
+  CommitStamp S1 = Clock.commitStamp();
+  CommitStamp S2 = Clock.commitStamp();
+  EXPECT_EQ(S1.Ts, 1u);
+  EXPECT_TRUE(S1.Owned);
+  EXPECT_EQ(S2.Ts, 2u);
+  EXPECT_TRUE(S2.Owned);
+  EXPECT_EQ(Clock.load(), 2u);
+}
+
+TEST(ClockTest, Gv4UncontendedStampsMatchGv1) {
+  GlobalClock Clock;
+  Clock.reset(ClockKind::Gv4);
+  // Without a concurrent winner the CAS succeeds: same unique, owned
+  // sequence as gv1 (which is why gv4 cannot regress at one thread).
+  for (uint64_t I = 1; I <= 4; ++I) {
+    CommitStamp S = Clock.commitStamp();
+    EXPECT_EQ(S.Ts, I);
+    EXPECT_TRUE(S.Owned);
+  }
+  EXPECT_EQ(Clock.load(), 4u);
+}
+
+TEST(ClockTest, Gv4ContendedLosersAdoptAWinnersStamp) {
+  GlobalClock Clock;
+  Clock.reset(ClockKind::Gv4);
+  constexpr unsigned Threads = 8, PerThread = 2000;
+  std::vector<std::vector<CommitStamp>> Seen(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([&, I] {
+      for (unsigned K = 0; K < PerThread; ++K)
+        Seen[I].push_back(Clock.commitStamp());
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  // Owned stamps are exactly the clock's value sequence: unique, and
+  // their count is the final clock value. Every adopted stamp names a
+  // timestamp some winner owned (pass-on-failure), never a fresh one.
+  std::set<uint64_t> OwnedTs;
+  std::vector<uint64_t> Adopted;
+  for (auto &V : Seen)
+    for (const CommitStamp &S : V) {
+      EXPECT_GE(S.Ts, 1u);
+      if (S.Owned)
+        EXPECT_TRUE(OwnedTs.insert(S.Ts).second)
+            << "two owned stamps shared timestamp " << S.Ts;
+      else
+        Adopted.push_back(S.Ts);
+    }
+  EXPECT_EQ(OwnedTs.size(), Clock.load());
+  for (uint64_t Ts : Adopted)
+    EXPECT_TRUE(OwnedTs.count(Ts)) << "adopted orphan timestamp " << Ts;
+}
+
+TEST(ClockTest, Gv5CommitDefersReadersAdvance) {
+  GlobalClock Clock;
+  Clock.reset(ClockKind::Gv5);
+  // Commits publish ts+1 without touching the counter...
+  CommitStamp S1 = Clock.commitStamp();
+  EXPECT_EQ(S1.Ts, 1u);
+  EXPECT_FALSE(S1.Owned);
+  EXPECT_EQ(Clock.load(), 0u);
+  CommitStamp S2 = Clock.commitStamp();
+  EXPECT_EQ(S2.Ts, 1u) << "deferred stamps may repeat";
+  // ...readers drag it forward on a validation miss...
+  EXPECT_EQ(Clock.observe(/*Seen=*/1), 1u);
+  EXPECT_EQ(Clock.load(), 1u);
+  EXPECT_EQ(Clock.commitStamp().Ts, 2u);
+  // ...and a stamp must dominate the versions it re-releases, so
+  // per-stripe versions stay strictly monotone despite the lag.
+  EXPECT_EQ(Clock.commitStamp(/*MaxOverwritten=*/9).Ts, 10u);
+  // The abort-path hook advances too (TL2 has no extension).
+  Clock.noteStaleRead(12);
+  EXPECT_EQ(Clock.load(), 12u);
+}
+
+TEST(ClockTest, AdvanceToIsMonotoneMax) {
+  GlobalClock Clock;
+  Clock.reset(ClockKind::Gv5);
+  EXPECT_EQ(Clock.advanceTo(5), 5u);
+  EXPECT_EQ(Clock.advanceTo(3), 5u) << "advanceTo must never move back";
+  EXPECT_EQ(Clock.load(), 5u);
+  // gv1/gv4 observe is a plain sample (their clock never lags a
+  // released version); only gv5 folds Seen in.
+  GlobalClock G1;
+  G1.reset(ClockKind::Gv1);
+  EXPECT_EQ(G1.observe(100), 0u);
+  G1.reset(ClockKind::Gv4);
+  EXPECT_EQ(G1.observe(100), 0u);
+}
+
+/// RSTM validates by equality and never calls observe(), so under gv5
+/// its commits must publish their stamps to the counter themselves —
+/// otherwise every transaction publishes start-ts 0 forever and the
+/// timestamp-quiescence reclaimers (TxMemory/RetiredPool) can never
+/// free a retired block while the thread lives.
+TEST(ClockTest, RstmGv5CommitsPublishStampsForReclamation) {
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 16;
+  Config.Clock = ClockKind::Gv5;
+  Rstm::globalInit(Config);
+  {
+    ThreadScope<Rstm> Scope;
+    auto &Tx = Scope.tx();
+    alignas(64) static Word X;
+    X = 0;
+    constexpr unsigned Commits = 10;
+    for (unsigned I = 0; I < Commits; ++I)
+      atomically(Tx, [](auto &T) { T.store(&X, T.load(&X) + 1); });
+    EXPECT_GE(Rstm::globals().CommitCounter.load(), uint64_t(Commits))
+        << "gv5 update commits left the counter behind — the "
+        << "reclamation horizon would never advance";
+  }
+  Rstm::globalShutdown();
 }
 
 TEST(ClockTest, ConcurrentIncrementsAreUnique) {
@@ -219,6 +355,37 @@ TEST(WriteMapTest, GrowsPastInitialCapacity) {
     ASSERT_EQ(Map.lookup(&Cells[I]), I);
 }
 
+TEST(WriteMapTest, OverwritesNeverTriggerRehash) {
+  // Regression test: the load-factor check used to run before probing,
+  // so overwriting an existing key counted as a new insertion and a map
+  // sitting exactly at the growth threshold rehashed spuriously on
+  // every overwrite. Capacity must be a function of distinct keys only.
+  WriteMap Map;
+  const std::size_t InitialCapacity = Map.capacity();
+  // Fill to one genuine insertion below the 3/4 growth threshold.
+  const std::size_t AtThreshold = (InitialCapacity * 3) / 4 - 1;
+  std::vector<Word> Cells(AtThreshold + 1, 0);
+  for (uint32_t I = 0; I < AtThreshold; ++I)
+    Map.insert(&Cells[I], I);
+  ASSERT_EQ(Map.capacity(), InitialCapacity)
+      << "grew before the load factor was reached";
+  // Overwrite every present key repeatedly: size and capacity stable.
+  for (int Round = 0; Round < 10; ++Round)
+    for (uint32_t I = 0; I < AtThreshold; ++I)
+      Map.insert(&Cells[I], I + 1000 * Round);
+  EXPECT_EQ(Map.capacity(), InitialCapacity)
+      << "overwrites were counted as insertions";
+  EXPECT_EQ(Map.size(), AtThreshold);
+  // The next genuine insertion crosses the threshold and grows once,
+  // preserving every entry.
+  Map.insert(&Cells[AtThreshold], 7);
+  EXPECT_GT(Map.capacity(), InitialCapacity);
+  EXPECT_EQ(Map.size(), AtThreshold + 1);
+  EXPECT_EQ(Map.lookup(&Cells[AtThreshold]), 7u);
+  for (uint32_t I = 0; I < AtThreshold; ++I)
+    ASSERT_EQ(Map.lookup(&Cells[I]), I + 9000);
+}
+
 TEST(WriteMapTest, BloomNegativeFastPath) {
   WriteMap Map;
   alignas(8) Word A = 0;
@@ -309,6 +476,43 @@ TEST(TinyLockTest, EntryPointerRoundTrip) {
   Word Locked = reinterpret_cast<Word>(&Entry) | 1;
   EXPECT_TRUE(vlockIsLocked(Locked));
   EXPECT_EQ(vlockEntry(Locked), &Entry);
+}
+
+/// Version-field wrap boundary: the largest representable version must
+/// round-trip exactly through every encoding in use (1 tag bit for
+/// SwissTM/TL2/TinySTM, 2 for RSTM) — one bit of silent truncation
+/// would alias a fresh commit timestamp onto an ancient version and let
+/// stale reads pass validation.
+TEST(VersionedLockBoundaryTest, MaxVersionRoundTripsPerTagWidth) {
+  using Ops1 = core::VersionedLockOps<1>;
+  using Ops2 = core::VersionedLockOps<2>;
+  static_assert(Ops1::MaxVersion == (~Word(0) >> 1));
+  static_assert(Ops2::MaxVersion == (~Word(0) >> 2));
+  for (uint64_t V : {uint64_t(0), Ops1::MaxVersion - 1, Ops1::MaxVersion}) {
+    Word W = Ops1::make(V);
+    EXPECT_FALSE(Ops1::isLocked(W));
+    EXPECT_EQ(Ops1::version(W), V);
+  }
+  for (uint64_t V : {uint64_t(0), Ops2::MaxVersion - 1, Ops2::MaxVersion}) {
+    Word W = Ops2::make(V);
+    EXPECT_FALSE(Ops2::isLocked(W));
+    EXPECT_EQ(Ops2::version(W), V);
+  }
+  // One past the boundary differs from the aliased encoding it would
+  // silently collapse onto — the case the guard below aborts on.
+  EXPECT_NE(Ops1::MaxVersion + 1, Ops1::version(Ops1::make(0)) + 1);
+}
+
+/// A clock value exceeding the representable version range must abort
+/// loudly in every build mode, never alias.
+TEST(VersionedLockDeathTest, OverflowingVersionAbortsLoudly) {
+  using Ops1 = core::VersionedLockOps<1>;
+  using Ops2 = core::VersionedLockOps<2>;
+  EXPECT_DEATH((void)Ops1::make(Ops1::MaxVersion + 1),
+               "exceeds the 63-bit version field");
+  EXPECT_DEATH((void)Ops2::make(Ops2::MaxVersion + 1),
+               "exceeds the 62-bit version field");
+  EXPECT_DEATH((void)Ops1::make(~uint64_t(0)), "version field");
 }
 
 TEST(ConfigTest, CmKindNamesStable) {

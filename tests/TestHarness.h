@@ -118,14 +118,26 @@ inline std::string rtModeName(const ::testing::TestParamInfo<RtMode> &Info) {
                              : stm::rt::backendName(Info.param.Kind);
 }
 
+/// Commit-clock policy selected by STM_CLOCK (gv1 when unset). The
+/// parameterized suites stamp it onto their configs via applyMode, so
+/// the CI clock legs run the full behavioural grid under gv4/gv5 the
+/// same way STM_BACKEND narrows the backend. Suites that sweep clock
+/// policies explicitly overwrite Config.Clock after applyMode.
+inline stm::ClockKind envClockKind() {
+  static const stm::ClockKind Kind = stm::configFromEnv().Clock;
+  return Kind;
+}
+
 /// Fixture base for suites that initialize the runtime per iteration
 /// themselves (config sweeps): provides the mode application only.
 class RuntimeSuiteNoInit : public ::testing::TestWithParam<RtMode> {
 protected:
-  /// Stamps the suite's current mode onto \p Config.
+  /// Stamps the suite's current mode (and the STM_CLOCK policy) onto
+  /// \p Config.
   stm::StmConfig applyMode(stm::StmConfig Config) const {
     Config.Backend = GetParam().Kind;
     Config.Adaptive = GetParam().Adaptive;
+    Config.Clock = envClockKind();
     return Config;
   }
 };
