@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -48,19 +49,69 @@
 
 namespace bench {
 
+/// Mutable storage behind baseConfig(); first use snapshots the STM_*
+/// environment (StmConfig::fromEnv), parseStmFlags layers CLI flags on
+/// top.
+inline stm::StmConfig &baseConfigStorage() {
+  static stm::StmConfig Config = stm::StmConfig::fromEnv();
+  return Config;
+}
+
+/// The process-wide base configuration every bench grid starts from:
+/// struct defaults, overridden by STM_* environment variables,
+/// overridden by --stm-* flags (documented precedence, see
+/// StmConfig::fromEnv). Grid helpers like rtConfig/clockConfig then pin
+/// the dimensions the grid itself sweeps.
+inline stm::StmConfig baseConfig() { return baseConfigStorage(); }
+
+/// Parses the --stm-<knob>=<value> flags every bench main accepts —
+/// the CLI mirror of the STM_* environment, one spelling per knob:
+///
+///   --stm-backend=swisstm|tl2|tinystm|rstm
+///   --stm-adaptive=0|1
+///   --stm-clock=gv1|gv4|gv5
+///   --stm-lock-table-log2=N
+///   --stm-granularity-log2=N
+///
+/// Flags win over the environment. Unknown --stm-* knobs and invalid
+/// values abort loudly (a typo must not measure the wrong config);
+/// arguments not starting with --stm- are ignored, left for the
+/// binary's own flag handling.
+inline void parseStmFlags(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--stm-", 6) != 0)
+      continue;
+    const char *Key = Arg + 6;
+    const char *Eq = std::strchr(Key, '=');
+    if (Eq == nullptr)
+      stm::configFatal(Arg, "", "--stm-<knob>=<value>");
+    std::string Knob(Key, static_cast<std::size_t>(Eq - Key));
+    if (!stm::applyConfigOption(baseConfigStorage(), Knob.c_str(), Eq + 1,
+                                Arg))
+      stm::configFatal(Arg, Eq + 1,
+                       "backend|adaptive|clock|lock-table-log2|"
+                       "granularity-log2");
+  }
+}
+
 /// Binds \p Config to one runtime backend: the bench grids sweep
 /// stm::StmRuntime rows by value instead of instantiating one template
-/// per backend (see stm/runtime/StmRuntime.h).
+/// per backend (see stm/runtime/StmRuntime.h). Also pins Adaptive off —
+/// a fixed-backend grid cell must stay on its backend even when the
+/// ambient environment says STM_ADAPTIVE=1; grids name adaptivity as
+/// its own row (AdaptiveRuntime) instead.
 inline stm::StmConfig rtConfig(stm::rt::BackendKind Kind,
-                               stm::StmConfig Config = stm::StmConfig()) {
+                               stm::StmConfig Config = baseConfig()) {
   Config.Backend = Kind;
+  Config.Adaptive = false;
   return Config;
 }
 
 /// Binds \p Config to one commit-clock policy (stm/core/Clock.h); the
 /// clock ablation grids compose this with rtConfig.
 inline stm::StmConfig clockConfig(stm::ClockKind Kind,
-                                  stm::StmConfig Config = stm::StmConfig()) {
+                                  stm::StmConfig Config = baseConfig()) {
   Config.Clock = Kind;
   return Config;
 }

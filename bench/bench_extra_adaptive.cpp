@@ -121,7 +121,8 @@ void dispatchOverhead() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
     sweepContender(stm::rt::backendName(Kind), rtConfig(Kind));
 

@@ -40,6 +40,13 @@ void sweep(stm::rt::BackendKind Backend, stm::ClockKind Clock) {
   std::string Name = std::string(stm::rt::backendName(Backend)) + "-" +
                      stm::clockKindName(Clock);
   for (unsigned Threads : threadSweep()) {
+    // Cell markers for scripts/repro_heap_corruption.sh: when the run
+    // dies mid-grid, the last line on stderr names the failing cell.
+    if (std::getenv("STM_BENCH_PROGRESS") != nullptr) {
+      std::fprintf(stderr, "extra-clock: cell %s@%ut\n", Name.c_str(),
+                   Threads);
+      std::fflush(stderr);
+    }
     RunResult R = rbTreeThroughput<stm::StmRuntime>(
         clockConfig(Clock, rtConfig(Backend)), Threads);
     Report::instance().add("extra-clock", "rbtree", Name, Threads,
@@ -56,7 +63,8 @@ void sweep(stm::rt::BackendKind Backend, stm::ClockKind Clock) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (stm::rt::BackendKind Backend : stm::rt::allBackendKinds())
     for (stm::ClockKind Clock : AllClocks)
       sweep(Backend, Clock);

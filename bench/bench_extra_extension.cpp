@@ -34,7 +34,8 @@ static void sweep(bool Extension, const char *Name) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   sweep(true, "extension-on");
   sweep(false, "extension-off");
   Report::instance().print(

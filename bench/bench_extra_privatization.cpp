@@ -34,7 +34,8 @@ static void sweep(bool Safe, const char *Name) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   sweep(false, "unsafe-default");
   sweep(true, "privatization-safe");
   Report::instance().print(

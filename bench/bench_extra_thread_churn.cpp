@@ -130,7 +130,8 @@ void sweep(stm::rt::BackendKind Kind) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
     sweep(Kind);
   Report::instance().print(

@@ -25,7 +25,8 @@ static void sweep(stm::CmKind Cm, const char *Name) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   sweep(stm::CmKind::TwoPhase, "two-phase");
   sweep(stm::CmKind::Greedy, "greedy");
   Report::instance().print(

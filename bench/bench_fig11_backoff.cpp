@@ -26,7 +26,8 @@ static void sweep(bool Backoff, const char *Name) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   sweep(true, "linear-backoff");
   sweep(false, "no-backoff");
   Report::instance().print(

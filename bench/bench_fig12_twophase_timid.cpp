@@ -14,7 +14,8 @@
 using namespace bench;
 using workloads::sb7::Workload7;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (Workload7 W : {Workload7::ReadDominated, Workload7::ReadWrite,
                       Workload7::WriteDominated}) {
     for (unsigned Threads : threadSweep()) {

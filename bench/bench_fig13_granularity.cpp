@@ -73,7 +73,8 @@ std::vector<std::pair<std::string, ScoreFn>> benchmarkSet() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   const unsigned Threads = maxThreads();
   const std::vector<unsigned> Grans = {2, 3, 4, 5, 6, 7, 8};
   auto Set = benchmarkSet();

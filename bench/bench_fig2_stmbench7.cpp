@@ -34,7 +34,8 @@ static void sweep(stm::rt::BackendKind Kind, Workload7 Workload) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (Workload7 W : {Workload7::ReadDominated, Workload7::ReadWrite,
                       Workload7::WriteDominated})
     for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())

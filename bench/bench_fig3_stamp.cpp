@@ -12,7 +12,8 @@
 
 using namespace bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   using stm::rt::BackendKind;
   for (const std::string &Workload : stampWorkloads()) {
     for (unsigned Threads : powerOfTwoSweep()) {

@@ -26,7 +26,8 @@ static void sweep(stm::rt::BackendKind Kind, Board B) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   // All four backends (the paper could not run TL2 on Lee-TM; our port
   // can, so TL2 rides along as an extra series).
   for (Board B : {Board::Memory, Board::Main})

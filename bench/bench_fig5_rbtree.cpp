@@ -24,7 +24,8 @@ static void sweep(stm::rt::BackendKind Kind) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
     sweep(Kind);
   Report::instance().print(

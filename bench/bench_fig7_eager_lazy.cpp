@@ -14,7 +14,8 @@
 using namespace bench;
 using workloads::sb7::Workload7;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   using stm::rt::BackendKind;
   for (unsigned Threads : threadSweep()) {
     stm::StmConfig EagerCfg;

@@ -32,7 +32,8 @@ static void sweep(stm::rt::BackendKind Kind, unsigned R) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (unsigned R : {0u, 5u, 20u})
     for (stm::rt::BackendKind Kind :
          {stm::rt::BackendKind::SwissTm, stm::rt::BackendKind::TinyStm})

@@ -28,7 +28,8 @@ static void sweep(stm::CmKind Cm, const char *Name) {
   }
 }
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   sweep(stm::CmKind::Greedy, "rstm-greedy");
   sweep(stm::CmKind::Polka, "rstm-polka");
   Report::instance().print(

@@ -1,0 +1,249 @@
+//===- bench/bench_server.cpp - open-loop serving workload -----------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The paper's figures measure closed-loop microbenchmarks: each thread
+// issues its next transaction the moment the previous one finishes, so
+// latency is invisible and overload cannot happen. This bench runs the
+// complementary experiment the "stretching" claim implies: a sharded
+// transactional key-value store under open-loop Poisson request traffic
+// (workloads/server/ServerHarness.h) with a mixed op profile — point
+// reads, range scans, cross-shard transfers, hot-key auction bids —
+// over Zipfian keys, bounded per-worker queues with shed-on-full
+// backpressure, and batched transaction admission (TxBatch).
+//
+// The grid is {4 fixed backends + adaptive} x {gv1, gv4, gv5}. Per
+// cell it reports goodput, shed count and p50/p99/p999 end-to-end
+// latency per op class from an HDR-style histogram, and writes the
+// whole grid as JSON (default BENCH_server.json; --json=PATH).
+//
+// Flags (besides the common --stm-* overrides, see bench/BenchUtil.h):
+//   --json=PATH     JSON output path (default BENCH_server.json)
+//   --cell=STM:CLK  run a single cell, e.g. swisstm:gv1 or adaptive:gv5
+//                   (the CI matrix leg runs one cell per job)
+//
+// The exit code gates validity, not speed: any cell with zero
+// completed requests, a latency-histogram invariant violation, or a
+// failed transfer-conservation audit fails the run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "workloads/server/ServerHarness.h"
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+using namespace bench;
+using namespace workloads::server;
+
+namespace {
+
+constexpr stm::ClockKind AllClocks[] = {
+    stm::ClockKind::Gv1, stm::ClockKind::Gv4, stm::ClockKind::Gv5};
+
+/// One grid cell: a fixed backend, or the adaptive runtime.
+struct Cell {
+  bool Adaptive = false;
+  stm::rt::BackendKind Backend = stm::rt::BackendKind::SwissTm;
+  stm::ClockKind Clock = stm::ClockKind::Gv1;
+
+  std::string stmName() const {
+    return Adaptive ? "adaptive" : stm::rt::backendName(Backend);
+  }
+  std::string label() const {
+    return stmName() + ":" + stm::clockKindName(Clock);
+  }
+};
+
+std::vector<Cell> fullGrid() {
+  std::vector<Cell> Grid;
+  for (stm::ClockKind Clock : AllClocks) {
+    for (stm::rt::BackendKind Backend : stm::rt::allBackendKinds())
+      Grid.push_back(Cell{false, Backend, Clock});
+    Grid.push_back(Cell{true, stm::rt::BackendKind::SwissTm, Clock});
+  }
+  return Grid;
+}
+
+ServerConfig serverConfig() {
+  ServerConfig C;
+  if (smokeMode()) {
+    C.Workers = 2;
+    C.Clients = 1;
+    C.Shards = 2;
+    C.KeySpace = 1 << 12;
+    C.OfferedOpsPerSec = 40000.0;
+    C.DurationMs = 60;
+    C.QueueCapacity = 512;
+  } else {
+    C.Workers = 4;
+    C.Clients = 2;
+    C.Shards = 4;
+    C.KeySpace = 1 << 14;
+    C.OfferedOpsPerSec = 200000.0;
+    C.DurationMs = static_cast<unsigned>(benchMillis() > 150 ? benchMillis()
+                                                             : 1000);
+  }
+  if (C.Workers > maxThreads())
+    C.Workers = maxThreads();
+  return C;
+}
+
+ServerResult runCell(const Cell &C, const ServerConfig &SC) {
+  stm::StmConfig Config;
+  if (C.Adaptive) {
+    Config = clockConfig(C.Clock);
+    Config.Adaptive = true;
+  } else {
+    Config = clockConfig(C.Clock, rtConfig(C.Backend));
+  }
+  stm::Runtime R(Config);
+  return runServer(R, SC);
+}
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+void appendCellJson(std::string &Json, const Cell &C, const ServerResult &R,
+                    bool Last) {
+  appendf(Json,
+          "  {\n"
+          "   \"stm\": \"%s\", \"clock\": \"%s\", \"adaptive\": %s,\n"
+          "   \"goodput_ops_per_sec\": %.1f, \"offered\": %llu, "
+          "\"completed\": %llu, \"shed\": %llu,\n"
+          "   \"commits\": %llu, \"aborts\": %llu, \"batches\": %llu, "
+          "\"backend_switches\": %llu,\n"
+          "   \"conservation_ok\": %s, \"histogram_violations\": %u,\n"
+          "   \"op_classes\": {\n",
+          C.stmName().c_str(), stm::clockKindName(C.Clock),
+          C.Adaptive ? "true" : "false", R.GoodputOpsPerSec,
+          (unsigned long long)R.Offered, (unsigned long long)R.totalCompleted(),
+          (unsigned long long)R.Shed, (unsigned long long)R.Stats.Commits,
+          (unsigned long long)R.Stats.Aborts,
+          (unsigned long long)R.Stats.Batches,
+          (unsigned long long)R.BackendSwitches,
+          R.ConservationOk ? "true" : "false", R.HistogramViolations);
+  for (unsigned Op = 0; Op < NumOpClasses; ++Op) {
+    const LatencyHistogram &H = R.Hist[Op];
+    appendf(Json,
+            "    \"%s\": {\"count\": %llu, \"p50_ns\": %llu, "
+            "\"p99_ns\": %llu, \"p999_ns\": %llu, \"max_ns\": %llu}%s\n",
+            opClassName(static_cast<OpClass>(Op)),
+            (unsigned long long)H.count(),
+            (unsigned long long)H.valueAtQuantile(0.50),
+            (unsigned long long)H.valueAtQuantile(0.99),
+            (unsigned long long)H.valueAtQuantile(0.999),
+            (unsigned long long)H.maxValue(),
+            Op + 1 < NumOpClasses ? "," : "");
+  }
+  appendf(Json, "   }\n  }%s\n", Last ? "" : ",");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
+  std::string JsonPath = "BENCH_server.json";
+  std::string OnlyCell;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--json=", 7) == 0)
+      JsonPath = Arg + 7;
+    else if (std::strncmp(Arg, "--cell=", 7) == 0)
+      OnlyCell = Arg + 7;
+    else if (std::strncmp(Arg, "--stm-", 6) != 0) {
+      std::fprintf(stderr,
+                   "bench_server: unknown argument '%s' "
+                   "(--json=PATH, --cell=STM:CLOCK, --stm-*)\n",
+                   Arg);
+      return 2;
+    }
+  }
+
+  ServerConfig SC = serverConfig();
+  std::vector<Cell> Grid = fullGrid();
+  if (!OnlyCell.empty()) {
+    std::vector<Cell> Filtered;
+    for (const Cell &C : Grid)
+      if (C.label() == OnlyCell)
+        Filtered.push_back(C);
+    if (Filtered.empty()) {
+      std::fprintf(stderr, "bench_server: unknown cell '%s'\n",
+                   OnlyCell.c_str());
+      return 2;
+    }
+    Grid = Filtered;
+  }
+
+  std::string Json;
+  appendf(Json,
+          "{\n \"bench\": \"bench_server\",\n"
+          " \"config\": {\n"
+          "  \"workers\": %u, \"clients\": %u, \"shards\": %u,\n"
+          "  \"key_space\": %llu, \"auctions\": %llu, \"theta\": %.2f,\n"
+          "  \"offered_ops_per_sec\": %.0f, \"queue_capacity\": %u,\n"
+          "  \"batch_size\": %u, \"duration_ms\": %u,\n"
+          "  \"mix_percent\": {\"point_read\": %u, \"range_scan\": %u, "
+          "\"transfer\": %u, \"auction_bid\": %u}\n"
+          " },\n \"cells\": [\n",
+          SC.Workers, SC.Clients, SC.Shards, (unsigned long long)SC.KeySpace,
+          (unsigned long long)SC.Auctions, SC.Theta, SC.OfferedOpsPerSec,
+          SC.QueueCapacity, SC.BatchSize, SC.DurationMs, SC.MixPercent[0],
+          SC.MixPercent[1], SC.MixPercent[2], SC.MixPercent[3]);
+
+  bool Valid = true;
+  for (std::size_t I = 0; I < Grid.size(); ++I) {
+    const Cell &C = Grid[I];
+    if (std::getenv("STM_BENCH_PROGRESS") != nullptr)
+      std::fprintf(stderr, "bench_server: cell %s\n", C.label().c_str());
+    ServerResult R = runCell(C, SC);
+
+    std::printf("%-14s goodput %10.0f ops/s  shed %8llu  "
+                "p99(read/scan/xfer/bid) %llu/%llu/%llu/%llu us%s%s\n",
+                C.label().c_str(), R.GoodputOpsPerSec,
+                (unsigned long long)R.Shed,
+                (unsigned long long)(R.Hist[0].valueAtQuantile(0.99) / 1000),
+                (unsigned long long)(R.Hist[1].valueAtQuantile(0.99) / 1000),
+                (unsigned long long)(R.Hist[2].valueAtQuantile(0.99) / 1000),
+                (unsigned long long)(R.Hist[3].valueAtQuantile(0.99) / 1000),
+                R.ConservationOk ? "" : "  CONSERVATION-VIOLATED",
+                R.HistogramViolations == 0 ? "" : "  HISTOGRAM-BROKEN");
+    std::fflush(stdout);
+
+    Report::instance().add("server", "mixed", C.label(), SC.Workers,
+                           "goodput_ops_per_s", R.GoodputOpsPerSec);
+    Report::instance().add("server", "mixed", C.label(), SC.Workers,
+                           "shed", static_cast<double>(R.Shed));
+    Report::instance().add(
+        "server", "mixed", C.label(), SC.Workers, "p99_read_ns",
+        static_cast<double>(R.Hist[0].valueAtQuantile(0.99)));
+    appendCellJson(Json, C, R, I + 1 == Grid.size());
+
+    if (R.totalCompleted() == 0 || R.HistogramViolations != 0 ||
+        !R.ConservationOk)
+      Valid = false;
+  }
+  appendf(Json, " ]\n}\n");
+
+  if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+  } else {
+    std::fprintf(stderr, "bench_server: cannot write %s\n", JsonPath.c_str());
+    Valid = false;
+  }
+
+  Report::instance().print(
+      "server", "open-loop Poisson serving workload (point reads, range "
+                "scans, transfers, auction bids) over the backend x clock "
+                "grid; latency from scheduled arrival to completion");
+  return Valid ? 0 : 1;
+}

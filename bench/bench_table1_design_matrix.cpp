@@ -74,7 +74,8 @@ const Cell Table1[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::parseStmFlags(argc, argv);
   for (const Cell &C : Table1)
     row(C.Name, C.Config);
 

@@ -24,9 +24,12 @@
 #include <thread>
 #include <vector>
 
-// The examples run on the type-erased runtime: pick the backend at
-// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
-// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
+// The examples run on the public API (stm::Runtime); the backend is
+// picked at launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
+// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling. The
+// library operations below take the Tx descriptor so they can compose
+// into enclosing transactions; entry points get it from
+// Runtime::threadTx().
 using Stm = stm::StmRuntime;
 
 namespace {
@@ -88,24 +91,19 @@ bool purchase(Stm::Tx &Tx, Shop &S, uint64_t Item) {
 } // namespace
 
 int main() {
-  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
+  stm::Runtime Runtime;
   Shop S;
-  {
-    stm::ThreadScope<Stm> Scope;
-    auto &Tx = Scope.tx();
-    for (uint64_t I = 0; I < NumItems; ++I)
-      stm::atomically(Tx, [&](Stm::Tx &T) {
-        S.Catalog.insert(T, I, 10 + I % 7);
-        S.Inventory.insert(T, I, InitialStock);
-      });
-  }
+  for (uint64_t I = 0; I < NumItems; ++I)
+    stm::atomically(Runtime, [&](Stm::Tx &T) {
+      S.Catalog.insert(T, I, 10 + I % 7);
+      S.Inventory.insert(T, I, InitialStock);
+    });
 
   std::vector<std::thread> Threads;
   std::atomic<uint64_t> Purchases{0};
   for (unsigned Id = 0; Id < 4; ++Id) {
-    Threads.emplace_back([&S, &Purchases, Id] {
-      stm::ThreadScope<Stm> Scope;
-      auto &Tx = Scope.tx();
+    Threads.emplace_back([&S, &Purchases, &Runtime, Id] {
+      auto &Tx = Runtime.threadTx();
       repro::Xorshift Rng(Id + 5);
       uint64_t Mine = 0;
       for (int I = 0; I < 5000; ++I)
@@ -119,23 +117,19 @@ int main() {
   // Invariant: revenue equals the sum of prices of all sold units,
   // which equals initial stock minus remaining stock, priced per item.
   uint64_t ExpectedRevenue = 0, Sold = 0;
-  {
-    stm::ThreadScope<Stm> Scope;
-    auto &Tx = Scope.tx();
-    uint64_t *ERPtr = &ExpectedRevenue, *SoldPtr = &Sold;
-    stm::atomically(Tx, [&, ERPtr, SoldPtr](Stm::Tx &T) {
-      *ERPtr = 0;
-      *SoldPtr = 0;
-      for (uint64_t I = 0; I < NumItems; ++I) {
-        uint64_t Price = 0;
-        stm::Word Stock = 0;
-        S.Catalog.lookup(T, I, &Price);
-        S.Inventory.lookup(T, I, &Stock);
-        *SoldPtr += InitialStock - Stock;
-        *ERPtr += (InitialStock - Stock) * Price;
-      }
-    });
-  }
+  uint64_t *ERPtr = &ExpectedRevenue, *SoldPtr = &Sold;
+  stm::atomically(Runtime, [&, ERPtr, SoldPtr](Stm::Tx &T) {
+    *ERPtr = 0;
+    *SoldPtr = 0;
+    for (uint64_t I = 0; I < NumItems; ++I) {
+      uint64_t Price = 0;
+      stm::Word Stock = 0;
+      S.Catalog.lookup(T, I, &Price);
+      S.Inventory.lookup(T, I, &Stock);
+      *SoldPtr += InitialStock - Stock;
+      *ERPtr += (InitialStock - Stock) * Price;
+    }
+  });
   bool Ok = ExpectedRevenue == S.Revenue && Sold == Purchases.load();
   std::printf("purchases=%llu sold-units=%llu revenue=%llu expected=%llu "
               "-> %s\n",

@@ -23,10 +23,10 @@
 #include <thread>
 #include <vector>
 
-// The examples run on the type-erased runtime: pick the backend at
-// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
+// The examples run on the public API (stm::Runtime): the backend is
+// picked at launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
 // STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
-using Stm = stm::StmRuntime;
+using Tx = stm::Runtime::Tx;
 
 namespace {
 
@@ -55,9 +55,9 @@ struct World {
 /// One entity tick: move to an adjacent cell and exchange energy with a
 /// nearby entity -- reads its neighbourhood, writes itself, the two
 /// occupancy cells and the interaction partner (5-10 objects total).
-void tickEntity(Stm::Tx &T, World &W, unsigned Self,
+void tickEntity(stm::Runtime &R, World &W, unsigned Self,
                 unsigned Partner, int DX, int DY) {
-  stm::atomically(T, [&](Stm::Tx &X) {
+  stm::atomically(R, [&](Tx &X) {
     Entity &E = W.Entities[Self];
     stm::Word EX = X.load(&E.X);
     stm::Word EY = X.load(&E.Y);
@@ -85,7 +85,7 @@ int main(int argc, char **argv) {
   unsigned Ticks = argc > 1 ? std::atoi(argv[1]) : 60;
   unsigned NumThreads = argc > 2 ? std::atoi(argv[2]) : 4;
 
-  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
+  stm::Runtime Runtime;
   World W;
   W.CellCount.assign(GridSize * GridSize, 0);
   repro::Xorshift Rng(42);
@@ -99,22 +99,21 @@ int main(int argc, char **argv) {
   repro::Stopwatch Watch;
   std::vector<std::thread> Threads;
   for (unsigned Id = 0; Id < NumThreads; ++Id) {
-    Threads.emplace_back([&W, Id, Ticks, NumThreads] {
-      stm::ThreadScope<Stm> Scope;
-      auto &Tx = Scope.tx();
+    Threads.emplace_back([&W, &Runtime, Id, Ticks, NumThreads] {
       repro::Xorshift MyRng(Id * 1000 + 7);
       for (unsigned Tick = 0; Tick < Ticks; ++Tick) {
         for (unsigned E = Id; E < NumEntities; E += NumThreads) {
           unsigned Partner = MyRng.nextBounded(NumEntities);
           int DX = static_cast<int>(MyRng.nextBounded(3)) - 1;
           int DY = static_cast<int>(MyRng.nextBounded(3)) - 1;
-          tickEntity(Tx, W, E, Partner, DX, DY);
+          tickEntity(Runtime, W, E, Partner, DX, DY);
         }
       }
+      auto Stats = Runtime.threadTx().stats();
       std::printf("thread %u: %llu commits, %llu aborts (%.1f%%)\n", Id,
-                  (unsigned long long)Tx.stats().Commits,
-                  (unsigned long long)Tx.stats().Aborts,
-                  Tx.stats().abortRatio() * 100);
+                  (unsigned long long)Stats.Commits,
+                  (unsigned long long)Stats.Aborts,
+                  Stats.abortRatio() * 100);
     });
   }
   for (std::thread &T : Threads)

@@ -9,8 +9,13 @@
 // placement, matching and cancellation run as transactions of very
 // different footprints -- a cancel touches one node, a market sweep
 // touches a whole price range -- the "mixed workload" SwissTM targets.
+// (The serving bench, bench/bench_server.cpp, runs the same op-size
+// spread under open-loop request traffic.)
 //
-// Build & run:  ./build/examples/order_book [ops] [threads]
+// Everything goes through the public API: one stm::Runtime, and
+// stm::atomically(runtime, fn) from any thread.
+//
+// Build & run:  ./build/order_book [ops] [threads]
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,11 +30,8 @@
 #include <thread>
 #include <vector>
 
-// The examples run on the type-erased runtime: pick the backend at
-// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
-// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
-using Stm = stm::StmRuntime;
-using Book = workloads::RbTree<Stm>;
+using Tx = stm::Runtime::Tx;
+using Book = workloads::RbTree<stm::StmRuntime>;
 
 namespace {
 
@@ -50,9 +52,9 @@ struct Market {
 
 /// Places a limit ask (sell) of \p Qty at \p Price: the trader escrows
 /// shares into the asks book.
-void placeAsk(Stm::Tx &Tx, Market &M, unsigned Who, uint64_t Price,
+void placeAsk(stm::Runtime &R, Market &M, unsigned Who, uint64_t Price,
               uint64_t Qty) {
-  stm::atomically(Tx, [&](Stm::Tx &T) {
+  stm::atomically(R, [&](Tx &T) {
     Trader &Tr = M.Traders[Who];
     stm::Word Held = T.load(&Tr.Shares);
     if (Held < Qty)
@@ -69,10 +71,10 @@ void placeAsk(Stm::Tx &Tx, Market &M, unsigned Who, uint64_t Price,
 /// Market buy: sweep the asks book from the lowest price upward until
 /// \p Qty shares are bought or cash runs out. A potentially *long*
 /// transaction touching many price levels.
-uint64_t marketBuy(Stm::Tx &Tx, Market &M, unsigned Who, uint64_t Qty) {
+uint64_t marketBuy(stm::Runtime &R, Market &M, unsigned Who, uint64_t Qty) {
   uint64_t Bought = 0;
   uint64_t *BoughtPtr = &Bought;
-  stm::atomically(Tx, [&, BoughtPtr](Stm::Tx &T) {
+  stm::atomically(R, [&, BoughtPtr](Tx &T) {
     *BoughtPtr = 0;
     Trader &Tr = M.Traders[Who];
     uint64_t Cash = T.load(&Tr.Cash);
@@ -95,18 +97,14 @@ uint64_t marketBuy(Stm::Tx &Tx, Market &M, unsigned Who, uint64_t Qty) {
     }
     T.store(&Tr.Cash, Cash);
     T.store(&Tr.Shares, T.load(&Tr.Shares) + *BoughtPtr);
-    // Proceeds go to a market-maker account (trader 0) to keep the
-    // cash invariant checkable without per-order ownership records.
-    uint64_t Proceeds = 0;
-    (void)Proceeds;
   });
   return Bought;
 }
 
 /// Cancels (restores) up to \p Qty shares from a price level back to
 /// the trader: a very short transaction.
-void cancelAsk(Stm::Tx &Tx, Market &M, unsigned Who, uint64_t Price) {
-  stm::atomically(Tx, [&](Stm::Tx &T) {
+void cancelAsk(stm::Runtime &R, Market &M, unsigned Who, uint64_t Price) {
+  stm::atomically(R, [&](Tx &T) {
     uint64_t Avail = 0;
     if (!M.Asks.lookup(T, Price, &Avail) || Avail == 0)
       return;
@@ -122,7 +120,7 @@ int main(int argc, char **argv) {
   unsigned Ops = argc > 1 ? std::atoi(argv[1]) : 20000;
   unsigned NumThreads = argc > 2 ? std::atoi(argv[2]) : 4;
 
-  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
+  stm::Runtime Runtime;
   Market M;
   M.Traders.assign(NumTraders, Trader{100000, 1000});
   const uint64_t InitialShares = NumTraders * 1000ull;
@@ -131,8 +129,6 @@ int main(int argc, char **argv) {
   std::atomic<uint64_t> TotalBought{0};
   for (unsigned Id = 0; Id < NumThreads; ++Id) {
     Threads.emplace_back([&, Id] {
-      stm::ThreadScope<Stm> Scope;
-      auto &Tx = Scope.tx();
       repro::Xorshift Rng(Id * 7 + 3);
       uint64_t Mine = 0;
       for (unsigned I = 0; I < Ops / NumThreads; ++I) {
@@ -140,16 +136,17 @@ int main(int argc, char **argv) {
         unsigned Kind = static_cast<unsigned>(Rng.nextBounded(100));
         uint64_t Price = 1 + Rng.nextBounded(PriceLevels);
         if (Kind < 50)
-          placeAsk(Tx, M, Who, Price, 1 + Rng.nextBounded(5));
+          placeAsk(Runtime, M, Who, Price, 1 + Rng.nextBounded(5));
         else if (Kind < 75)
-          Mine += marketBuy(Tx, M, Who, 1 + Rng.nextBounded(10));
+          Mine += marketBuy(Runtime, M, Who, 1 + Rng.nextBounded(10));
         else
-          cancelAsk(Tx, M, Who, Price);
+          cancelAsk(Runtime, M, Who, Price);
       }
       TotalBought.fetch_add(Mine);
+      auto Stats = Runtime.threadTx().stats();
       std::printf("thread %u: %llu commits, %llu aborts\n", Id,
-                  (unsigned long long)Tx.stats().Commits,
-                  (unsigned long long)Tx.stats().Aborts);
+                  (unsigned long long)Stats.Commits,
+                  (unsigned long long)Stats.Aborts);
     });
   }
   for (std::thread &T : Threads)
@@ -160,19 +157,15 @@ int main(int argc, char **argv) {
   for (const Trader &T : M.Traders)
     Held += T.Shares;
   uint64_t Escrowed = 0;
-  {
-    stm::ThreadScope<Stm> Scope;
-    auto &Tx = Scope.tx();
-    uint64_t *EscrowedPtr = &Escrowed;
-    stm::atomically(Tx, [&, EscrowedPtr](Stm::Tx &T) {
-      *EscrowedPtr = 0;
-      for (uint64_t P = 1; P <= PriceLevels; ++P) {
-        uint64_t Qty = 0;
-        if (M.Asks.lookup(T, P, &Qty))
-          *EscrowedPtr += Qty;
-      }
-    });
-  }
+  uint64_t *EscrowedPtr = &Escrowed;
+  stm::atomically(Runtime, [&, EscrowedPtr](Tx &T) {
+    *EscrowedPtr = 0;
+    for (uint64_t P = 1; P <= PriceLevels; ++P) {
+      uint64_t Qty = 0;
+      if (M.Asks.lookup(T, P, &Qty))
+        *EscrowedPtr += Qty;
+    }
+  });
   bool Ok = Held + Escrowed == InitialShares;
   std::printf("shares: held=%llu escrowed=%llu total=%llu (expected "
               "%llu) -> %s; matched volume=%llu\n",

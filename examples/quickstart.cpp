@@ -2,11 +2,14 @@
 //
 // Part of the SwissTM reproduction (PLDI 2009).
 //
-// The smallest complete program: a shared bank with word-based
-// transactional accesses. Shows global init, per-thread attachment,
-// atomically(), typed accessors and statistics.
+// The smallest complete program against the public API: a shared bank
+// with word-based transactional accesses. One stm::Runtime per process,
+// stm::atomically(runtime, fn) from any thread — attachment is lazy, no
+// per-thread ceremony. Pick the backend at launch time with
+// STM_BACKEND=swisstm|tl2|tinystm|rstm (and STM_ADAPTIVE=1 for the mode
+// switcher) or with an explicit StmConfig.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,11 +19,6 @@
 #include <cstdio>
 #include <thread>
 #include <vector>
-
-// The examples run on the type-erased runtime: pick the backend at
-// launch time with STM_BACKEND=swisstm|tl2|tinystm|rstm (and
-// STM_ADAPTIVE=1 for the mode switcher) instead of recompiling.
-using Stm = stm::StmRuntime;
 
 namespace {
 
@@ -36,23 +34,21 @@ struct alignas(8) Account {
 } // namespace
 
 int main() {
-  // 1. Initialize the STM once per process (RAII guard).
-  stm::GlobalInit<Stm> Guard(stm::configFromEnv());
+  // 1. One Runtime per process; the backend comes from StmConfig::fromEnv.
+  stm::Runtime Runtime;
 
   std::vector<Account> Bank(NumAccounts, Account{InitialBalance});
 
-  // 2. Each thread attaches with a ThreadScope and runs transactions.
+  // 2. Any thread calls atomically(runtime, fn); it attaches on first use.
   std::vector<std::thread> Threads;
   for (unsigned Id = 0; Id < NumThreads; ++Id) {
-    Threads.emplace_back([&Bank, Id] {
-      stm::ThreadScope<Stm> Scope;
-      auto &Tx = Scope.tx();
+    Threads.emplace_back([&Bank, &Runtime, Id] {
       repro::Xorshift Rng(Id + 1);
       for (unsigned I = 0; I < TransfersPerThread; ++I) {
         unsigned From = Rng.nextBounded(NumAccounts);
         unsigned To = Rng.nextBounded(NumAccounts);
         // 3. atomically() retries the body until it commits.
-        stm::atomically(Tx, [&](Stm::Tx &T) {
+        stm::atomically(Runtime, [&](stm::Runtime::Tx &T) {
           stm::Word B = T.load(&Bank[From].Balance);
           if (B == 0)
             return; // nothing to move; commits as read-only
@@ -60,9 +56,10 @@ int main() {
           T.store(&Bank[To].Balance, T.load(&Bank[To].Balance) + 1);
         });
       }
+      auto Stats = Runtime.threadTx().stats();
       std::printf("thread %u: %llu commits, %llu aborts\n", Id,
-                  (unsigned long long)Tx.stats().Commits,
-                  (unsigned long long)Tx.stats().Aborts);
+                  (unsigned long long)Stats.Commits,
+                  (unsigned long long)Stats.Aborts);
     });
   }
   for (std::thread &T : Threads)

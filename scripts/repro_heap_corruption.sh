@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+#
+# Repro handle for the open ROADMAP heap-corruption bug: a native
+# bench_extra_clock-shaped run (rbtree cells cycling backend x
+# {gv1,gv4,gv5}, a few threads, seconds per cell) dies roughly 1 run in
+# 5-10 with glibc "unaligned fastbin chunk" / "corrupted size vs.
+# prev_size". Detection can land cells after the corrupting write, so
+# this script:
+#
+#   * pins STM_TEST_SEED, so every iteration offers identical work and
+#     a caught failure replays from the same stream;
+#   * arms glibc's heap tripwires (MALLOC_CHECK_=3 aborts at the first
+#     inconsistent chunk, MALLOC_PERTURB_ poisons freed memory so
+#     use-after-free reads surface as wrong values instead of luck);
+#   * runs the grid with STM_BENCH_PROGRESS=1 and tees stderr, so the
+#     log's last "extra-clock: cell <name>@<threads>t" line names the
+#     cell that was executing when the abort hit.
+#
+# Usage: scripts/repro_heap_corruption.sh [build-dir] [iterations]
+#   build-dir   defaults to ./build (must contain bench_extra_clock)
+#   iterations  defaults to 20
+#
+# Environment overrides (forwarded to the bench):
+#   STM_TEST_SEED     fixed work stream   (default 427431439693)
+#   REPRO_MAX_THREADS grid thread ceiling (default 4)
+#   REPRO_BENCH_MS    millis per cell     (default 2000)
+#
+# Exit status: 1 as soon as an iteration dies (log kept), 0 if all
+# iterations survive — which does NOT prove the bug gone, only that
+# this seed/grid escaped it.
+#
+#===------------------------------------------------------------------------===#
+
+set -u
+
+BUILD_DIR="${1:-build}"
+ITERATIONS="${2:-20}"
+BENCH="${BUILD_DIR}/bench_extra_clock"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "error: ${BENCH} not found or not executable." >&2
+  echo "Build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 2
+fi
+
+: "${STM_TEST_SEED:=427431439693}"
+: "${REPRO_MAX_THREADS:=4}"
+: "${REPRO_BENCH_MS:=2000}"
+export STM_TEST_SEED REPRO_MAX_THREADS REPRO_BENCH_MS
+
+# Heap tripwires. MALLOC_CHECK_=3 makes glibc verify chunk metadata on
+# every malloc/free and abort on the first inconsistency (moving
+# detection closer to the corrupting write); MALLOC_PERTURB_ fills
+# freed memory with a poison byte so stale reads return garbage
+# deterministically. Neither reproduces under ASan (see ROADMAP), so
+# native glibc checking is the tool of record here.
+export MALLOC_CHECK_=3
+export MALLOC_PERTURB_=165
+export STM_BENCH_PROGRESS=1
+
+LOG_DIR="${TMPDIR:-/tmp}/stm-heap-repro.$$"
+mkdir -p "${LOG_DIR}"
+
+echo "repro_heap_corruption: ${ITERATIONS} iterations of ${BENCH}"
+echo "  STM_TEST_SEED=${STM_TEST_SEED} REPRO_MAX_THREADS=${REPRO_MAX_THREADS}" \
+     "REPRO_BENCH_MS=${REPRO_BENCH_MS} MALLOC_CHECK_=3"
+echo "  logs: ${LOG_DIR}"
+
+for ((I = 1; I <= ITERATIONS; ++I)); do
+  LOG="${LOG_DIR}/iter-${I}.log"
+  echo "--- iteration ${I}/${ITERATIONS}"
+  "${BENCH}" --json="${LOG_DIR}/iter-${I}.json" >"${LOG}" 2>&1
+  STATUS=$?
+  if [[ ${STATUS} -ne 0 ]]; then
+    echo "FAILURE: iteration ${I} exited ${STATUS}" | tee -a "${LOG}"
+    LAST_CELL=$(grep -o 'extra-clock: cell .*' "${LOG}" | tail -1)
+    echo "  last cell entered: ${LAST_CELL:-<none — died before first cell>}"
+    echo "  full log: ${LOG}"
+    echo "  replay:   STM_TEST_SEED=${STM_TEST_SEED} ${BENCH}"
+    exit 1
+  fi
+done
+
+echo "all ${ITERATIONS} iterations survived (bug NOT disproved; try more" \
+     "iterations or a longer REPRO_BENCH_MS)"
+exit 0

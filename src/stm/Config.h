@@ -120,6 +120,23 @@ struct StmConfig {
   /// Window abort rate at or below which the switcher de-escalates to a
   /// cheaper fixed-policy backend chosen by workload shape.
   double AdaptiveLowAbortRate = 0.02;
+
+  /// The one entry point for environment-driven configuration: returns
+  /// \p Base with every recognized STM_* variable applied. Precedence,
+  /// lowest to highest: struct defaults, then \p Base's explicit
+  /// settings, then the environment, then any --stm-* CLI flags the
+  /// caller applies afterwards (bench::parseStmFlags). Recognized
+  /// variables (each validated, aborting with a diagnostic on unknown
+  /// values — range errors on the geometry die later in
+  /// LockTable::init, which owns the bounds):
+  ///
+  ///   STM_BACKEND            swisstm | tl2 | tinystm | rstm
+  ///   STM_ADAPTIVE           0 | 1
+  ///   STM_CLOCK              gv1 | gv4 | gv5
+  ///   STM_LOCK_TABLE_LOG2    log2 of lock-table entries (decimal)
+  ///   STM_GRANULARITY_LOG2   log2 of bytes per stripe (decimal)
+  static StmConfig fromEnv(StmConfig Base);
+  static StmConfig fromEnv() { return fromEnv(StmConfig()); }
 };
 
 /// Terminates with a config diagnostic on stderr. Bad configuration
@@ -151,37 +168,59 @@ inline unsigned configParseUnsigned(const char *Var, const char *Value,
   return Out;
 }
 
-/// Applies the runtime-selection environment to \p Config and returns
-/// it. Recognized variables, each validated with an abort() diagnostic
-/// on unknown values (range errors on the geometry die later, in
-/// LockTable::init, which owns the bounds):
-///
-///   STM_BACKEND            swisstm | tl2 | tinystm | rstm
-///   STM_CLOCK              gv1 | gv4 | gv5
-///   STM_ADAPTIVE           0 | 1
-///   STM_LOCK_TABLE_LOG2    log2 of lock-table entries (decimal)
-///   STM_GRANULARITY_LOG2   log2 of bytes per stripe (decimal)
+/// Applies one named runtime-selection knob to \p Config. The shared
+/// core of StmConfig::fromEnv and the benches' --stm-* CLI flags, so
+/// env and command line cannot drift apart. \p Key is the kebab-case
+/// knob name; \p Diag labels the source (env var or flag spelling) in
+/// abort diagnostics. Returns false when \p Key names no knob; aborts
+/// loudly on an invalid value — a typo silently falling back to a
+/// default would invalidate whole measurement runs.
+inline bool applyConfigOption(StmConfig &Config, const char *Key,
+                              const char *Value, const char *Diag) {
+  if (std::strcmp(Key, "backend") == 0) {
+    if (Value == nullptr || !rt::parseBackendKind(Value, Config.Backend))
+      configFatal(Diag, Value, "swisstm|tl2|tinystm|rstm");
+  } else if (std::strcmp(Key, "adaptive") == 0) {
+    if (Value == nullptr ||
+        (std::strcmp(Value, "0") != 0 && std::strcmp(Value, "1") != 0))
+      configFatal(Diag, Value, "0|1");
+    Config.Adaptive = Value[0] == '1';
+  } else if (std::strcmp(Key, "clock") == 0) {
+    if (Value == nullptr || !parseClockKind(Value, Config.Clock))
+      configFatal(Diag, Value, "gv1|gv4|gv5");
+  } else if (std::strcmp(Key, "lock-table-log2") == 0) {
+    Config.LockTableSizeLog2 =
+        configParseUnsigned(Diag, Value, "a decimal log2 entry count");
+  } else if (std::strcmp(Key, "granularity-log2") == 0) {
+    Config.GranularityLog2 =
+        configParseUnsigned(Diag, Value, "a decimal log2 byte count");
+  } else {
+    return false;
+  }
+  return true;
+}
+
+inline StmConfig StmConfig::fromEnv(StmConfig Base) {
+  static constexpr struct {
+    const char *Env;
+    const char *Key;
+  } Knobs[] = {
+      {"STM_BACKEND", "backend"},
+      {"STM_ADAPTIVE", "adaptive"},
+      {"STM_CLOCK", "clock"},
+      {"STM_LOCK_TABLE_LOG2", "lock-table-log2"},
+      {"STM_GRANULARITY_LOG2", "granularity-log2"},
+  };
+  for (const auto &Knob : Knobs)
+    if (const char *Value = std::getenv(Knob.Env))
+      applyConfigOption(Base, Knob.Key, Value, Knob.Env);
+  return Base;
+}
+
+/// Deprecated spelling of StmConfig::fromEnv(); kept for source
+/// compatibility with pre-Runtime callers.
 inline StmConfig configFromEnv(StmConfig Config = StmConfig()) {
-  if (const char *Env = std::getenv("STM_BACKEND")) {
-    if (!rt::parseBackendKind(Env, Config.Backend))
-      configFatal("STM_BACKEND", Env, "swisstm|tl2|tinystm|rstm");
-  }
-  if (const char *Env = std::getenv("STM_CLOCK")) {
-    if (!parseClockKind(Env, Config.Clock))
-      configFatal("STM_CLOCK", Env, "gv1|gv4|gv5");
-  }
-  if (const char *Env = std::getenv("STM_ADAPTIVE")) {
-    if (std::strcmp(Env, "0") != 0 && std::strcmp(Env, "1") != 0)
-      configFatal("STM_ADAPTIVE", Env, "0|1");
-    Config.Adaptive = Env[0] == '1';
-  }
-  if (const char *Env = std::getenv("STM_LOCK_TABLE_LOG2"))
-    Config.LockTableSizeLog2 = configParseUnsigned(
-        "STM_LOCK_TABLE_LOG2", Env, "a decimal log2 entry count");
-  if (const char *Env = std::getenv("STM_GRANULARITY_LOG2"))
-    Config.GranularityLog2 = configParseUnsigned(
-        "STM_GRANULARITY_LOG2", Env, "a decimal log2 byte count");
-  return Config;
+  return StmConfig::fromEnv(Config);
 }
 
 } // namespace stm

@@ -1,0 +1,108 @@
+//===- stm/Runtime.cpp - stable public STM entry point --------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009). Implements the lazy
+// per-thread attachment behind stm::Runtime::threadTx(): one
+// thread_local holder per thread, torn down through the same
+// epoch-grace-period path ThreadScope uses, guarded by a liveness
+// generation so teardown never touches a runtime that has already shut
+// down (main-thread thread_locals outlive main()).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Runtime.h"
+
+#include "stm/EpochManager.h"
+#include "support/ThreadRegistry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stm {
+
+namespace {
+
+/// Generation of the currently live Runtime, 0 when none is.
+std::atomic<uint64_t> LiveGen{0};
+std::atomic<uint64_t> NextGen{1};
+
+/// One per thread: the slot + handle this thread runs transactions on.
+struct ThreadAttachment {
+  uint64_t Gen = 0;
+  unsigned Slot = 0;
+  rt::TxHandle *Handle = nullptr;
+
+  /// Full teardown, mirroring ~ThreadScope: unlink the descriptor from
+  /// global state, park it for the grace period, free the slot. Only
+  /// legal while the runtime of \p Gen is still live.
+  void detach() {
+    Handle->threadShutdown();
+    EpochManager::retireObject(Handle);
+    repro::ThreadRegistry::releaseSlot(Slot);
+    Handle = nullptr;
+    Gen = 0;
+  }
+
+  ~ThreadAttachment() {
+    if (Handle == nullptr)
+      return;
+    if (Gen == LiveGen.load(std::memory_order_acquire)) {
+      detach();
+      return;
+    }
+    // The runtime this attachment belonged to is gone: its shutdown
+    // already reclaimed everything a detach would touch. Return the
+    // slot (the registry is process-wide and outlives runtimes) and
+    // leak the handle shell — paying a few hundred bytes at thread
+    // exit beats dereferencing torn-down backend globals.
+    repro::ThreadRegistry::releaseSlot(Slot);
+    Handle = nullptr;
+  }
+};
+
+thread_local ThreadAttachment Attachment;
+
+} // namespace
+
+Runtime::Runtime(const StmConfig &Config) {
+  Gen = NextGen.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Expected = 0;
+  if (!LiveGen.compare_exchange_strong(Expected, Gen,
+                                       std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "stm: only one stm::Runtime may be live per process\n");
+    std::abort();
+  }
+  StmRuntime::globalInit(Config);
+}
+
+Runtime::~Runtime() {
+  // Detach the destroying thread's own attachment (the common
+  // runtime-and-transactions-on-main-thread case). Other threads must
+  // have exited — their thread_local teardown ran — or stopped issuing
+  // transactions; see the header contract.
+  if (Attachment.Handle != nullptr && Attachment.Gen == Gen)
+    Attachment.detach();
+  LiveGen.store(0, std::memory_order_release);
+  StmRuntime::globalShutdown();
+}
+
+rt::TxHandle &Runtime::threadTx() {
+  ThreadAttachment &A = Attachment;
+  if (A.Gen != Gen) {
+    if (A.Handle != nullptr) {
+      // Stale attachment from an earlier, destroyed runtime (this
+      // thread outlived it and is now attaching to a new one): same
+      // reasoning as ~ThreadAttachment — recover the slot, leak the
+      // handle shell whose backends are long gone.
+      repro::ThreadRegistry::releaseSlot(A.Slot);
+      A.Handle = nullptr;
+    }
+    A.Slot = repro::ThreadRegistry::acquireSlot();
+    A.Handle = new rt::TxHandle(A.Slot);
+    A.Gen = Gen;
+  }
+  return *A.Handle;
+}
+
+} // namespace stm

@@ -1,0 +1,98 @@
+//===- stm/Runtime.h - stable public STM entry point ------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The one public way in. Everything an application needs is:
+//
+//   stm::Runtime Runtime;                        // once per process
+//   stm::atomically(Runtime, [&](auto &Tx) {     // from any thread
+//     stm::Word V = Tx.load(&Cell);
+//     Tx.store(&Cell, V + 1);
+//   });
+//
+// Runtime wraps the type-erased runtime (stm/runtime/StmRuntime.h):
+// construction initializes the backend selected by StmConfig (by
+// default StmConfig::fromEnv(), so STM_BACKEND / STM_ADAPTIVE /
+// STM_CLOCK pick the algorithm at launch), destruction shuts it down.
+// Threads attach lazily on their first atomically(): there is no
+// per-thread ceremony, and a thread's descriptor is reclaimed through
+// the usual epoch grace period when the thread exits.
+//
+// Contract: at most one Runtime may be live at a time (the STM's
+// global state — lock table, clocks, epoch manager — is process-wide),
+// and every thread that ran transactions must have exited, or stopped
+// issuing transactions, before the Runtime is destroyed. The
+// destroying thread's own attachment is detached automatically.
+//
+// The templated per-backend facades (stm::SwissTm and friends) and the
+// explicit ThreadScope/GlobalInit plumbing remain available for tests
+// and ablation benches, but they are an internal surface: new code
+// should target Runtime and atomically(Runtime&, fn) only.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_RUNTIME_H
+#define STM_RUNTIME_H
+
+#include "stm/Atomically.h"
+#include "stm/Config.h"
+#include "stm/runtime/StmRuntime.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace stm {
+
+/// Process-wide STM instance with lazy per-thread attachment.
+class Runtime {
+public:
+  /// The transaction descriptor type transaction bodies receive.
+  using Tx = rt::TxHandle;
+
+  /// Initializes the STM. The default reads the STM_* environment
+  /// (StmConfig::fromEnv); pass an explicit config to override.
+  /// Aborts if another Runtime is already live.
+  explicit Runtime(const StmConfig &Config = StmConfig::fromEnv());
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// The calling thread's transaction descriptor, attaching the thread
+  /// to this runtime on first use. Valid until the thread exits or the
+  /// Runtime is destroyed, whichever comes first.
+  Tx &threadTx();
+
+  /// Name of the configured backend ("swisstm", ..., or "adaptive").
+  const char *name() const { return StmRuntime::name(); }
+
+  /// Backend currently executing transactions (adaptive mode switches
+  /// it at runtime).
+  rt::BackendKind activeBackend() const {
+    return StmRuntime::activeBackend();
+  }
+
+  /// Total adaptive/manual backend switches since construction.
+  uint64_t switchCount() const { return StmRuntime::switchCount(); }
+
+  /// Manually drains and switches backends; adaptive mode only. See
+  /// StmRuntime::requestSwitch.
+  bool requestSwitch(rt::BackendKind Target) {
+    return StmRuntime::requestSwitch(Target);
+  }
+
+private:
+  uint64_t Gen; ///< unique liveness token for thread attachments
+};
+
+/// Runs \p Body as one transaction on the calling thread, attaching the
+/// thread to \p R on first use. Retries until commit; see
+/// atomically(Tx&, Fn&&) for the restart-semantics fine print (no
+/// non-trivial destructors across transactional ops; flat nesting).
+template <typename Fn> void atomically(Runtime &R, Fn &&Body) {
+  atomically(R.threadTx(), std::forward<Fn>(Body));
+}
+
+} // namespace stm
+
+#endif // STM_RUNTIME_H

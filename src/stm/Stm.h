@@ -1,11 +1,26 @@
-//===- stm/Stm.h - umbrella header for the STM library ----------*- C++ -*-===//
+//===- stm/Stm.h - public umbrella header for the STM library ---*- C++ -*-===//
 //
 // Part of the SwissTM reproduction (PLDI 2009).
 //
-// Pulls in the public API: the four STMs (SwissTm, Tl2, TinyStm, Rstm),
-// the type-erased runtime facades (StmRuntime, AdaptiveRuntime), the
-// atomically() boundary, typed field accessors, per-thread scopes and
-// the global configuration. See README.md for a quickstart.
+// The single public entry point. Applications and workloads include
+// this header and program against the stable surface:
+//
+//   * stm::Runtime + stm::atomically(runtime, fn)  (stm/Runtime.h) —
+//     process init/shutdown, lazy per-thread attachment, the backend
+//     picked at launch by StmConfig / STM_BACKEND / STM_ADAPTIVE;
+//   * stm::StmConfig / StmConfig::fromEnv()        (stm/Config.h);
+//   * typed field accessors loadField/storeField/loadPtr/storePtr and
+//     the low-level atomically(Tx&, fn) boundary   (stm/Atomically.h);
+//   * explicit attachment plumbing GlobalInit/ThreadScope for code
+//     that manages threads itself                  (stm/ThreadScope.h).
+//
+// The per-backend templated facades (stm::SwissTm, stm::Tl2,
+// stm::TinyStm, stm::Rstm) are still re-exported here for the internal
+// test/bench surface, but they are DEPRECATED as an application API:
+// include nothing from stm/swisstm/, stm/tl2/, stm/tinystm/ or
+// stm/rstm/ directly outside src/stm/ — select backends through
+// StmConfig::Backend instead. See README "Serving workload & public
+// API" for the migration guide.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,9 +29,13 @@
 
 #include "stm/Atomically.h"
 #include "stm/Config.h"
+#include "stm/Runtime.h"
 #include "stm/ThreadScope.h"
-#include "stm/rstm/Rstm.h"
 #include "stm/runtime/StmRuntime.h"
+
+// Internal surface: the templated backend facades. Deprecated for
+// application code — see the header comment above.
+#include "stm/rstm/Rstm.h"
 #include "stm/swisstm/SwissTm.h"
 #include "stm/tinystm/TinyStm.h"
 #include "stm/tl2/Tl2.h"

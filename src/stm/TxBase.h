@@ -61,6 +61,20 @@ public:
   /// physically released only after all concurrent transactions finish.
   void txFree(void *Ptr) { Mem.txFree(Ptr); }
 
+  /// Batch-admission hook (stm/runtime TxHandle::batchBegin/batchEnd):
+  /// while set, this descriptor's attempts neither pin nor unpin the
+  /// reclamation epoch themselves — the batch owner pinned the slot once
+  /// for the whole batch, amortizing the pin's seq_cst fence and the
+  /// commit-side unpin/publishIdle stores across every transaction in
+  /// the batch. The caller owns the pin: it must hold the slot pinned
+  /// for the batch's whole lifetime and unpin at batch end. Keeping one
+  /// (older) epoch pinned across a short batch is safe — reclamation
+  /// only becomes more conservative — but the flag must never be set
+  /// while gate-spinning machinery could wait on this slot's quiescence
+  /// (the adaptive runtime's switch drain), so TxHandle refuses batch
+  /// mode when the runtime is dynamic.
+  void setBatchPinned(bool Pinned) { BatchPin = Pinned; }
+
   /// Requests this descriptor's current transaction to abort; checked
   /// cooperatively at every transactional operation.
   void requestKill() { KillFlag.store(true, std::memory_order_release); }
@@ -82,7 +96,8 @@ protected:
   /// so descriptors reachable through stripe locks stay alive for the
   /// whole attempt (see EpochManager.h).
   void baseStart() {
-    EpochManager::pin(Slot);
+    if (!BatchPin)
+      EpochManager::pin(Slot);
     ++Stats.Starts;
     Depth = 1;
     KillFlag.store(false, std::memory_order_relaxed);
@@ -95,8 +110,10 @@ protected:
     FreshStart = true;
     Depth = 0;
     Mem.onCommit(CommitTs);
-    repro::ThreadRegistry::publishIdle(Slot);
-    EpochManager::unpin(Slot);
+    if (!BatchPin) {
+      repro::ThreadRegistry::publishIdle(Slot);
+      EpochManager::unpin(Slot);
+    }
   }
 
   /// Bookkeeping shared by all abort paths (does not longjmp).
@@ -106,8 +123,10 @@ protected:
     FreshStart = false;
     Depth = 0;
     Mem.onAbort();
-    repro::ThreadRegistry::publishIdle(Slot);
-    EpochManager::unpin(Slot);
+    if (!BatchPin) {
+      repro::ThreadRegistry::publishIdle(Slot);
+      EpochManager::unpin(Slot);
+    }
   }
 
   /// Shared tail of threadShutdown().
@@ -125,6 +144,8 @@ protected:
   /// False when this attempt is a restart of an aborted transaction; the
   /// two-phase manager keeps its Greedy timestamp across restarts.
   bool FreshStart = true;
+  /// True while a TxHandle batch owns this slot's epoch pin.
+  bool BatchPin = false;
   unsigned SuccessiveAborts = 0;
   std::atomic<bool> KillFlag{false};
   repro::TxStats Stats;

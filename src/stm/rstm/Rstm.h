@@ -31,6 +31,12 @@
 //   descriptor | 1           owned (memory still holds the old values)
 //   descriptor | 3           owner committing (write-back in progress)
 //
+//
+// INTERNAL HEADER — deprecated as an application include. The public
+// surface is stm/Stm.h (stm::Runtime + stm::atomically); select this
+// backend at runtime via StmConfig::Backend / STM_BACKEND instead of
+// including it directly. Direct includes outside src/stm/ and tests
+// of backend internals are scheduled for removal.
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_RSTM_RSTM_H

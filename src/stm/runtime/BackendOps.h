@@ -37,6 +37,9 @@ struct BackendOps {
   void (*Restart)(void *Tx); ///< [[noreturn]]: aborts + longjmps
 
   bool (*InTransaction)(const void *Tx);
+  /// Marks the descriptor as running under a caller-owned epoch pin
+  /// (batch admission; see TxBase::setBatchPinned).
+  void (*SetBatchPinned)(void *Tx, bool Pinned);
   void *(*TxMalloc)(void *Tx, std::size_t Size);
   void (*TxFree)(void *Tx, void *Ptr);
   const repro::TxStats *(*Stats)(const void *Tx);
@@ -68,6 +71,9 @@ template <typename STM> constexpr BackendOps makeBackendOps() {
   Ops.Restart = [](void *T) { static_cast<Tx *>(T)->restart(); };
   Ops.InTransaction = [](const void *T) {
     return static_cast<const Tx *>(T)->inTransaction();
+  };
+  Ops.SetBatchPinned = [](void *T, bool Pinned) {
+    static_cast<Tx *>(T)->setBatchPinned(Pinned);
   };
   Ops.TxMalloc = [](void *T, std::size_t Size) {
     return static_cast<Tx *>(T)->txMalloc(Size);

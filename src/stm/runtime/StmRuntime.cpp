@@ -234,16 +234,43 @@ void TxHandle::evaluatePolicy() {
   }
 }
 
+bool TxHandle::batchBegin() {
+  assert(!inTransaction() && "batchBegin inside a transaction");
+  if (BatchActive)
+    return true; // idempotent: already holding the batch pin
+  // Dynamic mode: decline. A batch-held pin spanning a gate wait would
+  // deadlock the switch drain (see the header comment); per-transaction
+  // pinning keeps the quiescence protocol intact.
+  if (runtimeGlobals().Dynamic.load(std::memory_order_relaxed))
+    return false;
+  EpochManager::pin(Slot);
+  CurOps->SetBatchPinned(Cur, true);
+  BatchActive = true;
+  ++HandleBatches;
+  return true;
+}
+
+void TxHandle::batchEnd() {
+  if (!BatchActive)
+    return;
+  CurOps->SetBatchPinned(Cur, false);
+  repro::ThreadRegistry::publishIdle(Slot);
+  EpochManager::unpin(Slot);
+  BatchActive = false;
+}
+
 repro::TxStats TxHandle::stats() const {
   repro::TxStats Out;
   for (std::size_t I = 0; I < NumBackends; ++I)
     if (Inner[I] != nullptr)
       Out += *backendOps(static_cast<BackendKind>(I)).Stats(Inner[I]);
   Out.ModeSwitches += HandleModeSwitches;
+  Out.Batches += HandleBatches;
   return Out;
 }
 
 void TxHandle::threadShutdown() {
+  batchEnd(); // never park a descriptor with the batch pin still held
   // Flush the window deltas accumulated since the last FlushInterval
   // boundary before retiring the descriptors whose stats back them:
   // dropping the remainder made WindowCommits/WindowAborts undercount

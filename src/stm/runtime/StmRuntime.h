@@ -133,6 +133,23 @@ public:
 
   [[noreturn]] void restart() { CurOps->Restart(Cur); }
 
+  /// Batch admission (see workloads/server): pins this slot's
+  /// reclamation epoch once for a run of back-to-back transactions, so
+  /// each transaction inside the batch skips the per-attempt pin (one
+  /// seq_cst fence) and the per-commit unpin/publishIdle stores. Must be
+  /// called outside any transaction; batches should stay short (tens of
+  /// transactions) because the pinned epoch blocks limbo reclamation for
+  /// the batch's whole duration. In dynamic (adaptive) mode this is a
+  /// no-op — a batch-held pin would deadlock against the switch drain,
+  /// which waits for every slot to go epoch-quiescent while the batch
+  /// owner waits for the gate to reopen. Returns true when the batch
+  /// pin was actually taken. Prefer the TxBatch RAII guard.
+  bool batchBegin();
+
+  /// Ends a batch begun by batchBegin: clears the descriptor flag,
+  /// publishes idle and unpins the epoch. No-op if batchBegin declined.
+  void batchEnd();
+
   void *txMalloc(std::size_t Size) { return CurOps->TxMalloc(Cur, Size); }
   void txFree(void *Ptr) { CurOps->TxFree(Cur, Ptr); }
 
@@ -177,9 +194,33 @@ private:
   unsigned CommitsSinceFlush = 0;
   unsigned AttemptsSinceFlush = 0;
   uint64_t HandleModeSwitches = 0;
+  uint64_t HandleBatches = 0;      ///< batches entered (TxStats::Batches)
+  bool BatchActive = false;        ///< batchBegin took the epoch pin
 
   /// Events between window flushes; a divisor of typical windows.
   static constexpr unsigned FlushInterval = 32;
+};
+
+/// RAII batch-admission guard over TxHandle::batchBegin/batchEnd. The
+/// serving workloads open one TxBatch per dequeued request batch:
+///
+///   {
+///     stm::rt::TxBatch Batch(Tx);
+///     for (const Request &R : Requests)
+///       stm::atomically(Tx, [&](auto &T) { serve(T, R); });
+///   } // epoch unpinned here
+class TxBatch {
+public:
+  explicit TxBatch(TxHandle &Handle) : Handle(Handle) {
+    Handle.batchBegin();
+  }
+  ~TxBatch() { Handle.batchEnd(); }
+
+  TxBatch(const TxBatch &) = delete;
+  TxBatch &operator=(const TxBatch &) = delete;
+
+private:
+  TxHandle &Handle;
 };
 
 /// The runtime STM facade: models the same concept as the templated

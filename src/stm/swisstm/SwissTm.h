@@ -24,6 +24,12 @@
 //   r-lock: version << 1 when free (version = commit-ts of the last
 //           writer), the value 1 while a writer commits the stripe.
 //
+//
+// INTERNAL HEADER — deprecated as an application include. The public
+// surface is stm/Stm.h (stm::Runtime + stm::atomically); select this
+// backend at runtime via StmConfig::Backend / STM_BACKEND instead of
+// including it directly. Direct includes outside src/stm/ and tests
+// of backend internals are scheduled for removal.
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_SWISSTM_SWISSTM_H

@@ -19,6 +19,12 @@
 // stm/core, the valid-ts/extension loop from core::TimeValidation. No
 // contention manager: timid is "abort self", which needs no state.
 //
+//
+// INTERNAL HEADER — deprecated as an application include. The public
+// surface is stm/Stm.h (stm::Runtime + stm::atomically); select this
+// backend at runtime via StmConfig::Backend / STM_BACKEND instead of
+// including it directly. Direct includes outside src/stm/ and tests
+// of backend internals are scheduled for removal.
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_TINYSTM_TINYSTM_H

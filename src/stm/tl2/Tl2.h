@@ -20,6 +20,12 @@
 //   version << 1          when free,
 //   descriptor-ptr | 1    while locked at commit time.
 //
+//
+// INTERNAL HEADER — deprecated as an application include. The public
+// surface is stm/Stm.h (stm::Runtime + stm::atomically); select this
+// backend at runtime via StmConfig::Backend / STM_BACKEND instead of
+// including it directly. Direct includes outside src/stm/ and tests
+// of backend internals are scheduled for removal.
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_TL2_TL2_H

@@ -26,6 +26,11 @@ struct TxStats {
   uint64_t ReadOnlyCommits = 0;
   uint64_t ModeSwitches = 0; ///< adaptive backend switches this thread led
 
+  /// Serving-layer counters (stm/runtime batch admission and the
+  /// workloads/server harness). Zero for workloads that never batch.
+  uint64_t Batches = 0; ///< epoch-pinned admission batches entered
+  uint64_t Sheds = 0;   ///< requests dropped by queue backpressure
+
   void reset() { *this = TxStats(); }
 
   TxStats &operator+=(const TxStats &O) {
@@ -39,6 +44,8 @@ struct TxStats {
     FailedExtensions += O.FailedExtensions;
     ReadOnlyCommits += O.ReadOnlyCommits;
     ModeSwitches += O.ModeSwitches;
+    Batches += O.Batches;
+    Sheds += O.Sheds;
     return *this;
   }
 

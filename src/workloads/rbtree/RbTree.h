@@ -137,6 +137,19 @@ public:
     return true;
   }
 
+  /// Transactionally visits every (key, value) pair with Lo <= key <=
+  /// Hi in ascending key order; \p Visit is called as Visit(Key, Value)
+  /// and returns the number of keys visited. The read set grows with
+  /// the subtrees overlapping the range, so wide scans conflict with
+  /// any concurrent writer in the range — exactly the long-reader
+  /// pattern the serving workload's range-scan op class measures.
+  template <typename VisitFn>
+  std::size_t scanRange(Tx &T, uint64_t Lo, uint64_t Hi, VisitFn &&Visit) {
+    std::size_t Count = 0;
+    scanSubtree(T, root(T), Lo, Hi, Visit, Count);
+    return Count;
+  }
+
   //===--------------------------------------------------------------===//
   // Non-transactional inspection (single-threaded / quiesced use only)
   //===--------------------------------------------------------------===//
@@ -192,6 +205,23 @@ private:
     while (left(T, X) != Nil)
       X = left(T, X);
     return X;
+  }
+
+  template <typename VisitFn>
+  void scanSubtree(Tx &T, Node *N, uint64_t Lo, uint64_t Hi, VisitFn &Visit,
+                   std::size_t &Count) {
+    if (N == Nil)
+      return;
+    uint64_t K = key(T, N);
+    // Prune subtrees wholly outside the range (BST order).
+    if (K > Lo)
+      scanSubtree(T, left(T, N), Lo, Hi, Visit, Count);
+    if (K >= Lo && K <= Hi) {
+      Visit(K, static_cast<uint64_t>(T.load(&N->Value)));
+      ++Count;
+    }
+    if (K < Hi)
+      scanSubtree(T, right(T, N), Lo, Hi, Visit, Count);
   }
 
   void rotateLeft(Tx &T, Node *X) {

@@ -1,0 +1,185 @@
+//===- workloads/server/LatencyHistogram.h - HDR-style histogram -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Log-bucketed latency histogram in the HdrHistogram family, sized for
+// nanosecond request latencies in an open-loop serving benchmark. The
+// value range is split into power-of-two ranges, each divided into
+// 2^SubBits linear sub-buckets, so the relative quantization error is
+// bounded by 2^-SubBits (~3% at the default 5 bits) across the whole
+// 64-bit range while the table stays a few kilobytes. record() is two
+// shifts and an increment — cheap enough for the per-request hot path —
+// and histograms merge by bucket-wise addition, so each worker records
+// privately and the driver merges after the measured region.
+//
+// Percentiles interpolate linearly inside the selected bucket, the
+// standard HdrHistogram estimate: exact for the width-1 buckets below
+// 2^SubBits, bounded by the bucket width above.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_SERVER_LATENCYHISTOGRAM_H
+#define WORKLOADS_SERVER_LATENCYHISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace workloads::server {
+
+class LatencyHistogram {
+public:
+  /// Linear sub-buckets per power-of-two range: 2^SubBits. 5 bits
+  /// bounds relative error at 1/32 ≈ 3%, plenty for p50/p99/p999
+  /// reporting, at 32 * 60 buckets * 8 B = 15 KiB per histogram.
+  static constexpr unsigned SubBits = 5;
+  static constexpr uint64_t SubCount = 1ull << SubBits;
+  /// Ranges [2^e, 2^(e+1)) for e in [SubBits, 63] plus the exact
+  /// [0, 2^SubBits) prefix.
+  static constexpr std::size_t NumBuckets =
+      SubCount + (64 - SubBits) * SubCount;
+
+  LatencyHistogram() { reset(); }
+
+  void reset() {
+    for (std::size_t I = 0; I < NumBuckets; ++I)
+      Counts[I] = 0;
+    Total = 0;
+    Max = 0;
+    Min = ~0ull;
+  }
+
+  /// Index of the bucket containing \p Value. Values below 2^SubBits
+  /// get width-1 buckets (exact); a value in [2^e, 2^(e+1)) lands in
+  /// one of SubCount equal slices of its range.
+  static std::size_t bucketIndex(uint64_t Value) {
+    if (Value < SubCount)
+      return static_cast<std::size_t>(Value);
+    unsigned Msb = 63u - static_cast<unsigned>(__builtin_clzll(Value));
+    uint64_t Sub = (Value - (1ull << Msb)) >> (Msb - SubBits);
+    return SubCount + static_cast<std::size_t>(Msb - SubBits) * SubCount +
+           static_cast<std::size_t>(Sub);
+  }
+
+  /// Smallest value mapping to bucket \p Index.
+  static uint64_t bucketLow(std::size_t Index) {
+    if (Index < SubCount)
+      return Index;
+    std::size_t Rel = Index - SubCount;
+    unsigned Msb = SubBits + static_cast<unsigned>(Rel / SubCount);
+    uint64_t Sub = Rel % SubCount;
+    return (1ull << Msb) + (Sub << (Msb - SubBits));
+  }
+
+  /// One past the largest value mapping to bucket \p Index (saturates
+  /// at the top of the 64-bit range).
+  static uint64_t bucketHigh(std::size_t Index) {
+    if (Index < SubCount)
+      return Index + 1;
+    std::size_t Rel = Index - SubCount;
+    unsigned Msb = SubBits + static_cast<unsigned>(Rel / SubCount);
+    uint64_t Width = 1ull << (Msb - SubBits);
+    uint64_t Low = bucketLow(Index);
+    return Low + Width < Low ? ~0ull : Low + Width; // overflow at 2^64
+  }
+
+  void record(uint64_t Value) {
+    ++Counts[bucketIndex(Value)];
+    ++Total;
+    if (Value > Max)
+      Max = Value;
+    if (Value < Min)
+      Min = Value;
+  }
+
+  /// Bucket-wise merge: after this, *this reports the union of both
+  /// recorded populations. The cross-thread aggregation primitive.
+  void merge(const LatencyHistogram &Other) {
+    for (std::size_t I = 0; I < NumBuckets; ++I)
+      Counts[I] += Other.Counts[I];
+    Total += Other.Total;
+    if (Other.Max > Max)
+      Max = Other.Max;
+    if (Other.Min < Min)
+      Min = Other.Min;
+  }
+
+  uint64_t count() const { return Total; }
+  uint64_t maxValue() const { return Total == 0 ? 0 : Max; }
+  uint64_t minValue() const { return Total == 0 ? 0 : Min; }
+
+  /// Value at quantile \p Q in [0, 1]: the smallest recorded-range
+  /// value V such that at least Q of the population is <= V, with
+  /// linear interpolation inside the bucket that crosses the rank.
+  /// Returns 0 on an empty histogram.
+  uint64_t valueAtQuantile(double Q) const {
+    if (Total == 0)
+      return 0;
+    if (Q < 0.0)
+      Q = 0.0;
+    if (Q > 1.0)
+      Q = 1.0;
+    // Rank of the target sample, 1-based; Q=0 means the first sample.
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+    if (Rank == 0)
+      Rank = 1;
+    if (Rank > Total)
+      Rank = Total;
+    uint64_t Seen = 0;
+    for (std::size_t I = 0; I < NumBuckets; ++I) {
+      if (Counts[I] == 0)
+        continue;
+      if (Seen + Counts[I] >= Rank) {
+        uint64_t Low = bucketLow(I);
+        uint64_t High = bucketHigh(I);
+        // Interpolate by the rank's centered position within this
+        // bucket: Frac stays in (0, 1), so the estimate stays inside
+        // [Low, High) and width-1 buckets report their exact value.
+        double Frac = (static_cast<double>(Rank - Seen) - 0.5) /
+                      static_cast<double>(Counts[I]);
+        uint64_t V =
+            Low + static_cast<uint64_t>(Frac * static_cast<double>(High - Low));
+        return V > Max ? Max : V;
+      }
+      Seen += Counts[I];
+    }
+    return Max; // unreachable when invariants hold
+  }
+
+  /// Cross-checks the internal invariants; returns the number of
+  /// violations (0 = healthy). The server bench gates its exit code on
+  /// this, so a broken recording path fails CI instead of producing
+  /// quietly wrong percentiles: total equals the bucket sum, min/max
+  /// land in occupied buckets, and p50 <= p99 <= p999 <= max.
+  unsigned invariantViolations() const {
+    unsigned Violations = 0;
+    uint64_t Sum = 0;
+    for (std::size_t I = 0; I < NumBuckets; ++I)
+      Sum += Counts[I];
+    if (Sum != Total)
+      ++Violations;
+    if (Total > 0) {
+      if (Counts[bucketIndex(Max)] == 0)
+        ++Violations;
+      if (Counts[bucketIndex(Min)] == 0)
+        ++Violations;
+      uint64_t P50 = valueAtQuantile(0.50);
+      uint64_t P99 = valueAtQuantile(0.99);
+      uint64_t P999 = valueAtQuantile(0.999);
+      if (P50 > P99 || P99 > P999)
+        ++Violations;
+      if (P999 > Max)
+        ++Violations;
+    }
+    return Violations;
+  }
+
+private:
+  uint64_t Counts[NumBuckets];
+  uint64_t Total;
+  uint64_t Max;
+  uint64_t Min;
+};
+
+} // namespace workloads::server
+
+#endif // WORKLOADS_SERVER_LATENCYHISTOGRAM_H

@@ -1,0 +1,122 @@
+//===- workloads/server/RequestQueue.h - bounded request queue --*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Bounded lock-free MPMC ring (Vyukov's sequence-stamped design, the
+// same shape ndn-dpdk's per-core rings take): each cell carries a
+// sequence number that encodes whose turn it is, so producers and
+// consumers synchronize cell-locally with one CAS on their own cursor
+// and no shared head/tail lock. Used as the per-worker request queue
+// of the serving workload: clients tryPush (failure = queue full =
+// shed, the explicit backpressure policy — the open-loop arrival
+// process never blocks), workers tryPop in batches.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_SERVER_REQUESTQUEUE_H
+#define WORKLOADS_SERVER_REQUESTQUEUE_H
+
+#include "support/Padded.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace workloads::server {
+
+template <typename T> class RequestQueue {
+public:
+  /// \p CapacityPow2 must be a power of two (the index is a mask).
+  explicit RequestQueue(std::size_t CapacityPow2)
+      : Mask(CapacityPow2 - 1), Cells(new Cell[CapacityPow2]) {
+    assert(CapacityPow2 >= 2 && (CapacityPow2 & Mask) == 0 &&
+           "capacity must be a power of two");
+    for (std::size_t I = 0; I < CapacityPow2; ++I)
+      Cells[I].Seq.store(I, std::memory_order_relaxed);
+  }
+
+  RequestQueue(const RequestQueue &) = delete;
+  RequestQueue &operator=(const RequestQueue &) = delete;
+
+  /// Enqueues \p Item; returns false when the queue is full (the
+  /// caller sheds the request — nothing blocks).
+  bool tryPush(const T &Item) {
+    std::size_t Pos = Tail.value().load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      std::size_t Seq = C.Seq.load(std::memory_order_acquire);
+      if (Seq == Pos) {
+        if (Tail.value().compare_exchange_weak(Pos, Pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (Seq < Pos) {
+        return false; // cell still holds an unconsumed older item: full
+      } else {
+        Pos = Tail.value().load(std::memory_order_relaxed);
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    C.Item = Item;
+    C.Seq.store(Pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into \p Out; returns false when the queue is empty.
+  bool tryPop(T &Out) {
+    std::size_t Pos = Head.value().load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      std::size_t Seq = C.Seq.load(std::memory_order_acquire);
+      if (Seq == Pos + 1) {
+        if (Head.value().compare_exchange_weak(Pos, Pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (Seq < Pos + 1) {
+        return false; // producer hasn't filled this cell yet: empty
+      } else {
+        Pos = Head.value().load(std::memory_order_relaxed);
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    Out = C.Item;
+    C.Seq.store(Pos + Mask + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues up to \p MaxBatch items into \p Out; returns the count.
+  /// The worker-side batch-admission primitive.
+  std::size_t tryPopBatch(T *Out, std::size_t MaxBatch) {
+    std::size_t Got = 0;
+    while (Got < MaxBatch && tryPop(Out[Got]))
+      ++Got;
+    return Got;
+  }
+
+  std::size_t capacity() const { return Mask + 1; }
+
+  /// Instantaneous occupancy estimate (racy; monitoring only).
+  std::size_t sizeEstimate() const {
+    std::size_t Produced = Tail.value().load(std::memory_order_relaxed);
+    std::size_t Consumed = Head.value().load(std::memory_order_relaxed);
+    return Produced >= Consumed ? Produced - Consumed : 0;
+  }
+
+private:
+  struct Cell {
+    std::atomic<std::size_t> Seq;
+    T Item;
+  };
+
+  std::size_t Mask;
+  std::unique_ptr<Cell[]> Cells;
+  /// Producer and consumer cursors on separate cache lines: clients
+  /// hammer Tail, the owning worker hammers Head.
+  repro::Padded<std::atomic<std::size_t>> Tail{};
+  repro::Padded<std::atomic<std::size_t>> Head{};
+};
+
+} // namespace workloads::server
+
+#endif // WORKLOADS_SERVER_REQUESTQUEUE_H

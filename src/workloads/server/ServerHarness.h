@@ -1,0 +1,280 @@
+//===- workloads/server/ServerHarness.h - open-loop driver ------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The serving workload's control plane: client threads generate an
+// open-loop Poisson request stream (arrivals keep coming whether or not
+// the system keeps up, unlike the closed-loop figure benches where each
+// thread waits for its own previous operation) over scrambled-Zipfian
+// keys, route each request to the owning shard's worker queue, and shed
+// on queue-full. Worker threads pop requests in batches, serve each as
+// one transaction through the public stm::Runtime API under a TxBatch
+// epoch-pin, and record end-to-end latency — completion time minus the
+// *scheduled* arrival time, so queueing delay and shed-pressure backlog
+// count against the percentiles (no coordinated omission).
+//
+// Determinism: request content (keys, op mix, arrival spacing) derives
+// from repro::testSeed() streams, so two runs offer the same work;
+// interleaving and therefore latency remain physical measurements.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_SERVER_SERVERHARNESS_H
+#define WORKLOADS_SERVER_SERVERHARNESS_H
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
+#include "workloads/server/LatencyHistogram.h"
+#include "workloads/server/RequestQueue.h"
+#include "workloads/server/Store.h"
+#include "workloads/server/Zipfian.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace workloads::server {
+
+/// One client request in flight between a client and a worker.
+struct Request {
+  uint64_t A = 0;              ///< primary key / auction id / scan base
+  uint64_t B = 0;              ///< secondary key / scan length / bid
+  uint64_t C = 0;              ///< transfer amount
+  uint64_t ScheduledNanos = 0; ///< intended (open-loop) arrival time
+  OpClass Op = OpClass::PointRead;
+};
+
+/// Knobs of one serving run. Defaults are smoke-sized; the bench scales
+/// them up.
+struct ServerConfig {
+  unsigned Workers = 2;  ///< transaction-executing threads (one queue each)
+  unsigned Clients = 2;  ///< open-loop load generators
+  unsigned Shards = 4;   ///< store range partitions
+  uint64_t KeySpace = 1 << 13;
+  uint64_t Auctions = 8; ///< hot-key count of the AuctionBid class
+  double Theta = 0.99;   ///< Zipfian skew of point/transfer keys
+  double OfferedOpsPerSec = 100000.0; ///< total arrival rate, all clients
+  unsigned QueueCapacity = 1024;      ///< per-worker, power of two
+  unsigned BatchSize = 16;            ///< requests admitted per TxBatch
+  unsigned DurationMs = 500;          ///< client generation window
+  /// Op mix in percent; must sum to 100.
+  unsigned MixPercent[NumOpClasses] = {60, 10, 25, 5};
+  uint64_t ScanLen = 100;   ///< RangeScan width in keys
+  uint64_t MaxTransfer = 8; ///< transfer amounts drawn from [1, MaxTransfer]
+  uint64_t Seed = 0;        ///< 0 = repro::testSeed()
+};
+
+/// Everything a run measured.
+struct ServerResult {
+  LatencyHistogram Hist[NumOpClasses]; ///< end-to-end latency per class
+  uint64_t Completed[NumOpClasses] = {};
+  uint64_t Offered = 0; ///< requests generated (completed + shed at rest)
+  uint64_t Shed = 0;    ///< dropped by queue backpressure
+  double ElapsedSeconds = 0.0; ///< generation + drain wall time
+  double GoodputOpsPerSec = 0.0;
+  repro::TxStats Stats;      ///< aggregated over workers (incl. Batches/Sheds)
+  uint64_t BackendSwitches = 0;
+  unsigned HistogramViolations = 0; ///< 0 or the recording path is broken
+  bool ConservationOk = false;      ///< post-run transfer-sum audit
+
+  uint64_t totalCompleted() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Completed)
+      Sum += C;
+    return Sum;
+  }
+};
+
+/// Runs the serving workload against \p R and returns the measurements.
+/// \p R must be the process's live runtime; the calling thread is used
+/// for populate and the post-run audit.
+inline ServerResult runServer(stm::Runtime &R, const ServerConfig &Config) {
+  using Tx = ShardedStore::Tx;
+
+  const uint64_t Seed = Config.Seed ? Config.Seed : repro::testSeed();
+  ShardedStore Store(Config.Shards, Config.KeySpace, Config.Auctions);
+  Store.populate(R);
+
+  std::vector<std::unique_ptr<RequestQueue<Request>>> Queues;
+  for (unsigned W = 0; W < Config.Workers; ++W)
+    Queues.push_back(
+        std::make_unique<RequestQueue<Request>>(Config.QueueCapacity));
+
+  std::atomic<bool> WorkersStop{false};
+
+  struct WorkerLocal {
+    LatencyHistogram Hist[NumOpClasses];
+    uint64_t Completed[NumOpClasses] = {};
+    repro::TxStats Stats;
+  };
+  std::vector<WorkerLocal> Locals(Config.Workers);
+  std::vector<uint64_t> ClientOffered(Config.Clients, 0);
+  std::vector<uint64_t> ClientShed(Config.Clients, 0);
+
+  repro::Stopwatch Wall;
+  const uint64_t StartNanos = repro::nowNanos();
+  const uint64_t EndNanos =
+      StartNanos + static_cast<uint64_t>(Config.DurationMs) * 1000000ull;
+
+  auto clientMain = [&](unsigned Id) {
+    // Independent deterministic streams per client: one for the key
+    // popularity, one for op selection / arrival spacing / amounts.
+    Zipfian Keys(Config.KeySpace, Config.Theta, Seed ^ (0x5151ull * (Id + 1)));
+    repro::Xorshift Rng(Seed ^ (0xC11Eull * (Id + 1)));
+    const double RatePerNs =
+        Config.OfferedOpsPerSec / Config.Clients / 1e9;
+    uint64_t Next = StartNanos;
+    uint64_t Offered = 0, Shed = 0;
+
+    while (Next < EndNanos) {
+      // Poisson arrivals: exponential inter-arrival gaps.
+      double U = Rng.nextDouble();
+      if (U <= 0.0)
+        U = 1e-12;
+      Next += static_cast<uint64_t>(-std::log(U) / RatePerNs);
+      // Open loop: wait out the gap if we are early, but never stretch
+      // it if we are late — the backlog is the system's problem, and
+      // ScheduledNanos keeps charging it to the latency percentiles.
+      for (uint64_t Now = repro::nowNanos(); Now < Next;
+           Now = repro::nowNanos()) {
+        if (Next - Now > 200000)
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        else
+          repro::cpuRelax();
+      }
+
+      Request Rq;
+      Rq.ScheduledNanos = Next;
+      unsigned Pick = static_cast<unsigned>(Rng.next() % 100);
+      uint64_t Key = Keys.next();
+      if (Pick < Config.MixPercent[0]) {
+        Rq.Op = OpClass::PointRead;
+        Rq.A = Key;
+      } else if (Pick < Config.MixPercent[0] + Config.MixPercent[1]) {
+        Rq.Op = OpClass::RangeScan;
+        Rq.A = Rng.next() % Config.KeySpace; // scans are uniform
+        Rq.B = Config.ScanLen;
+      } else if (Pick <
+                 Config.MixPercent[0] + Config.MixPercent[1] +
+                     Config.MixPercent[2]) {
+        Rq.Op = OpClass::Transfer;
+        Rq.A = Key;
+        Rq.B = Keys.next();
+        Rq.C = 1 + Rng.next() % Config.MaxTransfer;
+      } else {
+        Rq.Op = OpClass::AuctionBid;
+        Rq.A = Rng.next() % Config.Auctions;
+        Rq.B = 1 + Rng.next() % (1ull << 20); // bids race to the max
+      }
+
+      ++Offered;
+      unsigned Target = Store.shardOf(Rq.A) % Config.Workers;
+      if (!Queues[Target]->tryPush(Rq))
+        ++Shed; // queue full: explicit drop, the client never blocks
+    }
+    ClientOffered[Id] = Offered;
+    ClientShed[Id] = Shed;
+  };
+
+  auto workerMain = [&](unsigned Id) {
+    Tx &T = R.threadTx();
+    WorkerLocal &L = Locals[Id];
+    RequestQueue<Request> &Q = *Queues[Id];
+    std::vector<Request> Batch(Config.BatchSize);
+
+    for (;;) {
+      // Shutdown ordering: the stop flag must be read *before* the
+      // pop. The flag is raised only after every client joined, so
+      // flag-up followed by an empty pop proves the queue is fully
+      // drained; checking the flag after an empty pop instead races
+      // with pushes landing in between and strands them.
+      bool Stopping = WorkersStop.load(std::memory_order_acquire);
+      std::size_t Got = Q.tryPopBatch(Batch.data(), Config.BatchSize);
+      if (Got == 0) {
+        if (Stopping)
+          break; // clients quiesced and the queue drained
+        repro::cpuRelax();
+        continue;
+      }
+      // One epoch pin for the whole admitted batch (no-op under the
+      // adaptive runtime, where a held pin would stall backend
+      // switches — see TxHandle::batchBegin).
+      stm::rt::TxBatch Pin(T);
+      for (std::size_t I = 0; I < Got; ++I) {
+        const Request &Rq = Batch[I];
+        switch (Rq.Op) {
+        case OpClass::PointRead:
+          stm::atomically(T, [&](Tx &Body) { Store.pointRead(Body, Rq.A); });
+          break;
+        case OpClass::RangeScan:
+          stm::atomically(T,
+                          [&](Tx &Body) { Store.rangeScan(Body, Rq.A, Rq.B); });
+          break;
+        case OpClass::Transfer:
+          stm::atomically(
+              T, [&](Tx &Body) { Store.transfer(Body, Rq.A, Rq.B, Rq.C); });
+          break;
+        case OpClass::AuctionBid:
+          stm::atomically(T,
+                          [&](Tx &Body) { Store.auctionBid(Body, Rq.A, Rq.B); });
+          break;
+        }
+        uint64_t Done = repro::nowNanos();
+        uint64_t Lat =
+            Done > Rq.ScheduledNanos ? Done - Rq.ScheduledNanos : 0;
+        unsigned Class = static_cast<unsigned>(Rq.Op);
+        L.Hist[Class].record(Lat);
+        ++L.Completed[Class];
+      }
+    }
+    L.Stats = T.stats();
+  };
+
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W < Config.Workers; ++W)
+    Threads.emplace_back(workerMain, W);
+  std::vector<std::thread> Generators;
+  for (unsigned C = 0; C < Config.Clients; ++C)
+    Generators.emplace_back(clientMain, C);
+
+  for (auto &G : Generators)
+    G.join();
+  // No more pushes can arrive; workers exit once their queue reads
+  // empty, so everything admitted gets drained and measured.
+  WorkersStop.store(true, std::memory_order_release);
+  for (auto &W : Threads)
+    W.join();
+
+  ServerResult Result;
+  Result.ElapsedSeconds = Wall.elapsedSeconds();
+  for (unsigned W = 0; W < Config.Workers; ++W) {
+    for (unsigned C = 0; C < NumOpClasses; ++C) {
+      Result.Hist[C].merge(Locals[W].Hist[C]);
+      Result.Completed[C] += Locals[W].Completed[C];
+    }
+    Result.Stats += Locals[W].Stats;
+  }
+  for (unsigned C = 0; C < Config.Clients; ++C) {
+    Result.Offered += ClientOffered[C];
+    Result.Shed += ClientShed[C];
+  }
+  Result.Stats.Sheds = Result.Shed;
+  Result.GoodputOpsPerSec =
+      Result.ElapsedSeconds > 0.0
+          ? static_cast<double>(Result.totalCompleted()) / Result.ElapsedSeconds
+          : 0.0;
+  for (unsigned C = 0; C < NumOpClasses; ++C)
+    Result.HistogramViolations += Result.Hist[C].invariantViolations();
+  Result.BackendSwitches = R.switchCount();
+  Result.ConservationOk = Store.checkConservation(R);
+  return Result;
+}
+
+} // namespace workloads::server
+
+#endif // WORKLOADS_SERVER_SERVERHARNESS_H

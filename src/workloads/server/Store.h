@@ -1,0 +1,201 @@
+//===- workloads/server/Store.h - sharded transactional KV store -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The serving workload's data plane: a range-partitioned key-value
+// store of transactional red-black trees, plus a small separate
+// "auction" table of hot keys. The four request classes exercise the
+// contention regimes the paper's figures probe, but composed into one
+// mixed service instead of isolated microbenchmarks:
+//
+//   PointRead   one lookup — short, read-only, extension-friendly;
+//   RangeScan   ordered in-range traversal — long invisible read sets,
+//               the lazy-vs-eager r/w detection stress;
+//   Transfer    two-key read-modify-write that may cross shards — the
+//               w/w conflict class where eager detection pays;
+//   AuctionBid  read-modify-write on one of a few hot keys — the
+//               pathological-contention regime the two-phase CM targets.
+//
+// Shards partition the key space by range, so scans touch few shards
+// and the scrambled-Zipfian client spreads hot point keys across all of
+// them. All shards live under the one process-wide STM instance: a
+// transfer whose keys straddle a shard boundary is still one atomic
+// transaction — sharding here is about allocator/root contention and
+// cache locality, not about weakening atomicity.
+//
+// Transfers conserve the total balance; checkConservation() audits it
+// after a run, so a serialization bug in any backend shows up as a
+// failed audit instead of a silently wrong benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_SERVER_STORE_H
+#define WORKLOADS_SERVER_STORE_H
+
+#include "stm/Stm.h"
+#include "workloads/rbtree/RbTree.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace workloads::server {
+
+/// Request classes served by the store (indices into the per-class
+/// latency histograms).
+enum class OpClass : uint8_t {
+  PointRead = 0,
+  RangeScan = 1,
+  Transfer = 2,
+  AuctionBid = 3,
+};
+inline constexpr unsigned NumOpClasses = 4;
+
+inline const char *opClassName(OpClass Op) {
+  switch (Op) {
+  case OpClass::PointRead:
+    return "point_read";
+  case OpClass::RangeScan:
+    return "range_scan";
+  case OpClass::Transfer:
+    return "transfer";
+  case OpClass::AuctionBid:
+    return "auction_bid";
+  }
+  return "?";
+}
+
+/// Range-partitioned transactional store. Keys live in [0, keySpace());
+/// auctions in [0, auctionCount()) in their own table.
+class ShardedStore {
+public:
+  using Tx = stm::rt::TxHandle;
+  using Tree = workloads::RbTree<stm::StmRuntime>;
+
+  /// Every key starts with this balance; transfers move slices of it.
+  static constexpr uint64_t InitialBalance = 1000;
+
+  ShardedStore(unsigned NumShards, uint64_t KeySpace, uint64_t Auctions)
+      : KeySpace(KeySpace), Auctions(Auctions),
+        KeysPerShard((KeySpace + NumShards - 1) / NumShards),
+        Shards(NumShards) {
+    assert(NumShards > 0 && KeySpace >= NumShards && "degenerate partition");
+    for (auto &S : Shards)
+      S = std::make_unique<Tree>();
+  }
+
+  uint64_t keySpace() const { return KeySpace; }
+  uint64_t auctionCount() const { return Auctions; }
+  unsigned shardCount() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Shard owning \p Key — the routing function clients use to pick a
+  /// worker queue, so requests for one shard serialize through one
+  /// worker's batches.
+  unsigned shardOf(uint64_t Key) const {
+    unsigned S = static_cast<unsigned>(Key / KeysPerShard);
+    return S < Shards.size() ? S : static_cast<unsigned>(Shards.size()) - 1;
+  }
+
+  /// Seeds every key with InitialBalance and every auction with a zero
+  /// bid. Transactional (runs through \p R) but intended for the
+  /// single-threaded setup phase; inserts in batches to keep individual
+  /// transactions bounded.
+  void populate(stm::Runtime &R) {
+    constexpr uint64_t ChunkKeys = 256;
+    for (uint64_t Base = 0; Base < KeySpace; Base += ChunkKeys) {
+      uint64_t End = Base + ChunkKeys < KeySpace ? Base + ChunkKeys : KeySpace;
+      stm::atomically(R, [&](Tx &T) {
+        for (uint64_t K = Base; K < End; ++K)
+          shard(K).insert(T, K, InitialBalance);
+      });
+    }
+    stm::atomically(R, [&](Tx &T) {
+      for (uint64_t A = 0; A < Auctions; ++A)
+        AuctionTable.insert(T, A, 0);
+    });
+  }
+
+  /// PointRead: balance of \p Key (0 if absent, which populate rules
+  /// out).
+  uint64_t pointRead(Tx &T, uint64_t Key) {
+    uint64_t Value = 0;
+    shard(Key).lookup(T, Key, &Value);
+    return Value;
+  }
+
+  /// RangeScan: sum of the balances of keys in [Lo, Lo+Len), following
+  /// the partition across shard boundaries. Returns the sum (the
+  /// "result payload" a real service would serialize).
+  uint64_t rangeScan(Tx &T, uint64_t Lo, uint64_t Len) {
+    if (Lo >= KeySpace)
+      Lo = KeySpace - 1;
+    uint64_t Hi = Lo + Len >= KeySpace ? KeySpace - 1 : Lo + Len - 1;
+    uint64_t Sum = 0;
+    for (unsigned S = shardOf(Lo), Last = shardOf(Hi); S <= Last; ++S)
+      Shards[S]->scanRange(T, Lo, Hi,
+                           [&](uint64_t, uint64_t V) { Sum += V; });
+    return Sum;
+  }
+
+  /// Transfer: moves \p Amount from \p Src to \p Dst atomically, even
+  /// across shards. Returns false (committing a read-only transaction)
+  /// when Src lacks funds, so the total balance is invariant either way.
+  bool transfer(Tx &T, uint64_t Src, uint64_t Dst, uint64_t Amount) {
+    if (Src == Dst)
+      return false;
+    uint64_t SrcBal = pointRead(T, Src);
+    if (SrcBal < Amount)
+      return false;
+    uint64_t DstBal = pointRead(T, Dst);
+    shard(Src).update(T, Src, SrcBal - Amount);
+    shard(Dst).update(T, Dst, DstBal + Amount);
+    return true;
+  }
+
+  /// AuctionBid: read-modify-write on hot auction \p Auction — installs
+  /// \p Bid if it beats the standing bid (monotone maximum). Returns
+  /// true when the bid won.
+  bool auctionBid(Tx &T, uint64_t Auction, uint64_t Bid) {
+    uint64_t Standing = 0;
+    AuctionTable.lookup(T, Auction, &Standing);
+    if (Bid <= Standing)
+      return false;
+    AuctionTable.update(T, Auction, Bid);
+    return true;
+  }
+
+  /// Audits the transfer invariant: the sum of all balances must equal
+  /// keySpace() * InitialBalance no matter how many transfers ran.
+  /// Scans one shard per transaction to keep read sets sane. Call after
+  /// the measured region (quiesced traffic).
+  bool checkConservation(stm::Runtime &R) {
+    std::vector<uint64_t> ShardSums(Shards.size(), 0);
+    for (unsigned S = 0; S < Shards.size(); ++S)
+      stm::atomically(R, [&](Tx &T) {
+        // Overwrite, never accumulate: an aborted attempt re-runs the
+        // body, and only assignment is idempotent under retry.
+        uint64_t ShardSum = 0;
+        Shards[S]->scanRange(T, 0, KeySpace - 1,
+                             [&](uint64_t, uint64_t V) { ShardSum += V; });
+        ShardSums[S] = ShardSum;
+      });
+    uint64_t Sum = 0;
+    for (uint64_t V : ShardSums)
+      Sum += V;
+    return Sum == KeySpace * InitialBalance;
+  }
+
+private:
+  Tree &shard(uint64_t Key) { return *Shards[shardOf(Key)]; }
+
+  uint64_t KeySpace;
+  uint64_t Auctions;
+  uint64_t KeysPerShard;
+  std::vector<std::unique_ptr<Tree>> Shards;
+  Tree AuctionTable;
+};
+
+} // namespace workloads::server
+
+#endif // WORKLOADS_SERVER_STORE_H

@@ -1,0 +1,102 @@
+//===- workloads/server/Zipfian.h - skewed key-rank generator ---*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Zipfian-distributed key ranks for the serving workload: rank r is
+// drawn with probability proportional to 1/(r+1)^theta, the standard
+// stand-in for the few-hot-keys/many-cold-keys access pattern of real
+// request traffic (YCSB's workload generator; Gray et al., "Quickly
+// Generating Billion-Record Synthetic Databases", SIGMOD 1994). The
+// rejection-free inversion uses the precomputed harmonic sum zeta(N,
+// theta), so next() is O(1); construction is O(N) once per run.
+//
+// nextRank() returns popularity ranks (0 = hottest). next() scrambles
+// the rank with a splitmix64-style mix so hot keys scatter across the
+// key space (and therefore across store shards) instead of clustering
+// at the low end — YCSB's "scrambled Zipfian".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_SERVER_ZIPFIAN_H
+#define WORKLOADS_SERVER_ZIPFIAN_H
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace workloads::server {
+
+class Zipfian {
+public:
+  /// Prepares draws over ranks [0, N). theta in (0, 1): 0.99 is the
+  /// YCSB default ("highly skewed"); lower is flatter.
+  explicit Zipfian(uint64_t N, double Theta = 0.99,
+                   uint64_t Seed = repro::testSeed())
+      : N(N), Theta(Theta), Rng(Seed) {
+    assert(N > 0 && "empty key space");
+    assert(Theta > 0.0 && Theta < 1.0 && "theta must be in (0,1)");
+    Zetan = zeta(N, Theta);
+    Zeta2 = zeta(2 < N ? 2 : N, Theta);
+    Alpha = 1.0 / (1.0 - Theta);
+    Eta = (1.0 - std::pow(2.0 / static_cast<double>(N), 1.0 - Theta)) /
+          (1.0 - Zeta2 / Zetan);
+  }
+
+  /// Popularity rank of the next draw: 0 is the hottest, probabilities
+  /// decay as 1/(rank+1)^theta.
+  uint64_t nextRank() {
+    double U = Rng.nextDouble();
+    double Uz = U * Zetan;
+    if (Uz < 1.0)
+      return 0;
+    if (Uz < 1.0 + std::pow(0.5, Theta))
+      return 1;
+    uint64_t Rank = static_cast<uint64_t>(
+        static_cast<double>(N) * std::pow(Eta * U - Eta + 1.0, Alpha));
+    return Rank >= N ? N - 1 : Rank;
+  }
+
+  /// Scrambled draw: Zipfian popularity, but the hot ranks are spread
+  /// pseudo-randomly over [0, N) so range partitioning doesn't pin all
+  /// the heat on one shard. Deterministic given the seed.
+  uint64_t next() { return scramble(nextRank()) % N; }
+
+  /// The stationary probability of \p Rank under this distribution —
+  /// the oracle the distribution-shape tests compare frequencies
+  /// against.
+  double rankProbability(uint64_t Rank) const {
+    return 1.0 / (std::pow(static_cast<double>(Rank + 1), Theta) * Zetan);
+  }
+
+  uint64_t keySpace() const { return N; }
+
+  /// The rank-to-key scatter (exposed so tests can invert hot keys).
+  static uint64_t scramble(uint64_t Rank) {
+    uint64_t Z = Rank + 0x9e3779b97f4a7c15ull;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  static double zeta(uint64_t Count, double Theta) {
+    double Sum = 0.0;
+    for (uint64_t I = 0; I < Count; ++I)
+      Sum += 1.0 / std::pow(static_cast<double>(I + 1), Theta);
+    return Sum;
+  }
+
+  uint64_t N;
+  double Theta;
+  double Zetan;
+  double Zeta2;
+  double Alpha;
+  double Eta;
+  repro::Xorshift Rng;
+};
+
+} // namespace workloads::server
+
+#endif // WORKLOADS_SERVER_ZIPFIAN_H

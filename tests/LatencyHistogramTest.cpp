@@ -1,0 +1,146 @@
+//===- tests/LatencyHistogramTest.cpp - histogram unit tests ----------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Unit coverage of the serving workload's HDR-style latency histogram
+// (workloads/server/LatencyHistogram.h): bucket boundary arithmetic
+// over the whole 64-bit range, bounded relative quantization error,
+// percentile interpolation against exactly known populations, the
+// cross-thread merge, and the invariant checker the server bench gates
+// its exit code on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/TestHarness.h"
+#include "workloads/server/LatencyHistogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using workloads::server::LatencyHistogram;
+
+namespace {
+
+TEST(LatencyHistogramTest, SmallValuesGetExactBuckets) {
+  // Below 2^SubBits every value has its own width-1 bucket.
+  for (uint64_t V = 0; V < LatencyHistogram::SubCount; ++V) {
+    EXPECT_EQ(LatencyHistogram::bucketIndex(V), V);
+    EXPECT_EQ(LatencyHistogram::bucketLow(V), V);
+    EXPECT_EQ(LatencyHistogram::bucketHigh(V), V + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesPartitionTheRange) {
+  // Buckets tile [0, 2^64) without gaps or overlaps: each bucket's
+  // High is the next bucket's Low, and boundary values map to the
+  // bucket whose [Low, High) contains them.
+  for (std::size_t I = 0; I + 1 < LatencyHistogram::NumBuckets; ++I) {
+    uint64_t High = LatencyHistogram::bucketHigh(I);
+    ASSERT_EQ(High, LatencyHistogram::bucketLow(I + 1)) << "bucket " << I;
+    ASSERT_EQ(LatencyHistogram::bucketIndex(High - 1), I);
+    ASSERT_EQ(LatencyHistogram::bucketIndex(High), I + 1);
+  }
+  // The last bucket saturates at the top of the range.
+  EXPECT_EQ(LatencyHistogram::bucketHigh(LatencyHistogram::NumBuckets - 1),
+            ~0ull);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(~0ull),
+            LatencyHistogram::NumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, RelativeErrorBounded) {
+  // The bucket containing V is never wider than V / 2^(SubBits-1), so
+  // any in-bucket estimate is within ~2 * 2^-SubBits relative error.
+  repro::Xorshift Rng(repro::testSeed());
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = Rng.next() >> (Rng.next() % 40); // spread the magnitudes
+    std::size_t B = LatencyHistogram::bucketIndex(V);
+    uint64_t Low = LatencyHistogram::bucketLow(B);
+    uint64_t High = LatencyHistogram::bucketHigh(B);
+    ASSERT_LE(Low, V);
+    ASSERT_LT(V, High);
+    if (V >= LatencyHistogram::SubCount) {
+      ASSERT_LE(High - Low, V / (LatencyHistogram::SubCount / 2))
+          << "bucket too wide for " << V;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesOfKnownPopulation) {
+  // 1..1000 recorded once each: quantile q must come back within one
+  // bucket width of 1000q.
+  LatencyHistogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  EXPECT_EQ(H.count(), 1000u);
+  EXPECT_EQ(H.minValue(), 1u);
+  EXPECT_EQ(H.maxValue(), 1000u);
+  for (double Q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    uint64_t Got = H.valueAtQuantile(Q);
+    double Exact = 1000.0 * Q;
+    EXPECT_NEAR(static_cast<double>(Got), Exact, Exact * 0.07 + 1.0)
+        << "quantile " << Q;
+  }
+  EXPECT_EQ(H.valueAtQuantile(1.0), 1000u);
+  EXPECT_EQ(H.invariantViolations(), 0u);
+}
+
+TEST(LatencyHistogramTest, ExactPercentilesBelowSubCount) {
+  // Small values have width-1 buckets, so percentiles are exact there.
+  LatencyHistogram H;
+  for (uint64_t V = 0; V < LatencyHistogram::SubCount; ++V)
+    H.record(V);
+  EXPECT_EQ(H.valueAtQuantile(0.0), 0u);
+  EXPECT_EQ(H.valueAtQuantile(0.5), LatencyHistogram::SubCount / 2 - 1);
+  EXPECT_EQ(H.valueAtQuantile(1.0), LatencyHistogram::SubCount - 1);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.minValue(), 0u);
+  EXPECT_EQ(H.maxValue(), 0u);
+  EXPECT_EQ(H.valueAtQuantile(0.5), 0u);
+  EXPECT_EQ(H.invariantViolations(), 0u);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleRecorder) {
+  // Split one sample stream across four "threads"; merging their
+  // histograms must reproduce the single-recorder histogram exactly
+  // (bucket counts, totals, min/max, and therefore every percentile).
+  repro::Xorshift Rng(repro::testSeed(1));
+  LatencyHistogram Single, Parts[4];
+  for (int I = 0; I < 40000; ++I) {
+    uint64_t V = Rng.next() >> (Rng.next() % 32);
+    Single.record(V);
+    Parts[I % 4].record(V);
+  }
+  LatencyHistogram Merged;
+  for (LatencyHistogram &P : Parts)
+    Merged.merge(P);
+  EXPECT_EQ(Merged.count(), Single.count());
+  EXPECT_EQ(Merged.minValue(), Single.minValue());
+  EXPECT_EQ(Merged.maxValue(), Single.maxValue());
+  for (double Q : {0.01, 0.25, 0.50, 0.75, 0.99, 0.999})
+    EXPECT_EQ(Merged.valueAtQuantile(Q), Single.valueAtQuantile(Q))
+        << "quantile " << Q;
+  EXPECT_EQ(Merged.invariantViolations(), 0u);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotone) {
+  repro::Xorshift Rng(repro::testSeed(2));
+  LatencyHistogram H;
+  for (int I = 0; I < 5000; ++I)
+    H.record(Rng.next() >> (Rng.next() % 48));
+  uint64_t Prev = 0;
+  for (double Q = 0.0; Q <= 1.0; Q += 0.01) {
+    uint64_t V = H.valueAtQuantile(Q);
+    EXPECT_GE(V, Prev) << "quantile " << Q;
+    Prev = V;
+  }
+  EXPECT_LE(Prev, H.maxValue());
+  EXPECT_EQ(H.invariantViolations(), 0u);
+}
+
+} // namespace
