@@ -31,6 +31,8 @@
 #define BENCH_BENCHUTIL_H
 
 #include "stm/Stm.h"
+#include "stm/diag/Hooks.h"
+#include "stm/diag/Schedule.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/Timing.h"
@@ -78,6 +80,11 @@ inline stm::StmConfig baseConfig() { return baseConfigStorage(); }
 /// arguments not starting with --stm- are ignored, left for the
 /// binary's own flag handling.
 inline void parseStmFlags(int Argc, char **Argv) {
+  // Diagnostics riding along with any bench run (no-ops unless the
+  // STM_DIAG_* environment asks for them — and, for the hook-driven
+  // recording, unless the build compiled the hooks in): crash-dump
+  // trace recording for the repro grids, and the conflict profiler.
+  stm::diag::initFromEnv();
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strncmp(Arg, "--stm-", 6) != 0)
@@ -238,6 +245,9 @@ RunResult runThroughput(const stm::StmConfig &Config, unsigned Threads,
     std::vector<std::thread> Workers;
     for (unsigned I = 0; I < Threads; ++I) {
       Workers.emplace_back([&, I] {
+        // Stable logical thread id for diag traces (registry slots are
+        // assigned racily and differ across runs).
+        stm::diag::Schedule::ScopedThread DiagTid(I);
         stm::ThreadScope<STM> Scope;
         auto &Tx = Scope.tx();
         repro::Xorshift Rng(repro::testSeed(I * 7727 + 13));
@@ -268,6 +278,7 @@ RunResult runThroughput(const stm::StmConfig &Config, unsigned Threads,
     }
     Result.Value = static_cast<double>(Total) / Seconds;
   }
+  stm::diag::maybePrintProfile("throughput");
   STM::globalShutdown();
   return Result;
 }
@@ -286,6 +297,7 @@ RunResult runTimed(const stm::StmConfig &Config, unsigned Threads,
     std::vector<std::thread> Workers;
     for (unsigned I = 0; I < Threads; ++I) {
       Workers.emplace_back([&, I] {
+        stm::diag::Schedule::ScopedThread DiagTid(I);
         stm::ThreadScope<STM> Scope;
         auto &Tx = Scope.tx();
         unsigned GoSpin = 0;
@@ -303,6 +315,7 @@ RunResult runTimed(const stm::StmConfig &Config, unsigned Threads,
     for (unsigned I = 0; I < Threads; ++I)
       Result.Stats += Stats[I];
   }
+  stm::diag::maybePrintProfile("timed");
   STM::globalShutdown();
   return Result;
 }

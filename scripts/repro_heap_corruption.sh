@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 #===------------------------------------------------------------------------===#
 #
-# Repro handle for the open ROADMAP heap-corruption bug: a native
+# Repro handle for the ROADMAP heap-corruption item: a native
 # bench_extra_clock-shaped run (rbtree cells cycling backend x
-# {gv1,gv4,gv5}, a few threads, seconds per cell) dies roughly 1 run in
-# 5-10 with glibc "unaligned fastbin chunk" / "corrupted size vs.
-# prev_size". Detection can land cells after the corrupting write, so
-# this script:
+# {gv1,gv4,gv5}, a few threads, seconds per cell) was reported to die
+# roughly 1 run in 5-10 with glibc "unaligned fastbin chunk" /
+# "corrupted size vs. prev_size". Detection can land cells after the
+# corrupting write, so this script:
 #
 #   * pins STM_TEST_SEED, so every iteration offers identical work and
 #     a caught failure replays from the same stream;
@@ -15,9 +15,14 @@
 #     use-after-free reads surface as wrong values instead of luck);
 #   * runs the grid with STM_BENCH_PROGRESS=1 and tees stderr, so the
 #     log's last "extra-clock: cell <name>@<threads>t" line names the
-#     cell that was executing when the abort hit.
+#     cell that was executing when the abort hit;
+#   * with --record (requires a -DSTM_DIAG=ON build of the bench),
+#     records every iteration's interleaving into a ring buffer whose
+#     tail is dumped to a trace file by the bench's SIGABRT/SIGSEGV
+#     handler — so the abort leaves the schedule behind, replayable via
+#     the diag Schedule engine (see README "Diagnostics").
 #
-# Usage: scripts/repro_heap_corruption.sh [build-dir] [iterations]
+# Usage: scripts/repro_heap_corruption.sh [--record] [build-dir] [iterations]
 #   build-dir   defaults to ./build (must contain bench_extra_clock)
 #   iterations  defaults to 20
 #
@@ -25,14 +30,22 @@
 #   STM_TEST_SEED     fixed work stream   (default 427431439693)
 #   REPRO_MAX_THREADS grid thread ceiling (default 4)
 #   REPRO_BENCH_MS    millis per cell     (default 2000)
+#   STM_DIAG_RING     ring capacity in events under --record (bench
+#                     default 65536)
 #
-# Exit status: 1 as soon as an iteration dies (log kept), 0 if all
-# iterations survive — which does NOT prove the bug gone, only that
-# this seed/grid escaped it.
+# Exit status: 1 as soon as an iteration dies (log + any trace kept),
+# 0 if all iterations survive — which does NOT prove the bug gone, only
+# that this seed/grid escaped it.
 #
 #===------------------------------------------------------------------------===#
 
-set -u
+set -euo pipefail
+
+RECORD=0
+if [[ "${1:-}" == "--record" ]]; then
+  RECORD=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 ITERATIONS="${2:-20}"
@@ -62,21 +75,49 @@ export STM_BENCH_PROGRESS=1
 LOG_DIR="${TMPDIR:-/tmp}/stm-heap-repro.$$"
 mkdir -p "${LOG_DIR}"
 
+# A surviving grid leaves nothing worth keeping; a failing one exits
+# through the FAILURE branch below, which disarms this trap first.
+KEEP_LOGS=0
+cleanup() {
+  if [[ "${KEEP_LOGS}" -eq 0 ]]; then
+    rm -rf "${LOG_DIR}"
+  fi
+}
+trap cleanup EXIT
+trap 'KEEP_LOGS=1; echo "interrupted; logs kept in ${LOG_DIR}" >&2' INT TERM
+
 echo "repro_heap_corruption: ${ITERATIONS} iterations of ${BENCH}"
 echo "  STM_TEST_SEED=${STM_TEST_SEED} REPRO_MAX_THREADS=${REPRO_MAX_THREADS}" \
-     "REPRO_BENCH_MS=${REPRO_BENCH_MS} MALLOC_CHECK_=3"
+     "REPRO_BENCH_MS=${REPRO_BENCH_MS} MALLOC_CHECK_=3 record=${RECORD}"
 echo "  logs: ${LOG_DIR}"
 
 for ((I = 1; I <= ITERATIONS; ++I)); do
   LOG="${LOG_DIR}/iter-${I}.log"
+  TRACE="${LOG_DIR}/iter-${I}.trace"
   echo "--- iteration ${I}/${ITERATIONS}"
-  "${BENCH}" --json="${LOG_DIR}/iter-${I}.json" >"${LOG}" 2>&1
-  STATUS=$?
+  if [[ "${RECORD}" -eq 1 ]]; then
+    export STM_DIAG_RECORD=1
+    export STM_DIAG_TRACE="${TRACE}"
+  fi
+  # set -e must not kill the loop on the exact exit we are hunting:
+  # `|| STATUS=$?` keeps the real exit code and reaches the report.
+  STATUS=0
+  "${BENCH}" --json="${LOG_DIR}/iter-${I}.json" >"${LOG}" 2>&1 || STATUS=$?
   if [[ ${STATUS} -ne 0 ]]; then
+    KEEP_LOGS=1
     echo "FAILURE: iteration ${I} exited ${STATUS}" | tee -a "${LOG}"
-    LAST_CELL=$(grep -o 'extra-clock: cell .*' "${LOG}" | tail -1)
+    LAST_CELL=$(grep -o 'extra-clock: cell .*' "${LOG}" | tail -1 || true)
     echo "  last cell entered: ${LAST_CELL:-<none — died before first cell>}"
     echo "  full log: ${LOG}"
+    if [[ -s "${TRACE}" ]]; then
+      echo "  interleaving trace (ring tail at the abort): ${TRACE}"
+      echo "  replay it with the diag Schedule engine (README Diagnostics)"
+    elif [[ "${RECORD}" -eq 1 ]]; then
+      echo "  no trace captured (bench built without -DSTM_DIAG=ON?)"
+    else
+      echo "  re-run with --record and a -DSTM_DIAG=ON build to capture" \
+           "the interleaving"
+    fi
     echo "  replay:   STM_TEST_SEED=${STM_TEST_SEED} ${BENCH}"
     exit 1
   fi

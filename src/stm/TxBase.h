@@ -16,6 +16,7 @@
 #include "stm/RetiredPool.h"
 #include "stm/TxMemory.h"
 #include "stm/Word.h"
+#include "stm/diag/Hooks.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/ThreadRegistry.h"
@@ -105,6 +106,8 @@ protected:
 
   /// Bookkeeping shared by all commit paths.
   void baseCommit(uint64_t CommitTs) {
+    STM_DIAG_TX_COMMIT(Slot, CommitTs);
+    STM_DIAG_RETIRE(Slot, CommitTs, Mem.pendingFrees());
     ++Stats.Commits;
     SuccessiveAborts = 0;
     FreshStart = true;
@@ -118,6 +121,7 @@ protected:
 
   /// Bookkeeping shared by all abort paths (does not longjmp).
   void baseAbort() {
+    STM_DIAG_TX_ABORT(Slot, Stats);
     ++Stats.Aborts;
     ++SuccessiveAborts;
     FreshStart = false;

@@ -48,6 +48,10 @@ public:
       Frees.push_back(Ptr);
   }
 
+  /// Deferred frees pending for the current transaction (the blocks a
+  /// commit would retire); feeds the diag Retire hook.
+  std::size_t pendingFrees() const { return Frees.size(); }
+
   /// Commit hook: deferred frees become retired blocks stamped with the
   /// committing transaction's timestamp; speculative allocations become
   /// permanent.

@@ -117,6 +117,15 @@ public:
     return Entries[indexFor(Addr)].Entry;
   }
 
+  /// Recovers the stripe index of an entry obtained from entryFor —
+  /// read/write logs store entry pointers, and the diag profiler wants
+  /// the index back. EntryT sits at offset 0 of its PaddedEntry.
+  uint64_t indexOfEntry(const EntryT *Entry) const {
+    assert(Entries && "lock table used before init");
+    return static_cast<uint64_t>(
+        reinterpret_cast<const PaddedEntry<EntryT> *>(Entry) - Entries);
+  }
+
 private:
   PaddedEntry<EntryT> *Entries = nullptr;
   void *Raw = nullptr;

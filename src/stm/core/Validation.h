@@ -22,6 +22,7 @@
 #define STM_CORE_VALIDATION_H
 
 #include "stm/core/Clock.h"
+#include "stm/diag/Hooks.h"
 #include "support/ThreadRegistry.h"
 
 #include <cstdint>
@@ -43,11 +44,16 @@ protected:
   void beginEpoch(const GlobalClock &Clock) {
     ValidTs = Clock.load();
     repro::ThreadRegistry::publishStart(derived().threadSlot(), ValidTs);
+    STM_DIAG_TX_BEGIN(derived().threadSlot(), ValidTs);
   }
 
   /// Runs the derived read-set validation, counted.
   bool revalidate() {
+    STM_DIAG_HOOK(derived().threadSlot(), Validate, ::stm::diag::NoStripe,
+                  ValidTs);
     ++derived().stats().Validations;
+    if (STM_DIAG_INJECTED(ValidationSkip))
+      return true;
     return derived().validateReadSet();
   }
 

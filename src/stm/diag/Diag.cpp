@@ -1,0 +1,987 @@
+//===- stm/diag/Diag.cpp - schedule control + conflict profiler -----------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Implementation of the diag layer declared in Hooks.h / Schedule.h /
+// Profiler.h. One mutex+condvar serializer drives both replay and
+// enumerate mode; record mode only appends under the same mutex. The
+// profiler is lock-free (per-slot notes + an open-addressed atomic
+// shadow map) so it can stay enabled under full-concurrency benches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/diag/Schedule.h"
+
+#include "stm/diag/Profiler.h"
+#include "support/Platform.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <set>
+#include <unistd.h>
+
+namespace stm::diag {
+
+//===----------------------------------------------------------------------===//
+// Hook kind names
+//===----------------------------------------------------------------------===//
+
+static const char *const KindNames[NumHookKinds] = {
+    "begin",  "read",   "validate", "acquire", "writeback",
+    "commit-stamp", "retire", "commit", "abort",   "switch",
+};
+
+const char *hookKindName(HookKind Kind) {
+  unsigned I = static_cast<unsigned>(Kind);
+  return I < NumHookKinds ? KindNames[I] : "?";
+}
+
+bool parseHookKind(const char *Name, HookKind &Out) {
+  for (unsigned I = 0; I < NumHookKinds; ++I) {
+    if (std::strcmp(Name, KindNames[I]) == 0) {
+      Out = static_cast<HookKind>(I);
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Injection knobs
+//===----------------------------------------------------------------------===//
+
+static std::atomic<bool> InjectFlags[static_cast<unsigned>(Inject::Count_)];
+
+bool injected(Inject Knob) {
+  return InjectFlags[static_cast<unsigned>(Knob)].load(
+      std::memory_order_relaxed);
+}
+
+void setInjected(Inject Knob, bool On) {
+  InjectFlags[static_cast<unsigned>(Knob)].store(On,
+                                                 std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class Mode : uint8_t { Off, Record, Replay, Enumerate };
+
+constexpr uint32_t NoTid = ~0u;
+
+thread_local uint32_t TlTid = NoTid;
+
+uint64_t nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool stepMatches(const Step &S, const Event &E) {
+  if (S.Tid != E.Tid)
+    return false;
+  if (!S.AnyKind && S.Kind != E.Kind)
+    return false;
+  if (S.Stripe != NoStripe && S.Stripe != E.Stripe)
+    return false;
+  return true;
+}
+
+} // namespace
+
+struct Schedule::Impl {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  /// Fast-path gate: hooks check this relaxed before touching Mu.
+  std::atomic<Mode> M{Mode::Off};
+
+  uint64_t Seq = 0;
+
+  // Record state. With RingCap > 0 the vector is a circular buffer of
+  // RingCap events; RingCount is the total ever recorded.
+  std::vector<Event> Trace;
+  std::size_t RingCap = 0;
+  uint64_t RingCount = 0;
+
+  // Serializer state (replay + enumerate). Threads is keyed by logical
+  // tid so iteration order — and hence every engine choice — is
+  // deterministic.
+  enum class TS : uint8_t { Running, Parked, Done };
+  struct TInfo {
+    TS State = TS::Running;
+    Event Pending{};
+  };
+  std::map<uint32_t, TInfo> Threads;
+  std::set<uint32_t> BoundEver;
+  uint32_t GrantedTid = NoTid;
+  unsigned RequiredBinds = 0;
+  uint64_t TimeoutMs = 10000;
+  uint64_t LastProgressMs = 0;
+  bool FreeRun = false;
+  std::atomic<bool> StalledFlag{false};
+
+  // Replay state.
+  std::vector<Step> Steps;
+  std::size_t Cursor = 0;
+  std::size_t Consumed = 0;
+  std::size_t Diverged = 0;
+  bool SerializeTail = true;
+
+  // Enumerate state.
+  std::vector<unsigned> Prefix;
+  std::vector<EnumChoice> Choices;
+  unsigned MaxChoicePoints = 64;
+  uint64_t RoundRobin = 0;
+
+  void resetSerializer() {
+    Threads.clear();
+    BoundEver.clear();
+    GrantedTid = NoTid;
+    FreeRun = false;
+    StalledFlag.store(false, std::memory_order_relaxed);
+    Cursor = Consumed = Diverged = 0;
+    Choices.clear();
+    RoundRobin = 0;
+    Seq = 0;
+    Trace.clear();
+    RingCap = 0;
+    RingCount = 0;
+  }
+
+  void logEvent(Event E) {
+    E.Seq = Seq++;
+    if (RingCap == 0) {
+      Trace.push_back(E);
+      return;
+    }
+    if (Trace.size() < RingCap)
+      Trace.push_back(E);
+    else
+      Trace[RingCount % RingCap] = E;
+    ++RingCount;
+  }
+
+  bool anyRunning() const {
+    for (const auto &KV : Threads)
+      if (KV.second.State == TS::Running)
+        return true;
+    return false;
+  }
+
+  /// Replay-mode grant: walk the step list past unmatchable steps,
+  /// grant the thread matching the first live step; past the list,
+  /// round-robin the parked threads (SerializeTail) or release all.
+  void tryGrantReplay() {
+    if (GrantedTid != NoTid || FreeRun)
+      return;
+    if (BoundEver.size() < RequiredBinds)
+      return;
+    if (anyRunning())
+      return;
+    while (Cursor < Steps.size()) {
+      const Step &S = Steps[Cursor];
+      auto It = Threads.find(S.Tid);
+      if (It == Threads.end() || It->second.State == TS::Done) {
+        ++Cursor;
+        ++Diverged;
+        continue;
+      }
+      TInfo &TI = It->second;
+      assert(TI.State == TS::Parked && "anyRunning() was checked");
+      if (S.Until) {
+        // Barrier step: the thread advances segment by segment until it
+        // parks AT a matching hook; the match consumes the step without
+        // a grant, leaving the hook pending for later steps to schedule
+        // around. (A thread that finishes first hits the Done branch
+        // above and the step is skipped as a divergence.)
+        if (stepMatches(S, TI.Pending)) {
+          ++Cursor;
+          ++Consumed;
+          continue;
+        }
+        grant(S.Tid);
+        return;
+      }
+      if (stepMatches(S, TI.Pending)) {
+        ++Cursor;
+        ++Consumed;
+        grant(S.Tid);
+        return;
+      }
+      // The thread this step names is parked at a *different* event.
+      // Its pending event cannot change until granted, so the step can
+      // never match again: skip it deterministically.
+      ++Cursor;
+      ++Diverged;
+      continue;
+    }
+    if (!SerializeTail) {
+      FreeRun = true;
+      Cv.notify_all();
+      return;
+    }
+    grantRoundRobin();
+  }
+
+  /// Enumerate-mode grant: at >= 2 parked threads this is a decision
+  /// point — follow the prefix, then first-choice, then (past the
+  /// recorded-choice cap) round-robin so spin loops terminate.
+  void tryGrantEnumerate() {
+    if (GrantedTid != NoTid || FreeRun)
+      return;
+    if (BoundEver.size() < RequiredBinds)
+      return;
+    if (anyRunning())
+      return;
+    std::vector<uint32_t> Parked;
+    for (const auto &KV : Threads)
+      if (KV.second.State == TS::Parked)
+        Parked.push_back(KV.first);
+    if (Parked.empty())
+      return;
+    unsigned Pick = 0;
+    if (Parked.size() >= 2) {
+      unsigned K = static_cast<unsigned>(Parked.size());
+      if (Choices.size() < Prefix.size()) {
+        Pick = std::min(Prefix[Choices.size()], K - 1);
+        Choices.push_back({Pick, K});
+      } else if (Choices.size() < MaxChoicePoints) {
+        Pick = 0;
+        Choices.push_back({0, K});
+      } else {
+        Pick = static_cast<unsigned>(RoundRobin++ % K);
+      }
+    }
+    grant(Parked[Pick]);
+  }
+
+  // The deterministic tail must also stay *live*: always granting the
+  // lowest parked tid can spin a lock-waiting thread forever while the
+  // parked lock holder never runs. Rotating through the parked set
+  // keeps the tail deterministic (the rotation counter is engine state,
+  // reset per mode) and guarantees every parked thread keeps running.
+  void grantRoundRobin() {
+    std::vector<uint32_t> Parked;
+    for (auto &KV : Threads)
+      if (KV.second.State == TS::Parked)
+        Parked.push_back(KV.first);
+    if (Parked.empty())
+      return;
+    grant(Parked[RoundRobin++ % Parked.size()]);
+  }
+
+  void grant(uint32_t Tid) {
+    GrantedTid = Tid;
+    LastProgressMs = nowMs();
+    Cv.notify_all();
+  }
+
+  void tryGrant() {
+    Mode Cur = M.load(std::memory_order_relaxed);
+    if (Cur == Mode::Replay)
+      tryGrantReplay();
+    else if (Cur == Mode::Enumerate)
+      tryGrantEnumerate();
+  }
+
+  /// Serialized arrival: park, kick the granter, wait for our grant.
+  /// The wedge detector releases everyone to free-run rather than
+  /// hanging the test on an infeasible schedule.
+  void serializedArrive(std::unique_lock<std::mutex> &Lk, const Event &E) {
+    auto It = Threads.find(E.Tid);
+    if (It == Threads.end()) {
+      // Unbound thread (e.g. the test's main thread): pass through
+      // unscheduled but keep its events in the log.
+      logEvent(E);
+      return;
+    }
+    TInfo &TI = It->second;
+    TI.State = TS::Parked;
+    TI.Pending = E;
+    tryGrant();
+    while (true) {
+      if (FreeRun) {
+        TI.State = TS::Running;
+        logEvent(E);
+        return;
+      }
+      if (GrantedTid == E.Tid) {
+        GrantedTid = NoTid;
+        TI.State = TS::Running;
+        LastProgressMs = nowMs();
+        logEvent(E);
+        return;
+      }
+      if (Cv.wait_for(Lk, std::chrono::milliseconds(50)) ==
+          std::cv_status::timeout) {
+        if (!FreeRun && GrantedTid == NoTid &&
+            nowMs() - LastProgressMs > TimeoutMs) {
+          StalledFlag.store(true, std::memory_order_relaxed);
+          FreeRun = true;
+          Cv.notify_all();
+        }
+      }
+    }
+  }
+
+  void bind(uint32_t Tid) {
+    std::unique_lock<std::mutex> Lk(Mu);
+    TlTid = Tid;
+    Mode Cur = M.load(std::memory_order_relaxed);
+    if (Cur != Mode::Replay && Cur != Mode::Enumerate)
+      return;
+    Threads[Tid].State = TS::Running;
+    BoundEver.insert(Tid);
+    tryGrant();
+    Cv.notify_all();
+  }
+
+  void unbind() {
+    std::unique_lock<std::mutex> Lk(Mu);
+    uint32_t Tid = TlTid;
+    TlTid = NoTid;
+    if (Tid == NoTid)
+      return;
+    auto It = Threads.find(Tid);
+    if (It != Threads.end()) {
+      It->second.State = TS::Done;
+      tryGrant();
+      Cv.notify_all();
+    }
+  }
+
+  void onEvent(uint32_t Slot, HookKind Kind, uint64_t Stripe, uint64_t Aux) {
+    std::unique_lock<std::mutex> Lk(Mu);
+    Mode Cur = M.load(std::memory_order_relaxed);
+    if (Cur == Mode::Off)
+      return;
+    Event E;
+    E.Seq = 0;
+    E.Tid = TlTid != NoTid ? TlTid : Slot;
+    E.Slot = Slot;
+    E.Kind = Kind;
+    E.Stripe = Stripe;
+    E.Aux = Aux;
+    if (Cur == Mode::Record) {
+      logEvent(E);
+      return;
+    }
+    serializedArrive(Lk, E);
+  }
+
+  std::vector<Event> takeTrace() {
+    if (RingCap == 0 || RingCount <= RingCap)
+      return std::move(Trace);
+    // The ring wrapped: rotate so the oldest surviving event is first.
+    std::vector<Event> Out;
+    Out.reserve(RingCap);
+    std::size_t Start = RingCount % RingCap;
+    for (std::size_t I = 0; I < RingCap; ++I)
+      Out.push_back(Trace[(Start + I) % RingCap]);
+    return Out;
+  }
+};
+
+Schedule &Schedule::instance() {
+  static Schedule S;
+  return S;
+}
+
+Schedule::Impl &Schedule::impl() {
+  static Impl I;
+  return I;
+}
+
+void Schedule::bindThread(uint32_t Tid) { instance().impl().bind(Tid); }
+
+void Schedule::unbindThread() { instance().impl().unbind(); }
+
+void Schedule::startRecord(std::size_t RingCapacity) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  I.resetSerializer();
+  I.RingCap = RingCapacity;
+  if (RingCapacity)
+    I.Trace.reserve(RingCapacity);
+  I.M.store(Mode::Record, std::memory_order_release);
+}
+
+std::vector<Event> Schedule::stopRecord() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  I.M.store(Mode::Off, std::memory_order_release);
+  return I.takeTrace();
+}
+
+void Schedule::startReplay(std::vector<Step> Steps, ReplayOptions Opts) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  I.resetSerializer();
+  I.Steps = std::move(Steps);
+  I.TimeoutMs = Opts.TimeoutMs;
+  I.SerializeTail = Opts.SerializeTail;
+  if (Opts.ExpectedThreads) {
+    I.RequiredBinds = Opts.ExpectedThreads;
+  } else {
+    std::set<uint32_t> Tids;
+    for (const Step &S : I.Steps)
+      Tids.insert(S.Tid);
+    I.RequiredBinds = static_cast<unsigned>(Tids.size());
+  }
+  I.LastProgressMs = nowMs();
+  I.M.store(Mode::Replay, std::memory_order_release);
+}
+
+std::vector<Event> Schedule::stopReplay() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  I.M.store(Mode::Off, std::memory_order_release);
+  I.FreeRun = true;
+  I.Cv.notify_all();
+  return I.takeTrace();
+}
+
+bool Schedule::stalled() const {
+  return const_cast<Schedule *>(this)->impl().StalledFlag.load(
+      std::memory_order_relaxed);
+}
+
+std::size_t Schedule::stepsConsumed() const {
+  Impl &I = const_cast<Schedule *>(this)->impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  return I.Consumed;
+}
+
+std::size_t Schedule::divergences() const {
+  Impl &I = const_cast<Schedule *>(this)->impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  return I.Diverged;
+}
+
+void Schedule::startEnumerate(std::vector<unsigned> ChoicePrefix,
+                              unsigned ExpectedThreads,
+                              unsigned MaxChoicePoints, uint64_t TimeoutMs) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  I.resetSerializer();
+  I.Prefix = std::move(ChoicePrefix);
+  I.RequiredBinds = ExpectedThreads;
+  I.MaxChoicePoints = MaxChoicePoints;
+  I.TimeoutMs = TimeoutMs;
+  I.LastProgressMs = nowMs();
+  I.M.store(Mode::Enumerate, std::memory_order_release);
+}
+
+std::vector<EnumChoice> Schedule::stopEnumerate() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lk(I.Mu);
+  I.M.store(Mode::Off, std::memory_order_release);
+  I.FreeRun = true;
+  I.Cv.notify_all();
+  return std::move(I.Choices);
+}
+
+void Schedule::onEvent(uint32_t Slot, HookKind Kind, uint64_t Stripe,
+                       uint64_t Aux) {
+  impl().onEvent(Slot, Kind, Stripe, Aux);
+}
+
+bool Schedule::active() const {
+  return const_cast<Schedule *>(this)->impl().M.load(
+             std::memory_order_relaxed) != Mode::Off;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace I/O
+//===----------------------------------------------------------------------===//
+
+bool Schedule::dumpTrace(const std::vector<Event> &Trace, const char *Path) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "# stm-diag-trace v1\n");
+  for (const Event &E : Trace) {
+    if (E.Stripe == NoStripe)
+      std::fprintf(F, "%llu %u %u %s - %llu\n",
+                   (unsigned long long)E.Seq, E.Tid, E.Slot,
+                   hookKindName(E.Kind), (unsigned long long)E.Aux);
+    else
+      std::fprintf(F, "%llu %u %u %s %llu %llu\n",
+                   (unsigned long long)E.Seq, E.Tid, E.Slot,
+                   hookKindName(E.Kind), (unsigned long long)E.Stripe,
+                   (unsigned long long)E.Aux);
+  }
+  bool Ok = std::fclose(F) == 0;
+  return Ok;
+}
+
+bool Schedule::loadTrace(const char *Path, std::vector<Event> &Out) {
+  std::FILE *F = std::fopen(Path, "r");
+  if (!F)
+    return false;
+  Out.clear();
+  char Line[256];
+  bool Ok = true;
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (Line[0] == '#' || Line[0] == '\n')
+      continue;
+    unsigned long long S, St, A;
+    unsigned T, Sl;
+    char KindBuf[32], StripeBuf[32];
+    if (std::sscanf(Line, "%llu %u %u %31s %31s %llu", &S, &T, &Sl, KindBuf,
+                    StripeBuf, &A) != 6) {
+      Ok = false;
+      break;
+    }
+    Event E;
+    E.Seq = S;
+    E.Tid = T;
+    E.Slot = Sl;
+    if (!parseHookKind(KindBuf, E.Kind)) {
+      Ok = false;
+      break;
+    }
+    if (StripeBuf[0] == '-' && StripeBuf[1] == '\0') {
+      E.Stripe = NoStripe;
+    } else if (std::sscanf(StripeBuf, "%llu", &St) == 1) {
+      E.Stripe = St;
+    } else {
+      Ok = false;
+      break;
+    }
+    E.Aux = A;
+    Out.push_back(E);
+  }
+  std::fclose(F);
+  return Ok;
+}
+
+std::vector<Step> Schedule::stepsFromEvents(const std::vector<Event> &Trace) {
+  std::vector<Step> Steps;
+  Steps.reserve(Trace.size());
+  for (const Event &E : Trace) {
+    Step S;
+    S.Tid = E.Tid;
+    S.Kind = E.Kind;
+    S.AnyKind = false;
+    S.Stripe = E.Stripe;
+    Steps.push_back(S);
+  }
+  return Steps;
+}
+
+void Schedule::dumpRingToFd(int Fd) {
+  // Async-signal path: no locking (the crashing thread may hold Mu),
+  // no allocation. Reads of a vector being concurrently appended are
+  // best-effort — the snapshot below bounds the damage.
+  Impl &I = impl();
+  std::size_t N = I.Trace.size();
+  const Event *Base = I.Trace.data();
+  if (!Base || N == 0)
+    return;
+  char Buf[160];
+  int Len = std::snprintf(Buf, sizeof(Buf), "# stm-diag-trace v1\n");
+  (void)!write(Fd, Buf, (size_t)Len);
+  std::size_t Start =
+      (I.RingCap && I.RingCount > I.RingCap) ? I.RingCount % I.RingCap : 0;
+  for (std::size_t K = 0; K < N; ++K) {
+    const Event &E = Base[(Start + K) % N];
+    if (E.Stripe == NoStripe)
+      Len = std::snprintf(Buf, sizeof(Buf), "%llu %u %u %s - %llu\n",
+                          (unsigned long long)E.Seq, E.Tid, E.Slot,
+                          hookKindName(E.Kind), (unsigned long long)E.Aux);
+    else
+      Len = std::snprintf(Buf, sizeof(Buf), "%llu %u %u %s %llu %llu\n",
+                          (unsigned long long)E.Seq, E.Tid, E.Slot,
+                          hookKindName(E.Kind), (unsigned long long)E.Stripe,
+                          (unsigned long long)E.Aux);
+    if (Len > 0)
+      (void)!write(Fd, Buf, (size_t)Len);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration driver
+//===----------------------------------------------------------------------===//
+
+EnumStats enumerateSchedules(unsigned ExpectedThreads, uint64_t MaxRuns,
+                             const std::function<void()> &RunOnce,
+                             unsigned MaxChoicePoints) {
+  EnumStats Stats;
+  Schedule &S = Schedule::instance();
+  std::vector<unsigned> Prefix;
+  while (Stats.Runs < MaxRuns) {
+    S.startEnumerate(Prefix, ExpectedThreads, MaxChoicePoints);
+    RunOnce();
+    std::vector<EnumChoice> Choices = S.stopEnumerate();
+    ++Stats.Runs;
+    // Depth-first: bump the deepest choice that still has an untried
+    // alternative, drop everything after it.
+    int I = static_cast<int>(Choices.size()) - 1;
+    while (I >= 0 && Choices[I].Chosen + 1 >= Choices[I].Enabled)
+      --I;
+    if (I < 0) {
+      Stats.Exhausted = true;
+      break;
+    }
+    Prefix.clear();
+    for (int J = 0; J < I; ++J)
+      Prefix.push_back(Choices[J].Chosen);
+    Prefix.push_back(Choices[I].Chosen + 1);
+  }
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// splitmix64-style mix spreads adjacent stripe indices across the
+/// table (adjacent stripes are exactly the hot case under benches).
+uint64_t mixStripe(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+struct Profiler::Impl {
+  static constexpr std::size_t Size = std::size_t{1} << Profiler::TableLog2;
+  static constexpr std::size_t MaxProbe = 64;
+
+  struct Entry {
+    std::atomic<uint64_t> Key{0}; ///< Stripe + 1; 0 = empty
+    std::atomic<uint64_t> Conflicts{0};
+    std::atomic<uint64_t> Aborts{0};
+    std::atomic<uint64_t> AddrA{0};
+    std::atomic<uint64_t> AddrB{0};
+  };
+
+  struct alignas(repro::CacheLineSize) SlotNote {
+    std::atomic<uint64_t> Stripe{NoStripe};
+    std::atomic<uint64_t> Addr{0};
+    std::atomic<uint64_t> Lock{0};
+    std::atomic<uint32_t> Armed{0};
+  };
+
+  std::atomic<bool> Enabled{false};
+  std::vector<Entry> Table{Size};
+  SlotNote Notes[repro::MaxThreads];
+  std::atomic<uint64_t> ConflictNotes{0};
+  std::atomic<uint64_t> Attributed{0};
+  std::atomic<uint64_t> Unattributed{0};
+  std::atomic<uint64_t> Dropped{0};
+
+  Entry *find(uint64_t Stripe) {
+    uint64_t Key = Stripe + 1;
+    std::size_t H = mixStripe(Stripe) & (Size - 1);
+    for (std::size_t P = 0; P < MaxProbe; ++P) {
+      Entry &E = Table[(H + P) & (Size - 1)];
+      uint64_t K = E.Key.load(std::memory_order_acquire);
+      if (K == Key)
+        return &E;
+      if (K == 0) {
+        uint64_t Expected = 0;
+        if (E.Key.compare_exchange_strong(Expected, Key,
+                                          std::memory_order_acq_rel))
+          return &E;
+        if (Expected == Key)
+          return &E;
+      }
+    }
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  void recordAddr(Entry &E, uint64_t Addr) {
+    if (!Addr)
+      return;
+    uint64_t A = E.AddrA.load(std::memory_order_relaxed);
+    if (A == 0) {
+      uint64_t Expected = 0;
+      if (E.AddrA.compare_exchange_strong(Expected, Addr,
+                                          std::memory_order_relaxed))
+        return;
+      A = Expected;
+    }
+    if (A == Addr)
+      return;
+    uint64_t B = E.AddrB.load(std::memory_order_relaxed);
+    if (B == 0) {
+      uint64_t Expected = 0;
+      E.AddrB.compare_exchange_strong(Expected, Addr,
+                                      std::memory_order_relaxed);
+    }
+  }
+};
+
+Profiler &Profiler::instance() {
+  static Profiler P;
+  return P;
+}
+
+Profiler::Profiler() : P(new Impl) {}
+
+void Profiler::enable() { P->Enabled.store(true, std::memory_order_release); }
+
+void Profiler::disable() {
+  P->Enabled.store(false, std::memory_order_release);
+}
+
+bool Profiler::enabled() const {
+  return P->Enabled.load(std::memory_order_acquire);
+}
+
+void Profiler::reset() {
+  for (Impl::Entry &E : P->Table) {
+    E.Key.store(0, std::memory_order_relaxed);
+    E.Conflicts.store(0, std::memory_order_relaxed);
+    E.Aborts.store(0, std::memory_order_relaxed);
+    E.AddrA.store(0, std::memory_order_relaxed);
+    E.AddrB.store(0, std::memory_order_relaxed);
+  }
+  for (Impl::SlotNote &N : P->Notes) {
+    N.Stripe.store(NoStripe, std::memory_order_relaxed);
+    N.Addr.store(0, std::memory_order_relaxed);
+    N.Lock.store(0, std::memory_order_relaxed);
+    N.Armed.store(0, std::memory_order_relaxed);
+  }
+  P->ConflictNotes.store(0, std::memory_order_relaxed);
+  P->Attributed.store(0, std::memory_order_relaxed);
+  P->Unattributed.store(0, std::memory_order_relaxed);
+  P->Dropped.store(0, std::memory_order_relaxed);
+}
+
+void Profiler::noteConflict(unsigned Slot, const void *Addr, uint64_t Stripe,
+                            uint64_t LockWord) {
+  if (!P->Enabled.load(std::memory_order_relaxed))
+    return;
+  P->ConflictNotes.fetch_add(1, std::memory_order_relaxed);
+  uint64_t A = reinterpret_cast<uint64_t>(Addr);
+  if (Slot < repro::MaxThreads) {
+    // Arm the slot's last-conflict note. The slot may be a *victim's*
+    // (an attacker noting the contended stripe before a kill) — last
+    // writer wins, which is the conflict closest to the abort.
+    Impl::SlotNote &N = P->Notes[Slot];
+    N.Stripe.store(Stripe, std::memory_order_relaxed);
+    N.Addr.store(A, std::memory_order_relaxed);
+    N.Lock.store(LockWord, std::memory_order_relaxed);
+    N.Armed.store(1, std::memory_order_release);
+  }
+  if (Stripe == NoStripe)
+    return;
+  if (Impl::Entry *E = P->find(Stripe)) {
+    E->Conflicts.fetch_add(1, std::memory_order_relaxed);
+    P->recordAddr(*E, A);
+  }
+}
+
+void Profiler::noteBegin(unsigned Slot) {
+  if (!P->Enabled.load(std::memory_order_relaxed))
+    return;
+  if (Slot < repro::MaxThreads)
+    P->Notes[Slot].Armed.store(0, std::memory_order_relaxed);
+}
+
+void Profiler::noteAbort(unsigned Slot, repro::TxStats &Stats) {
+  if (!P->Enabled.load(std::memory_order_relaxed))
+    return;
+  if (Slot >= repro::MaxThreads)
+    return;
+  Impl::SlotNote &N = P->Notes[Slot];
+  if (!N.Armed.load(std::memory_order_acquire)) {
+    P->Unattributed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  N.Armed.store(0, std::memory_order_relaxed);
+  uint64_t Stripe = N.Stripe.load(std::memory_order_relaxed);
+  P->Attributed.fetch_add(1, std::memory_order_relaxed);
+  Stats.AbortsAttributed += 1;
+  if (Stripe == NoStripe)
+    return;
+  if (Impl::Entry *E = P->find(Stripe))
+    E->Aborts.fetch_add(1, std::memory_order_relaxed);
+}
+
+ProfileReport Profiler::report() const {
+  ProfileReport R;
+  for (const Impl::Entry &E : P->Table) {
+    uint64_t K = E.Key.load(std::memory_order_acquire);
+    if (K == 0)
+      continue;
+    StripeProfile S;
+    S.Stripe = K - 1;
+    S.Conflicts = E.Conflicts.load(std::memory_order_relaxed);
+    S.Aborts = E.Aborts.load(std::memory_order_relaxed);
+    S.AddrA = E.AddrA.load(std::memory_order_relaxed);
+    S.AddrB = E.AddrB.load(std::memory_order_relaxed);
+    S.FalseSharing = S.AddrB != 0 && S.AddrB != S.AddrA;
+    if (S.FalseSharing)
+      ++R.FalseSharingStripes;
+    R.Stripes.push_back(S);
+  }
+  std::sort(R.Stripes.begin(), R.Stripes.end(),
+            [](const StripeProfile &A, const StripeProfile &B) {
+              if (A.Aborts != B.Aborts)
+                return A.Aborts > B.Aborts;
+              if (A.Conflicts != B.Conflicts)
+                return A.Conflicts > B.Conflicts;
+              return A.Stripe < B.Stripe;
+            });
+  R.ConflictNotes = P->ConflictNotes.load(std::memory_order_relaxed);
+  R.AttributedAborts = P->Attributed.load(std::memory_order_relaxed);
+  R.UnattributedAborts = P->Unattributed.load(std::memory_order_relaxed);
+  R.DroppedStripes = P->Dropped.load(std::memory_order_relaxed);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Hook entry points
+//===----------------------------------------------------------------------===//
+
+void hookPoint(unsigned Slot, HookKind Kind, uint64_t Stripe, uint64_t Aux) {
+  Schedule &S = Schedule::instance();
+  if (S.active())
+    S.onEvent(Slot, Kind, Stripe, Aux);
+}
+
+void txBegin(unsigned Slot, uint64_t StartTs) {
+  Profiler::instance().noteBegin(Slot);
+  hookPoint(Slot, HookKind::Begin, NoStripe, StartTs);
+}
+
+void txCommit(unsigned Slot, uint64_t CommitTs) {
+  hookPoint(Slot, HookKind::Commit, NoStripe, CommitTs);
+}
+
+void txAbort(unsigned Slot, repro::TxStats &Stats) {
+  hookPoint(Slot, HookKind::Abort, NoStripe, 0);
+  Profiler::instance().noteAbort(Slot, Stats);
+}
+
+void noteConflict(unsigned Slot, const void *Addr, uint64_t Stripe,
+                  uint64_t LockWord) {
+  Profiler::instance().noteConflict(Slot, Addr, Stripe, LockWord);
+}
+
+//===----------------------------------------------------------------------===//
+// Bench wiring: env-driven recording + crash-dump handlers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+char CrashTracePath[512] = "stm-diag-crash.trace";
+struct sigaction OldAbrt, OldSegv, OldBus;
+
+void crashDump(int Sig, siginfo_t *Info, void *Ctx) {
+  int Fd = open(CrashTracePath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd >= 0) {
+    Schedule::instance().dumpRingToFd(Fd);
+    close(Fd);
+  }
+  // Chain to the previous disposition (MALLOC_CHECK_ diagnostics,
+  // default core dump, ...).
+  struct sigaction *Old = Sig == SIGABRT  ? &OldAbrt
+                          : Sig == SIGSEGV ? &OldSegv
+                                           : &OldBus;
+  if (Old->sa_flags & SA_SIGINFO) {
+    if (Old->sa_sigaction)
+      Old->sa_sigaction(Sig, Info, Ctx);
+    return;
+  }
+  if (Old->sa_handler == SIG_IGN)
+    return;
+  if (Old->sa_handler != SIG_DFL) {
+    Old->sa_handler(Sig);
+    return;
+  }
+  signal(Sig, SIG_DFL);
+  raise(Sig);
+}
+
+void installCrashHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_sigaction = crashDump;
+  SA.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGABRT, &SA, &OldAbrt);
+  sigaction(SIGSEGV, &SA, &OldSegv);
+  sigaction(SIGBUS, &SA, &OldBus);
+}
+
+} // namespace
+
+void initFromEnv() {
+  if (const char *V = std::getenv("STM_DIAG_PROFILE")) {
+    if (*V && *V != '0')
+      Profiler::instance().enable();
+  }
+  const char *Rec = std::getenv("STM_DIAG_RECORD");
+  if (!Rec || !*Rec || *Rec == '0')
+    return;
+  std::size_t Ring = 1u << 16;
+  if (const char *R = std::getenv("STM_DIAG_RING")) {
+    long long N = std::atoll(R);
+    if (N > 0)
+      Ring = static_cast<std::size_t>(N);
+  }
+  if (const char *T = std::getenv("STM_DIAG_TRACE")) {
+    std::strncpy(CrashTracePath, T, sizeof(CrashTracePath) - 1);
+    CrashTracePath[sizeof(CrashTracePath) - 1] = '\0';
+  }
+  Schedule::instance().startRecord(Ring);
+  installCrashHandlers();
+}
+
+void maybePrintProfile(const char *Label) {
+  Profiler &Prof = Profiler::instance();
+  if (!Prof.enabled())
+    return;
+  ProfileReport R = Prof.report();
+  uint64_t TotalAborts = R.AttributedAborts + R.UnattributedAborts;
+  if (R.ConflictNotes == 0 && TotalAborts == 0)
+    return;
+  std::fprintf(stderr,
+               "# diag-profile %s: notes=%llu attributed=%llu/%llu "
+               "false-sharing-stripes=%llu dropped=%llu\n",
+               Label, (unsigned long long)R.ConflictNotes,
+               (unsigned long long)R.AttributedAborts,
+               (unsigned long long)TotalAborts,
+               (unsigned long long)R.FalseSharingStripes,
+               (unsigned long long)R.DroppedStripes);
+  std::size_t N = std::min<std::size_t>(R.Stripes.size(), 10);
+  for (std::size_t I = 0; I < N; ++I) {
+    const StripeProfile &S = R.Stripes[I];
+    std::fprintf(stderr, "#   stripe %llu: aborts=%llu conflicts=%llu",
+                 (unsigned long long)S.Stripe, (unsigned long long)S.Aborts,
+                 (unsigned long long)S.Conflicts);
+    if (S.AddrA)
+      std::fprintf(stderr, " addr=0x%llx", (unsigned long long)S.AddrA);
+    if (S.FalseSharing)
+      std::fprintf(stderr, " FALSE-SHARING addr2=0x%llx",
+                   (unsigned long long)S.AddrB);
+    std::fprintf(stderr, "\n");
+  }
+  // Per-run reports: the next measured cell starts from a clean map.
+  Prof.reset();
+}
+
+} // namespace stm::diag

@@ -1,0 +1,103 @@
+//===- stm/diag/Profiler.h - shadow-map conflict profiler -------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Attributes every abort to the address/stripe/lock-word that caused
+// it. The mechanism is a per-slot "last conflict" note armed at each
+// conflict-detection site (STM_DIAG_NOTE_CONFLICT) and consumed by the
+// Abort lifecycle hook: because the note is cleared at Begin, an
+// attributed abort is guaranteed to blame a conflict observed during
+// the aborting attempt itself. Attackers note the contended stripe
+// into their victim's slot before requesting a kill, so CM-initiated
+// aborts stay attributed too.
+//
+// Aggregation is a shadow map keyed by lock-table stripe index: an
+// open-addressed fixed-size table of atomic counters (conflicts seen,
+// aborts attributed, and the first two distinct faulting addresses).
+// Two distinct addresses conflicting through one stripe entry is
+// lock-table false sharing — either two variables inside one
+// granularity stripe or two stripes colliding on a table index — the
+// exact effect Figure 13's granularity sweep trades against, now
+// visible per stripe instead of only as an aggregate abort rate.
+//
+// The per-thread attribution counter (TxStats::AbortsAttributed) rides
+// the ordinary stats channel, so attribution *coverage* — attributed
+// aborts over all aborts — falls out of any bench's existing stats
+// aggregation. The per-stripe table is process-global; benches print
+// it via diag::maybePrintProfile.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_DIAG_PROFILER_H
+#define STM_DIAG_PROFILER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace repro {
+struct TxStats;
+}
+
+namespace stm::diag {
+
+/// Aggregated view of one shadow-map stripe entry.
+struct StripeProfile {
+  uint64_t Stripe;       ///< lock-table index
+  uint64_t Conflicts;    ///< conflict notes recorded against it
+  uint64_t Aborts;       ///< aborts attributed to it
+  uint64_t AddrA;        ///< first faulting address seen (0 if none)
+  uint64_t AddrB;        ///< second distinct faulting address (0 if none)
+  bool FalseSharing;     ///< >= 2 distinct addresses met in this entry
+};
+
+/// Whole-profiler snapshot, stripes sorted by attributed aborts
+/// (then conflicts) descending.
+struct ProfileReport {
+  std::vector<StripeProfile> Stripes;
+  uint64_t ConflictNotes = 0;      ///< total notes recorded
+  uint64_t AttributedAborts = 0;   ///< aborts consumed with a note armed
+  uint64_t UnattributedAborts = 0; ///< aborts with no note this attempt
+  uint64_t FalseSharingStripes = 0;
+  uint64_t DroppedStripes = 0; ///< notes lost to shadow-map overflow
+};
+
+class Profiler {
+public:
+  static Profiler &instance();
+
+  /// Shadow-map capacity: plenty for any bench's hot set; overflow is
+  /// counted, not resized (the hot stripes claim entries first).
+  static constexpr std::size_t TableLog2 = 12;
+
+  void enable();
+  void disable();
+  bool enabled() const;
+
+  /// Clears the shadow map and all counters (keeps enabled state).
+  void reset();
+
+  /// Conflict-site entry (via STM_DIAG_NOTE_CONFLICT). \p Addr may be
+  /// null when the site only knows the stripe (read-set validation).
+  void noteConflict(unsigned Slot, const void *Addr, uint64_t Stripe,
+                    uint64_t LockWord);
+
+  /// Begin lifecycle: disarm the slot's note (a note may only ever
+  /// attribute an abort of the attempt that recorded it).
+  void noteBegin(unsigned Slot);
+
+  /// Abort lifecycle: consume the slot's note, attribute the abort to
+  /// its stripe, and bump \p Stats.AbortsAttributed on success.
+  void noteAbort(unsigned Slot, repro::TxStats &Stats);
+
+  ProfileReport report() const;
+
+private:
+  Profiler();
+  struct Impl;
+  Impl *P;
+};
+
+} // namespace stm::diag
+
+#endif // STM_DIAG_PROFILER_H

@@ -1,0 +1,235 @@
+//===- stm/diag/Schedule.h - record/replay/enumerate scheduling -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The schedule-control engine behind the diag hook points (Hooks.h).
+// Three modes, selected at rest (no transactions in flight):
+//
+//   Record     every hook event is appended to a trace — either
+//              unbounded (tests) or a fixed ring that keeps the tail
+//              (bench grids, dumped by the crash handler at an abort).
+//              Threads run at full concurrency; the trace is the
+//              hook-arrival order.
+//
+//   Replay     a step list (hand-written, or stepsFromEvents of a
+//              recorded trace) is enforced as a *serialized* schedule:
+//              at most one scheduled thread runs between hook points.
+//              A thread arriving at a hook parks; when every
+//              registered thread is parked, the engine grants the one
+//              matching the front step and waits for it to reach its
+//              next hook before granting again. Because every racy STM
+//              operation sits between two hooks and only one thread
+//              runs per segment, the execution — including every
+//              validation outcome and therefore the commit/abort
+//              sequence — is a deterministic function of the step
+//              list. Steps that can no longer match (their thread is
+//              parked at a different event or finished) are skipped
+//              and counted as divergences; a wedge (no grantable
+//              thread for TimeoutMs) flags `stalled` and releases
+//              everyone rather than hanging the test.
+//
+//   Enumerate  no step list: at each all-parked point the engine
+//              *chooses* which thread to grant. The choice sequence is
+//              recorded; driving the first divergent choice through
+//              all alternatives (enumerateSchedules) walks every
+//              distinct serialized schedule of a bounded history —
+//              exhaustive interleaving coverage for small tests.
+//
+// Threads participate by identity, not registry slot: workers call
+// Schedule::bindThread(Tid) with a test-chosen logical id (ThreadScope
+// slot assignment is racy across runs, logical ids are not). Events
+// from unbound threads pass through unscheduled.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_DIAG_SCHEDULE_H
+#define STM_DIAG_SCHEDULE_H
+
+#include "stm/diag/Hooks.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace stm::diag {
+
+/// One observed hook event. Tid is the logical thread id bound via
+/// bindThread (the raw registry slot when unbound).
+struct Event {
+  uint64_t Seq;
+  uint32_t Tid;
+  uint32_t Slot;
+  HookKind Kind;
+  uint64_t Stripe; ///< NoStripe when the hook is not stripe-scoped
+  uint64_t Aux;
+};
+
+/// One replay step: "the next scheduled hook is thread Tid arriving at
+/// Kind (on Stripe)". AnyKind/NoStripe widen the match.
+struct Step {
+  uint32_t Tid;
+  HookKind Kind = HookKind::Begin;
+  bool AnyKind = false;
+  uint64_t Stripe = NoStripe;
+  /// Barrier semantics for hand-written schedules: instead of granting
+  /// one matching event, keep granting this thread segments until it
+  /// parks AT a matching hook (which stays unexecuted — the next steps
+  /// run other threads across that window). Tolerant of data-dependent
+  /// filler hooks (periodic validation, clock extensions) that make
+  /// exact event-by-event step lists brittle. If the thread finishes
+  /// without ever reaching a match, the step is a divergence and is
+  /// skipped — so an unmatchable Until also serves as "run to
+  /// completion".
+  bool Until = false;
+};
+
+/// One enumerate-mode decision point: Chosen of Enabled (>= 2) parked
+/// threads was granted.
+struct EnumChoice {
+  unsigned Chosen;
+  unsigned Enabled;
+};
+
+class Schedule {
+public:
+  static Schedule &instance();
+
+  //===--------------------------------------------------------------------===//
+  // Thread identity
+  //===--------------------------------------------------------------------===//
+
+  /// Binds the calling thread to logical id \p Tid for the duration of
+  /// the active mode. In replay/enumerate this registers the thread
+  /// with the serializer; call before the first transactional access.
+  static void bindThread(uint32_t Tid);
+
+  /// Retires the calling thread from the scheduled set (replay /
+  /// enumerate grant no longer waits on it) and clears the binding.
+  /// Must be called before the worker exits; ScopedThread automates it.
+  static void unbindThread();
+
+  /// RAII worker binding.
+  class ScopedThread {
+  public:
+    explicit ScopedThread(uint32_t Tid) { bindThread(Tid); }
+    ~ScopedThread() { unbindThread(); }
+    ScopedThread(const ScopedThread &) = delete;
+    ScopedThread &operator=(const ScopedThread &) = delete;
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Record
+  //===--------------------------------------------------------------------===//
+
+  /// Starts recording. \p RingCapacity == 0 keeps every event
+  /// (unbounded, test-sized runs); > 0 keeps only the newest
+  /// RingCapacity events (bench grids).
+  void startRecord(std::size_t RingCapacity = 0);
+
+  /// Stops recording and returns the trace in event order (for a ring
+  /// that wrapped, the surviving tail).
+  std::vector<Event> stopRecord();
+
+  //===--------------------------------------------------------------------===//
+  // Replay
+  //===--------------------------------------------------------------------===//
+
+  struct ReplayOptions {
+    /// Wedge detector: if no grant happens for this long while threads
+    /// wait, the replay is flagged stalled and released to free-run.
+    uint64_t TimeoutMs = 10000;
+    /// Threads that must bind before the first grant. 0 derives the
+    /// set from the distinct Tids in the step list.
+    unsigned ExpectedThreads = 0;
+    /// After the step list is exhausted, keep serializing by granting
+    /// parked threads in Tid order (keeps the tail deterministic).
+    /// Off releases every thread to free-run.
+    bool SerializeTail = true;
+  };
+
+  /// Arms replay of \p Steps. Workers then bind, run the workload, and
+  /// unbind; stopReplay() returns the serialized event log.
+  void startReplay(std::vector<Step> Steps, ReplayOptions Opts);
+  void startReplay(std::vector<Step> Steps) {
+    startReplay(std::move(Steps), ReplayOptions());
+  }
+
+  /// Ends replay mode and returns the grant-ordered event log.
+  std::vector<Event> stopReplay();
+
+  /// True once the wedge detector fired (the replayed interleaving was
+  /// infeasible). Valid during and after replay until the next start*.
+  bool stalled() const;
+
+  /// Steps consumed / steps skipped as unmatchable.
+  std::size_t stepsConsumed() const;
+  std::size_t divergences() const;
+
+  //===--------------------------------------------------------------------===//
+  // Enumerate
+  //===--------------------------------------------------------------------===//
+
+  /// Arms enumerate mode: the first Prefix.size() decision points
+  /// follow \p ChoicePrefix, later ones default to the lowest-Tid
+  /// parked thread. Decision points after \p MaxChoicePoints are
+  /// granted round-robin and not recorded (termination bound for
+  /// histories with long spin phases).
+  void startEnumerate(std::vector<unsigned> ChoicePrefix,
+                      unsigned ExpectedThreads,
+                      unsigned MaxChoicePoints = 64,
+                      uint64_t TimeoutMs = 10000);
+
+  /// Ends enumerate mode; returns the recorded decision points.
+  std::vector<EnumChoice> stopEnumerate();
+
+  //===--------------------------------------------------------------------===//
+  // Hook entry (called via Hooks.h)
+  //===--------------------------------------------------------------------===//
+
+  void onEvent(uint32_t Slot, HookKind Kind, uint64_t Stripe, uint64_t Aux);
+
+  bool active() const;
+
+  //===--------------------------------------------------------------------===//
+  // Traces
+  //===--------------------------------------------------------------------===//
+
+  /// Writes/reads the plain-text trace format:
+  ///   # stm-diag-trace v1
+  ///   <seq> <tid> <slot> <kind-name> <stripe|-> <aux>
+  static bool dumpTrace(const std::vector<Event> &Trace, const char *Path);
+  static bool loadTrace(const char *Path, std::vector<Event> &Out);
+
+  /// Converts a trace into the step list that replays it: one step per
+  /// event, matching (Tid, Kind, Stripe) exactly.
+  static std::vector<Step> stepsFromEvents(const std::vector<Event> &Trace);
+
+  /// Async-signal path for the crash handler: best-effort dump of the
+  /// active ring to \p Fd without blocking on the engine mutex.
+  void dumpRingToFd(int Fd);
+
+private:
+  Schedule() = default;
+  struct Impl;
+  Impl &impl();
+};
+
+/// Runs \p RunOnce under enumerate mode once per distinct schedule
+/// (depth-first over the recorded choice points), up to \p MaxRuns.
+/// \p RunOnce must spawn its \p ExpectedThreads bound workers and join
+/// them. Returns the number of schedules executed and whether the
+/// space was exhausted (vs. truncated by MaxRuns).
+struct EnumStats {
+  uint64_t Runs = 0;
+  bool Exhausted = false;
+};
+EnumStats enumerateSchedules(unsigned ExpectedThreads, uint64_t MaxRuns,
+                             const std::function<void()> &RunOnce,
+                             unsigned MaxChoicePoints = 64);
+
+} // namespace stm::diag
+
+#endif // STM_DIAG_SCHEDULE_H

@@ -90,6 +90,8 @@ bool RstmTx::validateReadSet() {
       if (Ok)
         continue;
     }
+    STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                           GlobalState.Table.indexOfEntry(R.Rec), Cur);
     return false;
   }
   return true;
@@ -115,6 +117,8 @@ Word RstmTx::load(const Word *Addr) {
         (Rec.Readers.load(std::memory_order_relaxed) & MyBit) != 0;
     if (!Held) {
       while (true) {
+        STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Rec),
+                      MyBit);
         Rec.Readers.fetch_or(MyBit, std::memory_order_acq_rel);
         Word V = Rec.Owner.load(std::memory_order_acquire);
         if (!orecIsCommitting(V) || orecOwner(V) == this)
@@ -124,6 +128,7 @@ Word RstmTx::load(const Word *Addr) {
         unsigned SpinStep = 0;
         while (orecIsCommitting(
             Rec.Owner.load(std::memory_order_acquire))) {
+          STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Rec), V);
           checkKill();
           repro::spinWait(SpinStep);
         }
@@ -143,6 +148,7 @@ Word RstmTx::load(const Word *Addr) {
   Word Value;
   unsigned SpinStep = 0;
   while (true) {
+    STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Rec), V1);
     if (orecIsCommitting(V1) && orecOwner(V1) != this) {
       checkKill();
       repro::spinWait(SpinStep);
@@ -183,11 +189,19 @@ void RstmTx::acquireOrec(Orec &Rec) {
   unsigned Attempts = 0;
   while (true) {
     Word V = Rec.Owner.load(std::memory_order_acquire);
+    STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Rec), V);
     if (orecIsOwned(V)) {
       if (orecOwner(V) == this)
         return; // stripe already ours (another word, or re-acquire)
-      if (Cm.shouldAbort(GlobalState.Config, orecOwner(V), this, Attempts,
-                         Rng))
+      // Note the contended stripe for both parties before the CM can
+      // kill either; the victim's abort stays attributed.
+      RstmTx *Owner = orecOwner(V);
+      STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                             GlobalState.Table.indexOfEntry(&Rec), V);
+      if (Owner != nullptr)
+        STM_DIAG_NOTE_CONFLICT(Owner->threadSlot(), nullptr,
+                               GlobalState.Table.indexOfEntry(&Rec), V);
+      if (Cm.shouldAbort(GlobalState.Config, Owner, this, Attempts, Rng))
         rollback();
       checkKill();
       repro::spinWait(Attempts);
@@ -210,11 +224,16 @@ void RstmTx::resolveVisibleReaders(Orec &Rec) {
   unsigned Attempts = 0;
   while (true) {
     uint64_t Bits = Rec.Readers.load(std::memory_order_acquire) & ~MyBit;
+    STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Rec), Bits);
     if (Bits == 0)
       return;
     unsigned VictimSlot = static_cast<unsigned>(__builtin_ctzll(Bits));
     RstmTx *Victim =
         GlobalState.Descriptors[VictimSlot].load(std::memory_order_acquire);
+    STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                           GlobalState.Table.indexOfEntry(&Rec), Bits);
+    STM_DIAG_NOTE_CONFLICT(VictimSlot, nullptr,
+                           GlobalState.Table.indexOfEntry(&Rec), Bits);
     if (Cm.shouldAbort(GlobalState.Config, Victim, this, Attempts, Rng))
       rollback();
     checkKill();
@@ -254,6 +273,7 @@ void RstmTx::commit() {
     return MaxOverwritten;
   });
   uint64_t Ts = Stamp.Ts;
+  STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, Ts);
   // The "counter still follows my valid-ts" shortcut is gv1-only here —
   // stronger than core::TimeValidation::mustValidateCommit. RSTM readers
   // may take an owned-but-not-yet-committing stripe's *old* value, so a
@@ -275,8 +295,10 @@ void RstmTx::commit() {
   for (const AcquiredOrec &A : Acquired)
     resolveVisibleReaders(*A.Rec);
 
-  for (const WriteEntry &W : WriteLog)
+  for (const WriteEntry &W : WriteLog) {
+    STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexFor(W.Addr), Ts);
     racyStore(W.Addr, W.Value);
+  }
 
   Word Release = orecMake(Ts);
   for (const AcquiredOrec &A : Acquired)
@@ -306,7 +328,13 @@ void RstmTx::commit() {
   // whose published start exceeds this post-release sample either began
   // after the unlink was visible or revalidated past it (equality check
   // fails on the released orec), so the quiescence horizon is sound.
-  baseCommit(GlobalState.CommitCounter.load());
+  uint64_t RetireTag = GlobalState.CommitCounter.load();
+  // The PR 5 regression knob resurrects the original bug: tagging
+  // retired blocks with the commit stamp instead of the post-release
+  // counter sample, re-opening the reclamation window above.
+  if (STM_DIAG_INJECTED(RstmStampRetireTag))
+    RetireTag = Ts;
+  baseCommit(RetireTag);
 }
 
 void RstmTx::rollback() {

@@ -10,6 +10,7 @@
 
 #include "stm/EpochManager.h"
 #include "stm/RetiredPool.h"
+#include "stm/diag/Hooks.h"
 #include "stm/rstm/RuntimeOps.h"
 #include "stm/swisstm/RuntimeOps.h"
 #include "stm/tinystm/RuntimeOps.h"
@@ -77,8 +78,11 @@ bool performSwitch(RuntimeGlobals &G, BackendKind Target) {
   // period after which all transactional memory holds committed values
   // only and no descriptor of the outgoing backend is referenced.
   unsigned Spin = 0;
-  while (EpochManager::minPinnedEpoch() != ~0ull)
+  while (EpochManager::minPinnedEpoch() != ~0ull) {
+    STM_DIAG_HOOK(::stm::diag::NoSlot, Switch, ::stm::diag::NoStripe,
+                  static_cast<uint64_t>(Target));
     repro::spinWait(Spin);
+  }
 
   // Quiescent point: retired blocks carry timestamps from the outgoing
   // backend's clock, which the incoming backend's transactions cannot
@@ -88,6 +92,8 @@ bool performSwitch(RuntimeGlobals &G, BackendKind Target) {
 
   G.ActiveKind.store(static_cast<unsigned>(Target),
                      std::memory_order_relaxed);
+  STM_DIAG_HOOK(::stm::diag::NoSlot, Switch, ::stm::diag::NoStripe,
+                static_cast<uint64_t>(Target));
   resetWindow(G);
   G.SwitchCount.fetch_add(1, std::memory_order_relaxed);
   // Reopen the gate; the release pairs with startDynamic's acquire so
@@ -164,6 +170,7 @@ void TxHandle::startDynamic() {
     uint32_t Gen = G.CurrentGen.load(std::memory_order_acquire);
     if (G.TargetGen.load(std::memory_order_acquire) != Gen) {
       // Switch in progress: wait outside, unpinned, so the drain ends.
+      STM_DIAG_HOOK(Slot, Switch, ::stm::diag::NoStripe, Gen);
       repro::spinWait(Spin);
       continue;
     }

@@ -68,6 +68,7 @@ Word SwissTx::load(const Word *Addr) {
   Word Value;
   unsigned SpinStep = 0;
   while (true) {
+    STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Locks), RV);
     if (rlockIsLocked(RV)) {
       checkKill();
       repro::spinWait(SpinStep);
@@ -84,8 +85,11 @@ Word SwissTx::load(const Word *Addr) {
   ReadLog.push_back(ReadEntry{&Locks, RV}); // line 16
   if (rlockVersion(RV) > ValidTs &&
       !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension,
-                   rlockVersion(RV)))
+                   rlockVersion(RV))) {
+    STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Locks),
+                           RV);
     rollback(); // line 17
+  }
   return Value;
 }
 
@@ -99,6 +103,7 @@ void SwissTx::store(Word *Addr, Word Value) {
   unsigned Attempts = 0;
   while (true) {
     Word WL = Locks.WLock.load(std::memory_order_acquire);
+    STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Locks), WL);
     if (WL != 0) {
       auto *Entry = reinterpret_cast<StripeWrite *>(WL);
       if (Entry->Owner.load(std::memory_order_relaxed) == this) {
@@ -109,9 +114,15 @@ void SwissTx::store(Word *Addr, Word Value) {
         return;
       }
       // Write/write conflict, detected eagerly (Algorithm 1, line 26).
-      if (Cm.shouldAbort(GlobalState.Config,
-                         Entry->Owner.load(std::memory_order_relaxed),
-                         this, Attempts, Rng))
+      // Note the contended stripe for both parties before the CM can
+      // kill either: the victim's abort stays attributed to it.
+      SwissTx *Owner = Entry->Owner.load(std::memory_order_relaxed);
+      STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                             GlobalState.Table.indexOfEntry(&Locks), WL);
+      if (Owner != nullptr)
+        STM_DIAG_NOTE_CONFLICT(Owner->threadSlot(), Addr,
+                               GlobalState.Table.indexOfEntry(&Locks), WL);
+      if (Cm.shouldAbort(GlobalState.Config, Owner, this, Attempts, Rng))
         rollback();
       checkKill();
       repro::spinWait(Attempts);
@@ -137,8 +148,11 @@ void SwissTx::store(Word *Addr, Word Value) {
          "r-lock locked while w-lock was free");
   if (rlockVersion(Mine->RVersion) > ValidTs &&
       !extendEpoch(GlobalState.CommitTs, GlobalState.Config.EnableExtension,
-                   rlockVersion(Mine->RVersion)))
+                   rlockVersion(Mine->RVersion))) {
+    STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Locks),
+                           Mine->RVersion);
     rollback();
+  }
 
   addWordWrite(Mine, Addr, Value);
   Cm.onWrite(GlobalState.Config, GlobalState.GreedyTs,
@@ -174,7 +188,9 @@ void SwissTx::commit() {
   // Lock the r-locks of every stripe we wrote (Algorithm 1, line 36;
   // the pseudo-code's "read-log" there is the paper's known typo for
   // the write log -- the text says "locations T has written to").
-  WriteLog.forEach([](StripeWrite &E) {
+  WriteLog.forEach([&](StripeWrite &E) {
+    STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(E.Locks),
+                  RLockLocked);
     E.Locks->RLock.exchange(RLockLocked, std::memory_order_acq_rel);
   });
   // Order the r-lock stores before the data write-back below on
@@ -193,6 +209,7 @@ void SwissTx::commit() {
     return MaxOverwritten;
   });
   uint64_t Ts = Stamp.Ts;
+  STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, Ts);
   if (mustValidateCommit(Stamp) && !revalidate()) {
     // Failed commit-time validation: restore r-locks, roll back
     // (Algorithm 1, lines 38-41).
@@ -203,7 +220,9 @@ void SwissTx::commit() {
   }
 
   // Write back and release (Algorithm 1, lines 42-45).
-  WriteLog.forEach([Ts](StripeWrite &E) {
+  WriteLog.forEach([&](StripeWrite &E) {
+    STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(E.Locks),
+                  Ts);
     for (WordWrite *W = E.Head; W; W = W->Next)
       racyStore(W->Addr, W->Value);
     E.Locks->RLock.store(rlockMake(Ts), std::memory_order_release);
@@ -224,8 +243,10 @@ void SwissTx::commit() {
     // it and the fence below terminates.
     GlobalState.CommitTs.advanceTo(Ts);
     unsigned SpinStep = 0;
-    while (repro::ThreadRegistry::minActiveStart() < Ts)
+    while (repro::ThreadRegistry::minActiveStart() < Ts) {
+      STM_DIAG_HOOK(Slot, Validate, ::stm::diag::NoStripe, Ts);
       repro::spinWait(SpinStep);
+    }
   }
 }
 
@@ -260,6 +281,8 @@ bool SwissTx::validateReadSet() {
                          std::memory_order_relaxed) == this)
         continue;
     }
+    STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                           GlobalState.Table.indexOfEntry(R.Locks), Cur);
     return false;
   }
   return true;

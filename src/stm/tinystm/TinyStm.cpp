@@ -37,6 +37,7 @@ Word TinyTx::load(const Word *Addr) {
 
   Word V = Lock.L.load(std::memory_order_acquire);
   while (true) {
+    STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Lock), V);
     if (vlockIsLocked(V)) {
       StripeWrite *Entry = vlockEntry(V);
       if (Entry->Owner.load(std::memory_order_relaxed) == this) {
@@ -49,6 +50,8 @@ Word TinyTx::load(const Word *Addr) {
       // Encounter-time read/write conflict: the timid policy aborts the
       // reader immediately. This is precisely the early-abort behaviour
       // the paper contrasts with SwissTM's lazy read/write detection.
+      STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                             GlobalState.Table.indexOfEntry(&Lock), V);
       rollback();
     }
     Word Value = racyLoad(Addr);
@@ -58,8 +61,11 @@ Word TinyTx::load(const Word *Addr) {
       if (vlockVersion(V) > ValidTs &&
           !extendEpoch(GlobalState.Clock,
                        GlobalState.Config.EnableExtension,
-                       vlockVersion(V)))
+                       vlockVersion(V))) {
+        STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                               GlobalState.Table.indexOfEntry(&Lock), V);
         rollback();
+      }
       return Value;
     }
     V = V2;
@@ -73,6 +79,7 @@ void TinyTx::store(Word *Addr, Word Value) {
   StripeWrite *Mine = nullptr;
   while (true) {
     Word V = Lock.L.load(std::memory_order_acquire);
+    STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Lock), V);
     if (vlockIsLocked(V)) {
       StripeWrite *Entry = vlockEntry(V);
       if (Entry->Owner.load(std::memory_order_relaxed) == this) {
@@ -82,6 +89,8 @@ void TinyTx::store(Word *Addr, Word Value) {
         return;
       }
       // Write/write conflict: timid, abort self.
+      STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                             GlobalState.Table.indexOfEntry(&Lock), V);
       rollback();
     }
     if (Mine == nullptr) {
@@ -99,8 +108,11 @@ void TinyTx::store(Word *Addr, Word Value) {
 
   if (vlockVersion(Mine->OldValue) > ValidTs &&
       !extendEpoch(GlobalState.Clock, GlobalState.Config.EnableExtension,
-                   vlockVersion(Mine->OldValue)))
+                   vlockVersion(Mine->OldValue))) {
+    STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Lock),
+                           Mine->OldValue);
     rollback();
+  }
   addWordWrite(Mine, Addr, Value);
 }
 
@@ -138,13 +150,16 @@ void TinyTx::commit() {
     return MaxOverwritten;
   });
   uint64_t Ts = Stamp.Ts;
+  STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, Ts);
   if (mustValidateCommit(Stamp) && !revalidate())
     rollback();
 
   // Write back and release each stripe with the commit timestamp.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   Word Release = vlockMake(Ts);
-  WriteLog.forEach([Release](StripeWrite &E) {
+  WriteLog.forEach([&](StripeWrite &E) {
+    STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(E.Lock),
+                  Ts);
     for (WordWrite *W = E.Head; W; W = W->Next)
       racyStore(W->Addr, W->Value);
     E.Lock->L.store(Release, std::memory_order_release);
@@ -179,9 +194,14 @@ bool TinyTx::validateReadSet() {
       // is still the version we read.
       StripeWrite *Entry = vlockEntry(Cur);
       if (Entry->Owner.load(std::memory_order_relaxed) == this &&
-          Entry->OldValue == R.Seen)
+          // The PR 1 regression knob resurrects the original bug:
+          // trusting any self-locked stripe without checking that the
+          // pre-acquisition version is still the version we read.
+          (Entry->OldValue == R.Seen || STM_DIAG_INJECTED(SelfLockedSkip)))
         continue;
     }
+    STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                           GlobalState.Table.indexOfEntry(R.Lock), Cur);
     return false;
   }
   return true;

@@ -43,6 +43,7 @@ Word Tl2Tx::load(const Word *Addr) {
   }
 
   VLock &Lock = GlobalState.Table.entryFor(Addr);
+  STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Lock), 0);
   Word V1 = Lock.L.load(std::memory_order_acquire);
   Word Value = racyLoad(Addr);
   Word V2 = Lock.L.load(std::memory_order_acquire);
@@ -53,9 +54,14 @@ Word Tl2Tx::load(const Word *Addr) {
   // version still advances a deferred (GV5) clock before the abort, or
   // the retry would sample the same stale read version and livelock on
   // this very read.
-  if (vlockIsLocked(V1) || V1 != V2)
+  if (vlockIsLocked(V1) || V1 != V2) {
+    STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Lock),
+                           V1);
     rollback();
+  }
   if (vlockVersion(V1) > ValidTs) {
+    STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Lock),
+                           V1);
     GlobalState.Clock.noteStaleRead(vlockVersion(V1));
     rollback();
   }
@@ -83,6 +89,7 @@ bool Tl2Tx::acquireWriteSet() {
     unsigned Spins = 0;
     while (true) {
       Word V = Lock.L.load(std::memory_order_acquire);
+      STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Lock), V);
       if (V == Self)
         break; // another word of an already-acquired stripe
       if (!vlockIsLocked(V)) {
@@ -96,8 +103,11 @@ bool Tl2Tx::acquireWriteSet() {
       }
       // Locked by another committer: timid policy with a short bounded
       // spin, then abort self.
-      if (++Spins > AcquireSpinLimit)
+      if (++Spins > AcquireSpinLimit) {
+        STM_DIAG_NOTE_CONFLICT(Slot, W.Addr,
+                               GlobalState.Table.indexOfEntry(&Lock), V);
         return false;
+      }
       repro::cpuRelax();
     }
   }
@@ -116,15 +126,26 @@ bool Tl2Tx::validateReadSet() {
       // the read version and must fail validation.
       for (const Acquired &A : AcquiredLocks) {
         if (A.Lock == Lock) {
-          if (vlockVersion(A.OldValue) > ValidTs)
+          // The PR 1 regression knob resurrects the original bug:
+          // trusting a self-locked stripe without the pre-acquisition
+          // version check.
+          if (!STM_DIAG_INJECTED(SelfLockedSkip) &&
+              vlockVersion(A.OldValue) > ValidTs) {
+            STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                                   GlobalState.Table.indexOfEntry(Lock),
+                                   A.OldValue);
             return false;
+          }
           break;
         }
       }
       continue;
     }
-    if (vlockIsLocked(V) || vlockVersion(V) > ValidTs)
+    if (vlockIsLocked(V) || vlockVersion(V) > ValidTs) {
+      STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                             GlobalState.Table.indexOfEntry(Lock), V);
       return false;
+    }
   }
   return true;
 }
@@ -156,11 +177,15 @@ void Tl2Tx::commit() {
     return MaxOverwritten;
   });
   uint64_t WriteVersion = Stamp.Ts;
+  STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, WriteVersion);
   if (mustValidateCommit(Stamp) && !revalidate())
     rollbackReleasing();
 
-  for (const WriteEntry &W : WriteLog)
+  for (const WriteEntry &W : WriteLog) {
+    STM_DIAG_HOOK(Slot, WriteBack,
+                  GlobalState.Table.indexFor(W.Addr), WriteVersion);
     racyStore(W.Addr, W.Value);
+  }
 
   Word Release = vlockMake(WriteVersion);
   for (const Acquired &A : AcquiredLocks)

@@ -31,6 +31,11 @@ struct TxStats {
   uint64_t Batches = 0; ///< epoch-pinned admission batches entered
   uint64_t Sheds = 0;   ///< requests dropped by queue backpressure
 
+  /// Aborts the diag conflict profiler attributed to a concrete stripe
+  /// (stm/diag/Profiler.h). Zero unless the profiler is enabled;
+  /// AbortsAttributed / Aborts is the profiler's coverage ratio.
+  uint64_t AbortsAttributed = 0;
+
   void reset() { *this = TxStats(); }
 
   TxStats &operator+=(const TxStats &O) {
@@ -46,6 +51,7 @@ struct TxStats {
     ModeSwitches += O.ModeSwitches;
     Batches += O.Batches;
     Sheds += O.Sheds;
+    AbortsAttributed += O.AbortsAttributed;
     return *this;
   }
 

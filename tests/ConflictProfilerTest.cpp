@@ -1,0 +1,289 @@
+//===- tests/ConflictProfilerTest.cpp - shadow-map conflict profiler -----===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Unit coverage for the diag conflict profiler (stm/diag/Profiler.h):
+// direct-API attribution accounting, note arming/disarming across
+// attempts, false-sharing detection, reset — all runnable in any
+// build. The STM_DIAG-gated half drives the real hook sites: a forced
+// read/write conflict must leave every abort attributed to the hot
+// stripe (the >= 95% coverage criterion, met here at 100%), and two
+// variables sharing one two-word granularity stripe must surface in
+// the false-sharing report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include "stm/diag/Hooks.h"
+#include "stm/diag/Profiler.h"
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using stm::diag::Profiler;
+
+/// Enables the profiler for one test body and restores the disabled
+/// default afterwards, so profiler state never leaks across tests.
+class ProfilerScope {
+public:
+  ProfilerScope() {
+    Profiler::instance().enable();
+    Profiler::instance().reset();
+  }
+  ~ProfilerScope() {
+    Profiler::instance().reset();
+    Profiler::instance().disable();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Direct-API unit tests (any build)
+//===----------------------------------------------------------------------===//
+
+TEST(ConflictProfilerTest, AttributesAbortToNotedStripe) {
+  ProfilerScope Scope;
+  Profiler &P = Profiler::instance();
+  repro::TxStats Stats;
+  stm::Word Cell = 0;
+
+  P.noteBegin(1);
+  P.noteConflict(1, &Cell, /*Stripe=*/42, /*LockWord=*/7);
+  P.noteAbort(1, Stats);
+
+  EXPECT_EQ(1u, Stats.AbortsAttributed);
+  stm::diag::ProfileReport R = P.report();
+  EXPECT_EQ(1u, R.ConflictNotes);
+  EXPECT_EQ(1u, R.AttributedAborts);
+  EXPECT_EQ(0u, R.UnattributedAborts);
+  ASSERT_EQ(1u, R.Stripes.size());
+  EXPECT_EQ(42u, R.Stripes[0].Stripe);
+  EXPECT_EQ(1u, R.Stripes[0].Conflicts);
+  EXPECT_EQ(1u, R.Stripes[0].Aborts);
+  EXPECT_EQ(reinterpret_cast<uint64_t>(&Cell), R.Stripes[0].AddrA);
+  EXPECT_FALSE(R.Stripes[0].FalseSharing);
+}
+
+TEST(ConflictProfilerTest, AbortWithoutNoteIsUnattributed) {
+  ProfilerScope Scope;
+  Profiler &P = Profiler::instance();
+  repro::TxStats Stats;
+
+  P.noteBegin(2);
+  P.noteAbort(2, Stats);
+
+  EXPECT_EQ(0u, Stats.AbortsAttributed);
+  stm::diag::ProfileReport R = P.report();
+  EXPECT_EQ(0u, R.AttributedAborts);
+  EXPECT_EQ(1u, R.UnattributedAborts);
+}
+
+// A note may only attribute an abort of the attempt that recorded it:
+// Begin disarms whatever the previous attempt left behind.
+TEST(ConflictProfilerTest, BeginDisarmsStaleNote) {
+  ProfilerScope Scope;
+  Profiler &P = Profiler::instance();
+  repro::TxStats Stats;
+  stm::Word Cell = 0;
+
+  P.noteBegin(3);
+  P.noteConflict(3, &Cell, 9, 0);
+  P.noteBegin(3); // next attempt: the stale note must not stick
+  P.noteAbort(3, Stats);
+
+  EXPECT_EQ(0u, Stats.AbortsAttributed);
+  EXPECT_EQ(1u, P.report().UnattributedAborts);
+}
+
+TEST(ConflictProfilerTest, DetectsFalseSharingOnOneStripe) {
+  ProfilerScope Scope;
+  Profiler &P = Profiler::instance();
+  stm::Word CellA = 0;
+  stm::Word CellB = 0;
+
+  // Same stripe, same address twice: not false sharing.
+  P.noteConflict(0, &CellA, 5, 0);
+  P.noteConflict(0, &CellA, 5, 0);
+  stm::diag::ProfileReport R = P.report();
+  EXPECT_EQ(0u, R.FalseSharingStripes);
+
+  // A second distinct address through the same stripe entry is.
+  P.noteConflict(1, &CellB, 5, 0);
+  R = P.report();
+  EXPECT_EQ(1u, R.FalseSharingStripes);
+  ASSERT_EQ(1u, R.Stripes.size());
+  EXPECT_TRUE(R.Stripes[0].FalseSharing);
+  EXPECT_EQ(reinterpret_cast<uint64_t>(&CellA), R.Stripes[0].AddrA);
+  EXPECT_EQ(reinterpret_cast<uint64_t>(&CellB), R.Stripes[0].AddrB);
+
+  // Null addresses (validation-only sites) never pollute the pair.
+  P.noteConflict(2, nullptr, 6, 0);
+  R = P.report();
+  EXPECT_EQ(1u, R.FalseSharingStripes);
+}
+
+TEST(ConflictProfilerTest, ResetClearsEverything) {
+  ProfilerScope Scope;
+  Profiler &P = Profiler::instance();
+  repro::TxStats Stats;
+  stm::Word Cell = 0;
+
+  P.noteConflict(0, &Cell, 11, 0);
+  P.noteAbort(0, Stats);
+  P.reset();
+
+  stm::diag::ProfileReport R = P.report();
+  EXPECT_TRUE(R.Stripes.empty());
+  EXPECT_EQ(0u, R.ConflictNotes);
+  EXPECT_EQ(0u, R.AttributedAborts);
+  EXPECT_EQ(0u, R.UnattributedAborts);
+  EXPECT_EQ(0u, R.DroppedStripes);
+}
+
+TEST(ConflictProfilerTest, DisabledProfilerRecordsNothing) {
+  Profiler &P = Profiler::instance();
+  P.reset();
+  P.disable();
+  repro::TxStats Stats;
+  stm::Word Cell = 0;
+
+  P.noteConflict(0, &Cell, 13, 0);
+  P.noteAbort(0, Stats);
+
+  EXPECT_EQ(0u, Stats.AbortsAttributed);
+  stm::diag::ProfileReport R = P.report();
+  EXPECT_EQ(0u, R.ConflictNotes);
+  EXPECT_TRUE(R.Stripes.empty());
+}
+
+#ifdef STM_DIAG
+
+//===----------------------------------------------------------------------===//
+// Hook-site integration (STM_DIAG builds)
+//===----------------------------------------------------------------------===//
+
+/// Forces a deterministic read/write invalidation on every backend:
+/// T1 reads X inside a transaction, parks on an application flag while
+/// T0 commits a new version of X, then writes Y and tries to commit —
+/// the first attempt must abort on validation with X's stripe noted,
+/// and the flag state makes the retry succeed. The scenario never
+/// depends on preemption timing, so the expected abort count is exact.
+class ProfilerAttributionTest : public repro_test::RuntimeSuite {};
+
+TEST_P(ProfilerAttributionTest, ForcedConflictIsFullyAttributed) {
+  ProfilerScope Scope;
+  alignas(64) static stm::Word X;
+  alignas(64) static stm::Word Y;
+  X = Y = 0;
+
+  std::atomic<bool> ReadDone{false};
+  std::atomic<bool> WriteDone{false};
+  std::vector<repro::TxStats> Stats(2);
+
+  repro_test::runThreads<repro_test::Rt>(2, [&](unsigned I, auto &Tx) {
+    if (I == 0) {
+      while (!ReadDone.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      stm::atomically(Tx, [&](auto &T) { T.store(&X, T.load(&X) + 1); });
+      WriteDone.store(true, std::memory_order_release);
+    } else {
+      stm::atomically(Tx, [&](auto &T) {
+        stm::Word V = T.load(&X);
+        ReadDone.store(true, std::memory_order_release);
+        while (!WriteDone.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        T.store(&Y, V + 1);
+      });
+    }
+    Stats[I] = Tx.stats();
+  });
+
+  repro::TxStats Total;
+  for (const repro::TxStats &S : Stats)
+    Total += S;
+
+  // T1's first attempt read the pre-commit X and must have aborted;
+  // every abort must carry an attribution (the >= 95% acceptance
+  // criterion, met at 100% in this deterministic scenario).
+  EXPECT_GE(Total.Aborts, 1u);
+  EXPECT_EQ(Total.Aborts, Total.AbortsAttributed);
+
+  stm::diag::ProfileReport R = Profiler::instance().report();
+  EXPECT_EQ(Total.Aborts, R.AttributedAborts);
+  EXPECT_EQ(0u, R.UnattributedAborts);
+  ASSERT_FALSE(R.Stripes.empty());
+  // The report's hottest stripe carries the aborts.
+  EXPECT_GE(R.Stripes[0].Aborts, 1u);
+}
+
+STM_INSTANTIATE_RUNTIME_SUITE(ProfilerAttributionTest);
+
+// Lock-table false sharing made visible: with 2^4-byte granularity two
+// adjacent words share one stripe. Conflicting on each of them in turn
+// through TinySTM's encounter-time R/W detection (which notes the
+// faulting *address*) must flag the stripe as falsely shared with both
+// addresses recorded.
+TEST(ProfilerFalseSharingTest, TwoWordGranularityStripeIsFlagged) {
+  stm::StmConfig Config;
+  Config.LockTableSizeLog2 = 12;
+  Config.GranularityLog2 = 4; // 16 bytes = two words per stripe
+  stm::TinyStm::globalInit(Config);
+  ProfilerScope Scope;
+
+  alignas(16) static std::array<stm::Word, 2> Pair;
+  Pair = {0, 0};
+
+  for (unsigned K = 0; K < 2; ++K) {
+    std::atomic<bool> Locked{false};
+    std::atomic<bool> ReaderRan{false};
+    repro_test::runThreads<stm::TinyStm>(2, [&](unsigned I, auto &Tx) {
+      if (I == 0) {
+        // Holds the encounter-time write lock on Pair[K] until the
+        // reader has taken (and aborted on) it at least once; the
+        // flags are armed from inside the transaction body so the
+        // reader is guaranteed to meet the held lock.
+        stm::atomically(Tx, [&](auto &T) {
+          T.store(&Pair[K], K + 1);
+          Locked.store(true, std::memory_order_release);
+          while (!ReaderRan.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        });
+      } else {
+        while (!Locked.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        stm::atomically(Tx, [&](auto &T) {
+          ReaderRan.store(true, std::memory_order_release);
+          (void)T.load(&Pair[K]);
+        });
+      }
+    });
+  }
+
+  stm::TinyStm::globalShutdown();
+
+  stm::diag::ProfileReport R = Profiler::instance().report();
+  EXPECT_GE(R.FalseSharingStripes, 1u);
+  bool Found = false;
+  uint64_t A0 = reinterpret_cast<uint64_t>(&Pair[0]);
+  uint64_t A1 = reinterpret_cast<uint64_t>(&Pair[1]);
+  for (const stm::diag::StripeProfile &S : R.Stripes)
+    if (S.FalseSharing && ((S.AddrA == A0 && S.AddrB == A1) ||
+                           (S.AddrA == A1 && S.AddrB == A0)))
+      Found = true;
+  EXPECT_TRUE(Found)
+      << "the two-word stripe was not reported as falsely shared";
+}
+
+#else // !STM_DIAG
+
+TEST(ProfilerIntegrationTest, SkippedWithoutStmDiag) {
+  GTEST_SKIP() << "hook-site integration tests need -DSTM_DIAG=ON";
+}
+
+#endif // STM_DIAG
+
+} // namespace

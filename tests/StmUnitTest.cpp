@@ -80,6 +80,7 @@ TEST_P(LockTableGranularity, StripeNeighborsShareEntry) {
   for (uint64_t Base = 0; Base + 2 * Stripe <= sizeof(Arena); Base += Stripe)
     ASSERT_NE(Table.indexFor(Arena + Base),
               Table.indexFor(Arena + Base + Stripe));
+  Table.destroy();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGranularities, LockTableGranularity,
@@ -93,6 +94,7 @@ TEST(LockTableTest, IndexStaysInRange) {
     auto Addr = reinterpret_cast<const void *>(Rng.next());
     EXPECT_LT(Table.indexFor(Addr), Table.size());
   }
+  Table.destroy();
 }
 
 TEST(LockTableTest, SizeAndStripeBytes) {
