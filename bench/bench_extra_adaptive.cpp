@@ -96,6 +96,12 @@ void sweepContender(const char *Name, const stm::StmConfig &Config) {
     Report::instance().add("extra-adaptive", "phase-shift", Name, Threads,
                            "mode_switches",
                            static_cast<double>(R.Stats.ModeSwitches));
+    // Irrevocability escalations: nonzero on the orec contender (whose
+    // counter phase trips the abort threshold) and on the adaptive
+    // runtime once its serialize rung lands on orec; zero elsewhere.
+    Report::instance().add("extra-adaptive", "phase-shift", Name, Threads,
+                           "serializations",
+                           static_cast<double>(R.Stats.Serializations));
   }
 }
 
@@ -123,8 +129,16 @@ void dispatchOverhead() {
 
 int main(int argc, char **argv) {
   bench::parseStmFlags(argc, argv);
-  for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds())
-    sweepContender(stm::rt::backendName(Kind), rtConfig(Kind));
+  for (stm::rt::BackendKind Kind : stm::rt::allBackendKinds()) {
+    stm::StmConfig Config = rtConfig(Kind);
+    // Hair-trigger irrevocability on the orec contender: the counter
+    // phase's conflict storms then escalate within even a smoke run's
+    // short phases, making the serialize escape hatch observable in
+    // the serializations column.
+    if (Kind == stm::rt::BackendKind::Orec)
+      Config.OrecIrrevocableAborts = 2;
+    sweepContender(stm::rt::backendName(Kind), Config);
+  }
 
   stm::StmConfig Adaptive;
   Adaptive.Backend = stm::rt::BackendKind::Tl2; // where the tree phase lands

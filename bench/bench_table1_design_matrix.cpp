@@ -67,6 +67,10 @@ const Cell Table1[] = {
     {"eager-invisible-polka", rstmCell(true, false, stm::CmKind::Polka)},
     {"eager-invisible-timid", rtConfig(BackendKind::TinyStm)},
     {"eager-invisible-greedy", rstmCell(true, false, stm::CmKind::Greedy)},
+    // The undo-log point of the eager column: in-place speculative
+    // writes instead of TinySTM's redo write-back, same invisible
+    // reads, the two-phase CM shared with SwissTM.
+    {"eager-undo-two-phase", rtConfig(BackendKind::Orec)},
     {"mixed-invisible-timid", mixed(stm::CmKind::Timid)},
     {"mixed-invisible-greedy", mixed(stm::CmKind::Greedy)},
     {"mixed-invisible-two-phase", mixed(stm::CmKind::TwoPhase)},

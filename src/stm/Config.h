@@ -121,6 +121,23 @@ struct StmConfig {
   /// cheaper fixed-policy backend chosen by workload shape.
   double AdaptiveLowAbortRate = 0.02;
 
+  /// Window abort rate at or above which the switcher escalates past
+  /// SwissTM to the orec backend, whose irrevocability mode serializes
+  /// the pathological transaction itself (the last rung of the
+  /// escalation ladder). Only taken from SwissTM — the ladder is
+  /// cheap backend -> SwissTM -> orec/serialize.
+  double AdaptiveSerializeAbortRate = 0.5;
+
+  /// orec backend: successive aborts after which a transaction's next
+  /// attempt runs irrevocably (serialized through the global token).
+  /// 0 disables the abort trigger.
+  unsigned OrecIrrevocableAborts = 8;
+
+  /// orec backend: transactional allocations within one attempt after
+  /// which the transaction escalates to irrevocable mid-flight.
+  /// 0 (default) disables the allocation trigger.
+  unsigned OrecIrrevocableAllocs = 0;
+
   /// The one entry point for environment-driven configuration: returns
   /// \p Base with every recognized STM_* variable applied. Precedence,
   /// lowest to highest: struct defaults, then \p Base's explicit
@@ -130,11 +147,13 @@ struct StmConfig {
   /// values — range errors on the geometry die later in
   /// LockTable::init, which owns the bounds):
   ///
-  ///   STM_BACKEND            swisstm | tl2 | tinystm | rstm
+  ///   STM_BACKEND            swisstm | tl2 | tinystm | rstm | orec
   ///   STM_ADAPTIVE           0 | 1
   ///   STM_CLOCK              gv1 | gv4 | gv5
   ///   STM_LOCK_TABLE_LOG2    log2 of lock-table entries (decimal)
   ///   STM_GRANULARITY_LOG2   log2 of bytes per stripe (decimal)
+  ///   STM_OREC_IRREVOCABLE_ABORTS   orec: aborts before serializing (0 off)
+  ///   STM_OREC_IRREVOCABLE_ALLOCS   orec: allocs before serializing (0 off)
   static StmConfig fromEnv(StmConfig Base);
   static StmConfig fromEnv() { return fromEnv(StmConfig()); }
 };
@@ -179,7 +198,7 @@ inline bool applyConfigOption(StmConfig &Config, const char *Key,
                               const char *Value, const char *Diag) {
   if (std::strcmp(Key, "backend") == 0) {
     if (Value == nullptr || !rt::parseBackendKind(Value, Config.Backend))
-      configFatal(Diag, Value, "swisstm|tl2|tinystm|rstm");
+      configFatal(Diag, Value, "swisstm|tl2|tinystm|rstm|orec");
   } else if (std::strcmp(Key, "adaptive") == 0) {
     if (Value == nullptr ||
         (std::strcmp(Value, "0") != 0 && std::strcmp(Value, "1") != 0))
@@ -194,6 +213,12 @@ inline bool applyConfigOption(StmConfig &Config, const char *Key,
   } else if (std::strcmp(Key, "granularity-log2") == 0) {
     Config.GranularityLog2 =
         configParseUnsigned(Diag, Value, "a decimal log2 byte count");
+  } else if (std::strcmp(Key, "orec-irrevocable-aborts") == 0) {
+    Config.OrecIrrevocableAborts =
+        configParseUnsigned(Diag, Value, "a decimal abort count (0 disables)");
+  } else if (std::strcmp(Key, "orec-irrevocable-allocs") == 0) {
+    Config.OrecIrrevocableAllocs =
+        configParseUnsigned(Diag, Value, "a decimal alloc count (0 disables)");
   } else {
     return false;
   }
@@ -210,6 +235,8 @@ inline StmConfig StmConfig::fromEnv(StmConfig Base) {
       {"STM_CLOCK", "clock"},
       {"STM_LOCK_TABLE_LOG2", "lock-table-log2"},
       {"STM_GRANULARITY_LOG2", "granularity-log2"},
+      {"STM_OREC_IRREVOCABLE_ABORTS", "orec-irrevocable-aborts"},
+      {"STM_OREC_IRREVOCABLE_ALLOCS", "orec-irrevocable-allocs"},
   };
   for (const auto &Knob : Knobs)
     if (const char *Value = std::getenv(Knob.Env))

@@ -15,12 +15,12 @@
 //     that manages threads itself                  (stm/ThreadScope.h).
 //
 // The per-backend templated facades (stm::SwissTm, stm::Tl2,
-// stm::TinyStm, stm::Rstm) are still re-exported here for the internal
-// test/bench surface, but they are DEPRECATED as an application API:
-// include nothing from stm/swisstm/, stm/tl2/, stm/tinystm/ or
-// stm/rstm/ directly outside src/stm/ — select backends through
-// StmConfig::Backend instead. See README "Serving workload & public
-// API" for the migration guide.
+// stm::TinyStm, stm::Rstm, stm::OrecStm) are still re-exported here
+// for the internal test/bench surface, but they are DEPRECATED as an
+// application API: include nothing from stm/swisstm/, stm/tl2/,
+// stm/tinystm/, stm/rstm/ or stm/orec/ directly outside src/stm/ —
+// select backends through StmConfig::Backend instead. See README
+// "Serving workload & public API" for the migration guide.
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +35,7 @@
 
 // Internal surface: the templated backend facades. Deprecated for
 // application code — see the header comment above.
+#include "stm/orec/Orec.h"
 #include "stm/rstm/Rstm.h"
 #include "stm/swisstm/SwissTm.h"
 #include "stm/tinystm/TinyStm.h"

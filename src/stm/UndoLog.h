@@ -1,0 +1,65 @@
+//===- stm/UndoLog.h - per-transaction undo log ----------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Eager (encounter-time locking) STMs with in-place speculative writes
+// need the inverse of WriteMap.h's redo machinery: every store first
+// saves the word it overwrites, and an abort restores the pre-images in
+// reverse order. Recording every store (rather than deduplicating per
+// address) keeps the hot path branch-free; reverse restoration makes
+// duplicate entries for one address harmless — the oldest pre-image is
+// written last.
+//
+// Built on StableLog so steady-state transactions allocate nothing and
+// clear() is O(1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_UNDOLOG_H
+#define STM_UNDOLOG_H
+
+#include "stm/StableLog.h"
+#include "stm/Word.h"
+
+#include <cstddef>
+
+namespace stm {
+
+/// One saved pre-image: the word at Addr held Old before the
+/// transaction's in-place store.
+struct UndoEntry {
+  Word *Addr = nullptr;
+  Word Old = 0;
+};
+
+/// Append-only log of pre-images for in-place speculative writes.
+class UndoLog {
+public:
+  /// Saves the pre-image of \p Addr (call before the in-place store).
+  void record(Word *Addr, Word Old) {
+    UndoEntry *E = Log.pushDefault();
+    E->Addr = Addr;
+    E->Old = Old;
+  }
+
+  /// Applies \p Restore to every entry newest-first — the order that
+  /// makes repeated writes to one address restore its oldest pre-image.
+  /// \p Restore must perform the actual store (the caller owns the
+  /// racy-access discipline and any fault-injection gating).
+  template <typename Fn> void unwind(Fn &&Restore) {
+    Log.forEachReverse([&Restore](UndoEntry &E) { Restore(E); });
+  }
+
+  bool empty() const { return Log.empty(); }
+  std::size_t size() const { return Log.size(); }
+
+  /// Discards all entries; keeps storage for reuse.
+  void clear() { Log.clear(); }
+
+private:
+  StableLog<UndoEntry> Log;
+};
+
+} // namespace stm
+
+#endif // STM_UNDOLOG_H

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fcntl.h>
 #include <map>
 #include <set>
@@ -620,27 +621,49 @@ void Schedule::dumpRingToFd(int Fd) {
 EnumStats enumerateSchedules(unsigned ExpectedThreads, uint64_t MaxRuns,
                              const std::function<void()> &RunOnce,
                              unsigned MaxChoicePoints) {
+  // Work-list order matters under a MaxRuns budget: schedules that
+  // diverge at the *earliest* choice points differ most from what
+  // already ran, so they are explored first. The old driver walked the
+  // tree depth-first by bumping the *deepest* untried alternative,
+  // which under truncation spent the whole budget on near-identical
+  // tail permutations and never reached the divergent prefixes. Each
+  // run seeds one pending prefix per untried alternative at every new
+  // choice point it discovered; a prefix is enqueued exactly once (by
+  // the unique run that first walked its parent path with Alt's
+  // predecessor), so every distinct schedule still runs exactly once.
   EnumStats Stats;
   Schedule &S = Schedule::instance();
-  std::vector<unsigned> Prefix;
-  while (Stats.Runs < MaxRuns) {
+  std::deque<std::vector<unsigned>> Pending;
+  Pending.emplace_back();
+  while (!Pending.empty() && Stats.Runs < MaxRuns) {
+    std::vector<unsigned> Prefix = std::move(Pending.front());
+    Pending.pop_front();
     S.startEnumerate(Prefix, ExpectedThreads, MaxChoicePoints);
     RunOnce();
     std::vector<EnumChoice> Choices = S.stopEnumerate();
     ++Stats.Runs;
-    // Depth-first: bump the deepest choice that still has an untried
-    // alternative, drop everything after it.
-    int I = static_cast<int>(Choices.size()) - 1;
-    while (I >= 0 && Choices[I].Chosen + 1 >= Choices[I].Enabled)
-      --I;
-    if (I < 0) {
-      Stats.Exhausted = true;
-      break;
-    }
-    Prefix.clear();
-    for (int J = 0; J < I; ++J)
-      Prefix.push_back(Choices[J].Chosen);
-    Prefix.push_back(Choices[I].Chosen + 1);
+    for (std::size_t I = Prefix.size(); I < Choices.size(); ++I)
+      for (unsigned Alt = 0; Alt < Choices[I].Enabled; ++Alt) {
+        if (Alt == Choices[I].Chosen)
+          continue;
+        std::vector<unsigned> Next;
+        Next.reserve(I + 1);
+        for (std::size_t J = 0; J < I; ++J)
+          Next.push_back(Choices[J].Chosen);
+        Next.push_back(Alt);
+        Pending.push_back(std::move(Next));
+      }
+  }
+  if (Pending.empty()) {
+    Stats.Exhausted = true;
+  } else {
+    // Loud truncation: a bounded enumeration that silently stops reads
+    // as "walked every schedule" when it did not.
+    Stats.Truncated = true;
+    std::fprintf(stderr,
+                 "stm-diag: enumerateSchedules truncated at %llu runs "
+                 "(%zu schedule subtrees unexplored)\n",
+                 (unsigned long long)Stats.Runs, Pending.size());
   }
   return Stats;
 }

@@ -95,6 +95,11 @@ enum class Inject : unsigned {
   /// post-release counter sample, re-opening the reclamation UAF
   /// window against invisible readers of an owned stripe's old value.
   RstmStampRetireTag,
+  /// orec bug class: rollback releases the orecs without unwinding the
+  /// undo log, leaving an aborted writer's in-place speculative values
+  /// in memory — the dirty-read exposure the undo-log-aware opacity
+  /// checker must catch.
+  OrecSkipUndo,
   Count_,
 };
 

@@ -217,14 +217,17 @@ private:
   Impl &impl();
 };
 
-/// Runs \p RunOnce under enumerate mode once per distinct schedule
-/// (depth-first over the recorded choice points), up to \p MaxRuns.
-/// \p RunOnce must spawn its \p ExpectedThreads bound workers and join
-/// them. Returns the number of schedules executed and whether the
-/// space was exhausted (vs. truncated by MaxRuns).
+/// Runs \p RunOnce under enumerate mode once per distinct schedule,
+/// up to \p MaxRuns. Alternatives at the *earliest* choice points run
+/// first (work-list order), so a truncated budget still covers the
+/// most-divergent schedules; exactly one of Exhausted/Truncated is set
+/// on return, and truncation also prints a stderr warning naming the
+/// number of unexplored schedule subtrees. \p RunOnce must spawn its
+/// \p ExpectedThreads bound workers and join them.
 struct EnumStats {
   uint64_t Runs = 0;
-  bool Exhausted = false;
+  bool Exhausted = false; ///< every distinct schedule ran
+  bool Truncated = false; ///< MaxRuns hit with schedules still pending
 };
 EnumStats enumerateSchedules(unsigned ExpectedThreads, uint64_t MaxRuns,
                              const std::function<void()> &RunOnce,

@@ -1,0 +1,376 @@
+//===- stm/orec/Orec.cpp - eager orec/undo-log STM ------------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009). Encounter-time write
+// locking, in-place speculative writes with an undo log, and the
+// single-token irrevocability mode (see Orec.h for the protocol).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/orec/Orec.h"
+
+#include <cassert>
+
+using namespace stm;
+using namespace stm::orec;
+
+static OrecGlobals GlobalState;
+
+OrecGlobals &stm::orec::orecGlobals() { return GlobalState; }
+
+void OrecStm::globalInit(const StmConfig &Config) {
+  GlobalState.Config = Config;
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  // The commit-ts advances under the configured clock policy; the
+  // greedy-ts always increments (the CM needs unique timestamps).
+  GlobalState.Clock.reset(Config.Clock);
+  GlobalState.GreedyTs.reset();
+  GlobalState.IrrevocableTx.store(nullptr, std::memory_order_relaxed);
+}
+
+void OrecStm::globalShutdown() { globalTeardown(GlobalState.Table); }
+
+//===----------------------------------------------------------------------===//
+// Irrevocability protocol
+//===----------------------------------------------------------------------===//
+
+/// Aux value distinguishing irrevocability gate/drain Switch hooks from
+/// the adaptive runtime's backend-switch ones (those pass a BackendKind,
+/// a small integer).
+static constexpr uint64_t SerializeAux = ~0ull;
+
+/// Takes the global token, spinning *unpinned* — the current holder's
+/// drain waits on every pinned slot, so blocking here while pinned would
+/// deadlock it. Called between attempts, before baseStart's pin.
+void OrecTx::acquireTokenBlocking() {
+  unsigned Spin = 0;
+  while (true) {
+    OrecTx *Expected = nullptr;
+    if (GlobalState.IrrevocableTx.compare_exchange_strong(
+            Expected, this, std::memory_order_seq_cst))
+      break;
+    STM_DIAG_HOOK(Slot, Switch, ::stm::diag::NoStripe, SerializeAux);
+    repro::spinWait(Spin);
+  }
+  Irrevocable = true;
+  ++Stats.Serializations;
+}
+
+/// Mid-transaction escalation (the allocation trigger). Unlike the
+/// between-attempts path we are pinned and hold stripe locks, so we must
+/// not wait for the token: a CAS loss means another transaction is (or
+/// is becoming) irrevocable, and spinning pinned would deadlock its
+/// drain against this slot. Abort instead — the abort feeds the
+/// successive-aborts trigger, so a repeatedly losing allocator ends up
+/// serializing at start, where waiting is safe.
+void OrecTx::becomeIrrevocableMidTx() {
+  OrecTx *Expected = nullptr;
+  if (!GlobalState.IrrevocableTx.compare_exchange_strong(
+          Expected, this, std::memory_order_seq_cst))
+    rollback();
+  Irrevocable = true;
+  ++Stats.Serializations;
+  drainOthers();
+}
+
+/// Waits (pinned, holding the token) until every *other* slot is
+/// quiescent. Fresh transactions park at the token gate before pinning;
+/// in-flight ones either finish or hit the token check in their conflict
+/// loops and abort. The seq_cst fence pairs with the one in
+/// EpochManager::pin(): a transaction whose pin this scan misses issued
+/// its fence after ours, so its post-pin token recheck (onStart) sees
+/// our token and self-aborts.
+void OrecTx::drainOthers() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  unsigned Spin = 0;
+  while (true) {
+    bool Busy = false;
+    for (unsigned S = 0; S < repro::MaxThreads; ++S) {
+      if (S == Slot)
+        continue;
+      if (EpochManager::pinnedEpoch(S) != EpochManager::Quiescent) {
+        Busy = true;
+        break;
+      }
+    }
+    if (!Busy)
+      return;
+    STM_DIAG_HOOK(Slot, Switch, ::stm::diag::NoStripe, SerializeAux);
+    repro::spinWait(Spin);
+  }
+}
+
+void OrecTx::releaseIrrevocable() {
+  if (!Irrevocable)
+    return;
+  Irrevocable = false;
+  GlobalState.IrrevocableTx.store(nullptr, std::memory_order_release);
+}
+
+void *OrecTx::txMalloc(std::size_t Size) {
+  uint64_t N = GlobalState.Config.OrecIrrevocableAllocs;
+  if (N != 0 && !Irrevocable && inTransaction() && ++AttemptAllocs >= N)
+    becomeIrrevocableMidTx();
+  return TxBase::txMalloc(Size);
+}
+
+//===----------------------------------------------------------------------===//
+// Transaction lifecycle
+//===----------------------------------------------------------------------===//
+
+void OrecTx::onStart() {
+  const StmConfig &C = GlobalState.Config;
+  if (!Irrevocable) {
+    // Both waits below must run unpinned — a serializer's drain waits
+    // on every pinned slot. Under batch admission (TxBase::BatchPin)
+    // the batch owner keeps the slot pinned *between* transactions, so
+    // drop the pin for the wait and restore it after; nothing is held
+    // across transactions, so the momentary gap is safe.
+    if (C.OrecIrrevocableAborts != 0 &&
+        SuccessiveAborts >= C.OrecIrrevocableAborts) {
+      // The abort trigger: this attempt runs serialized.
+      if (BatchPin)
+        EpochManager::unpin(Slot);
+      acquireTokenBlocking();
+      if (BatchPin)
+        EpochManager::pin(Slot);
+    } else if (GlobalState.IrrevocableTx.load(std::memory_order_acquire) !=
+               nullptr) {
+      // Token gate: park while someone runs serialized.
+      if (BatchPin)
+        EpochManager::unpin(Slot);
+      unsigned Spin = 0;
+      while (GlobalState.IrrevocableTx.load(std::memory_order_acquire) !=
+             nullptr) {
+        STM_DIAG_HOOK(Slot, Switch, ::stm::diag::NoStripe, SerializeAux);
+        repro::spinWait(Spin);
+      }
+      if (BatchPin)
+        EpochManager::pin(Slot);
+    }
+  }
+  baseStart();
+  ReadLog.clear();
+  Owned.clear();
+  Undo.clear();
+  WordWriteCount = 0;
+  AttemptAllocs = 0;
+  Cm.onStart(C, GlobalState.GreedyTs, FreshStart);
+  beginEpoch(GlobalState.Clock);
+  if (Irrevocable) {
+    drainOthers();
+  } else if (GlobalState.IrrevocableTx.load(std::memory_order_seq_cst) !=
+             nullptr) {
+    // Post-pin gate recheck: a token published between our gate check
+    // and our pin fence may have missed this slot in its drain scan
+    // (Dekker race); the seq_cst load above pairs with the publisher's
+    // fence in drainOthers so one side always observes the other.
+    rollback();
+  }
+}
+
+Word OrecTx::load(const Word *Addr) {
+  checkKill();
+  ++Stats.Reads;
+  Cm.noteAccess();
+  OLock &Lock = GlobalState.Table.entryFor(Addr);
+
+  Word V = Lock.L.load(std::memory_order_acquire);
+  while (true) {
+    STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Lock), V);
+    if (olockIsLocked(V)) {
+      OwnedStripe *Entry = olockEntry(V);
+      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+        // Read-after-write: the speculative value is already in place
+        // and we hold the orec, so memory is the write buffer. Not a
+        // tracked read (the orec cannot change under us) — the single
+        // ++Stats.Reads above is the whole accounting.
+        return racyLoad(Addr);
+      }
+      // Read of a foreign-owned stripe: reads are invisible, so the
+      // owner can neither see us nor be waited out (it may run for an
+      // arbitrary time and its in-place value is uncommitted). Abort.
+      STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                             GlobalState.Table.indexOfEntry(&Lock), V);
+      rollback();
+    }
+    Word Value = racyLoad(Addr);
+    Word V2 = Lock.L.load(std::memory_order_acquire);
+    if (V == V2) {
+      ReadLog.push_back(ReadEntry{&Lock, V});
+      if (olockVersion(V) > ValidTs &&
+          !extendEpoch(GlobalState.Clock, GlobalState.Config.EnableExtension,
+                       olockVersion(V))) {
+        STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                               GlobalState.Table.indexOfEntry(&Lock), V);
+        rollback();
+      }
+      return Value;
+    }
+    V = V2;
+  }
+}
+
+void OrecTx::store(Word *Addr, Word Value) {
+  checkKill();
+  ++Stats.Writes;
+  Cm.noteAccess();
+  OLock &Lock = GlobalState.Table.entryFor(Addr);
+
+  OwnedStripe *Mine = nullptr;
+  unsigned Attempts = 0;
+  while (true) {
+    Word V = Lock.L.load(std::memory_order_acquire);
+    STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Lock), V);
+    if (olockIsLocked(V)) {
+      OwnedStripe *Entry = olockEntry(V);
+      OrecTx *Owner = Entry->Owner.load(std::memory_order_relaxed);
+      if (Owner == this) {
+        if (Mine != nullptr)
+          Owned.popBack(); // withdraw the unused speculative entry
+        break;             // stripe already ours; write below
+      }
+      // Write/write conflict, detected eagerly. Note the contended
+      // stripe for both parties before the CM can kill either.
+      STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                             GlobalState.Table.indexOfEntry(&Lock), V);
+      if (Owner != nullptr)
+        STM_DIAG_NOTE_CONFLICT(Owner->threadSlot(), Addr,
+                               GlobalState.Table.indexOfEntry(&Lock), V);
+      if (!Irrevocable &&
+          Cm.shouldAbort(GlobalState.Config, Owner, this, Attempts, Rng))
+        rollback();
+      checkKill();
+      // A serializer is draining: get out of its way. Without this an
+      // attacker spinning here (pinned) on the irrevocable tx's own
+      // lock would deadlock the drain.
+      if (!Irrevocable &&
+          GlobalState.IrrevocableTx.load(std::memory_order_acquire) !=
+              nullptr)
+        rollback();
+      repro::spinWait(Attempts);
+      continue;
+    }
+    if (Mine == nullptr) {
+      Mine = Owned.pushDefault();
+      Mine->Owner.store(this, std::memory_order_relaxed);
+      Mine->Lock = &Lock;
+    }
+    Mine->OldLock = V;
+    Word Locked = reinterpret_cast<Word>(Mine) | 1;
+    if (Lock.L.compare_exchange_weak(V, Locked, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      // Opacity check after acquisition: the stripe's version must not
+      // postdate our snapshot unless we can extend over it.
+      if (olockVersion(Mine->OldLock) > ValidTs &&
+          !extendEpoch(GlobalState.Clock, GlobalState.Config.EnableExtension,
+                       olockVersion(Mine->OldLock))) {
+        STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                               GlobalState.Table.indexOfEntry(&Lock),
+                               Mine->OldLock);
+        rollback();
+      }
+      break;
+    }
+  }
+
+  // Encounter-time write-back: save the pre-image, then write in place.
+  Undo.record(Addr, racyLoad(Addr));
+  STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(&Lock),
+                reinterpret_cast<Word>(Addr));
+  racyStore(Addr, Value);
+  Cm.onWrite(GlobalState.Config, GlobalState.GreedyTs, ++WordWriteCount);
+}
+
+void OrecTx::commit() {
+  assert(Depth > 0 && "commit outside a transaction");
+  checkKill();
+
+  // Read-only fast path.
+  if (Owned.empty()) {
+    ++Stats.ReadOnlyCommits;
+    if (Irrevocable) {
+      ++Stats.IrrevocableCommits;
+      releaseIrrevocable();
+    }
+    baseCommit(GlobalState.Clock.load());
+    return;
+  }
+
+  CommitStamp Stamp = takeCommitStamp(GlobalState.Clock, [this] {
+    uint64_t MaxOverwritten = 0;
+    Owned.forEach([&MaxOverwritten](OwnedStripe &E) {
+      if (olockVersion(E.OldLock) > MaxOverwritten)
+        MaxOverwritten = olockVersion(E.OldLock);
+    });
+    return MaxOverwritten;
+  });
+  uint64_t Ts = Stamp.Ts;
+  STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, Ts);
+  if (mustValidateCommit(Stamp) && !revalidate())
+    rollback(); // undoes the in-place writes
+
+  // Order the speculative in-place stores before the version releases
+  // on non-TSO hardware; values are already in memory, so commit is
+  // only this release loop.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  Word Release = olockMake(Ts);
+  Owned.forEach([&](OwnedStripe &E) {
+    E.Lock->L.store(Release, std::memory_order_release);
+  });
+
+  if (Irrevocable) {
+    ++Stats.IrrevocableCommits;
+    releaseIrrevocable();
+  }
+  baseCommit(Ts);
+}
+
+void OrecTx::rollback() {
+  // Restore pre-images newest-first *before* releasing any orec: a
+  // reader admitted by the release must find committed values only.
+  // The injected skip resurrects the classic "forgot the undo log"
+  // bug for the opacity checker's regression test.
+  if (!STM_DIAG_INJECTED(OrecSkipUndo))
+    Undo.unwind([](UndoEntry &E) { racyStore(E.Addr, E.Old); });
+
+  // Release owned orecs at their pre-acquisition versions. The last
+  // log entry may be speculative (pushed for a CAS that never
+  // succeeded), so only release locks that actually point at our
+  // entry — blindly storing OldLock would steal another owner's lock.
+  Owned.forEach([](OwnedStripe &E) {
+    if (E.Lock != nullptr &&
+        E.Lock->L.load(std::memory_order_relaxed) ==
+            (reinterpret_cast<Word>(&E) | 1))
+      E.Lock->L.store(E.OldLock, std::memory_order_release);
+  });
+
+  // A user-requested restart of an irrevocable transaction (or the
+  // runtime restarting one after a lost adaptive-gate race) is legal:
+  // the undo log was kept, so hand the token back and retry.
+  releaseIrrevocable();
+
+  baseAbort();
+  Cm.onRollback(GlobalState.Config, Rng, SuccessiveAborts);
+  std::longjmp(*EnvTarget, 1);
+}
+
+bool OrecTx::validateReadSet() {
+  for (const ReadEntry &R : ReadLog) {
+    Word Cur = R.Lock->L.load(std::memory_order_acquire);
+    if (Cur == R.Seen)
+      continue;
+    if (olockIsLocked(Cur)) {
+      OwnedStripe *Entry = olockEntry(Cur);
+      // A stripe we locked *after* reading it is valid iff nobody
+      // committed in between, i.e. the version we displaced is the one
+      // we read.
+      if (Entry->Owner.load(std::memory_order_relaxed) == this &&
+          Entry->OldLock == R.Seen)
+        continue;
+    }
+    STM_DIAG_NOTE_CONFLICT(Slot, nullptr,
+                           GlobalState.Table.indexOfEntry(R.Lock), Cur);
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,186 @@
+//===- stm/orec/Orec.h - eager orec/undo-log STM ----------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The classic rival of the paper's redo-log designs: encounter-time
+// (eager) write locking with *in-place* speculative writes and a per-tx
+// undo log (stm/UndoLog.h). A store acquires the stripe's orec first,
+// saves the pre-image, then writes memory directly; commit only stamps
+// and releases the orecs — there is no write-back loop — while abort
+// restores the pre-images newest-first and re-releases the orecs at
+// their pre-acquisition versions. Reads are invisible and time-validated
+// (core::TimeValidation), write/write conflicts go through the unified
+// two-phase contention manager, and readers hitting a foreign-owned
+// stripe abort themselves (their reads are invisible to the owner).
+//
+// Lock encoding (one tag bit, core/VersionedLock.h):
+//
+//   version << 1        when free,
+//   OwnedStripe* | 1    while a writer owns the stripe (from first
+//                       write until its commit or abort).
+//
+// Irrevocability: a transaction that keeps aborting (StmConfig::
+// OrecIrrevocableAborts) or allocates heavily (OrecIrrevocableAllocs)
+// serializes itself instead of retrying optimistically. It takes the
+// single global token (OrecGlobals::IrrevocableTx), then drains every
+// *other* slot through EpochManager quiescence — the same barrier
+// protocol as the adaptive runtime's backend switch — while fresh
+// transactions park at the token gate before pinning. Once alone it
+// cannot experience an STM-induced abort (no conflicts exist), so its
+// in-place writes are final; an explicit user restart() still works,
+// because the undo log is kept regardless. The adaptive policy in
+// runtime/StmRuntime uses this as its last escalation rung: serialize
+// the pathological transaction rather than switching whole backends.
+//
+//
+// INTERNAL HEADER — deprecated as an application include. The public
+// surface is stm/Stm.h (stm::Runtime + stm::atomically); select this
+// backend at runtime via StmConfig::Backend / STM_BACKEND instead of
+// including it directly. Direct includes outside src/stm/ and tests
+// of backend internals are scheduled for removal.
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_OREC_OREC_H
+#define STM_OREC_OREC_H
+
+#include "stm/Config.h"
+#include "stm/RacyAccess.h"
+#include "stm/StableLog.h"
+#include "stm/TxBase.h"
+#include "stm/UndoLog.h"
+#include "stm/core/Clock.h"
+#include "stm/core/ContentionManager.h"
+#include "stm/core/LockTable.h"
+#include "stm/core/Validation.h"
+#include "stm/core/VersionedLock.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace stm::orec {
+
+class OrecTx;
+
+struct OLock;
+
+/// Per-stripe entry of a transaction's lock set; the orec points here
+/// while owned. There is no buffered-value chain — values live in
+/// memory, pre-images in the undo log.
+struct OwnedStripe {
+  std::atomic<OrecTx *> Owner{nullptr};
+  OLock *Lock = nullptr;
+  Word OldLock = 0; ///< lock word (version) observed at acquisition
+
+  OwnedStripe() = default;
+  OwnedStripe(const OwnedStripe &O)
+      : Owner(O.Owner.load(std::memory_order_relaxed)), Lock(O.Lock),
+        OldLock(O.OldLock) {}
+  OwnedStripe &operator=(const OwnedStripe &O) {
+    Owner.store(O.Owner.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    Lock = O.Lock;
+    OldLock = O.OldLock;
+    return *this;
+  }
+};
+
+struct OLock {
+  std::atomic<Word> L{0};
+};
+
+/// Lock encoding: one tag bit (see core/VersionedLock.h).
+using OLockOps = core::VersionedLockOps<1>;
+inline bool olockIsLocked(Word V) { return OLockOps::isLocked(V); }
+inline uint64_t olockVersion(Word V) { return OLockOps::version(V); }
+inline Word olockMake(uint64_t Version) { return OLockOps::make(Version); }
+inline OwnedStripe *olockEntry(Word V) {
+  return OLockOps::pointer<OwnedStripe>(V);
+}
+
+struct OrecGlobals {
+  core::LockTable<OLock> Table;
+  GlobalClock Clock;    ///< commit-ts, advances under StmConfig::Clock
+  GlobalClock GreedyTs; ///< CM time base, always unique increments
+  StmConfig Config;
+  /// The single irrevocability token: non-null while one transaction
+  /// runs serialized. Published with seq_cst (it is one side of a
+  /// Dekker handshake with TxBase::baseStart's pin fence).
+  std::atomic<OrecTx *> IrrevocableTx{nullptr};
+};
+
+OrecGlobals &orecGlobals();
+
+/// One read-log entry.
+struct ReadEntry {
+  OLock *Lock;
+  Word Seen; ///< lock word as read (free, version<<1)
+};
+
+/// Eager orec transaction descriptor.
+class OrecTx : public TxBase, public core::TimeValidation<OrecTx> {
+public:
+  explicit OrecTx(unsigned Slot) : TxBase(Slot) {}
+
+  void onStart();
+  Word load(const Word *Addr);
+  void store(Word *Addr, Word Value);
+  void commit();
+  [[noreturn]] void restart() { rollback(); }
+
+  /// Shadows TxBase::txMalloc (the runtime's type-erased thunk and the
+  /// templated API both call through the concrete type): an allocation
+  /// burst is the second irrevocability trigger.
+  void *txMalloc(std::size_t Size);
+
+  /// Two-phase CM victim interface.
+  const core::ContentionManager<core::TwoPhaseMode::Native> &cm() const {
+    return Cm;
+  }
+
+  bool irrevocable() const { return Irrevocable; }
+
+private:
+  friend class core::TimeValidation<OrecTx>;
+
+  [[noreturn]] void rollback();
+  bool validateReadSet();
+  void checkKill() {
+    // An irrevocable transaction's in-place writes are final; it wins
+    // every conflict by fiat, so a CM kill request is ignored.
+    if (!Irrevocable && killRequested())
+      rollback();
+  }
+  void acquireTokenBlocking();
+  void becomeIrrevocableMidTx();
+  void drainOthers();
+  void releaseIrrevocable();
+
+  core::ContentionManager<core::TwoPhaseMode::Native> Cm;
+  std::vector<ReadEntry> ReadLog;
+  StableLog<OwnedStripe> Owned;
+  UndoLog Undo;
+  unsigned WordWriteCount = 0;
+  uint64_t AttemptAllocs = 0;
+  bool Irrevocable = false;
+};
+
+/// STM facade.
+class OrecStm {
+public:
+  using Tx = OrecTx;
+
+  static constexpr const char *name() { return "orec"; }
+
+  static void globalInit(const StmConfig &Config);
+  static void globalShutdown();
+  static OrecGlobals &globals() { return orecGlobals(); }
+};
+
+} // namespace stm::orec
+
+namespace stm {
+using OrecStm = orec::OrecStm;
+} // namespace stm
+
+#endif // STM_OREC_OREC_H

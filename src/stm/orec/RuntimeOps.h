@@ -1,0 +1,25 @@
+//===- stm/orec/RuntimeOps.h - orec runtime adapter -------------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Registers the eager orec/undo-log backend with the type-erased
+// runtime (see stm/runtime/BackendOps.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_OREC_RUNTIMEOPS_H
+#define STM_OREC_RUNTIMEOPS_H
+
+#include "stm/orec/Orec.h"
+#include "stm/runtime/BackendOps.h"
+
+namespace stm::orec {
+
+inline const rt::BackendOps &runtimeOps() {
+  static constexpr rt::BackendOps Ops = rt::makeBackendOps<OrecStm>();
+  return Ops;
+}
+
+} // namespace stm::orec
+
+#endif // STM_OREC_RUNTIMEOPS_H

@@ -26,9 +26,10 @@ enum class BackendKind : unsigned char {
   Tl2,         ///< lazy acquire, no extension, timid
   TinyStm,     ///< eager acquire, extension, timid
   Rstm,        ///< obstruction-free orecs, Polka-family CMs
+  Orec,        ///< eager orec, in-place writes + undo log, irrevocability
 };
 
-inline constexpr std::size_t NumBackends = 4;
+inline constexpr std::size_t NumBackends = 5;
 
 /// Stable human-readable name; matches each backend's STM::name().
 inline const char *backendName(BackendKind Kind) {
@@ -41,6 +42,8 @@ inline const char *backendName(BackendKind Kind) {
     return "tinystm";
   case BackendKind::Rstm:
     return "rstm";
+  case BackendKind::Orec:
+    return "orec";
   }
   return "unknown";
 }
@@ -50,7 +53,7 @@ inline const char *backendName(BackendKind Kind) {
 inline const std::array<BackendKind, NumBackends> &allBackendKinds() {
   static const std::array<BackendKind, NumBackends> Kinds = {
       BackendKind::SwissTm, BackendKind::Tl2, BackendKind::TinyStm,
-      BackendKind::Rstm};
+      BackendKind::Rstm, BackendKind::Orec};
   return Kinds;
 }
 

@@ -11,6 +11,7 @@
 #include "stm/EpochManager.h"
 #include "stm/RetiredPool.h"
 #include "stm/diag/Hooks.h"
+#include "stm/orec/RuntimeOps.h"
 #include "stm/rstm/RuntimeOps.h"
 #include "stm/swisstm/RuntimeOps.h"
 #include "stm/tinystm/RuntimeOps.h"
@@ -34,6 +35,7 @@ const BackendOps &stm::rt::backendOps(BackendKind Kind) {
       &tl2::runtimeOps(),
       &tiny::runtimeOps(),
       &rstm::runtimeOps(),
+      &orec::runtimeOps(),
   };
   return *Registry[static_cast<std::size_t>(Kind)];
 }
@@ -111,6 +113,13 @@ bool performSwitch(RuntimeGlobals &G, BackendKind Target) {
 /// the lower threshold — the hysteresis gap keeps the switcher from
 /// oscillating — picking the cheap backend by write mix: lazy TL2 for
 /// read-dominated windows, eager TinySTM for write-heavy ones.
+///
+/// The ladder's last rung: when even SwissTM's CM cannot tame the
+/// window (abort rate past AdaptiveSerializeAbortRate *while already
+/// on SwissTM*), escalate to the orec backend, whose irrevocability
+/// mode serializes exactly the pathological transaction (M successive
+/// aborts take the global token) instead of switching whole backends
+/// again.
 BackendKind decideBackend(const RuntimeGlobals &G, uint64_t Commits,
                           uint64_t Aborts, uint64_t Writes) {
   BackendKind Current =
@@ -119,8 +128,11 @@ BackendKind decideBackend(const RuntimeGlobals &G, uint64_t Commits,
   double AbortRate =
       Attempts == 0 ? 0.0
                     : static_cast<double>(Aborts) / static_cast<double>(Attempts);
+  if (AbortRate >= G.Config.AdaptiveSerializeAbortRate &&
+      Current == BackendKind::SwissTm)
+    return BackendKind::Orec;
   if (AbortRate >= G.Config.AdaptiveHighAbortRate)
-    return BackendKind::SwissTm;
+    return Current == BackendKind::Orec ? Current : BackendKind::SwissTm;
   if (AbortRate <= G.Config.AdaptiveLowAbortRate) {
     double WritesPerCommit =
         Commits == 0 ? 0.0

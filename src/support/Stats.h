@@ -36,6 +36,11 @@ struct TxStats {
   /// AbortsAttributed / Aborts is the profiler's coverage ratio.
   uint64_t AbortsAttributed = 0;
 
+  /// Irrevocability counters (the orec backend's serialize escape
+  /// hatch). Zero for every other backend.
+  uint64_t Serializations = 0;      ///< global-token acquisitions
+  uint64_t IrrevocableCommits = 0;  ///< commits made while serialized
+
   void reset() { *this = TxStats(); }
 
   TxStats &operator+=(const TxStats &O) {
@@ -52,6 +57,8 @@ struct TxStats {
     Batches += O.Batches;
     Sheds += O.Sheds;
     AbortsAttributed += O.AbortsAttributed;
+    Serializations += O.Serializations;
+    IrrevocableCommits += O.IrrevocableCommits;
     return *this;
   }
 

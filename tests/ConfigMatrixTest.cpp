@@ -272,6 +272,22 @@ TEST(ConfigEnvTest, ParsesValidValues) {
   Config = WithEnv("rstm", "0", "16", "4");
   EXPECT_EQ(Config.Backend, stm::rt::BackendKind::Rstm);
   EXPECT_FALSE(Config.Adaptive);
+
+  Config = WithEnv("orec", "0", "16", "4");
+  EXPECT_EQ(Config.Backend, stm::rt::BackendKind::Orec);
+}
+
+TEST(ConfigEnvTest, ParsesOrecIrrevocabilityKnobs) {
+  setenv("STM_BACKEND", "orec", 1);
+  setenv("STM_OREC_IRREVOCABLE_ABORTS", "3", 1);
+  setenv("STM_OREC_IRREVOCABLE_ALLOCS", "9", 1);
+  StmConfig Config = stm::configFromEnv();
+  unsetenv("STM_BACKEND");
+  unsetenv("STM_OREC_IRREVOCABLE_ABORTS");
+  unsetenv("STM_OREC_IRREVOCABLE_ALLOCS");
+  EXPECT_EQ(Config.Backend, stm::rt::BackendKind::Orec);
+  EXPECT_EQ(Config.OrecIrrevocableAborts, 3u);
+  EXPECT_EQ(Config.OrecIrrevocableAllocs, 9u);
 }
 
 TEST(LockTableDeathTest, InitEnforcesBoundsDirectly) {

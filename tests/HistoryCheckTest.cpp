@@ -12,8 +12,12 @@
 //  * every transaction reads a designated sequencer word first and every
 //    update transaction also writes it a unique value, so the read-from
 //    chain on the sequencer totally orders all committed updates;
-//  * every transaction then snapshots a small shared word array (reads
-//    recorded in order), and updaters write unique values into it;
+//  * every transaction then snapshots a small shared word array, and
+//    updaters write unique values into it and read some back — all ops
+//    recorded in program order, so the checker can model encounter-time
+//    (in-place, undo-log) writes: an attempt's own pending writes are
+//    visible to its own later reads and to nobody else, and die with
+//    the attempt on abort;
 //  * the offline checker replays the sequencer chain, verifying that it
 //    is a permutation of the committed updates and that each one's
 //    snapshot equals the replayed state it serialized after. Read-only
@@ -31,6 +35,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestHarness.h"
+
+#include "stm/diag/Hooks.h"
 
 #include <gtest/gtest-spi.h>
 
@@ -57,20 +63,66 @@ struct SharedState {
   alignas(64) Word Words[NumWords];
 };
 
+/// One recorded transactional operation, in program order. Order
+/// matters: with reads-after-writes in the workload (and undo-log
+/// backends writing in place at encounter time), a read's expected
+/// value depends on the attempt's own writes issued before it.
+struct TxOp {
+  bool IsWrite = false;
+  unsigned W = 0;
+  uint64_t V = 0;
+};
+
 /// One recorded transaction attempt (committed or aborted).
 struct Attempt {
   uint64_t SeqSeen = 0;
   bool SeqValid = false; ///< the sequencer read completed
   bool Committed = false;
   uint64_t SeqWritten = 0; ///< nonzero iff this attempt wrote (updater)
-  std::vector<std::pair<unsigned, uint64_t>> Reads;  ///< (word, value)
-  std::vector<std::pair<unsigned, uint64_t>> Writes; ///< (word, value)
+  std::vector<TxOp> Ops;   ///< word reads and writes, in program order
+
+  void read(unsigned W, uint64_t V) { Ops.push_back({false, W, V}); }
+  void write(unsigned W, uint64_t V) { Ops.push_back({true, W, V}); }
 };
 
 /// Unique value for thread \p Tid, attempt \p AttemptIdx, op \p Op.
 /// Never zero, never collides across threads/attempts/ops.
 uint64_t uniqueValue(unsigned Tid, uint64_t AttemptIdx, unsigned Op) {
   return (uint64_t(Tid + 1) << 48) | (AttemptIdx << 8) | (Op + 1);
+}
+
+/// Replays one attempt's op sequence against the committed state it
+/// serialized after, modelling undo-log (encounter-time, in-place)
+/// write semantics: the attempt's own pending writes are visible to
+/// its *own* later reads, and to nobody else. Rollback is modelled by
+/// construction — an aborted attempt's pending map dies with this
+/// call, and every other attempt's reads are checked against committed
+/// states only, so an aborted writer's in-place intermediate value
+/// surviving into shared memory (a skipped undo) shows up as some
+/// later attempt's read matching no committed state. Redo-log
+/// backends satisfy the same model: their read-after-write hits serve
+/// the buffered value the model predicts.
+void checkAttemptOps(const Attempt &A, const std::vector<uint64_t> &State,
+                     const char *StmName, const char *What) {
+  std::map<unsigned, uint64_t> Pending;
+  for (const TxOp &Op : A.Ops) {
+    if (Op.IsWrite) {
+      Pending[Op.W] = Op.V;
+      continue;
+    }
+    auto P = Pending.find(Op.W);
+    if (P != Pending.end()) {
+      EXPECT_EQ(Op.V, P->second)
+          << StmName << ": " << What << " at sequencer " << A.SeqSeen
+          << " read word " << Op.W
+          << " inconsistently — lost own in-place write";
+    } else {
+      EXPECT_EQ(Op.V, State[Op.W])
+          << StmName << ": " << What << " at sequencer " << A.SeqSeen
+          << " read word " << Op.W
+          << " inconsistently — non-opaque snapshot";
+    }
+  }
 }
 
 /// Offline opacity check of the merged history (see file comment).
@@ -101,12 +153,10 @@ void checkHistory(const std::vector<Attempt> &History, const char *StmName) {
   for (auto It = BySeqSeen.find(CurSeq); It != BySeqSeen.end();
        It = BySeqSeen.find(CurSeq)) {
     const Attempt &A = *It->second;
-    for (const auto &[W, V] : A.Reads)
-      EXPECT_EQ(V, State[W])
-          << StmName << ": committed update serialized at sequencer "
-          << A.SeqSeen << " read word " << W << " inconsistently";
-    for (const auto &[W, V] : A.Writes)
-      State[W] = V;
+    checkAttemptOps(A, State, StmName, "committed update");
+    for (const TxOp &Op : A.Ops)
+      if (Op.IsWrite)
+        State[Op.W] = Op.V;
     CurSeq = A.SeqWritten;
     StateAtSeq.emplace(CurSeq, State);
     ++Replayed;
@@ -127,12 +177,9 @@ void checkHistory(const std::vector<Attempt> &History, const char *StmName) {
                     << " that no committed update wrote — dirty read";
       continue;
     }
-    for (const auto &[W, V] : A.Reads)
-      EXPECT_EQ(V, It->second[W])
-          << StmName << ": "
-          << (A.Committed ? "read-only transaction" : "aborted attempt")
-          << " at sequencer " << A.SeqSeen << " read word " << W
-          << " inconsistently — non-opaque snapshot";
+    checkAttemptOps(A, It->second, StmName,
+                    A.Committed ? "read-only transaction"
+                                : "aborted attempt");
   }
 }
 
@@ -177,18 +224,17 @@ void runHistoryCheck(
           A.SeqSeen = T.load(&S.Seq);
           A.SeqValid = true;
 
-          // Full snapshot in random order (no reads after writes, so
-          // recorded reads never hit the transaction's own redo log).
-          // Randomized yields force interleavings mid-transaction even
-          // on few-core machines — without them the attempts mostly
-          // serialize and the checker has nothing interesting to check.
+          // Full snapshot in random order. Randomized yields force
+          // interleavings mid-transaction even on few-core machines —
+          // without them the attempts mostly serialize and the checker
+          // has nothing interesting to check.
           for (unsigned I = NumWords - 1; I > 0; --I)
             std::swap(Order[I], Order[Rng.nextBounded(I + 1)]);
           for (unsigned I = 0; I < NumWords; ++I) {
             unsigned W = Order[I];
             if (Rng.nextPercent(8))
               std::this_thread::yield();
-            A.Reads.emplace_back(W, T.load(&S.Words[W]));
+            A.read(W, T.load(&S.Words[W]));
           }
 
           if (Update) {
@@ -199,17 +245,13 @@ void runHistoryCheck(
               if (Rng.nextPercent(8))
                 std::this_thread::yield();
               T.store(&S.Words[W], V);
-              // Same-word writes overwrite: keep only the last record.
-              for (auto &Rec : A.Writes)
-                if (Rec.first == W)
-                  Rec.second = 0;
-              A.Writes.emplace_back(W, V);
+              A.write(W, V);
+              // Read-after-write some of the time: redo backends must
+              // serve the buffered value, undo backends the in-place
+              // one — the checker's pending-map model covers both.
+              if (Rng.nextPercent(40))
+                A.read(W, T.load(&S.Words[W]));
             }
-            A.Writes.erase(std::remove_if(A.Writes.begin(), A.Writes.end(),
-                                          [](const auto &R) {
-                                            return R.second == 0;
-                                          }),
-                           A.Writes.end());
             A.SeqWritten = uniqueValue(Tid, AttemptIdx, 0xFE);
             T.store(&S.Seq, A.SeqWritten);
           }
@@ -522,9 +564,9 @@ TEST(HistoryCheckerSelfTest, DetectsTornSnapshot) {
   Update.Committed = true;
   Update.SeqWritten = uniqueValue(0, 0, 0xFE);
   for (unsigned W = 0; W < NumWords; ++W)
-    Update.Reads.emplace_back(W, 0);
-  Update.Writes.emplace_back(0, uniqueValue(0, 0, 0));
-  Update.Writes.emplace_back(1, uniqueValue(0, 0, 1));
+    Update.read(W, 0);
+  Update.write(0, uniqueValue(0, 0, 0));
+  Update.write(1, uniqueValue(0, 0, 1));
   History.push_back(Update);
 
   // A reader that saw word 0 after the update but word 1 before it:
@@ -533,8 +575,8 @@ TEST(HistoryCheckerSelfTest, DetectsTornSnapshot) {
   Torn.SeqSeen = Update.SeqWritten;
   Torn.SeqValid = true;
   Torn.Committed = true;
-  Torn.Reads.emplace_back(0, uniqueValue(0, 0, 0));
-  Torn.Reads.emplace_back(1, 0);
+  Torn.read(0, uniqueValue(0, 0, 0));
+  Torn.read(1, 0);
   History.push_back(Torn);
 
   EXPECT_NONFATAL_FAILURE(checkHistory(History, "synthetic"),
@@ -578,5 +620,64 @@ TEST(HistoryCheckerSelfTest, DetectsLostUpdate) {
   }
   EXPECT_TRUE(Caught);
 }
+
+/// Undo-log model: a write followed by a readback of the same word must
+/// observe the pending in-place value, not the committed state.
+TEST(HistoryCheckerSelfTest, DetectsLostOwnWrite) {
+  std::vector<Attempt> History;
+  Attempt Update;
+  Update.SeqSeen = 0;
+  Update.SeqValid = true;
+  Update.Committed = true;
+  Update.SeqWritten = uniqueValue(0, 0, 0xFE);
+  Update.write(0, uniqueValue(0, 0, 0));
+  Update.read(0, 0); // readback missed the attempt's own pending write
+  History.push_back(Update);
+  EXPECT_NONFATAL_FAILURE(checkHistory(History, "synthetic"),
+                          "lost own in-place write");
+}
+
+#ifdef STM_DIAG
+/// Toggles a fault-injection knob for the enclosing scope.
+struct InjectGuard {
+  stm::diag::Inject Knob;
+  explicit InjectGuard(stm::diag::Inject K) : Knob(K) {
+    stm::diag::setInjected(K, true);
+  }
+  ~InjectGuard() { stm::diag::setInjected(Knob, false); }
+};
+
+/// End to end: resurrect the "rollback releases the orecs without
+/// unwinding the undo log" bug and prove the offline checker catches
+/// it. An aborted writer's in-place speculative values survive into
+/// shared memory, so later attempts read values no committed state
+/// contains — surfacing as a dirty read (a sequencer value nobody
+/// committed) or an inconsistent snapshot.
+TEST(HistoryCheckerSelfTest, CatchesInjectedOrecSkipUndo) {
+  InjectGuard Guard(stm::diag::Inject::OrecSkipUndo);
+  bool Caught = false;
+  {
+    ::testing::TestPartResultArray Failures;
+    ::testing::ScopedFakeTestPartResultReporter Reporter(
+        ::testing::ScopedFakeTestPartResultReporter::INTERCEPT_ALL_THREADS,
+        &Failures);
+    StmConfig Config = smallTable();
+    // Keep every abort a plain rollback: irrevocable escalation would
+    // serialize the pathological writers and mask the poison.
+    Config.OrecIrrevocableAborts = 0;
+    runHistoryCheck<OrecStm>(Config, 4, 1500, /*UpdatePercent=*/50,
+                             /*SeedSalt=*/9, /*RequireAborts=*/true);
+    for (int I = 0; I < Failures.size(); ++I) {
+      std::string Msg = Failures.GetTestPartResult(I).message();
+      if (Msg.find("inconsistently") != std::string::npos ||
+          Msg.find("dirty read") != std::string::npos ||
+          Msg.find("lost update") != std::string::npos)
+        Caught = true;
+    }
+  }
+  EXPECT_TRUE(Caught)
+      << "undo-log-aware checker missed the injected skip-undo bug";
+}
+#endif // STM_DIAG
 
 } // namespace

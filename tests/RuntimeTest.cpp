@@ -169,6 +169,10 @@ TEST(AdaptivePolicyTest, EscalatesToSwissTmUnderContention) {
   // tail thread's uncontended windows would otherwise switch away from
   // SwissTM again and make the final-state assertion racy.
   Config.AdaptiveLowAbortRate = -1.0;
+  // Pin the test to the SwissTM rung: this workload's abort rate also
+  // clears the serialize threshold, and the ladder would carry on to
+  // orec (covered by SerializeEscalationReachesOrec below).
+  Config.AdaptiveSerializeAbortRate = 2.0;
   AdaptiveRuntime::globalInit(Config);
   {
     alignas(8) static Word Counter;
@@ -194,6 +198,51 @@ TEST(AdaptivePolicyTest, EscalatesToSwissTmUnderContention) {
     EXPECT_GE(StmRuntime::switchCount(), 1u);
     EXPECT_GE(Total.ModeSwitches, 1u)
         << "the switching thread must account its switch in TxStats";
+    EXPECT_EQ(Total.Starts, Total.Commits + Total.Aborts);
+  }
+  AdaptiveRuntime::globalShutdown();
+}
+
+/// The ladder's last rung: a window still pathological *on SwissTM*
+/// escalates to orec, whose irrevocability mode then serializes the
+/// offending transactions themselves (observable as Serializations /
+/// IrrevocableCommits in the aggregated TxStats) instead of switching
+/// whole backends again.
+TEST(AdaptivePolicyTest, SerializeEscalationReachesOrec) {
+  StmConfig Config = smallTable();
+  Config.Backend = stm::rt::BackendKind::SwissTm;
+  Config.AdaptiveWindow = 256;
+  Config.AdaptiveLowAbortRate = -1.0;       // no de-escalation (see above)
+  Config.AdaptiveSerializeAbortRate = -1.0; // every SwissTM window escalates
+  Config.OrecIrrevocableAborts = 1;         // serialize on the first retry
+  AdaptiveRuntime::globalInit(Config);
+  {
+    alignas(8) static Word Counter;
+    Counter = 0;
+    constexpr unsigned Threads = 4;
+    constexpr unsigned Iters = 1200;
+    repro::TxStats Total;
+    std::vector<repro::TxStats> Stats(Threads);
+    runThreads<AdaptiveRuntime>(Threads, [&](unsigned Id, auto &Tx) {
+      for (unsigned K = 0; K < Iters; ++K)
+        atomically(Tx, [&](auto &T) {
+          Word V = T.load(&Counter);
+          std::this_thread::yield(); // widen the conflict window
+          T.store(&Counter, V + 1);
+        });
+      Stats[Id] = Tx.stats();
+    });
+    for (const repro::TxStats &S : Stats)
+      Total += S;
+    EXPECT_EQ(Counter, Word(Threads) * Iters);
+    EXPECT_EQ(StmRuntime::activeBackend(), stm::rt::BackendKind::Orec)
+        << "a still-pathological SwissTM window must escalate to orec";
+    EXPECT_GE(StmRuntime::switchCount(), 1u);
+    EXPECT_GE(Total.ModeSwitches, 1u);
+    EXPECT_GE(Total.Serializations, 1u)
+        << "contended orec transactions must take the irrevocability token";
+    EXPECT_GE(Total.IrrevocableCommits, 1u)
+        << "a serialized attempt must commit irrevocably";
     EXPECT_EQ(Total.Starts, Total.Commits + Total.Aborts);
   }
   AdaptiveRuntime::globalShutdown();

@@ -188,9 +188,56 @@ TEST(DiagEnumerateTest, WalksEverySyntheticScheduleOnce) {
       /*MaxChoicePoints=*/32);
 
   EXPECT_TRUE(Stats.Exhausted);
+  EXPECT_FALSE(Stats.Truncated);
   EXPECT_EQ(20u, Stats.Runs);
   // Every run took a distinct interleaving (and none repeated).
   EXPECT_EQ(Orders.size(), Stats.Runs);
+}
+
+// The same synthetic history under a budget smaller than the space:
+// the truncation must be loud (Truncated set, Exhausted not), and the
+// runs that did fit must include a schedule diverging at the *first*
+// choice point — the work-list driver explores earliest-divergence
+// alternatives first, where the old deepest-first DFS burned the whole
+// budget permuting the tail and reached the front-divergent schedules
+// last.
+TEST(DiagEnumerateTest, TruncationIsLoudAndFrontBiased) {
+  std::set<std::vector<uint32_t>> Orders;
+  std::vector<uint32_t> Current;
+  std::mutex Mu;
+
+  constexpr uint64_t MaxRuns = 5; // < the 20 distinct schedules
+  stm::diag::EnumStats Stats = stm::diag::enumerateSchedules(
+      2, MaxRuns,
+      [&] {
+        Current.clear();
+        std::vector<std::thread> Threads;
+        for (uint32_t Tid = 0; Tid < 2; ++Tid)
+          Threads.emplace_back([&, Tid] {
+            Schedule::ScopedThread Bind(Tid);
+            for (unsigned K = 0; K < 3; ++K) {
+              Schedule::instance().onEvent(Tid, HookKind::Read, K, 0);
+              std::lock_guard<std::mutex> Lock(Mu);
+              Current.push_back(Tid);
+            }
+          });
+        for (std::thread &T : Threads)
+          T.join();
+        Orders.insert(Current);
+      },
+      /*MaxChoicePoints=*/32);
+
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_FALSE(Stats.Exhausted);
+  EXPECT_EQ(MaxRuns, Stats.Runs);
+  EXPECT_EQ(Orders.size(), Stats.Runs); // still no schedule repeated
+  bool FrontDivergent = false;
+  for (const std::vector<uint32_t> &O : Orders)
+    if (!O.empty() && O.front() == 1)
+      FrontDivergent = true;
+  EXPECT_TRUE(FrontDivergent)
+      << "truncated budget never took the alternative at the first "
+      << "choice point";
 }
 
 #ifdef STM_DIAG
@@ -439,10 +486,10 @@ bool enumerationFindsLostUpdate(stm::rt::BackendKind Kind,
 
   // The interesting divergence (reader parks between its read and its
   // acquisition while the other thread commits) sits at the *earliest*
-  // choice points, which the deepest-first DFS reaches last — so the
-  // run budget must cover the whole space. A modest recorded-choice
-  // cap keeps abort-retry tails forced (round-robin) instead of
-  // exploding the tree.
+  // choice points, which the work-list driver explores first — a
+  // truncated budget still reaches it. A modest recorded-choice cap
+  // keeps abort-retry tails forced (round-robin) instead of exploding
+  // the tree.
   bool Lost = false;
   stm::diag::EnumStats Stats = stm::diag::enumerateSchedules(
       2, /*MaxRuns=*/50000,
@@ -695,6 +742,105 @@ TEST(DiagReplayTest, Pr5RstmRetireTagRegression) {
   ASSERT_TRUE(Schedule::loadTrace(Path.c_str(), Reloaded));
   EXPECT_EQ(Buggy.Log.size(), Reloaded.size());
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Orec irrevocability: token drain vs. a committer parked mid-commit
+//===----------------------------------------------------------------------===//
+
+/// Regression schedule for the irrevocability token's quiescence drain:
+/// a transaction turning irrevocable while another committer is parked
+/// *mid-commit* (stamp minted, orecs held, epoch still pinned) must
+/// wait for that committer to drain and then proceed — not deadlock,
+/// and not run concurrently with it. The hand-written interleaving:
+///
+///   T0: Begin, Acquire(X), mint commit stamp   | parked at the stamp
+///   T1: load X -> foreign orec -> abort; retry hits the abort
+///       threshold (OrecIrrevocableAborts=1), takes the token, pins,
+///       and parks in the drain loop (Switch hook, SerializeAux)
+///   T0: finishes its commit -> releases X, unpins (quiescent)
+///   T1: drain observes quiescence, runs irrevocably, commits
+///
+/// Before the drain-scan excluded committed-and-unpinned slots
+/// correctly, this schedule wedged with T1 spinning forever; the
+/// replay engine's stall detector turns that hang into a test failure.
+TEST(DiagReplayTest, OrecIrrevocableDrainVsParkedCommitter) {
+  stm::StmConfig Config;
+  Config.Backend = stm::rt::BackendKind::Orec;
+  Config.Adaptive = false;
+  Config.OrecIrrevocableAborts = 1;
+  Config.LockTableSizeLog2 = 16;
+  stm::StmRuntime::globalInit(Config);
+
+  alignas(64) static stm::Word X;
+  alignas(64) static stm::Word Y;
+  X = Y = 0;
+
+  auto Until = [](uint32_t Tid, HookKind Kind) {
+    Step St;
+    St.Tid = Tid;
+    St.Kind = Kind;
+    St.Until = true;
+    return St;
+  };
+  std::vector<Step> Steps;
+  // T0 acquires X's orec at encounter time and parks at the
+  // commit-stamp hook: locks held, epoch pinned, commit unfinished.
+  Steps.push_back(Until(0, HookKind::CommitStamp));
+  // T1 aborts on the foreign orec, retries over the threshold, takes
+  // the token, and parks at the first drain-wait iteration.
+  Steps.push_back(Until(1, HookKind::Switch));
+  // T0 runs to completion (Retire never fires without pending frees:
+  // this degenerates to "finish the thread") — releasing X and
+  // unpinning its slot.
+  Steps.push_back(Until(0, HookKind::Retire));
+  // Steps exhausted: the round-robin tail drains T1 out of the wait
+  // loop and through its irrevocable run.
+
+  Schedule &Sched = Schedule::instance();
+  Schedule::ReplayOptions Opts;
+  Opts.TimeoutMs = 60000;
+  Opts.ExpectedThreads = 2;
+  Sched.startReplay(Steps, Opts);
+
+  repro::TxStats T1Stats;
+  std::vector<std::thread> Threads;
+  Threads.emplace_back([&] { // T0: the parked committer
+    Schedule::ScopedThread Bind(0);
+    stm::ThreadScope<repro_test::Rt> Scope;
+    auto &Tx = Scope.tx();
+    stm::atomically(Tx, [&](auto &T) { T.store(&X, 1); });
+  });
+  Threads.emplace_back([&] { // T1: the escalating transaction
+    Schedule::ScopedThread Bind(1);
+    stm::ThreadScope<repro_test::Rt> Scope;
+    auto &Tx = Scope.tx();
+    stm::atomically(Tx, [&](auto &T) {
+      stm::Word Seen = T.load(&X);
+      T.store(&Y, Seen + 1);
+    });
+    T1Stats = Tx.stats();
+  });
+  for (std::thread &T : Threads)
+    T.join();
+
+  std::vector<Event> Log = Sched.stopReplay();
+  EXPECT_FALSE(Sched.stalled())
+      << "irrevocability drain deadlocked against the parked committer";
+  EXPECT_EQ(1u, X);
+  EXPECT_EQ(2u, Y) << "the irrevocable run did not serialize after T0";
+  // The drain wait is observable in the log: Switch events carrying
+  // the irrevocability sentinel (not a backend kind) from T1's slot.
+  bool SawDrain = false;
+  for (const Event &E : Log)
+    SawDrain |= E.Kind == HookKind::Switch && E.Tid == 1 && E.Aux == ~0ull;
+  EXPECT_TRUE(SawDrain)
+      << "schedule never parked T1 in the irrevocability drain";
+  EXPECT_GE(T1Stats.Serializations, 1u);
+  EXPECT_GE(T1Stats.IrrevocableCommits, 1u);
+  EXPECT_GE(T1Stats.Aborts, 1u);
+
+  stm::StmRuntime::globalShutdown();
 }
 
 // Exonerating sweep for the heap-corruption hypothesis: enumerate every

@@ -90,7 +90,9 @@ TEST_P(StatsInvariantTest, CountersMonotoneAcrossBatches) {
           Cur.Validations < Prev.Validations ||
           Cur.Extensions < Prev.Extensions ||
           Cur.FailedExtensions < Prev.FailedExtensions ||
-          Cur.ReadOnlyCommits < Prev.ReadOnlyCommits)
+          Cur.ReadOnlyCommits < Prev.ReadOnlyCommits ||
+          Cur.Serializations < Prev.Serializations ||
+          Cur.IrrevocableCommits < Prev.IrrevocableCommits)
         Monotone.store(false);
       if (Cur.Starts != Cur.Commits + Cur.Aborts)
         Balanced.store(false);
@@ -151,6 +153,62 @@ TEST_P(StatsInvariantTest, ReadOnlyCommitsAreExact) {
     EXPECT_EQ(After.Commits - Before.Commits, 8u) << repro_test::Rt::name();
   });
   EXPECT_EQ(X, 43u);
+}
+
+/// Irrevocability counters: only the orec backend (or the adaptive
+/// switcher once it escalates onto it) may serialize; every irrevocable
+/// commit was preceded by a serialization and is also an ordinary
+/// commit; and the escalation paths — token-gate parks, the post-pin
+/// token recheck's rollback, mid-tx escalation CAS losses — must not
+/// unbalance Starts == Commits + Aborts. Runs under a hair-trigger
+/// abort threshold so the orec leg escalates for real.
+TEST_P(StatsInvariantTest, IrrevocabilityCountersConsistent) {
+  // Re-init with the aggressive threshold (SetUp used the default 8).
+  StmRuntime::globalShutdown();
+  StmConfig Cfg;
+  Cfg.LockTableSizeLog2 = 16;
+  Cfg = applyMode(Cfg);
+  Cfg.OrecIrrevocableAborts = 1;
+  StmRuntime::globalInit(Cfg);
+
+  alignas(64) static Word Counter;
+  Counter = 0;
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Iters = 1000;
+  std::vector<repro::TxStats> Stats(Threads);
+  runThreads<repro_test::Rt>(Threads, [&](unsigned Id, auto &Tx) {
+    for (unsigned I = 0; I < Iters; ++I)
+      atomically(Tx, [&](auto &T) {
+        Word V = T.load(&Counter);
+        // Widen the read-to-write window so the attempts overlap and
+        // the abort threshold is actually reached on few-core hosts.
+        std::this_thread::yield();
+        T.store(&Counter, V + 1);
+      });
+    Stats[Id] = Tx.stats();
+  });
+
+  repro::TxStats Total;
+  for (unsigned I = 0; I < Threads; ++I) {
+    EXPECT_EQ(Stats[I].Starts, Stats[I].Commits + Stats[I].Aborts)
+        << repro_test::Rt::name() << " thread " << I;
+    Total += Stats[I];
+  }
+  EXPECT_EQ(Counter, uint64_t(Threads) * Iters);
+  EXPECT_LE(Total.IrrevocableCommits, Total.Commits);
+  EXPECT_LE(Total.IrrevocableCommits, Total.Serializations)
+      << "an irrevocable commit without a token acquisition";
+  const repro_test::RtMode &Mode = GetParam();
+  if (!Mode.Adaptive && Mode.Kind != stm::rt::BackendKind::Orec) {
+    EXPECT_EQ(Total.Serializations, 0u)
+        << repro_test::Rt::name() << ": a non-orec backend serialized";
+    EXPECT_EQ(Total.IrrevocableCommits, 0u);
+  }
+  if (!Mode.Adaptive && Mode.Kind == stm::rt::BackendKind::Orec) {
+    EXPECT_GE(Total.Serializations, 1u)
+        << "contended orec run never escalated despite threshold 1";
+    EXPECT_GE(Total.IrrevocableCommits, 1u);
+  }
 }
 
 /// The paper's derived metric: abortRatio stays in [0, 1] and matches
