@@ -71,9 +71,12 @@ inline stm::StmConfig baseConfig() { return baseConfigStorage(); }
 ///
 ///   --stm-backend=swisstm|tl2|tinystm|rstm
 ///   --stm-adaptive=0|1
-///   --stm-clock=gv1|gv4|gv5
+///   --stm-clock=gv1|gv4|gv5|gvshard
+///   --stm-clock-shards=N     (0 = auto from topology; power of two)
 ///   --stm-lock-table-log2=N
+///   --stm-lock-shards=N      (0 = auto from topology; power of two)
 ///   --stm-granularity-log2=N
+///   --stm-single-fence=0|1
 ///
 /// Flags win over the environment. Unknown --stm-* knobs and invalid
 /// values abort loudly (a typo must not measure the wrong config);
@@ -97,8 +100,8 @@ inline void parseStmFlags(int Argc, char **Argv) {
     if (!stm::applyConfigOption(baseConfigStorage(), Knob.c_str(), Eq + 1,
                                 Arg))
       stm::configFatal(Arg, Eq + 1,
-                       "backend|adaptive|clock|lock-table-log2|"
-                       "granularity-log2");
+                       "backend|adaptive|clock|clock-shards|lock-table-log2|"
+                       "lock-shards|granularity-log2|single-fence");
   }
 }
 

@@ -1,0 +1,39 @@
+//===- bench/Topology.cpp - topology recording for bench artifacts --------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Topology.h"
+
+#include "support/Topology.h"
+
+#include <cstdio>
+
+namespace bench {
+
+std::string topologyJson() {
+  const repro::TopologyInfo &T = repro::topology();
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"logical_cpus\": %u, \"cores\": %u, \"sockets\": %u, "
+                "\"smt_per_core\": %u, \"source\": \"%s\"}",
+                T.LogicalCpus, T.Cores, T.Sockets, T.SmtPerCore,
+                T.FromSysfs ? "sysfs" : "hardware_concurrency");
+  return Buf;
+}
+
+bool warnIfOversubscribed(const char *BenchName, unsigned Threads) {
+  const repro::TopologyInfo &T = repro::topology();
+  if (Threads <= T.Cores)
+    return false;
+  std::fprintf(stderr,
+               "%s: CAVEAT: %u threads on %u core%s (%u socket%s) — "
+               "multi-thread cells are oversubscribed and cross-core "
+               "effects collapse into scheduler noise on this host\n",
+               BenchName, Threads, T.Cores, T.Cores == 1 ? "" : "s",
+               T.Sockets, T.Sockets == 1 ? "" : "s");
+  return true;
+}
+
+} // namespace bench

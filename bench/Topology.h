@@ -1,0 +1,35 @@
+//===- bench/Topology.h - topology recording for bench artifacts -*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Bench-side face of support/Topology.h: every BENCH_*.json artifact
+// records the machine layout it was measured on, and every
+// multi-threaded grid prints a loud caveat when the host cannot
+// actually run the requested threads in parallel — the standing lesson
+// of the 1-core container this repo's numbers were first taken on,
+// previously encoded as hand-written caveat strings inside the JSON
+// files.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_TOPOLOGY_H
+#define BENCH_TOPOLOGY_H
+
+#include <string>
+
+namespace bench {
+
+/// The detected topology as a single-line JSON object, e.g.
+///   {"logical_cpus": 8, "cores": 4, "sockets": 1, "smt_per_core": 2,
+///    "source": "sysfs"}
+/// Embed under a "topology" key in every bench JSON artifact.
+std::string topologyJson();
+
+/// Prints the oversubscription caveat to stderr when the detected core
+/// count is below \p Threads (cross-core effects collapse into
+/// scheduler noise on such a host). Returns true when it printed.
+bool warnIfOversubscribed(const char *BenchName, unsigned Threads);
+
+} // namespace bench
+
+#endif // BENCH_TOPOLOGY_H

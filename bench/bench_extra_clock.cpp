@@ -19,22 +19,29 @@
 //        so the line stays shared across cores; the price is mandatory
 //        commit-time validation (a deferred stamp is never exclusively
 //        owned) and occasional extra extensions on the read side.
+//   gvshard  sharded counters — committers RMW only their own shard's
+//        line, begins sample one shard plus a periodic full scan; like
+//        gv5 the shared stamp forces commit-time validation.
 //
 // validations_per_commit is reported alongside throughput to make the
-// gv5 trade visible. Results land in bench/results/BENCH_extra_clock.json.
-// Note the cache-line effects gv4/gv5 target are cross-core phenomena:
-// on a single-core host the grid measures only the policies' overheads.
+// gv5/gvshard trade visible. Results land in
+// bench/results/BENCH_extra_clock.json. Note the cache-line effects
+// gv4/gv5/gvshard target are cross-core phenomena: on a single-core
+// host the grid measures only the policies' overheads (and the run
+// prints a loud caveat, see bench/Topology.h).
+//
+// The clock list is stm::allClockKinds() — one source of truth shared
+// with the runtime's parser, so a new policy lands in this grid (and in
+// scripts/repro_heap_corruption.sh via --list-clocks) automatically.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchWorkloads.h"
+#include "bench/Topology.h"
 
 using namespace bench;
 
 namespace {
-
-constexpr stm::ClockKind AllClocks[] = {
-    stm::ClockKind::Gv1, stm::ClockKind::Gv4, stm::ClockKind::Gv5};
 
 void sweep(stm::rt::BackendKind Backend, stm::ClockKind Clock) {
   std::string Name = std::string(stm::rt::backendName(Backend)) + "-" +
@@ -64,9 +71,19 @@ void sweep(stm::rt::BackendKind Backend, stm::ClockKind Clock) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // --list-clocks: machine-readable clock grid, one name per line, for
+  // scripts that enumerate the same policies this bench sweeps.
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--list-clocks") == 0) {
+      for (stm::ClockKind Clock : stm::allClockKinds())
+        std::printf("%s\n", stm::clockKindName(Clock));
+      return 0;
+    }
+  }
   bench::parseStmFlags(argc, argv);
+  bench::warnIfOversubscribed("bench_extra_clock", maxThreads());
   for (stm::rt::BackendKind Backend : stm::rt::allBackendKinds())
-    for (stm::ClockKind Clock : AllClocks)
+    for (stm::ClockKind Clock : stm::allClockKinds())
       sweep(Backend, Clock);
   Report::instance().print(
       "extra-clock",

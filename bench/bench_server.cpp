@@ -12,10 +12,12 @@
 // over Zipfian keys, bounded per-worker queues with shed-on-full
 // backpressure, and batched transaction admission (TxBatch).
 //
-// The grid is {4 fixed backends + adaptive} x {gv1, gv4, gv5}. Per
-// cell it reports goodput, shed count and p50/p99/p999 end-to-end
-// latency per op class from an HDR-style histogram, and writes the
-// whole grid as JSON (default BENCH_server.json; --json=PATH).
+// The grid is {5 fixed backends + adaptive} x stm::allClockKinds()
+// (gv1, gv4, gv5, gvshard). Per cell it reports goodput, shed count and
+// p50/p99/p999 end-to-end latency per op class from an HDR-style
+// histogram, and writes the whole grid as JSON (default
+// BENCH_server.json; --json=PATH) with the detected machine topology
+// recorded in the config block.
 //
 // Flags (besides the common --stm-* overrides, see bench/BenchUtil.h):
 //   --json=PATH     JSON output path (default BENCH_server.json)
@@ -29,6 +31,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "bench/Topology.h"
 #include "workloads/server/ServerHarness.h"
 
 #include <cstdarg>
@@ -39,9 +42,6 @@ using namespace bench;
 using namespace workloads::server;
 
 namespace {
-
-constexpr stm::ClockKind AllClocks[] = {
-    stm::ClockKind::Gv1, stm::ClockKind::Gv4, stm::ClockKind::Gv5};
 
 /// One grid cell: a fixed backend, or the adaptive runtime.
 struct Cell {
@@ -59,7 +59,7 @@ struct Cell {
 
 std::vector<Cell> fullGrid() {
   std::vector<Cell> Grid;
-  for (stm::ClockKind Clock : AllClocks) {
+  for (stm::ClockKind Clock : stm::allClockKinds()) {
     for (stm::rt::BackendKind Backend : stm::rt::allBackendKinds())
       Grid.push_back(Cell{false, Backend, Clock});
     Grid.push_back(Cell{true, stm::rt::BackendKind::SwissTm, Clock});
@@ -169,6 +169,7 @@ int main(int argc, char **argv) {
   }
 
   ServerConfig SC = serverConfig();
+  bench::warnIfOversubscribed("bench_server", SC.Workers);
   std::vector<Cell> Grid = fullGrid();
   if (!OnlyCell.empty()) {
     std::vector<Cell> Filtered;
@@ -192,12 +193,12 @@ int main(int argc, char **argv) {
           "  \"offered_ops_per_sec\": %.0f, \"queue_capacity\": %u,\n"
           "  \"batch_size\": %u, \"duration_ms\": %u,\n"
           "  \"mix_percent\": {\"point_read\": %u, \"range_scan\": %u, "
-          "\"transfer\": %u, \"auction_bid\": %u}\n"
-          " },\n \"cells\": [\n",
+          "\"transfer\": %u, \"auction_bid\": %u},\n",
           SC.Workers, SC.Clients, SC.Shards, (unsigned long long)SC.KeySpace,
           (unsigned long long)SC.Auctions, SC.Theta, SC.OfferedOpsPerSec,
           SC.QueueCapacity, SC.BatchSize, SC.DurationMs, SC.MixPercent[0],
           SC.MixPercent[1], SC.MixPercent[2], SC.MixPercent[3]);
+  Json += "  \"topology\": " + bench::topologyJson() + "\n },\n \"cells\": [\n";
 
   bool Valid = true;
   for (std::size_t I = 0; I < Grid.size(); ++I) {

@@ -2,10 +2,12 @@
 #===------------------------------------------------------------------------===#
 #
 # Repro handle for the ROADMAP heap-corruption item: a native
-# bench_extra_clock-shaped run (rbtree cells cycling backend x
-# {gv1,gv4,gv5}, a few threads, seconds per cell) was reported to die
-# roughly 1 run in 5-10 with glibc "unaligned fastbin chunk" /
-# "corrupted size vs. prev_size". Detection can land cells after the
+# bench_extra_clock-shaped run (rbtree cells cycling backend x the full
+# commit-clock grid — owned by the bench via stm::allClockKinds(), ask
+# `bench_extra_clock --list-clocks`; a few threads, seconds per cell)
+# was reported to die roughly 1 run in 5-10 with glibc "unaligned
+# fastbin chunk" / "corrupted size vs. prev_size". Detection can land
+# cells after the
 # corrupting write, so this script:
 #
 #   * pins STM_TEST_SEED, so every iteration offers identical work and
@@ -86,7 +88,13 @@ cleanup() {
 trap cleanup EXIT
 trap 'KEEP_LOGS=1; echo "interrupted; logs kept in ${LOG_DIR}" >&2' INT TERM
 
+# The clock grid belongs to the bench (stm::allClockKinds()); query it
+# instead of keeping a second hand-written copy that goes stale when a
+# policy is added.
+CLOCK_GRID=$("${BENCH}" --list-clocks | paste -sd, -)
+
 echo "repro_heap_corruption: ${ITERATIONS} iterations of ${BENCH}"
+echo "  grid: backend x {${CLOCK_GRID}}, threads 1..${REPRO_MAX_THREADS}"
 echo "  STM_TEST_SEED=${STM_TEST_SEED} REPRO_MAX_THREADS=${REPRO_MAX_THREADS}" \
      "REPRO_BENCH_MS=${REPRO_BENCH_MS} MALLOC_CHECK_=3 record=${RECORD}"
 echo "  logs: ${LOG_DIR}"

@@ -15,6 +15,7 @@
 
 #include "stm/core/Clock.h"
 #include "stm/runtime/Backend.h"
+#include "support/Topology.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -87,11 +88,34 @@ struct StmConfig {
   /// transaction obtains its commit timestamp. Gv1 (unique fetch&add,
   /// the paper's configuration) is the default; Gv4 adopts the winner's
   /// timestamp on CAS failure; Gv5 defers the increment entirely and
-  /// lets readers advance the counter on validation miss. Applies to
-  /// every backend's commit-ts; the greedy-ts/CM time bases always
-  /// increment (they need unique, totally ordered values). See README
-  /// "Commit-clock policies" for when each wins.
+  /// lets readers advance the counter on validation miss; GvShard
+  /// splits the counter into per-shard cache lines and snapshots the
+  /// vector max. Applies to every backend's commit-ts; the
+  /// greedy-ts/CM time bases always increment (they need unique,
+  /// totally ordered values). See README "Commit-clock policies" for
+  /// when each wins.
   ClockKind Clock = ClockKind::Gv1;
+
+  /// Commit-clock shard count under the gvshard policy: 0 (default)
+  /// derives it from the detected topology
+  /// (repro::defaultShardCount), otherwise a power of two up to
+  /// GlobalClock::MaxShards. Ignored by the other clock policies.
+  unsigned ClockShards = 0;
+
+  /// Lock-table interleave shard count (core/LockTable.h): 0 (default)
+  /// derives it from the detected topology, otherwise a power of two
+  /// up to LockTable::MaxShards (also bounded by the table size at
+  /// init). 1 is the identity mapping.
+  unsigned LockShards = 0;
+
+  /// TL2's SINGLEFENCEOPT, generalized: commit publishes the clock
+  /// *after* write-back (stripes stay locked throughout), which lets
+  /// the TL2/TinySTM read path drop its second acquire fence on
+  /// architectures where that fence is real. Costs the commit-time
+  /// "nothing in between" validation shortcut (the stamp is minted
+  /// after write-back, too late to skip validation), so it is off by
+  /// default; single-thread throughput is gated in CI either way.
+  bool SingleFence = false;
 
   /// RSTM variant: eager (encounter-time) vs lazy (commit-time) acquire.
   bool RstmEagerAcquire = true;
@@ -149,7 +173,10 @@ struct StmConfig {
   ///
   ///   STM_BACKEND            swisstm | tl2 | tinystm | rstm | orec
   ///   STM_ADAPTIVE           0 | 1
-  ///   STM_CLOCK              gv1 | gv4 | gv5
+  ///   STM_CLOCK              gv1 | gv4 | gv5 | gvshard
+  ///   STM_CLOCK_SHARDS       gvshard shard count (0 = topology auto)
+  ///   STM_LOCK_SHARDS        lock-table interleave shards (0 = auto)
+  ///   STM_SINGLE_FENCE       0 | 1 (TL2/TinySTM fence-elision commit)
   ///   STM_LOCK_TABLE_LOG2    log2 of lock-table entries (decimal)
   ///   STM_GRANULARITY_LOG2   log2 of bytes per stripe (decimal)
   ///   STM_OREC_IRREVOCABLE_ABORTS   orec: aborts before serializing (0 off)
@@ -206,7 +233,24 @@ inline bool applyConfigOption(StmConfig &Config, const char *Key,
     Config.Adaptive = Value[0] == '1';
   } else if (std::strcmp(Key, "clock") == 0) {
     if (Value == nullptr || !parseClockKind(Value, Config.Clock))
-      configFatal(Diag, Value, "gv1|gv4|gv5");
+      configFatal(Diag, Value, "gv1|gv4|gv5|gvshard");
+  } else if (std::strcmp(Key, "clock-shards") == 0) {
+    Config.ClockShards = configParseUnsigned(
+        Diag, Value, "0 (auto) or a power-of-two shard count");
+    if ((Config.ClockShards & (Config.ClockShards - 1)) != 0 ||
+        Config.ClockShards > GlobalClock::MaxShards)
+      configFatal(Diag, Value, "0 (auto) or a power-of-two shard count <= 16");
+  } else if (std::strcmp(Key, "lock-shards") == 0) {
+    Config.LockShards = configParseUnsigned(
+        Diag, Value, "0 (auto) or a power-of-two shard count");
+    if ((Config.LockShards & (Config.LockShards - 1)) != 0 ||
+        Config.LockShards > 256) // LockTable<...>::MaxShards
+      configFatal(Diag, Value, "0 (auto) or a power-of-two shard count <= 256");
+  } else if (std::strcmp(Key, "single-fence") == 0) {
+    if (Value == nullptr ||
+        (std::strcmp(Value, "0") != 0 && std::strcmp(Value, "1") != 0))
+      configFatal(Diag, Value, "0|1");
+    Config.SingleFence = Value[0] == '1';
   } else if (std::strcmp(Key, "lock-table-log2") == 0) {
     Config.LockTableSizeLog2 =
         configParseUnsigned(Diag, Value, "a decimal log2 entry count");
@@ -233,6 +277,9 @@ inline StmConfig StmConfig::fromEnv(StmConfig Base) {
       {"STM_BACKEND", "backend"},
       {"STM_ADAPTIVE", "adaptive"},
       {"STM_CLOCK", "clock"},
+      {"STM_CLOCK_SHARDS", "clock-shards"},
+      {"STM_LOCK_SHARDS", "lock-shards"},
+      {"STM_SINGLE_FENCE", "single-fence"},
       {"STM_LOCK_TABLE_LOG2", "lock-table-log2"},
       {"STM_GRANULARITY_LOG2", "granularity-log2"},
       {"STM_OREC_IRREVOCABLE_ABORTS", "orec-irrevocable-aborts"},
@@ -248,6 +295,32 @@ inline StmConfig StmConfig::fromEnv(StmConfig Base) {
 /// compatibility with pre-Runtime callers.
 inline StmConfig configFromEnv(StmConfig Config = StmConfig()) {
   return StmConfig::fromEnv(Config);
+}
+
+/// Commit-clock shard count with the auto (0) value resolved against
+/// the detected topology. 1 under every policy but gvshard — the other
+/// clocks are single-counter by construction.
+inline unsigned resolvedClockShards(const StmConfig &Config) {
+  if (Config.Clock != ClockKind::GvShard)
+    return 1;
+  return Config.ClockShards != 0
+             ? Config.ClockShards
+             : repro::defaultShardCount(GlobalClock::MaxShards);
+}
+
+/// Lock-table interleave shard count with the auto (0) value resolved
+/// against the detected topology (LockTable::init still bounds it by
+/// the table size).
+inline unsigned resolvedLockShards(const StmConfig &Config) {
+  if (Config.LockShards != 0)
+    return Config.LockShards; // explicit values are LockTable::init's to veto
+  unsigned Auto = repro::defaultShardCount(256); // LockTable<...>::MaxShards
+  // The auto value degrades gracefully on tiny tables instead of
+  // tripping init's size bound.
+  while (Config.LockTableSizeLog2 < 32 &&
+         uint64_t(Auto) > (uint64_t(1) << Config.LockTableSizeLog2))
+    Auto /= 2;
+  return Auto;
 }
 
 } // namespace stm

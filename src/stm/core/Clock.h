@@ -37,6 +37,25 @@
 //                         could be re-released at an already-seen version
 //                         and an equality-validated reader would miss the
 //                         intervening commit (ABA on the lock word).
+//   GvShard               sharded counter: one padded counter per shard,
+//                         a committer publishes only to its own shard and
+//                         the logical clock value is the max across
+//                         shards. The commit-side scan runs over
+//                         *uncontended-in-the-common-case* lines instead
+//                         of RMW-ing one global line; on a multi-socket
+//                         box each shard line stays in its home domain.
+//                         Like GV5, the stamp must dominate overwritten
+//                         versions and is never exclusively Owned (two
+//                         shards can hand out the same max+1), so every
+//                         update commit validates.
+//
+// GvShard's shard index is derived from the committer's registry slot,
+// NOT from sched_getcpu(): the diag record/replay harness serializes
+// execution at hook granularity and replays by thread, so a cpu-derived
+// shard would make replays diverge from the recording. Slot-derived
+// shards are deterministic under replay while still spreading committers
+// across lines 1:1 on a machine where threads are pinned in slot order
+// (the bench runner's layout).
 //
 // The dispatch is a runtime branch on the kind installed at reset():
 // backends are compiled once and selected at runtime (stm/runtime/), so
@@ -49,19 +68,22 @@
 
 #include "support/Platform.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
-#include <initializer_list>
 
 namespace stm {
 
 /// The commit-clock advance schemes (see file comment).
 enum class ClockKind : unsigned char {
-  Gv1, ///< fetch&add, unique timestamps (default)
-  Gv4, ///< CAS, pass-on-failure adoption
-  Gv5  ///< deferred increment, reader-advanced
+  Gv1,    ///< fetch&add, unique timestamps (default)
+  Gv4,    ///< CAS, pass-on-failure adoption
+  Gv5,    ///< deferred increment, reader-advanced
+  GvShard ///< per-shard counters, vector-max snapshot
 };
+
+inline constexpr std::size_t NumClockKinds = 4;
 
 /// Stable human-readable name; the STM_CLOCK spelling.
 inline const char *clockKindName(ClockKind Kind) {
@@ -72,14 +94,26 @@ inline const char *clockKindName(ClockKind Kind) {
     return "gv4";
   case ClockKind::Gv5:
     return "gv5";
+  case ClockKind::GvShard:
+    return "gvshard";
   }
   return "unknown";
+}
+
+/// All clock policies, in STM_CLOCK spelling order — the single source
+/// of truth for every clock grid (bench sweeps, the stress script's
+/// --list-clocks, the parse loop below). A policy added here is
+/// automatically part of every enumerating consumer.
+inline const std::array<ClockKind, NumClockKinds> &allClockKinds() {
+  static const std::array<ClockKind, NumClockKinds> Kinds = {
+      ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5, ClockKind::GvShard};
+  return Kinds;
 }
 
 /// Parses a clock name as spelled by clockKindName(). Returns false on
 /// unknown names (the caller owns the diagnostic).
 inline bool parseClockKind(const char *Name, ClockKind &Out) {
-  for (ClockKind Kind : {ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5}) {
+  for (ClockKind Kind : allClockKinds()) {
     if (std::strcmp(Name, clockKindName(Kind)) == 0) {
       Out = Kind;
       return true;
@@ -92,8 +126,8 @@ inline bool parseClockKind(const char *Name, ClockKind &Out) {
 /// exclusively this committer's (a unique increment or a won CAS): only
 /// then may the "nothing committed in between" validation shortcut
 /// (Ts == valid-ts + 1) be applied. A shared stamp (GV4 adoption, every
-/// GV5 stamp) must always revalidate — a same-timestamp peer may have
-/// committed into the read set without moving the clock.
+/// GV5/GvShard stamp) must always revalidate — a same-timestamp peer may
+/// have committed into the read set without moving the clock.
 struct CommitStamp {
   uint64_t Ts;
   bool Owned;
@@ -178,49 +212,89 @@ struct Gv5DeferredClock {
 
 } // namespace core
 
-/// A monotonically increasing global counter on its own cache line,
-/// advanced by the ClockKind policy installed at reset(). Auxiliary
-/// time bases (greedy-ts, the CM timestamps) keep the GV1 default:
-/// they need unique, totally ordered values.
+/// A monotonically increasing global counter, advanced by the ClockKind
+/// policy installed at reset(). Under every policy but GvShard a single
+/// cache-line-padded counter (shard 0) is live and the code paths are
+/// byte-for-byte the pre-sharding ones; under GvShard the logical value
+/// is the max over \p shards() padded per-shard counters. Auxiliary
+/// time bases (greedy-ts, the CM timestamps) keep the GV1 default and
+/// one shard: they need unique, totally ordered values.
 class alignas(repro::CacheLineSize) GlobalClock {
 public:
+  /// Upper bound on shards: enough for one shard per core on the target
+  /// machines while keeping the full-scan snapshot a handful of lines.
+  static constexpr unsigned MaxShards = 16;
+
   /// Resets to zero and installs the advance policy (globalInit and
-  /// tests only).
-  void reset(ClockKind K = ClockKind::Gv1) {
-    Value.store(0, std::memory_order_relaxed);
+  /// tests only). \p ShardCount must be a power of two in
+  /// [1, MaxShards]; it is only consulted under GvShard (every other
+  /// policy runs on shard 0 alone).
+  void reset(ClockKind K = ClockKind::Gv1, unsigned ShardCount = 1) {
+    for (ShardCounter &S : ShardsArr)
+      S.V.store(0, std::memory_order_relaxed);
     Kind = K;
+    NumShards = Kind == ClockKind::GvShard ? ShardCount : 1;
   }
 
   ClockKind kind() const { return Kind; }
+  unsigned shards() const { return NumShards; }
 
-  /// Current value.
-  uint64_t load() const { return Value.load(std::memory_order_acquire); }
+  /// The shard a registry slot stamps from (identity mask; see file
+  /// comment on why this is slot-derived, not cpu-derived).
+  unsigned shardOf(unsigned Slot) const { return Slot & (NumShards - 1); }
+
+  /// Current logical value: the max across live shards (a plain load of
+  /// shard 0 for every non-sharded policy).
+  uint64_t load() const {
+    uint64_t Max = ShardsArr[0].V.load(std::memory_order_acquire);
+    for (unsigned I = 1; I < NumShards; ++I) {
+      uint64_t V = ShardsArr[I].V.load(std::memory_order_acquire);
+      if (V > Max)
+        Max = V;
+    }
+    return Max;
+  }
+
+  /// One shard's current value. The GvShard begin-path fast sample:
+  /// a thread's own shard is the one line it already owns, and the
+  /// cached-view machinery (core::TimeValidation) fills in the rest.
+  uint64_t loadShard(unsigned Shard) const {
+    return ShardsArr[Shard].V.load(std::memory_order_acquire);
+  }
 
   /// Atomically increments and returns the new value
   /// ("increment&get" in Algorithm 1, line 37) — the GV1 primitive,
   /// used directly by the clocks that are not commit-ts policies.
   uint64_t incrementAndGet() {
-    return Value.fetch_add(1, std::memory_order_acq_rel) + 1;
+    return ShardsArr[0].V.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
-  /// Advances the counter to at least \p Floor (CAS-max) and returns
-  /// the resulting value. GV5's reader-side advance; also used by the
-  /// privatization fence, which must not wait for a counter nobody
-  /// else will move.
-  uint64_t advanceTo(uint64_t Floor) { return core::clockCasMax(Value, Floor); }
+  /// Advances the caller's shard to at least \p Floor (CAS-max) and
+  /// returns the resulting shard value. GV5's reader-side advance; also
+  /// used by the privatization fence, which must not wait for a counter
+  /// nobody else will move. Under GvShard only the slot's own shard is
+  /// touched — load() takes the max, so publishing anywhere publishes
+  /// globally.
+  uint64_t advanceTo(uint64_t Floor, unsigned Slot = 0) {
+    return core::clockCasMax(ShardsArr[shardOf(Slot)].V, Floor);
+  }
 
   /// Generates this commit's timestamp under the installed policy.
   /// \p MaxOverwritten is the largest version among the lock words the
-  /// commit is about to re-release (only GV5 consumes it; GV1/GV4
-  /// callers may pass 0). Call with all write locks held.
-  CommitStamp commitStamp(uint64_t MaxOverwritten = 0) {
+  /// commit is about to re-release (only GV5/GvShard consume it; GV1/GV4
+  /// callers may pass 0). \p Slot selects the committer's shard under
+  /// GvShard. Call with all write locks held.
+  CommitStamp commitStamp(uint64_t MaxOverwritten = 0, unsigned Slot = 0) {
     switch (Kind) {
     case ClockKind::Gv1:
-      return core::Gv1IncrementClock::commit(Value, MaxOverwritten);
+      return core::Gv1IncrementClock::commit(ShardsArr[0].V, MaxOverwritten);
     case ClockKind::Gv4:
-      return core::Gv4PassOnFailureClock::commit(Value, MaxOverwritten);
+      return core::Gv4PassOnFailureClock::commit(ShardsArr[0].V,
+                                                 MaxOverwritten);
     case ClockKind::Gv5:
-      return core::Gv5DeferredClock::commit(Value, MaxOverwritten);
+      return core::Gv5DeferredClock::commit(ShardsArr[0].V, MaxOverwritten);
+    case ClockKind::GvShard:
+      return shardCommit(MaxOverwritten, Slot);
     }
     return {0, false}; // unreachable
   }
@@ -228,31 +302,68 @@ public:
   /// Samples the clock for a timestamp extension after a read observed
   /// version \p Seen. Under GV5 the sample first drags the counter up
   /// to Seen — a deferred stamp can exceed the counter, and extending
-  /// to a stale sample would never cover the missed version.
-  uint64_t observe(uint64_t Seen) {
+  /// to a stale sample would never cover the missed version. Under
+  /// GvShard the slot's own shard is dragged to Seen first (so a
+  /// restarted attempt's begin snapshot covers it), then the full max
+  /// is returned. Out of line: this sits on validation-miss paths that
+  /// are inlined into every backend's load(), and the four-policy
+  /// switch (two of them CAS loops) is too much code to carry there.
+  REPRO_NOINLINE uint64_t observe(uint64_t Seen, unsigned Slot = 0) {
     switch (Kind) {
     case ClockKind::Gv1:
-      return core::Gv1IncrementClock::observe(Value, Seen);
+      return core::Gv1IncrementClock::observe(ShardsArr[0].V, Seen);
     case ClockKind::Gv4:
-      return core::Gv4PassOnFailureClock::observe(Value, Seen);
+      return core::Gv4PassOnFailureClock::observe(ShardsArr[0].V, Seen);
     case ClockKind::Gv5:
-      return core::Gv5DeferredClock::observe(Value, Seen);
+      return core::Gv5DeferredClock::observe(ShardsArr[0].V, Seen);
+    case ClockKind::GvShard:
+      core::clockCasMax(ShardsArr[shardOf(Slot)].V, Seen);
+      return load();
     }
     return 0; // unreachable
   }
 
   /// Hook for abort-on-stale-read paths (TL2 has no extension): under
-  /// GV5 the counter must still advance past the seen version, or the
-  /// restarted attempt would sample the same stale value and livelock
-  /// on the same read.
-  void noteStaleRead(uint64_t Seen) {
-    if (Kind == ClockKind::Gv5)
-      advanceTo(Seen);
+  /// GV5/GvShard the counter must still advance past the seen version,
+  /// or the restarted attempt would sample the same stale value and
+  /// livelock on the same read. Out of line: it sits on abort paths
+  /// inlined into every backend's load(), and the CAS-max loop is dead
+  /// weight there under the shared-counter policies.
+  REPRO_NOINLINE void noteStaleRead(uint64_t Seen, unsigned Slot = 0) {
+    if (Kind == ClockKind::Gv5 || Kind == ClockKind::GvShard)
+      advanceTo(Seen, Slot);
   }
 
 private:
-  std::atomic<uint64_t> Value{0};
+  struct alignas(repro::CacheLineSize) ShardCounter {
+    std::atomic<uint64_t> V{0};
+  };
+
+  /// GvShard commit: snapshot the max across shards while the caller
+  /// holds its write locks, dominate the overwritten versions, and
+  /// publish the stamp to the committer's own shard *before* any lock
+  /// release. Publishing pre-release is safe — a reader that sees the
+  /// advanced shard but stale data hits the still-locked stripes and
+  /// aborts/retries — and it is what keeps the reclamation horizon
+  /// sound: once a stripe is re-released at Ts, load() ≥ Ts, so no
+  /// later-starting transaction can publish a start below a retired
+  /// block's timestamp. The stamp is never Owned: two committers on
+  /// different shards can both derive max+1. Out of line so the
+  /// cross-shard scan + CAS loop stays out of the non-sharded commit
+  /// paths commitStamp() inlines into.
+  REPRO_NOINLINE CommitStamp shardCommit(uint64_t MaxOverwritten,
+                                         unsigned Slot) {
+    uint64_t Base = load();
+    if (MaxOverwritten > Base)
+      Base = MaxOverwritten;
+    uint64_t Ts = Base + 1;
+    core::clockCasMax(ShardsArr[shardOf(Slot)].V, Ts);
+    return {Ts, false};
+  }
+
+  std::array<ShardCounter, MaxShards> ShardsArr;
   ClockKind Kind = ClockKind::Gv1;
+  unsigned NumShards = 1;
 };
 
 } // namespace stm

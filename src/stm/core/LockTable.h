@@ -22,6 +22,16 @@
 //    types must therefore be valid in the all-zero-bytes state (their
 //    "unlocked" state) — true of every backend's atomic lock words.
 //
+// Interleave policy (STM_LOCK_SHARDS): with S > 1 shards the table is
+// split into S equal contiguous regions and stripe k is mapped into
+// region k mod S — a bijective rotation of the index bits, so no
+// entries are lost and S = 1 is the plain identity mapping. Round-robin
+// by stripe spreads any hot contiguous working set (the fig5 rbtree
+// root area) across regions, and because each region is contiguous,
+// first-touch NUMA placement puts a region's pages on the socket whose
+// threads fault them in — aligning a stripe's lock word with the clock
+// shard of the committers that hammer it (core/Clock.h GvShard).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef STM_CORE_LOCKTABLE_H
@@ -55,13 +65,17 @@ public:
   static constexpr unsigned MaxSizeLog2 = 28;
   static constexpr unsigned MinGranularityLog2 = 2;
   static constexpr unsigned MaxGranularityLog2 = 12;
+  /// Largest shard count the interleave accepts (power of two ≤ this,
+  /// and ≤ table size).
+  static constexpr unsigned MaxShards = 256;
 
   /// (Re)allocates the table. Any previous contents are discarded, so
   /// this must only run while no transaction is live. Out-of-range
   /// parameters abort in all build modes: a table sized by an
   /// uninitialized or corrupted config must not come up, Release build
-  /// or not.
-  void init(unsigned SizeLog2, unsigned GranLog2) {
+  /// or not. \p Shards must be a power of two in [1, MaxShards] not
+  /// exceeding the table size; 1 (the default) is the identity mapping.
+  void init(unsigned SizeLog2, unsigned GranLog2, unsigned Shards = 1) {
     static_assert(std::is_trivially_destructible_v<EntryT>,
                   "entries are freed without running destructors");
     if (SizeLog2 < MinSizeLog2 || SizeLog2 > MaxSizeLog2 ||
@@ -73,9 +87,22 @@ public:
                    MinGranularityLog2, MaxGranularityLog2);
       std::abort();
     }
+    if (Shards == 0 || (Shards & (Shards - 1)) != 0 || Shards > MaxShards ||
+        Shards > (uint64_t(1) << SizeLog2)) {
+      std::fprintf(stderr,
+                   "stm: LockTable::init shard count %u out of range "
+                   "(power of two, 1..%u, at most the table size)\n",
+                   Shards, MaxShards);
+      std::abort();
+    }
     destroy();
     SizeMask = (uint64_t(1) << SizeLog2) - 1;
     GranularityLog2 = GranLog2;
+    ShardMask = Shards - 1;
+    ShardShift = 0;
+    while ((1u << ShardShift) < Shards)
+      ++ShardShift;
+    RegionShift = SizeLog2 - ShardShift;
     // One spare entry of slack lets us align the base up to a cache
     // line; calloc keeps untouched pages unbacked.
     Raw = std::calloc(SizeMask + 2, sizeof(PaddedEntry<EntryT>));
@@ -95,6 +122,9 @@ public:
     Raw = nullptr;
     Entries = nullptr;
     SizeMask = 0;
+    ShardMask = 0;
+    ShardShift = 0;
+    RegionShift = 0;
   }
 
   bool isInitialized() const { return Entries != nullptr; }
@@ -102,13 +132,27 @@ public:
   /// Number of entries.
   uint64_t size() const { return SizeMask + 1; }
 
+  /// Number of interleave shards (1 = identity mapping).
+  unsigned shards() const { return unsigned(ShardMask) + 1; }
+
   /// Bytes of memory that share one entry.
   uint64_t stripeBytes() const { return uint64_t(1) << GranularityLog2; }
 
-  /// Index computation of Figure 1: shift the address right by the
-  /// granularity exponent, mask by table size.
+  /// Index computation of Figure 1 plus the shard interleave: shift the
+  /// address right by the granularity exponent, mask by table size,
+  /// then rotate the stripe's low shard-selecting bits to the top so
+  /// stripe k lands in contiguous region k mod shards. The one-shard
+  /// default takes an explicit early return rather than relying on the
+  /// rotation degenerating to the identity: this runs on every
+  /// transactional access, and the predicted-not-taken branch is
+  /// cheaper than carrying the dependent shift chain into the entry
+  /// address computation.
   uint64_t indexFor(const void *Addr) const {
-    return (reinterpret_cast<uintptr_t>(Addr) >> GranularityLog2) & SizeMask;
+    uint64_t Stripe =
+        (reinterpret_cast<uintptr_t>(Addr) >> GranularityLog2) & SizeMask;
+    if (REPRO_UNLIKELY(ShardShift != 0))
+      return ((Stripe & ShardMask) << RegionShift) | (Stripe >> ShardShift);
+    return Stripe;
   }
 
   /// Returns the entry covering \p Addr.
@@ -130,6 +174,9 @@ private:
   PaddedEntry<EntryT> *Entries = nullptr;
   void *Raw = nullptr;
   uint64_t SizeMask = 0;
+  uint64_t ShardMask = 0;
+  unsigned ShardShift = 0;
+  unsigned RegionShift = 0;
   unsigned GranularityLog2 = 4;
 };
 

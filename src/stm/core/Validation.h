@@ -40,9 +40,13 @@ public:
 
 protected:
   /// Samples \p Clock at transaction begin and publishes the snapshot
-  /// for quiescence (Algorithm 1, line 2).
+  /// for quiescence (Algorithm 1, line 2). Under GvShard the sample is
+  /// the per-thread cached vector-max view, freshened with the thread's
+  /// own shard — see shardSnapshot() for why that is sound and when the
+  /// full scan re-runs.
   void beginEpoch(const GlobalClock &Clock) {
-    ValidTs = Clock.load();
+    ValidTs = Clock.kind() == ClockKind::GvShard ? shardSnapshot(Clock)
+                                                 : Clock.load();
     repro::ThreadRegistry::publishStart(derived().threadSlot(), ValidTs);
     STM_DIAG_TX_BEGIN(derived().threadSlot(), ValidTs);
   }
@@ -65,9 +69,14 @@ protected:
   template <typename MaxOldFn>
   CommitStamp takeCommitStamp(GlobalClock &Clock,
                               MaxOldFn &&MaxOverwritten) {
-    uint64_t MaxOld =
-        Clock.kind() == ClockKind::Gv5 ? MaxOverwritten() : 0;
-    return Clock.commitStamp(MaxOld);
+    ClockKind Kind = Clock.kind();
+    uint64_t MaxOld = Kind == ClockKind::Gv5 || Kind == ClockKind::GvShard
+                          ? MaxOverwritten()
+                          : 0;
+    CommitStamp Stamp = Clock.commitStamp(MaxOld, derived().threadSlot());
+    if (Stamp.Ts > CachedView)
+      CachedView = Stamp.Ts; // free knowledge for the next shard snapshot
+    return Stamp;
   }
 
   /// The "nothing committed in between" shortcut: commit-time read-set
@@ -92,11 +101,15 @@ protected:
   bool extendEpoch(GlobalClock &Clock, bool EnableExtension,
                    uint64_t SeenVersion) {
     if (!EnableExtension) {
-      Clock.noteStaleRead(SeenVersion);
+      Clock.noteStaleRead(SeenVersion, derived().threadSlot());
+      if (SeenVersion > CachedView)
+        CachedView = SeenVersion;
       ++derived().stats().FailedExtensions;
       return false;
     }
-    uint64_t Ts = Clock.observe(SeenVersion);
+    uint64_t Ts = Clock.observe(SeenVersion, derived().threadSlot());
+    if (Ts > CachedView)
+      CachedView = Ts; // observe() is a full vector-max scan under GvShard
     if (revalidate()) {
       ValidTs = Ts;
       repro::ThreadRegistry::publishStart(derived().threadSlot(), ValidTs);
@@ -110,6 +123,39 @@ protected:
   uint64_t ValidTs = 0;
 
 private:
+  /// GvShard begin snapshot. A stale (low) snapshot is always *sound* —
+  /// any read of a newer version misses and extends/aborts, and a low
+  /// published start only makes the quiescence horizon more
+  /// conservative — so the begin path avoids the full cross-shard scan:
+  /// it refreshes the cached vector-max view from the thread's own
+  /// shard line only (committers publish their stamps there, and
+  /// observe()/takeCommitStamp() fold full scans into the cache when
+  /// they happen anyway). Pure staleness is a *liveness* problem,
+  /// though: SwissTM's privatization fence and the TxMemory reclamation
+  /// horizon both wait for every thread's published start to pass a
+  /// stamp that may live only on another thread's shard. The periodic
+  /// full scan (every ShardRefreshPeriod begins) bounds how long a
+  /// thread can keep publishing a pre-stamp view.
+  /// Out of line: GvShard-only, and beginEpoch() is inlined into every
+  /// backend's transaction-start path.
+  REPRO_NOINLINE uint64_t shardSnapshot(const GlobalClock &Clock) {
+    if (++BeginsSinceRefresh >= ShardRefreshPeriod) {
+      BeginsSinceRefresh = 0;
+      CachedView = Clock.load(); // full vector-max scan
+    } else {
+      uint64_t Own =
+          Clock.loadShard(Clock.shardOf(derived().threadSlot()));
+      if (Own > CachedView)
+        CachedView = Own;
+    }
+    return CachedView;
+  }
+
+  static constexpr unsigned ShardRefreshPeriod = 32;
+
+  uint64_t CachedView = 0;
+  unsigned BeginsSinceRefresh = 0;
+
   Derived &derived() { return static_cast<Derived &>(*this); }
 };
 

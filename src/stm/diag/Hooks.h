@@ -100,6 +100,13 @@ enum class Inject : unsigned {
   /// in memory — the dirty-read exposure the undo-log-aware opacity
   /// checker must catch.
   OrecSkipUndo,
+  /// Unsound fence elision (the single-fence commit's guard rail): the
+  /// TL2 read path re-loads the data word *after* the post-read lock
+  /// recheck, modelling the weak-memory reorder a relaxed recheck
+  /// would permit without the commit-after-write-back protocol — the
+  /// returned value can be torn against the validated version, the
+  /// non-opaque snapshot the history checker must flag.
+  Tl2UnsoundFenceElision,
   Count_,
 };
 

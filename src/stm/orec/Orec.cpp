@@ -19,10 +19,11 @@ OrecGlobals &stm::orec::orecGlobals() { return GlobalState; }
 
 void OrecStm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                         resolvedLockShards(Config));
   // The commit-ts advances under the configured clock policy; the
   // greedy-ts always increments (the CM needs unique timestamps).
-  GlobalState.Clock.reset(Config.Clock);
+  GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
   GlobalState.GreedyTs.reset();
   GlobalState.IrrevocableTx.store(nullptr, std::memory_order_relaxed);
 }
@@ -106,11 +107,20 @@ void OrecTx::releaseIrrevocable() {
   GlobalState.IrrevocableTx.store(nullptr, std::memory_order_release);
 }
 
-void *OrecTx::txMalloc(std::size_t Size) {
+void OrecTx::noteAllocation() {
   uint64_t N = GlobalState.Config.OrecIrrevocableAllocs;
   if (N != 0 && !Irrevocable && inTransaction() && ++AttemptAllocs >= N)
     becomeIrrevocableMidTx();
+}
+
+void *OrecTx::txMalloc(std::size_t Size) {
+  noteAllocation();
   return TxBase::txMalloc(Size);
+}
+
+void OrecTx::txFree(void *Ptr) {
+  noteAllocation();
+  TxBase::txFree(Ptr);
 }
 
 //===----------------------------------------------------------------------===//

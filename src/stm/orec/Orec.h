@@ -133,6 +133,19 @@ public:
   /// burst is the second irrevocability trigger.
   void *txMalloc(std::size_t Size);
 
+  /// Shadows TxBase::txFree for the same reason: a deferred free is a
+  /// transactional-allocator event too, so free-heavy transactions
+  /// (container erase loops) reach the trigger without a single
+  /// explicit noteAllocation call.
+  void txFree(void *Ptr);
+
+  /// Counts one transactional-allocator event toward the
+  /// OrecIrrevocableAllocs trigger and escalates to irrevocable
+  /// mid-transaction when the threshold is reached. txMalloc/txFree
+  /// route through here automatically; explicit calls remain available
+  /// for allocation-like work the TxMemory layer does not see.
+  void noteAllocation();
+
   /// Two-phase CM victim interface.
   const core::ContentionManager<core::TwoPhaseMode::Native> &cm() const {
     return Cm;

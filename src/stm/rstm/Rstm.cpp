@@ -18,10 +18,11 @@ RstmGlobals &stm::rstm::rstmGlobals() { return GlobalState; }
 
 void Rstm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                         resolvedLockShards(Config));
   // The commit counter advances under the configured clock policy; the
   // greedy-ts always increments (the CM needs unique timestamps).
-  GlobalState.CommitCounter.reset(Config.Clock);
+  GlobalState.CommitCounter.reset(Config.Clock, resolvedClockShards(Config));
   GlobalState.GreedyTs.reset();
 }
 

@@ -17,10 +17,11 @@ SwissGlobals &stm::swiss::swissGlobals() { return GlobalState; }
 
 void SwissTm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                         resolvedLockShards(Config));
   // The commit-ts advances under the configured clock policy; the
   // greedy-ts always increments (the CM needs unique timestamps).
-  GlobalState.CommitTs.reset(Config.Clock);
+  GlobalState.CommitTs.reset(Config.Clock, resolvedClockShards(Config));
   GlobalState.GreedyTs.reset();
 }
 
@@ -241,7 +242,7 @@ void SwissTx::commit() {
     // in-flight readers only advance it on a validation miss they may
     // never take: publish Ts first so fresh attempts start at or past
     // it and the fence below terminates.
-    GlobalState.CommitTs.advanceTo(Ts);
+    GlobalState.CommitTs.advanceTo(Ts, Slot);
     unsigned SpinStep = 0;
     while (repro::ThreadRegistry::minActiveStart() < Ts) {
       STM_DIAG_HOOK(Slot, Validate, ::stm::diag::NoStripe, Ts);

@@ -17,8 +17,9 @@ TinyGlobals &stm::tiny::tinyGlobals() { return GlobalState; }
 
 void TinyStm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
-  GlobalState.Clock.reset(Config.Clock);
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                         resolvedLockShards(Config));
+  GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
 }
 
 void TinyStm::globalShutdown() { globalTeardown(GlobalState.Table); }
@@ -55,7 +56,14 @@ Word TinyTx::load(const Word *Addr) {
       rollback();
     }
     Word Value = racyLoad(Addr);
-    Word V2 = Lock.L.load(std::memory_order_acquire);
+    // Single-fence mode: the recheck drops its acquire ordering, same
+    // rationale as TL2's (the commit path publishes the clock only
+    // after write-back, see TinyTx::commitSingleFence). Where acquire
+    // loads are free (x86) the mode test folds away and the recheck
+    // keeps the stronger order at zero cost.
+    Word V2 = repro::AcquireLoadIsFree || !GlobalState.Config.SingleFence
+                  ? Lock.L.load(std::memory_order_acquire)
+                  : Lock.L.load(std::memory_order_relaxed);
     if (V == V2) {
       ReadLog.push_back(ReadEntry{&Lock, V});
       if (vlockVersion(V) > ValidTs &&
@@ -68,7 +76,12 @@ Word TinyTx::load(const Word *Addr) {
       }
       return Value;
     }
-    V = V2;
+    // Retry: a relaxed recheck value is good enough to detect the
+    // mismatch, but the next iteration dereferences lock-carried state,
+    // so re-sample with acquire (a no-op when V2 was already acquire).
+    V = !repro::AcquireLoadIsFree && GlobalState.Config.SingleFence
+            ? Lock.L.load(std::memory_order_acquire)
+            : V2;
   }
 }
 
@@ -139,15 +152,20 @@ void TinyTx::commit() {
     return;
   }
 
+  if (REPRO_UNLIKELY(GlobalState.Config.SingleFence)) {
+    commitSingleFence();
+    return;
+  }
+
   // Commit timestamp under the configured clock policy; the shortcut
   // rules live in core::TimeValidation.
   CommitStamp Stamp = takeCommitStamp(GlobalState.Clock, [this] {
-    uint64_t MaxOverwritten = 0;
-    WriteLog.forEach([&MaxOverwritten](StripeWrite &E) {
-      if (vlockVersion(E.OldValue) > MaxOverwritten)
-        MaxOverwritten = vlockVersion(E.OldValue);
+    uint64_t Max = 0;
+    WriteLog.forEach([&Max](StripeWrite &E) {
+      if (vlockVersion(E.OldValue) > Max)
+        Max = vlockVersion(E.OldValue);
     });
-    return MaxOverwritten;
+    return Max;
   });
   uint64_t Ts = Stamp.Ts;
   STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, Ts);
@@ -165,6 +183,39 @@ void TinyTx::commit() {
     E.Lock->L.store(Release, std::memory_order_release);
   });
 
+  baseCommit(Ts);
+}
+
+// SINGLEFENCEOPT ordering (see Tl2Tx::commitSingleFence): validate
+// first (write-back is irreversible — the word log keeps no old data),
+// write every stripe back while all locks stay held, and only then
+// mint and publish the timestamp and release. The stamp is shared by
+// construction, so validation can never be skipped. Out of line to
+// keep the off-by-default variant out of the hot commit path.
+REPRO_NOINLINE void TinyTx::commitSingleFence() {
+  if (!revalidate())
+    rollback();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  WriteLog.forEach([&](StripeWrite &E) {
+    STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(E.Lock),
+                  0);
+    for (WordWrite *W = E.Head; W; W = W->Next)
+      racyStore(W->Addr, W->Value);
+  });
+  CommitStamp Stamp = takeCommitStamp(GlobalState.Clock, [this] {
+    uint64_t Max = 0;
+    WriteLog.forEach([&Max](StripeWrite &E) {
+      if (vlockVersion(E.OldValue) > Max)
+        Max = vlockVersion(E.OldValue);
+    });
+    return Max;
+  });
+  uint64_t Ts = Stamp.Ts;
+  STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, Ts);
+  Word Release = vlockMake(Ts);
+  WriteLog.forEach([&](StripeWrite &E) {
+    E.Lock->L.store(Release, std::memory_order_release);
+  });
   baseCommit(Ts);
 }
 

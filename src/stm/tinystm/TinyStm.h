@@ -123,6 +123,10 @@ private:
   [[noreturn]] void rollback();
   bool validateReadSet();
   void addWordWrite(StripeWrite *Entry, Word *Addr, Word Value);
+  /// Tail of commit() for single-fence mode (STM_SINGLE_FENCE); out of
+  /// line so the off-by-default ordering variant does not sit in the
+  /// default commit path's I-cache footprint.
+  void commitSingleFence();
 
   std::vector<ReadEntry> ReadLog;
   StableLog<StripeWrite> WriteLog;

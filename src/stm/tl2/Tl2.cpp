@@ -8,6 +8,8 @@
 
 #include "support/Platform.h"
 
+#include <thread>
+
 using namespace stm;
 using namespace stm::tl2;
 
@@ -17,8 +19,9 @@ Tl2Globals &stm::tl2::tl2Globals() { return GlobalState; }
 
 void Tl2::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2);
-  GlobalState.Clock.reset(Config.Clock);
+  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                         resolvedLockShards(Config));
+  GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
 }
 
 void Tl2::globalShutdown() { globalTeardown(GlobalState.Table); }
@@ -46,14 +49,24 @@ Word Tl2Tx::load(const Word *Addr) {
   STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Lock), 0);
   Word V1 = Lock.L.load(std::memory_order_acquire);
   Word Value = racyLoad(Addr);
-  Word V2 = Lock.L.load(std::memory_order_acquire);
+  // Single-fence mode (SINGLEFENCEOPT): the post-read recheck drops its
+  // acquire ordering. Sound only because the commit path then publishes
+  // the clock *after* write-back while the stripes stay locked — the
+  // begin-time clock acquire plus the release-store at the new version
+  // already order any version <= rv before the data this read can
+  // observe, so the recheck only needs the value, not the fence. Where
+  // acquire loads are free (x86) the mode test folds away and the
+  // recheck keeps the stronger order at zero cost.
+  Word V2 = repro::AcquireLoadIsFree || !GlobalState.Config.SingleFence
+                ? Lock.L.load(std::memory_order_acquire)
+                : Lock.L.load(std::memory_order_relaxed);
 
   // TL2 post-read check: the lock must be free, unchanged across the
   // data read, and no newer than the transaction's read version. Any
   // violation aborts -- TL2 has no extension mechanism. A too-new
-  // version still advances a deferred (GV5) clock before the abort, or
-  // the retry would sample the same stale read version and livelock on
-  // this very read.
+  // version still advances a deferred (GV5/GvShard) clock before the
+  // abort, or the retry would sample the same stale read version and
+  // livelock on this very read.
   if (vlockIsLocked(V1) || V1 != V2) {
     STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Lock),
                            V1);
@@ -62,8 +75,19 @@ Word Tl2Tx::load(const Word *Addr) {
   if (vlockVersion(V1) > ValidTs) {
     STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Lock),
                            V1);
-    GlobalState.Clock.noteStaleRead(vlockVersion(V1));
+    GlobalState.Clock.noteStaleRead(vlockVersion(V1), Slot);
     rollback();
+  }
+
+  // Injected guard-rail bug (tests only): model the data load sinking
+  // below the relaxed recheck — the reorder an *unsound* fence elision
+  // (one without the commit-after-write-back protocol) would allow on
+  // weakly-ordered hardware. The yield widens the window so a
+  // concurrent commit can tear the returned value away from the
+  // version the checks above validated.
+  if (STM_DIAG_INJECTED(Tl2UnsoundFenceElision)) {
+    std::this_thread::yield();
+    Value = racyLoad(Addr);
   }
 
   ReadLog.push_back(&Lock);
@@ -165,16 +189,24 @@ void Tl2Tx::commit() {
     rollbackReleasing();
 
   // Order lock acquisition before the data write-back for readers.
+  // In single-fence mode this is the *only* commit fence — the read
+  // path's recheck relies on the stamp being published after
+  // write-back below.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  if (REPRO_UNLIKELY(GlobalState.Config.SingleFence)) {
+    commitSingleFence();
+    return;
+  }
 
   // Commit timestamp under the configured clock policy; the shortcut
   // rules live in core::TimeValidation.
   CommitStamp Stamp = takeCommitStamp(GlobalState.Clock, [this] {
-    uint64_t MaxOverwritten = 0;
+    uint64_t Max = 0;
     for (const Acquired &A : AcquiredLocks)
-      if (vlockVersion(A.OldValue) > MaxOverwritten)
-        MaxOverwritten = vlockVersion(A.OldValue);
-    return MaxOverwritten;
+      if (vlockVersion(A.OldValue) > Max)
+        Max = vlockVersion(A.OldValue);
+    return Max;
   });
   uint64_t WriteVersion = Stamp.Ts;
   STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, WriteVersion);
@@ -191,6 +223,36 @@ void Tl2Tx::commit() {
   for (const Acquired &A : AcquiredLocks)
     A.Lock->L.store(Release, std::memory_order_release);
 
+  baseCommit(WriteVersion);
+}
+
+// SINGLEFENCEOPT ordering: validate, write back, and only then mint
+// and publish the commit timestamp (stripes stay locked throughout, so
+// nobody can observe the new data at the old version). Validation must
+// run before write-back — a redo log has no old values to restore —
+// and can never be skipped: the stamp does not exist yet when the
+// decision is due, and a post-write-back stamp is shared by
+// construction. Runs with the write set acquired and the commit fence
+// already issued (see commit()).
+REPRO_NOINLINE void Tl2Tx::commitSingleFence() {
+  if (!revalidate())
+    rollbackReleasing();
+  for (const WriteEntry &W : WriteLog) {
+    STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexFor(W.Addr), 0);
+    racyStore(W.Addr, W.Value);
+  }
+  CommitStamp Stamp = takeCommitStamp(GlobalState.Clock, [this] {
+    uint64_t Max = 0;
+    for (const Acquired &A : AcquiredLocks)
+      if (vlockVersion(A.OldValue) > Max)
+        Max = vlockVersion(A.OldValue);
+    return Max;
+  });
+  uint64_t WriteVersion = Stamp.Ts;
+  STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, WriteVersion);
+  Word Release = vlockMake(WriteVersion);
+  for (const Acquired &A : AcquiredLocks)
+    A.Lock->L.store(Release, std::memory_order_release);
   baseCommit(WriteVersion);
 }
 

@@ -93,6 +93,10 @@ private:
   [[noreturn]] void rollbackReleasing();
   bool acquireWriteSet();
   bool validateReadSet();
+  /// Tail of commit() for single-fence mode (STM_SINGLE_FENCE); out of
+  /// line so the off-by-default ordering variant does not sit in the
+  /// default commit path's I-cache footprint.
+  void commitSingleFence();
 
   /// Number of CAS attempts per lock before giving up and aborting.
   static constexpr unsigned AcquireSpinLimit = 32;

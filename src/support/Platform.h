@@ -26,6 +26,32 @@ inline constexpr std::size_t CacheLineSize = 64;
 /// at the word width.
 inline constexpr unsigned MaxThreads = 64;
 
+/// Keeps a cold policy branch (an off-by-default mode, a rare
+/// slow path) from being inlined into the transactional fast paths.
+/// load()/store()/commit() are compiled once per backend and shared by
+/// every runtime mode, so cold-mode code inlined there bloats the
+/// I-cache footprint of configurations that never take the branch.
+#if defined(__GNUC__) || defined(__clang__)
+#define REPRO_NOINLINE __attribute__((noinline))
+#define REPRO_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define REPRO_NOINLINE
+#define REPRO_UNLIKELY(x) (x)
+#endif
+
+/// True when every aligned load already carries acquire semantics
+/// (x86 TSO): an acquire load compiles to the same plain MOV as a
+/// relaxed one, so eliding the read-path "fence" saves nothing and a
+/// runtime mode test deciding between the two orders would be pure
+/// overhead on the hottest path. On weakly-ordered targets (ARM,
+/// POWER) the orders compile differently and the elision is real.
+inline constexpr bool AcquireLoadIsFree =
+#if defined(__x86_64__) || defined(__i386__)
+    true;
+#else
+    false;
+#endif
+
 /// Pause the CPU briefly inside a spin loop (PAUSE on x86, no-op
 /// elsewhere). Reduces the cost of busy-waiting on hyperthreads.
 inline void cpuRelax() {

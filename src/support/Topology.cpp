@@ -1,0 +1,97 @@
+//===- support/Topology.cpp - cpu/core/socket detection -------------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Topology.h"
+
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <utility>
+
+namespace repro {
+
+namespace {
+
+/// Reads a small integer from a sysfs file; returns false when the file
+/// is missing or malformed (the caller falls back).
+bool readSysfsUnsigned(const char *Path, unsigned &Out) {
+  std::FILE *F = std::fopen(Path, "r");
+  if (F == nullptr)
+    return false;
+  unsigned Value = 0;
+  bool Ok = std::fscanf(F, "%u", &Value) == 1;
+  std::fclose(F);
+  if (Ok)
+    Out = Value;
+  return Ok;
+}
+
+TopologyInfo detect() {
+  TopologyInfo Info;
+  unsigned Hw = std::thread::hardware_concurrency();
+  Info.LogicalCpus = Hw != 0 ? Hw : 1;
+  Info.Cores = Info.LogicalCpus;
+  Info.Sockets = 1;
+  Info.SmtPerCore = 1;
+
+  // Walk /sys/devices/system/cpu/cpuN/topology. Online cpus are
+  // numbered densely from 0 in practice; stop at the first gap (a
+  // missing cpuN dir) and require at least cpu0 to trust the scan.
+  std::set<std::pair<unsigned, unsigned>> CoreIds; // (package, core)
+  std::set<unsigned> PackageIds;
+  unsigned Scanned = 0;
+  for (unsigned Cpu = 0;; ++Cpu) {
+    char Path[128];
+    std::snprintf(Path, sizeof(Path),
+                  "/sys/devices/system/cpu/cpu%u/topology/physical_package_id",
+                  Cpu);
+    unsigned Package = 0;
+    if (!readSysfsUnsigned(Path, Package))
+      break;
+    std::snprintf(Path, sizeof(Path),
+                  "/sys/devices/system/cpu/cpu%u/topology/core_id", Cpu);
+    unsigned Core = 0;
+    if (!readSysfsUnsigned(Path, Core))
+      break;
+    PackageIds.insert(Package);
+    CoreIds.insert({Package, Core});
+    ++Scanned;
+  }
+  if (Scanned != 0) {
+    Info.FromSysfs = true;
+    Info.LogicalCpus = Scanned;
+    Info.Cores = unsigned(CoreIds.size());
+    Info.Sockets = unsigned(PackageIds.size());
+    Info.SmtPerCore = Info.Cores != 0 ? Info.LogicalCpus / Info.Cores : 1;
+    if (Info.SmtPerCore == 0)
+      Info.SmtPerCore = 1;
+  }
+  return Info;
+}
+
+} // namespace
+
+const TopologyInfo &topology() {
+  static const TopologyInfo Info = detect();
+  return Info;
+}
+
+unsigned defaultShardCount(unsigned MaxShards) {
+  const TopologyInfo &Info = topology();
+  unsigned Target = Info.Sockets;
+  if (Info.Cores / 4 > Target)
+    Target = Info.Cores / 4;
+  if (Target < 1)
+    Target = 1;
+  if (Target > MaxShards)
+    Target = MaxShards;
+  unsigned Pow2 = 1;
+  while (Pow2 * 2 <= Target)
+    Pow2 *= 2;
+  return Pow2;
+}
+
+} // namespace repro

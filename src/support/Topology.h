@@ -1,0 +1,51 @@
+//===- support/Topology.h - cpu/core/socket detection -----------*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Detects the machine's core/socket/SMT layout once per process. Every
+// cross-core mechanism in the repo (sharded commit clock, lock-table
+// interleave, the bench grids) is topology-sensitive, and the standing
+// caveat on all recorded numbers is that they were taken on a 1-core
+// container — so the detected layout is (a) the input to the auto shard
+// derivation (stm/core/Clock.h GvShard, STM_CLOCK_SHARDS=0) and (b)
+// recorded into every bench JSON so results stay interpretable after
+// the fact.
+//
+// Source of truth is Linux sysfs (/sys/devices/system/cpu): physical
+// package and core ids of each online cpu. When sysfs is absent
+// (non-Linux, restricted containers) everything degrades to
+// std::thread::hardware_concurrency() as a flat one-socket, no-SMT
+// machine, and FromSysfs is false so consumers can say so.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TOPOLOGY_H
+#define SUPPORT_TOPOLOGY_H
+
+namespace repro {
+
+/// One process-wide snapshot of the machine layout.
+struct TopologyInfo {
+  unsigned LogicalCpus = 1; ///< online logical cpus (hw threads)
+  unsigned Cores = 1;       ///< distinct physical cores
+  unsigned Sockets = 1;     ///< distinct physical packages
+  unsigned SmtPerCore = 1;  ///< LogicalCpus / Cores, >= 1
+  bool FromSysfs = false;   ///< true when sysfs supplied the layout
+};
+
+/// The detected topology (detected once, cached).
+const TopologyInfo &topology();
+
+/// Shard count derived from the topology for the sharded commit clock
+/// and the lock-table interleave (the STM_CLOCK_SHARDS=0 /
+/// STM_LOCK_SHARDS=0 "auto" value): the largest power of two not above
+/// max(sockets, cores/4), clamped to [1, MaxShards]. One shard per
+/// socket keeps commit stamps socket-local; on fat single-socket parts
+/// one shard per four cores bounds how many committers RMW one line.
+/// A 1-core container derives 1 — byte-identical to the unsharded
+/// clock.
+unsigned defaultShardCount(unsigned MaxShards);
+
+} // namespace repro
+
+#endif // SUPPORT_TOPOLOGY_H

@@ -175,7 +175,7 @@ TEST(ConfigEnvDeathTest, RejectsUnknownClock) {
         setenv("STM_CLOCK", "gv2", 1);
         stm::configFromEnv();
       },
-      "invalid STM_CLOCK value 'gv2' \\(expected gv1\\|gv4\\|gv5\\)");
+      "invalid STM_CLOCK value 'gv2' \\(expected gv1\\|gv4\\|gv5\\|gvshard\\)");
   EXPECT_DEATH(
       {
         setenv("STM_CLOCK", "GV4", 1); // case-sensitive, like STM_BACKEND
@@ -190,8 +190,7 @@ TEST(ConfigEnvTest, ParsesEveryClockKind) {
   // unaffected either way).
   const char *Old = getenv("STM_CLOCK");
   const std::string Saved = Old == nullptr ? "" : Old;
-  for (stm::ClockKind Kind :
-       {stm::ClockKind::Gv1, stm::ClockKind::Gv4, stm::ClockKind::Gv5}) {
+  for (stm::ClockKind Kind : stm::allClockKinds()) {
     setenv("STM_CLOCK", stm::clockKindName(Kind), 1);
     EXPECT_EQ(stm::configFromEnv().Clock, Kind);
   }
@@ -290,12 +289,131 @@ TEST(ConfigEnvTest, ParsesOrecIrrevocabilityKnobs) {
   EXPECT_EQ(Config.OrecIrrevocableAllocs, 9u);
 }
 
+TEST(ConfigEnvTest, ParsesScalingKnobs) {
+  // The CI clock leg may have exported STM_CLOCK; save and restore it
+  // like ParsesEveryClockKind does.
+  const char *OldClock = getenv("STM_CLOCK");
+  const std::string SavedClock = OldClock == nullptr ? "" : OldClock;
+  setenv("STM_CLOCK", "gvshard", 1);
+  setenv("STM_CLOCK_SHARDS", "4", 1);
+  setenv("STM_LOCK_SHARDS", "8", 1);
+  setenv("STM_SINGLE_FENCE", "1", 1);
+  StmConfig Config = stm::configFromEnv();
+  EXPECT_EQ(Config.Clock, stm::ClockKind::GvShard);
+  EXPECT_EQ(Config.ClockShards, 4u);
+  EXPECT_EQ(Config.LockShards, 8u);
+  EXPECT_TRUE(Config.SingleFence);
+
+  // 0 stays accepted as "derive from topology".
+  setenv("STM_CLOCK_SHARDS", "0", 1);
+  setenv("STM_LOCK_SHARDS", "0", 1);
+  setenv("STM_SINGLE_FENCE", "0", 1);
+  Config = stm::configFromEnv();
+  EXPECT_EQ(Config.ClockShards, 0u);
+  EXPECT_EQ(Config.LockShards, 0u);
+  EXPECT_FALSE(Config.SingleFence);
+
+  unsetenv("STM_CLOCK_SHARDS");
+  unsetenv("STM_LOCK_SHARDS");
+  unsetenv("STM_SINGLE_FENCE");
+  if (OldClock == nullptr)
+    unsetenv("STM_CLOCK");
+  else
+    setenv("STM_CLOCK", SavedClock.c_str(), 1);
+
+  // The auto resolution itself: non-gvshard clocks are single-counter
+  // by construction; gvshard derives a power of two from the topology.
+  StmConfig Gv1Config;
+  EXPECT_EQ(stm::resolvedClockShards(Gv1Config), 1u);
+  StmConfig ShardConfig;
+  ShardConfig.Clock = stm::ClockKind::GvShard;
+  unsigned Auto = stm::resolvedClockShards(ShardConfig);
+  EXPECT_GE(Auto, 1u);
+  EXPECT_LE(Auto, stm::GlobalClock::MaxShards);
+  EXPECT_EQ(Auto & (Auto - 1), 0u);
+}
+
+TEST(ConfigEnvDeathTest, RejectsBadScalingKnobs) {
+  // Non-power-of-two and over-limit shard counts must die at parse
+  // time, not surface later as a half-initialized clock or table.
+  EXPECT_DEATH(
+      {
+        setenv("STM_CLOCK_SHARDS", "3", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_CLOCK_SHARDS value '3'");
+  EXPECT_DEATH(
+      {
+        setenv("STM_CLOCK_SHARDS", "32", 1); // > GlobalClock::MaxShards
+        stm::configFromEnv();
+      },
+      "invalid STM_CLOCK_SHARDS value '32'");
+  EXPECT_DEATH(
+      {
+        setenv("STM_LOCK_SHARDS", "6", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_LOCK_SHARDS value '6'");
+  EXPECT_DEATH(
+      {
+        setenv("STM_LOCK_SHARDS", "512", 1); // > LockTable MaxShards
+        stm::configFromEnv();
+      },
+      "invalid STM_LOCK_SHARDS value '512'");
+  EXPECT_DEATH(
+      {
+        setenv("STM_SINGLE_FENCE", "yes", 1);
+        stm::configFromEnv();
+      },
+      "invalid STM_SINGLE_FENCE value 'yes'");
+}
+
 TEST(LockTableDeathTest, InitEnforcesBoundsDirectly) {
   core::LockTable<int> Table;
   EXPECT_DEATH(Table.init(0, 4), "out of range");
   EXPECT_DEATH(Table.init(64, 4), "out of range");
   EXPECT_DEATH(Table.init(20, 0), "out of range");
   EXPECT_DEATH(Table.init(20, 32), "out of range");
+}
+
+TEST(LockTableDeathTest, InitEnforcesShardBounds) {
+  core::LockTable<int> Table;
+  EXPECT_DEATH(Table.init(20, 4, 0), "shard count");
+  EXPECT_DEATH(Table.init(20, 4, 3), "shard count");
+  EXPECT_DEATH(Table.init(20, 4, 512), "shard count");
+  // Power of two and under the global cap, but more shards than the
+  // table has entries.
+  EXPECT_DEATH(Table.init(4, 4, 32), "shard count");
+}
+
+/// The interleave must be a bijection (no two stripes share an entry
+/// that wouldn't have shared one anyway) and must place stripe k in
+/// contiguous region k mod shards.
+TEST(LockTableTest, ShardInterleaveIsBijectiveRoundRobin) {
+  core::LockTable<int> Table;
+  constexpr unsigned SizeLog2 = 8;
+  constexpr unsigned Shards = 4;
+  Table.init(SizeLog2, /*GranLog2=*/2, Shards);
+  ASSERT_EQ(Table.shards(), Shards);
+  const uint64_t Size = Table.size();
+  const uint64_t Region = Size / Shards;
+  std::vector<bool> Hit(Size, false);
+  for (uint64_t Stripe = 0; Stripe < Size; ++Stripe) {
+    uint64_t Idx = Table.indexFor(reinterpret_cast<void *>(Stripe << 2));
+    ASSERT_LT(Idx, Size);
+    EXPECT_FALSE(Hit[Idx]) << "stripe " << Stripe << " collides at " << Idx;
+    Hit[Idx] = true;
+    EXPECT_EQ(Idx / Region, Stripe % Shards)
+        << "stripe " << Stripe << " left its round-robin region";
+  }
+  Table.destroy();
+
+  // One shard is the identity mapping — byte-compatible with the
+  // pre-sharding table.
+  Table.init(SizeLog2, /*GranLog2=*/2, 1);
+  for (uint64_t Stripe = 0; Stripe < Size; ++Stripe)
+    EXPECT_EQ(Table.indexFor(reinterpret_cast<void *>(Stripe << 2)), Stripe);
+  Table.destroy();
 }
 
 /// The padded entries are the false-sharing fix: adjacent stripes must

@@ -319,14 +319,19 @@ TEST_P(HistoryCheckTest, FalseConflictsStayOpaque) {
 /// validation shortcut or per-stripe version reuse surfaces here as a
 /// torn snapshot or lost update. GV4 exercises timestamp adoption: a
 /// committer that loses the clock CAS shares the winner's stamp and
-/// must still validate.
+/// must still validate. GVSHARD combines both hazards: stamps are
+/// derived from a scan over per-shard counters (two committers on
+/// different shards may mint the same value) and begins run on a cached
+/// view that lags some shards — forced to 4 shards here because the
+/// topology auto-derivation collapses to 1 on small hosts.
 TEST_P(HistoryCheckTest, EveryClockPolicyStaysOpaque) {
   unsigned Salt = 20;
-  for (ClockKind Kind :
-       {ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5}) {
+  for (ClockKind Kind : allClockKinds()) {
     SCOPED_TRACE(clockKindName(Kind));
     StmConfig Config = applyMode(smallTable());
     Config.Clock = Kind;
+    if (Kind == ClockKind::GvShard)
+      Config.ClockShards = 4;
     runHistoryCheck<repro_test::Rt>(Config, 4, 800 * stressScale(),
                                     /*UpdatePercent=*/50,
                                     /*SeedSalt=*/Salt++);
@@ -339,10 +344,13 @@ TEST_P(HistoryCheckTest, EveryClockPolicyStaysOpaque) {
 /// the committer's increment.
 TEST_P(HistoryCheckTest, ReadMostlyEveryClockPolicyStaysOpaque) {
   unsigned Salt = 30;
-  for (ClockKind Kind : {ClockKind::Gv4, ClockKind::Gv5}) {
+  for (ClockKind Kind :
+       {ClockKind::Gv4, ClockKind::Gv5, ClockKind::GvShard}) {
     SCOPED_TRACE(clockKindName(Kind));
     StmConfig Config = applyMode(smallTable());
     Config.Clock = Kind;
+    if (Kind == ClockKind::GvShard)
+      Config.ClockShards = 4;
     runHistoryCheck<repro_test::Rt>(Config, 4, 700 * stressScale(),
                                     /*UpdatePercent=*/10,
                                     /*SeedSalt=*/Salt++);
@@ -402,12 +410,13 @@ TEST(HistoryCheckRuntimeTest, AdaptivePolicyHistoryIsOpaque) {
 /// ones, and gv5's deferred, reader-advanced ones.
 TEST(HistoryCheckRuntimeTest, SwitchCrossingHistoryOpaqueUnderEveryClock) {
   unsigned Salt = 40;
-  for (ClockKind Kind :
-       {ClockKind::Gv1, ClockKind::Gv4, ClockKind::Gv5}) {
+  for (ClockKind Kind : allClockKinds()) {
     SCOPED_TRACE(clockKindName(Kind));
     StmConfig Config = smallTable();
     Config.Backend = stm::rt::BackendKind::Tl2;
     Config.Clock = Kind;
+    if (Kind == ClockKind::GvShard)
+      Config.ClockShards = 4;
     Config.Adaptive = true;      // arms the switch machinery...
     Config.AdaptiveWindow = ~0u; // ...with the policy effectively off
     std::atomic<unsigned> Switches{0};
@@ -429,16 +438,20 @@ TEST(HistoryCheckRuntimeTest, SwitchCrossingHistoryOpaqueUnderEveryClock) {
   }
 }
 
-/// The adaptive policy driving switches while commits share (gv4) or
-/// defer (gv5) their timestamps — escalation decisions ride on the
-/// windowed stats the clock policies must not skew.
-TEST(HistoryCheckRuntimeTest, AdaptivePolicyHistoryOpaqueUnderGv4AndGv5) {
+/// The adaptive policy driving switches while commits share (gv4),
+/// defer (gv5), or shard (gvshard) their timestamps — escalation
+/// decisions ride on the windowed stats the clock policies must not
+/// skew.
+TEST(HistoryCheckRuntimeTest, AdaptivePolicyHistoryOpaqueUnderSharedStampClocks) {
   unsigned Salt = 50;
-  for (ClockKind Kind : {ClockKind::Gv4, ClockKind::Gv5}) {
+  for (ClockKind Kind :
+       {ClockKind::Gv4, ClockKind::Gv5, ClockKind::GvShard}) {
     SCOPED_TRACE(clockKindName(Kind));
     StmConfig Config = smallTable();
     Config.Backend = stm::rt::BackendKind::Tl2;
     Config.Clock = Kind;
+    if (Kind == ClockKind::GvShard)
+      Config.ClockShards = 4;
     Config.AdaptiveWindow = 256;
     runHistoryCheck<AdaptiveRuntime>(Config, 4, 800 * stressScale(),
                                      /*UpdatePercent=*/50,
@@ -459,6 +472,28 @@ TEST(HistoryCheckConfigTest, RstmLazyAcquire) {
   StmConfig Config = smallTable();
   Config.RstmEagerAcquire = false;
   runHistoryCheck<Rstm>(Config, 4, 1200 * stressScale(), 50, 5);
+}
+
+/// TL2 and TinySTM single-fence commit (STM_SINGLE_FENCE): the stamp is
+/// taken *after* write-back while the write locks are still held, and
+/// the read path's post-check lock load drops its acquire fence. The
+/// two soundness obligations — commit-time validation can never be
+/// skipped on the shared stamp, and no reader can straddle the
+/// stamp/write-back inversion (its stripes stay locked throughout) —
+/// must both hold or this history tears. Gv1 is the base case; gvshard
+/// stacks the sharded stamp on top of the elided fence.
+TEST(HistoryCheckConfigTest, SingleFenceCommitStaysOpaque) {
+  unsigned Salt = 60;
+  for (ClockKind Kind : {ClockKind::Gv1, ClockKind::GvShard}) {
+    SCOPED_TRACE(clockKindName(Kind));
+    StmConfig Config = smallTable();
+    Config.SingleFence = true;
+    Config.Clock = Kind;
+    if (Kind == ClockKind::GvShard)
+      Config.ClockShards = 4;
+    runHistoryCheck<Tl2>(Config, 4, 1000 * stressScale(), 50, Salt++);
+    runHistoryCheck<TinyStm>(Config, 4, 1000 * stressScale(), 50, Salt++);
+  }
 }
 
 TEST(HistoryCheckConfigTest, RstmVisibleReads) {
@@ -498,6 +533,11 @@ TEST_P(ClockPolicyWriteSkewTest, DisjointCommittersNeverWriteSkew) {
     StmConfig Config = smallTable();
     Config.Backend = Backend;
     Config.Clock = GetParam();
+    // Under gvshard the two threads sit on different shards (slot 0 and
+    // slot 1), so a skew pair can mint the same stamp from counters on
+    // different cache lines — the cross-shard variant of gv5 aliasing.
+    if (Config.Clock == ClockKind::GvShard)
+      Config.ClockShards = 4;
     StmRuntime::globalInit(Config);
     {
       const unsigned Rounds = 400 * stressScale();
@@ -547,8 +587,7 @@ TEST_P(ClockPolicyWriteSkewTest, DisjointCommittersNeverWriteSkew) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllClocks, ClockPolicyWriteSkewTest,
-                         ::testing::Values(ClockKind::Gv1, ClockKind::Gv4,
-                                           ClockKind::Gv5),
+                         ::testing::ValuesIn(allClockKinds()),
                          [](const ::testing::TestParamInfo<ClockKind> &I) {
                            return clockKindName(I.param);
                          });
@@ -677,6 +716,40 @@ TEST(HistoryCheckerSelfTest, CatchesInjectedOrecSkipUndo) {
   }
   EXPECT_TRUE(Caught)
       << "undo-log-aware checker missed the injected skip-undo bug";
+}
+
+/// End to end for the fence-elision work: resurrect the *unsound*
+/// version of the optimization — the one where the data load is allowed
+/// to sink below the relaxed post-check — and prove the checker catches
+/// it. The injection re-loads the data word after TL2's V1/V2 lock
+/// checks with a yield in between, so a concurrent committer's
+/// write-back lands between check and load: the read returns a value
+/// from a later state than the rest of the snapshot. This is exactly
+/// the reorder the seq_cst commit fence plus the always-revalidate rule
+/// make impossible in the real single-fence path; the checker flags it
+/// as a non-opaque snapshot (or a dirty sequencer read).
+TEST(HistoryCheckerSelfTest, CatchesInjectedUnsoundFenceElision) {
+  InjectGuard Guard(stm::diag::Inject::Tl2UnsoundFenceElision);
+  bool Caught = false;
+  {
+    ::testing::TestPartResultArray Failures;
+    ::testing::ScopedFakeTestPartResultReporter Reporter(
+        ::testing::ScopedFakeTestPartResultReporter::INTERCEPT_ALL_THREADS,
+        &Failures);
+    StmConfig Config = smallTable();
+    Config.SingleFence = true;
+    runHistoryCheck<Tl2>(Config, 4, 1500, /*UpdatePercent=*/50,
+                         /*SeedSalt=*/10);
+    for (int I = 0; I < Failures.size(); ++I) {
+      std::string Msg = Failures.GetTestPartResult(I).message();
+      if (Msg.find("inconsistently") != std::string::npos ||
+          Msg.find("dirty read") != std::string::npos ||
+          Msg.find("lost update") != std::string::npos)
+        Caught = true;
+    }
+  }
+  EXPECT_TRUE(Caught)
+      << "opacity checker missed the injected unsound fence elision";
 }
 #endif // STM_DIAG
 

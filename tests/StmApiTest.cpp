@@ -390,4 +390,47 @@ TEST_P(StmApiTest, WriterWinsOverStaleReaderEventually) {
 
 STM_INSTANTIATE_RUNTIME_SUITE(StmApiTest);
 
+/// The orec allocation trigger must fire on *real* transactional
+/// allocator traffic: txMalloc and txFree route through noteAllocation
+/// automatically, so a transaction whose malloc/free volume crosses
+/// STM_OREC_IRREVOCABLE_ALLOCS serializes without a single explicit
+/// noteAllocation call. Regression test — the trigger originally
+/// counted only explicit calls, so real allocation bursts (container
+/// rebuilds, erase loops) never escalated.
+TEST(OrecAllocTriggerTest, TxMallocAndTxFreeReachIrrevocability) {
+  StmConfig Config;
+  Config.LockTableSizeLog2 = 16;
+  Config.Backend = stm::rt::BackendKind::Orec;
+  Config.OrecIrrevocableAborts = 0; // isolate the allocation trigger
+  Config.OrecIrrevocableAllocs = 4;
+  StmRuntime::globalInit(Config);
+  {
+    repro::TxStats Stats;
+    Word *Kept = nullptr;
+    runThreads<StmRuntime>(1, [&](unsigned, auto &Tx) {
+      atomically(Tx, [&](auto &T) {
+        // 3 mallocs + 3 frees = 6 allocator events >= threshold 4; the
+        // crossing event itself happens mid-transaction, on a free.
+        Word *Blocks[3];
+        for (Word *&B : Blocks) {
+          B = static_cast<Word *>(T.txMalloc(sizeof(Word)));
+          *B = 0;
+        }
+        for (Word *B : Blocks)
+          T.txFree(B);
+        Kept = static_cast<Word *>(T.txMalloc(sizeof(Word)));
+        *Kept = 1;
+      });
+      Stats = Tx.stats();
+    });
+    EXPECT_GE(Stats.Serializations, 1u)
+        << "txMalloc/txFree volume crossed the threshold but never "
+        << "escalated to irrevocable";
+    EXPECT_GE(Stats.IrrevocableCommits, 1u);
+    EXPECT_EQ(Stats.Commits, 1u);
+    std::free(Kept);
+  }
+  StmRuntime::globalShutdown();
+}
+
 } // namespace
