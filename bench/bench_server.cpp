@@ -23,6 +23,18 @@
 //   --json=PATH     JSON output path (default BENCH_server.json)
 //   --cell=STM:CLK  run a single cell, e.g. swisstm:gv1 or adaptive:gv5
 //                   (the CI matrix leg runs one cell per job)
+//   --processes=N   multi-process mode: the store lives in a POSIX shm
+//                   segment (SharedArena), the offered load is split
+//                   over N forked worker processes, and the parent
+//                   audits conservation across all of them. Restricted
+//                   to the fixed non-rstm backends (the runtime refuses
+//                   the rest in shared mode).
+//   --sweep-load=LO:HI:STEPS
+//                   saturation sweep: run each selected cell at STEPS
+//                   geometrically spaced offered loads in [LO, HI]
+//                   ops/s and report the knee where goodput stops
+//                   tracking the offered rate. Output goes to a "sweep"
+//                   array in the JSON instead of the "cells" grid.
 //
 // The exit code gates validity, not speed: any cell with zero
 // completed requests, a latency-histogram invariant violation, or a
@@ -32,11 +44,17 @@
 
 #include "bench/BenchUtil.h"
 #include "bench/Topology.h"
+#include "stm/core/SharedArena.h"
 #include "workloads/server/ServerHarness.h"
 
+#include <cmath>
 #include <cstdarg>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace bench;
 using namespace workloads::server;
@@ -103,6 +121,103 @@ ServerResult runCell(const Cell &C, const ServerConfig &SC) {
   return runServer(R, SC);
 }
 
+/// Per-process result block in the shared segment: everything a child
+/// measured, as plain copyable data (the histograms are flat bucket
+/// arrays, so they merge exactly across processes).
+struct ProcBlock {
+  LatencyHistogram Hist[NumOpClasses];
+  uint64_t Completed[NumOpClasses];
+  uint64_t Offered;
+  uint64_t Shed;
+  repro::TxStats Stats;
+  uint32_t HistViolations;
+  uint32_t Ok;
+};
+
+/// Multi-process cell: the parent creates the shm-backed runtime,
+/// populates the segment-resident store, forks \p Procs workers that
+/// each drive 1/Procs of the offered load, then merges their result
+/// blocks and audits conservation over the whole segment.
+ServerResult runCellMultiProcess(const Cell &C, const ServerConfig &SC,
+                                 unsigned Procs) {
+  stm::StmConfig Config = clockConfig(C.Clock, rtConfig(C.Backend));
+  std::snprintf(Config.SharedSegment, sizeof(Config.SharedSegment),
+                "swisstm-bench-%d", static_cast<int>(getpid()));
+  stm::SharedArena::unlinkSegment(Config.SharedSegment);
+  stm::Runtime R(Config);
+
+  auto *Store = new ShardedStore(SC.Shards, SC.KeySpace, SC.Auctions);
+  Store->populate(R);
+  auto *Blocks =
+      static_cast<ProcBlock *>(stm::sharedAlloc(sizeof(ProcBlock) * Procs));
+  std::memset(static_cast<void *>(Blocks), 0, sizeof(ProcBlock) * Procs);
+  stm::SharedArena::instance().userRoot(0).store(
+      reinterpret_cast<stm::Word>(Blocks), std::memory_order_release);
+
+  const uint64_t BaseSeed = SC.Seed ? SC.Seed : repro::testSeed();
+  repro::Stopwatch Wall;
+  std::vector<pid_t> Kids;
+  for (unsigned P = 0; P < Procs; ++P) {
+    pid_t Pid = fork();
+    if (Pid == 0) {
+      ServerConfig Mine = SC;
+      Mine.OfferedOpsPerSec = SC.OfferedOpsPerSec / Procs;
+      Mine.Seed = BaseSeed ^ (0x9E3779B97F4A7C15ull * (P + 1));
+      ServerResult Rr = runServerOn(R, Mine, *Store, /*Audit=*/false);
+      auto *Mirror = reinterpret_cast<ProcBlock *>(
+          stm::SharedArena::instance().userRoot(0).load(
+              std::memory_order_acquire));
+      ProcBlock &B = Mirror[P];
+      for (unsigned Op = 0; Op < NumOpClasses; ++Op) {
+        B.Hist[Op] = Rr.Hist[Op];
+        B.Completed[Op] = Rr.Completed[Op];
+      }
+      B.Offered = Rr.Offered;
+      B.Shed = Rr.Shed;
+      B.Stats = Rr.Stats;
+      B.HistViolations = Rr.HistogramViolations;
+      B.Ok = Rr.totalCompleted() > 0 ? 1 : 0;
+      std::fflush(nullptr);
+      // Skip destructors: the parent owns the runtime and the segment.
+      _exit(0);
+    }
+    Kids.push_back(Pid);
+  }
+
+  bool ChildrenOk = true;
+  for (pid_t Pid : Kids) {
+    int St = 0;
+    if (waitpid(Pid, &St, 0) != Pid || !WIFEXITED(St) ||
+        WEXITSTATUS(St) != 0)
+      ChildrenOk = false;
+  }
+
+  ServerResult Out;
+  Out.ElapsedSeconds = Wall.elapsedSeconds();
+  for (unsigned P = 0; P < Procs; ++P) {
+    const ProcBlock &B = Blocks[P];
+    for (unsigned Op = 0; Op < NumOpClasses; ++Op) {
+      Out.Hist[Op].merge(B.Hist[Op]);
+      Out.Completed[Op] += B.Completed[Op];
+    }
+    Out.Offered += B.Offered;
+    Out.Shed += B.Shed;
+    Out.Stats += B.Stats;
+    Out.HistogramViolations += B.HistViolations;
+    if (B.Ok == 0)
+      ChildrenOk = false;
+  }
+  Out.GoodputOpsPerSec =
+      Out.ElapsedSeconds > 0.0
+          ? static_cast<double>(Out.totalCompleted()) / Out.ElapsedSeconds
+          : 0.0;
+  Out.ConservationOk = Store->checkConservation(R) && ChildrenOk;
+  stm::SharedArena::instance().userRoot(0).store(0,
+                                                 std::memory_order_release);
+  delete Store;
+  return Out;
+}
+
 void appendf(std::string &Out, const char *Fmt, ...) {
   char Buf[512];
   va_list Args;
@@ -153,36 +268,72 @@ int main(int argc, char **argv) {
   bench::parseStmFlags(argc, argv);
   std::string JsonPath = "BENCH_server.json";
   std::string OnlyCell;
+  unsigned Processes = 1;
+  double SweepLo = 0.0, SweepHi = 0.0;
+  unsigned SweepSteps = 0;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     if (std::strncmp(Arg, "--json=", 7) == 0)
       JsonPath = Arg + 7;
     else if (std::strncmp(Arg, "--cell=", 7) == 0)
       OnlyCell = Arg + 7;
-    else if (std::strncmp(Arg, "--stm-", 6) != 0) {
+    else if (std::strncmp(Arg, "--processes=", 12) == 0) {
+      Processes = static_cast<unsigned>(std::atoi(Arg + 12));
+      if (Processes < 1 || Processes > 16) {
+        std::fprintf(stderr, "bench_server: --processes wants 1..16\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--sweep-load=", 13) == 0) {
+      if (std::sscanf(Arg + 13, "%lf:%lf:%u", &SweepLo, &SweepHi,
+                      &SweepSteps) != 3 ||
+          SweepLo <= 0.0 || SweepHi < SweepLo || SweepSteps < 2 ||
+          SweepSteps > 64) {
+        std::fprintf(stderr,
+                     "bench_server: --sweep-load wants LO:HI:STEPS with "
+                     "0 < LO <= HI and 2 <= STEPS <= 64\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--stm-", 6) != 0) {
       std::fprintf(stderr,
                    "bench_server: unknown argument '%s' "
-                   "(--json=PATH, --cell=STM:CLOCK, --stm-*)\n",
+                   "(--json=PATH, --cell=STM:CLOCK, --processes=N, "
+                   "--sweep-load=LO:HI:STEPS, --stm-*)\n",
                    Arg);
       return 2;
     }
   }
 
   ServerConfig SC = serverConfig();
-  bench::warnIfOversubscribed("bench_server", SC.Workers);
+  bench::warnIfOversubscribed("bench_server", SC.Workers * Processes);
   std::vector<Cell> Grid = fullGrid();
+  if (Processes > 1) {
+    // The runtime refuses adaptive and rstm in shared mode; drop those
+    // cells rather than aborting mid-grid.
+    std::vector<Cell> Keep;
+    for (const Cell &C : Grid)
+      if (!C.Adaptive && C.Backend != stm::rt::BackendKind::Rstm)
+        Keep.push_back(C);
+    Grid = Keep;
+  }
   if (!OnlyCell.empty()) {
     std::vector<Cell> Filtered;
     for (const Cell &C : Grid)
       if (C.label() == OnlyCell)
         Filtered.push_back(C);
     if (Filtered.empty()) {
-      std::fprintf(stderr, "bench_server: unknown cell '%s'\n",
-                   OnlyCell.c_str());
+      std::fprintf(stderr, "bench_server: unknown cell '%s'%s\n",
+                   OnlyCell.c_str(),
+                   Processes > 1 ? " (adaptive/rstm are unavailable with "
+                                   "--processes)"
+                                 : "");
       return 2;
     }
     Grid = Filtered;
   }
+  auto runOne = [&](const Cell &C, const ServerConfig &Cfg) {
+    return Processes > 1 ? runCellMultiProcess(C, Cfg, Processes)
+                         : runCell(C, Cfg);
+  };
 
   std::string Json;
   appendf(Json,
@@ -193,19 +344,85 @@ int main(int argc, char **argv) {
           "  \"offered_ops_per_sec\": %.0f, \"queue_capacity\": %u,\n"
           "  \"batch_size\": %u, \"duration_ms\": %u,\n"
           "  \"mix_percent\": {\"point_read\": %u, \"range_scan\": %u, "
-          "\"transfer\": %u, \"auction_bid\": %u},\n",
+          "\"transfer\": %u, \"auction_bid\": %u},\n"
+          "  \"processes\": %u,\n",
           SC.Workers, SC.Clients, SC.Shards, (unsigned long long)SC.KeySpace,
           (unsigned long long)SC.Auctions, SC.Theta, SC.OfferedOpsPerSec,
           SC.QueueCapacity, SC.BatchSize, SC.DurationMs, SC.MixPercent[0],
-          SC.MixPercent[1], SC.MixPercent[2], SC.MixPercent[3]);
-  Json += "  \"topology\": " + bench::topologyJson() + "\n },\n \"cells\": [\n";
+          SC.MixPercent[1], SC.MixPercent[2], SC.MixPercent[3], Processes);
+  Json += "  \"topology\": " + bench::topologyJson() + "\n },\n";
 
   bool Valid = true;
+
+  if (SweepSteps != 0) {
+    // Saturation sweep: geometric load ladder per cell; the knee is the
+    // first offered rate whose goodput falls short by >10%.
+    Json += " \"cells\": [],\n \"sweep\": [\n";
+    const double Ratio =
+        std::pow(SweepHi / SweepLo, 1.0 / static_cast<double>(SweepSteps - 1));
+    for (std::size_t I = 0; I < Grid.size(); ++I) {
+      const Cell &C = Grid[I];
+      double Knee = 0.0;
+      for (unsigned S = 0; S < SweepSteps; ++S) {
+        ServerConfig Step = SC;
+        Step.OfferedOpsPerSec = SweepLo * std::pow(Ratio, S);
+        if (std::getenv("STM_BENCH_PROGRESS") != nullptr)
+          std::fprintf(stderr, "bench_server: sweep %s @ %.0f ops/s\n",
+                       C.label().c_str(), Step.OfferedOpsPerSec);
+        ServerResult R = runOne(C, Step);
+        bool Saturated = R.GoodputOpsPerSec < 0.9 * Step.OfferedOpsPerSec;
+        if (Saturated && Knee == 0.0)
+          Knee = Step.OfferedOpsPerSec;
+        appendf(Json,
+                "  {\"stm\": \"%s\", \"clock\": \"%s\", "
+                "\"offered_ops_per_sec\": %.0f, "
+                "\"goodput_ops_per_sec\": %.1f, \"shed\": %llu, "
+                "\"p99_read_ns\": %llu, \"p99_transfer_ns\": %llu, "
+                "\"conservation_ok\": %s}%s\n",
+                C.stmName().c_str(), stm::clockKindName(C.Clock),
+                Step.OfferedOpsPerSec, R.GoodputOpsPerSec,
+                (unsigned long long)R.Shed,
+                (unsigned long long)R.Hist[0].valueAtQuantile(0.99),
+                (unsigned long long)R.Hist[2].valueAtQuantile(0.99),
+                R.ConservationOk ? "true" : "false",
+                I + 1 == Grid.size() && S + 1 == SweepSteps ? "" : ",");
+        std::printf("%-14s offered %10.0f  goodput %10.0f ops/s  "
+                    "shed %8llu%s%s\n",
+                    C.label().c_str(), Step.OfferedOpsPerSec,
+                    R.GoodputOpsPerSec, (unsigned long long)R.Shed,
+                    Saturated ? "  SATURATED" : "",
+                    R.ConservationOk ? "" : "  CONSERVATION-VIOLATED");
+        std::fflush(stdout);
+        if (R.totalCompleted() == 0 || R.HistogramViolations != 0 ||
+            !R.ConservationOk)
+          Valid = false;
+      }
+      if (Knee > 0.0)
+        std::printf("%-14s saturation knee ~ %.0f ops/s offered\n",
+                    C.label().c_str(), Knee);
+      else
+        std::printf("%-14s no knee up to %.0f ops/s offered\n",
+                    C.label().c_str(), SweepHi);
+    }
+    appendf(Json, " ]\n}\n");
+
+    if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+      std::fputs(Json.c_str(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "bench_server: cannot write %s\n",
+                   JsonPath.c_str());
+      Valid = false;
+    }
+    return Valid ? 0 : 1;
+  }
+
+  Json += " \"cells\": [\n";
   for (std::size_t I = 0; I < Grid.size(); ++I) {
     const Cell &C = Grid[I];
     if (std::getenv("STM_BENCH_PROGRESS") != nullptr)
       std::fprintf(stderr, "bench_server: cell %s\n", C.label().c_str());
-    ServerResult R = runCell(C, SC);
+    ServerResult R = runOne(C, SC);
 
     std::printf("%-14s goodput %10.0f ops/s  shed %8llu  "
                 "p99(read/scan/xfer/bid) %llu/%llu/%llu/%llu us%s%s\n",

@@ -162,6 +162,23 @@ struct StmConfig {
   /// 0 (default) disables the allocation trigger.
   unsigned OrecIrrevocableAllocs = 0;
 
+  /// POSIX shm segment name for multi-process mode (core/SharedArena.h).
+  /// Empty (the default) keeps every piece of global STM state in
+  /// process-private memory with unchanged behaviour; non-empty places
+  /// the commit clock, lock table, slot arrays and a transactional data
+  /// heap in the named segment so a fleet of processes can share one
+  /// store. The first process to open the name creates and initializes
+  /// the segment; later ones attach and must agree on every
+  /// protocol-relevant knob (backend, table geometry, clock, fence
+  /// mode) or they abort at attach. Multi-process mode supports the
+  /// swisstm/tl2/tinystm/orec backends; rstm and the adaptive switcher
+  /// refuse it at globalInit.
+  char SharedSegment[64] = {};
+
+  /// Size in MiB of the shared segment's transactional data heap
+  /// (ignored in private mode).
+  unsigned SharedDataMb = 32;
+
   /// The one entry point for environment-driven configuration: returns
   /// \p Base with every recognized STM_* variable applied. Precedence,
   /// lowest to highest: struct defaults, then \p Base's explicit
@@ -181,6 +198,8 @@ struct StmConfig {
   ///   STM_GRANULARITY_LOG2   log2 of bytes per stripe (decimal)
   ///   STM_OREC_IRREVOCABLE_ABORTS   orec: aborts before serializing (0 off)
   ///   STM_OREC_IRREVOCABLE_ALLOCS   orec: allocs before serializing (0 off)
+  ///   STM_SHM_NAME           shm segment name for multi-process mode
+  ///   STM_SHM_DATA_MB        shared data-heap MiB (default 32)
   static StmConfig fromEnv(StmConfig Base);
   static StmConfig fromEnv() { return fromEnv(StmConfig()); }
 };
@@ -263,6 +282,16 @@ inline bool applyConfigOption(StmConfig &Config, const char *Key,
   } else if (std::strcmp(Key, "orec-irrevocable-allocs") == 0) {
     Config.OrecIrrevocableAllocs =
         configParseUnsigned(Diag, Value, "a decimal alloc count (0 disables)");
+  } else if (std::strcmp(Key, "shm-name") == 0) {
+    if (Value == nullptr ||
+        std::strlen(Value) >= sizeof(Config.SharedSegment))
+      configFatal(Diag, Value, "a shm segment name under 64 characters");
+    std::strcpy(Config.SharedSegment, Value);
+  } else if (std::strcmp(Key, "shm-data-mb") == 0) {
+    Config.SharedDataMb =
+        configParseUnsigned(Diag, Value, "a decimal MiB count");
+    if (Config.SharedDataMb == 0 || Config.SharedDataMb > 4096)
+      configFatal(Diag, Value, "a decimal MiB count in 1..4096");
   } else {
     return false;
   }
@@ -284,6 +313,8 @@ inline StmConfig StmConfig::fromEnv(StmConfig Base) {
       {"STM_GRANULARITY_LOG2", "granularity-log2"},
       {"STM_OREC_IRREVOCABLE_ABORTS", "orec-irrevocable-aborts"},
       {"STM_OREC_IRREVOCABLE_ALLOCS", "orec-irrevocable-allocs"},
+      {"STM_SHM_NAME", "shm-name"},
+      {"STM_SHM_DATA_MB", "shm-data-mb"},
   };
   for (const auto &Knob : Knobs)
     if (const char *Value = std::getenv(Knob.Env))

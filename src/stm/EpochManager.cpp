@@ -17,6 +17,10 @@ using namespace stm;
 
 std::atomic<uint64_t> EpochManager::GlobalEpoch{1};
 repro::Padded<std::atomic<uint64_t>> EpochManager::Epochs[repro::MaxThreads];
+std::atomic<std::atomic<uint64_t> *> EpochManager::GlobalEpochP{
+    &EpochManager::GlobalEpoch};
+std::atomic<repro::Padded<std::atomic<uint64_t>> *> EpochManager::EpochsP{
+    EpochManager::Epochs};
 
 namespace {
 
@@ -64,18 +68,50 @@ uint64_t EpochManager::minPinnedEpoch() {
   while (Mask != 0) {
     unsigned Slot = static_cast<unsigned>(__builtin_ctzll(Mask));
     Mask &= Mask - 1;
-    uint64_t E = Epochs[Slot].value().load(std::memory_order_acquire);
+    uint64_t E = epochs()[Slot].value().load(std::memory_order_acquire);
     if (E != Quiescent && E < Min)
       Min = E;
   }
   return Min;
 }
 
+void EpochManager::placeStorage(repro::Padded<std::atomic<uint64_t>> *NewEpochs,
+                                std::atomic<uint64_t> *NewGlobal,
+                                bool CopyCurrent) {
+  if (CopyCurrent) {
+    for (unsigned Slot = 0; Slot < repro::MaxThreads; ++Slot)
+      NewEpochs[Slot].value().store(
+          epochs()[Slot].value().load(std::memory_order_acquire),
+          std::memory_order_release);
+    NewGlobal->store(globalEpoch().load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+  EpochsP.store(NewEpochs, std::memory_order_release);
+  GlobalEpochP.store(NewGlobal, std::memory_order_release);
+}
+
+void EpochManager::resetStorage(uint64_t KeepMask) {
+  if (EpochsP.load(std::memory_order_relaxed) == Epochs)
+    return;
+  for (unsigned Slot = 0; Slot < repro::MaxThreads; ++Slot)
+    Epochs[Slot].value().store(
+        (KeepMask >> Slot) & 1
+            ? epochs()[Slot].value().load(std::memory_order_acquire)
+            : Quiescent,
+        std::memory_order_release);
+  // The global epoch only ever grows, so carrying the segment's value
+  // back keeps local retire stamps monotonic across the transition.
+  GlobalEpoch.store(globalEpoch().load(std::memory_order_acquire),
+                    std::memory_order_release);
+  EpochsP.store(Epochs, std::memory_order_release);
+  GlobalEpochP.store(&GlobalEpoch, std::memory_order_release);
+}
+
 void EpochManager::retire(void *Ptr, Deleter Del) {
   // Advance the epoch first: every later pin publishes a strictly larger
   // value, so this entry's grace period completes as soon as the
   // transactions currently pinned have finished.
-  uint64_t Epoch = GlobalEpoch.fetch_add(1, std::memory_order_seq_cst);
+  uint64_t Epoch = globalEpoch().fetch_add(1, std::memory_order_seq_cst);
   bool Overflowing;
   {
     std::lock_guard<std::mutex> Guard(limbo().Lock);

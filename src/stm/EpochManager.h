@@ -59,8 +59,8 @@ public:
   ///     fence, so the transaction's subsequent loads see every unlink
   ///     that preceded that scan and cannot reach the freed memory.
   static void pin(unsigned Slot) {
-    Epochs[Slot].value().store(GlobalEpoch.load(std::memory_order_acquire),
-                               std::memory_order_release);
+    epochs()[Slot].value().store(globalEpoch().load(std::memory_order_acquire),
+                                 std::memory_order_release);
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
@@ -69,12 +69,12 @@ public:
   /// deleters, closing the happens-before chain from the transaction's
   /// last dereference to the free.
   static void unpin(unsigned Slot) {
-    Epochs[Slot].value().store(Quiescent, std::memory_order_release);
+    epochs()[Slot].value().store(Quiescent, std::memory_order_release);
   }
 
   /// The epoch \p Slot is pinned at, or Quiescent.
   static uint64_t pinnedEpoch(unsigned Slot) {
-    return Epochs[Slot].value().load(std::memory_order_acquire);
+    return epochs()[Slot].value().load(std::memory_order_acquire);
   }
 
   using Deleter = void (*)(void *);
@@ -105,7 +105,7 @@ public:
 
   /// Current value of the global epoch (monotonic; bumped by retire).
   static uint64_t currentEpoch() {
-    return GlobalEpoch.load(std::memory_order_acquire);
+    return globalEpoch().load(std::memory_order_acquire);
   }
 
   /// Smallest epoch pinned by any registered slot, or ~0ull when every
@@ -113,10 +113,35 @@ public:
   /// minPinnedEpoch() > E.
   static uint64_t minPinnedEpoch();
 
+  /// Redirects the epoch storage to externally placed words (a shm
+  /// segment; see stm/core/SharedArena.h). When \p CopyCurrent, current
+  /// values are carried into the new storage first (segment creator);
+  /// attachers bind the segment's live state untouched. The limbo list
+  /// itself stays process-private — only the grace-period *signal* is
+  /// global, so every process's reclaimer waits on every process's
+  /// pins.
+  static void placeStorage(repro::Padded<std::atomic<uint64_t>> *NewEpochs,
+                           std::atomic<uint64_t> *NewGlobal, bool CopyCurrent);
+
+  /// Re-points the storage at the in-image fallbacks (shared-arena
+  /// teardown), carrying back the global epoch and the pins of the
+  /// slots in \p KeepMask (this process's own; remote slots reset to
+  /// Quiescent).
+  static void resetStorage(uint64_t KeepMask);
+
 private:
+  static repro::Padded<std::atomic<uint64_t>> *epochs() {
+    return EpochsP.load(std::memory_order_relaxed);
+  }
+  static std::atomic<uint64_t> &globalEpoch() {
+    return *GlobalEpochP.load(std::memory_order_relaxed);
+  }
+
   /// Starts at 1 so no pin ever publishes the Quiescent value.
   static std::atomic<uint64_t> GlobalEpoch;
   static repro::Padded<std::atomic<uint64_t>> Epochs[repro::MaxThreads];
+  static std::atomic<std::atomic<uint64_t> *> GlobalEpochP;
+  static std::atomic<repro::Padded<std::atomic<uint64_t>> *> EpochsP;
 };
 
 } // namespace stm

@@ -18,6 +18,7 @@
 #ifndef STM_RETIREDPOOL_H
 #define STM_RETIREDPOOL_H
 
+#include "stm/core/SharedArena.h"
 #include "support/ThreadRegistry.h"
 
 #include <cstdint>
@@ -49,7 +50,7 @@ public:
     std::deque<Block> Keep;
     for (const Block &B : Blocks) {
       if (B.RetireTs < Horizon) {
-        std::free(B.Ptr);
+        sharedDispatchFree(B.Ptr);
         ++Released;
       } else {
         Keep.push_back(B);
@@ -63,7 +64,7 @@ public:
   void releaseAll() {
     std::lock_guard<std::mutex> Guard(Lock);
     for (const Block &B : Blocks)
-      std::free(B.Ptr);
+      sharedDispatchFree(B.Ptr);
     Blocks.clear();
   }
 

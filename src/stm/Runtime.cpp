@@ -12,11 +12,15 @@
 #include "stm/Runtime.h"
 
 #include "stm/EpochManager.h"
+#include "stm/core/SharedArena.h"
 #include "support/ThreadRegistry.h"
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include <pthread.h>
 
 namespace stm {
 
@@ -38,6 +42,8 @@ struct ThreadAttachment {
   void detach() {
     Handle->threadShutdown();
     EpochManager::retireObject(Handle);
+    if (SharedArena::sharedActive())
+      SharedArena::instance().unbindSlot(Slot);
     repro::ThreadRegistry::releaseSlot(Slot);
     Handle = nullptr;
     Gen = 0;
@@ -62,6 +68,23 @@ struct ThreadAttachment {
 
 thread_local ThreadAttachment Attachment;
 
+/// Fork-child fixup for multi-process mode: the forking thread's
+/// attachment (slot + handle) still belongs to the *parent* — the slot
+/// registry lives in the shared segment, so reusing the inherited slot
+/// would collide with the parent's live binding. Drop the attachment
+/// (leaking the handle shell, same trade as the stale-runtime path);
+/// the child's first threadTx() then acquires a fresh slot bound to its
+/// own pid. Private mode keeps classic fork semantics untouched.
+void atForkChild() {
+  if (!SharedArena::sharedActive())
+    return;
+  ThreadAttachment &A = Attachment;
+  A.Handle = nullptr;
+  A.Gen = 0;
+}
+
+std::once_flag AtForkOnce;
+
 } // namespace
 
 Runtime::Runtime(const StmConfig &Config) {
@@ -73,6 +96,8 @@ Runtime::Runtime(const StmConfig &Config) {
                  "stm: only one stm::Runtime may be live per process\n");
     std::abort();
   }
+  std::call_once(AtForkOnce,
+                 [] { pthread_atfork(nullptr, nullptr, atForkChild); });
   StmRuntime::globalInit(Config);
 }
 
@@ -99,6 +124,8 @@ rt::TxHandle &Runtime::threadTx() {
       A.Handle = nullptr;
     }
     A.Slot = repro::ThreadRegistry::acquireSlot();
+    if (SharedArena::sharedActive())
+      SharedArena::instance().bindSlot(A.Slot);
     A.Handle = new rt::TxHandle(A.Slot);
     A.Gen = Gen;
   }

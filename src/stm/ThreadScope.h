@@ -8,6 +8,7 @@
 #define STM_THREADSCOPE_H
 
 #include "stm/EpochManager.h"
+#include "stm/core/SharedArena.h"
 #include "support/ThreadRegistry.h"
 
 namespace stm {
@@ -29,11 +30,16 @@ template <typename STM> class ThreadScope {
 public:
   ThreadScope()
       : Slot(repro::ThreadRegistry::acquireSlot()),
-        Descriptor(new typename STM::Tx(Slot)) {}
+        Descriptor(new typename STM::Tx(Slot)) {
+    if (SharedArena::sharedActive())
+      SharedArena::instance().bindSlot(Slot);
+  }
 
   ~ThreadScope() {
     Descriptor->threadShutdown();
     EpochManager::retireObject(Descriptor);
+    if (SharedArena::sharedActive())
+      SharedArena::instance().unbindSlot(Slot);
     repro::ThreadRegistry::releaseSlot(Slot);
   }
 

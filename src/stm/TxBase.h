@@ -16,6 +16,7 @@
 #include "stm/RetiredPool.h"
 #include "stm/TxMemory.h"
 #include "stm/Word.h"
+#include "stm/core/SharedArena.h"
 #include "stm/diag/Hooks.h"
 #include "support/Random.h"
 #include "support/Stats.h"
@@ -97,11 +98,26 @@ protected:
   /// so descriptors reachable through stripe locks stay alive for the
   /// whole attempt (see EpochManager.h).
   void baseStart() {
+    if (REPRO_UNLIKELY(SharedArena::sharedActive()))
+      sharedBaseStart();
     if (!BatchPin)
       EpochManager::pin(Slot);
     ++Stats.Starts;
     Depth = 1;
     KillFlag.store(false, std::memory_order_relaxed);
+  }
+
+  /// Multi-process begin duties, out of line of the private-mode path:
+  /// refuse to run against a poisoned segment, prove liveness to peers,
+  /// and periodically look for dead ones (a process whose locks nobody
+  /// happens to conflict with would otherwise never be noticed).
+  void sharedBaseStart() {
+    SharedArena &A = SharedArena::instance();
+    if (A.poisoned())
+      A.poisonFatal();
+    A.publishHeartbeat(Slot);
+    if ((Stats.Starts & 255) == 255)
+      A.sweepDeadProcesses();
   }
 
   /// Bookkeeping shared by all commit paths.

@@ -20,6 +20,7 @@
 #ifndef STM_TXMEMORY_H
 #define STM_TXMEMORY_H
 
+#include "stm/core/SharedArena.h"
 #include "support/ThreadRegistry.h"
 
 #include <cstdint>
@@ -35,9 +36,11 @@ class TxMemory {
 public:
   ~TxMemory() { releaseAll(); }
 
-  /// Allocates \p Size bytes inside the current transaction.
+  /// Allocates \p Size bytes inside the current transaction. Served
+  /// from the shared segment's heap in multi-process mode so peers can
+  /// read the block; the free side dispatches by address range.
   void *txMalloc(std::size_t Size) {
-    void *Ptr = std::malloc(Size);
+    void *Ptr = sharedAlloc(Size);
     Allocs.push_back(Ptr);
     return Ptr;
   }
@@ -68,7 +71,7 @@ public:
   /// are forgotten.
   void onAbort() {
     for (void *Ptr : Allocs)
-      std::free(Ptr);
+      sharedDispatchFree(Ptr);
     Allocs.clear();
     Frees.clear();
   }
@@ -79,7 +82,7 @@ public:
     uint64_t Horizon = repro::ThreadRegistry::minActiveStart();
     std::size_t Released = 0;
     while (!Retired.empty() && Retired.front().RetireTs < Horizon) {
-      std::free(Retired.front().Ptr);
+      sharedDispatchFree(Retired.front().Ptr);
       Retired.pop_front();
       ++Released;
     }
@@ -90,7 +93,7 @@ public:
   /// transaction can be in flight (thread shutdown / tests).
   void releaseAll() {
     for (const Block &B : Retired)
-      std::free(B.Ptr);
+      sharedDispatchFree(B.Ptr);
     Retired.clear();
     onAbort(); // also drop any speculative state
   }

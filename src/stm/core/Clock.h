@@ -230,8 +230,24 @@ public:
   /// [1, MaxShards]; it is only consulted under GvShard (every other
   /// policy runs on shard 0 alone).
   void reset(ClockKind K = ClockKind::Gv1, unsigned ShardCount = 1) {
-    for (ShardCounter &S : ShardsArr)
-      S.V.store(0, std::memory_order_relaxed);
+    for (unsigned I = 0; I < MaxShards; ++I)
+      S[I].V.store(0, std::memory_order_relaxed);
+    Kind = K;
+    NumShards = Kind == ClockKind::GvShard ? ShardCount : 1;
+  }
+
+  /// Redirects the shard counters to externally placed memory (the
+  /// shared arena's clock region, MaxShards cache lines); nullptr
+  /// restores the inline array. Follow with reset() (segment creator,
+  /// zeroes the counters) or adopt() (attacher, binds the live values
+  /// untouched). globalInit only — never while transactions run.
+  void placeShards(void *Mem) {
+    S = Mem != nullptr ? static_cast<ShardCounter *>(Mem) : ShardsArr.data();
+  }
+
+  /// Installs the advance policy without touching the counters: an
+  /// attacher adopting a segment's live clock must not rewind peers.
+  void adopt(ClockKind K, unsigned ShardCount) {
     Kind = K;
     NumShards = Kind == ClockKind::GvShard ? ShardCount : 1;
   }
@@ -246,9 +262,9 @@ public:
   /// Current logical value: the max across live shards (a plain load of
   /// shard 0 for every non-sharded policy).
   uint64_t load() const {
-    uint64_t Max = ShardsArr[0].V.load(std::memory_order_acquire);
+    uint64_t Max = S[0].V.load(std::memory_order_acquire);
     for (unsigned I = 1; I < NumShards; ++I) {
-      uint64_t V = ShardsArr[I].V.load(std::memory_order_acquire);
+      uint64_t V = S[I].V.load(std::memory_order_acquire);
       if (V > Max)
         Max = V;
     }
@@ -259,14 +275,14 @@ public:
   /// a thread's own shard is the one line it already owns, and the
   /// cached-view machinery (core::TimeValidation) fills in the rest.
   uint64_t loadShard(unsigned Shard) const {
-    return ShardsArr[Shard].V.load(std::memory_order_acquire);
+    return S[Shard].V.load(std::memory_order_acquire);
   }
 
   /// Atomically increments and returns the new value
   /// ("increment&get" in Algorithm 1, line 37) — the GV1 primitive,
   /// used directly by the clocks that are not commit-ts policies.
   uint64_t incrementAndGet() {
-    return ShardsArr[0].V.fetch_add(1, std::memory_order_acq_rel) + 1;
+    return S[0].V.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
   /// Advances the caller's shard to at least \p Floor (CAS-max) and
@@ -276,7 +292,7 @@ public:
   /// touched — load() takes the max, so publishing anywhere publishes
   /// globally.
   uint64_t advanceTo(uint64_t Floor, unsigned Slot = 0) {
-    return core::clockCasMax(ShardsArr[shardOf(Slot)].V, Floor);
+    return core::clockCasMax(S[shardOf(Slot)].V, Floor);
   }
 
   /// Generates this commit's timestamp under the installed policy.
@@ -287,12 +303,12 @@ public:
   CommitStamp commitStamp(uint64_t MaxOverwritten = 0, unsigned Slot = 0) {
     switch (Kind) {
     case ClockKind::Gv1:
-      return core::Gv1IncrementClock::commit(ShardsArr[0].V, MaxOverwritten);
+      return core::Gv1IncrementClock::commit(S[0].V, MaxOverwritten);
     case ClockKind::Gv4:
-      return core::Gv4PassOnFailureClock::commit(ShardsArr[0].V,
+      return core::Gv4PassOnFailureClock::commit(S[0].V,
                                                  MaxOverwritten);
     case ClockKind::Gv5:
-      return core::Gv5DeferredClock::commit(ShardsArr[0].V, MaxOverwritten);
+      return core::Gv5DeferredClock::commit(S[0].V, MaxOverwritten);
     case ClockKind::GvShard:
       return shardCommit(MaxOverwritten, Slot);
     }
@@ -311,13 +327,13 @@ public:
   REPRO_NOINLINE uint64_t observe(uint64_t Seen, unsigned Slot = 0) {
     switch (Kind) {
     case ClockKind::Gv1:
-      return core::Gv1IncrementClock::observe(ShardsArr[0].V, Seen);
+      return core::Gv1IncrementClock::observe(S[0].V, Seen);
     case ClockKind::Gv4:
-      return core::Gv4PassOnFailureClock::observe(ShardsArr[0].V, Seen);
+      return core::Gv4PassOnFailureClock::observe(S[0].V, Seen);
     case ClockKind::Gv5:
-      return core::Gv5DeferredClock::observe(ShardsArr[0].V, Seen);
+      return core::Gv5DeferredClock::observe(S[0].V, Seen);
     case ClockKind::GvShard:
-      core::clockCasMax(ShardsArr[shardOf(Slot)].V, Seen);
+      core::clockCasMax(S[shardOf(Slot)].V, Seen);
       return load();
     }
     return 0; // unreachable
@@ -357,11 +373,14 @@ private:
     if (MaxOverwritten > Base)
       Base = MaxOverwritten;
     uint64_t Ts = Base + 1;
-    core::clockCasMax(ShardsArr[shardOf(Slot)].V, Ts);
+    core::clockCasMax(S[shardOf(Slot)].V, Ts);
     return {Ts, false};
   }
 
   std::array<ShardCounter, MaxShards> ShardsArr;
+  /// Live shard storage: the inline array, or a placed segment region.
+  /// Plain pointer — it only changes inside globalInit, like Kind.
+  ShardCounter *S = ShardsArr.data();
   ClockKind Kind = ClockKind::Gv1;
   unsigned NumShards = 1;
 };

@@ -15,12 +15,17 @@
 //    bumping one stripe's lock word invalidates the line holding its
 //    neighbours' lock words in every reader's cache — false sharing on
 //    exactly the hottest addresses (the fig5 rbtree root area).
-//  * storage comes from calloc, not value-initializing new[]. The
-//    kernel hands out lazily-committed zero pages, so a 2^28-entry
-//    table costs address space, not memory, until stripes are touched —
-//    and init() is O(1) instead of writing out the whole table. Entry
-//    types must therefore be valid in the all-zero-bytes state (their
-//    "unlocked" state) — true of every backend's atomic lock words.
+//  * storage comes from an anonymous MAP_NORESERVE mapping (the shared
+//    arena's mapPrivate), not value-initializing new[]. The kernel
+//    hands out lazily-committed zero pages, so a 2^28-entry table costs
+//    address space, not memory, until stripes are touched — and init()
+//    is O(1) instead of writing out the whole table. Entry types must
+//    therefore be valid in the all-zero-bytes state (their "unlocked"
+//    state) — true of every backend's atomic lock words.
+//
+// In multi-process mode the table does not own its storage at all:
+// bindAt() points it into the shm segment's table region (see
+// core/SharedArena.h), where peers see the same lock words.
 //
 // Interleave policy (STM_LOCK_SHARDS): with S > 1 shards the table is
 // split into S equal contiguous regions and stripe k is mapped into
@@ -37,6 +42,7 @@
 #ifndef STM_CORE_LOCKTABLE_H
 #define STM_CORE_LOCKTABLE_H
 
+#include "stm/core/SharedArena.h"
 #include "support/Platform.h"
 
 #include <cassert>
@@ -96,16 +102,11 @@ public:
       std::abort();
     }
     destroy();
-    SizeMask = (uint64_t(1) << SizeLog2) - 1;
-    GranularityLog2 = GranLog2;
-    ShardMask = Shards - 1;
-    ShardShift = 0;
-    while ((1u << ShardShift) < Shards)
-      ++ShardShift;
-    RegionShift = SizeLog2 - ShardShift;
+    configure(SizeLog2, GranLog2, Shards);
     // One spare entry of slack lets us align the base up to a cache
-    // line; calloc keeps untouched pages unbacked.
-    Raw = std::calloc(SizeMask + 2, sizeof(PaddedEntry<EntryT>));
+    // line; the anonymous mapping keeps untouched pages unbacked.
+    RawBytes = bytesFor(SizeLog2);
+    Raw = SharedArena::mapPrivate(RawBytes);
     if (Raw == nullptr) {
       std::fprintf(stderr, "stm: lock table allocation failed (2^%u)\n",
                    SizeLog2);
@@ -117,9 +118,29 @@ public:
     Entries = reinterpret_cast<PaddedEntry<EntryT> *>(Base);
   }
 
+  /// Points the table at externally owned, already-zeroed (or live)
+  /// storage of bytesFor(\p SizeLog2) bytes — the shm segment's table
+  /// region. The table never frees bound storage; parameter validation
+  /// is init()'s, reached through the same checks on both sides of the
+  /// segment via the layout hash.
+  void bindAt(void *Mem, unsigned SizeLog2, unsigned GranLog2,
+              unsigned Shards = 1) {
+    destroy();
+    configure(SizeLog2, GranLog2, Shards);
+    Entries = static_cast<PaddedEntry<EntryT> *>(Mem);
+  }
+
+  /// Bytes a table of 2^\p SizeLog2 entries occupies, including the
+  /// alignment-slack entry — what the segment layout reserves.
+  static constexpr uint64_t bytesFor(unsigned SizeLog2) {
+    return ((uint64_t(1) << SizeLog2) + 1) * sizeof(PaddedEntry<EntryT>);
+  }
+
   void destroy() {
-    std::free(Raw);
+    if (Raw != nullptr)
+      SharedArena::unmapPrivate(Raw, RawBytes);
     Raw = nullptr;
+    RawBytes = 0;
     Entries = nullptr;
     SizeMask = 0;
     ShardMask = 0;
@@ -171,8 +192,19 @@ public:
   }
 
 private:
+  void configure(unsigned SizeLog2, unsigned GranLog2, unsigned Shards) {
+    SizeMask = (uint64_t(1) << SizeLog2) - 1;
+    GranularityLog2 = GranLog2;
+    ShardMask = Shards - 1;
+    ShardShift = 0;
+    while ((1u << ShardShift) < Shards)
+      ++ShardShift;
+    RegionShift = SizeLog2 - ShardShift;
+  }
+
   PaddedEntry<EntryT> *Entries = nullptr;
   void *Raw = nullptr;
+  uint64_t RawBytes = 0;
   uint64_t SizeMask = 0;
   uint64_t ShardMask = 0;
   unsigned ShardShift = 0;

@@ -1,0 +1,717 @@
+//===- stm/core/SharedArena.cpp - shared-state placement layer ------------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/core/SharedArena.h"
+
+#include "stm/Config.h"
+#include "stm/EpochManager.h"
+#include "stm/core/Clock.h"
+#include "support/ThreadRegistry.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <new>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace stm;
+
+std::atomic<bool> SharedArena::SharedFlag{false};
+
+namespace {
+
+constexpr uint64_t SegmentMagic = 0x53575453484d3231ull; // "SWTSHM21"
+constexpr uint32_t SegmentVersion = 1;
+constexpr uint64_t HeaderBytes = 4096;
+constexpr unsigned NumUserRoots = 16;
+constexpr unsigned NumHeapClasses = 16; // 64..1024 bytes in line steps
+
+/// Segment header at offset 0. Plain fields are written only by the
+/// creator before InitComplete is released; the atomics are the live
+/// cross-process words.
+struct SegmentHeader {
+  uint64_t Magic;
+  uint32_t Version;
+  uint32_t Pad0;
+  uint64_t LayoutHash;
+  uint64_t BaseAddr;
+  uint64_t TotalBytes;
+  std::atomic<uint64_t> InitComplete;
+  std::atomic<uint64_t> Poison;
+  char PoisonWhy[128];
+  std::atomic<uint64_t> RecoveryLock; ///< holder pid, 0 = free
+  std::atomic<uint64_t> HeapBump;     ///< bytes handed out of the heap region
+  std::atomic<uint64_t> HeapHeads[NumHeapClasses]; ///< {tag:32, unit+1:32}
+  std::atomic<Word> UserRoots[NumUserRoots];
+  std::atomic<Word> OrecToken; ///< slot+1 of the irrevocable tx, 0 = free
+  // Geometry echo so a mismatch diagnostic can name both sides.
+  uint32_t SizeLog2, GranLog2, LockShards, ClockKindV, ClockShardsV,
+      BackendV, SingleFenceV, DataMb;
+};
+static_assert(sizeof(SegmentHeader) <= HeaderBytes,
+              "header must fit its reserved page");
+
+/// Per-slot crash record, one cache line each.
+struct alignas(repro::CacheLineSize) SlotRecord {
+  std::atomic<uint64_t> Pid;
+  std::atomic<uint64_t> Heartbeat;
+  std::atomic<uint64_t> Phase;
+  std::atomic<uint64_t> IntentCount;
+  std::atomic<uint64_t> Overflow;
+};
+static_assert(sizeof(SlotRecord) == repro::CacheLineSize, "one line per slot");
+
+/// Byte counts of each segment region, in layout order after the header.
+struct Layout {
+  uint64_t Epochs, GlobalEpoch, ActiveSince, SlotMask, Records, Intents,
+      Clock, Table, Heap;
+  uint64_t total() const {
+    return HeaderBytes + Epochs + GlobalEpoch + ActiveSince + SlotMask +
+           Records + Intents + Clock + Table + Heap;
+  }
+};
+
+Layout layoutFor(const StmConfig &Config) {
+  Layout L;
+  L.Epochs = uint64_t(repro::MaxThreads) * repro::CacheLineSize;
+  L.GlobalEpoch = repro::CacheLineSize;
+  L.ActiveSince = uint64_t(repro::MaxThreads) * repro::CacheLineSize;
+  L.SlotMask = repro::CacheLineSize;
+  L.Records = uint64_t(repro::MaxThreads) * sizeof(SlotRecord);
+  L.Intents = uint64_t(repro::MaxThreads) * SharedArena::IntentCapacity *
+              sizeof(SharedArena::Intent);
+  L.Clock = uint64_t(GlobalClock::MaxShards) * repro::CacheLineSize;
+  // One spare padded entry of slack, mirroring LockTable's private
+  // allocation, and every backend pads an entry to one cache line.
+  L.Table = ((uint64_t(1) << Config.LockTableSizeLog2) + 1) *
+            repro::CacheLineSize;
+  L.Heap = uint64_t(Config.SharedDataMb) << 20;
+  return L;
+}
+
+/// FNV-1a over every knob two processes must agree on before they may
+/// share lock words. A mismatch on any of these is memory corruption
+/// waiting to happen, so it must fail the attach, loudly.
+uint64_t layoutHash(const StmConfig &Config) {
+  uint64_t Fields[] = {SegmentVersion,
+                       uint64_t(Config.Backend),
+                       Config.LockTableSizeLog2,
+                       Config.GranularityLog2,
+                       resolvedLockShards(Config),
+                       uint64_t(Config.Clock),
+                       resolvedClockShards(Config),
+                       Config.SingleFence ? 1u : 0u,
+                       repro::MaxThreads,
+                       SharedArena::IntentCapacity,
+                       Config.SharedDataMb};
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint64_t F : Fields) {
+    for (unsigned B = 0; B < 8; ++B) {
+      H ^= (F >> (B * 8)) & 0xff;
+      H *= 0x100000001b3ull;
+    }
+  }
+  return H;
+}
+
+[[noreturn]] void arenaFatal(const char *Msg, const char *Arg, int Err) {
+  std::fprintf(stderr, "stm: shared arena: %s%s%s%s%s\n", Msg,
+               Arg[0] != '\0' ? " " : "", Arg, Err != 0 ? ": " : "",
+               Err != 0 ? std::strerror(Err) : "");
+  std::abort();
+}
+
+void normalizeName(const char *In, char *Out, std::size_t OutLen) {
+  if (In[0] == '\0')
+    arenaFatal("empty segment name", "", 0);
+  std::size_t Off = 0;
+  if (In[0] != '/')
+    Out[Off++] = '/';
+  std::size_t Len = std::strlen(In);
+  if (Off + Len + 1 > OutLen)
+    arenaFatal("segment name too long:", In, 0);
+  std::memcpy(Out + Off, In, Len + 1);
+}
+
+bool pidDead(uint64_t Pid) {
+  return kill(pid_t(Pid), 0) == -1 && errno == ESRCH;
+}
+
+/// Fallback storage so the orec token and user roots work in private
+/// mode through the same accessors.
+std::atomic<Word> FallbackOrecToken{0};
+std::atomic<Word> FallbackUserRoots[NumUserRoots];
+
+std::atomic<uint64_t> RecoveryCount{0};
+
+} // namespace
+
+SharedArena &SharedArena::instance() {
+  static SharedArena A;
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Private backing
+//===----------------------------------------------------------------------===//
+
+void *SharedArena::mapPrivate(std::size_t Bytes) {
+  void *P = mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  return P == MAP_FAILED ? nullptr : P;
+}
+
+void SharedArena::unmapPrivate(void *P, std::size_t Bytes) {
+  if (P != nullptr)
+    munmap(P, Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Setup / teardown
+//===----------------------------------------------------------------------===//
+
+void SharedArena::setup(const StmConfig &Config) {
+  if (Mode != Backing::Unplaced)
+    teardown();
+  if (Config.SharedSegment[0] == '\0') {
+    Mode = Backing::Private;
+    Creator = true;
+    return;
+  }
+  setupShared(Config);
+}
+
+void SharedArena::setupShared(const StmConfig &Config) {
+  normalizeName(Config.SharedSegment, SegName, sizeof(SegName));
+  Layout L = layoutFor(Config);
+  uint64_t Hash = layoutHash(Config);
+  MappedBytes = L.total();
+  TableBytes = L.Table;
+
+  int Fd = shm_open(SegName, O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (Fd >= 0) {
+    createSegment(Config, Fd, Hash);
+  } else if (errno == EEXIST) {
+    Fd = shm_open(SegName, O_RDWR, 0600);
+    if (Fd < 0)
+      arenaFatal("cannot open existing segment", SegName, errno);
+    attachSegment(Config, Fd, Hash);
+  } else {
+    arenaFatal("shm_open failed for", SegName, errno);
+  }
+  close(Fd);
+  Mode = Backing::Shared;
+  SharedFlag.store(true, std::memory_order_release);
+}
+
+void SharedArena::createSegment(const StmConfig &Config, int Fd,
+                                uint64_t Hash) {
+  if (ftruncate(Fd, off_t(MappedBytes)) != 0)
+    arenaFatal("ftruncate failed for", SegName, errno);
+  void *Map = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   Fd, 0);
+  if (Map == MAP_FAILED)
+    arenaFatal("mmap failed for", SegName, errno);
+  Base = Map;
+  Creator = true;
+
+  auto *H = new (Base) SegmentHeader{};
+  H->Magic = SegmentMagic;
+  H->Version = SegmentVersion;
+  H->LayoutHash = Hash;
+  H->BaseAddr = reinterpret_cast<uint64_t>(Base);
+  H->TotalBytes = MappedBytes;
+  H->SizeLog2 = Config.LockTableSizeLog2;
+  H->GranLog2 = Config.GranularityLog2;
+  H->LockShards = resolvedLockShards(Config);
+  H->ClockKindV = uint32_t(Config.Clock);
+  H->ClockShardsV = resolvedClockShards(Config);
+  H->BackendV = uint32_t(Config.Backend);
+  H->SingleFenceV = Config.SingleFence ? 1 : 0;
+  H->DataMb = Config.SharedDataMb;
+
+  bindRegions(/*AsCreator=*/true);
+  // Publish only after the registry/epoch redirection carried the
+  // creator's live values in: an attacher synchronizes on this flag.
+  H->InitComplete.store(1, std::memory_order_release);
+}
+
+void SharedArena::attachSegment(const StmConfig &Config, int Fd,
+                                uint64_t Hash) {
+  (void)Config;
+  // The creator may still be between shm_open and ftruncate/init;
+  // bounded spin until the header page exists and is initialized.
+  struct timespec Nap = {0, 2 * 1000 * 1000};
+  struct stat St;
+  for (unsigned Tries = 0;; ++Tries) {
+    if (fstat(Fd, &St) != 0)
+      arenaFatal("fstat failed for", SegName, errno);
+    if (uint64_t(St.st_size) >= HeaderBytes)
+      break;
+    if (Tries > 5000)
+      arenaFatal("no header ever appeared in segment (creator died?)", SegName, 0);
+    nanosleep(&Nap, nullptr);
+  }
+  auto *Peek = static_cast<SegmentHeader *>(
+      mmap(nullptr, HeaderBytes, PROT_READ, MAP_SHARED, Fd, 0));
+  if (Peek == MAP_FAILED)
+    arenaFatal("mmap of header page failed for", SegName, errno);
+  for (unsigned Tries = 0;
+       Peek->InitComplete.load(std::memory_order_acquire) == 0; ++Tries) {
+    if (Tries > 5000)
+      arenaFatal("segment never finished init (creator died?)", SegName, 0);
+    nanosleep(&Nap, nullptr);
+  }
+  if (Peek->Magic != SegmentMagic || Peek->Version != SegmentVersion)
+    arenaFatal("not a compatible STM segment:", SegName, 0);
+  if (Peek->LayoutHash != Hash || Peek->TotalBytes != MappedBytes) {
+    std::fprintf(stderr,
+                 "stm: shared arena: layout mismatch attaching %s\n"
+                 "  segment: backend=%u table=2^%u gran=2^%u lockshards=%u "
+                 "clock=%u/%u singlefence=%u heap=%uMB\n"
+                 "  refusing to attach: a mismatched process would corrupt "
+                 "its peers\n",
+                 SegName, Peek->BackendV, Peek->SizeLog2, Peek->GranLog2,
+                 Peek->LockShards, Peek->ClockKindV, Peek->ClockShardsV,
+                 Peek->SingleFenceV, Peek->DataMb);
+    std::abort();
+  }
+  void *WantBase = reinterpret_cast<void *>(Peek->BaseAddr);
+  munmap(Peek, HeaderBytes);
+  // Raw pointers (descriptor handles aside, the shared heap holds real
+  // data-structure pointers) only make sense at one address: map at the
+  // creator's base or not at all.
+  void *Map = mmap(WantBase, MappedBytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_FIXED_NOREPLACE, Fd, 0);
+  if (Map == MAP_FAILED || Map != WantBase)
+    arenaFatal("cannot map segment at the creator's base address "
+               "(address-space collision):",
+               SegName, Map == MAP_FAILED ? errno : 0);
+  Base = Map;
+  Creator = false;
+  bindRegions(/*AsCreator=*/false);
+}
+
+void SharedArena::bindRegions(bool AsCreator) {
+  auto *H = static_cast<SegmentHeader *>(Base);
+  char *P = static_cast<char *>(Base) + HeaderBytes;
+  auto *Epochs = reinterpret_cast<repro::Padded<std::atomic<uint64_t>> *>(P);
+  P += uint64_t(repro::MaxThreads) * repro::CacheLineSize;
+  auto *GlobalEpoch = reinterpret_cast<std::atomic<uint64_t> *>(P);
+  P += repro::CacheLineSize;
+  auto *Active = reinterpret_cast<repro::Padded<std::atomic<uint64_t>> *>(P);
+  P += uint64_t(repro::MaxThreads) * repro::CacheLineSize;
+  auto *Mask = reinterpret_cast<std::atomic<uint64_t> *>(P);
+  P += repro::CacheLineSize;
+  SlotRecs = P;
+  P += uint64_t(repro::MaxThreads) * sizeof(SlotRecord);
+  IntentsBase = P;
+  P += uint64_t(repro::MaxThreads) * IntentCapacity * sizeof(Intent);
+  ClockMem = P;
+  P += uint64_t(GlobalClock::MaxShards) * repro::CacheLineSize;
+  TableMem = P;
+  P += TableBytes;
+  HeapBase = P;
+  HeapBytes = H->TotalBytes - uint64_t(HeapBase - static_cast<char *>(Base));
+  OrecTokenP = &H->OrecToken;
+
+  repro::ThreadRegistry::placeStorage(Active, Mask, AsCreator);
+  EpochManager::placeStorage(Epochs, GlobalEpoch, AsCreator);
+}
+
+void SharedArena::teardown() {
+  if (Mode == Backing::Shared) {
+    SharedFlag.store(false, std::memory_order_release);
+    // Carry back only the slots this process owns: ones bound to our
+    // pid, plus (creator only) ones carried into the segment before any
+    // bindSlot ran, whose records still read pid 0. Remote slots must
+    // not survive as phantom local registrations.
+    uint64_t MyPid = uint64_t(getpid());
+    uint64_t Keep = 0;
+    uint64_t Mask = repro::ThreadRegistry::activeMask();
+    while (Mask != 0) {
+      unsigned Slot = unsigned(__builtin_ctzll(Mask));
+      Mask &= Mask - 1;
+      uint64_t Pid = static_cast<SlotRecord *>(SlotRecs)[Slot].Pid.load(
+          std::memory_order_acquire);
+      if (Pid == MyPid || (Pid == 0 && Creator))
+        Keep |= 1ull << Slot;
+    }
+    repro::ThreadRegistry::resetStorage(Keep);
+    EpochManager::resetStorage(Keep);
+    munmap(Base, MappedBytes);
+    if (Creator)
+      shm_unlink(SegName);
+  }
+  Mode = Backing::Unplaced;
+  Creator = false;
+  Base = nullptr;
+  MappedBytes = 0;
+  TableBytes = 0;
+  SlotRecs = nullptr;
+  IntentsBase = nullptr;
+  ClockMem = nullptr;
+  TableMem = nullptr;
+  HeapBase = nullptr;
+  HeapBytes = 0;
+  OrecTokenP = nullptr;
+  SegName[0] = '\0';
+}
+
+void SharedArena::unlinkSegment(const char *Name) {
+  char Buf[72];
+  normalizeName(Name, Buf, sizeof(Buf));
+  shm_unlink(Buf);
+}
+
+//===----------------------------------------------------------------------===//
+// Region accessors
+//===----------------------------------------------------------------------===//
+
+void *SharedArena::tableRegion(uint64_t Bytes) {
+  if (Bytes != TableBytes)
+    arenaFatal("lock-table size disagrees with the segment layout", "", 0);
+  return TableMem;
+}
+
+void *SharedArena::clockRegion() { return ClockMem; }
+
+std::atomic<Word> &SharedArena::orecToken() {
+  return OrecTokenP != nullptr ? *OrecTokenP : FallbackOrecToken;
+}
+
+std::atomic<Word> &SharedArena::userRoot(unsigned I) {
+  if (I >= NumUserRoots)
+    arenaFatal("user root index out of range", "", 0);
+  if (Mode != Backing::Shared)
+    return FallbackUserRoots[I];
+  return static_cast<SegmentHeader *>(Base)->UserRoots[I];
+}
+
+//===----------------------------------------------------------------------===//
+// Shared data heap
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Each heap block starts with one allocator-owned cache line: word 0
+/// is the size class (0 = bump-only oversize), word 1 the freelist
+/// next link (unit+1 encoding, 0 = end). The link lives in the header
+/// line, never the payload, so a popped block's new owner can scribble
+/// its payload without racing a concurrent popper's next read — the
+/// ABA-tagged head CAS rejects such stale pops.
+std::atomic<uint64_t> &blockNext(char *Block) {
+  return *reinterpret_cast<std::atomic<uint64_t> *>(Block + 8);
+}
+} // namespace
+
+void *SharedArena::heapAlloc(std::size_t Bytes) {
+  if (Mode != Backing::Shared)
+    return nullptr;
+  auto *H = static_cast<SegmentHeader *>(Base);
+  uint64_t Rounded = (uint64_t(Bytes) + repro::CacheLineSize - 1) &
+                     ~uint64_t(repro::CacheLineSize - 1);
+  if (Rounded == 0)
+    Rounded = repro::CacheLineSize;
+  unsigned Cls = unsigned(Rounded / repro::CacheLineSize); // 1..16 reusable
+  if (Cls <= NumHeapClasses) {
+    std::atomic<uint64_t> &Head = H->HeapHeads[Cls - 1];
+    uint64_t Old = Head.load(std::memory_order_acquire);
+    while ((Old & 0xffffffffull) != 0) {
+      char *Block =
+          HeapBase + ((Old & 0xffffffffull) - 1) * repro::CacheLineSize;
+      uint64_t Next = blockNext(Block).load(std::memory_order_relaxed);
+      uint64_t New = ((Old >> 32) + 1) << 32 | (Next & 0xffffffffull);
+      if (Head.compare_exchange_weak(Old, New, std::memory_order_acq_rel))
+        return Block + repro::CacheLineSize;
+    }
+  }
+  uint64_t Total = Rounded + repro::CacheLineSize; // header line + payload
+  uint64_t Off = H->HeapBump.fetch_add(Total, std::memory_order_relaxed);
+  if (Off + Total > HeapBytes)
+    arenaFatal("shared data heap exhausted (raise STM_SHM_DATA_MB)", "", 0);
+  char *Block = HeapBase + Off;
+  *reinterpret_cast<uint64_t *>(Block) = Cls <= NumHeapClasses ? Cls : 0;
+  return Block + repro::CacheLineSize;
+}
+
+void SharedArena::heapFree(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  auto *H = static_cast<SegmentHeader *>(Base);
+  char *Block = static_cast<char *>(Ptr) - repro::CacheLineSize;
+  uint64_t Cls = *reinterpret_cast<uint64_t *>(Block);
+  if (Cls == 0 || Cls > NumHeapClasses)
+    return; // oversized blocks are bump-only; a leak, never corruption
+  std::atomic<uint64_t> &Head = H->HeapHeads[Cls - 1];
+  uint64_t Unit = uint64_t(Block - HeapBase) / repro::CacheLineSize + 1;
+  uint64_t Old = Head.load(std::memory_order_acquire);
+  do {
+    blockNext(Block).store(Old & 0xffffffffull, std::memory_order_relaxed);
+  } while (!Head.compare_exchange_weak(Old, ((Old >> 32) + 1) << 32 | Unit,
+                                       std::memory_order_acq_rel));
+}
+
+namespace stm {
+
+void *sharedAlloc(std::size_t Bytes) {
+  if (SharedArena::sharedActive())
+    return SharedArena::instance().heapAlloc(Bytes);
+  return std::malloc(Bytes);
+}
+
+void sharedDispatchFree(void *P) {
+  if (P != nullptr && SharedArena::instance().contains(P))
+    SharedArena::instance().heapFree(P);
+  else
+    std::free(P);
+}
+
+} // namespace stm
+
+//===----------------------------------------------------------------------===//
+// Per-slot crash records
+//===----------------------------------------------------------------------===//
+
+namespace {
+SlotRecord &recordOf(void *SlotRecs, unsigned Slot) {
+  return static_cast<SlotRecord *>(SlotRecs)[Slot];
+}
+} // namespace
+
+void SharedArena::bindSlot(unsigned Slot) {
+  if (SlotRecs == nullptr)
+    return;
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  R.Phase.store(PhaseNone, std::memory_order_relaxed);
+  R.IntentCount.store(0, std::memory_order_relaxed);
+  R.Overflow.store(0, std::memory_order_relaxed);
+  R.Heartbeat.store(1, std::memory_order_relaxed);
+  R.Pid.store(uint64_t(getpid()), std::memory_order_release);
+}
+
+void SharedArena::unbindSlot(unsigned Slot) {
+  if (SlotRecs == nullptr)
+    return;
+  recordOf(SlotRecs, Slot).Pid.store(0, std::memory_order_release);
+}
+
+void SharedArena::publishHeartbeat(unsigned Slot) {
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  R.Heartbeat.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedArena::setPhase(unsigned Slot, uint64_t P) {
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  // Release so a recovering peer that reads the phase also sees every
+  // write-back store that preceded a later phase transition; and the
+  // phase must be visible before the first in-place/write-back store,
+  // which the subsequent release/seq_cst lock operations guarantee on
+  // the store side while the x86-TSO/acq-rel data path covers reads.
+  R.Phase.store(P, std::memory_order_release);
+}
+
+void SharedArena::pushIntent(unsigned Slot, const void *LockWordAddr,
+                             Word OldValue, Word HeldValue) {
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  uint64_t N = R.IntentCount.load(std::memory_order_relaxed);
+  if (N >= IntentCapacity) {
+    R.Overflow.store(1, std::memory_order_release);
+    return;
+  }
+  auto *Log = static_cast<Intent *>(IntentsBase) + uint64_t(Slot) *
+                                                       IntentCapacity;
+  Log[N].WordOffset =
+      uint64_t(static_cast<const char *>(LockWordAddr) -
+               static_cast<const char *>(Base));
+  Log[N].OldValue = OldValue;
+  Log[N].HeldValue = HeldValue;
+  // Count release-published before the caller's lock CAS: a recovery
+  // that observes the installed lock word also observes the intent.
+  R.IntentCount.store(N + 1, std::memory_order_release);
+}
+
+void SharedArena::popIntent(unsigned Slot) {
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  uint64_t N = R.IntentCount.load(std::memory_order_relaxed);
+  if (N > 0 && R.Overflow.load(std::memory_order_relaxed) == 0)
+    R.IntentCount.store(N - 1, std::memory_order_release);
+}
+
+void SharedArena::clearIntents(unsigned Slot) {
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  R.IntentCount.store(0, std::memory_order_release);
+  R.Overflow.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Death detection and recovery
+//===----------------------------------------------------------------------===//
+
+bool SharedArena::poisoned() const {
+  if (Mode != Backing::Shared)
+    return false;
+  return static_cast<SegmentHeader *>(Base)->Poison.load(
+             std::memory_order_acquire) != 0;
+}
+
+void SharedArena::poisonFatal() {
+  auto *H = static_cast<SegmentHeader *>(Base);
+  std::fprintf(stderr,
+               "stm: shared segment %s is poisoned: %s\n"
+               "stm: a process died in an unrecoverable commit phase; the "
+               "segment must be discarded\n",
+               SegName, H->PoisonWhy);
+  std::abort();
+}
+
+void SharedArena::setPoison(const char *Why, uint64_t Pid, unsigned Slot) {
+  auto *H = static_cast<SegmentHeader *>(Base);
+  // First poisoner wins; later writers would only repeat the story.
+  // Serialized by the recovery lock, which every poisoning path holds.
+  if (H->Poison.load(std::memory_order_acquire) == 0)
+    std::snprintf(H->PoisonWhy, sizeof(H->PoisonWhy),
+                  "pid %" PRIu64 " (slot %u) died: %s", Pid, Slot, Why);
+  H->Poison.store(1, std::memory_order_release);
+  std::fprintf(stderr, "stm: shared arena: poisoning segment %s: %s\n",
+               SegName, H->PoisonWhy);
+}
+
+uint64_t SharedArena::recoveriesPerformed() const {
+  return RecoveryCount.load(std::memory_order_relaxed);
+}
+
+bool SharedArena::maybeRecoverRemote(Word H) {
+  if (Mode != Backing::Shared)
+    return false;
+  unsigned Slot = handleSlot(H);
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  uint64_t Pid = R.Pid.load(std::memory_order_acquire);
+  if (Pid == 0 || Pid == uint64_t(getpid()))
+    return false;
+  // Throttle the liveness syscall: the conflict path can be hot under
+  // live cross-process contention. The first conflict with a slot
+  // always checks, so test-sized workloads detect death immediately.
+  static thread_local uint8_t Skip[repro::MaxThreads];
+  if ((Skip[Slot]++ & 31) != 0)
+    return false;
+  if (!pidDead(Pid))
+    return false;
+  recoverProcess(Pid);
+  return true;
+}
+
+void SharedArena::sweepDeadProcesses() {
+  if (Mode != Backing::Shared)
+    return;
+  uint64_t MyPid = uint64_t(getpid());
+  uint64_t Mask = repro::ThreadRegistry::activeMask();
+  uint64_t Checked = 0; // dedupe pids within one sweep
+  while (Mask != 0) {
+    unsigned Slot = unsigned(__builtin_ctzll(Mask));
+    Mask &= Mask - 1;
+    uint64_t Pid = recordOf(SlotRecs, Slot).Pid.load(std::memory_order_acquire);
+    if (Pid == 0 || Pid == MyPid)
+      continue;
+    uint64_t Bit = 1ull << (Pid % 64);
+    if ((Checked & Bit) != 0)
+      continue;
+    Checked |= Bit;
+    if (pidDead(Pid))
+      recoverProcess(Pid);
+  }
+}
+
+void SharedArena::recoverProcess(uint64_t DeadPid) {
+  auto *H = static_cast<SegmentHeader *>(Base);
+  uint64_t MyPid = uint64_t(getpid());
+  uint64_t Holder = H->RecoveryLock.load(std::memory_order_acquire);
+  while (true) {
+    if (Holder == MyPid)
+      return; // re-entered from a recovery-path conflict; already on it
+    if (Holder == 0) {
+      if (H->RecoveryLock.compare_exchange_weak(Holder, MyPid,
+                                                std::memory_order_acq_rel))
+        break;
+    } else if (pidDead(Holder)) {
+      // The previous recoverer died mid-recovery; steal the lock. Slot
+      // recovery is idempotent (CAS from the recorded held value), so
+      // re-running a half-done recovery is safe.
+      if (H->RecoveryLock.compare_exchange_weak(Holder, MyPid,
+                                                std::memory_order_acq_rel))
+        break;
+    } else {
+      return; // a live peer is recovering; let it finish
+    }
+  }
+
+  if (pidDead(DeadPid)) {
+    uint64_t Mask = repro::ThreadRegistry::activeMask();
+    while (Mask != 0) {
+      unsigned Slot = unsigned(__builtin_ctzll(Mask));
+      Mask &= Mask - 1;
+      if (recordOf(SlotRecs, Slot).Pid.load(std::memory_order_acquire) ==
+          DeadPid)
+        recoverSlot(Slot);
+    }
+    // The dead recoverer case: its own recovery-lock steal above plus
+    // this pass covers it; nothing else to do.
+  }
+  H->RecoveryLock.store(0, std::memory_order_release);
+}
+
+void SharedArena::recoverSlot(unsigned Slot) {
+  SlotRecord &R = recordOf(SlotRecs, Slot);
+  uint64_t Pid = R.Pid.load(std::memory_order_acquire);
+  uint64_t Phase = R.Phase.load(std::memory_order_acquire);
+  if (Phase != PhaseNone) {
+    setPoison(Phase == PhaseEager
+                  ? "eager backend holding in-place-written stripes"
+                  : "lazy backend mid write-back",
+              Pid, Slot);
+  } else if (R.Overflow.load(std::memory_order_acquire) != 0) {
+    setPoison("intent log overflowed; held locks unknown", Pid, Slot);
+  } else {
+    // Replay the intent log newest-first: SwissTM pushes WLock intents
+    // at encounter time and RLock intents at commit time, and the
+    // RLocks must come back before their WLocks so a new writer never
+    // reads a locked RLock as a version.
+    uint64_t N = R.IntentCount.load(std::memory_order_acquire);
+    auto *Log = static_cast<Intent *>(IntentsBase) +
+                uint64_t(Slot) * IntentCapacity;
+    for (uint64_t I = N; I > 0; --I) {
+      const Intent &E = Log[I - 1];
+      auto *WordP = reinterpret_cast<std::atomic<Word> *>(
+          static_cast<char *>(Base) + E.WordOffset);
+      Word Expect = E.HeldValue;
+      WordP->compare_exchange_strong(Expect, E.OldValue,
+                                     std::memory_order_acq_rel);
+    }
+    std::fprintf(stderr,
+                 "stm: shared arena: recovered slot %u of dead pid %" PRIu64
+                 " (%" PRIu64 " lock intents replayed)\n",
+                 Slot, Pid, N);
+  }
+  clearIntents(Slot);
+  // Retire the corpse's slot so epoch reclamation, irrevocability
+  // drains and privatization quiescence can no longer wedge on it.
+  EpochManager::unpin(Slot);
+  Word ExpectTok = Word(Slot) + 1;
+  orecToken().compare_exchange_strong(ExpectTok, Word(0),
+                                      std::memory_order_acq_rel);
+  repro::ThreadRegistry::publishIdle(Slot);
+  R.Pid.store(0, std::memory_order_release);
+  R.Heartbeat.store(0, std::memory_order_relaxed);
+  repro::ThreadRegistry::releaseSlot(Slot);
+  RecoveryCount.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,264 @@
+//===- stm/core/SharedArena.h - shared-state placement layer ----*- C++ -*-===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// Every piece of process-global STM state — the commit clock's shard
+// counters, the lock table, the ThreadRegistry/EpochManager slot
+// arrays, and the orec irrevocability token — is *placed* through this
+// layer instead of living in fixed statics or backend-private heap
+// allocations. Two backings exist:
+//
+//   * Private (default): process-private anonymous mmap for the lock
+//     table (lazily-committed zero pages, preserving the historical
+//     calloc property: a 2^28-entry table costs address space, not
+//     RSS), and the in-image fallback statics for the slot arrays.
+//     Behaviour is unchanged from the pre-placement-layer library.
+//   * Shared: a POSIX shm segment named by StmConfig::SharedSegment /
+//     STM_SHM_NAME. The segment starts with a versioned header (magic,
+//     layout hash over every protocol-relevant geometry knob, recorded
+//     base address) so a process attaching with a mismatched
+//     configuration aborts loudly instead of silently corrupting its
+//     peers. The clock shards, lock table, slot arrays, per-slot crash
+//     records and a transactional data heap are carved out of the
+//     segment by a deterministic layout both sides recompute.
+//
+// Multi-process mode (shared backing) additionally changes the lock
+// word encoding: descriptors stay in per-process arenas and are never
+// dereferenced cross-process. A held lock word instead carries a
+// handle — (write-log index << 7) | (registry slot << 1) | 1 — odd so
+// it can never collide with a free SwissTM WLock (0) or an even
+// version number, self-resolvable in O(1) through the owner's own
+// write log, and attributable to a registry slot (slots are globally
+// unique across the segment's processes because the slot mask itself
+// lives in the segment).
+//
+// Process-death recovery: every slot record in the segment carries the
+// owning pid, a heartbeat, a commit-phase word and an intent log of
+// {lock-word offset, pre-lock value, held value} entries pushed before
+// each lock acquisition. When a survivor conflicts with a handle whose
+// slot's pid no longer exists (kill(pid, 0) == ESRCH), it takes the
+// segment's recovery lock, replays the corpse's intent log in LIFO
+// order (restore iff the word still holds the recorded held value),
+// and retires the slot — unpinning its epoch, idling its registry
+// entry, releasing the orec token — so reclamation and irrevocability
+// drains cannot wedge on it. A process that dies inside write-back
+// (lazy backends) or holding eagerly-written stripes (orec) is
+// unrecoverable: the recovery path then poisons the whole segment and
+// every surviving process aborts loudly at its next transaction begin.
+// Recovery is therefore guaranteed only for the lazy backends up to
+// the start of write-back; see README "Multi-process mode".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef STM_CORE_SHAREDARENA_H
+#define STM_CORE_SHAREDARENA_H
+
+#include "stm/Word.h"
+#include "support/Platform.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace stm {
+
+struct StmConfig;
+
+class SharedArena {
+public:
+  enum class Backing : uint8_t {
+    Unplaced, ///< before setup(): fallback statics, no mappings
+    Private,  ///< per-process memory, no cross-process visibility
+    Shared    ///< POSIX shm segment, multi-process mode
+  };
+
+  /// Per-slot commit-phase word. None is the only recoverable state: a
+  /// dead slot whose phase is WriteBack (lazy backend mid write-back)
+  /// or Eager (orec holding in-place-written stripes) poisons the
+  /// segment.
+  enum Phase : uint64_t { PhaseNone = 0, PhaseWriteBack = 1, PhaseEager = 2 };
+
+  /// Intent-log capacity per slot; a transaction overflowing it keeps
+  /// running (its own release path needs no intents) but marks the
+  /// slot, and a death with the mark set poisons the segment.
+  static constexpr unsigned IntentCapacity = 4096;
+
+  struct Intent {
+    uint64_t WordOffset; ///< lock word's byte offset within the segment
+    Word OldValue;       ///< value to restore
+    Word HeldValue;      ///< value the dead owner had installed
+  };
+
+  static SharedArena &instance();
+
+  //===--------------------------------------------------------------===//
+  // Lifecycle (driven by StmRuntime::globalInit / globalShutdown)
+  //===--------------------------------------------------------------===//
+
+  /// Creates or attaches the segment named by \p Config (or selects the
+  /// private backing when no name is configured) and, in shared mode,
+  /// redirects the ThreadRegistry/EpochManager storage into it. Aborts
+  /// loudly on any header/layout mismatch.
+  void setup(const StmConfig &Config);
+
+  /// Unmaps everything, restores fallback storage, and (creator only)
+  /// unlinks the segment name.
+  void teardown();
+
+  /// Removes a stale segment name; ENOENT is not an error. For test and
+  /// bench drivers that want a deterministic creator role.
+  static void unlinkSegment(const char *Name);
+
+  Backing backing() const { return Mode; }
+  bool isShared() const { return Mode == Backing::Shared; }
+  /// True when this process created the segment (or in private mode,
+  /// always: there is nobody else). Attachers must bind live state
+  /// without resetting it.
+  bool isCreator() const { return Creator; }
+
+  /// Process-global "multi-process lock words are live" flag, readable
+  /// without the instance (TxBase/TxMemory hot paths). Relaxed: it only
+  /// changes inside globalInit/globalShutdown, never mid-transaction.
+  static bool sharedActive() {
+    return SharedFlag.load(std::memory_order_relaxed);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Region placement
+  //===--------------------------------------------------------------===//
+
+  /// Lazily-committed zero-filled private mapping (the lock table's
+  /// private backing; replaces calloc with identical semantics).
+  static void *mapPrivate(std::size_t Bytes);
+  static void unmapPrivate(void *P, std::size_t Bytes);
+
+  /// Shared mode: the lock-table region carved from the segment.
+  /// \p Bytes must match the layout the header hash was computed over.
+  void *tableRegion(uint64_t Bytes);
+
+  /// Shared mode: the clock-shard region (GlobalClock::MaxShards cache
+  /// lines).
+  void *clockRegion();
+
+  /// Shared mode: redirected ThreadRegistry/EpochManager storage plus
+  /// the orec irrevocability token word. The token accessor works in
+  /// every mode (falls back to a process-local word) so the orec
+  /// backend has a single slot+1 encoding everywhere.
+  std::atomic<Word> &orecToken();
+
+  //===--------------------------------------------------------------===//
+  // Shared data heap
+  //===--------------------------------------------------------------===//
+
+  /// Cache-line-granular allocator over the segment's heap region:
+  /// size-class free lists with ABA-tagged heads under a bump floor.
+  /// Crash mid-operation leaks at worst — the lists are never left
+  /// structurally corrupt. Returns null only in private mode.
+  void *heapAlloc(std::size_t Bytes);
+  void heapFree(void *P);
+  /// True iff \p P lies inside the shared segment (so frees of
+  /// transactional memory can dispatch between heapFree and std::free).
+  bool contains(const void *P) const {
+    auto A = reinterpret_cast<uintptr_t>(P);
+    return A - reinterpret_cast<uintptr_t>(Base) < MappedBytes;
+  }
+
+  /// Small directory of segment-resident root words (index < 16) for
+  /// applications to publish shared data structures (the bench store,
+  /// the kill-test account array) to attached peers.
+  std::atomic<Word> &userRoot(unsigned I);
+
+  //===--------------------------------------------------------------===//
+  // Lock-word handles (shared mode encoding)
+  //===--------------------------------------------------------------===//
+
+  static constexpr unsigned HandleSlotShift = 1;
+  static constexpr unsigned HandleIndexShift = 7;
+  static constexpr Word HandleSlotMask = repro::MaxThreads - 1;
+
+  static Word makeHandle(uint64_t LogIndex, unsigned Slot) {
+    return (Word(LogIndex) << HandleIndexShift) |
+           (Word(Slot) << HandleSlotShift) | 1;
+  }
+  static unsigned handleSlot(Word H) {
+    return unsigned((H >> HandleSlotShift) & HandleSlotMask);
+  }
+  static uint64_t handleIndex(Word H) { return H >> HandleIndexShift; }
+
+  //===--------------------------------------------------------------===//
+  // Per-slot crash records (shared mode; no-ops otherwise)
+  //===--------------------------------------------------------------===//
+
+  /// Binds \p Slot to this process in the segment's slot records.
+  /// Called when a thread acquires a registry slot in shared mode.
+  void bindSlot(unsigned Slot);
+  /// Clears the binding on a clean slot release.
+  void unbindSlot(unsigned Slot);
+  void publishHeartbeat(unsigned Slot);
+  void setPhase(unsigned Slot, uint64_t P);
+  void pushIntent(unsigned Slot, const void *LockWordAddr, Word OldValue,
+                  Word HeldValue);
+  /// Drops the newest intent (a failed CAS never installed HeldValue).
+  void popIntent(unsigned Slot);
+  void clearIntents(unsigned Slot);
+
+  //===--------------------------------------------------------------===//
+  // Death detection and recovery
+  //===--------------------------------------------------------------===//
+
+  bool poisoned() const;
+  /// Prints the poison diagnostic and aborts. Called from transaction
+  /// begin when the segment is poisoned.
+  [[noreturn]] void poisonFatal();
+
+  /// Conflict-path trigger: \p H is a remote handle just observed in a
+  /// lock word. Throttled pid-liveness check; recovers the owning
+  /// process if it is gone. Returns true when a recovery ran (the
+  /// caller should re-read the lock word).
+  bool maybeRecoverRemote(Word H);
+
+  /// Scans every bound slot for dead owners and recovers them. Called
+  /// from long spin loops and periodically from transaction begin.
+  void sweepDeadProcesses();
+
+  /// Test hook: the number of slot recoveries this process performed.
+  uint64_t recoveriesPerformed() const;
+
+private:
+  SharedArena() = default;
+
+  void setupShared(const StmConfig &Config);
+  void createSegment(const StmConfig &Config, int Fd, uint64_t Hash);
+  void attachSegment(const StmConfig &Config, int Fd, uint64_t Hash);
+  void bindRegions(bool Creator);
+  void recoverProcess(uint64_t DeadPid);
+  void recoverSlot(unsigned Slot);
+  void setPoison(const char *Why, uint64_t Pid, unsigned Slot);
+
+  Backing Mode = Backing::Unplaced;
+  bool Creator = false;
+  void *Base = nullptr;     ///< segment base (shared mode)
+  uint64_t MappedBytes = 0; ///< segment length (0 in private mode)
+  uint64_t TableBytes = 0;
+  void *SlotRecs = nullptr;
+  void *IntentsBase = nullptr;
+  void *ClockMem = nullptr;
+  void *TableMem = nullptr;
+  char *HeapBase = nullptr;
+  uint64_t HeapBytes = 0;
+  std::atomic<Word> *OrecTokenP = nullptr;
+  char SegName[72] = {}; ///< "/name" as passed to shm_open
+  static std::atomic<bool> SharedFlag;
+};
+
+/// Allocates transactional memory from the shared segment's heap when
+/// multi-process mode is active, else from the process heap. The
+/// matching free is sharedDispatchFree.
+void *sharedAlloc(std::size_t Bytes);
+
+/// Routes \p P to the shared heap or std::free by address range.
+void sharedDispatchFree(void *P);
+
+} // namespace stm
+
+#endif // STM_CORE_SHAREDARENA_H

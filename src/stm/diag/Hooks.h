@@ -107,6 +107,12 @@ enum class Inject : unsigned {
   /// returned value can be torn against the validated version, the
   /// non-opaque snapshot the history checker must flag.
   Tl2UnsoundFenceElision,
+  /// Multi-process kill-point: a committing SwissTM transaction parks
+  /// in an endless spin right after taking its commit stamp — r-locks
+  /// and w-locks held, write-back not yet begun — so the
+  /// process-recovery test can SIGKILL it at the worst lazy-commit
+  /// moment and assert the survivors break the locks cleanly.
+  ParkAtCommitStamp,
   Count_,
 };
 

@@ -19,16 +19,37 @@ OrecGlobals &stm::orec::orecGlobals() { return GlobalState; }
 
 void OrecStm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
-                         resolvedLockShards(Config));
-  // The commit-ts advances under the configured clock policy; the
-  // greedy-ts always increments (the CM needs unique timestamps).
-  GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
+  GlobalState.SharedWords = SharedArena::sharedActive();
+  GlobalState.IrrevocableTok = &SharedArena::instance().orecToken();
+  if (GlobalState.SharedWords) {
+    // Multi-process mode: table, clock and token live in the shm
+    // segment; an attacher adopts the live values (a peer may hold the
+    // token right now) instead of resetting them.
+    SharedArena &A = SharedArena::instance();
+    GlobalState.Table.bindAt(
+        A.tableRegion(
+            core::LockTable<OLock>::bytesFor(Config.LockTableSizeLog2)),
+        Config.LockTableSizeLog2, Config.GranularityLog2,
+        resolvedLockShards(Config));
+    GlobalState.Clock.placeShards(A.clockRegion());
+    GlobalState.Clock.adopt(Config.Clock, resolvedClockShards(Config));
+  } else {
+    GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                           resolvedLockShards(Config));
+    GlobalState.Clock.placeShards(nullptr);
+    // The commit-ts advances under the configured clock policy; the
+    // greedy-ts always increments (the CM needs unique timestamps).
+    GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
+    GlobalState.IrrevocableTok->store(0, std::memory_order_relaxed);
+  }
   GlobalState.GreedyTs.reset();
-  GlobalState.IrrevocableTx.store(nullptr, std::memory_order_relaxed);
 }
 
-void OrecStm::globalShutdown() { globalTeardown(GlobalState.Table); }
+void OrecStm::globalShutdown() {
+  globalTeardown(GlobalState.Table);
+  GlobalState.Clock.placeShards(nullptr);
+  GlobalState.SharedWords = false;
+}
 
 //===----------------------------------------------------------------------===//
 // Irrevocability protocol
@@ -45,11 +66,16 @@ static constexpr uint64_t SerializeAux = ~0ull;
 void OrecTx::acquireTokenBlocking() {
   unsigned Spin = 0;
   while (true) {
-    OrecTx *Expected = nullptr;
-    if (GlobalState.IrrevocableTx.compare_exchange_strong(
-            Expected, this, std::memory_order_seq_cst))
+    Word Expected = 0;
+    if (GlobalState.IrrevocableTok->compare_exchange_strong(
+            Expected, Word(Slot) + 1, std::memory_order_seq_cst))
       break;
     STM_DIAG_HOOK(Slot, Switch, ::stm::diag::NoStripe, SerializeAux);
+    // A token holder that died would park this spin forever; recovery
+    // releases a dead holder's token (slot+1 encoding makes it
+    // attributable without dereferencing anything).
+    if (REPRO_UNLIKELY(GlobalState.SharedWords) && (Spin & 63) == 63)
+      SharedArena::instance().sweepDeadProcesses();
     repro::spinWait(Spin);
   }
   Irrevocable = true;
@@ -64,9 +90,9 @@ void OrecTx::acquireTokenBlocking() {
 /// successive-aborts trigger, so a repeatedly losing allocator ends up
 /// serializing at start, where waiting is safe.
 void OrecTx::becomeIrrevocableMidTx() {
-  OrecTx *Expected = nullptr;
-  if (!GlobalState.IrrevocableTx.compare_exchange_strong(
-          Expected, this, std::memory_order_seq_cst))
+  Word Expected = 0;
+  if (!GlobalState.IrrevocableTok->compare_exchange_strong(
+          Expected, Word(Slot) + 1, std::memory_order_seq_cst))
     rollback();
   Irrevocable = true;
   ++Stats.Serializations;
@@ -96,6 +122,10 @@ void OrecTx::drainOthers() {
     if (!Busy)
       return;
     STM_DIAG_HOOK(Slot, Switch, ::stm::diag::NoStripe, SerializeAux);
+    // A peer-process slot whose owner died mid-transaction stays pinned
+    // until recovered; the drain must do that itself or wedge.
+    if (REPRO_UNLIKELY(GlobalState.SharedWords) && (Spin & 63) == 63)
+      SharedArena::instance().sweepDeadProcesses();
     repro::spinWait(Spin);
   }
 }
@@ -104,7 +134,7 @@ void OrecTx::releaseIrrevocable() {
   if (!Irrevocable)
     return;
   Irrevocable = false;
-  GlobalState.IrrevocableTx.store(nullptr, std::memory_order_release);
+  GlobalState.IrrevocableTok->store(0, std::memory_order_release);
 }
 
 void OrecTx::noteAllocation() {
@@ -143,15 +173,18 @@ void OrecTx::onStart() {
       acquireTokenBlocking();
       if (BatchPin)
         EpochManager::pin(Slot);
-    } else if (GlobalState.IrrevocableTx.load(std::memory_order_acquire) !=
-               nullptr) {
+    } else if (GlobalState.IrrevocableTok->load(std::memory_order_acquire) !=
+               0) {
       // Token gate: park while someone runs serialized.
       if (BatchPin)
         EpochManager::unpin(Slot);
       unsigned Spin = 0;
-      while (GlobalState.IrrevocableTx.load(std::memory_order_acquire) !=
-             nullptr) {
+      while (GlobalState.IrrevocableTok->load(std::memory_order_acquire) !=
+             0) {
         STM_DIAG_HOOK(Slot, Switch, ::stm::diag::NoStripe, SerializeAux);
+        // Release a dead peer's token instead of parking forever.
+        if (REPRO_UNLIKELY(GlobalState.SharedWords) && (Spin & 63) == 63)
+          SharedArena::instance().sweepDeadProcesses();
         repro::spinWait(Spin);
       }
       if (BatchPin)
@@ -168,14 +201,25 @@ void OrecTx::onStart() {
   beginEpoch(GlobalState.Clock);
   if (Irrevocable) {
     drainOthers();
-  } else if (GlobalState.IrrevocableTx.load(std::memory_order_seq_cst) !=
-             nullptr) {
+  } else if (GlobalState.IrrevocableTok->load(std::memory_order_seq_cst) !=
+             0) {
     // Post-pin gate recheck: a token published between our gate check
     // and our pin fence may have missed this slot in its drain scan
     // (Dekker race); the seq_cst load above pairs with the publisher's
     // fence in drainOthers so one side always observes the other.
     rollback();
   }
+}
+
+OwnedStripe *OrecTx::ownedEntry(Word V) {
+  if (REPRO_UNLIKELY(GlobalState.SharedWords)) {
+    if (SharedArena::handleSlot(V) != Slot)
+      return nullptr;
+    return &Owned[SharedArena::handleIndex(V)];
+  }
+  OwnedStripe *Entry = olockEntry(V);
+  return Entry->Owner.load(std::memory_order_relaxed) == this ? Entry
+                                                              : nullptr;
 }
 
 Word OrecTx::load(const Word *Addr) {
@@ -188,8 +232,7 @@ Word OrecTx::load(const Word *Addr) {
   while (true) {
     STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Lock), V);
     if (olockIsLocked(V)) {
-      OwnedStripe *Entry = olockEntry(V);
-      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+      if (ownedEntry(V) != nullptr) {
         // Read-after-write: the speculative value is already in place
         // and we hold the orec, so memory is the write buffer. Not a
         // tracked read (the orec cannot change under us) — the single
@@ -201,6 +244,14 @@ Word OrecTx::load(const Word *Addr) {
       // arbitrary time and its in-place value is uncommitted). Abort.
       STM_DIAG_NOTE_CONFLICT(Slot, Addr,
                              GlobalState.Table.indexOfEntry(&Lock), V);
+      // A dead owner's orec would turn this into an abort loop; note
+      // that a dead orec owner usually poisons the segment (its
+      // in-place writes are unrecoverable), which the recovery reports.
+      if (REPRO_UNLIKELY(GlobalState.SharedWords) &&
+          SharedArena::instance().maybeRecoverRemote(V)) {
+        V = Lock.L.load(std::memory_order_acquire);
+        continue;
+      }
       rollback();
     }
     Word Value = racyLoad(Addr);
@@ -228,21 +279,34 @@ void OrecTx::store(Word *Addr, Word Value) {
 
   OwnedStripe *Mine = nullptr;
   unsigned Attempts = 0;
+  const bool Shared = GlobalState.SharedWords;
   while (true) {
     Word V = Lock.L.load(std::memory_order_acquire);
     STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Lock), V);
     if (olockIsLocked(V)) {
-      OwnedStripe *Entry = olockEntry(V);
-      OrecTx *Owner = Entry->Owner.load(std::memory_order_relaxed);
-      if (Owner == this) {
+      if (ownedEntry(V) != nullptr) {
         if (Mine != nullptr)
           Owned.popBack(); // withdraw the unused speculative entry
         break;             // stripe already ours; write below
       }
-      // Write/write conflict, detected eagerly. Note the contended
-      // stripe for both parties before the CM can kill either.
       STM_DIAG_NOTE_CONFLICT(Slot, Addr,
                              GlobalState.Table.indexOfEntry(&Lock), V);
+      if (REPRO_UNLIKELY(Shared)) {
+        // Multi-process conflict: the handle's descriptor may live in
+        // another process, so the contention manager cannot inspect or
+        // kill the owner. Break a dead owner's orec and retry; against
+        // a live one resolve timid (unless irrevocable, which by
+        // construction outlives every optimistic peer — then wait).
+        if (SharedArena::instance().maybeRecoverRemote(V))
+          continue;
+        if (!Irrevocable)
+          rollback();
+        repro::spinWait(Attempts);
+        continue;
+      }
+      // Write/write conflict, detected eagerly. Note the contended
+      // stripe for both parties before the CM can kill either.
+      OrecTx *Owner = olockEntry(V)->Owner.load(std::memory_order_relaxed);
       if (Owner != nullptr)
         STM_DIAG_NOTE_CONFLICT(Owner->threadSlot(), Addr,
                                GlobalState.Table.indexOfEntry(&Lock), V);
@@ -254,8 +318,7 @@ void OrecTx::store(Word *Addr, Word Value) {
       // attacker spinning here (pinned) on the irrevocable tx's own
       // lock would deadlock the drain.
       if (!Irrevocable &&
-          GlobalState.IrrevocableTx.load(std::memory_order_acquire) !=
-              nullptr)
+          GlobalState.IrrevocableTok->load(std::memory_order_acquire) != 0)
         rollback();
       repro::spinWait(Attempts);
       continue;
@@ -264,10 +327,15 @@ void OrecTx::store(Word *Addr, Word Value) {
       Mine = Owned.pushDefault();
       Mine->Owner.store(this, std::memory_order_relaxed);
       Mine->Lock = &Lock;
+      Mine->Self = Shared
+                       ? SharedArena::makeHandle(Owned.size() - 1, Slot)
+                       : (reinterpret_cast<Word>(Mine) | 1);
     }
     Mine->OldLock = V;
-    Word Locked = reinterpret_cast<Word>(Mine) | 1;
-    if (Lock.L.compare_exchange_weak(V, Locked, std::memory_order_acq_rel,
+    if (REPRO_UNLIKELY(Shared))
+      SharedArena::instance().pushIntent(Slot, &Lock.L, V, Mine->Self);
+    if (Lock.L.compare_exchange_weak(V, Mine->Self,
+                                     std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
       // Opacity check after acquisition: the stripe's version must not
       // postdate our snapshot unless we can extend over it.
@@ -281,9 +349,17 @@ void OrecTx::store(Word *Addr, Word Value) {
       }
       break;
     }
+    if (REPRO_UNLIKELY(Shared))
+      SharedArena::instance().popIntent(Slot);
   }
 
   // Encounter-time write-back: save the pre-image, then write in place.
+  // In multi-process mode the first in-place store makes this attempt
+  // unrecoverable by peers (pre-images live in our private undo log),
+  // so raise the eager phase flag first: if we die past this point the
+  // survivors poison the segment instead of serving torn state.
+  if (REPRO_UNLIKELY(Shared) && WordWriteCount == 0)
+    SharedArena::instance().setPhase(Slot, SharedArena::PhaseEager);
   Undo.record(Addr, racyLoad(Addr));
   STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(&Lock),
                 reinterpret_cast<Word>(Addr));
@@ -327,6 +403,11 @@ void OrecTx::commit() {
   Owned.forEach([&](OwnedStripe &E) {
     E.Lock->L.store(Release, std::memory_order_release);
   });
+  if (REPRO_UNLIKELY(GlobalState.SharedWords)) {
+    SharedArena &A = SharedArena::instance();
+    A.setPhase(Slot, SharedArena::PhaseNone);
+    A.clearIntents(Slot);
+  }
 
   if (Irrevocable) {
     ++Stats.IrrevocableCommits;
@@ -349,10 +430,14 @@ void OrecTx::rollback() {
   // entry — blindly storing OldLock would steal another owner's lock.
   Owned.forEach([](OwnedStripe &E) {
     if (E.Lock != nullptr &&
-        E.Lock->L.load(std::memory_order_relaxed) ==
-            (reinterpret_cast<Word>(&E) | 1))
+        E.Lock->L.load(std::memory_order_relaxed) == E.Self)
       E.Lock->L.store(E.OldLock, std::memory_order_release);
   });
+  if (REPRO_UNLIKELY(GlobalState.SharedWords)) {
+    SharedArena &A = SharedArena::instance();
+    A.setPhase(Slot, SharedArena::PhaseNone);
+    A.clearIntents(Slot);
+  }
 
   // A user-requested restart of an irrevocable transaction (or the
   // runtime restarting one after a lost adaptive-gate race) is legal:
@@ -370,12 +455,11 @@ bool OrecTx::validateReadSet() {
     if (Cur == R.Seen)
       continue;
     if (olockIsLocked(Cur)) {
-      OwnedStripe *Entry = olockEntry(Cur);
       // A stripe we locked *after* reading it is valid iff nobody
       // committed in between, i.e. the version we displaced is the one
       // we read.
-      if (Entry->Owner.load(std::memory_order_relaxed) == this &&
-          Entry->OldLock == R.Seen)
+      OwnedStripe *Entry = ownedEntry(Cur);
+      if (Entry != nullptr && Entry->OldLock == R.Seen)
         continue;
     }
     STM_DIAG_NOTE_CONFLICT(Slot, nullptr,

@@ -17,12 +17,13 @@
 //
 //   version << 1        when free,
 //   OwnedStripe* | 1    while a writer owns the stripe (from first
-//                       write until its commit or abort).
+//                       write until its commit or abort; a SharedArena
+//                       slot handle instead in multi-process mode).
 //
 // Irrevocability: a transaction that keeps aborting (StmConfig::
 // OrecIrrevocableAborts) or allocates heavily (OrecIrrevocableAllocs)
 // serializes itself instead of retrying optimistically. It takes the
-// single global token (OrecGlobals::IrrevocableTx), then drains every
+// single global token (OrecGlobals::IrrevocableTok), then drains every
 // *other* slot through EpochManager quiescence — the same barrier
 // protocol as the adaptive runtime's backend switch — while fresh
 // transactions park at the token gate before pinning. Once alone it
@@ -51,6 +52,7 @@
 #include "stm/core/Clock.h"
 #include "stm/core/ContentionManager.h"
 #include "stm/core/LockTable.h"
+#include "stm/core/SharedArena.h"
 #include "stm/core/Validation.h"
 #include "stm/core/VersionedLock.h"
 
@@ -71,16 +73,21 @@ struct OwnedStripe {
   std::atomic<OrecTx *> Owner{nullptr};
   OLock *Lock = nullptr;
   Word OldLock = 0; ///< lock word (version) observed at acquisition
+  /// The lock word this entry installs: the entry's tagged address in
+  /// private mode, a SharedArena handle in multi-process mode. Release
+  /// and rollback compare against it, so both modes share one path.
+  Word Self = 0;
 
   OwnedStripe() = default;
   OwnedStripe(const OwnedStripe &O)
       : Owner(O.Owner.load(std::memory_order_relaxed)), Lock(O.Lock),
-        OldLock(O.OldLock) {}
+        OldLock(O.OldLock), Self(O.Self) {}
   OwnedStripe &operator=(const OwnedStripe &O) {
     Owner.store(O.Owner.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     Lock = O.Lock;
     OldLock = O.OldLock;
+    Self = O.Self;
     return *this;
   }
 };
@@ -103,10 +110,17 @@ struct OrecGlobals {
   GlobalClock Clock;    ///< commit-ts, advances under StmConfig::Clock
   GlobalClock GreedyTs; ///< CM time base, always unique increments
   StmConfig Config;
-  /// The single irrevocability token: non-null while one transaction
-  /// runs serialized. Published with seq_cst (it is one side of a
-  /// Dekker handshake with TxBase::baseStart's pin fence).
-  std::atomic<OrecTx *> IrrevocableTx{nullptr};
+  /// The single irrevocability token, placed by SharedArena (the shm
+  /// segment header in multi-process mode, a process-local fallback
+  /// word otherwise): slot+1 of the irrevocable transaction, 0 when
+  /// free. Published with seq_cst (it is one side of a Dekker handshake
+  /// with TxBase::baseStart's pin fence). Slot-encoded rather than a
+  /// descriptor pointer so a crashed holder's token can be released by
+  /// a surviving peer process (SharedArena::recoverSlot).
+  std::atomic<Word> *IrrevocableTok = nullptr;
+  /// Cached SharedArena::sharedActive(): orecs carry slot handles
+  /// instead of descriptor pointers. Set once in globalInit.
+  bool SharedWords = false;
 };
 
 OrecGlobals &orecGlobals();
@@ -158,6 +172,13 @@ private:
 
   [[noreturn]] void rollback();
   bool validateReadSet();
+
+  /// Resolves a held orec word to this transaction's lock-set entry, or
+  /// null when another transaction owns it. Private mode dereferences
+  /// the tagged pointer; multi-process mode decodes the handle (remote
+  /// descriptors must never be dereferenced).
+  OwnedStripe *ownedEntry(Word V);
+
   void checkKill() {
     // An irrevocable transaction's in-place writes are final; it wins
     // every conflict by fiat, so a CM kill request is ignored.

@@ -10,6 +10,7 @@
 
 #include "stm/EpochManager.h"
 #include "stm/RetiredPool.h"
+#include "stm/core/SharedArena.h"
 #include "stm/diag/Hooks.h"
 #include "stm/orec/RuntimeOps.h"
 #include "stm/rstm/RuntimeOps.h"
@@ -318,6 +319,22 @@ const char *StmRuntime::name() {
 void StmRuntime::globalInit(const StmConfig &Config) {
   RuntimeGlobals &G = runtimeGlobals();
   G.Config = Config;
+  if (Config.SharedSegment[0] != '\0') {
+    // Multi-process mode constrains the backend choice. Adaptive would
+    // need a cross-process switch barrier (each process's gate only
+    // drains its own threads), and rstm's visible-reader words hold
+    // descriptor pointers on the read path too — neither fits the
+    // slot-handle protocol yet, so refuse loudly instead of corrupting.
+    if (Config.Adaptive)
+      configFatal("STM_ADAPTIVE", "1",
+                  "a fixed backend when STM_SHM_NAME is set");
+    if (Config.Backend == BackendKind::Rstm)
+      configFatal("STM_BACKEND", "rstm",
+                  "swisstm|tl2|tinystm|orec when STM_SHM_NAME is set");
+  }
+  // Place (or attach) the global-state arena before any backend lays
+  // out its clock/table: bindAt/placeShards pull regions from it.
+  SharedArena::instance().setup(Config);
   // Adaptive mode needs every backend's globals live before the first
   // switch; fixed mode pays for exactly one.
   if (Config.Adaptive) {
@@ -347,6 +364,9 @@ void StmRuntime::globalShutdown() {
       G.BackendLive[I] = false;
     }
   }
+  // After the backends released their table/clock regions; unmaps the
+  // segment (shared mode detaches, keeping peers alive).
+  SharedArena::instance().teardown();
 }
 
 BackendKind StmRuntime::activeBackend() {

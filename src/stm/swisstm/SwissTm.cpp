@@ -17,15 +17,39 @@ SwissGlobals &stm::swiss::swissGlobals() { return GlobalState; }
 
 void SwissTm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
-                         resolvedLockShards(Config));
-  // The commit-ts advances under the configured clock policy; the
-  // greedy-ts always increments (the CM needs unique timestamps).
-  GlobalState.CommitTs.reset(Config.Clock, resolvedClockShards(Config));
+  GlobalState.SharedWords = SharedArena::sharedActive();
+  if (GlobalState.SharedWords) {
+    // Multi-process mode: the lock table and commit clock live in the
+    // shm segment. An attacher must adopt the live state, never reset
+    // it, so the clock is pointed and configured without a reset (the
+    // creator's segment pages are fresh zeroes, which *is* the reset
+    // state).
+    SharedArena &A = SharedArena::instance();
+    GlobalState.Table.bindAt(
+        A.tableRegion(
+            core::LockTable<LockPair>::bytesFor(Config.LockTableSizeLog2)),
+        Config.LockTableSizeLog2, Config.GranularityLog2,
+        resolvedLockShards(Config));
+    GlobalState.CommitTs.placeShards(A.clockRegion());
+    GlobalState.CommitTs.adopt(Config.Clock, resolvedClockShards(Config));
+  } else {
+    GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                           resolvedLockShards(Config));
+    GlobalState.CommitTs.placeShards(nullptr);
+    GlobalState.CommitTs.reset(Config.Clock, resolvedClockShards(Config));
+  }
+  // The greedy-ts always increments (the CM needs unique timestamps);
+  // it stays process-private even in shared mode — cross-process
+  // conflicts resolve timid, without comparing CM timestamps.
   GlobalState.GreedyTs.reset();
 }
 
-void SwissTm::globalShutdown() { globalTeardown(GlobalState.Table); }
+void SwissTm::globalShutdown() {
+  globalTeardown(GlobalState.Table);
+  // Un-point the clock before the segment unmaps.
+  GlobalState.CommitTs.placeShards(nullptr);
+  GlobalState.SharedWords = false;
+}
 
 //===----------------------------------------------------------------------===//
 // Transaction lifecycle
@@ -42,6 +66,17 @@ void SwissTx::onStart() {
              FreshStart); // Algorithm 1, line 3
 }
 
+StripeWrite *SwissTx::ownedEntry(Word WL) {
+  if (REPRO_UNLIKELY(GlobalState.SharedWords)) {
+    if (SharedArena::handleSlot(WL) != Slot)
+      return nullptr;
+    return &WriteLog[SharedArena::handleIndex(WL)];
+  }
+  auto *Entry = reinterpret_cast<StripeWrite *>(WL);
+  return Entry->Owner.load(std::memory_order_relaxed) == this ? Entry
+                                                              : nullptr;
+}
+
 Word SwissTx::load(const Word *Addr) {
   checkKill();
   ++Stats.Reads;
@@ -54,8 +89,7 @@ Word SwissTx::load(const Word *Addr) {
   // so no other transaction can commit into this stripe.
   Word WL = Locks.WLock.load(std::memory_order_acquire);
   if (WL != 0) {
-    auto *Entry = reinterpret_cast<StripeWrite *>(WL);
-    if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+    if (StripeWrite *Entry = ownedEntry(WL)) {
       for (WordWrite *W = Entry->Head; W; W = W->Next)
         if (W->Addr == Addr)
           return W->Value;
@@ -72,6 +106,11 @@ Word SwissTx::load(const Word *Addr) {
     STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Locks), RV);
     if (rlockIsLocked(RV)) {
       checkKill();
+      // The r-lock carries no owner handle, so a committer that died
+      // holding it can only be found by sweeping; otherwise this spin
+      // would never terminate.
+      if (REPRO_UNLIKELY(GlobalState.SharedWords) && (SpinStep & 63) == 63)
+        SharedArena::instance().sweepDeadProcesses();
       repro::spinWait(SpinStep);
       RV = Locks.RLock.load(std::memory_order_acquire);
       continue;
@@ -102,24 +141,36 @@ void SwissTx::store(Word *Addr, Word Value) {
 
   StripeWrite *Mine = nullptr;
   unsigned Attempts = 0;
+  const bool Shared = GlobalState.SharedWords;
   while (true) {
     Word WL = Locks.WLock.load(std::memory_order_acquire);
     STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Locks), WL);
     if (WL != 0) {
-      auto *Entry = reinterpret_cast<StripeWrite *>(WL);
-      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+      if (StripeWrite *Entry = ownedEntry(WL)) {
         // Already own the stripe (Algorithm 1, lines 21-23).
         if (Mine != nullptr)
           WriteLog.popBack(); // withdraw the unused speculative entry
         addWordWrite(Entry, Addr, Value);
         return;
       }
+      STM_DIAG_NOTE_CONFLICT(Slot, Addr,
+                             GlobalState.Table.indexOfEntry(&Locks), WL);
+      if (REPRO_UNLIKELY(Shared)) {
+        // Multi-process conflict: the handle's descriptor may live in
+        // another process, so the contention manager cannot inspect or
+        // kill the owner. If the owner is dead, recover it and retry;
+        // otherwise resolve timid (abort self) — symmetric waiting
+        // across processes would deadlock, and the randomized back-off
+        // in onRollback prevents livelock.
+        if (SharedArena::instance().maybeRecoverRemote(WL))
+          continue;
+        rollback();
+      }
       // Write/write conflict, detected eagerly (Algorithm 1, line 26).
       // Note the contended stripe for both parties before the CM can
       // kill either: the victim's abort stays attributed to it.
+      auto *Entry = reinterpret_cast<StripeWrite *>(WL);
       SwissTx *Owner = Entry->Owner.load(std::memory_order_relaxed);
-      STM_DIAG_NOTE_CONFLICT(Slot, Addr,
-                             GlobalState.Table.indexOfEntry(&Locks), WL);
       if (Owner != nullptr)
         STM_DIAG_NOTE_CONFLICT(Owner->threadSlot(), Addr,
                                GlobalState.Table.indexOfEntry(&Locks), WL);
@@ -134,12 +185,19 @@ void SwissTx::store(Word *Addr, Word Value) {
       Mine->Owner.store(this, std::memory_order_relaxed);
       Mine->Locks = &Locks;
       Mine->Head = nullptr;
+      Mine->Self = Shared
+                       ? SharedArena::makeHandle(WriteLog.size() - 1, Slot)
+                       : reinterpret_cast<Word>(Mine);
     }
     Word Expected = 0;
-    if (Locks.WLock.compare_exchange_weak(
-            Expected, reinterpret_cast<Word>(Mine),
-            std::memory_order_acq_rel, std::memory_order_acquire))
+    if (REPRO_UNLIKELY(Shared))
+      SharedArena::instance().pushIntent(Slot, &Locks.WLock, 0, Mine->Self);
+    if (Locks.WLock.compare_exchange_weak(Expected, Mine->Self,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
       break; // acquired (Algorithm 1, line 29)
+    if (REPRO_UNLIKELY(Shared))
+      SharedArena::instance().popIntent(Slot);
   }
 
   // Opacity check after acquisition (Algorithm 1, lines 31-32). The
@@ -189,9 +247,16 @@ void SwissTx::commit() {
   // Lock the r-locks of every stripe we wrote (Algorithm 1, line 36;
   // the pseudo-code's "read-log" there is the paper's known typo for
   // the write log -- the text says "locations T has written to").
+  // Shared mode records an intent per r-lock first: the w-lock owner is
+  // the only possible r-locker, so a recovery CAS from RLockLocked can
+  // never strip a live peer's commit lock.
+  const bool Shared = GlobalState.SharedWords;
   WriteLog.forEach([&](StripeWrite &E) {
     STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(E.Locks),
                   RLockLocked);
+    if (REPRO_UNLIKELY(Shared))
+      SharedArena::instance().pushIntent(Slot, &E.Locks->RLock, E.RVersion,
+                                         RLockLocked);
     E.Locks->RLock.exchange(RLockLocked, std::memory_order_acq_rel);
   });
   // Order the r-lock stores before the data write-back below on
@@ -211,6 +276,12 @@ void SwissTx::commit() {
   });
   uint64_t Ts = Stamp.Ts;
   STM_DIAG_HOOK(Slot, CommitStamp, ::stm::diag::NoStripe, Ts);
+  // Kill-point for the process-recovery test: park here forever —
+  // stamped, every r/w-lock held, write-back not begun — so a SIGKILL
+  // lands at the worst still-recoverable lazy-commit moment.
+  if (STM_DIAG_INJECTED(ParkAtCommitStamp))
+    for (;;)
+      repro::cpuRelax();
   if (mustValidateCommit(Stamp) && !revalidate()) {
     // Failed commit-time validation: restore r-locks, roll back
     // (Algorithm 1, lines 38-41).
@@ -220,7 +291,13 @@ void SwissTx::commit() {
     rollback();
   }
 
-  // Write back and release (Algorithm 1, lines 42-45).
+  // Write back and release (Algorithm 1, lines 42-45). From the first
+  // data store until the last lock release the transaction is beyond
+  // the point of no return: mark the phase so a death inside this
+  // window poisons the segment (peers may have read half-written
+  // state) instead of being "recovered" by restoring pre-lock values.
+  if (REPRO_UNLIKELY(Shared))
+    SharedArena::instance().setPhase(Slot, SharedArena::PhaseWriteBack);
   WriteLog.forEach([&](StripeWrite &E) {
     STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(E.Locks),
                   Ts);
@@ -229,6 +306,11 @@ void SwissTx::commit() {
     E.Locks->RLock.store(rlockMake(Ts), std::memory_order_release);
     E.Locks->WLock.store(0, std::memory_order_release);
   });
+  if (REPRO_UNLIKELY(Shared)) {
+    SharedArena &A = SharedArena::instance();
+    A.setPhase(Slot, SharedArena::PhaseNone);
+    A.clearIntents(Slot);
+  }
 
   baseCommit(Ts);
 
@@ -246,6 +328,9 @@ void SwissTx::commit() {
     unsigned SpinStep = 0;
     while (repro::ThreadRegistry::minActiveStart() < Ts) {
       STM_DIAG_HOOK(Slot, Validate, ::stm::diag::NoStripe, Ts);
+      // A dead peer's slot would hold minActiveStart down forever.
+      if (REPRO_UNLIKELY(Shared) && (SpinStep & 63) == 63)
+        SharedArena::instance().sweepDeadProcesses();
       repro::spinWait(SpinStep);
     }
   }
@@ -258,10 +343,11 @@ void SwissTx::rollback() {
   // our entry -- blindly storing 0 would steal another owner's lock.
   WriteLog.forEach([](StripeWrite &E) {
     if (E.Locks != nullptr &&
-        E.Locks->WLock.load(std::memory_order_relaxed) ==
-            reinterpret_cast<Word>(&E))
+        E.Locks->WLock.load(std::memory_order_relaxed) == E.Self)
       E.Locks->WLock.store(0, std::memory_order_release);
   });
+  if (REPRO_UNLIKELY(GlobalState.SharedWords))
+    SharedArena::instance().clearIntents(Slot);
   baseAbort();
   Cm.onRollback(GlobalState.Config, Rng,
                 SuccessiveAborts); // Algorithm 1, line 49
@@ -278,8 +364,7 @@ bool SwissTx::validateReadSet() {
       // is-locked-by(r-lock, tx): the r-lock carries no owner, so check
       // the paired w-lock, which only the locking committer can hold.
       Word WL = R.Locks->WLock.load(std::memory_order_acquire);
-      if (WL != 0 && reinterpret_cast<StripeWrite *>(WL)->Owner.load(
-                         std::memory_order_relaxed) == this)
+      if (WL != 0 && ownedEntry(WL) != nullptr)
         continue;
     }
     STM_DIAG_NOTE_CONFLICT(Slot, nullptr,

@@ -42,6 +42,7 @@
 #include "stm/core/Clock.h"
 #include "stm/core/ContentionManager.h"
 #include "stm/core/LockTable.h"
+#include "stm/core/SharedArena.h"
 #include "stm/core/Validation.h"
 #include "stm/core/VersionedLock.h"
 #include "support/Backoff.h"
@@ -66,23 +67,29 @@ struct WordWrite {
 struct LockPair;
 
 /// Per-stripe entry in a transaction's write log. The stripe's w-lock
-/// points at this entry while the transaction owns the stripe.
+/// holds this entry's Self value while the transaction owns the stripe.
 struct StripeWrite {
   std::atomic<SwissTx *> Owner{nullptr};
   LockPair *Locks = nullptr;
   WordWrite *Head = nullptr;
   Word RVersion = 0; ///< r-lock value observed when the stripe was acquired
+  /// The lock word this entry installs: the entry's own address in
+  /// private mode, a SharedArena handle (log index, registry slot) in
+  /// multi-process mode. Release and rollback compare against it, so
+  /// both modes share one path.
+  Word Self = 0;
 
   StripeWrite() = default;
   StripeWrite(const StripeWrite &O)
       : Owner(O.Owner.load(std::memory_order_relaxed)), Locks(O.Locks),
-        Head(O.Head), RVersion(O.RVersion) {}
+        Head(O.Head), RVersion(O.RVersion), Self(O.Self) {}
   StripeWrite &operator=(const StripeWrite &O) {
     Owner.store(O.Owner.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     Locks = O.Locks;
     Head = O.Head;
     RVersion = O.RVersion;
+    Self = O.Self;
     return *this;
   }
 };
@@ -106,6 +113,9 @@ struct SwissGlobals {
   GlobalClock CommitTs; ///< "commit-ts" of Algorithm 1 (StmConfig::Clock)
   GlobalClock GreedyTs; ///< "greedy-ts" of Algorithm 2 (always gv1)
   StmConfig Config;
+  /// Cached SharedArena::sharedActive(): w-locks carry slot handles
+  /// instead of descriptor pointers. Set once in globalInit.
+  bool SharedWords = false;
 };
 
 /// Returns the process-wide SwissTM globals.
@@ -161,6 +171,12 @@ private:
 
   /// Finds/extends the buffered write of \p Addr in stripe entry \p E.
   void addWordWrite(StripeWrite *E, Word *Addr, Word Value);
+
+  /// Resolves a held w-lock word to this transaction's write-log entry,
+  /// or null when another transaction owns it. Private mode dereferences
+  /// the pointer; multi-process mode decodes the handle (remote
+  /// descriptors must never be dereferenced).
+  StripeWrite *ownedEntry(Word WL);
 
   core::ContentionManager<core::TwoPhaseMode::Native> Cm;
   unsigned WordWriteCount = 0;

@@ -17,12 +17,31 @@ TinyGlobals &stm::tiny::tinyGlobals() { return GlobalState; }
 
 void TinyStm::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
-                         resolvedLockShards(Config));
-  GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
+  GlobalState.SharedWords = SharedArena::sharedActive();
+  if (GlobalState.SharedWords) {
+    // Multi-process mode: table and clock live in the shm segment; an
+    // attacher adopts the live values instead of resetting them.
+    SharedArena &A = SharedArena::instance();
+    GlobalState.Table.bindAt(
+        A.tableRegion(
+            core::LockTable<VLock>::bytesFor(Config.LockTableSizeLog2)),
+        Config.LockTableSizeLog2, Config.GranularityLog2,
+        resolvedLockShards(Config));
+    GlobalState.Clock.placeShards(A.clockRegion());
+    GlobalState.Clock.adopt(Config.Clock, resolvedClockShards(Config));
+  } else {
+    GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                           resolvedLockShards(Config));
+    GlobalState.Clock.placeShards(nullptr);
+    GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
+  }
 }
 
-void TinyStm::globalShutdown() { globalTeardown(GlobalState.Table); }
+void TinyStm::globalShutdown() {
+  globalTeardown(GlobalState.Table);
+  GlobalState.Clock.placeShards(nullptr);
+  GlobalState.SharedWords = false;
+}
 
 void TinyTx::onStart() {
   baseStart();
@@ -30,6 +49,17 @@ void TinyTx::onStart() {
   WriteLog.clear();
   WordLog.clear();
   beginEpoch(GlobalState.Clock);
+}
+
+StripeWrite *TinyTx::ownedEntry(Word V) {
+  if (REPRO_UNLIKELY(GlobalState.SharedWords)) {
+    if (SharedArena::handleSlot(V) != Slot)
+      return nullptr;
+    return &WriteLog[SharedArena::handleIndex(V)];
+  }
+  StripeWrite *Entry = vlockEntry(V);
+  return Entry->Owner.load(std::memory_order_relaxed) == this ? Entry
+                                                              : nullptr;
 }
 
 Word TinyTx::load(const Word *Addr) {
@@ -40,8 +70,7 @@ Word TinyTx::load(const Word *Addr) {
   while (true) {
     STM_DIAG_HOOK(Slot, Read, GlobalState.Table.indexOfEntry(&Lock), V);
     if (vlockIsLocked(V)) {
-      StripeWrite *Entry = vlockEntry(V);
-      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+      if (StripeWrite *Entry = ownedEntry(V)) {
         // Read-after-write through the encounter-time lock.
         for (WordWrite *W = Entry->Head; W; W = W->Next)
           if (W->Addr == Addr)
@@ -53,6 +82,13 @@ Word TinyTx::load(const Word *Addr) {
       // the paper contrasts with SwissTM's lazy read/write detection.
       STM_DIAG_NOTE_CONFLICT(Slot, Addr,
                              GlobalState.Table.indexOfEntry(&Lock), V);
+      // A dead owner's lock would turn the timid abort into an abort
+      // loop; break it (throttled) before rolling back.
+      if (REPRO_UNLIKELY(GlobalState.SharedWords) &&
+          SharedArena::instance().maybeRecoverRemote(V)) {
+        V = Lock.L.load(std::memory_order_acquire);
+        continue;
+      }
       rollback();
     }
     Word Value = racyLoad(Addr);
@@ -90,20 +126,24 @@ void TinyTx::store(Word *Addr, Word Value) {
   VLock &Lock = GlobalState.Table.entryFor(Addr);
 
   StripeWrite *Mine = nullptr;
+  const bool Shared = GlobalState.SharedWords;
   while (true) {
     Word V = Lock.L.load(std::memory_order_acquire);
     STM_DIAG_HOOK(Slot, Acquire, GlobalState.Table.indexOfEntry(&Lock), V);
     if (vlockIsLocked(V)) {
-      StripeWrite *Entry = vlockEntry(V);
-      if (Entry->Owner.load(std::memory_order_relaxed) == this) {
+      if (StripeWrite *Entry = ownedEntry(V)) {
         if (Mine != nullptr)
           WriteLog.popBack();
         addWordWrite(Entry, Addr, Value);
         return;
       }
-      // Write/write conflict: timid, abort self.
+      // Write/write conflict: timid, abort self (after breaking a dead
+      // peer's lock in multi-process mode).
       STM_DIAG_NOTE_CONFLICT(Slot, Addr,
                              GlobalState.Table.indexOfEntry(&Lock), V);
+      if (REPRO_UNLIKELY(Shared) &&
+          SharedArena::instance().maybeRecoverRemote(V))
+        continue;
       rollback();
     }
     if (Mine == nullptr) {
@@ -111,12 +151,19 @@ void TinyTx::store(Word *Addr, Word Value) {
       Mine->Owner.store(this, std::memory_order_relaxed);
       Mine->Lock = &Lock;
       Mine->Head = nullptr;
+      Mine->Self = Shared
+                       ? SharedArena::makeHandle(WriteLog.size() - 1, Slot)
+                       : (reinterpret_cast<Word>(Mine) | 1);
     }
     Mine->OldValue = V;
-    Word Locked = reinterpret_cast<Word>(Mine) | 1;
-    if (Lock.L.compare_exchange_weak(V, Locked, std::memory_order_acq_rel,
+    if (REPRO_UNLIKELY(Shared))
+      SharedArena::instance().pushIntent(Slot, &Lock.L, V, Mine->Self);
+    if (Lock.L.compare_exchange_weak(V, Mine->Self,
+                                     std::memory_order_acq_rel,
                                      std::memory_order_acquire))
       break;
+    if (REPRO_UNLIKELY(Shared))
+      SharedArena::instance().popIntent(Slot);
   }
 
   if (vlockVersion(Mine->OldValue) > ValidTs &&
@@ -174,6 +221,9 @@ void TinyTx::commit() {
 
   // Write back and release each stripe with the commit timestamp.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  const bool Shared = GlobalState.SharedWords;
+  if (REPRO_UNLIKELY(Shared))
+    SharedArena::instance().setPhase(Slot, SharedArena::PhaseWriteBack);
   Word Release = vlockMake(Ts);
   WriteLog.forEach([&](StripeWrite &E) {
     STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(E.Lock),
@@ -182,6 +232,11 @@ void TinyTx::commit() {
       racyStore(W->Addr, W->Value);
     E.Lock->L.store(Release, std::memory_order_release);
   });
+  if (REPRO_UNLIKELY(Shared)) {
+    SharedArena &A = SharedArena::instance();
+    A.setPhase(Slot, SharedArena::PhaseNone);
+    A.clearIntents(Slot);
+  }
 
   baseCommit(Ts);
 }
@@ -196,6 +251,9 @@ REPRO_NOINLINE void TinyTx::commitSingleFence() {
   if (!revalidate())
     rollback();
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  const bool Shared = GlobalState.SharedWords;
+  if (REPRO_UNLIKELY(Shared))
+    SharedArena::instance().setPhase(Slot, SharedArena::PhaseWriteBack);
   WriteLog.forEach([&](StripeWrite &E) {
     STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexOfEntry(E.Lock),
                   0);
@@ -216,19 +274,25 @@ REPRO_NOINLINE void TinyTx::commitSingleFence() {
   WriteLog.forEach([&](StripeWrite &E) {
     E.Lock->L.store(Release, std::memory_order_release);
   });
+  if (REPRO_UNLIKELY(Shared)) {
+    SharedArena &A = SharedArena::instance();
+    A.setPhase(Slot, SharedArena::PhaseNone);
+    A.clearIntents(Slot);
+  }
   baseCommit(Ts);
 }
 
 void TinyTx::rollback() {
   // Release owned stripes back to their pre-acquisition versions. The
   // last entry may be speculative (its CAS never succeeded before the
-  // abort), so only touch locks that actually point at our entry.
+  // abort), so only touch locks that actually hold our entry's word.
   WriteLog.forEach([](StripeWrite &E) {
     if (E.Lock != nullptr &&
-        E.Lock->L.load(std::memory_order_relaxed) ==
-            (reinterpret_cast<Word>(&E) | 1))
+        E.Lock->L.load(std::memory_order_relaxed) == E.Self)
       E.Lock->L.store(E.OldValue, std::memory_order_release);
   });
+  if (REPRO_UNLIKELY(GlobalState.SharedWords))
+    SharedArena::instance().clearIntents(Slot);
   baseAbort();
   std::longjmp(*EnvTarget, 1);
 }
@@ -243,8 +307,8 @@ bool TinyTx::validateReadSet() {
       // other transaction committed into it between our read and our
       // acquisition, i.e. the version observed when the lock was taken
       // is still the version we read.
-      StripeWrite *Entry = vlockEntry(Cur);
-      if (Entry->Owner.load(std::memory_order_relaxed) == this &&
+      StripeWrite *Entry = ownedEntry(Cur);
+      if (Entry != nullptr &&
           // The PR 1 regression knob resurrects the original bug:
           // trusting any self-locked stripe without checking that the
           // pre-acquisition version is still the version we read.

@@ -64,17 +64,22 @@ struct StripeWrite {
   VLock *Lock = nullptr;
   WordWrite *Head = nullptr;
   Word OldValue = 0; ///< lock word (version) observed at acquisition
+  /// The lock word this entry installs: the entry's tagged address in
+  /// private mode, a SharedArena handle in multi-process mode. Release
+  /// and rollback compare against it, so both modes share one path.
+  Word Self = 0;
 
   StripeWrite() = default;
   StripeWrite(const StripeWrite &O)
       : Owner(O.Owner.load(std::memory_order_relaxed)), Lock(O.Lock),
-        Head(O.Head), OldValue(O.OldValue) {}
+        Head(O.Head), OldValue(O.OldValue), Self(O.Self) {}
   StripeWrite &operator=(const StripeWrite &O) {
     Owner.store(O.Owner.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     Lock = O.Lock;
     Head = O.Head;
     OldValue = O.OldValue;
+    Self = O.Self;
     return *this;
   }
 };
@@ -96,6 +101,9 @@ struct TinyGlobals {
   core::LockTable<VLock> Table;
   GlobalClock Clock; ///< advances under StmConfig::Clock
   StmConfig Config;
+  /// Cached SharedArena::sharedActive(): stripe locks carry slot
+  /// handles instead of descriptor pointers. Set once in globalInit.
+  bool SharedWords = false;
 };
 
 TinyGlobals &tinyGlobals();
@@ -123,6 +131,12 @@ private:
   [[noreturn]] void rollback();
   bool validateReadSet();
   void addWordWrite(StripeWrite *Entry, Word *Addr, Word Value);
+
+  /// Resolves a held lock word to this transaction's write-log entry,
+  /// or null when another transaction owns it. Private mode dereferences
+  /// the tagged pointer; multi-process mode decodes the handle (remote
+  /// descriptors must never be dereferenced).
+  StripeWrite *ownedEntry(Word V);
   /// Tail of commit() for single-fence mode (STM_SINGLE_FENCE); out of
   /// line so the off-by-default ordering variant does not sit in the
   /// default commit path's I-cache footprint.

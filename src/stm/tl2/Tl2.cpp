@@ -19,12 +19,31 @@ Tl2Globals &stm::tl2::tl2Globals() { return GlobalState; }
 
 void Tl2::globalInit(const StmConfig &Config) {
   GlobalState.Config = Config;
-  GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
-                         resolvedLockShards(Config));
-  GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
+  GlobalState.SharedWords = SharedArena::sharedActive();
+  if (GlobalState.SharedWords) {
+    // Multi-process mode: table and clock live in the shm segment; an
+    // attacher adopts the live values instead of resetting them.
+    SharedArena &A = SharedArena::instance();
+    GlobalState.Table.bindAt(
+        A.tableRegion(
+            core::LockTable<VLock>::bytesFor(Config.LockTableSizeLog2)),
+        Config.LockTableSizeLog2, Config.GranularityLog2,
+        resolvedLockShards(Config));
+    GlobalState.Clock.placeShards(A.clockRegion());
+    GlobalState.Clock.adopt(Config.Clock, resolvedClockShards(Config));
+  } else {
+    GlobalState.Table.init(Config.LockTableSizeLog2, Config.GranularityLog2,
+                           resolvedLockShards(Config));
+    GlobalState.Clock.placeShards(nullptr);
+    GlobalState.Clock.reset(Config.Clock, resolvedClockShards(Config));
+  }
 }
 
-void Tl2::globalShutdown() { globalTeardown(GlobalState.Table); }
+void Tl2::globalShutdown() {
+  globalTeardown(GlobalState.Table);
+  GlobalState.Clock.placeShards(nullptr);
+  GlobalState.SharedWords = false;
+}
 
 void Tl2Tx::onStart() {
   baseStart();
@@ -70,6 +89,10 @@ Word Tl2Tx::load(const Word *Addr) {
   if (vlockIsLocked(V1) || V1 != V2) {
     STM_DIAG_NOTE_CONFLICT(Slot, Addr, GlobalState.Table.indexOfEntry(&Lock),
                            V1);
+    // A committer that died holding this stripe would turn the timid
+    // abort into an abort loop; the throttled liveness probe breaks it.
+    if (REPRO_UNLIKELY(GlobalState.SharedWords) && vlockIsLocked(V1))
+      SharedArena::instance().maybeRecoverRemote(V1);
     rollback();
   }
   if (vlockVersion(V1) > ValidTs) {
@@ -107,7 +130,8 @@ void Tl2Tx::store(Word *Addr, Word Value) {
 }
 
 bool Tl2Tx::acquireWriteSet() {
-  Word Self = reinterpret_cast<Word>(this) | 1;
+  const bool Shared = GlobalState.SharedWords;
+  Word Self = selfWord();
   for (const WriteEntry &W : WriteLog) {
     VLock &Lock = GlobalState.Table.entryFor(W.Addr);
     unsigned Spins = 0;
@@ -117,16 +141,24 @@ bool Tl2Tx::acquireWriteSet() {
       if (V == Self)
         break; // another word of an already-acquired stripe
       if (!vlockIsLocked(V)) {
+        if (REPRO_UNLIKELY(Shared))
+          SharedArena::instance().pushIntent(Slot, &Lock.L, V, Self);
         if (Lock.L.compare_exchange_weak(V, Self,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
           AcquiredLocks.push_back(Acquired{&Lock, V});
           break;
         }
+        if (REPRO_UNLIKELY(Shared))
+          SharedArena::instance().popIntent(Slot);
         continue;
       }
       // Locked by another committer: timid policy with a short bounded
-      // spin, then abort self.
+      // spin, then abort self. A dead peer's lock is broken instead of
+      // waited on.
+      if (REPRO_UNLIKELY(Shared) &&
+          SharedArena::instance().maybeRecoverRemote(V))
+        continue;
       if (++Spins > AcquireSpinLimit) {
         STM_DIAG_NOTE_CONFLICT(Slot, W.Addr,
                                GlobalState.Table.indexOfEntry(&Lock), V);
@@ -139,7 +171,7 @@ bool Tl2Tx::acquireWriteSet() {
 }
 
 bool Tl2Tx::validateReadSet() {
-  Word Self = reinterpret_cast<Word>(this) | 1;
+  Word Self = selfWord();
   for (VLock *Lock : ReadLog) {
     Word V = Lock->L.load(std::memory_order_acquire);
     if (V == Self) {
@@ -213,6 +245,9 @@ void Tl2Tx::commit() {
   if (mustValidateCommit(Stamp) && !revalidate())
     rollbackReleasing();
 
+  const bool Shared = GlobalState.SharedWords;
+  if (REPRO_UNLIKELY(Shared))
+    SharedArena::instance().setPhase(Slot, SharedArena::PhaseWriteBack);
   for (const WriteEntry &W : WriteLog) {
     STM_DIAG_HOOK(Slot, WriteBack,
                   GlobalState.Table.indexFor(W.Addr), WriteVersion);
@@ -222,6 +257,11 @@ void Tl2Tx::commit() {
   Word Release = vlockMake(WriteVersion);
   for (const Acquired &A : AcquiredLocks)
     A.Lock->L.store(Release, std::memory_order_release);
+  if (REPRO_UNLIKELY(Shared)) {
+    SharedArena &A = SharedArena::instance();
+    A.setPhase(Slot, SharedArena::PhaseNone);
+    A.clearIntents(Slot);
+  }
 
   baseCommit(WriteVersion);
 }
@@ -237,6 +277,9 @@ void Tl2Tx::commit() {
 REPRO_NOINLINE void Tl2Tx::commitSingleFence() {
   if (!revalidate())
     rollbackReleasing();
+  const bool Shared = GlobalState.SharedWords;
+  if (REPRO_UNLIKELY(Shared))
+    SharedArena::instance().setPhase(Slot, SharedArena::PhaseWriteBack);
   for (const WriteEntry &W : WriteLog) {
     STM_DIAG_HOOK(Slot, WriteBack, GlobalState.Table.indexFor(W.Addr), 0);
     racyStore(W.Addr, W.Value);
@@ -253,10 +296,17 @@ REPRO_NOINLINE void Tl2Tx::commitSingleFence() {
   Word Release = vlockMake(WriteVersion);
   for (const Acquired &A : AcquiredLocks)
     A.Lock->L.store(Release, std::memory_order_release);
+  if (REPRO_UNLIKELY(Shared)) {
+    SharedArena &Arena = SharedArena::instance();
+    Arena.setPhase(Slot, SharedArena::PhaseNone);
+    Arena.clearIntents(Slot);
+  }
   baseCommit(WriteVersion);
 }
 
 void Tl2Tx::rollback() {
+  if (REPRO_UNLIKELY(GlobalState.SharedWords))
+    SharedArena::instance().clearIntents(Slot);
   baseAbort();
   std::longjmp(*EnvTarget, 1);
 }

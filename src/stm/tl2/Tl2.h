@@ -61,6 +61,9 @@ struct Tl2Globals {
   core::LockTable<VLock> Table;
   GlobalClock Clock; ///< advances under StmConfig::Clock
   StmConfig Config;
+  /// Cached SharedArena::sharedActive(): commit locks carry slot
+  /// handles instead of descriptor pointers. Set once in globalInit.
+  bool SharedWords = false;
 };
 
 Tl2Globals &tl2Globals();
@@ -100,6 +103,15 @@ private:
 
   /// Number of CAS attempts per lock before giving up and aborting.
   static constexpr unsigned AcquireSpinLimit = 32;
+
+  /// The value this descriptor installs in acquired lock words. TL2
+  /// never dereferences it (locks are only compared), so multi-process
+  /// mode just substitutes a slot handle for the tagged pointer.
+  Word selfWord() const {
+    if (REPRO_UNLIKELY(tl2Globals().SharedWords))
+      return SharedArena::makeHandle(0, Slot);
+    return reinterpret_cast<Word>(this) | 1;
+  }
 
   std::vector<VLock *> ReadLog;
   std::vector<WriteEntry> WriteLog;

@@ -14,9 +14,13 @@ using namespace repro;
 
 Padded<std::atomic<uint64_t>> ThreadRegistry::ActiveSince[MaxThreads];
 std::atomic<uint64_t> ThreadRegistry::SlotMask{0};
+std::atomic<Padded<std::atomic<uint64_t>> *> ThreadRegistry::ActiveP{
+    ThreadRegistry::ActiveSince};
+std::atomic<std::atomic<uint64_t> *> ThreadRegistry::MaskP{
+    &ThreadRegistry::SlotMask};
 
 unsigned ThreadRegistry::acquireSlot() {
-  uint64_t Mask = SlotMask.load(std::memory_order_relaxed);
+  uint64_t Mask = mask().load(std::memory_order_relaxed);
   while (true) {
     if (Mask == ~0ull) {
       std::fprintf(stderr,
@@ -25,10 +29,9 @@ unsigned ThreadRegistry::acquireSlot() {
       std::abort();
     }
     unsigned Slot = static_cast<unsigned>(__builtin_ctzll(~Mask));
-    if (SlotMask.compare_exchange_weak(Mask, Mask | (1ull << Slot),
-                                       std::memory_order_acq_rel)) {
-      ActiveSince[Slot].value().store(IdleTimestamp,
-                                      std::memory_order_release);
+    if (mask().compare_exchange_weak(Mask, Mask | (1ull << Slot),
+                                     std::memory_order_acq_rel)) {
+      active()[Slot].value().store(IdleTimestamp, std::memory_order_release);
       return Slot;
     }
   }
@@ -36,10 +39,10 @@ unsigned ThreadRegistry::acquireSlot() {
 
 void ThreadRegistry::releaseSlot(unsigned Slot) {
   assert(Slot < MaxThreads && "slot out of range");
-  assert(ActiveSince[Slot].value().load(std::memory_order_acquire) ==
+  assert(active()[Slot].value().load(std::memory_order_acquire) ==
              IdleTimestamp &&
          "releasing a slot with a transaction in flight");
-  SlotMask.fetch_and(~(1ull << Slot), std::memory_order_acq_rel);
+  mask().fetch_and(~(1ull << Slot), std::memory_order_acq_rel);
 }
 
 uint64_t ThreadRegistry::minActiveStart() {
@@ -48,7 +51,7 @@ uint64_t ThreadRegistry::minActiveStart() {
   while (Mask != 0) {
     unsigned Slot = static_cast<unsigned>(__builtin_ctzll(Mask));
     Mask &= Mask - 1;
-    uint64_t Ts = ActiveSince[Slot].value().load(std::memory_order_acquire);
+    uint64_t Ts = active()[Slot].value().load(std::memory_order_acquire);
     if (Ts < Min)
       Min = Ts;
   }
@@ -56,6 +59,36 @@ uint64_t ThreadRegistry::minActiveStart() {
 }
 
 unsigned ThreadRegistry::highWaterMark() {
-  uint64_t Mask = SlotMask.load(std::memory_order_acquire);
+  uint64_t Mask = mask().load(std::memory_order_acquire);
   return Mask == 0 ? 0u : 64u - static_cast<unsigned>(__builtin_clzll(Mask));
+}
+
+void ThreadRegistry::placeStorage(Padded<std::atomic<uint64_t>> *Active,
+                                  std::atomic<uint64_t> *NewMask,
+                                  bool CopyCurrent) {
+  if (CopyCurrent) {
+    for (unsigned Slot = 0; Slot < MaxThreads; ++Slot)
+      Active[Slot].value().store(
+          active()[Slot].value().load(std::memory_order_acquire),
+          std::memory_order_release);
+    NewMask->store(mask().load(std::memory_order_acquire),
+                   std::memory_order_release);
+  }
+  ActiveP.store(Active, std::memory_order_release);
+  MaskP.store(NewMask, std::memory_order_release);
+}
+
+void ThreadRegistry::resetStorage(uint64_t KeepMask) {
+  if (ActiveP.load(std::memory_order_relaxed) == ActiveSince)
+    return;
+  for (unsigned Slot = 0; Slot < MaxThreads; ++Slot)
+    ActiveSince[Slot].value().store(
+        (KeepMask >> Slot) & 1
+            ? active()[Slot].value().load(std::memory_order_acquire)
+            : IdleTimestamp,
+        std::memory_order_release);
+  SlotMask.store(mask().load(std::memory_order_acquire) & KeepMask,
+                 std::memory_order_release);
+  ActiveP.store(ActiveSince, std::memory_order_release);
+  MaskP.store(&SlotMask, std::memory_order_release);
 }

@@ -31,6 +31,13 @@ inline constexpr uint64_t IdleTimestamp = ~0ull;
 /// Process-wide registry of transactional threads. All members are
 /// static; the registry exists for the lifetime of the process and is
 /// reset only by tests.
+///
+/// The slot storage normally lives in the in-image fallback arrays, but
+/// the shared arena (stm/core/SharedArena.h) can redirect it into a shm
+/// segment so slot ids and activity timestamps are global across a
+/// fleet of processes. The indirection costs one relaxed pointer load
+/// on the hot publish paths; the pointer only changes inside
+/// globalInit/globalShutdown, never while a transaction is in flight.
 class ThreadRegistry {
 public:
   /// Claims a fresh slot and returns its dense id. Aborts if more than
@@ -44,12 +51,12 @@ public:
   /// Publishes that \p Slot started a transaction whose reads are valid
   /// as of \p StartTs. Called on every transaction (re)start.
   static void publishStart(unsigned Slot, uint64_t StartTs) {
-    ActiveSince[Slot].value().store(StartTs, std::memory_order_release);
+    active()[Slot].value().store(StartTs, std::memory_order_release);
   }
 
   /// Publishes that \p Slot has no transaction in flight.
   static void publishIdle(unsigned Slot) {
-    ActiveSince[Slot].value().store(IdleTimestamp, std::memory_order_release);
+    active()[Slot].value().store(IdleTimestamp, std::memory_order_release);
   }
 
   /// Returns the smallest start timestamp over all slots that currently
@@ -61,15 +68,38 @@ public:
   /// Scanned by the reclaimers (stm/TxMemory.h, stm/EpochManager.h) so
   /// they only inspect slots that can hold an in-flight transaction.
   static uint64_t activeMask() {
-    return SlotMask.load(std::memory_order_acquire);
+    return mask().load(std::memory_order_acquire);
   }
 
   /// Number of slots ever claimed concurrently (high-water mark).
   static unsigned highWaterMark();
 
+  /// Redirects the slot storage to externally placed arrays (a shm
+  /// segment). When \p CopyCurrent, the current values are copied into
+  /// the new storage first — the segment creator carries its live state
+  /// in; an attacher binds the segment's live state untouched. Must only
+  /// be called while this process has no transaction in flight.
+  static void placeStorage(Padded<std::atomic<uint64_t>> *Active,
+                           std::atomic<uint64_t> *Mask, bool CopyCurrent);
+
+  /// Re-points the registry at the in-image fallback arrays
+  /// (shared-arena teardown), carrying back only the slots named by
+  /// \p KeepMask — the caller knows which slots belong to this process;
+  /// remote processes' slots must not survive as phantom local state.
+  static void resetStorage(uint64_t KeepMask);
+
 private:
+  static Padded<std::atomic<uint64_t>> *active() {
+    return ActiveP.load(std::memory_order_relaxed);
+  }
+  static std::atomic<uint64_t> &mask() {
+    return *MaskP.load(std::memory_order_relaxed);
+  }
+
   static Padded<std::atomic<uint64_t>> ActiveSince[MaxThreads];
   static std::atomic<uint64_t> SlotMask; // bit set = slot in use (<=64 slots)
+  static std::atomic<Padded<std::atomic<uint64_t>> *> ActiveP;
+  static std::atomic<std::atomic<uint64_t> *> MaskP;
 };
 
 } // namespace repro

@@ -15,6 +15,7 @@
 #define WORKLOADS_RBTREE_RBTREE_H
 
 #include "stm/Stm.h"
+#include "stm/core/SharedArena.h"
 
 #include <cassert>
 #include <cstdint>
@@ -38,8 +39,16 @@ public:
     stm::Word Parent; // Node*
   };
 
+  /// In multi-process mode the tree header (RootCell) and sentinel are
+  /// written transactionally, so a heap-allocated tree must land in the
+  /// shared segment — fork'd peers otherwise diverge on COW pages.
+  static void *operator new(std::size_t Bytes) {
+    return stm::sharedAlloc(Bytes);
+  }
+  static void operator delete(void *P) { stm::sharedDispatchFree(P); }
+
   RbTree() {
-    Nil = static_cast<Node *>(std::malloc(sizeof(Node)));
+    Nil = static_cast<Node *>(stm::sharedAlloc(sizeof(Node)));
     Nil->Key = 0;
     Nil->Value = 0;
     Nil->Col = Black;
@@ -51,7 +60,7 @@ public:
 
   ~RbTree() {
     destroySubtree(rootRaw());
-    std::free(Nil);
+    stm::sharedDispatchFree(Nil);
   }
 
   RbTree(const RbTree &) = delete;
@@ -376,7 +385,7 @@ private:
       return;
     destroySubtree(reinterpret_cast<Node *>(N->Left));
     destroySubtree(reinterpret_cast<Node *>(N->Right));
-    std::free(N);
+    stm::sharedDispatchFree(N); // nodes come from txMalloc's dispatcher
   }
 
   std::size_t countSubtree(Node *N) const {

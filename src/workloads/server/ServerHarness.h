@@ -90,15 +90,17 @@ struct ServerResult {
   }
 };
 
-/// Runs the serving workload against \p R and returns the measurements.
-/// \p R must be the process's live runtime; the calling thread is used
-/// for populate and the post-run audit.
-inline ServerResult runServer(stm::Runtime &R, const ServerConfig &Config) {
+/// Runs the serving traffic of one process against an already-populated
+/// \p Store. Factored out of runServer so a multi-process bench can fork
+/// workers over one segment-resident store: each process drives its own
+/// share of the offered load, and only the parent audits conservation
+/// (pass Audit=false in children — the invariant is global, not
+/// per-process).
+inline ServerResult runServerOn(stm::Runtime &R, const ServerConfig &Config,
+                                ShardedStore &Store, bool Audit = true) {
   using Tx = ShardedStore::Tx;
 
   const uint64_t Seed = Config.Seed ? Config.Seed : repro::testSeed();
-  ShardedStore Store(Config.Shards, Config.KeySpace, Config.Auctions);
-  Store.populate(R);
 
   std::vector<std::unique_ptr<RequestQueue<Request>>> Queues;
   for (unsigned W = 0; W < Config.Workers; ++W)
@@ -271,8 +273,17 @@ inline ServerResult runServer(stm::Runtime &R, const ServerConfig &Config) {
   for (unsigned C = 0; C < NumOpClasses; ++C)
     Result.HistogramViolations += Result.Hist[C].invariantViolations();
   Result.BackendSwitches = R.switchCount();
-  Result.ConservationOk = Store.checkConservation(R);
+  Result.ConservationOk = Audit ? Store.checkConservation(R) : true;
   return Result;
+}
+
+/// Runs the serving workload against \p R and returns the measurements.
+/// \p R must be the process's live runtime; the calling thread is used
+/// for populate and the post-run audit.
+inline ServerResult runServer(stm::Runtime &R, const ServerConfig &Config) {
+  ShardedStore Store(Config.Shards, Config.KeySpace, Config.Auctions);
+  Store.populate(R);
+  return runServerOn(R, Config, Store, /*Audit=*/true);
 }
 
 } // namespace workloads::server

@@ -76,6 +76,17 @@ public:
   /// Every key starts with this balance; transfers move slices of it.
   static constexpr uint64_t InitialBalance = 1000;
 
+  /// Multi-process runs allocate the store with `new` *before* forking
+  /// workers: the object (whose AuctionTable root is written
+  /// transactionally) then lives in the shared segment, and the
+  /// fork-inherited shard directory (a private, read-only-after-populate
+  /// vector) stays valid by COW. The trees and their nodes are already
+  /// segment-resident via RbTree's allocator hooks.
+  static void *operator new(std::size_t Bytes) {
+    return stm::sharedAlloc(Bytes);
+  }
+  static void operator delete(void *P) { stm::sharedDispatchFree(P); }
+
   ShardedStore(unsigned NumShards, uint64_t KeySpace, uint64_t Auctions)
       : KeySpace(KeySpace), Auctions(Auctions),
         KeysPerShard((KeySpace + NumShards - 1) / NumShards),

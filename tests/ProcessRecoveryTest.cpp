@@ -1,0 +1,324 @@
+//===- tests/ProcessRecoveryTest.cpp - SIGKILL process-death recovery ------===//
+//
+// Part of the SwissTM reproduction (PLDI 2009).
+//
+// The multi-process kill harness: fork worker processes over a shared
+// segment, SIGKILL them at schedule-controlled points, and assert the
+// survivors detect the death, break the corpse's stripe locks, keep
+// committing, and that the conservation audit over the shared account
+// array still balances. The kill points, in order of nastiness:
+//
+//   * pre-acquire — the victim is bound to a slot but holds nothing;
+//     recovery just retires the slot;
+//   * holding write locks, pre-stamp — SwissTM's eager WLock acquire
+//     means an in-flight writer parked mid-transaction holds stripes;
+//     recovery must replay its intent log to free them;
+//   * post-stamp, pre-write-back — the worst recoverable lazy-commit
+//     moment, reached deterministically via the ParkAtCommitStamp
+//     injection (STM_DIAG builds only);
+//   * mid write-back — NOT recoverable by design: the phase word is
+//     set, and recovery must poison the segment loudly instead of
+//     letting survivors read half-written data.
+//
+// Children are forked after globalInit and therefore inherit the
+// creator flag: they must never call globalShutdown (which would
+// unlink the live segment) — the killed ones can't, and the clean one
+// _exits around it. STM_KILLSTRESS=<n> scales the victim count for the
+// nightly `ctest -L killstress` leg.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include "stm/core/SharedArena.h"
+#include "stm/diag/Hooks.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace stm;
+using repro_test::Rt;
+
+namespace {
+
+constexpr unsigned NumAccounts = 64;
+constexpr Word InitialBalance = 100;
+
+/// Victims per kill point: 2 in the tier-1 run, scaled up by
+/// STM_KILLSTRESS for the nightly killstress leg.
+unsigned killIterations() {
+  const char *Env = std::getenv("STM_KILLSTRESS");
+  if (Env != nullptr && Env[0] != '\0') {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0 && V <= 1000)
+      return unsigned(V);
+  }
+  return 2;
+}
+
+void segName(const char *Tag, char *Out, std::size_t Len) {
+  std::snprintf(Out, Len, "swisstm-kill-%s-%d", Tag, int(getpid()));
+}
+
+StmConfig sharedConfig(const char *Name) {
+  StmConfig Config;
+  Config.Backend = rt::BackendKind::SwissTm;
+  Config.Adaptive = false;
+  Config.LockTableSizeLog2 = 16;
+  std::snprintf(Config.SharedSegment, sizeof(Config.SharedSegment), "%s",
+                Name);
+  return Config;
+}
+
+/// Creates the segment, places the account array in the shared heap and
+/// funds it. Returns the array; tears down via teardown().
+struct KillFixture {
+  char Name[64];
+  Word *Acc = nullptr;
+
+  explicit KillFixture(const char *Tag) {
+    segName(Tag, Name, sizeof(Name));
+    SharedArena::unlinkSegment(Name);
+    StmRuntime::globalInit(sharedConfig(Name));
+    Acc = static_cast<Word *>(sharedAlloc(NumAccounts * sizeof(Word)));
+    for (unsigned I = 0; I < NumAccounts; ++I)
+      Acc[I] = InitialBalance;
+  }
+
+  ~KillFixture() {
+    flag().store(0, std::memory_order_release);
+    sharedDispatchFree(Acc);
+    StmRuntime::globalShutdown();
+    SharedArena::unlinkSegment(Name);
+  }
+
+  /// Segment-resident handshake word the victim uses to report "I am at
+  /// the kill point" to the parent.
+  static std::atomic<Word> &flag() {
+    return SharedArena::instance().userRoot(2);
+  }
+
+  /// Waits (bounded) for the victim to raise the flag; kills and reaps
+  /// it either way so a wedged victim cannot hang the whole suite.
+  static bool waitFlagThenKill(pid_t Victim, unsigned ExtraMs = 0) {
+    bool Raised = false;
+    for (unsigned I = 0; I < 10000; ++I) {
+      if (flag().load(std::memory_order_acquire) != 0) {
+        Raised = true;
+        break;
+      }
+      usleep(1000);
+    }
+    // Grace window for kill points the victim cannot signal from (a
+    // park inside commit): the flag goes up just before the final
+    // operation, the sleep lets the victim reach the park itself.
+    if (Raised && ExtraMs != 0)
+      usleep(ExtraMs * 1000);
+    kill(Victim, SIGKILL);
+    int Status = 0;
+    waitpid(Victim, &Status, 0);
+    flag().store(0, std::memory_order_release);
+    return Raised;
+  }
+
+  Word auditTotal() {
+    Word Total = 0;
+    ThreadScope<Rt> Scope;
+    atomically(Scope.tx(), [&](auto &T) {
+      Word Sum = 0;
+      for (unsigned I = 0; I < NumAccounts; ++I)
+        Sum += T.load(&Acc[I]);
+      Total = Sum;
+    });
+    return Total;
+  }
+
+  /// Survivor work: ring transfers across every account, including the
+  /// stripes a dead victim may be holding — this is what drives the
+  /// conflict-path recovery.
+  void survivorTransfers(unsigned Rounds) {
+    ThreadScope<Rt> Scope;
+    for (unsigned R = 0; R < Rounds; ++R)
+      for (unsigned I = 0; I < NumAccounts; ++I) {
+        unsigned J = (I + 1) % NumAccounts;
+        atomically(Scope.tx(), [&](auto &T) {
+          T.store(&Acc[I], T.load(&Acc[I]) - 1);
+          T.store(&Acc[J], T.load(&Acc[J]) + 1);
+        });
+      }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Sanity: two live processes, no kills
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessRecoveryTest, CleanTwoProcessRunConserves) {
+  KillFixture F("clean");
+  pid_t Child = fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    {
+      ThreadScope<Rt> Scope;
+      for (unsigned R = 0; R < 50; ++R)
+        for (unsigned I = 0; I < NumAccounts; I += 2) {
+          unsigned J = (I + 1) % NumAccounts;
+          atomically(Scope.tx(), [&](auto &T) {
+            T.store(&F.Acc[I], T.load(&F.Acc[I]) - 2);
+            T.store(&F.Acc[J], T.load(&F.Acc[J]) + 2);
+          });
+        }
+    }
+    _exit(0); // never globalShutdown: the child inherited the creator flag
+  }
+  F.survivorTransfers(20);
+  int Status = 0;
+  ASSERT_EQ(waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+  EXPECT_EQ(F.auditTotal(), Word(NumAccounts) * InitialBalance);
+  EXPECT_FALSE(SharedArena::instance().poisoned());
+}
+
+//===----------------------------------------------------------------------===//
+// Kill point: pre-acquire (bound slot, no locks)
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessRecoveryTest, KilledBeforeAcquiringLocksIsRetired) {
+  KillFixture F("preacq");
+  uint64_t Before = SharedArena::instance().recoveriesPerformed();
+  unsigned Iters = killIterations();
+  for (unsigned K = 0; K < Iters; ++K) {
+    pid_t Victim = fork();
+    ASSERT_GE(Victim, 0);
+    if (Victim == 0) {
+      // Bind a slot the way a worker thread would, then park before
+      // touching any stripe: death here must cost the survivors
+      // nothing but the slot retire.
+      unsigned Slot = repro::ThreadRegistry::acquireSlot();
+      SharedArena::instance().bindSlot(Slot);
+      KillFixture::flag().store(1, std::memory_order_release);
+      for (;;)
+        repro::cpuRelax();
+    }
+    ASSERT_TRUE(KillFixture::waitFlagThenKill(Victim));
+    SharedArena::instance().sweepDeadProcesses();
+    F.survivorTransfers(2);
+  }
+  EXPECT_GE(SharedArena::instance().recoveriesPerformed() - Before,
+            uint64_t(Iters));
+  EXPECT_EQ(F.auditTotal(), Word(NumAccounts) * InitialBalance);
+  EXPECT_FALSE(SharedArena::instance().poisoned());
+}
+
+//===----------------------------------------------------------------------===//
+// Kill point: holding write locks, before the commit stamp
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessRecoveryTest, KilledHoldingWriteLocksIsBroken) {
+  KillFixture F("wlock");
+  uint64_t Before = SharedArena::instance().recoveriesPerformed();
+  unsigned Iters = killIterations();
+  for (unsigned K = 0; K < Iters; ++K) {
+    pid_t Victim = fork();
+    ASSERT_GE(Victim, 0);
+    if (Victim == 0) {
+      ThreadScope<Rt> Scope;
+      atomically(Scope.tx(), [&](auto &T) {
+        // SwissTM acquires WLocks at encounter time: after these
+        // stores the transaction holds real stripe locks. Park inside
+        // the transaction body so SIGKILL lands while they are held.
+        for (unsigned I = 0; I < 5; ++I)
+          T.store(&F.Acc[I], T.load(&F.Acc[I]) + 1000);
+        KillFixture::flag().store(1, std::memory_order_release);
+        for (;;)
+          repro::cpuRelax();
+      });
+      _exit(99); // unreachable
+    }
+    ASSERT_TRUE(KillFixture::waitFlagThenKill(Victim));
+    // No sweep here: the survivors' own conflict path (store hits the
+    // corpse's handle, maybeRecoverRemote probes the pid) must detect
+    // the death and replay the intent log.
+    F.survivorTransfers(2);
+    EXPECT_EQ(F.auditTotal(), Word(NumAccounts) * InitialBalance)
+        << "victim " << K << ": speculative +1000 stores must not survive";
+  }
+  EXPECT_GE(SharedArena::instance().recoveriesPerformed() - Before,
+            uint64_t(Iters));
+  EXPECT_FALSE(SharedArena::instance().poisoned());
+}
+
+//===----------------------------------------------------------------------===//
+// Kill point: after the commit stamp, before write-back (STM_DIAG)
+//===----------------------------------------------------------------------===//
+
+#ifdef STM_DIAG
+TEST(ProcessRecoveryTest, KilledAfterCommitStampBeforeWriteBackIsBroken) {
+  KillFixture F("stamp");
+  uint64_t Before = SharedArena::instance().recoveriesPerformed();
+  unsigned Iters = killIterations();
+  for (unsigned K = 0; K < Iters; ++K) {
+    pid_t Victim = fork();
+    ASSERT_GE(Victim, 0);
+    if (Victim == 0) {
+      // The injection is process-local state: arming it here parks
+      // only the victim's commit, right after the stamp is minted —
+      // read and write locks held, write-back not begun, the last
+      // recoverable instant of a lazy commit.
+      diag::setInjected(diag::Inject::ParkAtCommitStamp, true);
+      ThreadScope<Rt> Scope;
+      KillFixture::flag().store(1, std::memory_order_release);
+      atomically(Scope.tx(), [&](auto &T) {
+        T.store(&F.Acc[0], T.load(&F.Acc[0]) - 5);
+        T.store(&F.Acc[1], T.load(&F.Acc[1]) + 5);
+      });
+      _exit(99); // unreachable: the commit parks until SIGKILL
+    }
+    ASSERT_TRUE(KillFixture::waitFlagThenKill(Victim, /*ExtraMs=*/300));
+    F.survivorTransfers(2);
+    EXPECT_EQ(F.auditTotal(), Word(NumAccounts) * InitialBalance)
+        << "victim " << K << ": stamped-but-unwritten transfer must vanish";
+  }
+  EXPECT_GE(SharedArena::instance().recoveriesPerformed() - Before,
+            uint64_t(Iters));
+  EXPECT_FALSE(SharedArena::instance().poisoned());
+}
+#endif // STM_DIAG
+
+//===----------------------------------------------------------------------===//
+// Unrecoverable: death mid write-back must poison, not corrupt
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessRecoveryTest, DeathInWriteBackPoisonsTheSegment) {
+  KillFixture F("poison");
+  pid_t Victim = fork();
+  ASSERT_GE(Victim, 0);
+  if (Victim == 0) {
+    // Simulate the exact crash state: a bound slot whose phase word
+    // says write-back had started. (Parking a real write-back loop
+    // deterministically would need another injection; the recovery
+    // path only ever sees the phase word, so this is the same state.)
+    unsigned Slot = repro::ThreadRegistry::acquireSlot();
+    SharedArena &A = SharedArena::instance();
+    A.bindSlot(Slot);
+    A.setPhase(Slot, SharedArena::PhaseWriteBack);
+    KillFixture::flag().store(1, std::memory_order_release);
+    for (;;)
+      repro::cpuRelax();
+  }
+  ASSERT_TRUE(KillFixture::waitFlagThenKill(Victim));
+  EXPECT_FALSE(SharedArena::instance().poisoned());
+  SharedArena::instance().sweepDeadProcesses();
+  // The segment is now condemned: survivors abort at their next
+  // transaction begin, so the test asserts the flag and stops issuing
+  // transactions (the fixture teardown never starts one).
+  EXPECT_TRUE(SharedArena::instance().poisoned());
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 #define TESTS_TESTHARNESS_H
 
 #include "stm/Stm.h"
+#include "stm/diag/Hooks.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -49,6 +50,16 @@ class SeedReporter : public ::testing::EmptyTestEventListener {
 
 inline const bool SeedReporterInstalled = [] {
   ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+  return true;
+}();
+
+/// Honour the STM_DIAG_RECORD/STM_DIAG_RING/STM_DIAG_TRACE wiring in
+/// the test binaries too (the benches get it via parseStmFlags): the
+/// CI TSan leg records a ring of hook events so a crashing flake — the
+/// rstm opacity race being the canonical one — leaves its interleaving
+/// behind as an uploadable trace. No-op unless STM_DIAG_RECORD is set.
+inline const bool DiagEnvInitialized = [] {
+  stm::diag::initFromEnv();
   return true;
 }();
 
